@@ -1,0 +1,92 @@
+package farmer
+
+import (
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/cobbler"
+	"repro/internal/columne"
+)
+
+// The baseline miners of the paper's evaluation, re-exported so downstream
+// users can run the same comparisons. All are independent implementations:
+// CHARM and the CLOSET-style miner enumerate the column space over tidsets
+// and FP-trees respectively; ColumnE mines one interesting rule per rule
+// group by column enumeration; CARPENTER is the row-enumeration closed-
+// pattern predecessor of FARMER.
+type (
+	// CharmOptions configures MineClosedCHARM (MinSup, work budget).
+	CharmOptions = charm.Options
+	// CharmResult is MineClosedCHARM's outcome.
+	CharmResult = charm.Result
+	// ClosedSet is a closed itemset with support and tidset (CHARM).
+	ClosedSet = charm.ClosedSet
+
+	// ClosetOptions configures MineClosedFPTree.
+	ClosetOptions = closet.Options
+	// ClosetResult is MineClosedFPTree's outcome.
+	ClosetResult = closet.Result
+
+	// ColumnEOptions configures MineColumnE.
+	ColumnEOptions = columne.Options
+	// ColumnEResult is MineColumnE's outcome.
+	ColumnEResult = columne.Result
+	// ColumnERule is one interesting rule found by column enumeration.
+	ColumnERule = columne.Rule
+
+	// CobblerOptions configures MineClosedCOBBLER (MinSup, ForceMode,
+	// SwitchDepth).
+	CobblerOptions = cobbler.Options
+	// CobblerResult is MineClosedCOBBLER's outcome, including per-mode node
+	// counts and the number of mode switches.
+	CobblerResult = cobbler.Result
+
+	// CarpenterOptions configures MineClosedCARPENTER.
+	CarpenterOptions = carpenter.Options
+	// CarpenterResult is MineClosedCARPENTER's outcome.
+	CarpenterResult = carpenter.Result
+	// ClosedPattern is a closed itemset with its supporting rows
+	// (CARPENTER).
+	ClosedPattern = carpenter.ClosedPattern
+)
+
+// ErrBudget sentinels: returned by the budgeted baselines when their work
+// budget runs out ("did not finish").
+var (
+	ErrCharmBudget   = charm.ErrBudget
+	ErrClosetBudget  = closet.ErrBudget
+	ErrColumnEBudget = columne.ErrBudget
+)
+
+// MineClosedCHARM mines all closed itemsets of d with the CHARM algorithm
+// (Zaki & Hsiao, SDM 2002).
+func MineClosedCHARM(d *Dataset, opt CharmOptions) (*CharmResult, error) {
+	return charm.Mine(d, opt)
+}
+
+// MineClosedFPTree mines all closed itemsets of d with a CLOSET-style
+// FP-tree pattern-growth miner.
+func MineClosedFPTree(d *Dataset, opt ClosetOptions) (*ClosetResult, error) {
+	return closet.Mine(d, opt)
+}
+
+// MineColumnE mines one representative rule per interesting rule group by
+// column enumeration (Bayardo & Agrawal, KDD 1999 style) — the paper's
+// ColumnE baseline.
+func MineColumnE(d *Dataset, consequent int, opt ColumnEOptions) (*ColumnEResult, error) {
+	return columne.Mine(d, consequent, opt)
+}
+
+// MineClosedCARPENTER mines all closed itemsets of d by row enumeration
+// (Pan et al., KDD 2003) — FARMER's class-blind predecessor.
+func MineClosedCARPENTER(d *Dataset, opt CarpenterOptions) (*CarpenterResult, error) {
+	return carpenter.Mine(d, opt)
+}
+
+// MineClosedCOBBLER mines all closed itemsets of d with COBBLER (Pan et
+// al., SSDBM 2004), switching dynamically between row and feature
+// enumeration per subtree — the authors' successor for tables large in
+// both dimensions.
+func MineClosedCOBBLER(d *Dataset, opt CobblerOptions) (*CobblerResult, error) {
+	return cobbler.Mine(d, opt)
+}

@@ -1,0 +1,388 @@
+// Benchmarks regenerating the paper's tables and figures. One benchmark
+// family per table/figure; cmd/experiments prints the full sweeps, these
+// measure representative points under `go test -bench`.
+//
+// Naming: BenchmarkFig10_<dataset>_<algorithm>, BenchmarkFig11_<dataset>_...,
+// BenchmarkTable2_<dataset>, BenchmarkScaleUp_..., BenchmarkAblation_...
+package farmer_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	farmer "repro"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// benchData caches discretized bench datasets across benchmarks.
+var benchData = map[string]*farmer.Dataset{}
+
+func benchDataset(b *testing.B, name string) *farmer.Dataset {
+	b.Helper()
+	if d, ok := benchData[name]; ok {
+		return d
+	}
+	spec, ok := synth.BenchSpec(name)
+	if !ok {
+		b.Fatalf("no bench spec %s", name)
+	}
+	d, err := spec.GenerateDiscrete(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchData[name] = d
+	return d
+}
+
+// midMinsup is the representative Figure-10 sweep point (between the
+// paper's high and low ends).
+func midMinsup(d *farmer.Dataset) int {
+	m := d.ClassCount(0) / 3
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// --- Table 1: dataset generation -----------------------------------------
+
+func BenchmarkTable1_GenerateBenchDatasets(b *testing.B) {
+	specs := farmer.BenchSpecs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, s := range specs {
+			if _, err := s.GenerateDiscrete(10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 10: runtime vs minsup per algorithm ---------------------------
+
+func benchFig10FARMER(b *testing.B, name string) {
+	d := benchDataset(b, name)
+	opt := farmer.MineOptions{MinSup: midMinsup(d), ComputeLowerBounds: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.Mine(d, 0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig10ColumnE(b *testing.B, name string) {
+	d := benchDataset(b, name)
+	opt := farmer.ColumnEOptions{MinSup: midMinsup(d), MaxNodes: 5_000_000}
+	b.ReportAllocs()
+	dnf := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.MineColumnE(d, 0, opt); err != nil {
+			if errors.Is(err, farmer.ErrColumnEBudget) {
+				dnf++
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+	if dnf > 0 {
+		b.ReportMetric(float64(dnf)/float64(b.N), "DNF/op")
+	}
+}
+
+func benchFig10CHARM(b *testing.B, name string) {
+	d := benchDataset(b, name)
+	opt := farmer.CharmOptions{MinSup: midMinsup(d), MaxNodes: 5_000_000}
+	b.ReportAllocs()
+	dnf := 0
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.MineClosedCHARM(d, opt); err != nil {
+			if errors.Is(err, farmer.ErrCharmBudget) {
+				dnf++
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+	if dnf > 0 {
+		b.ReportMetric(float64(dnf)/float64(b.N), "DNF/op")
+	}
+}
+
+func BenchmarkFig10_LC_FARMER(b *testing.B)  { benchFig10FARMER(b, "LC") }
+func BenchmarkFig10_LC_ColumnE(b *testing.B) { benchFig10ColumnE(b, "LC") }
+func BenchmarkFig10_LC_CHARM(b *testing.B)   { benchFig10CHARM(b, "LC") }
+
+func BenchmarkFig10_BC_FARMER(b *testing.B)  { benchFig10FARMER(b, "BC") }
+func BenchmarkFig10_BC_ColumnE(b *testing.B) { benchFig10ColumnE(b, "BC") }
+func BenchmarkFig10_BC_CHARM(b *testing.B)   { benchFig10CHARM(b, "BC") }
+
+func BenchmarkFig10_PC_FARMER(b *testing.B)  { benchFig10FARMER(b, "PC") }
+func BenchmarkFig10_PC_ColumnE(b *testing.B) { benchFig10ColumnE(b, "PC") }
+func BenchmarkFig10_PC_CHARM(b *testing.B)   { benchFig10CHARM(b, "PC") }
+
+func BenchmarkFig10_ALL_FARMER(b *testing.B)  { benchFig10FARMER(b, "ALL") }
+func BenchmarkFig10_ALL_ColumnE(b *testing.B) { benchFig10ColumnE(b, "ALL") }
+func BenchmarkFig10_ALL_CHARM(b *testing.B)   { benchFig10CHARM(b, "ALL") }
+
+func BenchmarkFig10_CT_FARMER(b *testing.B)  { benchFig10FARMER(b, "CT") }
+func BenchmarkFig10_CT_ColumnE(b *testing.B) { benchFig10ColumnE(b, "CT") }
+func BenchmarkFig10_CT_CHARM(b *testing.B)   { benchFig10CHARM(b, "CT") }
+
+// --- Figure 10(f): IRG counting ------------------------------------------
+
+func BenchmarkFig10Counts_AllDatasets(b *testing.B) {
+	names := []string{"BC", "LC", "CT", "PC", "ALL"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, n := range names {
+			d := benchDataset(b, n)
+			res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: midMinsup(d)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += len(res.Groups)
+		}
+		if total == 0 {
+			b.Fatal("no IRGs found across datasets")
+		}
+	}
+}
+
+// --- Figure 11: runtime vs minconf at minsup=1, minchi ∈ {0, 10} ----------
+
+func benchFig11(b *testing.B, name string, minchi float64) {
+	d := benchDataset(b, name)
+	opt := farmer.MineOptions{MinSup: 1, MinConf: 0.8, MinChi: minchi, ComputeLowerBounds: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.Mine(d, 0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_LC_Chi0(b *testing.B)   { benchFig11(b, "LC", 0) }
+func BenchmarkFig11_LC_Chi10(b *testing.B)  { benchFig11(b, "LC", 10) }
+func BenchmarkFig11_BC_Chi0(b *testing.B)   { benchFig11(b, "BC", 0) }
+func BenchmarkFig11_BC_Chi10(b *testing.B)  { benchFig11(b, "BC", 10) }
+func BenchmarkFig11_PC_Chi0(b *testing.B)   { benchFig11(b, "PC", 0) }
+func BenchmarkFig11_PC_Chi10(b *testing.B)  { benchFig11(b, "PC", 10) }
+func BenchmarkFig11_ALL_Chi0(b *testing.B)  { benchFig11(b, "ALL", 0) }
+func BenchmarkFig11_ALL_Chi10(b *testing.B) { benchFig11(b, "ALL", 10) }
+func BenchmarkFig11_CT_Chi0(b *testing.B)   { benchFig11(b, "CT", 0) }
+func BenchmarkFig11_CT_Chi10(b *testing.B)  { benchFig11(b, "CT", 10) }
+
+// --- Table 2: classifier training + prediction ----------------------------
+
+func benchTable2(b *testing.B, name string) {
+	var spec farmer.SynthSpec
+	for _, s := range farmer.Table2Specs() {
+		if s.Name == name {
+			spec = s
+		}
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nTrain := spec.Rows * 2 / 3
+	sp, err := farmer.StratifiedSplit(m.Labels, 2, nTrain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := classify.EvaluateIRG(m, sp, classify.IRGOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := classify.EvaluateCBA(m, sp, classify.CBAOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := classify.EvaluateSVM(m, sp, classify.SVMOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_BC(b *testing.B)  { benchTable2(b, "BC") }
+func BenchmarkTable2_LC(b *testing.B)  { benchTable2(b, "LC") }
+func BenchmarkTable2_CT(b *testing.B)  { benchTable2(b, "CT") }
+func BenchmarkTable2_PC(b *testing.B)  { benchTable2(b, "PC") }
+func BenchmarkTable2_ALL(b *testing.B) { benchTable2(b, "ALL") }
+
+// --- Scale-up (§4.1): replication ----------------------------------------
+
+func benchScaleUp(b *testing.B, factor int) {
+	d := farmer.Replicate(benchDataset(b, "CT"), factor)
+	minsup := midMinsup(benchDataset(b, "CT")) * factor
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: minsup}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleUp_CT_x1(b *testing.B)  { benchScaleUp(b, 1) }
+func BenchmarkScaleUp_CT_x2(b *testing.B)  { benchScaleUp(b, 2) }
+func BenchmarkScaleUp_CT_x5(b *testing.B)  { benchScaleUp(b, 5) }
+func BenchmarkScaleUp_CT_x10(b *testing.B) { benchScaleUp(b, 10) }
+
+// --- Ablation: pruning strategies ------------------------------------------
+
+func benchAblation(b *testing.B, mut func(*core.Options)) {
+	d := benchDataset(b, "CT")
+	opt := core.Options{MinSup: midMinsup(d), MinConf: 0.8}
+	mut(&opt)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Mine(d, 0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_FullPruning(b *testing.B) {
+	benchAblation(b, func(o *core.Options) {})
+}
+func BenchmarkAblation_NoPruning1(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.DisablePruning1 = true })
+}
+func BenchmarkAblation_NoPruning2(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.DisablePruning2 = true })
+}
+func BenchmarkAblation_NoPruning3(b *testing.B) {
+	benchAblation(b, func(o *core.Options) { o.DisablePruning3 = true })
+}
+func BenchmarkAblation_NoPruningAtAll(b *testing.B) {
+	benchAblation(b, func(o *core.Options) {
+		o.DisablePruning1, o.DisablePruning2, o.DisablePruning3 = true, true, true
+	})
+}
+
+// --- CHARM vs CLOSET side comparison (§4.1 remark) ------------------------
+
+func benchCloset(b *testing.B, name string, algo string) {
+	d := benchDataset(b, name)
+	minsup := midMinsup(d)
+	b.ReportAllocs()
+	dnf := 0
+	for i := 0; i < b.N; i++ {
+		var err error
+		switch algo {
+		case "charm":
+			_, err = farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: minsup, MaxNodes: 5_000_000})
+			if errors.Is(err, farmer.ErrCharmBudget) {
+				dnf++
+				err = nil
+			}
+		case "closet":
+			_, err = farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: minsup, MaxNodes: 5_000_000})
+			if errors.Is(err, farmer.ErrClosetBudget) {
+				dnf++
+				err = nil
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dnf > 0 {
+		b.ReportMetric(float64(dnf)/float64(b.N), "DNF/op")
+	}
+}
+
+func BenchmarkClosetCmp_CT_CHARM(b *testing.B)  { benchCloset(b, "CT", "charm") }
+func BenchmarkClosetCmp_CT_CLOSET(b *testing.B) { benchCloset(b, "CT", "closet") }
+
+// --- COBBLER: dynamic vs forced enumeration (companion-talk material) -----
+
+func benchCobbler(b *testing.B, mode string) {
+	d := benchDataset(b, "CT")
+	opt := farmer.CobblerOptions{MinSup: midMinsup(d), ForceMode: mode}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.MineClosedCOBBLER(d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCobbler_CT_Dynamic(b *testing.B)     { benchCobbler(b, "") }
+func BenchmarkCobbler_CT_RowOnly(b *testing.B)     { benchCobbler(b, "row") }
+func BenchmarkCobbler_CT_FeatureOnly(b *testing.B) { benchCobbler(b, "feature") }
+
+// --- Parallel mining: speedup over the sequential miner --------------------
+//
+// NOTE: on a single-core host (such as some CI sandboxes) these benchmarks
+// show only the scheduling overhead; the speedup needs real cores.
+
+func benchParallel(b *testing.B, workers int) {
+	d := benchDataset(b, "ALL")
+	opt := farmer.MineOptions{MinSup: 2, ComputeLowerBounds: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.MineParallel(d, 0, opt, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallel_ALL_Sequential(b *testing.B) {
+	d := benchDataset(b, "ALL")
+	opt := farmer.MineOptions{MinSup: 2, ComputeLowerBounds: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := farmer.Mine(d, 0, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+func BenchmarkParallel_ALL_2Workers(b *testing.B) { benchParallel(b, 2) }
+func BenchmarkParallel_ALL_4Workers(b *testing.B) { benchParallel(b, 4) }
+
+// --- Micro: the FARMER inner machinery ------------------------------------
+
+func BenchmarkMicro_MineLB(b *testing.B) {
+	d := benchDataset(b, "CT")
+	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		b.Skip("no groups to expand")
+	}
+	ant := res.Groups[len(res.Groups)/2].Antecedent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		farmer.LowerBounds(d, ant, 0)
+	}
+}
+
+func BenchmarkMicro_Closure(b *testing.B) {
+	d := benchDataset(b, "BC")
+	items := d.Rows[0].Items[:3]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		farmer.Closure(d, items)
+	}
+}
+
+func ExampleMine() {
+	d, _ := farmer.ReadTransactions(
+		strings.NewReader("C : a b\nC : a\nN : b\n"))
+	res, _ := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2, MinConf: 0.9, ComputeLowerBounds: true})
+	for _, g := range res.Groups {
+		fmt.Println(g.Format(d, "C"))
+	}
+	// Output:
+	// {a} -> C  (sup=2 conf=1.000 chi=3.00 rows=[0 1] lower=1)
+}

@@ -1,0 +1,103 @@
+package farmer
+
+import (
+	"repro/internal/classify"
+)
+
+// The Table-2 classifiers, re-exported.
+type (
+	// IRGClassifierOptions configures TrainIRGClassifier (per-class
+	// minimum-support fraction, minimum confidence, match policy).
+	IRGClassifierOptions = classify.IRGOptions
+	// IRGClassifier predicts with ranked, coverage-pruned rule groups.
+	IRGClassifier = classify.IRGClassifier
+
+	// CBAOptions configures TrainCBA.
+	CBAOptions = classify.CBAOptions
+	// CBAClassifier is the CBA-CB (M1) rule-list classifier.
+	CBAClassifier = classify.CBAClassifier
+
+	// SVMOptions configures TrainSVM.
+	SVMOptions = classify.SVMOptions
+	// SVMClassifier is a binary linear SVM over expression vectors.
+	SVMClassifier = classify.SVMClassifier
+	// OVRSVMClassifier extends the SVM to k classes one-vs-rest.
+	OVRSVMClassifier = classify.OVRSVMClassifier
+
+	// Split is a train/test partition by row index.
+	Split = classify.Split
+
+	// CVResult summarizes a cross-validation run.
+	CVResult = classify.CVResult
+	// Confusion is a square confusion matrix (Counts[actual][predicted]).
+	Confusion = classify.Confusion
+
+	// MatchPolicy selects how a rule group matches a row.
+	MatchPolicy = classify.MatchPolicy
+)
+
+// Match policies for the IRG classifier.
+const (
+	// MatchLowerBounds matches a row containing ANY lower bound (default).
+	MatchLowerBounds = classify.MatchLowerBounds
+	// MatchUpperBound matches only rows containing the full upper bound.
+	MatchUpperBound = classify.MatchUpperBound
+)
+
+// TrainIRGClassifier mines interesting rule groups per class and builds the
+// paper's IRG classifier (§4.2).
+func TrainIRGClassifier(train *Dataset, opt IRGClassifierOptions) (*IRGClassifier, error) {
+	return classify.TrainIRG(train, opt)
+}
+
+// TrainCBA builds a CBA-CB (M1) classifier from the rules expanded out of
+// FARMER's upper and lower bounds — the workaround the paper used because
+// CBA's own miner cannot finish on microarray data.
+func TrainCBA(train *Dataset, opt CBAOptions) (*CBAClassifier, error) {
+	return classify.TrainCBA(train, opt)
+}
+
+// TrainSVM fits a binary linear soft-margin SVM by dual coordinate descent
+// on the standardized matrix (the SVM-light stand-in).
+func TrainSVM(train *Matrix, opt SVMOptions) (*SVMClassifier, error) {
+	return classify.TrainSVM(train, opt)
+}
+
+// TrainOVRSVM fits one linear SVM per class (one-vs-rest) for matrices
+// with more than two classes.
+func TrainOVRSVM(train *Matrix, opt SVMOptions) (*OVRSVMClassifier, error) {
+	return classify.TrainOVRSVM(train, opt)
+}
+
+// StratifiedSplit deterministically partitions rows into nTrain training
+// rows and the rest test, preserving class proportions.
+func StratifiedSplit(labels []int, numClasses, nTrain int) (Split, error) {
+	return classify.StratifiedSplit(labels, numClasses, nTrain)
+}
+
+// SelectRows returns the sub-dataset with the given rows, in order.
+func SelectRows(d *Dataset, rows []int) *Dataset {
+	return classify.SelectRows(d, rows)
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(preds, labels []int) float64 {
+	return classify.Accuracy(preds, labels)
+}
+
+// KFold partitions rows into k stratified folds, one Split per fold.
+func KFold(labels []int, numClasses, k int, seed int64) ([]Split, error) {
+	return classify.KFold(labels, numClasses, k, seed)
+}
+
+// CrossValidate evaluates a classifier protocol over k stratified folds;
+// pass a closure over TrainIRGClassifier/TrainCBA/TrainSVM.
+func CrossValidate(m *Matrix, k int, seed int64,
+	evaluate func(*Matrix, Split) (float64, error)) (*CVResult, error) {
+	return classify.CrossValidate(m, k, seed, evaluate)
+}
+
+// NewConfusion tallies predictions against labels into a confusion matrix.
+func NewConfusion(preds, labels []int, classNames []string) (*Confusion, error) {
+	return classify.NewConfusion(preds, labels, classNames)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	farmer "repro"
+	"repro/internal/synth"
+)
+
+// fixtureCSV renders a small separable matrix in the CLI's input format.
+func fixtureCSV(t *testing.T) string {
+	t.Helper()
+	spec := synth.Spec{
+		Name: "cli", Rows: 30, Cols: 24, Class1Rows: 15,
+		ClassNames:  [2]string{"tumor", "normal"},
+		Informative: 8, Effect: 2.5, FlipProb: 0.05, Seed: 21,
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := farmer.WriteMatrixCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), err
+}
+
+func TestRunRequiresTrainOrCV(t *testing.T) {
+	if _, err := runCLI(t, fixtureCSV(t)); err == nil {
+		t.Fatal("missing -train/-cv accepted")
+	}
+}
+
+func TestRunSingleSplit(t *testing.T) {
+	out, err := runCLI(t, fixtureCSV(t), "-train", "20", "-confusion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"20 train / 10 test", "IRG classifier:", "CBA:", "SVM:", "confusion matrix"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunCrossValidation(t *testing.T) {
+	out, err := runCLI(t, fixtureCSV(t), "-cv", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3-fold cross-validation") || !strings.Contains(out, "±") {
+		t.Fatalf("CV output wrong:\n%s", out)
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	if _, err := runCLI(t, "not,a,matrix\n1,2\n", "-train", "2"); err == nil {
+		t.Fatal("malformed CSV accepted")
+	}
+	if _, err := runCLI(t, fixtureCSV(t), "-train", "9999"); err == nil {
+		t.Fatal("oversized split accepted")
+	}
+}

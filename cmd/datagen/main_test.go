@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	farmer "repro"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestRunRequiresSpec(t *testing.T) {
+	if _, _, err := runCLI(t); err == nil {
+		t.Fatal("no spec accepted")
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	cases := [][]string{
+		{"-preset", "nope"},
+		{"-preset", "CT", "-scale", "huge"},
+		{"-preset", "CT", "-format", "parquet"},
+		{"-rows", "10", "-cols", "5", "-class1", "20"}, // invalid spec
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunMatrixOutputParses(t *testing.T) {
+	out, errOut, err := runCLI(t, "-preset", "CT", "-format", "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := farmer.ReadMatrixCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output does not round-trip: %v", err)
+	}
+	if m.NumRows() == 0 || m.NumCols() == 0 {
+		t.Fatal("empty matrix")
+	}
+	if !strings.Contains(errOut, "datagen: CT") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+}
+
+func TestRunTransactionsOutputParses(t *testing.T) {
+	out, errOut, err := runCLI(t, "-preset", "CT", "-format", "transactions", "-describe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := farmer.ReadTransactions(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output does not round-trip: %v", err)
+	}
+	if d.NumRows() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if !strings.Contains(errOut, "item support") {
+		t.Fatalf("describe missing from stderr: %q", errOut)
+	}
+}
+
+func TestRunSeedOverrideChangesData(t *testing.T) {
+	a, _, err := runCLI(t, "-preset", "CT", "-format", "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCLI(t, "-preset", "CT", "-format", "matrix", "-seed", "777")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("seed override produced identical output")
+	}
+	c, _, err := runCLI(t, "-preset", "CT", "-format", "matrix", "-seed", "777")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != c {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunCustomSpec(t *testing.T) {
+	out, _, err := runCLI(t, "-rows", "12", "-cols", "20", "-class1", "6", "-format", "transactions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := farmer.ReadTransactions(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 12 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	_, _, err := runCLI(t, "-preset", "CT", "-format", "matrix", "-o", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := openAndRead(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(f, "label,") {
+		t.Fatalf("file content = %q...", f[:20])
+	}
+}
+
+func TestRunTable2Scale(t *testing.T) {
+	out, _, err := runCLI(t, "-preset", "BC", "-scale", "table2", "-format", "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := farmer.ReadMatrixCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 48 { // BC table2 spec halves the paper's 97 rows
+		t.Fatalf("rows = %d, want 48", m.NumRows())
+	}
+}
+
+func openAndRead(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,174 @@
+// Command experiments regenerates the tables and figures of the FARMER
+// paper's evaluation (§4) on the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig10|fig11|table2|scale|ablation|closet|cobbler]
+//	            [-dataset NAME] [-quick] [-budget N]
+//
+// Output goes to stdout as text tables; EXPERIMENTS.md records a captured
+// run against the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp     = fs.String("exp", "all", "experiment: all|table1|fig10|fig11|table2|scale|ablation|closet|cobbler")
+		ds      = fs.String("dataset", "", "restrict to one dataset (BC, LC, CT, PC, ALL)")
+		quick   = fs.Bool("quick", false, "shrink the sweeps for a fast smoke run")
+		budget  = fs.Int64("budget", 0, "work budget for the baseline miners (0 = default)")
+		buckets = fs.Int("buckets", 0, "equal-depth buckets (0 = the paper's 10)")
+		format  = fs.String("format", "text", "output format for fig10/fig11/table2/scale: text|csv|plot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Quick: *quick, BaselineBudget: *budget, Buckets: *buckets}
+	specs := synth.BenchSpecs()
+	if *ds != "" {
+		s, ok := synth.BenchSpec(strings.ToUpper(*ds))
+		if !ok {
+			return fmt.Errorf("unknown dataset %q (want BC, LC, CT, PC or ALL)", *ds)
+		}
+		specs = []synth.Spec{s}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Fprintln(stdout, "=== Table 1 (paper-shape specs) ===")
+		fmt.Fprintln(stdout, experiments.Table1(synth.PaperSpecs()))
+		fmt.Fprintln(stdout, "=== Table 1 (bench-scale specs actually swept below) ===")
+		fmt.Fprintln(stdout, experiments.Table1(synth.BenchSpecs()))
+	}
+	if want("fig10") {
+		ran = true
+		for _, s := range specs {
+			res, err := experiments.Figure10(s, cfg)
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "csv":
+				fmt.Fprintln(stdout, res.CSV())
+			case "plot":
+				fmt.Fprintln(stdout, res.Plot())
+			default:
+				fmt.Fprintln(stdout, res.Render())
+			}
+		}
+	}
+	if want("fig11") {
+		ran = true
+		for _, s := range specs {
+			res, err := experiments.Figure11(s, cfg)
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "csv":
+				fmt.Fprintln(stdout, res.CSV())
+			case "plot":
+				fmt.Fprintln(stdout, res.Plot())
+			default:
+				fmt.Fprintln(stdout, res.Render())
+			}
+		}
+	}
+	if want("table2") {
+		ran = true
+		t2specs := synth.Table2Specs()
+		if *ds != "" {
+			var filtered []synth.Spec
+			for _, s := range t2specs {
+				if s.Name == strings.ToUpper(*ds) {
+					filtered = append(filtered, s)
+				}
+			}
+			t2specs = filtered
+		}
+		res, err := experiments.Table2(t2specs, cfg)
+		if err != nil {
+			return err
+		}
+		if *format == "csv" {
+			fmt.Fprintln(stdout, res.CSV())
+		} else {
+			fmt.Fprintln(stdout, res.Render())
+		}
+	}
+	if want("scale") {
+		ran = true
+		factors := []int{1, 2, 5, 10}
+		if *quick {
+			factors = []int{1, 2}
+		}
+		for _, s := range specs {
+			res, err := experiments.ScaleUp(s, factors, cfg)
+			if err != nil {
+				return err
+			}
+			if *format == "csv" {
+				fmt.Fprintln(stdout, res.CSV())
+			} else {
+				fmt.Fprintln(stdout, res.Render())
+			}
+		}
+	}
+	if want("ablation") {
+		ran = true
+		for _, s := range specs {
+			res, err := experiments.Ablation(s, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, res.Render())
+		}
+	}
+	if want("cobbler") {
+		ran = true
+		for _, s := range specs {
+			res, err := experiments.Cobbler(s, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, res.Render())
+		}
+	}
+	if want("closet") {
+		ran = true
+		for _, s := range specs {
+			res, err := experiments.ClosetComparison(s, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, res.Render())
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

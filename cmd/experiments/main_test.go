@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, &out, &errBuf)
+	return out.String(), err
+}
+
+func TestRunRejections(t *testing.T) {
+	if _, err := runCLI(t, "-exp", "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := runCLI(t, "-dataset", "XX"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := runCLI(t, "-exp", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Table 1", "24481", "relapse", "bench-scale"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q", frag)
+		}
+	}
+}
+
+func TestRunFig10QuickSingleDataset(t *testing.T) {
+	out, err := runCLI(t, "-exp", "fig10", "-dataset", "CT", "-quick", "-budget", "300000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 10 — CT") {
+		t.Fatalf("output missing panel header:\n%s", out)
+	}
+	if strings.Contains(out, "Figure 10 — BC") {
+		t.Fatal("-dataset filter ignored")
+	}
+}
+
+func TestRunFig11QuickSingleDataset(t *testing.T) {
+	out, err := runCLI(t, "-exp", "fig11", "-dataset", "CT", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 11 — CT") || !strings.Contains(out, "minchi=10") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+}
+
+func TestRunTable2SingleDataset(t *testing.T) {
+	out, err := runCLI(t, "-exp", "table2", "-dataset", "CT", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "CT") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+	if strings.Contains(out, "BC ") {
+		t.Fatal("-dataset filter ignored for table2")
+	}
+}
+
+func TestRunFormatFlag(t *testing.T) {
+	csv, err := runCLI(t, "-exp", "fig11", "-dataset", "CT", "-quick", "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "dataset,minconf,chi0_ms") {
+		t.Fatalf("csv output wrong:\n%s", csv)
+	}
+	plot, err := runCLI(t, "-exp", "fig11", "-dataset", "CT", "-quick", "-format", "plot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plot, "log scale") {
+		t.Fatalf("plot output wrong:\n%s", plot)
+	}
+}
+
+func TestRunScaleClosetCobblerQuick(t *testing.T) {
+	out, err := runCLI(t, "-exp", "scale", "-dataset", "CT", "-quick", "-budget", "200000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scale-up — CT") {
+		t.Fatalf("scale output wrong:\n%s", out)
+	}
+	csv, err := runCLI(t, "-exp", "scale", "-dataset", "CT", "-quick", "-budget", "200000", "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "dataset,factor,rows") {
+		t.Fatalf("scale csv wrong:\n%s", csv)
+	}
+	out, err = runCLI(t, "-exp", "closet", "-dataset", "CT", "-quick", "-budget", "200000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CLOSET") {
+		t.Fatalf("closet output wrong:\n%s", out)
+	}
+	out, err = runCLI(t, "-exp", "cobbler", "-dataset", "CT", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "COBBLER") {
+		t.Fatalf("cobbler output wrong:\n%s", out)
+	}
+}
+
+func TestRunAblationQuick(t *testing.T) {
+	out, err := runCLI(t, "-exp", "ablation", "-dataset", "CT", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no pruning at all") {
+		t.Fatalf("output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,208 @@
+// Command farmer mines interesting rule groups from a transactional
+// dataset file.
+//
+// Usage:
+//
+//	farmer -class LABEL [-minsup N] [-minconf F] [-minchi F] [-minlift F]
+//	       [-minconv F] [-minent F] [-mingini F]
+//	       [-lower] [-maxlower N] [-stats] [-json] [FILE]
+//
+// FILE (default stdin) uses the transactional format: one row per line,
+// "<class> : item item ...". The discovered upper bounds are printed one
+// per line with support, confidence, chi-square value and supporting rows;
+// -lower also prints each group's lower bounds; -json emits a JSON array.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	farmer "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "farmer: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("farmer", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		class    = fs.String("class", "", "consequent class label (required)")
+		minsup   = fs.Int("minsup", 1, "minimum rule support |R(A ∪ C)|")
+		minconf  = fs.Float64("minconf", 0, "minimum confidence in [0,1]")
+		minchi   = fs.Float64("minchi", 0, "minimum chi-square value (0 disables)")
+		minlift  = fs.Float64("minlift", 0, "minimum lift (0 disables)")
+		minconv  = fs.Float64("minconv", 0, "minimum conviction (0 disables)")
+		minent   = fs.Float64("minent", 0, "minimum entropy gain (0 disables)")
+		mingini  = fs.Float64("mingini", 0, "minimum gini gain (0 disables)")
+		lower    = fs.Bool("lower", false, "also compute and print lower bounds")
+		maxlower = fs.Int("maxlower", 0, "cap lower bounds per group (0 = unlimited)")
+		stats    = fs.Bool("stats", false, "print search statistics to stderr")
+		asJSON   = fs.Bool("json", false, "emit rule groups as a JSON array")
+		topk     = fs.Int("topk", 0, "instead of IRGs, print the k best rule groups by -measure")
+		measure  = fs.String("measure", "chi2", "objective for -topk: chi2|entropy|gini")
+		workers  = fs.Int("workers", 1, "mine with this many goroutines (0 = all cores)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *class == "" {
+		return fmt.Errorf("-class is required")
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	d, err := farmer.ReadTransactions(bufio.NewReader(in))
+	if err != nil {
+		return err
+	}
+	consequent := d.ClassIndex(*class)
+	if consequent < 0 {
+		return fmt.Errorf("class %q not found; dataset classes: %s", *class, strings.Join(d.ClassNames, ", "))
+	}
+
+	if *topk > 0 {
+		return runTopK(stdout, d, consequent, *class, *topk, *measure, *minsup)
+	}
+
+	opt := farmer.MineOptions{
+		MinSup:             *minsup,
+		MinConf:            *minconf,
+		MinChi:             *minchi,
+		MinLift:            *minlift,
+		MinConviction:      *minconv,
+		MinEntropyGain:     *minent,
+		MinGiniGain:        *mingini,
+		ComputeLowerBounds: *lower,
+		MaxLowerBounds:     *maxlower,
+	}
+	var res *farmer.MineResult
+	if *workers == 1 {
+		res, err = farmer.Mine(d, consequent, opt)
+	} else {
+		res, err = farmer.MineParallel(d, consequent, opt, *workers)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	if *asJSON {
+		if err := writeJSON(w, d, *class, res); err != nil {
+			return err
+		}
+	} else {
+		printText(w, d, *class, res, *lower)
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(stderr,
+			"groups=%d nodes=%d pruned(back-scan=%d loose=%d tight=%d chi=%d gain=%d) absorbed=%d\n",
+			len(res.Groups), s.NodesVisited, s.PrunedBackScan,
+			s.PrunedLooseBound, s.PrunedTightBound, s.PrunedChiBound, s.PrunedGainBound, s.RowsAbsorbed)
+	}
+	return nil
+}
+
+// runTopK prints the k best rule groups under the chosen measure.
+func runTopK(stdout io.Writer, d *farmer.Dataset, consequent int, class string, k int, measureName string, minsup int) error {
+	var measure farmer.Measure
+	switch measureName {
+	case "chi2":
+		measure = farmer.MeasureChi2
+	case "entropy":
+		measure = farmer.MeasureEntropyGain
+	case "gini":
+		measure = farmer.MeasureGiniGain
+	default:
+		return fmt.Errorf("unknown measure %q (want chi2, entropy or gini)", measureName)
+	}
+	top, err := farmer.MineTopK(d, consequent, k, measure, minsup)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	for rank, g := range top {
+		fmt.Fprintf(w, "#%d score=%.4f %s\n", rank+1, g.Score, g.Format(d, class))
+	}
+	return nil
+}
+
+// jsonGroup is the stable JSON shape of one rule group.
+type jsonGroup struct {
+	Antecedent  []string   `json:"antecedent"`
+	Class       string     `json:"class"`
+	Support     int        `json:"support"`
+	SupNeg      int        `json:"supportNeg"`
+	Confidence  float64    `json:"confidence"`
+	Chi         float64    `json:"chi"`
+	Rows        []int      `json:"rows"`
+	LowerBounds [][]string `json:"lowerBounds,omitempty"`
+	Truncated   bool       `json:"lowerBoundsTruncated,omitempty"`
+}
+
+func writeJSON(w *bufio.Writer, d *farmer.Dataset, class string, res *farmer.MineResult) error {
+	names := func(items []farmer.Item) []string {
+		out := make([]string, len(items))
+		for i, it := range items {
+			out[i] = d.ItemName(it)
+		}
+		return out
+	}
+	groups := make([]jsonGroup, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		jg := jsonGroup{
+			Antecedent: names(g.Antecedent),
+			Class:      class,
+			Support:    g.SupPos,
+			SupNeg:     g.SupNeg,
+			Confidence: g.Confidence,
+			Chi:        g.Chi,
+			Rows:       g.Rows,
+			Truncated:  g.Truncated,
+		}
+		for _, lb := range g.LowerBounds {
+			jg.LowerBounds = append(jg.LowerBounds, names(lb))
+		}
+		groups = append(groups, jg)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(groups)
+}
+
+func printText(w *bufio.Writer, d *farmer.Dataset, class string, res *farmer.MineResult, lower bool) {
+	for _, g := range res.Groups {
+		fmt.Fprintln(w, g.Format(d, class))
+		if lower {
+			for _, lb := range g.LowerBounds {
+				names := make([]string, len(lb))
+				for i, it := range lb {
+					names[i] = d.ItemName(it)
+				}
+				fmt.Fprintf(w, "    lower: {%s}\n", strings.Join(names, ","))
+			}
+			if g.Truncated {
+				fmt.Fprintln(w, "    lower: ... (truncated)")
+			}
+		}
+	}
+}

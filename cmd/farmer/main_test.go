@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = `
+C : a b
+C : a
+N : b
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out, &errBuf)
+	return out.String(), errBuf.String(), err
+}
+
+func TestRunRequiresClass(t *testing.T) {
+	if _, _, err := runCLI(t, nil, fixture); err == nil {
+		t.Fatal("missing -class accepted")
+	}
+}
+
+func TestRunUnknownClass(t *testing.T) {
+	_, _, err := runCLI(t, []string{"-class", "zzz"}, fixture)
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-nonsense"}, fixture); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunTextOutput(t *testing.T) {
+	out, errOut, err := runCLI(t, []string{"-class", "C", "-minsup", "2", "-lower", "-stats"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{a} -> C") {
+		t.Fatalf("output missing rule:\n%s", out)
+	}
+	if !strings.Contains(out, "lower: {a}") {
+		t.Fatalf("output missing lower bound:\n%s", out)
+	}
+	if !strings.Contains(errOut, "groups=") {
+		t.Fatalf("stderr missing stats:\n%s", errOut)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-class", "C", "-minsup", "2", "-lower", "-json"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []jsonGroup
+	if err := json.Unmarshal([]byte(out), &groups); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.Class != "C" || g.Support != 2 || g.Confidence != 1 {
+		t.Fatalf("group = %+v", g)
+	}
+	if len(g.Antecedent) != 1 || g.Antecedent[0] != "a" {
+		t.Fatalf("antecedent = %v", g.Antecedent)
+	}
+	if len(g.LowerBounds) != 1 || g.LowerBounds[0][0] != "a" {
+		t.Fatalf("lower bounds = %v", g.LowerBounds)
+	}
+}
+
+func TestRunMeasureFlags(t *testing.T) {
+	// An impossible lift threshold yields zero groups but no error.
+	out, _, err := runCLI(t, []string{"-class", "C", "-minlift", "99"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("expected no groups, got:\n%s", out)
+	}
+	// An invalid threshold must surface the core validation error.
+	if _, _, err := runCLI(t, []string{"-class", "C", "-mingini", "0.9"}, fixture); err == nil {
+		t.Fatal("invalid MinGiniGain accepted")
+	}
+}
+
+func TestRunReadsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.txt")
+	if err := writeFile(path, fixture); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, []string{"-class", "C", "-minsup", "2", path}, "ignored stdin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{a} -> C") {
+		t.Fatalf("file input not used:\n%s", out)
+	}
+	if _, _, err := runCLI(t, []string{"-class", "C", filepath.Join(dir, "missing.txt")}, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunMalformedInput(t *testing.T) {
+	if _, _, err := runCLI(t, []string{"-class", "C"}, "no separator here"); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	out, _, err := runCLI(t, []string{"-class", "C", "-topk", "2"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#1 score=") {
+		t.Fatalf("topk output wrong:\n%s", out)
+	}
+	if _, _, err := runCLI(t, []string{"-class", "C", "-topk", "2", "-measure", "bogus"}, fixture); err == nil {
+		t.Fatal("bad measure accepted")
+	}
+	for _, m := range []string{"entropy", "gini"} {
+		if _, _, err := runCLI(t, []string{"-class", "C", "-topk", "1", "-measure", m}, fixture); err != nil {
+			t.Fatalf("measure %s: %v", m, err)
+		}
+	}
+}
+
+func TestRunParallelWorkers(t *testing.T) {
+	seq, _, err := runCLI(t, []string{"-class", "C", "-minsup", "1"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := runCLI(t, []string{"-class", "C", "-minsup", "1", "-workers", "3"}, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(par, "->") != strings.Count(seq, "->") {
+		t.Fatalf("parallel output differs:\nseq %s\npar %s", seq, par)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

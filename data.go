@@ -1,0 +1,72 @@
+package farmer
+
+import (
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/synth"
+)
+
+// ReadTransactions parses the transactional text format ("<class> : item
+// item ..." per line; '#' comments and blank lines ignored). Item and class
+// tokens are interned into dense ids in first-seen order.
+func ReadTransactions(r io.Reader) (*Dataset, error) {
+	return dataset.ReadTransactions(r)
+}
+
+// WriteTransactions writes d in the format ReadTransactions accepts.
+func WriteTransactions(w io.Writer, d *Dataset) error {
+	return dataset.WriteTransactions(w, d)
+}
+
+// ReadMatrixCSV parses a continuous expression matrix whose CSV header is
+// "label,<gene>,..." with one sample per row.
+func ReadMatrixCSV(r io.Reader) (*Matrix, error) {
+	return dataset.ReadMatrixCSV(r)
+}
+
+// WriteMatrixCSV writes m in the format ReadMatrixCSV accepts.
+func WriteMatrixCSV(w io.Writer, m *Matrix) error {
+	return dataset.WriteMatrixCSV(w, m)
+}
+
+// Discretizer maps (column, value) pairs of a continuous matrix to dense
+// item ids; fit one on training data and apply it to both splits.
+type Discretizer = discretize.Discretizer
+
+// EqualDepth fits equal-frequency cut points with the given bucket count
+// per column — the discretization of the paper's efficiency study
+// (10 buckets).
+func EqualDepth(m *Matrix, buckets int) (*Discretizer, error) {
+	return discretize.EqualDepth(m, buckets)
+}
+
+// EqualWidth fits equal-width cut points with the given bucket count.
+func EqualWidth(m *Matrix, buckets int) (*Discretizer, error) {
+	return discretize.EqualWidth(m, buckets)
+}
+
+// EntropyMDL fits Fayyad–Irani minimal-entropy cut points under the MDL
+// stopping rule — the discretization of the paper's classifier study.
+// Columns with no accepted cut are dropped (gene filtering).
+func EntropyMDL(m *Matrix) (*Discretizer, error) {
+	return discretize.EntropyMDL(m)
+}
+
+// SynthSpec describes a synthetic microarray dataset; see the field docs on
+// synth.Spec. Presets mirroring the paper's Table 1 are available from
+// PaperSpecs, BenchSpecs (scaled for fast sweeps) and Table2Specs
+// (classification study).
+type SynthSpec = synth.Spec
+
+// PaperSpecs returns full-shape synthetic stand-ins for the paper's five
+// clinical datasets (Table 1 row/column counts and class splits).
+func PaperSpecs() []SynthSpec { return synth.PaperSpecs() }
+
+// BenchSpecs returns scaled-down variants sized so the full figure sweeps
+// finish in seconds.
+func BenchSpecs() []SynthSpec { return synth.BenchSpecs() }
+
+// Table2Specs returns the variants used for the classification study.
+func Table2Specs() []SynthSpec { return synth.Table2Specs() }

@@ -1,0 +1,98 @@
+package farmer_test
+
+import (
+	"fmt"
+	"strings"
+
+	farmer "repro"
+)
+
+// The paper's Figure 1 table, used by the examples below.
+const exampleTable = `
+C    : a b c l o s
+C    : a d e h p l r
+C    : a c e h o q t
+notC : a e f h p r
+notC : b d f g l q s t
+`
+
+func nameItems(d *farmer.Dataset, items []farmer.Item) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = d.ItemName(it)
+	}
+	return strings.Join(parts, "")
+}
+
+// Mining with a confidence constraint returns only groups at or above it.
+func ExampleMine_withConfidence() {
+	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
+	res, _ := farmer.Mine(d, d.ClassIndex("C"), farmer.MineOptions{
+		MinSup:  2,
+		MinConf: 0.95,
+	})
+	for _, g := range res.Groups {
+		fmt.Printf("%s (sup=%d conf=%.2f)\n", nameItems(d, g.Antecedent), g.SupPos, g.Confidence)
+	}
+	// Output:
+	// al (sup=2 conf=1.00)
+	// aco (sup=2 conf=1.00)
+}
+
+// MineTopK ranks rule groups by a convex measure with branch-and-bound.
+func ExampleMineTopK() {
+	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
+	top, _ := farmer.MineTopK(d, d.ClassIndex("C"), 2, farmer.MeasureChi2, 1)
+	for _, g := range top {
+		fmt.Printf("%s chi=%.2f\n", nameItems(d, g.Antecedent), g.Score)
+	}
+	// Output:
+	// aco chi=2.22
+	// al chi=2.22
+}
+
+// LowerBounds recovers the most general members of a rule group.
+func ExampleLowerBounds() {
+	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
+	// The closure of item "e" (id 7 in first-seen order) is {a,e,h}.
+	var e farmer.Item
+	for i := 0; i < d.NumItems; i++ {
+		if d.ItemName(farmer.Item(i)) == "e" {
+			e = farmer.Item(i)
+		}
+	}
+	upper := farmer.Closure(d, []farmer.Item{e})
+	lbs, _ := farmer.LowerBounds(d, upper, 0)
+	for _, lb := range lbs {
+		fmt.Println(nameItems(d, lb))
+	}
+	// Output:
+	// e
+	// h
+}
+
+// Describe summarizes the quantities that determine mining difficulty.
+func ExampleDescribe() {
+	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
+	s := farmer.Describe(d)
+	fmt.Printf("rows=%d occurring items=%d max item support=%d\n",
+		s.Rows, s.DistinctItems, s.MaxItemSup)
+	// Output:
+	// rows=5 occurring items=15 max item support=4
+}
+
+// The closure operators of §2.1 are exposed directly.
+func ExampleClosure() {
+	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
+	var e farmer.Item
+	for i := 0; i < d.NumItems; i++ {
+		if d.ItemName(farmer.Item(i)) == "e" {
+			e = farmer.Item(i)
+		}
+	}
+	fmt.Println(nameItems(d, farmer.Closure(d, []farmer.Item{e})))
+	fmt.Println(farmer.SupportSet(d, []farmer.Item{e}))
+	// Output:
+	// aeh
+	// [1 2 3]
+}

@@ -1,0 +1,93 @@
+package farmer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Explanation is a human-readable account of one rule group in terms of the
+// original genes and expression ranges — what a biologist reads instead of
+// item ids (the interpretability argument of the paper's introduction).
+type Explanation struct {
+	// Conditions are the antecedent items translated to per-gene value
+	// ranges, e.g. "g17 in (0.35, 1.20]".
+	Conditions []string
+	// Class is the consequent label.
+	Class string
+	// Summary is the one-line statistics header.
+	Summary string
+	// AlternativeConditions renders each lower bound the same way — the
+	// minimal gene panels that already imply the rule.
+	AlternativeConditions [][]string
+}
+
+// ExplainGroup translates a mined rule group back to gene-level conditions
+// using the discretizer that produced the dataset. Items that do not belong
+// to the discretizer (for example, hand-built datasets) fall back to their
+// item names.
+func ExplainGroup(d *Dataset, disc *Discretizer, g *RuleGroup, class string) *Explanation {
+	e := &Explanation{
+		Class: class,
+		Summary: fmt.Sprintf("support=%d/%d confidence=%.1f%% chi=%.2f",
+			g.SupPos, g.SupPos+g.SupNeg, 100*g.Confidence, g.Chi),
+	}
+	e.Conditions = explainItems(d, disc, g.Antecedent)
+	for _, lb := range g.LowerBounds {
+		e.AlternativeConditions = append(e.AlternativeConditions, explainItems(d, disc, lb))
+	}
+	return e
+}
+
+func explainItems(d *Dataset, disc *Discretizer, items []Item) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, explainItem(d, disc, it))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func explainItem(d *Dataset, disc *Discretizer, it Item) string {
+	if disc != nil {
+		if col := disc.ItemColumn(it); col >= 0 {
+			base := disc.Columns()[col]
+			bucket := int(it) - base
+			lo, hi := disc.BucketRange(col, bucket)
+			name := colName(d, disc, col, it)
+			switch {
+			case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+				return name
+			case math.IsInf(lo, -1):
+				return fmt.Sprintf("%s <= %.3g", name, hi)
+			case math.IsInf(hi, 1):
+				return fmt.Sprintf("%s > %.3g", name, lo)
+			default:
+				return fmt.Sprintf("%s in (%.3g, %.3g]", name, lo, hi)
+			}
+		}
+	}
+	return d.ItemName(it)
+}
+
+// colName strips the "#bucket" suffix the discretizer appends to item
+// names, falling back to a positional name.
+func colName(d *Dataset, disc *Discretizer, col int, it Item) string {
+	n := d.ItemName(it)
+	if i := strings.LastIndexByte(n, '#'); i > 0 {
+		return n[:i]
+	}
+	return fmt.Sprintf("c%d", col)
+}
+
+// String renders the explanation as a small block.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IF %s THEN %s   (%s)\n",
+		strings.Join(e.Conditions, " AND "), e.Class, e.Summary)
+	for _, alt := range e.AlternativeConditions {
+		fmt.Fprintf(&b, "  already implied by: %s\n", strings.Join(alt, " AND "))
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package farmer_test
+
+import (
+	"strings"
+	"testing"
+
+	farmer "repro"
+)
+
+func TestExplainGroupWithDiscretizer(t *testing.T) {
+	m := &farmer.Matrix{
+		ColNames:   []string{"zyx", "cd33"},
+		ClassNames: []string{"ALL", "AML"},
+		Labels:     []int{0, 0, 0, 1, 1, 1},
+		Values: [][]float64{
+			{2.0, -1.0}, {2.2, -0.8}, {1.8, -1.2},
+			{-2.0, 1.0}, {-2.2, 0.8}, {-1.8, 1.2},
+		},
+	}
+	disc, err := farmer.EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := disc.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 3, MinConf: 1, ComputeLowerBounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no groups on separable data")
+	}
+	e := farmer.ExplainGroup(d, disc, &res.Groups[0], "ALL")
+	if len(e.Conditions) == 0 {
+		t.Fatal("no conditions")
+	}
+	joined := strings.Join(e.Conditions, " ")
+	if !strings.Contains(joined, "zyx") && !strings.Contains(joined, "cd33") {
+		t.Fatalf("conditions lack gene names: %v", e.Conditions)
+	}
+	// Ranges must use comparisons, not raw bucket names.
+	if !strings.ContainsAny(joined, "<>") {
+		t.Fatalf("conditions lack value ranges: %v", e.Conditions)
+	}
+	if !strings.Contains(e.Summary, "confidence=100.0%") {
+		t.Fatalf("summary = %q", e.Summary)
+	}
+	out := e.String()
+	if !strings.Contains(out, "IF ") || !strings.Contains(out, "THEN ALL") {
+		t.Fatalf("String = %q", out)
+	}
+	if len(e.AlternativeConditions) == 0 {
+		t.Fatal("lower bounds not rendered")
+	}
+}
+
+func TestExplainGroupWithoutDiscretizer(t *testing.T) {
+	d, err := farmer.ReadTransactions(strings.NewReader("C : a b\nN : b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falls back to plain item names: some group carries item "a".
+	found := false
+	for i := range res.Groups {
+		e := farmer.ExplainGroup(d, nil, &res.Groups[i], "C")
+		if len(e.Conditions) == 0 {
+			t.Fatal("no conditions")
+		}
+		if strings.Contains(strings.Join(e.Conditions, " "), "a") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no explanation mentions item a")
+	}
+}

@@ -1,0 +1,27 @@
+package farmer
+
+import (
+	"repro/internal/core"
+	"repro/internal/genenet"
+)
+
+// Gene-network construction from rule groups — the paper's second
+// motivating application (§1): genes that co-occur in upper bounds are
+// candidate associations.
+type (
+	// GeneGraph is a weighted undirected gene-association graph with
+	// thresholding, connected components, and DOT export.
+	GeneGraph = genenet.Graph
+	// GeneEdge is one association between two source columns.
+	GeneEdge = genenet.Edge
+	// GeneNetOptions configures BuildGeneNetwork.
+	GeneNetOptions = genenet.Options
+)
+
+// BuildGeneNetwork aggregates mined rule groups into a gene-association
+// graph, mapping items back to genes through the discretizer.
+func BuildGeneNetwork(m *Matrix, disc *Discretizer, results []*MineResult, opt GeneNetOptions) (*GeneGraph, error) {
+	rs := make([]*core.Result, len(results))
+	copy(rs, results)
+	return genenet.Build(m, disc, rs, opt)
+}

@@ -1,0 +1,272 @@
+// Package bitset provides a dense, fixed-capacity bit set used throughout
+// the miners for row sets (tidsets) and item masks.
+//
+// Row sets in microarray data are small (tens to a few thousand bits), so a
+// dense word-array representation beats sorted slices for the superset and
+// intersection tests that dominate rule-group bookkeeping.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New to allocate capacity. Methods that combine two sets
+// require equal word lengths, which New guarantees for sets of the same
+// capacity.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty set able to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromInts returns a set of capacity n with the given bits set.
+func FromInts(n int, xs ...int) *Set {
+	s := New(n)
+	for _, x := range xs {
+		s.Set(x)
+	}
+	return s
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t (equal capacity required).
+func (s *Set) CopyFrom(t *Set) {
+	s.compat(t)
+	copy(s.words, t.words)
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s *Set) compat(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, t.n))
+	}
+}
+
+// And sets s = s ∩ t.
+func (s *Set) And(t *Set) {
+	s.compat(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// Or sets s = s ∪ t.
+func (s *Set) Or(t *Set) {
+	s.compat(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// AndNot sets s = s − t.
+func (s *Set) AndNot(t *Set) {
+	s.compat(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Equal reports whether s and t hold exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every bit of s is set in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.compat(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SupersetOf reports whether every bit of t is set in s.
+func (s *Set) SupersetOf(t *Set) bool { return t.SubsetOf(s) }
+
+// ProperSupersetOf reports whether s ⊋ t.
+func (s *Set) ProperSupersetOf(t *Set) bool {
+	return t.SubsetOf(s) && !s.Equal(t)
+}
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s *Set) Intersects(t *Set) bool {
+	s.compat(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndCount returns |s ∩ t| without allocating.
+func (s *Set) AndCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// AndNotCount returns |s − t| without allocating.
+func (s *Set) AndNotCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] &^ t.words[i])
+	}
+	return c
+}
+
+// NextSet returns the index of the first set bit ≥ i, or -1 if none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			fn(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Ints returns the set bits in ascending order.
+func (s *Set) Ints() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Hash returns an FNV-1a hash of the set contents, suitable for bucketing
+// equal-capacity sets.
+func (s *Set) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, w := range s.words {
+		for b := 0; b < 8; b++ {
+			h ^= (w >> uint(8*b)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// String renders the set as "{1, 4, 7}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

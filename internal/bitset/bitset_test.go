@@ -1,0 +1,287 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("new set not empty")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetClearTest(t *testing.T) {
+	s := New(100)
+	for _, i := range []int{0, 1, 63, 64, 65, 99} {
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Set(10) },
+		func() { s.Test(-1) },
+		func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range access did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromInts(t *testing.T) {
+	s := FromInts(70, 2, 3, 69)
+	if got := s.Ints(); !reflect.DeepEqual(got, []int{2, 3, 69}) {
+		t.Fatalf("Ints = %v", got)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromInts(128, 1, 2, 3, 64, 127)
+	b := FromInts(128, 2, 3, 4, 64)
+
+	and := a.Clone()
+	and.And(b)
+	if got := and.Ints(); !reflect.DeepEqual(got, []int{2, 3, 64}) {
+		t.Fatalf("And = %v", got)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	if got := or.Ints(); !reflect.DeepEqual(got, []int{1, 2, 3, 4, 64, 127}) {
+		t.Fatalf("Or = %v", got)
+	}
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	if got := diff.Ints(); !reflect.DeepEqual(got, []int{1, 127}) {
+		t.Fatalf("AndNot = %v", got)
+	}
+
+	if a.AndCount(b) != 3 {
+		t.Fatalf("AndCount = %d, want 3", a.AndCount(b))
+	}
+	if a.AndNotCount(b) != 2 {
+		t.Fatalf("AndNotCount = %d, want 2", a.AndNotCount(b))
+	}
+}
+
+func TestSubsetSuperset(t *testing.T) {
+	a := FromInts(64, 1, 2)
+	b := FromInts(64, 1, 2, 3)
+	if !a.SubsetOf(b) || a.SupersetOf(b) {
+		t.Fatal("subset relation wrong")
+	}
+	if !b.SupersetOf(a) || !b.ProperSupersetOf(a) {
+		t.Fatal("superset relation wrong")
+	}
+	if b.ProperSupersetOf(b.Clone()) {
+		t.Fatal("set is proper superset of its copy")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("set not subset of itself")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := FromInts(200, 150)
+	b := FromInts(200, 151)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	b.Set(150)
+	if !a.Intersects(b) {
+		t.Fatal("intersecting sets reported disjoint")
+	}
+}
+
+func TestEqualDifferentCapacity(t *testing.T) {
+	if New(10).Equal(New(11)) {
+		t.Fatal("sets of different capacity reported equal")
+	}
+}
+
+func TestCompatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched capacities did not panic")
+		}
+	}()
+	New(10).And(New(20))
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromInts(200, 0, 63, 64, 130, 199)
+	cases := []struct{ from, want int }{
+		{-5, 0}, {0, 0}, {1, 63}, {63, 63}, {64, 64}, {65, 130},
+		{131, 199}, {199, 199}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if New(64).NextSet(0) != -1 {
+		t.Error("NextSet on empty set should be -1")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromInts(300, 5, 70, 64, 299, 0)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("ForEach out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ForEach visited %d bits, want 5", len(got))
+	}
+}
+
+func TestCopyFromReset(t *testing.T) {
+	a := FromInts(64, 1, 2, 3)
+	b := New(64)
+	b.CopyFrom(a)
+	if !a.Equal(b) {
+		t.Fatal("CopyFrom did not copy")
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Fatal("Reset left bits set")
+	}
+	if a.Empty() {
+		t.Fatal("Reset affected source")
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	a := FromInts(128, 1)
+	b := FromInts(128, 2)
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision on trivially different sets")
+	}
+	if a.Hash() != a.Clone().Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromInts(10, 1, 4, 7).String(); got != "{1, 4, 7}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: set ops agree with a map-based model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 1 << 16
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range xs {
+			a.Set(int(x))
+			ma[int(x)] = true
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+			mb[int(y)] = true
+		}
+		inter := 0
+		for k := range ma {
+			if mb[k] {
+				inter++
+			}
+		}
+		if a.AndCount(b) != inter {
+			return false
+		}
+		union := len(mb)
+		for k := range ma {
+			if !mb[k] {
+				union++
+			}
+		}
+		u := a.Clone()
+		u.Or(b)
+		return u.Count() == union
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ints/FromInts round-trip.
+func TestQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(500)
+		want := map[int]bool{}
+		var xs []int
+		for i := 0; i < rng.Intn(50); i++ {
+			x := rng.Intn(n)
+			xs = append(xs, x)
+			want[x] = true
+		}
+		s := FromInts(n, xs...)
+		got := s.Ints()
+		if len(got) != len(want) {
+			t.Fatalf("round trip size mismatch: %d vs %d", len(got), len(want))
+		}
+		for _, x := range got {
+			if !want[x] {
+				t.Fatalf("unexpected bit %d", x)
+			}
+		}
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(1024), New(1024)
+	for i := 0; i < 512; i++ {
+		x.Set(rng.Intn(1024))
+		y.Set(rng.Intn(1024))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.AndCount(y)
+	}
+}

@@ -1,0 +1,254 @@
+// Package carpenter implements CARPENTER (Pan, Cong, Tung, Yang, Zaki;
+// KDD 2003), FARMER's predecessor: mining frequent CLOSED PATTERNS from
+// long biological datasets by row enumeration. It shares FARMER's machinery
+// — conditional transposed tables, candidate absorption (pruning 1), the
+// back scan (pruning 2) — but is class-blind and prunes only on minimum row
+// support.
+//
+// The package is an independent implementation rather than a façade over
+// internal/core, mirroring how the two systems were separate artifacts; the
+// cross-check tests in this repository verify both against the same oracle.
+package carpenter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// ClosedPattern is one closed itemset with its supporting rows.
+type ClosedPattern struct {
+	Items   []dataset.Item
+	Support int
+	Rows    []int // ascending row ids
+}
+
+// Options configures a run.
+type Options struct {
+	// MinSup is the minimum absolute row support, ≥ 1.
+	MinSup int
+}
+
+// Result carries mined patterns and effort statistics.
+type Result struct {
+	Patterns []ClosedPattern
+	Nodes    int64
+}
+
+// Mine returns all closed itemsets of d with support ≥ opt.MinSup.
+func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.MinSup < 1 {
+		return nil, fmt.Errorf("carpenter: MinSup must be >= 1, got %d", opt.MinSup)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Rows)
+	m := &miner{
+		d:      d,
+		tt:     dataset.Transpose(d),
+		n:      n,
+		minsup: opt.MinSup,
+		inX:    bitset.New(n),
+		cnt:    make([]int32, n),
+		stamp:  make([]uint32, n),
+	}
+	for ri := 0; ri < n; ri++ {
+		row := &d.Rows[ri]
+		tuples := make([]tuple, 0, len(row.Items))
+		for _, it := range row.Items {
+			list := m.tt.Lists[it]
+			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
+			tuples = append(tuples, tuple{item: it, rows: list[k:]})
+		}
+		m.inX.Set(ri)
+		m.mineNode(tuples, 1, ri)
+		m.inX.Clear(ri)
+	}
+	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
+	return &Result{Patterns: m.out, Nodes: m.nodes}, nil
+}
+
+type tuple struct {
+	item dataset.Item
+	rows []int32
+}
+
+type miner struct {
+	d      *dataset.Dataset
+	tt     *dataset.Transposed
+	n      int
+	minsup int
+
+	inX   *bitset.Set
+	cnt   []int32
+	stamp []uint32
+	epoch uint32
+
+	out   []ClosedPattern
+	nodes int64
+}
+
+func (m *miner) mineNode(tuples []tuple, count int, rmax int) {
+	m.nodes++
+	if len(tuples) == 0 {
+		return
+	}
+	// Pruning 2: back scan over global list prefixes.
+	if m.backScanHit(tuples, rmax) {
+		return
+	}
+	// Scan: occurrence counts over candidates; Y absorption (pruning 1).
+	m.epoch++
+	ntup := int32(len(tuples))
+	maxInTuple := 0
+	for _, t := range tuples {
+		if len(t.rows) > maxInTuple {
+			maxInTuple = len(t.rows)
+		}
+		for _, r := range t.rows {
+			if m.stamp[r] != m.epoch {
+				m.stamp[r] = m.epoch
+				m.cnt[r] = 0
+			}
+			m.cnt[r]++
+		}
+	}
+	var eRows, yRows []int32
+	for _, t := range tuples {
+		for _, r := range t.rows {
+			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+				continue
+			}
+			if m.cnt[r] == ntup {
+				yRows = append(yRows, r)
+			} else {
+				eRows = append(eRows, r)
+			}
+			m.cnt[r] = -1
+		}
+	}
+	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+	count += len(yRows)
+
+	// Pruning 3: even absorbing the longest tuple's remaining candidates
+	// cannot reach minsup. (count already includes Y, which every tuple
+	// contains, so the bound stays valid.)
+	if count-len(yRows)+maxInTuple < m.minsup {
+		return
+	}
+
+	for _, r := range yRows {
+		m.inX.Set(int(r))
+	}
+	cleaned := make([][]int32, len(tuples))
+	if len(yRows) == 0 {
+		for i := range tuples {
+			cleaned[i] = tuples[i].rows
+		}
+	} else {
+		inY := make(map[int32]bool, len(yRows))
+		for _, r := range yRows {
+			inY[r] = true
+		}
+		for i := range tuples {
+			dst := make([]int32, 0, len(tuples[i].rows))
+			for _, r := range tuples[i].rows {
+				if !inY[r] {
+					dst = append(dst, r)
+				}
+			}
+			cleaned[i] = dst
+		}
+	}
+
+	// Children per remaining candidate, ascending.
+	if len(eRows) > 0 {
+		posOf := make(map[int32]int32, len(eRows))
+		for i, r := range eRows {
+			posOf[r] = int32(i)
+		}
+		containing := make([][]int32, len(eRows))
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				containing[posOf[r]] = append(containing[posOf[r]], int32(ti))
+			}
+		}
+		for p, r := range eRows {
+			child := make([]tuple, 0, len(containing[p]))
+			for _, ti := range containing[p] {
+				rows := cleaned[ti]
+				k := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
+				child = append(child, tuple{item: tuples[ti].item, rows: rows[k:]})
+			}
+			m.inX.Set(int(r))
+			m.mineNode(child, count+1, int(r))
+			m.inX.Clear(int(r))
+		}
+	}
+
+	// Emit the closed pattern of this node: I(X) with rows X ∪ Yacc.
+	if count >= m.minsup {
+		items := make([]dataset.Item, len(tuples))
+		for i, t := range tuples {
+			items[i] = t.item
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		m.out = append(m.out, ClosedPattern{Items: items, Support: count, Rows: m.inX.Ints()})
+	}
+
+	for _, r := range yRows {
+		m.inX.Clear(int(r))
+	}
+}
+
+func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
+	if rmax == 0 {
+		return false
+	}
+	m.epoch++
+	ntup := int32(len(tuples))
+	for ti, t := range tuples {
+		glist := m.tt.Lists[t.item]
+		hitAny := false
+		for _, r := range glist {
+			if int(r) >= rmax {
+				break
+			}
+			if m.inX.Test(int(r)) {
+				continue
+			}
+			if ti == 0 {
+				m.stamp[r] = m.epoch
+				m.cnt[r] = 1
+				if ntup == 1 {
+					return true
+				}
+				hitAny = true
+				continue
+			}
+			if m.stamp[r] == m.epoch && m.cnt[r] == int32(ti) {
+				m.cnt[r]++
+				if m.cnt[r] == ntup {
+					return true
+				}
+				hitAny = true
+			}
+		}
+		if !hitAny {
+			return false
+		}
+	}
+	return false
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

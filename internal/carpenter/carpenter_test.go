@@ -1,0 +1,113 @@
+package carpenter
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+)
+
+func keys(ps []ClosedPattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("%v|%d", p.Items, p.Support)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func refKeys(items [][]dataset.Item, sups []int) []string {
+	out := make([]string, len(items))
+	for i := range items {
+		out[i] = fmt.Sprintf("%v|%d", items[i], sups[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPaperExampleClosedPatterns(t *testing.T) {
+	d := dataset.PaperExample()
+	for _, minsup := range []int{1, 2, 3} {
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := keys(res.Patterns), refKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("minsup=%d:\n got %v\nwant %v", minsup, got, want)
+		}
+	}
+}
+
+func TestRowsReported(t *testing.T) {
+	d := dataset.PaperExample()
+	res, err := Mine(d, Options{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		want := dataset.SupportSet(d, p.Items).Ints()
+		if !reflect.DeepEqual(p.Rows, want) {
+			t.Fatalf("pattern %v rows %v != %v", p.Items, p.Rows, want)
+		}
+		if p.Support != len(p.Rows) {
+			t.Fatalf("pattern %v support %d != |rows| %d", p.Items, p.Support, len(p.Rows))
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Mine(dataset.PaperExample(), Options{MinSup: 0}); err == nil {
+		t.Fatal("MinSup 0 accepted")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	res, err := Mine(&dataset.Dataset{ClassNames: []string{"x"}}, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Fatal("patterns from empty dataset")
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 2 + rng.Intn(8)
+	numItems := 3 + rng.Intn(8)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"only"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: CARPENTER equals the brute-force closed-set oracle.
+func TestPropertyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 250; iter++ {
+		d := randomDataset(rng)
+		minsup := 1 + rng.Intn(3)
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := keys(res.Patterns), refKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d minsup=%d:\n got %v\nwant %v\nrows %+v", iter, minsup, got, want, d.Rows)
+		}
+	}
+}

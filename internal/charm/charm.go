@@ -1,0 +1,211 @@
+// Package charm implements CHARM (Zaki & Hsiao, SDM 2002), the closed-
+// itemset miner FARMER is benchmarked against in Figures 10–11. CHARM
+// enumerates the column (itemset) space over itemset–tidset pairs, using
+// the four tidset-containment properties to collapse equivalent branches
+// and a subsumption hash over tidsets to emit only closed sets.
+//
+// Like all column-enumeration miners, its search space grows with the
+// number of distinct items per row — the dimension that explodes on
+// microarray data. That asymmetry versus FARMER's row enumeration is the
+// paper's headline result.
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// ClosedSet is one closed itemset and its absolute row support.
+type ClosedSet struct {
+	Items   []dataset.Item // ascending
+	Support int
+	Rows    *bitset.Set // tidset
+}
+
+// Options configures a CHARM run.
+type Options struct {
+	// MinSup is the minimum absolute row support. Must be ≥ 1.
+	MinSup int
+
+	// MaxNodes, when > 0, bounds the WORK done: enumeration nodes plus
+	// subsumption comparisons. The harness uses it to bound baseline runs
+	// the way the paper reports "did not finish". The error returned is
+	// ErrBudget.
+	MaxNodes int64
+}
+
+// ErrBudget reports that the node budget was exhausted before completion.
+var ErrBudget = fmt.Errorf("charm: node budget exhausted")
+
+// Result carries the mined closed sets and search statistics.
+type Result struct {
+	Closed []ClosedSet
+	Nodes  int64
+}
+
+// Mine returns all closed itemsets of d with support ≥ opt.MinSup.
+func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.MinSup < 1 {
+		return nil, fmt.Errorf("charm: MinSup must be >= 1, got %d", opt.MinSup)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	m := &miner{d: d, opt: opt, subsume: map[uint64][]int{}}
+
+	tt := dataset.Transpose(d)
+	n := len(d.Rows)
+	var nodes []itPair
+	for it, list := range tt.Lists {
+		if len(list) < opt.MinSup {
+			continue
+		}
+		tid := bitset.New(n)
+		for _, r := range list {
+			tid.Set(int(r))
+		}
+		nodes = append(nodes, itPair{items: []dataset.Item{dataset.Item(it)}, tids: tid})
+	}
+	// Process in increasing support order (the f ordering of the paper).
+	sort.SliceStable(nodes, func(i, j int) bool {
+		si, sj := nodes[i].tids.Count(), nodes[j].tids.Count()
+		if si != sj {
+			return si < sj
+		}
+		return nodes[i].items[0] < nodes[j].items[0]
+	})
+	if err := m.extend(nodes); err != nil {
+		return nil, err
+	}
+	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
+	return &Result{Closed: m.out, Nodes: m.nodes}, nil
+}
+
+type itPair struct {
+	items []dataset.Item // the extension items beyond the inherited prefix
+	tids  *bitset.Set
+	dead  bool // removed by property 1
+}
+
+type miner struct {
+	d       *dataset.Dataset
+	opt     Options
+	out     []ClosedSet
+	subsume map[uint64][]int // tidset hash -> indices into out
+	nodes   int64
+}
+
+// extend is CHARM-EXTEND over one sibling group.
+func (m *miner) extend(nodes []itPair) error {
+	for i := range nodes {
+		if nodes[i].dead {
+			continue
+		}
+		m.nodes++
+		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
+			return ErrBudget
+		}
+		x := append([]dataset.Item(nil), nodes[i].items...)
+		xt := nodes[i].tids
+		var children []itPair
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j].dead {
+				continue
+			}
+			inter := xt.Clone()
+			inter.And(nodes[j].tids)
+			sup := inter.Count()
+			if sup < m.opt.MinSup {
+				continue
+			}
+			switch {
+			case xt.Equal(nodes[j].tids):
+				// Property 1: merge j into i, drop j.
+				x = mergeItems(x, nodes[j].items)
+				nodes[j].dead = true
+			case xt.SubsetOf(nodes[j].tids):
+				// Property 2: every occurrence of X is one of Xj.
+				x = mergeItems(x, nodes[j].items)
+			default:
+				// Properties 3 and 4: a genuine child.
+				children = append(children, itPair{items: append([]dataset.Item(nil), nodes[j].items...), tids: inter})
+			}
+		}
+		// Children inherit the (possibly property-extended) prefix X.
+		for c := range children {
+			children[c].items = mergeItems(x, children[c].items)
+		}
+		sort.SliceStable(children, func(a, b int) bool {
+			sa, sb := children[a].tids.Count(), children[b].tids.Count()
+			if sa != sb {
+				return sa < sb
+			}
+			return lessItems(children[a].items, children[b].items)
+		})
+		if err := m.extend(children); err != nil {
+			return err
+		}
+		m.emit(x, xt)
+	}
+	return nil
+}
+
+// emit adds X if it is not subsumed by an already-closed set with the same
+// tidset.
+func (m *miner) emit(items []dataset.Item, tids *bitset.Set) {
+	sorted := append([]dataset.Item(nil), items...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	h := tids.Hash()
+	for _, idx := range m.subsume[h] {
+		m.nodes++ // comparisons count toward the work budget
+		c := &m.out[idx]
+		if c.Rows.Equal(tids) && containsAll(c.Items, sorted) {
+			return // subsumed: same rows, superset items
+		}
+	}
+	m.subsume[h] = append(m.subsume[h], len(m.out))
+	m.out = append(m.out, ClosedSet{Items: sorted, Support: tids.Count(), Rows: tids.Clone()})
+}
+
+// mergeItems returns the sorted union of two item slices.
+func mergeItems(a, b []dataset.Item) []dataset.Item {
+	out := make([]dataset.Item, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// containsAll reports whether sorted slice a contains every element of
+// sorted slice b.
+func containsAll(a, b []dataset.Item) bool {
+	i := 0
+	for _, x := range b {
+		for i < len(a) && a[i] < x {
+			i++
+		}
+		if i >= len(a) || a[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

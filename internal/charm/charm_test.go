@@ -1,0 +1,143 @@
+package charm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+)
+
+func closedKeys(cs []ClosedSet) []string {
+	keys := make([]string, len(cs))
+	for i, c := range cs {
+		keys[i] = fmt.Sprintf("%v|%d", c.Items, c.Support)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func refClosedKeys(items [][]dataset.Item, sups []int) []string {
+	keys := make([]string, len(items))
+	for i := range items {
+		keys[i] = fmt.Sprintf("%v|%d", items[i], sups[i])
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestPaperExampleClosedSets(t *testing.T) {
+	d := dataset.PaperExample()
+	for _, minsup := range []int{1, 2, 3, 4} {
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := closedKeys(res.Closed), refClosedKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("minsup=%d:\n got %v\nwant %v", minsup, got, want)
+		}
+	}
+}
+
+// The closed sets of Figure 3's node labels must all be found at minsup 1:
+// e.g. I({2,3}) = aeh with support 3 (rows 2,3,4).
+func TestPaperExampleSpecificClosedSets(t *testing.T) {
+	d := dataset.PaperExample()
+	res, err := Mine(d, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"aeh": 3, "a": 4, "al": 2, "aco": 2, "aehpr": 2}
+	for _, c := range res.Closed {
+		key := dataset.StringFromItems(c.Items)
+		if sup, ok := want[key]; ok {
+			if c.Support != sup {
+				t.Errorf("closed %s support = %d, want %d", key, c.Support, sup)
+			}
+			delete(want, key)
+		}
+	}
+	for k := range want {
+		t.Errorf("closed set %s missing", k)
+	}
+}
+
+func TestRowsFieldIsSupportSet(t *testing.T) {
+	d := dataset.PaperExample()
+	res, err := Mine(d, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Closed {
+		want := dataset.SupportSet(d, c.Items)
+		if !c.Rows.Equal(want) {
+			t.Fatalf("closed %v rows %v != R = %v", c.Items, c.Rows, want)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Mine(dataset.PaperExample(), Options{MinSup: 0}); err == nil {
+		t.Fatal("MinSup 0 accepted")
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	d := dataset.PaperExample()
+	_, err := Mine(d, Options{MinSup: 1, MaxNodes: 2})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := &dataset.Dataset{ClassNames: []string{"x"}}
+	res, err := Mine(d, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closed) != 0 {
+		t.Fatal("closed sets from empty dataset")
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 2 + rng.Intn(8)
+	numItems := 3 + rng.Intn(8)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"only"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: CHARM equals the brute-force closed-set oracle.
+func TestPropertyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 250; iter++ {
+		d := randomDataset(rng)
+		minsup := 1 + rng.Intn(3)
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := closedKeys(res.Closed), refClosedKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d minsup=%d:\n got %v\nwant %v\nrows %+v", iter, minsup, got, want, d.Rows)
+		}
+	}
+}

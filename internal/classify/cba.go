@@ -1,0 +1,191 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// CBAOptions configures CBA training. Defaults follow the paper's §4.2:
+// per-class minimum support 0.7·|class|, minimum confidence 0.8.
+type CBAOptions struct {
+	MinSupFrac float64 // default 0.7
+	MinConf    float64 // default 0.8
+	// MaxLowerBounds caps lower-bound expansion when deriving the rule set
+	// from FARMER's groups (0 = unlimited).
+	MaxLowerBounds int
+}
+
+func (o *CBAOptions) setDefaults() {
+	if o.MinSupFrac == 0 {
+		o.MinSupFrac = 0.7
+	}
+	if o.MinConf == 0 {
+		o.MinConf = 0.8
+	}
+}
+
+// CBAClassifier is the CBA-CB (M1) rule-list classifier.
+type CBAClassifier struct {
+	Rules   []Rule
+	Default int
+	// CandidateRules counts the rules before the M1 selection.
+	CandidateRules int
+}
+
+// TrainCBA builds the classifier. Since CBA's own Apriori-style rule miner
+// cannot finish on microarray data (the paper ran it for a week), the rule
+// set is derived exactly the way the paper did: from the upper and lower
+// bounds FARMER produces, expanded into individual rules.
+func TrainCBA(train *dataset.Dataset, opt CBAOptions) (*CBAClassifier, error) {
+	opt.setDefaults()
+	if err := validateTrainingData(train); err != nil {
+		return nil, err
+	}
+	if opt.MinSupFrac < 0 || opt.MinSupFrac > 1 {
+		return nil, fmt.Errorf("classify: MinSupFrac %v outside [0,1]", opt.MinSupFrac)
+	}
+
+	var rules []Rule
+	for c := 0; c < train.NumClasses(); c++ {
+		classRows := train.ClassCount(c)
+		if classRows == 0 {
+			continue
+		}
+		minsup := int(opt.MinSupFrac * float64(classRows))
+		if minsup < 1 {
+			minsup = 1
+		}
+		res, err := core.Mine(train, c, core.Options{
+			MinSup:             minsup,
+			MinConf:            opt.MinConf,
+			ComputeLowerBounds: true,
+			MaxLowerBounds:     opt.MaxLowerBounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range res.Groups {
+			// Every bound of the group is a rule with the group's stats.
+			rules = append(rules, Rule{
+				Antecedent: g.Antecedent, Class: c,
+				SupPos: g.SupPos, SupNeg: g.SupNeg, Confidence: g.Confidence,
+			})
+			for _, lb := range g.LowerBounds {
+				if len(lb) == len(g.Antecedent) {
+					continue // the group is its own lower bound
+				}
+				rules = append(rules, Rule{
+					Antecedent: lb, Class: c,
+					SupPos: g.SupPos, SupNeg: g.SupNeg, Confidence: g.Confidence,
+				})
+			}
+		}
+	}
+	sortRules(rules)
+
+	cls := &CBAClassifier{CandidateRules: len(rules)}
+
+	// CBA-CB M1: walk rules in precedence order; select a rule if it
+	// correctly classifies at least one remaining row; remove ALL rows it
+	// covers; track the running error of (selected prefix + default class)
+	// and cut the list at the global minimum.
+	remaining := make(map[int]bool, len(train.Rows))
+	for ri := range train.Rows {
+		remaining[ri] = true
+	}
+	type step struct {
+		rule     Rule
+		def      int
+		totalErr int
+	}
+	var steps []step
+	prefixErr := 0
+	for _, r := range rules {
+		if len(remaining) == 0 {
+			break
+		}
+		correct := false
+		for ri := range remaining {
+			if train.Rows[ri].Class == r.Class && r.matches(&train.Rows[ri]) {
+				correct = true
+				break
+			}
+		}
+		if !correct {
+			continue
+		}
+		for ri := range remaining {
+			if r.matches(&train.Rows[ri]) {
+				if train.Rows[ri].Class != r.Class {
+					prefixErr++
+				}
+				delete(remaining, ri)
+			}
+		}
+		var rest []int
+		for ri := range remaining {
+			rest = append(rest, ri)
+		}
+		def := majorityClass(train, rest, majorityAll(train))
+		defErr := 0
+		for _, ri := range rest {
+			if train.Rows[ri].Class != def {
+				defErr++
+			}
+		}
+		steps = append(steps, step{rule: r, def: def, totalErr: prefixErr + defErr})
+	}
+
+	// Cut at the minimum total error.
+	bestIdx, bestErr := -1, len(train.Rows)+1
+	for i, s := range steps {
+		if s.totalErr < bestErr {
+			bestIdx, bestErr = i, s.totalErr
+		}
+	}
+	// Compare against the empty classifier (default class only).
+	def := majorityAll(train)
+	emptyErr := 0
+	for ri := range train.Rows {
+		if train.Rows[ri].Class != def {
+			emptyErr++
+		}
+	}
+	if bestIdx < 0 || emptyErr <= bestErr {
+		cls.Default = def
+		return cls, nil
+	}
+	for i := 0; i <= bestIdx; i++ {
+		cls.Rules = append(cls.Rules, steps[i].rule)
+	}
+	cls.Default = steps[bestIdx].def
+	return cls, nil
+}
+
+func majorityAll(d *dataset.Dataset) int {
+	rows := make([]int, len(d.Rows))
+	for i := range rows {
+		rows[i] = i
+	}
+	return majorityClass(d, rows, 0)
+}
+
+// Predict returns the class of the first rule covering the row, or the
+// default class.
+func (c *CBAClassifier) Predict(row *dataset.Row) int {
+	class, _ := c.PredictExplain(row)
+	return class
+}
+
+// PredictExplain additionally returns the rule that fired (nil when the
+// default class was used).
+func (c *CBAClassifier) PredictExplain(row *dataset.Row) (int, *Rule) {
+	for i := range c.Rules {
+		if c.Rules[i].matches(row) {
+			return c.Rules[i].Class, &c.Rules[i]
+		}
+	}
+	return c.Default, nil
+}

@@ -1,0 +1,109 @@
+// Package classify implements the three classifiers of the paper's Table 2:
+//
+//   - the IRG classifier — interesting rule groups mined by FARMER, ranked
+//     and coverage-pruned CBA-style, matching test rows through the groups'
+//     lower bounds;
+//   - CBA (Liu, Hsu, Ma; KDD 1998) — the CBA-CB M1 classifier builder fed
+//     with the individual rules expanded from FARMER's upper and lower
+//     bounds (exactly how the paper worked around CBA's own rule miner not
+//     finishing);
+//   - a linear soft-margin SVM trained by dual coordinate descent, standing
+//     in for SVM-light with default settings.
+//
+// The evaluation helpers reproduce the paper's train/test protocol.
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// MatchPolicy selects how a rule group matches a row.
+type MatchPolicy int
+
+const (
+	// MatchLowerBounds matches a row that contains ANY lower bound of the
+	// group — the group's most general member rules. This is the default:
+	// general rules are what CBA-style classifiers favour.
+	MatchLowerBounds MatchPolicy = iota
+	// MatchUpperBound matches only rows containing the full upper bound.
+	MatchUpperBound
+)
+
+// Rule is a single classification rule A → class with its training stats.
+type Rule struct {
+	Antecedent []dataset.Item
+	Class      int
+	SupPos     int // training rows matching antecedent with the rule class
+	SupNeg     int // training rows matching antecedent with other classes
+	Confidence float64
+}
+
+// matches reports whether the row contains the rule's antecedent.
+func (r *Rule) matches(row *dataset.Row) bool {
+	for _, it := range r.Antecedent {
+		if !row.HasItem(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// ruleBetter orders rules by confidence desc, support desc, antecedent
+// length asc (general first), then antecedent lexicographically for
+// determinism — the CBA precedence order.
+func ruleBetter(a, b *Rule) bool {
+	if a.Confidence != b.Confidence {
+		return a.Confidence > b.Confidence
+	}
+	if a.SupPos != b.SupPos {
+		return a.SupPos > b.SupPos
+	}
+	if len(a.Antecedent) != len(b.Antecedent) {
+		return len(a.Antecedent) < len(b.Antecedent)
+	}
+	for i := range a.Antecedent {
+		if a.Antecedent[i] != b.Antecedent[i] {
+			return a.Antecedent[i] < b.Antecedent[i]
+		}
+	}
+	return a.Class < b.Class
+}
+
+func sortRules(rules []Rule) {
+	sort.SliceStable(rules, func(i, j int) bool { return ruleBetter(&rules[i], &rules[j]) })
+}
+
+// majorityClass returns the most common class among the given rows (ties to
+// the lower class index); fallback is returned for an empty slice.
+func majorityClass(d *dataset.Dataset, rows []int, fallback int) int {
+	if len(rows) == 0 {
+		return fallback
+	}
+	counts := make([]int, d.NumClasses())
+	for _, ri := range rows {
+		counts[d.Rows[ri].Class]++
+	}
+	best := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func validateTrainingData(d *dataset.Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if len(d.Rows) == 0 {
+		return fmt.Errorf("classify: empty training set")
+	}
+	if d.NumClasses() < 2 {
+		return fmt.Errorf("classify: need at least 2 classes, got %d", d.NumClasses())
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// A small separable training set: item 0 marks class 0, item 2 marks
+// class 1, item 1 is shared noise.
+func separable() *dataset.Dataset {
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{
+			{0, 1}, {0}, {0, 1, 3},
+			{1, 2}, {2}, {2, 3},
+		},
+		[]int{0, 0, 0, 1, 1, 1},
+		4, []string{"pos", "neg"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestRuleMatches(t *testing.T) {
+	r := Rule{Antecedent: []dataset.Item{0, 3}}
+	row := dataset.Row{Items: []dataset.Item{0, 1, 3}}
+	if !r.matches(&row) {
+		t.Fatal("should match")
+	}
+	row2 := dataset.Row{Items: []dataset.Item{0, 1}}
+	if r.matches(&row2) {
+		t.Fatal("should not match")
+	}
+}
+
+func TestRuleOrdering(t *testing.T) {
+	rules := []Rule{
+		{Antecedent: []dataset.Item{1}, Confidence: 0.8, SupPos: 5},
+		{Antecedent: []dataset.Item{2}, Confidence: 0.9, SupPos: 2},
+		{Antecedent: []dataset.Item{3}, Confidence: 0.9, SupPos: 4},
+		{Antecedent: []dataset.Item{4, 5}, Confidence: 0.9, SupPos: 4},
+	}
+	sortRules(rules)
+	if rules[0].Antecedent[0] != 3 { // conf .9, sup 4, shortest
+		t.Fatalf("rule order wrong: %+v", rules)
+	}
+	if rules[1].Antecedent[0] != 4 || rules[2].Antecedent[0] != 2 || rules[3].Antecedent[0] != 1 {
+		t.Fatalf("rule order wrong: %+v", rules)
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	d := separable()
+	if got := majorityClass(d, []int{0, 1, 3}, 9); got != 0 {
+		t.Fatalf("majority = %d, want 0", got)
+	}
+	if got := majorityClass(d, nil, 9); got != 9 {
+		t.Fatalf("fallback = %d, want 9", got)
+	}
+	// Tie goes to the lower class index.
+	if got := majorityClass(d, []int{0, 3}, 9); got != 0 {
+		t.Fatalf("tie = %d, want 0", got)
+	}
+}
+
+func TestTrainIRGSeparable(t *testing.T) {
+	d := separable()
+	cls, err := TrainIRG(d, IRGOptions{MinSupFrac: 0.5, MinConf: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.NumGroups() == 0 {
+		t.Fatal("no groups kept")
+	}
+	// Training rows classify correctly.
+	for ri := range d.Rows {
+		if got := cls.Predict(&d.Rows[ri]); got != d.Rows[ri].Class {
+			t.Fatalf("row %d predicted %d, want %d", ri, got, d.Rows[ri].Class)
+		}
+	}
+	// Unseen rows with the marker items classify correctly.
+	if cls.Predict(&dataset.Row{Items: []dataset.Item{0, 3}}) != 0 {
+		t.Fatal("unseen pos row misclassified")
+	}
+	if cls.Predict(&dataset.Row{Items: []dataset.Item{1, 2}}) != 1 {
+		t.Fatal("unseen neg row misclassified")
+	}
+}
+
+func TestTrainIRGUpperBoundPolicy(t *testing.T) {
+	d := separable()
+	cls, err := TrainIRG(d, IRGOptions{MinSupFrac: 0.5, MinConf: 0.8, Match: MatchUpperBound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range d.Rows {
+		if got := cls.Predict(&d.Rows[ri]); got != d.Rows[ri].Class {
+			t.Fatalf("row %d predicted %d, want %d", ri, got, d.Rows[ri].Class)
+		}
+	}
+}
+
+func TestTrainIRGValidation(t *testing.T) {
+	d := separable()
+	if _, err := TrainIRG(d, IRGOptions{MinSupFrac: 2}); err == nil {
+		t.Fatal("bad MinSupFrac accepted")
+	}
+	empty := &dataset.Dataset{ClassNames: []string{"a", "b"}}
+	if _, err := TrainIRG(empty, IRGOptions{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	oneClass := &dataset.Dataset{ClassNames: []string{"a"},
+		Rows: []dataset.Row{{Items: nil, Class: 0}}}
+	if _, err := TrainIRG(oneClass, IRGOptions{}); err == nil {
+		t.Fatal("single-class training set accepted")
+	}
+}
+
+func TestTrainIRGDefaultClass(t *testing.T) {
+	// No rule can reach 0.8 confidence: classifier falls back to majority.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0}, {0}, {0}, {0}, {0}},
+		[]int{0, 1, 1, 1, 0},
+		1, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := TrainIRG(d, IRGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cls.Predict(&d.Rows[0]); got != 1 {
+		t.Fatalf("default prediction = %d, want majority 1", got)
+	}
+}
+
+func TestPredictExplain(t *testing.T) {
+	d := separable()
+	irg, err := TrainIRG(d, IRGOptions{MinSupFrac: 0.5, MinConf: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, group := irg.PredictExplain(&d.Rows[0])
+	if class != 0 || group == nil {
+		t.Fatalf("explain = %d, %v", class, group)
+	}
+	if group.SupPos == 0 {
+		t.Fatal("fired group has no support")
+	}
+	// A row matching nothing falls to the default with a nil group.
+	empty := dataset.Row{Items: nil}
+	_, g := irg.PredictExplain(&empty)
+	if g != nil {
+		t.Fatal("default prediction returned a group")
+	}
+
+	cba, err := TrainCBA(d, CBAOptions{MinSupFrac: 0.5, MinConf: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some training row must be explained by an actual rule (M1 may route
+	// the rest through the default class).
+	fired := false
+	for ri := range d.Rows {
+		if class, rule := cba.PredictExplain(&d.Rows[ri]); rule != nil {
+			fired = true
+			if class != rule.Class {
+				t.Fatal("explained class disagrees with the fired rule")
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("no CBA prediction was rule-backed")
+	}
+	if _, r := cba.PredictExplain(&empty); r != nil {
+		t.Fatal("CBA default prediction returned a rule")
+	}
+}
+
+func TestTrainCBASeparable(t *testing.T) {
+	d := separable()
+	cls, err := TrainCBA(d, CBAOptions{MinSupFrac: 0.5, MinConf: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Rules) == 0 {
+		t.Fatal("no rules selected")
+	}
+	if cls.CandidateRules < len(cls.Rules) {
+		t.Fatal("candidate count below selected count")
+	}
+	for ri := range d.Rows {
+		if got := cls.Predict(&d.Rows[ri]); got != d.Rows[ri].Class {
+			t.Fatalf("row %d predicted %d, want %d", ri, got, d.Rows[ri].Class)
+		}
+	}
+}
+
+func TestTrainCBAErrorCutoff(t *testing.T) {
+	// A dataset where no rule beats the default: M1 should produce an empty
+	// rule list with the majority default.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0}, {0}, {0}, {0}},
+		[]int{0, 1, 1, 1},
+		1, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := TrainCBA(d, CBAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Default != 1 {
+		t.Fatalf("default = %d, want 1", cls.Default)
+	}
+	if got := cls.Predict(&d.Rows[0]); got != 1 {
+		t.Fatalf("prediction = %d, want 1", got)
+	}
+}
+
+func TestTrainCBAValidation(t *testing.T) {
+	if _, err := TrainCBA(separable(), CBAOptions{MinSupFrac: -1}); err == nil {
+		t.Fatal("bad MinSupFrac accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// KFold partitions rows into k stratified folds (each class's rows are
+// shuffled with the seed and dealt round-robin) and returns one Split per
+// fold, with that fold as the test set.
+func KFold(labels []int, numClasses, k int, seed int64) ([]Split, error) {
+	n := len(labels)
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("classify: k %d outside [2,%d]", k, n)
+	}
+	perClass := make([][]int, numClasses)
+	for ri, l := range labels {
+		if l < 0 || l >= numClasses {
+			return nil, fmt.Errorf("classify: label %d outside [0,%d)", l, numClasses)
+		}
+		perClass[l] = append(perClass[l], ri)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	folds := make([][]int, k)
+	for _, rows := range perClass {
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, ri := range rows {
+			folds[i%k] = append(folds[i%k], ri)
+		}
+	}
+	splits := make([]Split, k)
+	for f := 0; f < k; f++ {
+		for g := 0; g < k; g++ {
+			if g == f {
+				splits[f].Test = append(splits[f].Test, folds[g]...)
+			} else {
+				splits[f].Train = append(splits[f].Train, folds[g]...)
+			}
+		}
+		if len(splits[f].Test) == 0 {
+			return nil, fmt.Errorf("classify: fold %d empty (k too large for %d rows)", f, n)
+		}
+	}
+	return splits, nil
+}
+
+// CVResult summarizes a cross-validation run.
+type CVResult struct {
+	FoldAccuracies []float64
+	Mean           float64
+	StdDev         float64
+}
+
+// CrossValidate evaluates a classifier protocol over k stratified folds.
+// evaluate receives the matrix and one split and returns the fold's test
+// accuracy — pass EvaluateIRG/EvaluateCBA/EvaluateSVM closures.
+func CrossValidate(m *dataset.Matrix, k int, seed int64,
+	evaluate func(*dataset.Matrix, Split) (float64, error)) (*CVResult, error) {
+	splits, err := KFold(m.Labels, len(m.ClassNames), k, seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{}
+	for f, sp := range splits {
+		acc, err := evaluate(m, sp)
+		if err != nil {
+			return nil, fmt.Errorf("classify: fold %d: %w", f, err)
+		}
+		res.FoldAccuracies = append(res.FoldAccuracies, acc)
+		res.Mean += acc
+	}
+	res.Mean /= float64(k)
+	for _, a := range res.FoldAccuracies {
+		res.StdDev += (a - res.Mean) * (a - res.Mean)
+	}
+	res.StdDev = math.Sqrt(res.StdDev / float64(k))
+	return res, nil
+}
+
+// Confusion is a square confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Counts     [][]int
+	ClassNames []string
+}
+
+// NewConfusion tallies predictions against labels.
+func NewConfusion(preds, labels []int, classNames []string) (*Confusion, error) {
+	if len(preds) != len(labels) {
+		return nil, fmt.Errorf("classify: %d predictions for %d labels", len(preds), len(labels))
+	}
+	k := len(classNames)
+	c := &Confusion{Counts: make([][]int, k), ClassNames: classNames}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	for i := range preds {
+		if labels[i] < 0 || labels[i] >= k || preds[i] < 0 || preds[i] >= k {
+			return nil, fmt.Errorf("classify: class index outside [0,%d)", k)
+		}
+		c.Counts[labels[i]][preds[i]]++
+	}
+	return c, nil
+}
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	diag, total := 0, 0
+	for i, row := range c.Counts {
+		for j, v := range row {
+			total += v
+			if i == j {
+				diag += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns the per-class recall (sensitivity); NaN-free: classes with
+// no rows report 0.
+func (c *Confusion) Recall(class int) float64 {
+	total := 0
+	for _, v := range c.Counts[class] {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(total)
+}
+
+// Precision returns the per-class precision; classes never predicted
+// report 0.
+func (c *Confusion) Precision(class int) float64 {
+	total := 0
+	for i := range c.Counts {
+		total += c.Counts[i][class]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(total)
+}
+
+// String renders the matrix with class names.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "actual\\pred")
+	for _, n := range c.ClassNames {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	b.WriteByte('\n')
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "%-12s", c.ClassNames[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, " %10d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestKFoldPartitions(t *testing.T) {
+	labels := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	splits, err := KFold(labels, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	seenTest := map[int]int{}
+	for _, sp := range splits {
+		if len(sp.Train)+len(sp.Test) != len(labels) {
+			t.Fatal("fold does not cover all rows")
+		}
+		inTrain := map[int]bool{}
+		for _, ri := range sp.Train {
+			inTrain[ri] = true
+		}
+		for _, ri := range sp.Test {
+			if inTrain[ri] {
+				t.Fatalf("row %d in both train and test", ri)
+			}
+			seenTest[ri]++
+		}
+		// Stratification: each fold's test set has both classes.
+		c0 := 0
+		for _, ri := range sp.Test {
+			if labels[ri] == 0 {
+				c0++
+			}
+		}
+		if c0 == 0 || c0 == len(sp.Test) {
+			t.Fatalf("fold not stratified: %d of %d class 0", c0, len(sp.Test))
+		}
+	}
+	// Every row appears in exactly one test fold.
+	for ri := range labels {
+		if seenTest[ri] != 1 {
+			t.Fatalf("row %d in %d test folds", ri, seenTest[ri])
+		}
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	if _, err := KFold([]int{0, 1}, 2, 1, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := KFold([]int{0, 1}, 2, 3, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := KFold([]int{0, 9}, 2, 2, 1); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestKFoldDeterministicPerSeed(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	a, _ := KFold(labels, 2, 4, 7)
+	b, _ := KFold(labels, 2, 4, 7)
+	for f := range a {
+		if len(a[f].Test) != len(b[f].Test) {
+			t.Fatal("same seed differs")
+		}
+		for i := range a[f].Test {
+			if a[f].Test[i] != b[f].Test[i] {
+				t.Fatal("same seed differs")
+			}
+		}
+	}
+}
+
+func TestCrossValidateSVM(t *testing.T) {
+	spec := synth.Spec{
+		Name: "cv", Rows: 40, Cols: 30, Class1Rows: 20,
+		ClassNames:  [2]string{"a", "b"},
+		Informative: 10, Effect: 2.5, FlipProb: 0.05, Seed: 12,
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossValidate(m, 4, 3, func(m *dataset.Matrix, sp Split) (float64, error) {
+		return EvaluateSVM(m, sp, SVMOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldAccuracies) != 4 {
+		t.Fatalf("%d folds", len(res.FoldAccuracies))
+	}
+	if res.Mean < 0.8 {
+		t.Fatalf("CV mean %v on separable data", res.Mean)
+	}
+	if res.StdDev < 0 || math.IsNaN(res.StdDev) {
+		t.Fatalf("bad stddev %v", res.StdDev)
+	}
+}
+
+func TestCrossValidatePropagatesErrors(t *testing.T) {
+	m := &dataset.Matrix{
+		ColNames:   []string{"g"},
+		ClassNames: []string{"a", "b"},
+		Labels:     []int{0, 1, 0, 1},
+		Values:     [][]float64{{1}, {2}, {3}, {4}},
+	}
+	_, err := CrossValidate(m, 2, 1, func(*dataset.Matrix, Split) (float64, error) {
+		return 0, errBoom
+	})
+	if err == nil {
+		t.Fatal("fold error swallowed")
+	}
+}
+
+var errBoom = errFake("boom")
+
+type errFake string
+
+func (e errFake) Error() string { return string(e) }
+
+func TestConfusionMatrix(t *testing.T) {
+	preds := []int{0, 0, 1, 1, 1, 0}
+	labels := []int{0, 1, 1, 1, 0, 0}
+	c, err := NewConfusion(preds, labels, []string{"pos", "neg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// actual 0: predicted [0,1] = 2,1 ; actual 1: predicted [0,1] = 1,2
+	if c.Counts[0][0] != 2 || c.Counts[0][1] != 1 || c.Counts[1][0] != 1 || c.Counts[1][1] != 2 {
+		t.Fatalf("counts = %v", c.Counts)
+	}
+	if math.Abs(c.Accuracy()-4.0/6) > 1e-12 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Recall(0)-2.0/3) > 1e-12 || math.Abs(c.Precision(1)-2.0/3) > 1e-12 {
+		t.Fatalf("recall/precision wrong: %v %v", c.Recall(0), c.Precision(1))
+	}
+	if s := c.String(); !strings.Contains(s, "pos") || !strings.Contains(s, "neg") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion([]int{0}, []int{0, 1}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewConfusion([]int{5}, []int{0}, []string{"a", "b"}); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	c, err := NewConfusion(nil, nil, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy() != 0 || c.Recall(0) != 0 || c.Precision(1) != 0 {
+		t.Fatal("empty confusion should report zeros")
+	}
+}

@@ -1,0 +1,163 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+)
+
+// Split is a train/test partition by row index.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// StratifiedSplit deterministically partitions n rows into nTrain training
+// rows and the rest test, preserving each class's proportion: rows of each
+// class are taken in order, with every class contributing ⌈/⌉ its share.
+// This mirrors the paper's fixed train/test sizes (Table 2).
+func StratifiedSplit(labels []int, numClasses, nTrain int) (Split, error) {
+	n := len(labels)
+	if nTrain <= 0 || nTrain >= n {
+		return Split{}, fmt.Errorf("classify: nTrain %d outside (0,%d)", nTrain, n)
+	}
+	perClass := make([][]int, numClasses)
+	for ri, l := range labels {
+		if l < 0 || l >= numClasses {
+			return Split{}, fmt.Errorf("classify: label %d outside [0,%d)", l, numClasses)
+		}
+		perClass[l] = append(perClass[l], ri)
+	}
+	var sp Split
+	taken := 0
+	for c, rows := range perClass {
+		want := (nTrain*len(rows) + n/2) / n // proportional share, rounded
+		if c == numClasses-1 {
+			want = nTrain - taken // absorb rounding in the last class
+		}
+		if want < 0 {
+			want = 0
+		}
+		if want > len(rows) {
+			want = len(rows)
+		}
+		taken += want
+		sp.Train = append(sp.Train, rows[:want]...)
+		sp.Test = append(sp.Test, rows[want:]...)
+	}
+	// If rounding starved the target (possible with extreme imbalance),
+	// move test rows into train until the size matches.
+	for len(sp.Train) < nTrain && len(sp.Test) > 0 {
+		sp.Train = append(sp.Train, sp.Test[0])
+		sp.Test = sp.Test[1:]
+	}
+	return sp, nil
+}
+
+// SelectRows returns the sub-dataset with the given rows, in order.
+func SelectRows(d *dataset.Dataset, rows []int) *dataset.Dataset {
+	out := &dataset.Dataset{
+		NumItems:   d.NumItems,
+		ItemNames:  d.ItemNames,
+		ClassNames: d.ClassNames,
+	}
+	for _, ri := range rows {
+		out.Rows = append(out.Rows, d.Rows[ri])
+	}
+	return out
+}
+
+// Accuracy returns the fraction of predictions matching labels.
+func Accuracy(preds, labels []int) float64 {
+	if len(preds) != len(labels) {
+		panic("classify: prediction/label length mismatch")
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(preds))
+}
+
+// RulePipeline discretizes the split with entropy-MDL fitted on the
+// training rows only (the paper's protocol for the rule-based classifiers)
+// and returns the categorical train and test datasets.
+func RulePipeline(m *dataset.Matrix, sp Split) (train, test *dataset.Dataset, err error) {
+	trainM := m.SelectRows(sp.Train)
+	disc, err := discretize.EntropyMDL(trainM)
+	if err != nil {
+		return nil, nil, err
+	}
+	if disc.NumItems() == 0 {
+		return nil, nil, fmt.Errorf("classify: entropy discretization kept no columns")
+	}
+	train, err = disc.Apply(trainM)
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = disc.Apply(m.SelectRows(sp.Test))
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// EvaluateIRG runs the full IRG-classifier protocol on a matrix split and
+// returns the test accuracy.
+func EvaluateIRG(m *dataset.Matrix, sp Split, opt IRGOptions) (float64, error) {
+	train, test, err := RulePipeline(m, sp)
+	if err != nil {
+		return 0, err
+	}
+	cls, err := TrainIRG(train, opt)
+	if err != nil {
+		return 0, err
+	}
+	preds := make([]int, len(test.Rows))
+	labels := make([]int, len(test.Rows))
+	for i := range test.Rows {
+		preds[i] = cls.Predict(&test.Rows[i])
+		labels[i] = test.Rows[i].Class
+	}
+	return Accuracy(preds, labels), nil
+}
+
+// EvaluateCBA runs the full CBA protocol on a matrix split.
+func EvaluateCBA(m *dataset.Matrix, sp Split, opt CBAOptions) (float64, error) {
+	train, test, err := RulePipeline(m, sp)
+	if err != nil {
+		return 0, err
+	}
+	cls, err := TrainCBA(train, opt)
+	if err != nil {
+		return 0, err
+	}
+	preds := make([]int, len(test.Rows))
+	labels := make([]int, len(test.Rows))
+	for i := range test.Rows {
+		preds[i] = cls.Predict(&test.Rows[i])
+		labels[i] = test.Rows[i].Class
+	}
+	return Accuracy(preds, labels), nil
+}
+
+// EvaluateSVM runs the SVM on the continuous matrix split.
+func EvaluateSVM(m *dataset.Matrix, sp Split, opt SVMOptions) (float64, error) {
+	cls, err := TrainSVM(m.SelectRows(sp.Train), opt)
+	if err != nil {
+		return 0, err
+	}
+	preds := make([]int, len(sp.Test))
+	labels := make([]int, len(sp.Test))
+	for i, ri := range sp.Test {
+		preds[i] = cls.Predict(m.Values[ri])
+		labels[i] = m.Labels[ri]
+	}
+	return Accuracy(preds, labels), nil
+}

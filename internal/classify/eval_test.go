@@ -1,0 +1,156 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestStratifiedSplit(t *testing.T) {
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	sp, err := StratifiedSplit(labels, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 5 || len(sp.Test) != 5 {
+		t.Fatalf("split sizes %d/%d, want 5/5", len(sp.Train), len(sp.Test))
+	}
+	// Class ratio roughly preserved: 2 of class 0, 3 of class 1.
+	c0 := 0
+	for _, ri := range sp.Train {
+		if labels[ri] == 0 {
+			c0++
+		}
+	}
+	if c0 != 2 {
+		t.Fatalf("train has %d class-0 rows, want 2", c0)
+	}
+	// Train and test partition the rows.
+	seen := map[int]bool{}
+	for _, ri := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[ri] {
+			t.Fatalf("row %d appears twice", ri)
+		}
+		seen[ri] = true
+	}
+	if len(seen) != len(labels) {
+		t.Fatal("split loses rows")
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	if _, err := StratifiedSplit([]int{0, 1}, 2, 0); err == nil {
+		t.Fatal("nTrain 0 accepted")
+	}
+	if _, err := StratifiedSplit([]int{0, 1}, 2, 2); err == nil {
+		t.Fatal("nTrain == n accepted")
+	}
+	if _, err := StratifiedSplit([]int{0, 5}, 2, 1); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestStratifiedSplitExtremeImbalance(t *testing.T) {
+	labels := make([]int, 100)
+	labels[0] = 1 // single minority row
+	sp, err := StratifiedSplit(labels, 2, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train) != 80 {
+		t.Fatalf("train size = %d, want 80", len(sp.Train))
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{0, 1, 1}, []int{0, 1, 0}); got < 0.66 || got > 0.67 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Accuracy([]int{0}, []int{0, 1})
+}
+
+// The full Table-2 protocol on a small synthetic dataset: all three
+// classifiers must comfortably beat chance on informative data.
+func TestFullProtocolOnSynthData(t *testing.T) {
+	spec := synth.Spec{
+		Name: "proto", Rows: 60, Cols: 150, Class1Rows: 28,
+		ClassNames:  [2]string{"tumor", "normal"},
+		Informative: 24, Effect: 2.2, FlipProb: 0.08,
+		Modules: 4, ModuleSize: 6, Quantize: 0.8, Seed: 17,
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := StratifiedSplit(m.Labels, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chance := 0.6 // majority class is ~53%; demand clearly better
+
+	irg, err := EvaluateIRG(m, sp, IRGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irg < chance {
+		t.Errorf("IRG accuracy %v below %v", irg, chance)
+	}
+	cba, err := EvaluateCBA(m, sp, CBAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cba < chance {
+		t.Errorf("CBA accuracy %v below %v", cba, chance)
+	}
+	svm, err := EvaluateSVM(m, sp, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svm < chance {
+		t.Errorf("SVM accuracy %v below %v", svm, chance)
+	}
+	t.Logf("IRG=%.3f CBA=%.3f SVM=%.3f", irg, cba, svm)
+}
+
+func TestRulePipelineAlignment(t *testing.T) {
+	spec := synth.Spec{
+		Name: "pipe", Rows: 40, Cols: 60, Class1Rows: 20,
+		ClassNames:  [2]string{"a", "b"},
+		Informative: 12, Effect: 2.5, FlipProb: 0.05, Seed: 3,
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := StratifiedSplit(m.Labels, 2, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := RulePipeline(m, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.NumItems != test.NumItems {
+		t.Fatal("train/test item vocabularies differ")
+	}
+	if train.NumRows() != 28 || test.NumRows() != 12 {
+		t.Fatalf("pipeline sizes %d/%d", train.NumRows(), test.NumRows())
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

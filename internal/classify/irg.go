@@ -1,0 +1,233 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// IRGOptions configures IRG-classifier training. The defaults mirror the
+// paper's §4.2 settings: per-class minimum support 0.7·|class| and minimum
+// confidence 0.8.
+type IRGOptions struct {
+	// MinSupFrac is the per-class minimum support as a fraction of the
+	// class's training rows. Default 0.7.
+	MinSupFrac float64
+	// MinConf is the minimum confidence. Default 0.8.
+	MinConf float64
+	// MinChi is the optional chi-square constraint (0 disables).
+	MinChi float64
+	// Match selects lower-bound (default) or upper-bound matching.
+	Match MatchPolicy
+	// MaxLowerBounds caps MineLB expansion per group (0 = unlimited).
+	MaxLowerBounds int
+}
+
+func (o *IRGOptions) setDefaults() {
+	if o.MinSupFrac == 0 {
+		o.MinSupFrac = 0.7
+	}
+	if o.MinConf == 0 {
+		o.MinConf = 0.8
+	}
+}
+
+// IRGClassifier predicts with a ranked, coverage-pruned list of interesting
+// rule groups (the "naive classification approach" of the FARMER authors:
+// rank upper bounds, apply database-coverage pruning, predict with the
+// first covering group).
+type IRGClassifier struct {
+	groups  []scoredGroup
+	policy  MatchPolicy
+	Default int
+	// Mined counts the rule groups before coverage pruning (diagnostics).
+	Mined int
+}
+
+type scoredGroup struct {
+	group core.RuleGroup
+	class int
+}
+
+// TrainIRG mines interesting rule groups per class and builds the
+// classifier.
+func TrainIRG(train *dataset.Dataset, opt IRGOptions) (*IRGClassifier, error) {
+	opt.setDefaults()
+	if err := validateTrainingData(train); err != nil {
+		return nil, err
+	}
+	if opt.MinSupFrac < 0 || opt.MinSupFrac > 1 {
+		return nil, fmt.Errorf("classify: MinSupFrac %v outside [0,1]", opt.MinSupFrac)
+	}
+
+	var all []scoredGroup
+	for c := 0; c < train.NumClasses(); c++ {
+		classRows := train.ClassCount(c)
+		if classRows == 0 {
+			continue
+		}
+		minsup := int(opt.MinSupFrac * float64(classRows))
+		if minsup < 1 {
+			minsup = 1
+		}
+		res, err := core.Mine(train, c, core.Options{
+			MinSup:             minsup,
+			MinConf:            opt.MinConf,
+			MinChi:             opt.MinChi,
+			ComputeLowerBounds: true,
+			MaxLowerBounds:     opt.MaxLowerBounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range res.Groups {
+			all = append(all, scoredGroup{group: g, class: c})
+		}
+	}
+
+	// Rank groups: confidence desc, support desc, shorter upper bound.
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.group.Confidence != b.group.Confidence {
+			return a.group.Confidence > b.group.Confidence
+		}
+		if a.group.SupPos != b.group.SupPos {
+			return a.group.SupPos > b.group.SupPos
+		}
+		if len(a.group.Antecedent) != len(b.group.Antecedent) {
+			return len(a.group.Antecedent) < len(b.group.Antecedent)
+		}
+		return lessItems(a.group.Antecedent, b.group.Antecedent)
+	})
+
+	cls := &IRGClassifier{policy: opt.Match, Mined: len(all)}
+
+	// Database-coverage selection with the CBA-style error cutoff ("our
+	// IRG classifier is similar to CBA but uses IRGs instead of all
+	// rules"): walk groups in rank order, keep a group iff it correctly
+	// covers a remaining row, retire every row it covers, and truncate the
+	// list where (selected prefix + default class) minimizes training
+	// error.
+	covered := make([]bool, len(train.Rows))
+	remaining := len(train.Rows)
+	type step struct {
+		sg       scoredGroup
+		def      int
+		totalErr int
+	}
+	var steps []step
+	prefixErr := 0
+	for _, sg := range all {
+		if remaining == 0 {
+			break
+		}
+		useful := false
+		for ri := range train.Rows {
+			if covered[ri] || train.Rows[ri].Class != sg.class {
+				continue
+			}
+			if cls.groupMatches(&sg.group, &train.Rows[ri]) {
+				useful = true
+				break
+			}
+		}
+		if !useful {
+			continue
+		}
+		for ri := range train.Rows {
+			if !covered[ri] && cls.groupMatches(&sg.group, &train.Rows[ri]) {
+				covered[ri] = true
+				remaining--
+				if train.Rows[ri].Class != sg.class {
+					prefixErr++
+				}
+			}
+		}
+		var rest []int
+		for ri := range train.Rows {
+			if !covered[ri] {
+				rest = append(rest, ri)
+			}
+		}
+		def := majorityClass(train, rest, overallMajority(train))
+		defErr := 0
+		for _, ri := range rest {
+			if train.Rows[ri].Class != def {
+				defErr++
+			}
+		}
+		steps = append(steps, step{sg: sg, def: def, totalErr: prefixErr + defErr})
+	}
+
+	// Cut at the minimum total error; fall back to default-only if the
+	// empty classifier is at least as good.
+	def := overallMajority(train)
+	bestErr := 0
+	for ri := range train.Rows {
+		if train.Rows[ri].Class != def {
+			bestErr++
+		}
+	}
+	bestIdx := -1
+	for i, s := range steps {
+		if s.totalErr < bestErr {
+			bestIdx, bestErr = i, s.totalErr
+		}
+	}
+	if bestIdx < 0 {
+		cls.Default = def
+		return cls, nil
+	}
+	for i := 0; i <= bestIdx; i++ {
+		cls.groups = append(cls.groups, steps[i].sg)
+	}
+	cls.Default = steps[bestIdx].def
+	return cls, nil
+}
+
+func overallMajority(d *dataset.Dataset) int {
+	rows := make([]int, len(d.Rows))
+	for i := range rows {
+		rows[i] = i
+	}
+	return majorityClass(d, rows, 0)
+}
+
+func (c *IRGClassifier) groupMatches(g *core.RuleGroup, row *dataset.Row) bool {
+	if c.policy == MatchUpperBound {
+		return g.Matches(row)
+	}
+	return g.MatchesAnyLowerBound(row)
+}
+
+// Predict returns the class of the highest-ranked group covering the row,
+// or the default class.
+func (c *IRGClassifier) Predict(row *dataset.Row) int {
+	class, _ := c.PredictExplain(row)
+	return class
+}
+
+// PredictExplain additionally returns the rule group that fired (nil when
+// the default class was used).
+func (c *IRGClassifier) PredictExplain(row *dataset.Row) (int, *core.RuleGroup) {
+	for i := range c.groups {
+		if c.groupMatches(&c.groups[i].group, row) {
+			return c.groups[i].class, &c.groups[i].group
+		}
+	}
+	return c.Default, nil
+}
+
+// NumGroups returns the number of groups kept after coverage pruning.
+func (c *IRGClassifier) NumGroups() int { return len(c.groups) }
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,65 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// OVRSVMClassifier handles matrices with more than two classes by training
+// one binary linear SVM per class (one-vs-rest) and predicting the class
+// with the largest decision margin. For two-class matrices it degenerates
+// to a single binary SVM.
+type OVRSVMClassifier struct {
+	models []*SVMClassifier // one per class, nil entries impossible
+}
+
+// TrainOVRSVM fits one linear SVM per class of the matrix.
+func TrainOVRSVM(train *dataset.Matrix, opt SVMOptions) (*OVRSVMClassifier, error) {
+	if err := train.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(train.ClassNames)
+	if k < 2 {
+		return nil, fmt.Errorf("classify: OVR SVM needs at least 2 classes, got %d", k)
+	}
+	out := &OVRSVMClassifier{models: make([]*SVMClassifier, k)}
+	for c := 0; c < k; c++ {
+		// Binarize: class c versus the rest. The binary trainer maps label
+		// index 0 to +1, so remap c to 0.
+		bin := &dataset.Matrix{
+			ColNames:   train.ColNames,
+			ClassNames: []string{train.ClassNames[c], "rest"},
+			Labels:     make([]int, len(train.Labels)),
+			Values:     train.Values,
+		}
+		for i, l := range train.Labels {
+			if l == c {
+				bin.Labels[i] = 0
+			} else {
+				bin.Labels[i] = 1
+			}
+		}
+		model, err := TrainSVM(bin, opt)
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %q: %w", train.ClassNames[c], err)
+		}
+		out.models[c] = model
+	}
+	return out, nil
+}
+
+// Predict returns the class whose one-vs-rest model reports the largest
+// margin.
+func (c *OVRSVMClassifier) Predict(vals []float64) int {
+	best, bestMargin := 0, c.models[0].Margin(vals)
+	for i := 1; i < len(c.models); i++ {
+		if m := c.models[i].Margin(vals); m > bestMargin {
+			best, bestMargin = i, m
+		}
+	}
+	return best
+}
+
+// NumClasses returns the number of per-class models.
+func (c *OVRSVMClassifier) NumClasses() int { return len(c.models) }

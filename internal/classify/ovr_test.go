@@ -1,0 +1,109 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// threeClassMatrix builds three Gaussian blobs in 2D.
+func threeClassMatrix(n int, seed int64) *dataset.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{4, 0}, {-4, 0}, {0, 4}}
+	m := &dataset.Matrix{
+		ColNames:   []string{"x", "y"},
+		ClassNames: []string{"a", "b", "c"},
+	}
+	for i := 0; i < n; i++ {
+		cl := i % 3
+		m.Labels = append(m.Labels, cl)
+		m.Values = append(m.Values, []float64{
+			centers[cl][0] + rng.NormFloat64()*0.5,
+			centers[cl][1] + rng.NormFloat64()*0.5,
+		})
+	}
+	return m
+}
+
+func TestOVRSVMThreeClasses(t *testing.T) {
+	train := threeClassMatrix(60, 1)
+	test := threeClassMatrix(30, 2)
+	cls, err := TrainOVRSVM(train, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d", cls.NumClasses())
+	}
+	preds := make([]int, len(test.Values))
+	for i := range test.Values {
+		preds[i] = cls.Predict(test.Values[i])
+	}
+	if acc := Accuracy(preds, test.Labels); acc < 0.95 {
+		t.Fatalf("3-class accuracy %v on separable blobs", acc)
+	}
+}
+
+func TestOVRSVMBinaryMatchesMargins(t *testing.T) {
+	m := linearlySeparable(30, 5)
+	ovr, err := TrainOVRSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := TrainSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Values {
+		if ovr.Predict(m.Values[i]) != bin.Predict(m.Values[i]) {
+			t.Fatalf("row %d: OVR and binary disagree on separable data", i)
+		}
+	}
+}
+
+func TestOVRSVMValidation(t *testing.T) {
+	one := &dataset.Matrix{
+		ColNames:   []string{"g"},
+		ClassNames: []string{"only"},
+		Labels:     []int{0},
+		Values:     [][]float64{{1}},
+	}
+	if _, err := TrainOVRSVM(one, SVMOptions{}); err == nil {
+		t.Fatal("single-class matrix accepted")
+	}
+}
+
+// FARMER itself is class-count-agnostic (consequent vs rest); verify the
+// whole rule pipeline works on a 3-class categorical dataset.
+func TestRuleMiningThreeClasses(t *testing.T) {
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{
+			{0, 3}, {0, 4}, {0, 3, 4}, // class a marked by item 0
+			{1, 3}, {1, 4}, {1, 3, 4}, // class b marked by item 1
+			{2, 3}, {2, 4}, {2, 3, 4}, // class c marked by item 2
+		},
+		[]int{0, 0, 0, 1, 1, 1, 2, 2, 2},
+		5, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := TrainIRG(d, IRGOptions{MinSupFrac: 0.6, MinConf: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range d.Rows {
+		if got := cls.Predict(&d.Rows[ri]); got != d.Rows[ri].Class {
+			t.Fatalf("row %d predicted %d, want %d", ri, got, d.Rows[ri].Class)
+		}
+	}
+	cba, err := TrainCBA(d, CBAOptions{MinSupFrac: 0.6, MinConf: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ri := range d.Rows {
+		if got := cba.Predict(&d.Rows[ri]); got != d.Rows[ri].Class {
+			t.Fatalf("CBA row %d predicted %d, want %d", ri, got, d.Rows[ri].Class)
+		}
+	}
+}

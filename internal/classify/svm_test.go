@@ -1,0 +1,138 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func linearlySeparable(n int, seed int64) *dataset.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := &dataset.Matrix{
+		ColNames:   []string{"g1", "g2", "g3"},
+		ClassNames: []string{"pos", "neg"},
+	}
+	for i := 0; i < n; i++ {
+		label := i % 2
+		shift := 3.0
+		if label == 1 {
+			shift = -3.0
+		}
+		m.Labels = append(m.Labels, label)
+		m.Values = append(m.Values, []float64{
+			shift + rng.NormFloat64()*0.5,
+			rng.NormFloat64(),
+			shift*0.5 + rng.NormFloat64()*0.5,
+		})
+	}
+	return m
+}
+
+func TestSVMSeparable(t *testing.T) {
+	m := linearlySeparable(40, 7)
+	cls, err := TrainSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Values {
+		if got := cls.Predict(m.Values[i]); got != m.Labels[i] {
+			t.Fatalf("row %d predicted %d, want %d", i, got, m.Labels[i])
+		}
+	}
+	// Margins have the right sign convention.
+	if cls.Margin(m.Values[0]) <= 0 && m.Labels[0] == 0 {
+		t.Fatal("margin sign wrong for class 0")
+	}
+}
+
+func TestSVMGeneralizes(t *testing.T) {
+	train := linearlySeparable(30, 11)
+	test := linearlySeparable(30, 99)
+	cls, err := TrainSVM(train, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]int, len(test.Values))
+	for i := range test.Values {
+		preds[i] = cls.Predict(test.Values[i])
+	}
+	if acc := Accuracy(preds, test.Labels); acc < 0.95 {
+		t.Fatalf("test accuracy %v on separable data", acc)
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	m := linearlySeparable(20, 3)
+	a, err := TrainSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.w {
+		if a.w[i] != b.w[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestSVMConstantColumn(t *testing.T) {
+	m := &dataset.Matrix{
+		ColNames:   []string{"g1", "g2"},
+		ClassNames: []string{"a", "b"},
+		Labels:     []int{0, 1, 0, 1},
+		Values:     [][]float64{{5, 1}, {5, -1}, {5, 2}, {5, -2}},
+	}
+	cls, err := TrainSVM(m, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Values {
+		if cls.Predict(m.Values[i]) != m.Labels[i] {
+			t.Fatal("constant column broke training")
+		}
+	}
+}
+
+func TestSVMValidation(t *testing.T) {
+	if _, err := TrainSVM(&dataset.Matrix{ClassNames: []string{"a", "b"}}, SVMOptions{}); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	bad := &dataset.Matrix{
+		ColNames:   []string{"g"},
+		ClassNames: []string{"a", "b", "c"},
+		Labels:     []int{0},
+		Values:     [][]float64{{1}},
+	}
+	if _, err := TrainSVM(bad, SVMOptions{}); err == nil {
+		t.Fatal("3-class matrix accepted")
+	}
+}
+
+// On synthetic microarray data the SVM must beat random guessing clearly.
+func TestSVMOnSynthData(t *testing.T) {
+	spec := synth.Spec{
+		Name: "svmtest", Rows: 60, Cols: 120, Class1Rows: 30,
+		ClassNames:  [2]string{"pos", "neg"},
+		Informative: 20, Effect: 2.0, FlipProb: 0.1, Seed: 5,
+	}
+	m, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := StratifiedSplit(m.Labels, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := EvaluateSVM(m, sp, SVMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Fatalf("SVM accuracy %v on informative synthetic data", acc)
+	}
+}

@@ -1,0 +1,277 @@
+// Package closet implements a CLOSET/CLOSET+-style closed-itemset miner:
+// FP-tree pattern growth with item merging (closure extension) and a global
+// subsumption check. It is the second column-enumeration baseline of the
+// paper's efficiency study; the paper reports CHARM dominating it on
+// microarray data, a shape our benchmarks reproduce.
+package closet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// ClosedSet is one closed itemset and its absolute row support.
+type ClosedSet struct {
+	Items   []dataset.Item
+	Support int
+}
+
+// Options configures a run.
+type Options struct {
+	// MinSup is the minimum absolute row support, ≥ 1.
+	MinSup int
+	// MaxNodes, when > 0, bounds the WORK done: conditional trees explored
+	// plus subsumption comparisons. Exceeding it aborts with ErrBudget.
+	MaxNodes int64
+}
+
+// ErrBudget reports an exhausted node budget.
+var ErrBudget = fmt.Errorf("closet: node budget exhausted")
+
+// Result carries mined closed sets and effort statistics.
+type Result struct {
+	Closed []ClosedSet
+	Nodes  int64
+}
+
+// Mine returns all closed itemsets of d with support ≥ opt.MinSup.
+func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.MinSup < 1 {
+		return nil, fmt.Errorf("closet: MinSup must be >= 1, got %d", opt.MinSup)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	m := &miner{opt: opt, bySupport: map[int][]int{}}
+
+	// Global frequencies define the FP-tree item order (descending count).
+	freq := make(map[dataset.Item]int)
+	for _, r := range d.Rows {
+		for _, it := range r.Items {
+			freq[it]++
+		}
+	}
+	var frequent []dataset.Item
+	for it, c := range freq {
+		if c >= opt.MinSup {
+			frequent = append(frequent, it)
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool {
+		if freq[frequent[i]] != freq[frequent[j]] {
+			return freq[frequent[i]] > freq[frequent[j]]
+		}
+		return frequent[i] < frequent[j]
+	})
+	rank := make(map[dataset.Item]int, len(frequent))
+	for i, it := range frequent {
+		rank[it] = i
+	}
+	m.rank = rank
+
+	// Build the initial tree over frequent items in rank order.
+	tr := newTree()
+	buf := make([]dataset.Item, 0, 64)
+	for _, r := range d.Rows {
+		buf = buf[:0]
+		for _, it := range r.Items {
+			if _, ok := rank[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		tr.insert(buf, 1)
+	}
+	if err := m.mine(nil, len(d.Rows), tr); err != nil {
+		return nil, err
+	}
+	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
+	return &Result{Closed: m.out, Nodes: m.nodes}, nil
+}
+
+type miner struct {
+	opt       Options
+	rank      map[dataset.Item]int // global FP-tree rank (0 = most frequent)
+	out       []ClosedSet
+	bySupport map[int][]int // support -> indices into out, for subsumption
+	nodes     int64
+}
+
+// mine processes the conditional FP-tree of prefix (whose own support is
+// prefixSup). It merges full-support items into the prefix, emits the
+// resulting closed candidate, and recurses per remaining frequent item.
+func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
+	m.nodes++
+	if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
+		return ErrBudget
+	}
+
+	// Item merging: items occurring in every transaction of the base join
+	// the closure directly.
+	var merged []dataset.Item
+	var rest []dataset.Item
+	for it, c := range tr.counts {
+		if c == prefixSup {
+			merged = append(merged, it)
+		} else if c >= m.opt.MinSup {
+			rest = append(rest, it)
+		}
+	}
+	closedCand := mergeItems(prefix, merged)
+	if len(closedCand) > 0 && prefixSup >= m.opt.MinSup {
+		m.emit(closedCand, prefixSup)
+	}
+
+	// Recurse per remaining item in exact reverse of the tree's rank
+	// order (bottom-up). This ordering is what makes the subsumption check
+	// sound: a non-closed candidate's closed superset is always discovered
+	// in an earlier branch.
+	sort.Slice(rest, func(i, j int) bool { return m.rank[rest[i]] > m.rank[rest[j]] })
+	for _, it := range rest {
+		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
+			return ErrBudget
+		}
+		sup := tr.counts[it]
+		childPrefix := mergeItems(closedCand, []dataset.Item{it})
+		// Subsumption pruning: an existing closed superset with the same
+		// support proves the whole branch is redundant.
+		if m.subsumed(childPrefix, sup) {
+			continue
+		}
+		child := tr.conditional(it, m.opt.MinSup)
+		if err := m.mine(childPrefix, sup, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *miner) emit(items []dataset.Item, sup int) {
+	if m.subsumed(items, sup) {
+		return
+	}
+	m.bySupport[sup] = append(m.bySupport[sup], len(m.out))
+	m.out = append(m.out, ClosedSet{Items: items, Support: sup})
+}
+
+func (m *miner) subsumed(items []dataset.Item, sup int) bool {
+	for _, idx := range m.bySupport[sup] {
+		m.nodes++ // comparisons count toward the work budget
+		if containsAll(m.out[idx].Items, items) {
+			return true
+		}
+	}
+	return false
+}
+
+// tree is an FP-tree: prefix-shared transaction storage with per-item node
+// chains for conditional projection.
+type tree struct {
+	root   *node
+	heads  map[dataset.Item]*node
+	counts map[dataset.Item]int
+}
+
+type node struct {
+	item    dataset.Item
+	count   int
+	parent  *node
+	child   *node // first child
+	sibling *node // next sibling
+	hlink   *node // next node with the same item
+}
+
+func newTree() *tree {
+	return &tree{root: &node{item: -1}, heads: map[dataset.Item]*node{}, counts: map[dataset.Item]int{}}
+}
+
+// insert adds one transaction (items in tree order) with the given count.
+func (t *tree) insert(items []dataset.Item, count int) {
+	cur := t.root
+	for _, it := range items {
+		var ch *node
+		for c := cur.child; c != nil; c = c.sibling {
+			if c.item == it {
+				ch = c
+				break
+			}
+		}
+		if ch == nil {
+			ch = &node{item: it, count: 0, parent: cur}
+			ch.sibling = cur.child
+			cur.child = ch
+			ch.hlink = t.heads[it]
+			t.heads[it] = ch
+		}
+		ch.count += count
+		t.counts[it] += count
+		cur = ch
+	}
+}
+
+// conditional builds the conditional FP-tree of item it: the prefix paths
+// of every node carrying it, with infrequent items stripped.
+func (t *tree) conditional(it dataset.Item, minsup int) *tree {
+	// First pass: conditional frequencies.
+	condFreq := map[dataset.Item]int{}
+	for n := t.heads[it]; n != nil; n = n.hlink {
+		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+			condFreq[p.item] += n.count
+		}
+	}
+	out := newTree()
+	var path []dataset.Item
+	for n := t.heads[it]; n != nil; n = n.hlink {
+		path = path[:0]
+		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+			if condFreq[p.item] >= minsup {
+				path = append(path, p.item)
+			}
+		}
+		// path is leaf-to-root; reverse to root-to-leaf insertion order.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		out.insert(path, n.count)
+	}
+	return out
+}
+
+func mergeItems(a, b []dataset.Item) []dataset.Item {
+	out := make([]dataset.Item, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func containsAll(a, b []dataset.Item) bool {
+	i := 0
+	for _, x := range b {
+		for i < len(a) && a[i] < x {
+			i++
+		}
+		if i >= len(a) || a[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,131 @@
+package closet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+)
+
+func closedKeys(cs []ClosedSet) []string {
+	keys := make([]string, len(cs))
+	for i, c := range cs {
+		keys[i] = fmt.Sprintf("%v|%d", c.Items, c.Support)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func refClosedKeys(items [][]dataset.Item, sups []int) []string {
+	keys := make([]string, len(items))
+	for i := range items {
+		keys[i] = fmt.Sprintf("%v|%d", items[i], sups[i])
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestPaperExampleClosedSets(t *testing.T) {
+	d := dataset.PaperExample()
+	for _, minsup := range []int{1, 2, 3, 4} {
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := closedKeys(res.Closed), refClosedKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("minsup=%d:\n got %v\nwant %v", minsup, got, want)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Mine(dataset.PaperExample(), Options{MinSup: 0}); err == nil {
+		t.Fatal("MinSup 0 accepted")
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	d := dataset.PaperExample()
+	_, err := Mine(d, Options{MinSup: 1, MaxNodes: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := &dataset.Dataset{ClassNames: []string{"x"}}
+	res, err := Mine(d, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closed) != 0 {
+		t.Fatal("closed sets from empty dataset")
+	}
+}
+
+// An item shared by every row must appear inside every closed set.
+func TestUniversalItemMerged(t *testing.T) {
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0, 1}, {0, 2}, {0, 1, 2}},
+		[]int{0, 0, 0}, 3, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Closed {
+		found := false
+		for _, it := range c.Items {
+			if it == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("closed set %v lacks the universal item", c.Items)
+		}
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 2 + rng.Intn(8)
+	numItems := 3 + rng.Intn(8)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"only"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: the FP-tree miner equals the brute-force closed-set oracle.
+func TestPropertyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 250; iter++ {
+		d := randomDataset(rng)
+		minsup := 1 + rng.Intn(3)
+		res, err := Mine(d, Options{MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, sups := reference.ClosedSets(d, minsup)
+		if got, want := closedKeys(res.Closed), refClosedKeys(items, sups); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d minsup=%d:\n got %v\nwant %v\nrows %+v", iter, minsup, got, want, d.Rows)
+		}
+	}
+}

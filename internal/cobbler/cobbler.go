@@ -1,0 +1,376 @@
+// Package cobbler implements COBBLER (Pan, Tung, Cong, Xu; SSDBM 2004),
+// the successor the FARMER authors built for tables that are large in BOTH
+// dimensions: a closed-pattern miner that switches DYNAMICALLY between row
+// enumeration (CARPENTER-style, cheap when rows are few) and feature
+// enumeration (CHARM-style, cheap when frequent features are few), choosing
+// per subtree whichever the cost estimator predicts to be smaller.
+//
+// The companion talk for the FARMER paper describes the scheme: each
+// feature-enumeration node can hand its subtree to a row enumerator over
+// its tidset, and the switching condition estimates, per candidate subtree,
+// the deepest enumeration level reachable before minimum support cuts it
+// off.
+//
+// Feature enumeration uses CHARM's itemset–tidset properties to collapse
+// equivalent branches; row enumeration maintains the itemset intersection
+// incrementally. Both emit the global closure of their current node, and a
+// row-set-keyed table deduplicates patterns reachable from both spaces.
+package cobbler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// ClosedPattern is one closed itemset with its support.
+type ClosedPattern struct {
+	Items   []dataset.Item
+	Support int
+}
+
+// Options configures a run.
+type Options struct {
+	// MinSup is the minimum absolute row support, ≥ 1.
+	MinSup int
+
+	// ForceMode pins the enumeration mode instead of switching dynamically:
+	// "" (dynamic), "row", or "feature". The ablation benchmarks use it to
+	// quantify what switching buys.
+	ForceMode string
+}
+
+// Result carries the mined patterns and effort statistics.
+type Result struct {
+	Patterns []ClosedPattern
+	// RowNodes and FeatureNodes count enumeration nodes per mode; Switches
+	// counts feature→row hand-offs.
+	RowNodes     int64
+	FeatureNodes int64
+	Switches     int64
+}
+
+// Mine returns all closed itemsets of d with support ≥ opt.MinSup.
+func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	if opt.MinSup < 1 {
+		return nil, fmt.Errorf("cobbler: MinSup must be >= 1, got %d", opt.MinSup)
+	}
+	switch opt.ForceMode {
+	case "", "row", "feature":
+	default:
+		return nil, fmt.Errorf("cobbler: unknown ForceMode %q", opt.ForceMode)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(d.Rows)
+	m := &miner{
+		d:      d,
+		n:      n,
+		opt:    opt,
+		seen:   map[uint64][]*bitset.Set{},
+		fullTi: make([]*bitset.Set, d.NumItems),
+	}
+	for it := 0; it < d.NumItems; it++ {
+		m.fullTi[it] = bitset.New(n)
+	}
+	for ri, r := range d.Rows {
+		for _, it := range r.Items {
+			m.fullTi[it].Set(ri)
+		}
+	}
+
+	var roots []itPair
+	for it := 0; it < d.NumItems; it++ {
+		if m.fullTi[it].Count() >= opt.MinSup {
+			roots = append(roots, itPair{items: []dataset.Item{dataset.Item(it)}, tids: m.fullTi[it]})
+		}
+	}
+	sortPairs(roots)
+
+	all := bitset.New(n)
+	for i := 0; i < n; i++ {
+		all.Set(i)
+	}
+	if m.pickMode(all, roots) == "row" {
+		m.switches++
+		m.rowEnumerate(all)
+	} else {
+		m.featureEnumerate(roots)
+	}
+
+	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
+	return &Result{
+		Patterns:     m.out,
+		RowNodes:     m.rowNodes,
+		FeatureNodes: m.featNodes,
+		Switches:     m.switches,
+	}, nil
+}
+
+type itPair struct {
+	items []dataset.Item
+	tids  *bitset.Set
+	dead  bool
+}
+
+func sortPairs(ps []itPair) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		si, sj := ps[i].tids.Count(), ps[j].tids.Count()
+		if si != sj {
+			return si < sj
+		}
+		return lessItems(ps[i].items, ps[j].items)
+	})
+}
+
+type miner struct {
+	d      *dataset.Dataset
+	n      int
+	opt    Options
+	fullTi []*bitset.Set
+
+	seen map[uint64][]*bitset.Set // emitted closed row sets
+	out  []ClosedPattern
+
+	rowNodes  int64
+	featNodes int64
+	switches  int64
+}
+
+// pickMode applies the switching condition over a node's tidset and its
+// viable extensions.
+func (m *miner) pickMode(tids *bitset.Set, exts []itPair) string {
+	if m.opt.ForceMode != "" {
+		return m.opt.ForceMode
+	}
+	rows := tids.Count()
+	if rows <= 1 || len(exts) == 0 {
+		return "feature"
+	}
+	if m.estimateRow(rows) < m.estimateFeature(rows, exts) {
+		return "row"
+	}
+	return "feature"
+}
+
+// estimateFeature mirrors the talk's estimator: for each extension (in
+// descending support-fraction order), the deepest reachable level k is the
+// largest k with S(f1)·…·S(fk)·rows ≥ minsup; the subtree estimate sums
+// 2^level over start positions (each unpruned level roughly doubles the
+// set-enumeration paths).
+func (m *miner) estimateFeature(rows int, exts []itPair) float64 {
+	fr := float64(rows)
+	fracs := make([]float64, 0, len(exts))
+	for i := range exts {
+		sup := float64(exts[i].tids.Count())
+		if sup >= float64(m.opt.MinSup) {
+			fracs = append(fracs, sup/fr)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(fracs)))
+	total := 0.0
+	for start := range fracs {
+		expected := fr
+		level := 0
+		for k := start; k < len(fracs); k++ {
+			expected *= fracs[k]
+			if expected < float64(m.opt.MinSup) {
+				break
+			}
+			level++
+		}
+		total += pow2(level)
+		if total > 1e12 {
+			break
+		}
+	}
+	return total
+}
+
+// estimateRow bounds the row-enumeration tree by 2^(rows−minsup+1): the
+// effective combination depth before the support cut fires.
+func (m *miner) estimateRow(rows int) float64 {
+	depth := rows - m.opt.MinSup + 1
+	if depth < 0 {
+		depth = 0
+	}
+	return pow2(depth)
+}
+
+func pow2(k int) float64 {
+	if k > 60 {
+		return 1e18
+	}
+	return float64(int64(1) << uint(k))
+}
+
+// featureEnumerate is CHARM-extend with a per-subtree mode decision: each
+// sibling group is processed with the four itemset–tidset properties, and
+// each node's children either recurse feature-wise or are handed, as one
+// subtree, to the row enumerator over the node's tidset.
+func (m *miner) featureEnumerate(nodes []itPair) {
+	for i := range nodes {
+		if nodes[i].dead {
+			continue
+		}
+		m.featNodes++
+		x := append([]dataset.Item(nil), nodes[i].items...)
+		xt := nodes[i].tids
+		var children []itPair
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[j].dead {
+				continue
+			}
+			inter := xt.Clone()
+			inter.And(nodes[j].tids)
+			if inter.Count() < m.opt.MinSup {
+				continue
+			}
+			switch {
+			case xt.Equal(nodes[j].tids):
+				x = mergeItems(x, nodes[j].items)
+				nodes[j].dead = true
+			case xt.SubsetOf(nodes[j].tids):
+				x = mergeItems(x, nodes[j].items)
+			default:
+				children = append(children, itPair{
+					items: append([]dataset.Item(nil), nodes[j].items...),
+					tids:  inter,
+				})
+			}
+		}
+		for c := range children {
+			children[c].items = mergeItems(x, children[c].items)
+		}
+		sortPairs(children)
+		if len(children) > 0 {
+			if m.pickMode(xt, children) == "row" {
+				m.switches++
+				// The row enumerator over xt covers every closed pattern
+				// whose rows lie inside xt — a superset of this subtree.
+				m.rowEnumerate(xt)
+			} else {
+				m.featureEnumerate(children)
+			}
+		}
+		m.emitRowsOfItems(x, xt)
+	}
+}
+
+// rowEnumerate explores every closed pattern whose row set is a subset of
+// tids by CARPENTER-style row combination, maintaining the itemset
+// intersection incrementally.
+func (m *miner) rowEnumerate(tids *bitset.Set) {
+	rows := tids.Ints()
+	var rec func(idx, depth int, common []dataset.Item)
+	rec = func(idx, depth int, common []dataset.Item) {
+		m.rowNodes++
+		if depth >= m.opt.MinSup && len(common) > 0 {
+			closure := m.rowsOf(common)
+			if closure.Count() >= m.opt.MinSup {
+				m.emit(closure, common)
+			}
+		}
+		if depth+(len(rows)-idx) < m.opt.MinSup {
+			return // even taking every remaining row cannot reach minsup
+		}
+		for k := idx; k < len(rows); k++ {
+			next := intersectWithRow(common, &m.d.Rows[rows[k]], depth == 0)
+			if len(next) == 0 {
+				continue
+			}
+			rec(k+1, depth+1, next)
+		}
+	}
+	rec(0, 0, nil)
+}
+
+// rowsOf intersects the tidsets of the given items.
+func (m *miner) rowsOf(items []dataset.Item) *bitset.Set {
+	out := m.fullTi[items[0]].Clone()
+	for _, it := range items[1:] {
+		out.And(m.fullTi[it])
+	}
+	return out
+}
+
+// emitRowsOfItems emits the closure of an itemset discovered feature-side:
+// its global tidset may exceed the local one when property merges added
+// items, so the closure is recomputed from the items.
+func (m *miner) emitRowsOfItems(items []dataset.Item, tids *bitset.Set) {
+	if len(items) == 0 {
+		return
+	}
+	closure := dataset.CommonItemsSet(m.d, tids)
+	if len(closure) == 0 {
+		return
+	}
+	rows := m.rowsOf(closure)
+	if rows.Count() < m.opt.MinSup {
+		return
+	}
+	m.emit(rows, closure)
+}
+
+// emit records a closed pattern keyed by its (closed) row set.
+func (m *miner) emit(rows *bitset.Set, items []dataset.Item) {
+	h := rows.Hash()
+	for _, prev := range m.seen[h] {
+		if prev.Equal(rows) {
+			return
+		}
+	}
+	m.seen[h] = append(m.seen[h], rows.Clone())
+	sorted := append([]dataset.Item(nil), items...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	m.out = append(m.out, ClosedPattern{Items: sorted, Support: rows.Count()})
+}
+
+// intersectWithRow intersects a sorted itemset with a row's items; when
+// first is true the row's items are taken as the initial set.
+func intersectWithRow(common []dataset.Item, r *dataset.Row, first bool) []dataset.Item {
+	if first {
+		return r.Items
+	}
+	out := make([]dataset.Item, 0, len(common))
+	i, j := 0, 0
+	for i < len(common) && j < len(r.Items) {
+		switch {
+		case common[i] < r.Items[j]:
+			i++
+		case common[i] > r.Items[j]:
+			j++
+		default:
+			out = append(out, common[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func mergeItems(a, b []dataset.Item) []dataset.Item {
+	out := make([]dataset.Item, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

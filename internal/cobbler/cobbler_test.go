@@ -1,0 +1,164 @@
+package cobbler
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+)
+
+func keys(ps []ClosedPattern) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = fmt.Sprintf("%v|%d", p.Items, p.Support)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func refKeys(items [][]dataset.Item, sups []int) []string {
+	out := make([]string, len(items))
+	for i := range items {
+		out[i] = fmt.Sprintf("%v|%d", items[i], sups[i])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPaperExampleAllModes(t *testing.T) {
+	d := dataset.PaperExample()
+	for _, mode := range []string{"", "row", "feature"} {
+		for _, minsup := range []int{1, 2, 3} {
+			res, err := Mine(d, Options{MinSup: minsup, ForceMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			items, sups := reference.ClosedSets(d, minsup)
+			if got, want := keys(res.Patterns), refKeys(items, sups); !reflect.DeepEqual(got, want) {
+				t.Fatalf("mode=%q minsup=%d:\n got %v\nwant %v", mode, minsup, got, want)
+			}
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	d := dataset.PaperExample()
+	if _, err := Mine(d, Options{MinSup: 0}); err == nil {
+		t.Fatal("MinSup 0 accepted")
+	}
+	if _, err := Mine(d, Options{MinSup: 1, ForceMode: "sideways"}); err == nil {
+		t.Fatal("bad ForceMode accepted")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	res, err := Mine(&dataset.Dataset{ClassNames: []string{"x"}}, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Fatal("patterns from empty dataset")
+	}
+}
+
+func TestModeStatsAccounted(t *testing.T) {
+	d := dataset.PaperExample()
+	row, err := Mine(d, Options{MinSup: 2, ForceMode: "row"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RowNodes == 0 || row.FeatureNodes != 0 {
+		t.Fatalf("forced row mode counted %d row / %d feature nodes", row.RowNodes, row.FeatureNodes)
+	}
+	feat, err := Mine(d, Options{MinSup: 2, ForceMode: "feature"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feat.FeatureNodes == 0 {
+		t.Fatal("forced feature mode counted no feature nodes")
+	}
+}
+
+func TestEstimatesSane(t *testing.T) {
+	m := &miner{opt: Options{MinSup: 2}}
+	if m.estimateRow(10) != pow2(9) {
+		t.Fatalf("estimateRow(10) = %v", m.estimateRow(10))
+	}
+	if m.estimateRow(1) != 1 {
+		t.Fatalf("estimateRow(1) = %v", m.estimateRow(1))
+	}
+	if pow2(70) != 1e18 {
+		t.Fatal("pow2 overflow guard missing")
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 2 + rng.Intn(7)
+	numItems := 3 + rng.Intn(7)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"only"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: dynamic and both forced modes all equal the oracle.
+func TestPropertyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for iter := 0; iter < 150; iter++ {
+		d := randomDataset(rng)
+		minsup := 1 + rng.Intn(3)
+		items, sups := reference.ClosedSets(d, minsup)
+		want := refKeys(items, sups)
+		for _, mode := range []string{"", "row", "feature"} {
+			res, err := Mine(d, Options{MinSup: minsup, ForceMode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := keys(res.Patterns); !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d mode=%q minsup=%d:\n got %v\nwant %v\nrows %+v",
+					iter, mode, minsup, got, want, d.Rows)
+			}
+		}
+	}
+}
+
+// On a row-light/column-heavy dataset the estimator must route at least
+// part of the search through row enumeration.
+func TestDynamicPrefersRowsWhenShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lists := make([][]dataset.Item, 5)
+	classes := make([]int, 5)
+	for i := range lists {
+		for it := 0; it < 40; it++ {
+			if rng.Float64() < 0.6 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, 40, []string{"only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(d, Options{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowNodes == 0 {
+		t.Fatalf("dynamic mode never used row enumeration on a 5×40 table (feature nodes: %d)",
+			res.FeatureNodes)
+	}
+}

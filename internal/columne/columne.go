@@ -1,0 +1,244 @@
+// Package columne implements the ColumnE baseline of the paper's
+// experiments: a Bayardo/Agrawal-style interesting-rule miner (SIGKDD 1999)
+// that enumerates the COLUMN (itemset) space depth-first over tidsets,
+// prunes on the anti-monotone rule-support constraint, and keeps one
+// representative rule per interesting rule group.
+//
+// Its search space is the power set of the frequent items, which is why it
+// collapses on microarray data where rows carry thousands of items — the
+// contrast FARMER's row enumeration is designed to exploit. A node budget
+// lets the benchmark harness report "did not finish" runs the way the
+// paper's plots cut off the slow baselines.
+package columne
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Rule is one interesting rule (a representative of its rule group).
+type Rule struct {
+	Antecedent []dataset.Item
+	Rows       *bitset.Set // R(Antecedent)
+	SupPos     int
+	SupNeg     int
+	Confidence float64
+	Chi        float64
+}
+
+// Options configures a ColumnE run.
+type Options struct {
+	// MinSup is the minimum rule support |R(A ∪ C)|, ≥ 1.
+	MinSup int
+	// MinConf is the minimum confidence in [0,1].
+	MinConf float64
+	// MinChi is the minimum chi-square value; 0 disables.
+	MinChi float64
+	// MaxNodes, when > 0, aborts enumeration with ErrBudget after that many
+	// nodes.
+	MaxNodes int64
+}
+
+// ErrBudget reports that the node budget was exhausted before completion.
+var ErrBudget = fmt.Errorf("columne: node budget exhausted")
+
+// Result carries the mined rules and search statistics.
+type Result struct {
+	Rules []Rule
+	Nodes int64
+}
+
+// Mine enumerates column combinations and returns one rule per interesting
+// rule group with the given consequent.
+func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	if opt.MinSup < 1 {
+		return nil, fmt.Errorf("columne: MinSup must be >= 1, got %d", opt.MinSup)
+	}
+	if opt.MinConf < 0 || opt.MinConf > 1 {
+		return nil, fmt.Errorf("columne: MinConf %v outside [0,1]", opt.MinConf)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if consequent < 0 || consequent >= d.NumClasses() {
+		return nil, fmt.Errorf("columne: consequent %d outside [0,%d)", consequent, d.NumClasses())
+	}
+
+	n := len(d.Rows)
+	posMask := bitset.New(n)
+	for ri := range d.Rows {
+		if d.Rows[ri].Class == consequent {
+			posMask.Set(ri)
+		}
+	}
+	m := &miner{
+		d:       d,
+		opt:     opt,
+		n:       n,
+		numPos:  posMask.Count(),
+		posMask: posMask,
+		byHash:  map[uint64][]int{},
+	}
+
+	// Frequent single items by positive support, ascending-support order.
+	tt := dataset.Transpose(d)
+	var singles []extension
+	for it, list := range tt.Lists {
+		tid := bitset.New(n)
+		for _, r := range list {
+			tid.Set(int(r))
+		}
+		pos := tid.AndCount(posMask)
+		if pos < opt.MinSup {
+			continue
+		}
+		singles = append(singles, extension{item: dataset.Item(it), tids: tid})
+	}
+	sort.Slice(singles, func(i, j int) bool {
+		si, sj := singles[i].tids.Count(), singles[j].tids.Count()
+		if si != sj {
+			return si < sj
+		}
+		return singles[i].item < singles[j].item
+	})
+	if err := m.expand(nil, nil, singles); err != nil {
+		return nil, err
+	}
+	m.finish()
+	return &Result{Rules: m.kept, Nodes: m.nodes}, nil
+}
+
+type extension struct {
+	item dataset.Item
+	tids *bitset.Set
+}
+
+type candidate struct {
+	items  []dataset.Item
+	rows   *bitset.Set
+	supPos int
+	tot    int
+}
+
+type miner struct {
+	d       *dataset.Dataset
+	opt     Options
+	n       int
+	numPos  int
+	posMask *bitset.Set
+	nodes   int64
+
+	// One candidate per distinct row set (rule group); interestingness is
+	// resolved after enumeration.
+	cands  []candidate
+	byHash map[uint64][]int
+	kept   []Rule
+}
+
+// expand grows the current antecedent by each viable extension in turn.
+func (m *miner) expand(items []dataset.Item, tids *bitset.Set, exts []extension) error {
+	for i, e := range exts {
+		m.nodes++
+		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
+			return ErrBudget
+		}
+		var cur *bitset.Set
+		if tids == nil {
+			cur = e.tids
+		} else {
+			cur = tids.Clone()
+			cur.And(e.tids)
+		}
+		pos := cur.AndCount(m.posMask)
+		if pos < m.opt.MinSup {
+			continue // anti-monotone: no superset can recover support
+		}
+		cand := append(append([]dataset.Item(nil), items...), e.item)
+		m.record(cand, cur, pos)
+		// Children reuse the later extensions (set-enumeration tree).
+		if err := m.expand(cand, cur, exts[i+1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record keeps one candidate per rule group (distinct row set), preferring
+// the first antecedent encountered.
+func (m *miner) record(items []dataset.Item, rows *bitset.Set, pos int) {
+	tot := rows.Count()
+	conf := float64(pos) / float64(tot)
+	if conf < m.opt.MinConf {
+		return
+	}
+	if m.opt.MinChi > 0 && stats.Chi2(tot, pos, m.n, m.numPos) < m.opt.MinChi {
+		return
+	}
+	h := rows.Hash()
+	for _, idx := range m.byHash[h] {
+		if m.cands[idx].rows.Equal(rows) {
+			return // group already represented
+		}
+	}
+	m.byHash[h] = append(m.byHash[h], len(m.cands))
+	sorted := append([]dataset.Item(nil), items...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	m.cands = append(m.cands, candidate{items: sorted, rows: rows.Clone(), supPos: pos, tot: tot})
+}
+
+// finish applies the interestingness filter: a rule survives iff no rule of
+// a strictly more general group (proper superset row set) has confidence ≥
+// its own. Candidates are processed most-general-first so the kept set is
+// exactly the interesting groups.
+func (m *miner) finish() {
+	order := make([]int, len(m.cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return m.cands[order[a]].rows.Count() > m.cands[order[b]].rows.Count()
+	})
+	var keptIdx []int
+	for _, ci := range order {
+		c := &m.cands[ci]
+		interesting := true
+		for _, ki := range keptIdx {
+			k := &m.cands[ki]
+			if k.rows.ProperSupersetOf(c.rows) &&
+				int64(k.supPos)*int64(c.tot) >= int64(c.supPos)*int64(k.tot) {
+				interesting = false
+				break
+			}
+		}
+		if interesting {
+			keptIdx = append(keptIdx, ci)
+		}
+	}
+	sort.Slice(keptIdx, func(a, b int) bool {
+		return lessItems(m.cands[keptIdx[a]].items, m.cands[keptIdx[b]].items)
+	})
+	for _, ci := range keptIdx {
+		c := &m.cands[ci]
+		m.kept = append(m.kept, Rule{
+			Antecedent: c.items,
+			Rows:       c.rows,
+			SupPos:     c.supPos,
+			SupNeg:     c.tot - c.supPos,
+			Confidence: float64(c.supPos) / float64(c.tot),
+			Chi:        stats.Chi2(c.tot, c.supPos, m.n, m.numPos),
+		})
+	}
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

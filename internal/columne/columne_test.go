@@ -1,0 +1,142 @@
+package columne
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ruleKeys renders rules as (rowset, supPos, supNeg) — the group identity —
+// since ColumnE picks an arbitrary member antecedent per group.
+func ruleKeys(rules []Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = fmt.Sprintf("%v|%d|%d", r.Rows.Ints(), r.SupPos, r.SupNeg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func farmerKeys(res *core.Result) []string {
+	out := make([]string, len(res.Groups))
+	for i, g := range res.Groups {
+		out[i] = fmt.Sprintf("%v|%d|%d", g.Rows, g.SupPos, g.SupNeg)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColumnE must find exactly the same rule groups as FARMER (one
+// representative each) on the paper example across constraint settings.
+func TestAgreesWithFARMEROnPaperExample(t *testing.T) {
+	d := dataset.PaperExample()
+	cases := []struct {
+		minsup  int
+		minconf float64
+		minchi  float64
+	}{
+		{1, 0, 0}, {2, 0, 0}, {1, 0.7, 0}, {1, 0.9, 0}, {2, 0.5, 1.0},
+	}
+	for _, c := range cases {
+		got, err := Mine(d, 0, Options{MinSup: c.minsup, MinConf: c.minconf, MinChi: c.minchi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Mine(d, 0, core.Options{MinSup: c.minsup, MinConf: c.minconf, MinChi: c.minchi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := ruleKeys(got.Rules), farmerKeys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("case %+v:\ncolumne %v\nfarmer  %v", c, g, w)
+		}
+	}
+}
+
+// Every reported rule's antecedent must actually select the reported rows.
+func TestRuleAntecedentsConsistent(t *testing.T) {
+	d := dataset.PaperExample()
+	res, err := Mine(d, 0, Options{MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if !dataset.SupportSet(d, r.Antecedent).Equal(r.Rows) {
+			t.Fatalf("rule %v rows mismatch", r.Antecedent)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	d := dataset.PaperExample()
+	if _, err := Mine(d, 0, Options{MinSup: 0}); err == nil {
+		t.Fatal("MinSup 0 accepted")
+	}
+	if _, err := Mine(d, 0, Options{MinSup: 1, MinConf: 2}); err == nil {
+		t.Fatal("MinConf 2 accepted")
+	}
+	if _, err := Mine(d, 9, Options{MinSup: 1}); err == nil {
+		t.Fatal("bad consequent accepted")
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	d := dataset.PaperExample()
+	_, err := Mine(d, 0, Options{MinSup: 1, MaxNodes: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 3 + rng.Intn(6)
+	numItems := 4 + rng.Intn(6)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+		classes[i] = rng.Intn(2)
+	}
+	classes[0] = 0
+	if n > 1 {
+		classes[1] = 1
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"C", "N"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: ColumnE and FARMER agree on the set of interesting rule groups
+// across random datasets and constraints.
+func TestPropertyAgreesWithFARMER(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 200; iter++ {
+		d := randomDataset(rng)
+		minsup := 1 + rng.Intn(2)
+		minconf := []float64{0, 0.4, 0.8}[rng.Intn(3)]
+		minchi := []float64{0, 0.5}[rng.Intn(2)]
+		got, err := Mine(d, 0, Options{MinSup: minsup, MinConf: minconf, MinChi: minchi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := core.Mine(d, 0, core.Options{MinSup: minsup, MinConf: minconf, MinChi: minchi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g, w := ruleKeys(got.Rules), farmerKeys(want); !reflect.DeepEqual(g, w) {
+			t.Fatalf("iter %d (minsup=%d minconf=%v minchi=%v):\ncolumne %v\nfarmer  %v\nrows %+v",
+				iter, minsup, minconf, minchi, g, w, d.Rows)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+	"repro/internal/stats"
+)
+
+func TestExtensionOptionValidation(t *testing.T) {
+	d := dataset.PaperExample()
+	cases := []Options{
+		{MinSup: 1, MinLift: -1},
+		{MinSup: 1, MinConviction: -0.5},
+		{MinSup: 1, MinEntropyGain: 1.5},
+		{MinSup: 1, MinEntropyGain: -0.1},
+		{MinSup: 1, MinGiniGain: 0.6},
+	}
+	for i, opt := range cases {
+		if _, err := Mine(d, 0, opt); err == nil {
+			t.Errorf("case %d: invalid extension options accepted", i)
+		}
+	}
+}
+
+// Every emitted group satisfies every enabled measure threshold.
+func TestExtensionConstraintsRespected(t *testing.T) {
+	d := dataset.PaperExample()
+	opt := Options{
+		MinSup: 1, MinLift: 1.2, MinConviction: 1.5,
+		MinEntropyGain: 0.05, MinGiniGain: 0.02,
+	}
+	res := mustMine(t, d, 0, opt)
+	for _, g := range res.Groups {
+		x, y := g.SupPos+g.SupNeg, g.SupPos
+		if lift := stats.Lift(x, y, res.NumRows, res.NumPos); lift < opt.MinLift {
+			t.Fatalf("group %v lift %v < %v", g.Antecedent, lift, opt.MinLift)
+		}
+		if conv := stats.Conviction(x, y, res.NumRows, res.NumPos); conv < opt.MinConviction {
+			t.Fatalf("group %v conviction %v < %v", g.Antecedent, conv, opt.MinConviction)
+		}
+		if eg := stats.EntropyGain(x, y, res.NumRows, res.NumPos); eg < opt.MinEntropyGain {
+			t.Fatalf("group %v entropy gain %v < %v", g.Antecedent, eg, opt.MinEntropyGain)
+		}
+		if gg := stats.GiniGain(x, y, res.NumRows, res.NumPos); gg < opt.MinGiniGain {
+			t.Fatalf("group %v gini gain %v < %v", g.Antecedent, gg, opt.MinGiniGain)
+		}
+	}
+}
+
+// Property: mining with the footnote-3 constraints matches the oracle on
+// random datasets.
+func TestPropertyExtensionMeasuresAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3040506))
+	for iter := 0; iter < 250; iter++ {
+		d := randomDataset(rng)
+		consequent := rng.Intn(2)
+		c := reference.Constraints{
+			MinSup:         1 + rng.Intn(2),
+			MinConf:        []float64{0, 0.4}[rng.Intn(2)],
+			MinChi:         []float64{0, 0.5}[rng.Intn(2)],
+			MinLift:        []float64{0, 1.1, 1.5}[rng.Intn(3)],
+			MinConviction:  []float64{0, 1.2}[rng.Intn(2)],
+			MinEntropyGain: []float64{0, 0.05}[rng.Intn(2)],
+			MinGiniGain:    []float64{0, 0.03}[rng.Intn(2)],
+		}
+		opt := Options{
+			MinSup: c.MinSup, MinConf: c.MinConf, MinChi: c.MinChi,
+			MinLift: c.MinLift, MinConviction: c.MinConviction,
+			MinEntropyGain: c.MinEntropyGain, MinGiniGain: c.MinGiniGain,
+		}
+		res, err := Mine(d, consequent, opt)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want := reference.IRGsConstrained(d, consequent, c)
+		if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+			t.Fatalf("iter %d (constraints %+v, consequent %d):\nFARMER %v\noracle %v\nrows %+v",
+				iter, c, consequent, got, exp, d.Rows)
+		}
+	}
+}
+
+// Property: the extension-measure prunings never change results when
+// pruning 3 is disabled versus enabled.
+func TestPropertyExtensionPruningInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for iter := 0; iter < 80; iter++ {
+		d := randomDataset(rng)
+		opt := Options{MinSup: 1, MinLift: 1.2, MinEntropyGain: 0.04, MinGiniGain: 0.02, MinConviction: 1.1}
+		with := mustMine(t, d, 0, opt)
+		opt.DisablePruning3 = true
+		without := mustMine(t, d, 0, opt)
+		if !reflect.DeepEqual(coreKeys(with), coreKeys(without)) {
+			t.Fatalf("iter %d: extension pruning changed results", iter)
+		}
+	}
+}
+
+// The gain bounds must actually fire somewhere (otherwise the counters and
+// code paths are dead).
+func TestGainPruningFires(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1, MinEntropyGain: 0.9})
+	if len(res.Groups) != 0 {
+		t.Fatalf("entropy gain 0.9 should eliminate every group on 5 rows, got %d", len(res.Groups))
+	}
+	if res.Stats.PrunedGainBound == 0 {
+		t.Fatal("gain bound never pruned")
+	}
+}

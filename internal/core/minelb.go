@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// mineLB wraps MineLowerBounds for the miner's reordered dataset.
+func (m *miner) mineLB(a []dataset.Item, rowSet *bitset.Set) ([][]dataset.Item, bool) {
+	return MineLowerBounds(m.ds, a, rowSet, m.opt.MaxLowerBounds)
+}
+
+// MineLowerBounds implements MineLB (Figure 9): given the antecedent A of a
+// rule group's upper bound and its row support set R(A) over d, it returns
+// the group's lower bounds — the minimal itemsets L ⊆ A with R(L) = R(A).
+//
+// The incremental scheme of Lemma 3.10 is used: the current lower-bound
+// collection Γ is updated for each maximal proper intersection I(r) ∩ A
+// over the rows r outside R(A) (Lemma 3.11 lets non-maximal intersections
+// be skipped). Lower bounds are encoded as bitsets over positions of A.
+//
+// When maxLB > 0 and the collection exceeds maxLB, expansion stops and the
+// second return value reports truncation; a truncated list is a subset of
+// the true lower bounds only up to the last fully processed intersection.
+func MineLowerBounds(d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, maxLB int) ([][]dataset.Item, bool) {
+	k := len(a)
+	if k == 0 {
+		return nil, false
+	}
+	posOf := make(map[dataset.Item]int, k)
+	for i, it := range a {
+		posOf[it] = i
+	}
+
+	// Step 2 of Figure 9: collect the distinct maximal intersections.
+	var sigma []*bitset.Set
+	for ri := range d.Rows {
+		if rowSet.Test(ri) {
+			continue
+		}
+		s := bitset.New(k)
+		for _, it := range d.Rows[ri].Items {
+			if p, ok := posOf[it]; ok {
+				s.Set(p)
+			}
+		}
+		// s ⊊ A holds: a row containing all of A would be in R(A).
+		sigma = insertMaximal(sigma, s)
+	}
+
+	// Step 1: initialize Γ with the singletons of A.
+	gamma := make([]*bitset.Set, k)
+	for i := range gamma {
+		gamma[i] = bitset.FromInts(k, i)
+	}
+
+	// Step 3: incremental update per added closed set.
+	truncated := false
+	for _, ap := range sigma {
+		var g1, g2 []*bitset.Set
+		for _, l := range gamma {
+			if l.SubsetOf(ap) {
+				g1 = append(g1, l)
+			} else {
+				g2 = append(g2, l)
+			}
+		}
+		if len(g1) == 0 {
+			continue // A' covers no current lower bound: Γ unchanged
+		}
+		// Candidates: l1 ∪ {i} for l1 ∈ Γ1 and i ∈ A − A'.
+		seen := map[uint64][]*bitset.Set{}
+		var cands []*bitset.Set
+		for _, l1 := range g1 {
+			for i := 0; i < k; i++ {
+				if ap.Test(i) {
+					continue
+				}
+				c := l1.Clone()
+				c.Set(i)
+				h := c.Hash()
+				dup := false
+				for _, prev := range seen[h] {
+					if prev.Equal(c) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					seen[h] = append(seen[h], c)
+					cands = append(cands, c)
+				}
+			}
+		}
+		// Keep candidates that cover neither a Γ2 bound nor another
+		// candidate.
+		gamma = g2
+		for ci, c := range cands {
+			ok := true
+			for _, l2 := range g2 {
+				if l2.SubsetOf(c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for cj, other := range cands {
+					if cj != ci && other.SubsetOf(c) && !other.Equal(c) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				gamma = append(gamma, c)
+			}
+		}
+		if maxLB > 0 && len(gamma) > maxLB {
+			gamma = gamma[:maxLB]
+			truncated = true
+			break
+		}
+	}
+
+	out := make([][]dataset.Item, len(gamma))
+	for i, l := range gamma {
+		items := make([]dataset.Item, 0, l.Count())
+		l.ForEach(func(p int) { items = append(items, a[p]) })
+		out[i] = items
+	}
+	sort.Slice(out, func(x, y int) bool { return lessItems(out[x], out[y]) })
+	return out, truncated
+}
+
+// insertMaximal adds s to the antichain sets, dropping s if it is a subset
+// of an existing element and dropping existing elements that are subsets of
+// s. Duplicates collapse.
+func insertMaximal(sets []*bitset.Set, s *bitset.Set) []*bitset.Set {
+	for _, t := range sets {
+		if s.SubsetOf(t) {
+			return sets // covered (or equal): contributes nothing (Lemma 3.11)
+		}
+	}
+	out := sets[:0]
+	for _, t := range sets {
+		if !t.SubsetOf(s) {
+			out = append(out, t)
+		}
+	}
+	return append(out, s)
+}
+
+// lessItems orders item slices lexicographically, shorter-first on ties.
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

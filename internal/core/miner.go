@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Mine runs FARMER over d for the given consequent class and returns the
+// interesting rule groups satisfying opt's constraints. Row ids in the
+// result refer to d's original row order.
+func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if consequent < 0 || consequent >= d.NumClasses() {
+		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
+	}
+
+	ordered, ord := dataset.OrderForConsequent(d, consequent)
+	m := newMiner(ordered, ord.NumPositive, opt)
+	m.run()
+
+	res := &Result{
+		Consequent: consequent,
+		NumRows:    len(ordered.Rows),
+		NumPos:     ord.NumPositive,
+		Stats:      m.stats,
+	}
+	for i := range m.groups {
+		e := &m.groups[i]
+		g := RuleGroup{
+			Antecedent: e.items,
+			SupPos:     e.supPos,
+			SupNeg:     e.tot - e.supPos,
+			Confidence: float64(e.supPos) / float64(e.tot),
+			Chi:        e.chi,
+			Rows:       ord.MapRowsToOriginal(e.rows.Ints()),
+		}
+		sort.Ints(g.Rows)
+		if opt.ComputeLowerBounds {
+			g.LowerBounds, g.Truncated = m.mineLB(e.items, e.rows)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	return res, nil
+}
+
+// tuple is one row of a conditional transposed table: an item together with
+// the enumeration-candidate rows it contains at the current node. The slice
+// is a view into an ancestor's storage and is never mutated.
+type tuple struct {
+	item dataset.Item
+	rows []int32
+}
+
+type miner struct {
+	ds     *dataset.Dataset
+	tt     *dataset.Transposed
+	numPos int // m: rows with the consequent class (ids [0, numPos))
+	n      int
+	opt    Options
+
+	// inX marks rows in X ∪ Yacc along the current path: the exclusion set
+	// of the back scan and, at step 7, exactly R(I(X)) (see DESIGN.md).
+	inX *bitset.Set
+
+	// epoch-stamped per-row scratch counters (shared by the candidate scan
+	// and the back scan; each pass bumps the epoch instead of clearing).
+	cnt   []int32
+	stamp []uint32
+	epoch uint32
+
+	// skipChildren turns a mineNode call into emission-only (no step 6),
+	// used by MineParallel's singleton tasks.
+	skipChildren bool
+
+	groups []irgEntry
+	stats  Stats
+}
+
+func newMiner(d *dataset.Dataset, numPos int, opt Options) *miner {
+	n := len(d.Rows)
+	return &miner{
+		ds:     d,
+		tt:     dataset.Transpose(d),
+		numPos: numPos,
+		n:      n,
+		opt:    opt,
+		inX:    bitset.New(n),
+		cnt:    make([]int32, n),
+		stamp:  make([]uint32, n),
+	}
+}
+
+// run enumerates the children of the (virtual) root: one node per row, in
+// ORD order. The root itself corresponds to X = ∅ and emits no rule.
+func (m *miner) run() {
+	if m.n == 0 || m.numPos == 0 {
+		return
+	}
+	for ri := 0; ri < m.n; ri++ {
+		row := &m.ds.Rows[ri]
+		tuples := make([]tuple, 0, len(row.Items))
+		for _, it := range row.Items {
+			list := m.tt.Lists[it]
+			// Candidate rows of this tuple: global occurrences after ri.
+			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
+			tuples = append(tuples, tuple{item: it, rows: list[k:]})
+		}
+		supp, supn := 0, 0
+		if ri < m.numPos {
+			supp = 1
+		} else {
+			supn = 1
+		}
+		epCount := m.numPos - ri - 1 // positive candidates after ri
+		if epCount < 0 {
+			epCount = 0
+		}
+		m.inX.Set(ri)
+		m.mineNode(tuples, supp, supn, epCount, ri)
+		m.inX.Clear(ri)
+	}
+}
+
+// mineNode is MineIRGs of Figure 5 for the node whose row combination is
+// recorded in m.inX (X plus rows absorbed by pruning 1 on the path). tuples
+// is the X-conditional transposed table, supp/supn the counts of identified
+// rows containing I(X)∪C and I(X)∪¬C, epCount the number of positive
+// enumeration candidates, and rmax the largest explicitly chosen row id.
+func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
+	m.stats.NodesVisited++
+	if len(tuples) == 0 {
+		return // I(X) = ∅: no rule here and no deeper candidates
+	}
+
+	// Step 1 — pruning strategy 2 (back scan, Lemma 3.6).
+	emitOK := true
+	if m.backScanHit(tuples, rmax) {
+		if !m.opt.DisablePruning2 {
+			m.stats.PrunedBackScan++
+			return
+		}
+		// Ablation mode: keep traversing, but this node's group was (or
+		// will be) found at its compressed twin; emitting here would
+		// report a wrong row set.
+		emitOK = false
+	}
+
+	// Step 2 — pruning strategy 3, loose bounds (before scanning).
+	if !m.opt.DisablePruning3 {
+		us2 := supp + epCount
+		if us2 < m.opt.MinSup {
+			m.stats.PrunedLooseBound++
+			return
+		}
+		if m.opt.needsConfBound() {
+			if uc2 := float64(us2) / float64(us2+supn); m.confBoundFails(uc2) {
+				m.stats.PrunedLooseBound++
+				return
+			}
+		}
+	}
+
+	// Step 3 — scan the conditional table: per-candidate occurrence counts,
+	// the U set (rows in ≥1 tuple), the Y set (rows in every tuple), and
+	// the per-tuple positive-candidate maximum for Us1.
+	m.epoch++
+	ntup := int32(len(tuples))
+	maxPosInTuple := 0
+	for _, t := range tuples {
+		if len(t.rows) == 0 {
+			continue
+		}
+		// Candidates are sorted with positives (< numPos) first.
+		if pos := sort.Search(len(t.rows), func(i int) bool { return t.rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
+			maxPosInTuple = pos
+		}
+		for _, r := range t.rows {
+			if m.stamp[r] != m.epoch {
+				m.stamp[r] = m.epoch
+				m.cnt[r] = 0
+			}
+			m.cnt[r]++
+		}
+	}
+
+	// Classify the union U into Y (in every tuple) and E' = U − Y.
+	// With pruning 1 disabled, Y rows stay ordinary candidates, the node's
+	// counts exclude them, and the node must not emit: its row set is not
+	// closed, and the fully explicit descendant will report the group.
+	var eRows []int32
+	var yRows []int32
+	yPos, yNeg := 0, 0
+	for _, t := range tuples {
+		for _, r := range t.rows {
+			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+				continue // already classified
+			}
+			if m.cnt[r] == ntup {
+				if m.opt.DisablePruning1 {
+					emitOK = false
+					eRows = append(eRows, r)
+				} else {
+					yRows = append(yRows, r)
+					if int(r) < m.numPos {
+						yPos++
+					} else {
+						yNeg++
+					}
+				}
+			} else {
+				eRows = append(eRows, r)
+			}
+			m.cnt[r] = -1 // classified
+		}
+	}
+	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+
+	m.stats.RowsAbsorbed += int64(len(yRows))
+	suppIn := supp // γ'.sup plus this node's chosen row, per the Us1 formula
+	supp += yPos
+	supn += yNeg
+
+	// Step 4 — pruning strategy 3, tight bounds (after scanning).
+	if !m.opt.DisablePruning3 {
+		us1 := suppIn + maxPosInTuple
+		if us1 < m.opt.MinSup {
+			m.stats.PrunedTightBound++
+			return
+		}
+		if m.opt.needsConfBound() {
+			if uc1 := float64(us1) / float64(us1+supn); m.confBoundFails(uc1) {
+				m.stats.PrunedTightBound++
+				return
+			}
+		}
+		if m.opt.MinChi > 0 {
+			if stats.Chi2UpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinChi {
+				m.stats.PrunedChiBound++
+				return
+			}
+		}
+		if m.opt.MinEntropyGain > 0 {
+			if stats.EntropyGainUpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinEntropyGain {
+				m.stats.PrunedGainBound++
+				return
+			}
+		}
+		if m.opt.MinGiniGain > 0 {
+			if stats.GiniGainUpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinGiniGain {
+				m.stats.PrunedGainBound++
+				return
+			}
+		}
+	}
+
+	// Step 5 — pruning strategy 1: absorb Y into the node's row set and
+	// drop it from every tuple's candidate list (Lemma 3.5).
+	for _, r := range yRows {
+		m.inX.Set(int(r))
+	}
+	cleaned := make([][]int32, len(tuples))
+	if len(yRows) == 0 {
+		for i := range tuples {
+			cleaned[i] = tuples[i].rows
+		}
+	} else {
+		sort.Slice(yRows, func(a, b int) bool { return yRows[a] < yRows[b] })
+		total := 0
+		for i := range tuples {
+			total += len(tuples[i].rows) - len(yRows) // Y is in every tuple
+		}
+		backing := make([]int32, 0, total)
+		for i := range tuples {
+			start := len(backing)
+			yi := 0
+			for _, r := range tuples[i].rows {
+				for yi < len(yRows) && yRows[yi] < r {
+					yi++
+				}
+				if yi < len(yRows) && yRows[yi] == r {
+					continue
+				}
+				backing = append(backing, r)
+			}
+			cleaned[i] = backing[start:len(backing):len(backing)]
+		}
+	}
+
+	// Step 6 — children in ORD order. For each candidate r, the child's
+	// tuples are exactly the tuples containing r, with candidate rows > r
+	// (Lemma 3.3). The tuple lists per candidate are laid out in one flat
+	// counted array; candidate positions come from binary search in the
+	// sorted eRows (candidate counts are tiny compared to tuple counts).
+	if len(eRows) > 0 && !m.skipChildren {
+		posOf := func(r int32) int {
+			return sort.Search(len(eRows), func(i int) bool { return eRows[i] >= r })
+		}
+		counts := make([]int32, len(eRows)+1)
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				counts[posOf(r)+1]++
+			}
+		}
+		for i := 1; i <= len(eRows); i++ {
+			counts[i] += counts[i-1]
+		}
+		flat := make([]int32, counts[len(eRows)])
+		fill := make([]int32, len(eRows))
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				p := posOf(r)
+				flat[int(counts[p])+int(fill[p])] = int32(ti)
+				fill[p]++
+			}
+		}
+		posBoundary := sort.Search(len(eRows), func(i int) bool { return eRows[i] >= int32(m.numPos) })
+		childBacking := make([]tuple, counts[len(eRows)])
+		for p, r := range eRows {
+			tis := flat[counts[p]:counts[p+1]]
+			child := childBacking[counts[p]:counts[p]:counts[p+1]]
+			for _, ti := range tis {
+				rows := cleaned[ti]
+				k := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
+				child = append(child, tuple{item: tuples[ti].item, rows: rows[k:]})
+			}
+			ca, cb := supp, supn
+			childEp := 0
+			if int(r) < m.numPos {
+				ca++
+				childEp = posBoundary - p - 1
+			} else {
+				cb++
+			}
+			m.inX.Set(int(r))
+			m.mineNode(child, ca, cb, childEp, int(r))
+			m.inX.Clear(int(r))
+		}
+	}
+
+	// Step 7 — check whether I(X) → C is the upper bound of an IRG that
+	// satisfies the constraints, after all descendants (Lemma 3.4).
+	if emitOK {
+		m.maybeEmit(tuples, supp, supn)
+	}
+
+	for _, r := range yRows {
+		m.inX.Clear(int(r))
+	}
+}
+
+// maybeEmit applies the step-7 constraint and interestingness checks for
+// the current node, whose row set R(I(X)) is m.inX.
+func (m *miner) maybeEmit(tuples []tuple, supp, supn int) {
+	if supp < m.opt.MinSup {
+		return
+	}
+	tot := supp + supn
+	conf := float64(supp) / float64(tot)
+	if conf < m.opt.MinConf {
+		return
+	}
+	chi := stats.Chi2(tot, supp, m.n, m.numPos)
+	if m.opt.MinChi > 0 && chi < m.opt.MinChi {
+		return
+	}
+	if m.opt.MinLift > 0 && stats.Lift(tot, supp, m.n, m.numPos) < m.opt.MinLift {
+		return
+	}
+	if m.opt.MinConviction > 0 && stats.Conviction(tot, supp, m.n, m.numPos) < m.opt.MinConviction {
+		return
+	}
+	if m.opt.MinEntropyGain > 0 && stats.EntropyGain(tot, supp, m.n, m.numPos) < m.opt.MinEntropyGain {
+		return
+	}
+	if m.opt.MinGiniGain > 0 && stats.GiniGain(tot, supp, m.n, m.numPos) < m.opt.MinGiniGain {
+		return
+	}
+	// Interestingness: every already-kept group with a subset antecedent —
+	// equivalently a proper superset row set (both sets are closed) — must
+	// have strictly lower confidence. An equal row set means this very
+	// group was already kept.
+	for i := range m.groups {
+		e := &m.groups[i]
+		if e.rows.SupersetOf(m.inX) {
+			if e.rows.Equal(m.inX) {
+				return // duplicate discovery (possible only in ablation modes)
+			}
+			if !confLess(e.supPos, e.tot, supp, tot) {
+				m.stats.GroupsNotInterest++
+				return
+			}
+		}
+	}
+	items := make([]dataset.Item, len(tuples))
+	for i, t := range tuples {
+		items[i] = t.item
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	m.groups = append(m.groups, irgEntry{
+		rows:   m.inX.Clone(),
+		supPos: supp,
+		tot:    tot,
+		items:  items,
+		chi:    chi,
+	})
+	m.stats.GroupsEmitted++
+}
+
+// confBoundFails reports whether a confidence upper bound already violates
+// one of the confidence-monotone constraints (minconf, and through it lift
+// and conviction: both are strictly increasing functions of confidence for
+// fixed margins n, m).
+func (m *miner) confBoundFails(confUB float64) bool {
+	if m.opt.MinConf > 0 && confUB < m.opt.MinConf {
+		return true
+	}
+	if m.opt.MinLift > 0 && confUB*float64(m.n)/float64(m.numPos) < m.opt.MinLift {
+		return true
+	}
+	if m.opt.MinConviction > 0 && confUB < 1 {
+		conv := (1 - float64(m.numPos)/float64(m.n)) / (1 - confUB)
+		if conv < m.opt.MinConviction {
+			return true
+		}
+	}
+	return false
+}
+
+// backScanHit implements the detection of Lemma 3.6: is there a row r0 with
+// r0 < rmax, r0 ∉ X ∪ Yacc, occurring in every tuple of the node? Such a
+// row proves every upper bound below this node was already discovered at an
+// earlier or compressed node. The scan walks the prefixes of the tuples'
+// global row lists (the "back scan" of §3.3).
+func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
+	if len(tuples) == 0 || rmax == 0 {
+		return false
+	}
+	m.epoch++
+	ntup := int32(len(tuples))
+	for ti, t := range tuples {
+		glist := m.tt.Lists[t.item]
+		hitAny := false
+		for _, r := range glist {
+			if int(r) >= rmax {
+				break
+			}
+			if m.inX.Test(int(r)) {
+				continue
+			}
+			if ti == 0 {
+				m.stamp[r] = m.epoch
+				m.cnt[r] = 1
+				if ntup == 1 {
+					return true
+				}
+				hitAny = true
+				continue
+			}
+			if m.stamp[r] == m.epoch && m.cnt[r] == int32(ti) {
+				m.cnt[r]++
+				if m.cnt[r] == ntup {
+					return true
+				}
+				hitAny = true
+			}
+		}
+		if !hitAny {
+			return false // some tuple contributes no surviving prefix row
+		}
+	}
+	return false
+}

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/reference"
+)
+
+func mustMine(t *testing.T, d *dataset.Dataset, consequent int, opt Options) *Result {
+	t.Helper()
+	res, err := Mine(d, consequent, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// groupKey renders a rule group canonically for set comparison.
+func groupKey(ant []dataset.Item, rows []int, supPos, supNeg int) string {
+	return fmt.Sprintf("%v|%v|%d|%d", ant, rows, supPos, supNeg)
+}
+
+func coreKeys(res *Result) []string {
+	keys := make([]string, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		keys = append(keys, groupKey(g.Antecedent, g.Rows, g.SupPos, g.SupNeg))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func refKeys(groups []reference.RuleGroup) []string {
+	keys := make([]string, 0, len(groups))
+	for _, g := range groups {
+		keys = append(keys, groupKey(g.Antecedent, g.Rows, g.SupPos, g.SupNeg))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// The paper's running example, minsup=1 and no other constraints, checked
+// group by group against the brute-force oracle.
+func TestPaperExampleMatchesOracle(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	want := reference.IRGs(d, 0, 1, 0, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("FARMER disagrees with oracle:\n got %v\nwant %v", got, exp)
+	}
+}
+
+// Example 2: the rule group {e,h,ae,ah,eh,aeh} → C has upper bound aeh,
+// rows {r2,r3,r4}, support 2 and confidence 2/3; its lower bounds are e, h.
+// (It is a rule group but NOT an interesting one: its subset group a → C
+// has confidence 3/4 ≥ 2/3, so FARMER correctly suppresses it; we check the
+// group itself through the rule-group universe and MineLowerBounds.)
+func TestPaperExample2RuleGroup(t *testing.T) {
+	d := dataset.PaperExample()
+	var found *reference.RuleGroup
+	for _, g := range reference.AllRuleGroups(d, 0) {
+		if dataset.StringFromItems(g.Antecedent) == "aeh" {
+			gg := g
+			found = &gg
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("rule group aeh not in the rule-group universe")
+	}
+	if !reflect.DeepEqual(found.Rows, []int{1, 2, 3}) {
+		t.Fatalf("rows = %v, want [1 2 3]", found.Rows)
+	}
+	if found.SupPos != 2 || found.SupNeg != 1 {
+		t.Fatalf("sup = %d/%d, want 2/1", found.SupPos, found.SupNeg)
+	}
+	if math.Abs(found.Confidence-2.0/3) > 1e-12 {
+		t.Fatalf("conf = %v, want 2/3", found.Confidence)
+	}
+	ant := dataset.ItemsFromString("aeh")
+	lb, truncated := MineLowerBounds(d, ant, dataset.SupportSet(d, ant), 0)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	var lbs []string
+	for _, l := range lb {
+		lbs = append(lbs, dataset.StringFromItems(l))
+	}
+	sort.Strings(lbs)
+	if !reflect.DeepEqual(lbs, []string{"e", "h"}) {
+		t.Fatalf("lower bounds = %v, want [e h]", lbs)
+	}
+	// And FARMER must suppress aeh as uninteresting.
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	for _, g := range res.Groups {
+		if dataset.StringFromItems(g.Antecedent) == "aeh" {
+			t.Fatal("uninteresting group aeh emitted")
+		}
+	}
+}
+
+// Example 5/6 consequences: with pruning enabled the back scan fires on the
+// paper example (node {3,4} repeats node {2,3}).
+func TestPaperExampleBackScanFires(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	if res.Stats.PrunedBackScan == 0 {
+		t.Fatal("back-scan pruning never fired on the paper example")
+	}
+}
+
+// Example 6: minconf = 95% prunes the subtree under node {1,3,4} (rule
+// a → C at confidence 0.75): the only surviving IRGs have conf ≥ 0.95.
+func TestPaperExample6ConfidencePruning(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1, MinConf: 0.95})
+	for _, g := range res.Groups {
+		if g.Confidence < 0.95 {
+			t.Fatalf("group %v below minconf: %v", g.Antecedent, g.Confidence)
+		}
+	}
+	want := reference.IRGs(d, 0, 1, 0.95, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("minconf mining disagrees with oracle:\n got %v\nwant %v", got, exp)
+	}
+}
+
+// Interestingness: a more specific rule with no confidence gain over a more
+// general one must be suppressed.
+func TestInterestingnessSuppression(t *testing.T) {
+	// Rows: ab→C twice, a→C once, and a ¬C row with b only.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0, 1}, {0, 1}, {0}, {1}},
+		[]int{0, 0, 0, 1},
+		2, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	want := reference.IRGs(d, 0, 1, 0, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("disagrees with oracle:\n got %v\nwant %v", got, exp)
+	}
+	// {a} has conf 1.0 (rows 0,1,2 all C); {a,b} has conf 1.0 too and a ⊂ ab,
+	// so ab must be suppressed.
+	for _, g := range res.Groups {
+		if len(g.Antecedent) == 2 {
+			t.Fatalf("uninteresting group %v emitted", g.Antecedent)
+		}
+	}
+}
+
+// Example 7 (MineLB): A = abcde with outside rows abcf and cdeg gives lower
+// bounds {ad, ae, bd, be}.
+func TestMineLBPaperExample7(t *testing.T) {
+	// Items a..g = 0..6. Row 0 carries the full antecedent.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{
+			{0, 1, 2, 3, 4}, // abcde
+			{0, 1, 2, 5},    // abcf
+			{2, 3, 4, 6},    // cdeg
+		},
+		[]int{0, 1, 1},
+		7, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []dataset.Item{0, 1, 2, 3, 4}
+	rows := dataset.SupportSet(d, a)
+	got, truncated := MineLowerBounds(d, a, rows, 0)
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	var names []string
+	for _, lb := range got {
+		names = append(names, dataset.StringFromItems(lb))
+	}
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"ad", "ae", "bd", "be"}) {
+		t.Fatalf("lower bounds = %v, want [ad ae bd be]", names)
+	}
+}
+
+func TestMineLBNoOutsideRows(t *testing.T) {
+	// Every row contains A: lower bounds are the singletons.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0, 1}, {0, 1, 2}},
+		[]int{0, 0}, 3, []string{"C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []dataset.Item{0, 1}
+	got, _ := MineLowerBounds(d, a, dataset.SupportSet(d, a), 0)
+	if len(got) != 2 || len(got[0]) != 1 || len(got[1]) != 1 {
+		t.Fatalf("lower bounds = %v, want singletons", got)
+	}
+}
+
+func TestMineLBEmptyAntecedent(t *testing.T) {
+	d := dataset.PaperExample()
+	got, truncated := MineLowerBounds(d, nil, dataset.SupportSet(d, nil), 0)
+	if got != nil || truncated {
+		t.Fatal("empty antecedent should yield no bounds")
+	}
+}
+
+func TestMineLBTruncation(t *testing.T) {
+	// Build an antecedent whose lower bounds exceed the cap: Example 7's
+	// group has 4; cap at 2.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{
+			{0, 1, 2, 3, 4},
+			{0, 1, 2, 5},
+			{2, 3, 4, 6},
+		},
+		[]int{0, 1, 1}, 7, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := []dataset.Item{0, 1, 2, 3, 4}
+	got, truncated := MineLowerBounds(d, a, dataset.SupportSet(d, a), 2)
+	if !truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(got) > 2 {
+		t.Fatalf("cap not applied: %d bounds", len(got))
+	}
+}
+
+// Lower bounds of every mined group agree with the brute-force minimal
+// generators on the paper example.
+func TestLowerBoundsMatchOracle(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1, ComputeLowerBounds: true})
+	for _, g := range res.Groups {
+		want := reference.LowerBounds(d, g.Antecedent)
+		if !reflect.DeepEqual(g.LowerBounds, want) {
+			t.Fatalf("group %v lower bounds:\n got %v\nwant %v",
+				g.Antecedent, g.LowerBounds, want)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	d := dataset.PaperExample()
+	cases := []Options{
+		{MinSup: 0},
+		{MinSup: 1, MinConf: -0.1},
+		{MinSup: 1, MinConf: 1.5},
+		{MinSup: 1, MinChi: -1},
+		{MinSup: 1, MaxLowerBounds: -2},
+	}
+	for i, opt := range cases {
+		if _, err := Mine(d, 0, opt); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := Mine(d, 5, Options{MinSup: 1}); err == nil {
+		t.Error("out-of-range consequent accepted")
+	}
+	if _, err := Mine(d, -1, Options{MinSup: 1}); err == nil {
+		t.Error("negative consequent accepted")
+	}
+}
+
+func TestMinSupFiltersGroups(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 3})
+	want := reference.IRGs(d, 0, 3, 0, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("minsup mining disagrees:\n got %v\nwant %v", got, exp)
+	}
+	for _, g := range res.Groups {
+		if g.SupPos < 3 {
+			t.Fatalf("group %v below minsup", g.Antecedent)
+		}
+	}
+}
+
+func TestMinChiFiltersGroups(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1, MinChi: 1.0})
+	want := reference.IRGs(d, 0, 1, 0, 1.0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("minchi mining disagrees:\n got %v\nwant %v", got, exp)
+	}
+}
+
+func TestSecondConsequent(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 1, Options{MinSup: 1})
+	want := reference.IRGs(d, 1, 1, 0, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("consequent ¬C mining disagrees:\n got %v\nwant %v", got, exp)
+	}
+}
+
+func TestEmptyAndDegenerateDatasets(t *testing.T) {
+	empty := &dataset.Dataset{ClassNames: []string{"C", "N"}}
+	res := mustMine(t, empty, 0, Options{MinSup: 1})
+	if len(res.Groups) != 0 {
+		t.Fatal("groups from empty dataset")
+	}
+
+	// No row of the consequent class: nothing satisfies minsup ≥ 1.
+	oneClass, err := dataset.FromItemLists([][]dataset.Item{{0}, {0, 1}}, []int{1, 1},
+		2, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = mustMine(t, oneClass, 0, Options{MinSup: 1})
+	if len(res.Groups) != 0 {
+		t.Fatal("groups with zero-support consequent")
+	}
+
+	// All rows positive: confidences are all 1.
+	allPos, err := dataset.FromItemLists([][]dataset.Item{{0, 1}, {0}}, []int{0, 0},
+		2, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = mustMine(t, allPos, 0, Options{MinSup: 1})
+	want := reference.IRGs(allPos, 0, 1, 0, 0)
+	if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("all-positive mining disagrees:\n got %v\nwant %v", got, exp)
+	}
+}
+
+func TestRowsAreOriginalIDs(t *testing.T) {
+	// Interleave classes so ORD reordering is non-trivial, then check that
+	// reported rows refer to the original ids.
+	d, err := dataset.FromItemLists(
+		[][]dataset.Item{{0}, {0, 1}, {0}, {1}},
+		[]int{1, 0, 1, 0}, 2, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	for _, g := range res.Groups {
+		sup := dataset.SupportSet(d, g.Antecedent)
+		if !reflect.DeepEqual(g.Rows, sup.Ints()) {
+			t.Fatalf("group %v rows %v != R(A) %v", g.Antecedent, g.Rows, sup.Ints())
+		}
+	}
+}
+
+// randomDataset builds a small random dataset for property tests.
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 3 + rng.Intn(6) // 3..8 rows
+	numItems := 4 + rng.Intn(7)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		density := 0.2 + 0.6*rng.Float64()
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < density {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+		classes[i] = rng.Intn(2)
+	}
+	// Guarantee both classes appear.
+	classes[0] = 0
+	if n > 1 {
+		classes[1] = 1
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"C", "N"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Property: FARMER equals the oracle on random datasets across random
+// constraint settings, including lower bounds.
+func TestPropertyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040613))
+	for iter := 0; iter < 300; iter++ {
+		d := randomDataset(rng)
+		consequent := rng.Intn(2)
+		minsup := 1 + rng.Intn(3)
+		minconf := []float64{0, 0.3, 0.5, 0.8, 1.0}[rng.Intn(5)]
+		minchi := []float64{0, 0.5, 2}[rng.Intn(3)]
+		opt := Options{MinSup: minsup, MinConf: minconf, MinChi: minchi,
+			ComputeLowerBounds: true}
+		res, err := Mine(d, consequent, opt)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want := reference.IRGs(d, consequent, minsup, minconf, minchi)
+		if got, exp := coreKeys(res), refKeys(want); !reflect.DeepEqual(got, exp) {
+			t.Fatalf("iter %d (minsup=%d minconf=%v minchi=%v consequent=%d):\nFARMER %v\noracle %v\ndataset: %+v",
+				iter, minsup, minconf, minchi, consequent, got, exp, d.Rows)
+		}
+		for _, g := range res.Groups {
+			wantLB := reference.LowerBounds(d, g.Antecedent)
+			if !reflect.DeepEqual(g.LowerBounds, wantLB) {
+				t.Fatalf("iter %d group %v lower bounds:\n got %v\nwant %v",
+					iter, g.Antecedent, g.LowerBounds, wantLB)
+			}
+		}
+	}
+}
+
+// Property: disabling any pruning strategy changes effort, never results.
+func TestPropertyAblationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	variants := []Options{
+		{MinSup: 1, DisablePruning1: true},
+		{MinSup: 1, DisablePruning2: true},
+		{MinSup: 1, DisablePruning3: true},
+		{MinSup: 1, DisablePruning1: true, DisablePruning2: true, DisablePruning3: true},
+		{MinSup: 2, MinConf: 0.5, DisablePruning3: true},
+		{MinSup: 2, MinConf: 0.5, DisablePruning1: true, DisablePruning2: true},
+	}
+	for iter := 0; iter < 120; iter++ {
+		d := randomDataset(rng)
+		for vi, opt := range variants {
+			base := opt
+			base.DisablePruning1, base.DisablePruning2, base.DisablePruning3 = false, false, false
+			want := mustMine(t, d, 0, base)
+			got := mustMine(t, d, 0, opt)
+			if !reflect.DeepEqual(coreKeys(got), coreKeys(want)) {
+				t.Fatalf("iter %d variant %d: ablation changed results\n got %v\nwant %v\nrows %+v",
+					iter, vi, coreKeys(got), coreKeys(want), d.Rows)
+			}
+		}
+	}
+}
+
+func TestPruningReducesNodes(t *testing.T) {
+	d := dataset.PaperExample()
+	full := mustMine(t, d, 0, Options{MinSup: 2, MinConf: 0.6})
+	none := mustMine(t, d, 0, Options{MinSup: 2, MinConf: 0.6,
+		DisablePruning1: true, DisablePruning2: true, DisablePruning3: true})
+	if full.Stats.NodesVisited >= none.Stats.NodesVisited {
+		t.Fatalf("pruning did not reduce nodes: %d vs %d",
+			full.Stats.NodesVisited, none.Stats.NodesVisited)
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1})
+	if res.NumRows != 5 || res.NumPos != 3 || res.Consequent != 0 {
+		t.Fatalf("metadata = %+v", res)
+	}
+	if res.Stats.GroupsEmitted != int64(len(res.Groups)) {
+		t.Fatal("GroupsEmitted disagrees with output length")
+	}
+}
+
+func TestRuleGroupHelpers(t *testing.T) {
+	d := dataset.PaperExample()
+	res := mustMine(t, d, 0, Options{MinSup: 1, ComputeLowerBounds: true})
+	// Group {a}: rows 1-4 (0-based 0..3), conf 3/4; it is interesting.
+	var ga *RuleGroup
+	for i := range res.Groups {
+		if dataset.StringFromItems(res.Groups[i].Antecedent) == "a" {
+			ga = &res.Groups[i]
+		}
+	}
+	if ga == nil {
+		t.Fatal("group a missing")
+	}
+	if !ga.Matches(&d.Rows[0]) || ga.Matches(&d.Rows[4]) {
+		t.Fatal("Matches wrong")
+	}
+	if !ga.MatchesAnyLowerBound(&d.Rows[2]) || ga.MatchesAnyLowerBound(&d.Rows[4]) {
+		t.Fatal("MatchesAnyLowerBound wrong")
+	}
+	if ga.Support() != 3 || ga.SupNeg != 1 {
+		t.Fatalf("support = %d/%d, want 3/1", ga.Support(), ga.SupNeg)
+	}
+	s := ga.Format(d, "C")
+	if s == "" || s[0] != '{' {
+		t.Fatalf("Format = %q", s)
+	}
+}

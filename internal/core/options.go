@@ -1,0 +1,108 @@
+// Package core implements FARMER (Cong, Tung, Xu, Pan, Yang; SIGMOD 2004):
+// mining the upper and lower bounds of interesting rule groups (IRGs) from
+// datasets with few rows and very many columns by depth-first enumeration of
+// row combinations over conditional transposed tables.
+//
+// The entry point is Mine. The implementation follows Figure 5 of the paper:
+//
+//	step 1  pruning strategy 2 — back scan (Lemma 3.6)
+//	step 2  pruning strategy 3 — loose support/confidence bounds (Us2, Uc2)
+//	step 3  scan the conditional transposed table (U and Y row sets)
+//	step 4  pruning strategy 3 — tight bounds (Us1, Uc1, chi-square bound)
+//	step 5  pruning strategy 1 — absorb Y rows (Lemma 3.5)
+//	step 6  recurse into child row combinations in ORD order
+//	step 7  emit I(X) → C as an IRG upper bound if it beats every
+//	        constraint-satisfying subset rule group already found
+//
+// Lower bounds are recovered per group with MineLB (Figure 9).
+package core
+
+import "fmt"
+
+// Options configures a FARMER run.
+type Options struct {
+	// MinSup is the minimum rule support |R(A ∪ C)| (number of consequent-
+	// class rows matching the antecedent). Must be ≥ 1.
+	MinSup int
+
+	// MinConf is the minimum confidence |R(A∪C)| / |R(A)| in [0, 1].
+	// Zero disables confidence pruning.
+	MinConf float64
+
+	// MinChi is the minimum chi-square value of the rule's 2×2 contingency
+	// table. Zero disables the chi-square constraint and its pruning.
+	MinChi float64
+
+	// Extension constraints (footnote 3 of the paper: "other constraints
+	// such as lift, conviction, entropy gain, gini … can be handled
+	// similarly"). Each is disabled at its zero value. Lift and conviction
+	// are monotone in confidence, so they prune through the confidence
+	// upper bounds; entropy gain and gini gain are convex impurity gains
+	// and prune through the same vertex bound as chi-square
+	// (Morishita & Sese).
+	MinLift        float64
+	MinConviction  float64
+	MinEntropyGain float64
+	MinGiniGain    float64
+
+	// ComputeLowerBounds also runs MineLB for every discovered group,
+	// populating RuleGroup.LowerBounds (the paper reports FARMER's runtime
+	// with this enabled).
+	ComputeLowerBounds bool
+
+	// MaxLowerBounds, when > 0, caps the number of lower bounds kept per
+	// group; groups that hit the cap are flagged Truncated. The count of
+	// lower bounds can be exponential in pathological inputs.
+	MaxLowerBounds int
+
+	// Ablation switches. Disabling a pruning strategy never changes the
+	// mined rule groups — it only removes the corresponding search-space
+	// cut, which the ablation benchmarks measure. (With pruning 2 disabled
+	// the back scan still runs to suppress re-emission of already-found
+	// groups; only its subtree cut is forfeited.)
+	DisablePruning1 bool // do not absorb Y rows / do not compress nodes
+	DisablePruning2 bool // do not cut subtrees on back-scan hits
+	DisablePruning3 bool // do not apply support/confidence/chi bounds
+}
+
+// Validate reports whether the options are usable.
+func (o Options) Validate() error {
+	switch {
+	case o.MinSup < 1:
+		return fmt.Errorf("core: MinSup must be >= 1, got %d", o.MinSup)
+	case o.MinConf < 0 || o.MinConf > 1:
+		return fmt.Errorf("core: MinConf %v outside [0,1]", o.MinConf)
+	case o.MinChi < 0:
+		return fmt.Errorf("core: MinChi %v negative", o.MinChi)
+	case o.MinLift < 0:
+		return fmt.Errorf("core: MinLift %v negative", o.MinLift)
+	case o.MinConviction < 0:
+		return fmt.Errorf("core: MinConviction %v negative", o.MinConviction)
+	case o.MinEntropyGain < 0 || o.MinEntropyGain > 1:
+		return fmt.Errorf("core: MinEntropyGain %v outside [0,1]", o.MinEntropyGain)
+	case o.MinGiniGain < 0 || o.MinGiniGain > 0.5:
+		return fmt.Errorf("core: MinGiniGain %v outside [0,0.5]", o.MinGiniGain)
+	case o.MaxLowerBounds < 0:
+		return fmt.Errorf("core: MaxLowerBounds %d negative", o.MaxLowerBounds)
+	}
+	return nil
+}
+
+// needsConfBound reports whether any enabled constraint prunes through the
+// confidence upper bounds (confidence itself, lift, conviction).
+func (o Options) needsConfBound() bool {
+	return o.MinConf > 0 || o.MinLift > 0 || o.MinConviction > 0
+}
+
+// Stats records search effort and pruning effectiveness for one run.
+type Stats struct {
+	NodesVisited      int64 // enumeration-tree nodes entered
+	PrunedBackScan    int64 // subtrees cut by pruning strategy 2
+	PrunedLooseBound  int64 // subtrees cut by Us2/Uc2 before scanning
+	PrunedTightBound  int64 // subtrees cut by Us1/Uc1 after scanning
+	PrunedChiBound    int64 // subtrees cut by the Lemma 3.9 chi bound
+	PrunedGainBound   int64 // subtrees cut by the entropy/gini gain bounds
+	RowsAbsorbed      int64 // candidate rows folded in by pruning strategy 1
+	GroupsEmitted     int64 // IRG upper bounds kept
+	GroupsNotInterest int64 // candidate upper bounds rejected at step 7
+}

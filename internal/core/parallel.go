@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// MineParallel is Mine spread over worker goroutines: the subtrees rooted
+// at each first row of the enumeration tree are independent, so workers
+// mine them concurrently, collecting every CONSTRAINT-satisfying rule group
+// (without the interestingness comparison, which needs global order); a
+// sequential pass then applies the step-7 interestingness fixpoint in
+// ascending antecedent-size order, which yields exactly Mine's result set.
+//
+// workers ≤ 0 selects GOMAXPROCS. The ablation switches are honoured; the
+// per-strategy pruning counters in Stats are summed across workers.
+func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if consequent < 0 || consequent >= d.NumClasses() {
+		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	ordered, ord := dataset.OrderForConsequent(d, consequent)
+	n := len(ordered.Rows)
+	res := &Result{
+		Consequent: consequent,
+		NumRows:    n,
+		NumPos:     ord.NumPositive,
+	}
+	if n == 0 || ord.NumPositive == 0 {
+		return res, nil
+	}
+
+	// The transposed table is immutable and shared; each worker owns its
+	// scratch arrays and candidate store.
+	shared := dataset.Transpose(ordered)
+
+	// Task granularity: depth-2 nodes. The row enumeration tree is extremely
+	// left-heavy (the first root subtree holds about half the work), so
+	// scheduling whole root subtrees starves all but one worker. Instead,
+	// every singleton {r1} runs as an emission-only task (children skipped)
+	// and every pair {r1, r2} runs as a full subtree task whose conditional
+	// table is built directly from the global transposed table — sound
+	// because candidate lists built this way are supersets of the ones the
+	// sequential traversal would pass down (pruning 1 re-detects absorbed
+	// rows locally) and candidate collection is order-independent.
+	//
+	// Each worker applies the step-7 interestingness filter against its own
+	// local store: dropping a group because ANY constraint-satisfying
+	// subset group has ≥ confidence is globally sound (if that subset is
+	// itself uninteresting, transitivity yields an interesting dominator),
+	// so local filtering only removes groups the global fixpoint would
+	// remove anyway, while keeping the candidate union small.
+	type task struct{ r1, r2 int }
+	tasks := make([]task, 0, n+n*(n-1)/2)
+	for r1 := 0; r1 < n; r1++ {
+		tasks = append(tasks, task{r1, -1})
+		for r2 := r1 + 1; r2 < n; r2++ {
+			tasks = append(tasks, task{r1, r2})
+		}
+	}
+
+	type workerOut struct {
+		cands []irgEntry
+		stats Stats
+	}
+	outs := make([]workerOut, workers)
+	next := make(chan task, len(tasks))
+	for _, t := range tasks {
+		next <- t
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := &miner{
+				ds:     ordered,
+				tt:     shared,
+				numPos: ord.NumPositive,
+				n:      n,
+				opt:    opt,
+				inX:    bitset.New(n),
+				cnt:    make([]int32, n),
+				stamp:  make([]uint32, n),
+			}
+			for tk := range next {
+				if tk.r2 < 0 {
+					m.mineSingleton(tk.r1)
+				} else {
+					m.minePair(tk.r1, tk.r2)
+				}
+			}
+			outs[w] = workerOut{cands: m.groups, stats: m.stats}
+		}(w)
+	}
+	wg.Wait()
+
+	var cands []irgEntry
+	for _, o := range outs {
+		cands = append(cands, o.cands...)
+		res.Stats.NodesVisited += o.stats.NodesVisited
+		res.Stats.PrunedBackScan += o.stats.PrunedBackScan
+		res.Stats.PrunedLooseBound += o.stats.PrunedLooseBound
+		res.Stats.PrunedTightBound += o.stats.PrunedTightBound
+		res.Stats.PrunedChiBound += o.stats.PrunedChiBound
+		res.Stats.PrunedGainBound += o.stats.PrunedGainBound
+		res.Stats.RowsAbsorbed += o.stats.RowsAbsorbed
+	}
+
+	// Sequential interestingness fixpoint: more general groups (larger row
+	// sets) decided first; row-set dedup collapses duplicates from ablation
+	// modes.
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].rows.Count() > cands[j].rows.Count()
+	})
+	var kept []irgEntry
+	for _, c := range cands {
+		interesting := true
+		for i := range kept {
+			e := &kept[i]
+			if e.rows.SupersetOf(c.rows) {
+				if e.rows.Equal(c.rows) {
+					interesting = false // duplicate discovery
+					break
+				}
+				if !confLess(e.supPos, e.tot, c.supPos, c.tot) {
+					interesting = false
+					res.Stats.GroupsNotInterest++
+					break
+				}
+			}
+		}
+		if interesting {
+			kept = append(kept, c)
+		}
+	}
+	res.Stats.GroupsEmitted = int64(len(kept))
+
+	for i := range kept {
+		e := &kept[i]
+		g := RuleGroup{
+			Antecedent: e.items,
+			SupPos:     e.supPos,
+			SupNeg:     e.tot - e.supPos,
+			Confidence: float64(e.supPos) / float64(e.tot),
+			Chi:        e.chi,
+			Rows:       ord.MapRowsToOriginal(e.rows.Ints()),
+		}
+		sort.Ints(g.Rows)
+		if opt.ComputeLowerBounds {
+			g.LowerBounds, g.Truncated = MineLowerBounds(ordered, e.items, e.rows, opt.MaxLowerBounds)
+		}
+		res.Groups = append(res.Groups, g)
+	}
+	// Deterministic output order regardless of worker scheduling.
+	sort.SliceStable(res.Groups, func(i, j int) bool {
+		return lessItems(res.Groups[i].Antecedent, res.Groups[j].Antecedent)
+	})
+	return res, nil
+}
+
+// mineSingleton runs node {r1} in emission-only mode: steps 1–5 and 7, no
+// children (pair tasks own the depth-2 subtrees).
+func (m *miner) mineSingleton(ri int) {
+	row := &m.ds.Rows[ri]
+	tuples := make([]tuple, 0, len(row.Items))
+	for _, it := range row.Items {
+		list := m.tt.Lists[it]
+		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
+		tuples = append(tuples, tuple{item: it, rows: list[k:]})
+	}
+	supp, supn := 0, 0
+	if ri < m.numPos {
+		supp = 1
+	} else {
+		supn = 1
+	}
+	epCount := m.numPos - ri - 1
+	if epCount < 0 {
+		epCount = 0
+	}
+	m.inX.Set(ri)
+	m.skipChildren = true
+	m.mineNode(tuples, supp, supn, epCount, ri)
+	m.skipChildren = false
+	m.inX.Clear(ri)
+}
+
+// minePair runs the full subtree of node {r1, r2}, with the conditional
+// table built directly from the global transposed table.
+func (m *miner) minePair(r1, r2 int) {
+	row := &m.ds.Rows[r1]
+	tuples := make([]tuple, 0, len(row.Items))
+	for _, it := range row.Items {
+		if !m.ds.Rows[r2].HasItem(it) {
+			continue
+		}
+		list := m.tt.Lists[it]
+		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(r2) })
+		tuples = append(tuples, tuple{item: it, rows: list[k:]})
+	}
+	if len(tuples) == 0 {
+		return
+	}
+	supp, supn := 0, 0
+	for _, r := range []int{r1, r2} {
+		if r < m.numPos {
+			supp++
+		} else {
+			supn++
+		}
+	}
+	epCount := m.numPos - r2 - 1
+	if epCount < 0 {
+		epCount = 0
+	}
+	m.inX.Set(r1)
+	m.inX.Set(r2)
+	m.mineNode(tuples, supp, supn, epCount, r2)
+	m.inX.Clear(r1)
+	m.inX.Clear(r2)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// RuleGroup is one interesting rule group, identified by its unique upper
+// bound (Lemma 2.1) and, optionally, its lower bounds. Every member rule
+// A → C with LowerBound ⊆ A ⊆ Antecedent for some lower bound belongs to the
+// group (Lemma 2.2) and shares Support, Confidence and Chi.
+type RuleGroup struct {
+	// Antecedent is the upper bound's antecedent: the unique most-specific
+	// itemset of the group, ascending item ids.
+	Antecedent []dataset.Item
+
+	// LowerBounds holds the most-general antecedents of the group, each
+	// ascending; populated only when Options.ComputeLowerBounds is set.
+	LowerBounds [][]dataset.Item
+
+	// Truncated reports that LowerBounds hit Options.MaxLowerBounds.
+	Truncated bool
+
+	// Rows is R(Antecedent) in the caller's original row ids, ascending.
+	Rows []int
+
+	SupPos int // |R(A ∪ C)| — the rule support
+	SupNeg int // |R(A ∪ ¬C)|
+
+	Confidence float64
+	Chi        float64
+}
+
+// Support returns the rule support |R(A ∪ C)| (the paper's γ.sup).
+func (g *RuleGroup) Support() int { return g.SupPos }
+
+// Matches reports whether the row's itemset contains the group's upper
+// bound (and therefore every member antecedent).
+func (g *RuleGroup) Matches(r *dataset.Row) bool {
+	for _, it := range g.Antecedent {
+		if !r.HasItem(it) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesAnyLowerBound reports whether the row contains at least one lower
+// bound of the group, i.e. whether the row matches some member rule of the
+// group (the most general ones).
+func (g *RuleGroup) MatchesAnyLowerBound(r *dataset.Row) bool {
+	for _, lb := range g.LowerBounds {
+		ok := true
+		for _, it := range lb {
+			if !r.HasItem(it) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the group using the dataset's item names.
+func (g *RuleGroup) Format(d *dataset.Dataset, consequent string) string {
+	var b strings.Builder
+	names := make([]string, len(g.Antecedent))
+	for i, it := range g.Antecedent {
+		names[i] = d.ItemName(it)
+	}
+	fmt.Fprintf(&b, "{%s} -> %s  (sup=%d conf=%.3f chi=%.2f rows=%v",
+		strings.Join(names, ","), consequent, g.SupPos, g.Confidence, g.Chi, g.Rows)
+	if len(g.LowerBounds) > 0 {
+		fmt.Fprintf(&b, " lower=%d", len(g.LowerBounds))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Result is the outcome of one Mine call.
+type Result struct {
+	// Groups holds the interesting rule groups in discovery order.
+	Groups []RuleGroup
+
+	// Consequent is the class index the rules predict.
+	Consequent int
+
+	// NumRows and NumPos are the dataset row count and consequent-class row
+	// count (the n and m of the chi-square margins).
+	NumRows, NumPos int
+
+	Stats Stats
+}
+
+// irgEntry is the internal store for step 7: the group's row support set
+// over the reordered dataset plus exact confidence as a fraction. Antecedent
+// containment between closed sets reverses row-set containment, so subset
+// checks run on the (small) row bitsets.
+type irgEntry struct {
+	rows   *bitset.Set
+	supPos int
+	tot    int // supPos + supNeg
+	items  []dataset.Item
+	chi    float64
+}
+
+// confLess reports supA/totA < supB/totB exactly (cross multiplication).
+func confLess(supA, totA, supB, totB int) bool {
+	return int64(supA)*int64(totB) < int64(supB)*int64(totA)
+}
+
+// confGreater reports supA/totA > supB/totB exactly.
+func confGreater(supA, totA, supB, totB int) bool {
+	return int64(supA)*int64(totB) > int64(supB)*int64(totA)
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Measure selects the objective of MineTopK. All three are convex impurity
+// measures over the (x, y) margins, so the Lemma 3.9 vertex bound applies
+// (Morishita & Sese, PODS 2000 — the paper's reference [15]).
+type Measure int
+
+const (
+	// MeasureChi2 ranks groups by the 2×2 chi-square statistic.
+	MeasureChi2 Measure = iota
+	// MeasureEntropyGain ranks groups by information gain.
+	MeasureEntropyGain
+	// MeasureGiniGain ranks groups by Gini-impurity reduction.
+	MeasureGiniGain
+)
+
+func (m Measure) value(x, y, n, pos int) float64 {
+	switch m {
+	case MeasureEntropyGain:
+		return stats.EntropyGain(x, y, n, pos)
+	case MeasureGiniGain:
+		return stats.GiniGain(x, y, n, pos)
+	default:
+		return stats.Chi2(x, y, n, pos)
+	}
+}
+
+func (m Measure) bound(x, y, n, pos int) float64 {
+	switch m {
+	case MeasureEntropyGain:
+		return stats.EntropyGainUpperBound(x, y, n, pos)
+	case MeasureGiniGain:
+		return stats.GiniGainUpperBound(x, y, n, pos)
+	default:
+		return stats.Chi2UpperBound(x, y, n, pos)
+	}
+}
+
+// ScoredGroup is a rule group with its objective value.
+type ScoredGroup struct {
+	RuleGroup
+	Score float64
+}
+
+// MineTopK returns the k rule groups with the given consequent that
+// maximize the measure, subject to a minimum support, by branch-and-bound
+// over the row enumeration tree: the convex vertex bound of each subtree is
+// compared against the current k-th best score, so the threshold tightens
+// as better groups are found. Groups are returned best-first; ties break
+// toward higher support, then lexicographic antecedents.
+func MineTopK(d *dataset.Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if minsup < 1 {
+		return nil, fmt.Errorf("core: minsup must be >= 1, got %d", minsup)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if consequent < 0 || consequent >= d.NumClasses() {
+		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
+	}
+
+	ordered, ord := dataset.OrderForConsequent(d, consequent)
+	m := newMiner(ordered, ord.NumPositive, Options{MinSup: minsup})
+	tk := &topkSearch{miner: m, k: k, measure: measure}
+	tk.run()
+
+	out := make([]ScoredGroup, len(tk.best))
+	for i := range tk.best {
+		e := tk.best[i]
+		g := ScoredGroup{Score: e.score}
+		g.Antecedent = e.items
+		g.SupPos = e.supPos
+		g.SupNeg = e.tot - e.supPos
+		g.Confidence = float64(e.supPos) / float64(e.tot)
+		g.Chi = stats.Chi2(e.tot, e.supPos, m.n, m.numPos)
+		g.Rows = ord.MapRowsToOriginal(e.rows.Ints())
+		sort.Ints(g.Rows)
+		out[i] = g
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].SupPos != out[b].SupPos {
+			return out[a].SupPos > out[b].SupPos
+		}
+		return lessItems(out[a].Antecedent, out[b].Antecedent)
+	})
+	return out, nil
+}
+
+type scoredEntry struct {
+	irgEntry
+	score float64
+}
+
+// topkHeap is a min-heap on score so the weakest kept group is evictable.
+type topkHeap []scoredEntry
+
+func (h topkHeap) Len() int           { return len(h) }
+func (h topkHeap) Less(i, j int) bool { return h[i].score < h[j].score }
+func (h topkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)        { *h = append(*h, x.(scoredEntry)) }
+func (h *topkHeap) Pop() any          { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h topkHeap) threshold() float64 { return h[0].score }
+
+type topkSearch struct {
+	miner   *miner
+	k       int
+	measure Measure
+	best    topkHeap
+}
+
+func (t *topkSearch) run() {
+	m := t.miner
+	if m.n == 0 || m.numPos == 0 {
+		return
+	}
+	for ri := 0; ri < m.n; ri++ {
+		row := &m.ds.Rows[ri]
+		tuples := make([]tuple, 0, len(row.Items))
+		for _, it := range row.Items {
+			list := m.tt.Lists[it]
+			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
+			tuples = append(tuples, tuple{item: it, rows: list[k:]})
+		}
+		supp, supn := 0, 0
+		if ri < m.numPos {
+			supp = 1
+		} else {
+			supn = 1
+		}
+		epCount := m.numPos - ri - 1
+		if epCount < 0 {
+			epCount = 0
+		}
+		m.inX.Set(ri)
+		t.walk(tuples, supp, supn, epCount, ri)
+		m.inX.Clear(ri)
+	}
+}
+
+// walk mirrors mineNode's traversal with the branch-and-bound cut: instead
+// of fixed thresholds, subtrees are pruned when the measure's vertex bound
+// cannot beat the current k-th best score.
+func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
+	m := t.miner
+	m.stats.NodesVisited++
+	if len(tuples) == 0 {
+		return
+	}
+	if m.backScanHit(tuples, rmax) {
+		return
+	}
+	if supp+epCount < m.opt.MinSup {
+		return
+	}
+
+	// Scan (same bookkeeping as mineNode's step 3).
+	m.epoch++
+	ntup := int32(len(tuples))
+	maxPosInTuple := 0
+	for _, tp := range tuples {
+		if len(tp.rows) == 0 {
+			continue
+		}
+		if pos := sort.Search(len(tp.rows), func(i int) bool { return tp.rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
+			maxPosInTuple = pos
+		}
+		for _, r := range tp.rows {
+			if m.stamp[r] != m.epoch {
+				m.stamp[r] = m.epoch
+				m.cnt[r] = 0
+			}
+			m.cnt[r]++
+		}
+	}
+	var eRows, yRows []int32
+	yPos, yNeg := 0, 0
+	for _, tp := range tuples {
+		for _, r := range tp.rows {
+			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+				continue
+			}
+			if m.cnt[r] == ntup {
+				yRows = append(yRows, r)
+				if int(r) < m.numPos {
+					yPos++
+				} else {
+					yNeg++
+				}
+			} else {
+				eRows = append(eRows, r)
+			}
+			m.cnt[r] = -1
+		}
+	}
+	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+	suppIn := supp
+	supp += yPos
+	supn += yNeg
+
+	// Bound cuts: support, then the dynamic measure bound.
+	if suppIn+maxPosInTuple < m.opt.MinSup {
+		return
+	}
+	if len(t.best) == t.k {
+		if t.measure.bound(supp+supn, supp, m.n, m.numPos) <= t.best.threshold() {
+			m.stats.PrunedGainBound++
+			return
+		}
+	}
+
+	for _, r := range yRows {
+		m.inX.Set(int(r))
+	}
+	cleaned := make([][]int32, len(tuples))
+	if len(yRows) == 0 {
+		for i := range tuples {
+			cleaned[i] = tuples[i].rows
+		}
+	} else {
+		sort.Slice(yRows, func(a, b int) bool { return yRows[a] < yRows[b] })
+		for i := range tuples {
+			dst := make([]int32, 0, len(tuples[i].rows))
+			yi := 0
+			for _, r := range tuples[i].rows {
+				for yi < len(yRows) && yRows[yi] < r {
+					yi++
+				}
+				if yi < len(yRows) && yRows[yi] == r {
+					continue
+				}
+				dst = append(dst, r)
+			}
+			cleaned[i] = dst
+		}
+	}
+
+	if len(eRows) > 0 {
+		posBoundary := sort.Search(len(eRows), func(i int) bool { return eRows[i] >= int32(m.numPos) })
+		for p, r := range eRows {
+			var child []tuple
+			for ti := range cleaned {
+				rows := cleaned[ti]
+				kk := sort.Search(len(rows), func(i int) bool { return rows[i] >= r })
+				if kk < len(rows) && rows[kk] == r {
+					child = append(child, tuple{item: tuples[ti].item, rows: rows[kk+1:]})
+				}
+			}
+			ca, cb := supp, supn
+			childEp := 0
+			if int(r) < m.numPos {
+				ca++
+				childEp = posBoundary - p - 1
+			} else {
+				cb++
+			}
+			m.inX.Set(int(r))
+			t.walk(child, ca, cb, childEp, int(r))
+			m.inX.Clear(int(r))
+		}
+	}
+
+	// Emit into the heap.
+	if supp >= m.opt.MinSup {
+		score := t.measure.value(supp+supn, supp, m.n, m.numPos)
+		if len(t.best) < t.k || score > t.best.threshold() {
+			items := make([]dataset.Item, len(tuples))
+			for i, tp := range tuples {
+				items[i] = tp.item
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			entry := scoredEntry{score: score}
+			entry.rows = m.inX.Clone()
+			entry.supPos = supp
+			entry.tot = supp + supn
+			entry.items = items
+			heap.Push(&t.best, entry)
+			if len(t.best) > t.k {
+				heap.Pop(&t.best)
+			}
+			m.stats.GroupsEmitted++
+		}
+	}
+
+	for _, r := range yRows {
+		m.inX.Clear(int(r))
+	}
+}

@@ -1,0 +1,156 @@
+// Package dataset provides the categorical table substrate shared by all
+// miners in this repository: rows are samples, items are discretized gene
+// levels, and each row carries a class label.
+//
+// The package also implements the transposed-table view of the data
+// (Figure 1(b) of the FARMER paper), the ORD row ordering that places
+// consequent-class rows first, the R(I')/I(R') support operators of §2.1,
+// dataset replication for the scale-up experiment, and simple text formats
+// for transactional and continuous matrix data.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Item identifies a column value (an "item" in rule-mining terms). Items are
+// dense, starting at 0.
+type Item = int32
+
+// Row is a single sample: a sorted set of items plus a class label.
+type Row struct {
+	Items []Item // strictly ascending
+	Class int    // index into Dataset.ClassNames
+}
+
+// Dataset is an in-memory categorical table.
+type Dataset struct {
+	Rows       []Row
+	NumItems   int      // items are in [0, NumItems)
+	ItemNames  []string // optional, len NumItems when present
+	ClassNames []string // len = number of classes; Row.Class indexes this
+}
+
+// NumRows returns the number of rows.
+func (d *Dataset) NumRows() int { return len(d.Rows) }
+
+// NumClasses returns the number of class labels.
+func (d *Dataset) NumClasses() int { return len(d.ClassNames) }
+
+// ClassCount returns the number of rows labelled with class c.
+func (d *Dataset) ClassCount(c int) int {
+	n := 0
+	for i := range d.Rows {
+		if d.Rows[i].Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassIndex returns the index of the named class, or -1.
+func (d *Dataset) ClassIndex(name string) int {
+	for i, c := range d.ClassNames {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ItemName returns a printable name for item i.
+func (d *Dataset) ItemName(i Item) string {
+	if int(i) < len(d.ItemNames) {
+		return d.ItemNames[i]
+	}
+	return fmt.Sprintf("i%d", i)
+}
+
+// Validate checks structural invariants: sorted unique items within range,
+// class labels within range. Miners assume a validated dataset.
+func (d *Dataset) Validate() error {
+	if d.NumItems < 0 {
+		return fmt.Errorf("dataset: negative NumItems %d", d.NumItems)
+	}
+	if len(d.ItemNames) != 0 && len(d.ItemNames) != d.NumItems {
+		return fmt.Errorf("dataset: %d item names for %d items", len(d.ItemNames), d.NumItems)
+	}
+	for ri, r := range d.Rows {
+		if r.Class < 0 || r.Class >= len(d.ClassNames) {
+			return fmt.Errorf("dataset: row %d has class %d outside [0,%d)", ri, r.Class, len(d.ClassNames))
+		}
+		for k, it := range r.Items {
+			if it < 0 || int(it) >= d.NumItems {
+				return fmt.Errorf("dataset: row %d item %d outside [0,%d)", ri, it, d.NumItems)
+			}
+			if k > 0 && r.Items[k-1] >= it {
+				return fmt.Errorf("dataset: row %d items not strictly ascending at position %d", ri, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		NumItems:   d.NumItems,
+		ItemNames:  append([]string(nil), d.ItemNames...),
+		ClassNames: append([]string(nil), d.ClassNames...),
+		Rows:       make([]Row, len(d.Rows)),
+	}
+	for i, r := range d.Rows {
+		out.Rows[i] = Row{Items: append([]Item(nil), r.Items...), Class: r.Class}
+	}
+	return out
+}
+
+// FromItemLists builds a dataset from raw item lists (sorted and deduplicated
+// here) and class labels. classNames defines the label universe.
+func FromItemLists(lists [][]Item, classes []int, numItems int, classNames []string) (*Dataset, error) {
+	if len(lists) != len(classes) {
+		return nil, fmt.Errorf("dataset: %d rows but %d labels", len(lists), len(classes))
+	}
+	d := &Dataset{NumItems: numItems, ClassNames: append([]string(nil), classNames...)}
+	for i, l := range lists {
+		items := append([]Item(nil), l...)
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		items = dedupItems(items)
+		d.Rows = append(d.Rows, Row{Items: items, Class: classes[i]})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func dedupItems(items []Item) []Item {
+	if len(items) < 2 {
+		return items
+	}
+	out := items[:1]
+	for _, it := range items[1:] {
+		if it != out[len(out)-1] {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// HasItem reports whether row r contains item it (binary search).
+func (r *Row) HasItem(it Item) bool {
+	i := sort.Search(len(r.Items), func(k int) bool { return r.Items[k] >= it })
+	return i < len(r.Items) && r.Items[i] == it
+}
+
+// ItemSet returns the row's items as a bitset of capacity numItems.
+func (r *Row) ItemSet(numItems int) *bitset.Set {
+	s := bitset.New(numItems)
+	for _, it := range r.Items {
+		s.Set(int(it))
+	}
+	return s
+}

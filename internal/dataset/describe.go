@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a categorical dataset — the
+// quantities that determine mining difficulty: row counts per class, row
+// lengths, and the item-support distribution.
+type Summary struct {
+	Rows        int
+	Items       int
+	ClassCounts map[string]int
+
+	// Row lengths (number of items per row).
+	MinRowLen, MaxRowLen int
+	MeanRowLen           float64
+
+	// Item supports (number of rows per item, over items occurring ≥ once).
+	DistinctItems  int
+	MinItemSup     int
+	MedianItemSup  int
+	MaxItemSup     int
+	MeanItemSup    float64
+	SupportQuart75 int // 75th percentile of item support
+
+	// Density = mean row length / number of items: the fraction of the
+	// binary matrix that is set.
+	Density float64
+}
+
+// Describe computes the summary of d.
+func Describe(d *Dataset) *Summary {
+	s := &Summary{
+		Rows:        len(d.Rows),
+		Items:       d.NumItems,
+		ClassCounts: map[string]int{},
+		MinRowLen:   int(^uint(0) >> 1),
+	}
+	for _, name := range d.ClassNames {
+		s.ClassCounts[name] = 0
+	}
+	supports := make([]int, d.NumItems)
+	totalLen := 0
+	for _, r := range d.Rows {
+		s.ClassCounts[d.ClassNames[r.Class]]++
+		l := len(r.Items)
+		totalLen += l
+		if l < s.MinRowLen {
+			s.MinRowLen = l
+		}
+		if l > s.MaxRowLen {
+			s.MaxRowLen = l
+		}
+		for _, it := range r.Items {
+			supports[it]++
+		}
+	}
+	if s.Rows == 0 {
+		s.MinRowLen = 0
+		return s
+	}
+	s.MeanRowLen = float64(totalLen) / float64(s.Rows)
+	if d.NumItems > 0 {
+		s.Density = s.MeanRowLen / float64(d.NumItems)
+	}
+
+	var occurring []int
+	totalSup := 0
+	for _, sup := range supports {
+		if sup > 0 {
+			occurring = append(occurring, sup)
+			totalSup += sup
+		}
+	}
+	s.DistinctItems = len(occurring)
+	if len(occurring) == 0 {
+		return s
+	}
+	sort.Ints(occurring)
+	s.MinItemSup = occurring[0]
+	s.MaxItemSup = occurring[len(occurring)-1]
+	s.MedianItemSup = occurring[len(occurring)/2]
+	s.SupportQuart75 = occurring[len(occurring)*3/4]
+	s.MeanItemSup = float64(totalSup) / float64(len(occurring))
+	return s
+}
+
+// String renders the summary as a small report.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rows=%d items=%d (occurring %d) density=%.3f\n",
+		s.Rows, s.Items, s.DistinctItems, s.Density)
+	names := make([]string, 0, len(s.ClassCounts))
+	for n := range s.ClassCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "class %-12s %d rows\n", n, s.ClassCounts[n])
+	}
+	fmt.Fprintf(&b, "row length: min=%d mean=%.1f max=%d\n", s.MinRowLen, s.MeanRowLen, s.MaxRowLen)
+	fmt.Fprintf(&b, "item support: min=%d median=%d p75=%d max=%d mean=%.1f\n",
+		s.MinItemSup, s.MedianItemSup, s.SupportQuart75, s.MaxItemSup, s.MeanItemSup)
+	return b.String()
+}

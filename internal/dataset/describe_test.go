@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribePaperExample(t *testing.T) {
+	s := Describe(PaperExample())
+	if s.Rows != 5 || s.Items != 20 {
+		t.Fatalf("shape %d/%d", s.Rows, s.Items)
+	}
+	if s.ClassCounts["C"] != 3 || s.ClassCounts["notC"] != 2 {
+		t.Fatalf("class counts %v", s.ClassCounts)
+	}
+	// Row lengths: 6,7,7,6,8.
+	if s.MinRowLen != 6 || s.MaxRowLen != 8 {
+		t.Fatalf("row lengths %d..%d", s.MinRowLen, s.MaxRowLen)
+	}
+	if math.Abs(s.MeanRowLen-34.0/5) > 1e-12 {
+		t.Fatalf("mean row length %v", s.MeanRowLen)
+	}
+	// 15 of 20 items occur; item a has the top support (4).
+	if s.DistinctItems != 15 || s.MaxItemSup != 4 || s.MinItemSup != 1 {
+		t.Fatalf("item stats %+v", s)
+	}
+	if math.Abs(s.Density-34.0/5/20) > 1e-12 {
+		t.Fatalf("density %v", s.Density)
+	}
+	out := s.String()
+	for _, frag := range []string{"rows=5", "class C", "item support"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("String missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(&Dataset{ClassNames: []string{"x"}})
+	if s.Rows != 0 || s.MinRowLen != 0 || s.DistinctItems != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	_ = s.String()
+}
+
+func TestDescribeSingleRow(t *testing.T) {
+	d, err := FromItemLists([][]Item{{0, 1, 2}}, []int{0}, 3, []string{"c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Describe(d)
+	if s.MinRowLen != 3 || s.MaxRowLen != 3 || s.MedianItemSup != 1 || s.MeanItemSup != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+}

@@ -1,0 +1,67 @@
+package dataset
+
+// PaperExample returns the running example of Figure 1(a): five rows over
+// items a..t with class labels C (rows 1–3) and ¬C (rows 4–5). Item ids map
+// a=0, b=1, ..., t=19; class C has index 0. Tests across the repository use
+// it to assert the paper's worked examples (Examples 1–7, Figure 3).
+func PaperExample() *Dataset {
+	row := func(s string) []Item {
+		items := make([]Item, 0, len(s))
+		for _, ch := range s {
+			items = append(items, Item(ch-'a'))
+		}
+		return items
+	}
+	names := make([]string, 20)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	d := &Dataset{
+		NumItems:   20,
+		ItemNames:  names,
+		ClassNames: []string{"C", "notC"},
+		Rows: []Row{
+			{Items: row("abclos"), Class: 0},
+			{Items: row("adehplr"), Class: 0},
+			{Items: row("acehoqt"), Class: 0},
+			{Items: row("aefhpr"), Class: 1},
+			{Items: row("bdfglqst"), Class: 1},
+		},
+	}
+	for i := range d.Rows {
+		sortItems(d.Rows[i].Items)
+	}
+	if err := d.Validate(); err != nil {
+		panic("dataset: paper example invalid: " + err.Error())
+	}
+	return d
+}
+
+func sortItems(items []Item) {
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j-1] > items[j]; j-- {
+			items[j-1], items[j] = items[j], items[j-1]
+		}
+	}
+}
+
+// ItemsFromString converts a compact "aeh"-style string into item ids for
+// the paper-example alphabet. Helper for tests.
+func ItemsFromString(s string) []Item {
+	items := make([]Item, 0, len(s))
+	for _, ch := range s {
+		items = append(items, Item(ch-'a'))
+	}
+	sortItems(items)
+	return items
+}
+
+// StringFromItems renders item ids in the paper-example alphabet ("aeh").
+// Helper for tests.
+func StringFromItems(items []Item) string {
+	b := make([]byte, len(items))
+	for i, it := range items {
+		b[i] = byte('a' + it)
+	}
+	return string(b)
+}

@@ -1,0 +1,70 @@
+package dataset
+
+// Robustness of the parsers: arbitrary input must yield a dataset or an
+// error, never a panic, and whatever parses must validate. Implemented as
+// native Go fuzz targets; `go test` runs the seed corpus, and
+// `go test -fuzz=FuzzReadTransactions ./internal/dataset` explores further.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzReadTransactions(f *testing.F) {
+	seeds := []string{
+		"",
+		"C : a b c",
+		"C : a a a\nN :\n",
+		": missing label",
+		"no separator at all",
+		"# only a comment\n\n",
+		"C : " + strings.Repeat("x ", 300),
+		"\x00\x01\x02 : \xff\xfe",
+		"C : a\nC : a\nC : a\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadTransactions(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := d.Validate(); vErr != nil {
+			t.Fatalf("parsed dataset invalid: %v\ninput: %q", vErr, input)
+		}
+		// Round trip must stay parseable.
+		var sb strings.Builder
+		if wErr := WriteTransactions(&sb, d); wErr != nil {
+			t.Fatalf("write-back failed: %v", wErr)
+		}
+		if _, rErr := ReadTransactions(strings.NewReader(sb.String())); rErr != nil {
+			t.Fatalf("round trip failed: %v\nwritten: %q", rErr, sb.String())
+		}
+	})
+}
+
+func FuzzReadMatrixCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"label,g1\nc,1\n",
+		"label,g1,g2\nc,1\n",
+		"label\nc\n",
+		"label,g1\nc,notanumber\n",
+		"label,g1\n\"unclosed,1\n",
+		"label,g1\nc,1e309\n",
+		"x,y\n1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadMatrixCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := m.Validate(); vErr != nil {
+			t.Fatalf("parsed matrix invalid: %v\ninput: %q", vErr, input)
+		}
+	})
+}

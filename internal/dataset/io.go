@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The transactional text format is one row per line:
+//
+//	<class-label> : <item> <item> ...
+//
+// Item and class tokens are arbitrary whitespace-free strings; they are
+// interned into dense ids in first-seen order. Blank lines and lines
+// starting with '#' are ignored.
+
+// ReadTransactions parses the transactional format from r.
+func ReadTransactions(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	itemIDs := map[string]Item{}
+	classIDs := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		label, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("dataset: line %d: missing ':' separator", lineNo)
+		}
+		label = strings.TrimSpace(label)
+		if label == "" {
+			return nil, fmt.Errorf("dataset: line %d: empty class label", lineNo)
+		}
+		cid, seen := classIDs[label]
+		if !seen {
+			cid = len(d.ClassNames)
+			classIDs[label] = cid
+			d.ClassNames = append(d.ClassNames, label)
+		}
+		var items []Item
+		for _, tok := range strings.Fields(rest) {
+			id, seen := itemIDs[tok]
+			if !seen {
+				id = Item(len(d.ItemNames))
+				itemIDs[tok] = id
+				d.ItemNames = append(d.ItemNames, tok)
+			}
+			items = append(items, id)
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		items = dedupItems(items)
+		d.Rows = append(d.Rows, Row{Items: items, Class: cid})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	d.NumItems = len(d.ItemNames)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteTransactions writes d in the transactional format.
+func WriteTransactions(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range d.Rows {
+		if _, err := fmt.Fprintf(bw, "%s :", d.ClassNames[r.Class]); err != nil {
+			return err
+		}
+		for _, it := range r.Items {
+			if _, err := fmt.Fprintf(bw, " %s", d.ItemName(it)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

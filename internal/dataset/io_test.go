@@ -1,0 +1,174 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestReadTransactionsBasic(t *testing.T) {
+	in := `
+# comment
+C : a b c
+notC : b d
+
+C : a d
+`
+	d, err := ReadTransactions(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 || d.NumItems != 4 || d.NumClasses() != 2 {
+		t.Fatalf("shape = %d rows, %d items, %d classes", d.NumRows(), d.NumItems, d.NumClasses())
+	}
+	if !reflect.DeepEqual(d.ClassNames, []string{"C", "notC"}) {
+		t.Fatalf("ClassNames = %v", d.ClassNames)
+	}
+	if !reflect.DeepEqual(d.ItemNames, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("ItemNames = %v", d.ItemNames)
+	}
+	if !reflect.DeepEqual(d.Rows[2].Items, []Item{0, 3}) {
+		t.Fatalf("row 3 items = %v", d.Rows[2].Items)
+	}
+}
+
+func TestReadTransactionsDedupsItems(t *testing.T) {
+	d, err := ReadTransactions(strings.NewReader("C : a a b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows[0].Items) != 2 {
+		t.Fatalf("items = %v, want deduped", d.Rows[0].Items)
+	}
+}
+
+func TestReadTransactionsErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"missing separator", "C a b"},
+		{"empty label", " : a b"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTransactions(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTransactionsRoundTrip(t *testing.T) {
+	d := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteTransactions(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTransactions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != d.NumRows() {
+		t.Fatalf("round trip row count mismatch")
+	}
+	// The paper example reserves ids a..t but only 15 items occur in rows;
+	// re-reading interns exactly the occurring items.
+	if got.NumItems != 15 {
+		t.Fatalf("round trip NumItems = %d, want 15", got.NumItems)
+	}
+	for i := range d.Rows {
+		want := StringFromItems(d.Rows[i].Items)
+		var names []string
+		for _, it := range got.Rows[i].Items {
+			names = append(names, got.ItemName(it))
+		}
+		sort.Strings(names) // interned ids follow first-seen order, not alphabet
+		if strings.Join(names, "") != want {
+			t.Fatalf("row %d = %v, want %s", i, names, want)
+		}
+		if got.ClassNames[got.Rows[i].Class] != d.ClassNames[d.Rows[i].Class] {
+			t.Fatalf("row %d class mismatch", i)
+		}
+	}
+}
+
+func TestReadMatrixCSV(t *testing.T) {
+	in := "label,g1,g2\ncancer,1.5,2\nnormal,-0.25,3e2\ncancer,0,1\n"
+	m, err := ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 3 || m.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", m.NumRows(), m.NumCols())
+	}
+	if m.Values[1][1] != 300 {
+		t.Fatalf("Values[1][1] = %v", m.Values[1][1])
+	}
+	if !reflect.DeepEqual(m.Labels, []int{0, 1, 0}) {
+		t.Fatalf("Labels = %v", m.Labels)
+	}
+	if m.ClassIndex("normal") != 1 || m.ClassIndex("zz") != -1 {
+		t.Fatal("ClassIndex wrong")
+	}
+	if got := m.Column(0); !reflect.DeepEqual(got, []float64{1.5, -0.25, 0}) {
+		t.Fatalf("Column(0) = %v", got)
+	}
+}
+
+func TestReadMatrixCSVErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"bad header", "x,g1\nc,1\n"},
+		{"no genes", "label\nc\n"},
+		{"bad float", "label,g1\nc,abc\n"},
+		{"ragged row", "label,g1,g2\nc,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixCSV(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestMatrixCSVRoundTrip(t *testing.T) {
+	m := &Matrix{
+		ColNames:   []string{"g1", "g2", "g3"},
+		ClassNames: []string{"a", "b"},
+		Labels:     []int{0, 1},
+		Values:     [][]float64{{1, 2.5, -3}, {0.125, 0, 9}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, m.Values) || !reflect.DeepEqual(got.Labels, m.Labels) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	m := &Matrix{ColNames: []string{"g"}, ClassNames: []string{"a"},
+		Labels: []int{0}, Values: [][]float64{{1, 2}}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	m2 := &Matrix{ColNames: []string{"g"}, ClassNames: []string{"a"},
+		Labels: []int{5}, Values: [][]float64{{1}}}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestMatrixSelectRows(t *testing.T) {
+	m := &Matrix{
+		ColNames:   []string{"g1"},
+		ClassNames: []string{"a", "b"},
+		Labels:     []int{0, 1, 0},
+		Values:     [][]float64{{1}, {2}, {3}},
+	}
+	s := m.SelectRows([]int{2, 0})
+	if s.NumRows() != 2 || s.Values[0][0] != 3 || s.Labels[1] != 0 {
+		t.Fatalf("SelectRows wrong: %+v", s)
+	}
+}

@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Matrix is a continuous gene-expression matrix: one row per sample, one
+// column per gene, plus a class label per row. It is the input to the
+// discretization pipeline.
+type Matrix struct {
+	ColNames   []string    // gene names, len = number of columns
+	ClassNames []string    // label universe
+	Labels     []int       // per-row class index, len = number of rows
+	Values     [][]float64 // Values[row][col]
+}
+
+// NumRows returns the number of samples.
+func (m *Matrix) NumRows() int { return len(m.Values) }
+
+// NumCols returns the number of genes.
+func (m *Matrix) NumCols() int { return len(m.ColNames) }
+
+// ClassIndex returns the index of the named class, or -1.
+func (m *Matrix) ClassIndex(name string) int {
+	for i, c := range m.ClassNames {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks the matrix is rectangular with labels in range.
+func (m *Matrix) Validate() error {
+	if len(m.Labels) != len(m.Values) {
+		return fmt.Errorf("matrix: %d labels for %d rows", len(m.Labels), len(m.Values))
+	}
+	for i, row := range m.Values {
+		if len(row) != len(m.ColNames) {
+			return fmt.Errorf("matrix: row %d has %d values, want %d", i, len(row), len(m.ColNames))
+		}
+		if m.Labels[i] < 0 || m.Labels[i] >= len(m.ClassNames) {
+			return fmt.Errorf("matrix: row %d label %d outside [0,%d)", i, m.Labels[i], len(m.ClassNames))
+		}
+	}
+	return nil
+}
+
+// Column returns a copy of column c's values.
+func (m *Matrix) Column(c int) []float64 {
+	out := make([]float64, len(m.Values))
+	for i, row := range m.Values {
+		out[i] = row[c]
+	}
+	return out
+}
+
+// SelectRows returns a new matrix holding only the given rows (shared value
+// slices; do not mutate values afterwards).
+func (m *Matrix) SelectRows(rows []int) *Matrix {
+	out := &Matrix{ColNames: m.ColNames, ClassNames: m.ClassNames}
+	for _, ri := range rows {
+		out.Values = append(out.Values, m.Values[ri])
+		out.Labels = append(out.Labels, m.Labels[ri])
+	}
+	return out
+}
+
+// ReadMatrixCSV parses a CSV whose header is "label,<gene>,..." and whose
+// rows are "<classname>,<float>,...". Class names are interned in first-seen
+// order.
+func ReadMatrixCSV(r io.Reader) (*Matrix, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("matrix: read header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "label" {
+		return nil, fmt.Errorf("matrix: header must start with \"label\" and have at least one gene column")
+	}
+	m := &Matrix{ColNames: append([]string(nil), header[1:]...)}
+	classIDs := map[string]int{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("matrix: line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("matrix: line %d: %d fields, want %d", line, len(rec), len(header))
+		}
+		cid, seen := classIDs[rec[0]]
+		if !seen {
+			cid = len(m.ClassNames)
+			classIDs[rec[0]] = cid
+			m.ClassNames = append(m.ClassNames, rec[0])
+		}
+		vals := make([]float64, len(rec)-1)
+		for i, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: line %d col %d: %w", line, i+2, err)
+			}
+			vals[i] = v
+		}
+		m.Labels = append(m.Labels, cid)
+		m.Values = append(m.Values, vals)
+	}
+	return m, m.Validate()
+}
+
+// WriteMatrixCSV writes m in the format ReadMatrixCSV accepts.
+func WriteMatrixCSV(w io.Writer, m *Matrix) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, m.ColNames...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range m.Values {
+		rec[0] = m.ClassNames[m.Labels[i]]
+		for j, v := range row {
+			rec[j+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,49 @@
+package dataset
+
+// Ordering records the row permutation applied by OrderForConsequent so that
+// results over the reordered dataset can be mapped back to the caller's
+// original row ids.
+type Ordering struct {
+	// ToOriginal[newID] = original row id.
+	ToOriginal []int
+	// NumPositive is the number of rows with the consequent class; reordered
+	// rows [0, NumPositive) are exactly those rows.
+	NumPositive int
+}
+
+// OrderForConsequent returns a copy of d whose rows are permuted into the
+// ORD order of §3.1: all rows with class `consequent` first (preserving
+// their relative order), then all remaining rows. FARMER's confidence and
+// support upper bounds (§3.2.3) rely on this ordering.
+func OrderForConsequent(d *Dataset, consequent int) (*Dataset, *Ordering) {
+	out := &Dataset{
+		NumItems:   d.NumItems,
+		ItemNames:  d.ItemNames,
+		ClassNames: d.ClassNames,
+		Rows:       make([]Row, 0, len(d.Rows)),
+	}
+	ord := &Ordering{ToOriginal: make([]int, 0, len(d.Rows))}
+	for i, r := range d.Rows {
+		if r.Class == consequent {
+			out.Rows = append(out.Rows, r)
+			ord.ToOriginal = append(ord.ToOriginal, i)
+		}
+	}
+	ord.NumPositive = len(out.Rows)
+	for i, r := range d.Rows {
+		if r.Class != consequent {
+			out.Rows = append(out.Rows, r)
+			ord.ToOriginal = append(ord.ToOriginal, i)
+		}
+	}
+	return out, ord
+}
+
+// MapRowsToOriginal translates reordered row ids back to original ids.
+func (o *Ordering) MapRowsToOriginal(rows []int) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = o.ToOriginal[r]
+	}
+	return out
+}

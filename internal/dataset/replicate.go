@@ -1,0 +1,21 @@
+package dataset
+
+// Replicate returns a dataset whose row set is d's repeated k times, in
+// block order (all rows once, then again, ...). This reproduces the §4.1
+// scale-up experiment, where each clinical dataset is replicated 5–10× to
+// study how FARMER degrades as the number of rows grows. k must be ≥ 1.
+func Replicate(d *Dataset, k int) *Dataset {
+	if k < 1 {
+		panic("dataset: Replicate factor must be >= 1")
+	}
+	out := &Dataset{
+		NumItems:   d.NumItems,
+		ItemNames:  d.ItemNames,
+		ClassNames: d.ClassNames,
+		Rows:       make([]Row, 0, k*len(d.Rows)),
+	}
+	for i := 0; i < k; i++ {
+		out.Rows = append(out.Rows, d.Rows...)
+	}
+	return out
+}

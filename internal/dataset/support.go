@@ -1,0 +1,86 @@
+package dataset
+
+import "repro/internal/bitset"
+
+// SupportSet returns R(I'): the set of rows containing every item in items
+// (§2.1). An empty itemset is supported by every row.
+func SupportSet(d *Dataset, items []Item) *bitset.Set {
+	rows := bitset.New(len(d.Rows))
+	for ri := range d.Rows {
+		r := &d.Rows[ri]
+		ok := true
+		for _, it := range items {
+			if !r.HasItem(it) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows.Set(ri)
+		}
+	}
+	return rows
+}
+
+// CommonItems returns I(R'): the largest itemset contained in every row of
+// rows (§2.1). An empty row set yields every item.
+func CommonItems(d *Dataset, rows []int) []Item {
+	if len(rows) == 0 {
+		out := make([]Item, d.NumItems)
+		for i := range out {
+			out[i] = Item(i)
+		}
+		return out
+	}
+	// Intersect sorted item lists pairwise, starting from the first row.
+	common := append([]Item(nil), d.Rows[rows[0]].Items...)
+	for _, ri := range rows[1:] {
+		common = intersectSorted(common, d.Rows[ri].Items)
+		if len(common) == 0 {
+			break
+		}
+	}
+	return common
+}
+
+// CommonItemsSet is CommonItems over a bitset of row ids.
+func CommonItemsSet(d *Dataset, rows *bitset.Set) []Item {
+	return CommonItems(d, rows.Ints())
+}
+
+// Closure returns the closed itemset of items in d: I(R(items)).
+func Closure(d *Dataset, items []Item) []Item {
+	return CommonItemsSet(d, SupportSet(d, items))
+}
+
+func intersectSorted(a, b []Item) []Item {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SupportCounts returns (|R(A ∪ C)|, |R(A ∪ ¬C)|) for antecedent A = items
+// and consequent class c.
+func SupportCounts(d *Dataset, items []Item, c int) (pos, neg int) {
+	rows := SupportSet(d, items)
+	rows.ForEach(func(ri int) {
+		if d.Rows[ri].Class == c {
+			pos++
+		} else {
+			neg++
+		}
+	})
+	return pos, neg
+}

@@ -1,0 +1,49 @@
+package dataset
+
+// Transposed is the transposed table TT of Figure 1(b): for each item, the
+// ascending list of row ids that contain it. Row-enumeration miners treat
+// each item's row list as one "tuple" of TT.
+type Transposed struct {
+	NumRows int
+	Lists   [][]int32 // Lists[item] = sorted row ids containing item
+}
+
+// Transpose builds the transposed table of d.
+func Transpose(d *Dataset) *Transposed {
+	t := &Transposed{NumRows: len(d.Rows), Lists: make([][]int32, d.NumItems)}
+	counts := make([]int, d.NumItems)
+	for _, r := range d.Rows {
+		for _, it := range r.Items {
+			counts[it]++
+		}
+	}
+	for it, c := range counts {
+		if c > 0 {
+			t.Lists[it] = make([]int32, 0, c)
+		}
+	}
+	for ri, r := range d.Rows {
+		for _, it := range r.Items {
+			t.Lists[it] = append(t.Lists[it], int32(ri))
+		}
+	}
+	return t
+}
+
+// ItemsOfRow returns the items whose lists contain row ri. It is the inverse
+// view used by tests; miners index Lists directly.
+func (t *Transposed) ItemsOfRow(ri int) []Item {
+	var out []Item
+	for it, list := range t.Lists {
+		for _, r := range list {
+			if int(r) == ri {
+				out = append(out, Item(it))
+				break
+			}
+			if int(r) > ri {
+				break
+			}
+		}
+	}
+	return out
+}

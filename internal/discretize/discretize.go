@@ -1,0 +1,224 @@
+// Package discretize converts continuous gene-expression matrices into the
+// categorical item space mined by FARMER.
+//
+// The paper uses two schemes (§4): equal-depth partitioning with 10 buckets
+// for the efficiency study, and entropy-minimized (Fayyad–Irani MDL)
+// partitioning for the classifier study. Both are implemented here, plus
+// equal-width for completeness. A fitted Discretizer maps (column, value)
+// pairs to dense item ids; columns whose fit produced no cut point (constant
+// or uninformative columns) are dropped from the item space.
+package discretize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Discretizer holds per-column cut points and the item-id layout derived
+// from them. Obtain one from EqualDepth, EqualWidth, or EntropyMDL and apply
+// it with Apply; applying the discretizer fitted on training data to test
+// data keeps the item vocabularies aligned.
+type Discretizer struct {
+	// Cuts[c] holds the ascending cut points of column c. A value v falls in
+	// bucket b = number of cuts < v... specifically the first bucket whose
+	// cut is ≥ v (right-inclusive intervals). Columns with no cuts are
+	// dropped from the item space.
+	Cuts [][]float64
+
+	colNames []string
+	offsets  []int32 // offsets[c] = first item id of column c; -1 if dropped
+	numItems int
+}
+
+// NumItems returns the size of the produced item space.
+func (d *Discretizer) NumItems() int { return d.numItems }
+
+// Buckets returns the number of buckets of column c (0 if dropped).
+func (d *Discretizer) Buckets(c int) int {
+	if d.offsets[c] < 0 {
+		return 0
+	}
+	return len(d.Cuts[c]) + 1
+}
+
+// Kept reports whether column c contributes items.
+func (d *Discretizer) Kept(c int) bool { return d.offsets[c] >= 0 }
+
+// Columns returns, per source column, the first item id it produced
+// (-1 for dropped columns). Item ids of column c's buckets are contiguous
+// from that base.
+func (d *Discretizer) Columns() []int {
+	out := make([]int, len(d.offsets))
+	for i, off := range d.offsets {
+		out[i] = int(off)
+	}
+	return out
+}
+
+// Bucket returns the bucket index of value v in column c.
+func (d *Discretizer) Bucket(c int, v float64) int {
+	cuts := d.Cuts[c]
+	return sort.Search(len(cuts), func(i int) bool { return cuts[i] >= v })
+}
+
+// ItemFor returns the item id of value v in column c, or -1 if the column
+// was dropped.
+func (d *Discretizer) ItemFor(c int, v float64) dataset.Item {
+	if d.offsets[c] < 0 {
+		return -1
+	}
+	return d.offsets[c] + dataset.Item(d.Bucket(c, v))
+}
+
+// ItemColumn returns the source column of item it, or -1 if it is not a
+// valid item of this discretizer.
+func (d *Discretizer) ItemColumn(it dataset.Item) int {
+	for c, off := range d.offsets {
+		if off >= 0 && off <= it && int(it-off) <= len(d.Cuts[c]) {
+			return c
+		}
+	}
+	return -1
+}
+
+// BucketRange returns the half-open value range (lo, hi] of bucket b in
+// column c, using ±Inf at the extremes.
+func (d *Discretizer) BucketRange(c, b int) (lo, hi float64) {
+	cuts := d.Cuts[c]
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if b > 0 {
+		lo = cuts[b-1]
+	}
+	if b < len(cuts) {
+		hi = cuts[b]
+	}
+	return lo, hi
+}
+
+// Apply discretizes m into a categorical dataset. Every kept column emits
+// exactly one item per row.
+func (d *Discretizer) Apply(m *dataset.Matrix) (*dataset.Dataset, error) {
+	if len(m.ColNames) != len(d.Cuts) {
+		return nil, fmt.Errorf("discretize: matrix has %d columns, discretizer fitted on %d", len(m.ColNames), len(d.Cuts))
+	}
+	out := &dataset.Dataset{
+		NumItems:   d.numItems,
+		ItemNames:  d.itemNames(),
+		ClassNames: append([]string(nil), m.ClassNames...),
+	}
+	for ri, vals := range m.Values {
+		items := make([]dataset.Item, 0, d.numItems/4+1)
+		for c, v := range vals {
+			if it := d.ItemFor(c, v); it >= 0 {
+				items = append(items, it)
+			}
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		out.Rows = append(out.Rows, dataset.Row{Items: items, Class: m.Labels[ri]})
+	}
+	return out, out.Validate()
+}
+
+func (d *Discretizer) itemNames() []string {
+	names := make([]string, d.numItems)
+	for c, off := range d.offsets {
+		if off < 0 {
+			continue
+		}
+		for b := 0; b <= len(d.Cuts[c]); b++ {
+			names[int(off)+b] = fmt.Sprintf("%s#%d", d.colName(c), b)
+		}
+	}
+	return names
+}
+
+func (d *Discretizer) colName(c int) string {
+	if c < len(d.colNames) && d.colNames[c] != "" {
+		return d.colNames[c]
+	}
+	return fmt.Sprintf("c%d", c)
+}
+
+// finish computes the item layout once Cuts is populated.
+func (d *Discretizer) finish() {
+	d.offsets = make([]int32, len(d.Cuts))
+	n := 0
+	for c, cuts := range d.Cuts {
+		if len(cuts) == 0 {
+			d.offsets[c] = -1
+			continue
+		}
+		d.offsets[c] = int32(n)
+		n += len(cuts) + 1
+	}
+	d.numItems = n
+}
+
+// EqualDepth fits cut points so each column splits into up to `buckets`
+// intervals holding roughly equal numbers of rows. Cut points are midpoints
+// between distinct neighbouring values, so duplicated values never straddle
+// a cut; columns with fewer distinct values than buckets get fewer buckets.
+func EqualDepth(m *dataset.Matrix, buckets int) (*Discretizer, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 buckets, got %d", buckets)
+	}
+	d := &Discretizer{Cuts: make([][]float64, m.NumCols()), colNames: m.ColNames}
+	n := m.NumRows()
+	for c := 0; c < m.NumCols(); c++ {
+		col := m.Column(c)
+		sort.Float64s(col)
+		var cuts []float64
+		for k := 1; k < buckets; k++ {
+			r := k * n / buckets
+			if r <= 0 || r >= n {
+				continue
+			}
+			lo, hi := col[r-1], col[r]
+			if lo == hi {
+				continue // cannot cut inside a run of equal values
+			}
+			cut := lo + (hi-lo)/2
+			if len(cuts) == 0 || cut > cuts[len(cuts)-1] {
+				cuts = append(cuts, cut)
+			}
+		}
+		d.Cuts[c] = cuts
+	}
+	d.finish()
+	return d, nil
+}
+
+// EqualWidth fits `buckets` equal-width intervals spanning each column's
+// observed range.
+func EqualWidth(m *dataset.Matrix, buckets int) (*Discretizer, error) {
+	if buckets < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 buckets, got %d", buckets)
+	}
+	d := &Discretizer{Cuts: make([][]float64, m.NumCols()), colNames: m.ColNames}
+	for c := 0; c < m.NumCols(); c++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range m.Values {
+			v := row[c]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if !(hi > lo) {
+			continue // constant column -> dropped
+		}
+		w := (hi - lo) / float64(buckets)
+		cuts := make([]float64, 0, buckets-1)
+		for k := 1; k < buckets; k++ {
+			cuts = append(cuts, lo+float64(k)*w)
+		}
+		d.Cuts[c] = cuts
+	}
+	d.finish()
+	return d, nil
+}

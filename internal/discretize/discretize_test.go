@@ -1,0 +1,290 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func matrixOf(cols []string, classes []string, labels []int, rows ...[]float64) *dataset.Matrix {
+	return &dataset.Matrix{ColNames: cols, ClassNames: classes, Labels: labels, Values: rows}
+}
+
+func TestEqualDepthBasic(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a"}, []int{0, 0, 0, 0},
+		[]float64{1}, []float64{2}, []float64{3}, []float64{4})
+	d, err := EqualDepth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cuts[0]; len(got) != 1 || got[0] != 2.5 {
+		t.Fatalf("cuts = %v, want [2.5]", got)
+	}
+	if d.Buckets(0) != 2 || d.NumItems() != 2 {
+		t.Fatalf("buckets=%d items=%d", d.Buckets(0), d.NumItems())
+	}
+	if d.Bucket(0, 2.5) != 0 || d.Bucket(0, 2.6) != 1 {
+		t.Fatal("bucket boundary should be right-inclusive")
+	}
+}
+
+func TestEqualDepthBalancedCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([][]float64, 100)
+	labels := make([]int, 100)
+	for i := range vals {
+		vals[i] = []float64{rng.NormFloat64()}
+	}
+	m := matrixOf([]string{"g"}, []string{"a"}, labels, vals...)
+	d, err := EqualDepth(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Buckets(0) != 10 {
+		t.Fatalf("buckets = %d, want 10", d.Buckets(0))
+	}
+	counts := make([]int, 10)
+	for _, row := range m.Values {
+		counts[d.Bucket(0, row[0])]++
+	}
+	for b, c := range counts {
+		if c != 10 {
+			t.Fatalf("bucket %d holds %d values, want 10 (counts=%v)", b, c, counts)
+		}
+	}
+}
+
+func TestEqualDepthConstantColumnDropped(t *testing.T) {
+	m := matrixOf([]string{"g1", "g2"}, []string{"a"}, []int{0, 0},
+		[]float64{5, 1}, []float64{5, 2})
+	d, err := EqualDepth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kept(0) {
+		t.Fatal("constant column kept")
+	}
+	if !d.Kept(1) || d.NumItems() != 2 {
+		t.Fatalf("variable column items = %d, want 2", d.NumItems())
+	}
+	if d.ItemFor(0, 5) != -1 {
+		t.Fatal("dropped column should yield item -1")
+	}
+}
+
+func TestEqualDepthDuplicateHeavyColumn(t *testing.T) {
+	// 9 copies of 1 and one 2: the only legal cut is between 1 and 2.
+	rows := make([][]float64, 10)
+	labels := make([]int, 10)
+	for i := range rows {
+		rows[i] = []float64{1}
+	}
+	rows[9][0] = 2
+	m := matrixOf([]string{"g"}, []string{"a"}, labels, rows...)
+	d, err := EqualDepth(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cuts[0]; !reflect.DeepEqual(got, []float64{1.5}) {
+		t.Fatalf("cuts = %v, want [1.5]", got)
+	}
+}
+
+func TestEqualDepthRejectsFewBuckets(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a"}, []int{0}, []float64{1})
+	if _, err := EqualDepth(m, 1); err == nil {
+		t.Fatal("1 bucket accepted")
+	}
+}
+
+func TestEqualWidth(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a"}, []int{0, 0, 0},
+		[]float64{0}, []float64{5}, []float64{10})
+	d, err := EqualWidth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Cuts[0]; !reflect.DeepEqual(got, []float64{5.0}) {
+		t.Fatalf("cuts = %v, want [5]", got)
+	}
+	if d.Bucket(0, 5) != 0 || d.Bucket(0, 5.01) != 1 {
+		t.Fatal("equal-width boundary wrong")
+	}
+}
+
+func TestEqualWidthConstantDropped(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a"}, []int{0, 0}, []float64{3}, []float64{3})
+	d, err := EqualWidth(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumItems() != 0 {
+		t.Fatalf("NumItems = %d, want 0", d.NumItems())
+	}
+}
+
+func TestApplyProducesValidDataset(t *testing.T) {
+	m := matrixOf([]string{"g1", "g2"}, []string{"pos", "neg"}, []int{0, 1, 0, 1},
+		[]float64{1, 10}, []float64{2, 20}, []float64{3, 30}, []float64{4, 40})
+	d, err := EqualDepth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := d.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 4 || ds.NumItems != 4 {
+		t.Fatalf("shape = %d rows %d items", ds.NumRows(), ds.NumItems)
+	}
+	// Every row has one item per kept column.
+	for ri, r := range ds.Rows {
+		if len(r.Items) != 2 {
+			t.Fatalf("row %d has %d items, want 2", ri, len(r.Items))
+		}
+	}
+	if ds.Rows[0].Class != 0 || ds.Rows[1].Class != 1 {
+		t.Fatal("labels not carried over")
+	}
+	// Row 0: g1=1 -> bucket 0 (item 0); g2=10 -> bucket 0 (item 2).
+	if !reflect.DeepEqual(ds.Rows[0].Items, []dataset.Item{0, 2}) {
+		t.Fatalf("row 0 items = %v", ds.Rows[0].Items)
+	}
+	if ds.ItemNames[0] != "g1#0" || ds.ItemNames[3] != "g2#1" {
+		t.Fatalf("item names = %v", ds.ItemNames)
+	}
+}
+
+func TestApplyColumnCountMismatch(t *testing.T) {
+	m := matrixOf([]string{"g1"}, []string{"a"}, []int{0}, []float64{1})
+	d, err := EqualWidth(matrixOf([]string{"g1", "g2"}, []string{"a"}, []int{0}, []float64{1, 2}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(m); err == nil {
+		t.Fatal("column mismatch accepted")
+	}
+}
+
+func TestItemColumnAndBucketRange(t *testing.T) {
+	m := matrixOf([]string{"g1", "g2"}, []string{"a"}, []int{0, 0, 0},
+		[]float64{1, 1}, []float64{2, 2}, []float64{3, 3})
+	d, err := EqualWidth(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ItemColumn(0) != 0 || d.ItemColumn(1) != 0 || d.ItemColumn(2) != 1 || d.ItemColumn(3) != 1 {
+		t.Fatal("ItemColumn mapping wrong")
+	}
+	if d.ItemColumn(99) != -1 {
+		t.Fatal("out-of-range item should map to -1")
+	}
+	lo, hi := d.BucketRange(0, 0)
+	if !math.IsInf(lo, -1) || hi != 2 {
+		t.Fatalf("BucketRange(0,0) = (%v,%v)", lo, hi)
+	}
+	lo, hi = d.BucketRange(0, 1)
+	if lo != 2 || !math.IsInf(hi, 1) {
+		t.Fatalf("BucketRange(0,1) = (%v,%v)", lo, hi)
+	}
+}
+
+// EntropyMDL must find the obvious cut in a perfectly separable column and
+// refuse to cut noise.
+func TestEntropyMDLSeparableVsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	rows := make([][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = i % 2
+		sep := float64(labels[i])*10 + rng.Float64() // class 0: [0,1); class 1: [10,11)
+		noise := rng.NormFloat64()
+		rows[i] = []float64{sep, noise}
+	}
+	m := matrixOf([]string{"sep", "noise"}, []string{"neg", "pos"}, labels, rows...)
+	d, err := EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Kept(0) {
+		t.Fatal("separable column dropped")
+	}
+	if len(d.Cuts[0]) < 1 || d.Cuts[0][0] < 1 || d.Cuts[0][0] > 10 {
+		t.Fatalf("separable cut = %v, want within (1,10)", d.Cuts[0])
+	}
+	if d.Kept(1) {
+		t.Fatalf("noise column kept with cuts %v", d.Cuts[1])
+	}
+	// The separable column classifies perfectly through its buckets.
+	for i := 0; i < n; i++ {
+		b := d.Bucket(0, rows[i][0])
+		want := 0
+		if rows[i][0] > d.Cuts[0][len(d.Cuts[0])-1] {
+			want = len(d.Cuts[0])
+		}
+		_ = want
+		if (labels[i] == 0) != (b == 0) {
+			t.Fatalf("row %d: bucket %d does not separate classes", i, b)
+		}
+	}
+}
+
+func TestEntropyMDLPureColumnNoCut(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"only"}, []int{0, 0, 0},
+		[]float64{1}, []float64{2}, []float64{3})
+	d, err := EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kept(0) {
+		t.Fatal("single-class column should have no accepted cut")
+	}
+}
+
+func TestEntropyMDLConstantColumn(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a", "b"}, []int{0, 1},
+		[]float64{7}, []float64{7})
+	d, err := EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kept(0) {
+		t.Fatal("constant column kept")
+	}
+}
+
+func TestEntropyMDLTinyInput(t *testing.T) {
+	m := matrixOf([]string{"g"}, []string{"a", "b"}, []int{0}, []float64{1})
+	if _, err := EntropyMDL(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntropyMDLCutsSorted(t *testing.T) {
+	// Three separated clusters alternating classes force recursive cuts.
+	var rows [][]float64
+	var labels []int
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []float64{float64(i % 2 * 100)})
+		labels = append(labels, i%2)
+	}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, []float64{50})
+		labels = append(labels, 0)
+	}
+	m := matrixOf([]string{"g"}, []string{"a", "b"}, labels, rows...)
+	d, err := EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := d.Cuts[0]
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i-1] >= cuts[i] {
+			t.Fatalf("cuts not sorted: %v", cuts)
+		}
+	}
+}

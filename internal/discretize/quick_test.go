@@ -1,0 +1,142 @@
+package discretize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func matrixFromFloats(vals []float64, cols int) *dataset.Matrix {
+	if cols < 1 {
+		cols = 1
+	}
+	rows := len(vals) / cols
+	m := &dataset.Matrix{ClassNames: []string{"a", "b"}}
+	for c := 0; c < cols; c++ {
+		m.ColNames = append(m.ColNames, "g")
+	}
+	for r := 0; r < rows; r++ {
+		m.Values = append(m.Values, vals[r*cols:(r+1)*cols])
+		m.Labels = append(m.Labels, r%2)
+	}
+	return m
+}
+
+// Laws every discretizer must satisfy: buckets partition the real line
+// (monotone bucket index in the value), item ids are dense and consistent
+// with ItemFor/ItemColumn, and Apply emits exactly one item per kept column.
+func TestQuickDiscretizerLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(7))}
+	f := func(raw []float64, colsRaw uint8, buckets uint8) bool {
+		cols := 1 + int(colsRaw)%4
+		nb := 2 + int(buckets)%8
+		if len(raw) < 2*cols || len(raw) > 60*cols {
+			return true
+		}
+		for _, v := range raw {
+			if v != v || v > 1e300 || v < -1e300 {
+				return true // skip NaN/Inf-ish quick inputs
+			}
+		}
+		m := matrixFromFloats(raw, cols)
+		for _, fit := range []func() (*Discretizer, error){
+			func() (*Discretizer, error) { return EqualDepth(m, nb) },
+			func() (*Discretizer, error) { return EqualWidth(m, nb) },
+			func() (*Discretizer, error) { return EntropyMDL(m) },
+		} {
+			d, err := fit()
+			if err != nil {
+				return false
+			}
+			// Monotone bucket index over sampled value pairs.
+			for c := 0; c < cols; c++ {
+				if !d.Kept(c) {
+					continue
+				}
+				for r := 1; r < m.NumRows(); r++ {
+					a, b := m.Values[r-1][c], m.Values[r][c]
+					ba, bb := d.Bucket(c, a), d.Bucket(c, b)
+					if (a < b && ba > bb) || (a > b && ba < bb) {
+						return false
+					}
+					if a == b && ba != bb {
+						return false
+					}
+				}
+				// ItemFor/ItemColumn round trip.
+				for r := 0; r < m.NumRows(); r++ {
+					it := d.ItemFor(c, m.Values[r][c])
+					if it < 0 || d.ItemColumn(it) != c {
+						return false
+					}
+				}
+			}
+			// Apply: one item per kept column, valid dataset.
+			ds, err := d.Apply(m)
+			if err != nil {
+				return false
+			}
+			kept := 0
+			for c := 0; c < cols; c++ {
+				if d.Kept(c) {
+					kept++
+				}
+			}
+			for _, row := range ds.Rows {
+				if len(row.Items) != kept {
+					return false
+				}
+			}
+			if ds.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equal-depth bucket sizes differ by at most the tie mass: with all-distinct
+// values the largest and smallest bucket differ by at most ceil(n/buckets).
+func TestQuickEqualDepthBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 60; iter++ {
+		n := 10 + rng.Intn(90)
+		nb := 2 + rng.Intn(9)
+		vals := make([]float64, n)
+		seen := map[float64]bool{}
+		for i := range vals {
+			v := rng.NormFloat64()
+			for seen[v] {
+				v = rng.NormFloat64()
+			}
+			seen[v] = true
+			vals[i] = v
+		}
+		m := matrixFromFloats(vals, 1)
+		d, err := EqualDepth(m, nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, d.Buckets(0))
+		for _, row := range m.Values {
+			counts[d.Bucket(0, row[0])]++
+		}
+		lo, hi := n, 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > n/nb+1 {
+			t.Fatalf("imbalanced buckets with distinct values: %v (n=%d nb=%d)", counts, n, nb)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cobbler"
+	"repro/internal/synth"
+)
+
+// CobblerRow is one minsup point of the COBBLER mode comparison.
+type CobblerRow struct {
+	MinSup   int
+	Dynamic  time.Duration
+	RowOnly  time.Duration
+	FeatOnly time.Duration
+	Patterns int
+	Switches int64
+}
+
+// CobblerResult measures what COBBLER's dynamic row/feature switching buys
+// over either enumeration mode alone — the design the FARMER companion talk
+// presents as the follow-up system.
+type CobblerResult struct {
+	Dataset string
+	Rows    []CobblerRow
+}
+
+// Cobbler runs the three enumeration policies over the minsup sweep.
+func Cobbler(spec synth.Spec, cfg Config) (*CobblerResult, error) {
+	cfg.setDefaults()
+	d, err := benchDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	numPos := d.ClassCount(0)
+	out := &CobblerResult{Dataset: spec.Name}
+	for _, minsup := range minsupSweep(numPos, true /* always the short sweep */) {
+		row := CobblerRow{MinSup: minsup}
+		start := time.Now()
+		dyn, err := cobbler.Mine(d, cobbler.Options{MinSup: minsup})
+		if err != nil {
+			return nil, err
+		}
+		row.Dynamic = time.Since(start)
+		row.Patterns = len(dyn.Patterns)
+		row.Switches = dyn.Switches
+
+		start = time.Now()
+		if _, err := cobbler.Mine(d, cobbler.Options{MinSup: minsup, ForceMode: "row"}); err != nil {
+			return nil, err
+		}
+		row.RowOnly = time.Since(start)
+
+		start = time.Now()
+		if _, err := cobbler.Mine(d, cobbler.Options{MinSup: minsup, ForceMode: "feature"}); err != nil {
+			return nil, err
+		}
+		row.FeatOnly = time.Since(start)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (r *CobblerResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "COBBLER — %s: dynamic switching vs forced enumeration modes\n", r.Dataset)
+	fmt.Fprintf(&b, "%8s  %14s  %14s  %14s  %10s  %9s\n",
+		"minsup", "dynamic", "row only", "feature only", "#patterns", "switches")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d  %14v  %14v  %14v  %10d  %9d\n",
+			row.MinSup, row.Dynamic.Round(10*time.Microsecond),
+			row.RowOnly.Round(10*time.Microsecond),
+			row.FeatOnly.Round(10*time.Microsecond), row.Patterns, row.Switches)
+	}
+	return b.String()
+}

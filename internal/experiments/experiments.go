@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the FARMER
+// paper's evaluation (§4) on the synthetic stand-ins for the five clinical
+// microarray datasets:
+//
+//	Table 1     dataset characteristics
+//	Figure 10   runtime vs minimum support (FARMER / ColumnE / CHARM) and
+//	            number of IRGs vs minimum support
+//	Figure 11   runtime and #IRGs vs minimum confidence at minsup = 1, with
+//	            and without the chi-square constraint (minchi = 10)
+//	Table 2     classification accuracy (IRG classifier / CBA / SVM)
+//	Scale-up    runtime as datasets are replicated 2–10× (§4.1, ref [6])
+//	Ablation    effect of pruning strategies 1–3 (DESIGN.md design-choice
+//	            benches; not a paper figure)
+//
+// Absolute times differ from the paper's 2004 hardware; the reproduced
+// claims are the runtime ORDERINGS and TRENDS. Baselines run under a work
+// budget and report DNF ("did not finish"), mirroring how the paper's plots
+// cut off CHARM (out of memory) and ColumnE (>1 day).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Buckets is the equal-depth bucket count for the efficiency
+	// experiments. Default 10 (the paper's setting).
+	Buckets int
+
+	// BaselineBudget is the work budget handed to ColumnE, CHARM and the
+	// CLOSET-style miner; a run that exhausts it is reported DNF.
+	// Default 5,000,000 (a few seconds per run).
+	BaselineBudget int64
+
+	// Quick shrinks the sweeps (used by tests and -short benchmarks).
+	Quick bool
+}
+
+func (c *Config) setDefaults() {
+	if c.Buckets == 0 {
+		c.Buckets = 10
+	}
+	if c.BaselineBudget == 0 {
+		c.BaselineBudget = 5_000_000
+	}
+}
+
+// AlgoResult is one algorithm's outcome at one sweep point.
+type AlgoResult struct {
+	Runtime time.Duration
+	Count   int  // IRGs (FARMER/ColumnE) or closed sets (CHARM/CLOSET)
+	DNF     bool // work budget exhausted before completion
+}
+
+func (a AlgoResult) String() string {
+	if a.DNF {
+		return fmt.Sprintf("DNF(>%v)", a.Runtime.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%v (%d)", a.Runtime.Round(10*time.Microsecond), a.Count)
+}
+
+// benchDataset generates the equal-depth-discretized dataset for a spec.
+func benchDataset(spec synth.Spec, cfg Config) (*dataset.Dataset, error) {
+	return spec.GenerateDiscrete(cfg.Buckets)
+}
+
+// runFARMER times one FARMER invocation (including lower bounds, as the
+// paper's reported runtimes do).
+func runFARMER(d *dataset.Dataset, opt core.Options) (AlgoResult, *core.Result, error) {
+	opt.ComputeLowerBounds = true
+	start := time.Now()
+	res, err := core.Mine(d, 0, opt)
+	if err != nil {
+		return AlgoResult{}, nil, err
+	}
+	return AlgoResult{Runtime: time.Since(start), Count: len(res.Groups)}, res, nil
+}
+
+// runColumnE times one ColumnE invocation under the work budget.
+func runColumnE(d *dataset.Dataset, opt columne.Options) (AlgoResult, error) {
+	start := time.Now()
+	res, err := columne.Mine(d, 0, opt)
+	elapsed := time.Since(start)
+	if err == columne.ErrBudget {
+		return AlgoResult{Runtime: elapsed, DNF: true}, nil
+	}
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	return AlgoResult{Runtime: elapsed, Count: len(res.Rules)}, nil
+}
+
+// runCHARM times one CHARM invocation under the work budget.
+func runCHARM(d *dataset.Dataset, opt charm.Options) (AlgoResult, error) {
+	start := time.Now()
+	res, err := charm.Mine(d, opt)
+	elapsed := time.Since(start)
+	if err == charm.ErrBudget {
+		return AlgoResult{Runtime: elapsed, DNF: true}, nil
+	}
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	return AlgoResult{Runtime: elapsed, Count: len(res.Closed)}, nil
+}
+
+// runCLOSET times one CLOSET-style invocation under the work budget.
+func runCLOSET(d *dataset.Dataset, opt closet.Options) (AlgoResult, error) {
+	start := time.Now()
+	res, err := closet.Mine(d, opt)
+	elapsed := time.Since(start)
+	if err == closet.ErrBudget {
+		return AlgoResult{Runtime: elapsed, DNF: true}, nil
+	}
+	if err != nil {
+		return AlgoResult{}, err
+	}
+	return AlgoResult{Runtime: elapsed, Count: len(res.Closed)}, nil
+}
+
+// minsupSweep derives the absolute minimum-support sweep for a dataset from
+// its consequent-class size, highest first (the paper sweeps right to left).
+func minsupSweep(numPos int, quick bool) []int {
+	fracs := []float64{0.9, 0.7, 0.5, 0.35, 0.25, 0.15}
+	if quick {
+		fracs = []float64{0.9, 0.5, 0.25}
+	}
+	var out []int
+	seen := map[int]bool{}
+	for _, f := range fracs {
+		v := int(f * float64(numPos))
+		if v < 1 {
+			v = 1
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// minconfSweep is the Figure 11 x-axis.
+func minconfSweep(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.8, 0.99}
+	}
+	return []float64{0, 0.5, 0.7, 0.8, 0.85, 0.9, 0.99}
+}

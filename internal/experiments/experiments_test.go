@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, BaselineBudget: 500_000}
+}
+
+func ctSpec(t *testing.T) synth.Spec {
+	t.Helper()
+	s, ok := synth.BenchSpec("CT")
+	if !ok {
+		t.Fatal("CT bench spec missing")
+	}
+	return s
+}
+
+func TestMinsupSweep(t *testing.T) {
+	sweep := minsupSweep(20, false)
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i-1] <= sweep[i] {
+			t.Fatalf("sweep not descending: %v", sweep)
+		}
+	}
+	if sweep[0] != 18 {
+		t.Fatalf("sweep[0] = %d, want 18", sweep[0])
+	}
+	// Tiny class sizes collapse but never go below 1.
+	for _, v := range minsupSweep(2, false) {
+		if v < 1 {
+			t.Fatalf("sweep has %d", v)
+		}
+	}
+}
+
+func TestFigure10Quick(t *testing.T) {
+	res, err := Figure10(ctSpec(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no sweep rows")
+	}
+	for _, row := range res.Rows {
+		if row.FARMER.DNF {
+			t.Fatalf("FARMER DNF at minsup %d", row.MinSup)
+		}
+		// ColumnE and FARMER count the same rule groups when both finish.
+		if !row.ColumnE.DNF && row.ColumnE.Count != row.FARMER.Count {
+			t.Fatalf("minsup %d: ColumnE %d groups, FARMER %d",
+				row.MinSup, row.ColumnE.Count, row.FARMER.Count)
+		}
+	}
+	// IRG count is non-increasing in minsup (sweep is descending minsup,
+	// so counts must be non-decreasing down the rows).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].FARMER.Count < res.Rows[i-1].FARMER.Count {
+			t.Fatalf("IRG count decreased when minsup dropped: %+v", res.Rows)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 10") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure11Quick(t *testing.T) {
+	res, err := Figure11(ctSpec(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3 (quick sweep)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The chi-square constraint can only shrink the result set.
+		if row.Chi10.Count > row.Chi0.Count {
+			t.Fatalf("minchi=10 grew the IRG set at minconf %v", row.MinConf)
+		}
+	}
+	// #IRGs non-increasing in minconf.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Chi0.Count > res.Rows[i-1].Chi0.Count {
+			t.Fatalf("IRG count grew with minconf: %+v", res.Rows)
+		}
+	}
+	if !strings.Contains(res.Render(), "minchi=10") {
+		t.Fatal("render missing series")
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	s := Table1(synth.PaperSpecs())
+	for _, name := range []string{"BC", "LC", "CT", "PC", "ALL", "24481", "relapse"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("Table 1 missing %q:\n%s", name, s)
+		}
+	}
+}
+
+func TestTable2OnBenchScale(t *testing.T) {
+	// Bench-scale specs keep the test fast; the full-size run happens in
+	// cmd/experiments and the benchmarks.
+	res, err := Table2([]synth.Spec{ctSpec(t)}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r.NumTrain+r.NumTest != ctSpec(t).Rows {
+		t.Fatalf("split sizes %d+%d != %d", r.NumTrain, r.NumTest, ctSpec(t).Rows)
+	}
+	for _, acc := range []float64{r.IRG, r.CBA, r.SVM} {
+		if acc < 0 || acc > 1 {
+			t.Fatalf("accuracy %v outside [0,1]", acc)
+		}
+	}
+	irg, cba, svm := res.Averages()
+	if irg != r.IRG || cba != r.CBA || svm != r.SVM {
+		t.Fatal("single-row averages wrong")
+	}
+	if !strings.Contains(res.Render(), "Average") {
+		t.Fatal("render missing average row")
+	}
+}
+
+func TestTrainSizeMapping(t *testing.T) {
+	// Paper-size CT: exact split 47/15.
+	full, _ := synth.PaperSpec("CT")
+	if got := trainSize(full); got != 47 {
+		t.Fatalf("full CT train size = %d, want 47", got)
+	}
+	// Scaled CT: proportional.
+	bench, _ := synth.BenchSpec("CT")
+	got := trainSize(bench)
+	if got < 2 || got >= bench.Rows-1 {
+		t.Fatalf("bench CT train size %d outside sane range", got)
+	}
+	// Unknown dataset: 2/3 heuristic.
+	if got := trainSize(synth.Spec{Name: "zz", Rows: 30}); got != 20 {
+		t.Fatalf("unknown spec train size = %d, want 20", got)
+	}
+}
+
+func TestScaleUpQuick(t *testing.T) {
+	res, err := ScaleUp(ctSpec(t), []int{1, 2}, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[1].Rows != 2*res.Rows[0].Rows {
+		t.Fatal("replication row counts wrong")
+	}
+	if _, err := ScaleUp(ctSpec(t), []int{0}, quickCfg()); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if !strings.Contains(res.Render(), "Scale-up") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	res, err := Ablation(ctSpec(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d variants, want 5", len(res.Rows))
+	}
+	full := res.Rows[0]
+	for _, row := range res.Rows[1:] {
+		if row.Groups != full.Groups {
+			t.Fatalf("ablation changed results: %s found %d groups, full %d",
+				row.Variant, row.Groups, full.Groups)
+		}
+		if row.Nodes < full.Nodes {
+			t.Fatalf("disabling pruning reduced nodes: %s %d < %d",
+				row.Variant, row.Nodes, full.Nodes)
+		}
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestClosetComparisonQuick(t *testing.T) {
+	res, err := ClosetComparison(ctSpec(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if !row.CHARM.DNF && !row.CLOSET.DNF && row.CHARM.Count != row.CLOSET.Count {
+			t.Fatalf("closed-set counts disagree at minsup %d: %d vs %d",
+				row.MinSup, row.CHARM.Count, row.CLOSET.Count)
+		}
+	}
+	if !strings.Contains(res.Render(), "CLOSET") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestCobblerQuick(t *testing.T) {
+	res, err := Cobbler(ctSpec(t), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.Patterns <= 0 && row.MinSup <= 4 {
+			t.Fatalf("no patterns at minsup %d", row.MinSup)
+		}
+	}
+	if !strings.Contains(res.Render(), "COBBLER") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestAlgoResultString(t *testing.T) {
+	if s := (AlgoResult{DNF: true}).String(); !strings.Contains(s, "DNF") {
+		t.Fatalf("DNF render = %q", s)
+	}
+	if s := (AlgoResult{Count: 7}).String(); !strings.Contains(s, "(7)") {
+		t.Fatalf("count render = %q", s)
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/charm"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Fig10Row is one minimum-support sweep point of Figure 10: the runtimes of
+// the three algorithms (a–e) and FARMER's IRG count (f).
+type Fig10Row struct {
+	MinSup  int
+	FARMER  AlgoResult
+	ColumnE AlgoResult
+	CHARM   AlgoResult
+}
+
+// Fig10Result is one dataset's panel of Figure 10.
+type Fig10Result struct {
+	Dataset string
+	NumPos  int
+	Rows    []Fig10Row
+}
+
+// Figure10 reproduces one panel of Figure 10 for the given dataset spec:
+// runtime vs minimum support with minconf = minchi = 0, plus the IRG counts
+// of panel (f).
+func Figure10(spec synth.Spec, cfg Config) (*Fig10Result, error) {
+	cfg.setDefaults()
+	d, err := benchDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	numPos := d.ClassCount(0)
+	out := &Fig10Result{Dataset: spec.Name, NumPos: numPos}
+	for _, minsup := range minsupSweep(numPos, cfg.Quick) {
+		row := Fig10Row{MinSup: minsup}
+		if row.FARMER, _, err = runFARMER(d, core.Options{MinSup: minsup}); err != nil {
+			return nil, err
+		}
+		if row.ColumnE, err = runColumnE(d, columne.Options{MinSup: minsup, MaxNodes: cfg.BaselineBudget}); err != nil {
+			return nil, err
+		}
+		if row.CHARM, err = runCHARM(d, charm.Options{MinSup: minsup, MaxNodes: cfg.BaselineBudget}); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the panel as a text table (the paper plots these series on
+// a log-scale y axis; who-is-above-whom is the reproduced content).
+func (r *Fig10Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10 — %s: runtime vs minsup (minconf=minchi=0); |C| = %d\n", r.Dataset, r.NumPos)
+	fmt.Fprintf(&b, "%8s  %22s  %22s  %22s  %8s\n", "minsup", "FARMER", "ColumnE", "CHARM", "#IRGs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d  %22s  %22s  %22s  %8d\n",
+			row.MinSup, row.FARMER, row.ColumnE, row.CHARM, row.FARMER.Count)
+	}
+	return b.String()
+}

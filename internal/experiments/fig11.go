@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+// Fig11ChiThreshold is the chi-square constraint of Figure 11's second line
+// (the paper's minchi = 10 setting).
+const Fig11ChiThreshold = 10.0
+
+// Fig11Row is one minimum-confidence sweep point of Figure 11, at minsup=1,
+// with and without the chi-square constraint.
+type Fig11Row struct {
+	MinConf float64
+	Chi0    AlgoResult // minchi = 0
+	Chi10   AlgoResult // minchi = Fig11ChiThreshold
+}
+
+// Fig11Result is one dataset's panel of Figure 11.
+type Fig11Result struct {
+	Dataset string
+	Rows    []Fig11Row
+}
+
+// Figure11 reproduces one panel of Figure 11: FARMER runtime vs minimum
+// confidence at minsup = 1, one series per chi-square setting, plus the
+// IRG counts of panel (f).
+func Figure11(spec synth.Spec, cfg Config) (*Fig11Result, error) {
+	cfg.setDefaults()
+	d, err := benchDataset(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig11Result{Dataset: spec.Name}
+	for _, minconf := range minconfSweep(cfg.Quick) {
+		row := Fig11Row{MinConf: minconf}
+		if row.Chi0, _, err = runFARMER(d, core.Options{MinSup: 1, MinConf: minconf}); err != nil {
+			return nil, err
+		}
+		if row.Chi10, _, err = runFARMER(d, core.Options{MinSup: 1, MinConf: minconf, MinChi: Fig11ChiThreshold}); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the panel as a text table.
+func (r *Fig11Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11 — %s: FARMER runtime vs minconf (minsup=1)\n", r.Dataset)
+	fmt.Fprintf(&b, "%8s  %22s  %22s  %10s  %10s\n",
+		"minconf", "minchi=0", "minchi=10", "#IRGs(0)", "#IRGs(10)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.2f  %22s  %22s  %10d  %10d\n",
+			row.MinConf, row.Chi0, row.Chi10, row.Chi0.Count, row.Chi10.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// The CSV renderers emit plot-ready series (one row per sweep point, one
+// column per algorithm, durations in milliseconds, DNF as empty cells) so
+// the figures can be regenerated with any plotting tool.
+
+// CSV renders Figure 10's panel as a CSV series.
+func (r *Fig10Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset,minsup,farmer_ms,columne_ms,charm_ms,irgs\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%s,%s,%s,%d\n", r.Dataset, row.MinSup,
+			csvMillis(row.FARMER), csvMillis(row.ColumnE), csvMillis(row.CHARM),
+			row.FARMER.Count)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 11's panel as a CSV series.
+func (r *Fig11Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset,minconf,chi0_ms,chi10_ms,irgs_chi0,irgs_chi10\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.2f,%s,%s,%d,%d\n", r.Dataset, row.MinConf,
+			csvMillis(row.Chi0), csvMillis(row.Chi10), row.Chi0.Count, row.Chi10.Count)
+	}
+	return b.String()
+}
+
+// CSV renders Table 2 as CSV.
+func (t *Table2Result) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset,train,test,irg,cba,svm\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f,%.4f,%.4f\n",
+			r.Dataset, r.NumTrain, r.NumTest, r.IRG, r.CBA, r.SVM)
+	}
+	return b.String()
+}
+
+// CSV renders the scale-up series as CSV.
+func (r *ScaleResult) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset,factor,rows,farmer_ms,charm_ms\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%s,%s\n", r.Dataset, row.Factor, row.Rows,
+			csvMillis(row.FARMER), csvMillis(row.CHARM))
+	}
+	return b.String()
+}
+
+func csvMillis(a AlgoResult) string {
+	if a.DNF {
+		return "" // empty cell = did not finish
+	}
+	return fmt.Sprintf("%.3f", float64(a.Runtime)/float64(time.Millisecond))
+}
+
+// Plot renders Figure 10's panel as an ASCII chart with a log-scale y axis
+// — the visual shape of the paper's figures in a terminal. DNF points are
+// drawn at the top margin with a '^'.
+func (r *Fig10Result) Plot() string {
+	series := []plotSeries{
+		{name: "FARMER", mark: 'F'},
+		{name: "ColumnE", mark: 'C'},
+		{name: "CHARM", mark: 'H'},
+	}
+	var xs []string
+	var points [][]plotPoint
+	for _, row := range r.Rows {
+		xs = append(xs, fmt.Sprintf("%d", row.MinSup))
+		points = append(points, []plotPoint{
+			algoPoint(row.FARMER), algoPoint(row.ColumnE), algoPoint(row.CHARM),
+		})
+	}
+	return renderLogPlot(fmt.Sprintf("Figure 10 — %s (runtime vs minsup, log scale)", r.Dataset),
+		"minsup", xs, series, points)
+}
+
+// Plot renders Figure 11's panel as an ASCII chart.
+func (r *Fig11Result) Plot() string {
+	series := []plotSeries{
+		{name: "minchi=0", mark: '0'},
+		{name: "minchi=10", mark: 'X'},
+	}
+	var xs []string
+	var points [][]plotPoint
+	for _, row := range r.Rows {
+		xs = append(xs, fmt.Sprintf("%.2f", row.MinConf))
+		points = append(points, []plotPoint{algoPoint(row.Chi0), algoPoint(row.Chi10)})
+	}
+	return renderLogPlot(fmt.Sprintf("Figure 11 — %s (runtime vs minconf, log scale)", r.Dataset),
+		"minconf", xs, series, points)
+}
+
+type plotSeries struct {
+	name string
+	mark byte
+}
+
+type plotPoint struct {
+	millis float64
+	dnf    bool
+}
+
+func algoPoint(a AlgoResult) plotPoint {
+	return plotPoint{millis: float64(a.Runtime) / float64(time.Millisecond), dnf: a.DNF}
+}
+
+// renderLogPlot draws a small fixed-height chart: y = log10(ms), one column
+// block per x value.
+func renderLogPlot(title, xlabel string, xs []string, series []plotSeries, points [][]plotPoint) string {
+	const height = 12
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ps := range points {
+		for _, p := range ps {
+			if p.dnf || p.millis <= 0 {
+				continue
+			}
+			v := math.Log10(p.millis)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) { // nothing finished
+		lo, hi = 0, 1
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1
+	}
+	colWidth := 0
+	for _, x := range xs {
+		if len(x) > colWidth {
+			colWidth = len(x)
+		}
+	}
+	colWidth += 2
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(xs)*colWidth))
+	}
+	put := func(col, row int, mark byte) {
+		pos := col*colWidth + colWidth/2
+		if grid[row][pos] == ' ' {
+			grid[row][pos] = mark
+		} else {
+			grid[row][pos] = '*' // overlapping series
+		}
+	}
+	for ci, ps := range points {
+		for si, p := range ps {
+			if p.dnf {
+				put(ci, 0, '^')
+				continue
+			}
+			if p.millis <= 0 {
+				continue
+			}
+			frac := (math.Log10(p.millis) - lo) / (hi - lo)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			put(ci, row, series[si].mark)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for i, line := range grid {
+		v := hi - (hi-lo)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%8.1fms |%s\n", math.Pow(10, v), string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", len(xs)*colWidth))
+	fmt.Fprintf(&b, "%10s  ", "")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%*s", colWidth, x)
+	}
+	b.WriteString("   <- " + xlabel + "\n")
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", s.mark, s.name)
+	}
+	b.WriteString("            " + strings.Join(legend, "  ") + "  ^=DNF  *=overlap\n")
+	return b.String()
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fakeFig10() *Fig10Result {
+	return &Fig10Result{
+		Dataset: "CT",
+		NumPos:  12,
+		Rows: []Fig10Row{
+			{MinSup: 10,
+				FARMER:  AlgoResult{Runtime: 2 * time.Millisecond, Count: 30},
+				ColumnE: AlgoResult{Runtime: 300 * time.Microsecond, Count: 30},
+				CHARM:   AlgoResult{Runtime: 7 * time.Millisecond, Count: 400}},
+			{MinSup: 2,
+				FARMER:  AlgoResult{Runtime: 90 * time.Millisecond, Count: 270},
+				ColumnE: AlgoResult{Runtime: 600 * time.Millisecond, DNF: true},
+				CHARM:   AlgoResult{Runtime: 900 * time.Millisecond, Count: 28000}},
+		},
+	}
+}
+
+func TestFig10CSV(t *testing.T) {
+	csv := fakeFig10().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "dataset,minsup,farmer_ms,columne_ms,charm_ms,irgs" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "CT,10,2.000,0.300,7.000,30") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// DNF renders as an empty cell.
+	if !strings.Contains(lines[2], ",90.000,,900.000,") {
+		t.Fatalf("DNF row = %q", lines[2])
+	}
+}
+
+func TestFig11CSVAndPlot(t *testing.T) {
+	r := &Fig11Result{
+		Dataset: "BC",
+		Rows: []Fig11Row{
+			{MinConf: 0, Chi0: AlgoResult{Runtime: 73 * time.Millisecond, Count: 745},
+				Chi10: AlgoResult{Runtime: 42 * time.Millisecond, Count: 4}},
+			{MinConf: 0.9, Chi0: AlgoResult{Runtime: 4 * time.Millisecond, Count: 20},
+				Chi10: AlgoResult{Runtime: 3 * time.Millisecond, Count: 3}},
+		},
+	}
+	csv := r.CSV()
+	if !strings.Contains(csv, "BC,0.00,73.000,42.000,745,4") {
+		t.Fatalf("CSV = %q", csv)
+	}
+	plot := r.Plot()
+	if !strings.Contains(plot, "Figure 11 — BC") || !strings.Contains(plot, "minchi=10") {
+		t.Fatalf("plot missing pieces:\n%s", plot)
+	}
+}
+
+func TestFig10Plot(t *testing.T) {
+	plot := fakeFig10().Plot()
+	for _, frag := range []string{"Figure 10 — CT", "F=FARMER", "^=DNF", "minsup"} {
+		if !strings.Contains(plot, frag) {
+			t.Fatalf("plot missing %q:\n%s", frag, plot)
+		}
+	}
+	// The DNF marker must appear (ColumnE at minsup=2).
+	if !strings.Contains(plot, "^") {
+		t.Fatalf("DNF marker missing:\n%s", plot)
+	}
+	// Log axis: top label larger than bottom label.
+	lines := strings.Split(plot, "\n")
+	if !strings.Contains(lines[1], "ms |") {
+		t.Fatalf("axis missing:\n%s", plot)
+	}
+}
+
+func TestTable2CSV(t *testing.T) {
+	r := &Table2Result{Rows: []Table2Row{
+		{Dataset: "CT", NumTrain: 47, NumTest: 15, IRG: 0.8667, CBA: 0.8667, SVM: 0.9333},
+	}}
+	csv := r.CSV()
+	if !strings.Contains(csv, "CT,47,15,0.8667,0.8667,0.9333") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestScaleCSV(t *testing.T) {
+	r := &ScaleResult{Dataset: "CT", MinSup: 6, Rows: []ScaleRow{
+		{Factor: 2, Rows: 36,
+			FARMER: AlgoResult{Runtime: 178 * time.Millisecond, Count: 226},
+			CHARM:  AlgoResult{Runtime: 95 * time.Millisecond, Count: 20617}},
+	}}
+	if !strings.Contains(r.CSV(), "CT,2,36,178.000,95.000") {
+		t.Fatalf("CSV = %q", r.CSV())
+	}
+}
+
+func TestPlotAllDNF(t *testing.T) {
+	r := &Fig10Result{Dataset: "X", Rows: []Fig10Row{
+		{MinSup: 1,
+			FARMER:  AlgoResult{DNF: true},
+			ColumnE: AlgoResult{DNF: true},
+			CHARM:   AlgoResult{DNF: true}},
+	}}
+	plot := r.Plot() // must not panic on an all-DNF panel
+	if !strings.Contains(plot, "^") {
+		t.Fatalf("plot = %s", plot)
+	}
+}

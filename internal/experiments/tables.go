@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/synth"
+)
+
+// Table1 renders the dataset-characteristics table for the given specs in
+// the paper's layout.
+func Table1(specs []synth.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — Microarray datasets\n")
+	fmt.Fprintf(&b, "%-8s %7s %7s %-12s %-12s %14s\n",
+		"dataset", "#row", "#col", "class 1", "class 0", "#row of class1")
+	for _, s := range specs {
+		fmt.Fprintf(&b, "%-8s %7d %7d %-12s %-12s %14d\n",
+			s.Name, s.Rows, s.Cols, s.ClassNames[0], s.ClassNames[1], s.Class1Rows)
+	}
+	return b.String()
+}
+
+// Table2Splits holds the paper's fixed train/test sizes per dataset
+// (Table 2: #training / #test).
+var Table2Splits = map[string][2]int{
+	"BC":  {78, 19},
+	"LC":  {32, 149},
+	"CT":  {47, 15},
+	"PC":  {102, 34},
+	"ALL": {38, 34},
+}
+
+// Table2Row is one dataset's classifier comparison.
+type Table2Row struct {
+	Dataset       string
+	NumTrain      int
+	NumTest       int
+	IRG, CBA, SVM float64
+	TrainTime     time.Duration // total wall time for the three classifiers
+}
+
+// Table2Result is the classification study.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces the classification experiment: per dataset, train the
+// IRG classifier and CBA on the entropy-discretized training rows, the SVM
+// on the standardized continuous rows, and report test accuracy. Splits
+// follow the paper's absolute sizes, scaled proportionally if the spec's
+// row count differs from the paper's.
+func Table2(specs []synth.Spec, cfg Config) (*Table2Result, error) {
+	cfg.setDefaults()
+	out := &Table2Result{}
+	for _, spec := range specs {
+		m, err := spec.Generate()
+		if err != nil {
+			return nil, err
+		}
+		nTrain := trainSize(spec)
+		sp, err := classify.StratifiedSplit(m.Labels, 2, nTrain)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{Dataset: spec.Name, NumTrain: len(sp.Train), NumTest: len(sp.Test)}
+		start := time.Now()
+		if row.IRG, err = classify.EvaluateIRG(m, sp, classify.IRGOptions{}); err != nil {
+			return nil, err
+		}
+		if row.CBA, err = classify.EvaluateCBA(m, sp, classify.CBAOptions{}); err != nil {
+			return nil, err
+		}
+		if row.SVM, err = classify.EvaluateSVM(m, sp, classify.SVMOptions{}); err != nil {
+			return nil, err
+		}
+		row.TrainTime = time.Since(start)
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// trainSize maps the paper's absolute split onto the spec's row count.
+func trainSize(spec synth.Spec) int {
+	split, ok := Table2Splits[spec.Name]
+	if !ok {
+		return spec.Rows * 2 / 3
+	}
+	paperRows := split[0] + split[1]
+	if spec.Rows == paperRows {
+		return split[0]
+	}
+	n := spec.Rows * split[0] / paperRows
+	if n < 2 {
+		n = 2
+	}
+	if n >= spec.Rows-1 {
+		n = spec.Rows - 2
+	}
+	return n
+}
+
+// Averages returns the mean accuracy of each classifier across rows.
+func (t *Table2Result) Averages() (irg, cba, svm float64) {
+	if len(t.Rows) == 0 {
+		return 0, 0, 0
+	}
+	for _, r := range t.Rows {
+		irg += r.IRG
+		cba += r.CBA
+		svm += r.SVM
+	}
+	n := float64(len(t.Rows))
+	return irg / n, cba / n, svm / n
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — Classification results\n")
+	fmt.Fprintf(&b, "%-8s %9s %7s %14s %8s %8s\n",
+		"dataset", "#training", "#test", "IRG classifier", "CBA", "SVM")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-8s %9d %7d %13.2f%% %7.2f%% %7.2f%%\n",
+			r.Dataset, r.NumTrain, r.NumTest, 100*r.IRG, 100*r.CBA, 100*r.SVM)
+	}
+	irg, cba, svm := t.Averages()
+	fmt.Fprintf(&b, "%-8s %9s %7s %13.2f%% %7.2f%% %7.2f%%\n",
+		"Average", "", "", 100*irg, 100*cba, 100*svm)
+	return b.String()
+}

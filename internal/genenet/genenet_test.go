@@ -1,0 +1,164 @@
+package genenet
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+)
+
+// fixture builds a matrix whose first three genes are perfectly co-active
+// in class 1 (so they co-occur in rule groups) and a fourth independent
+// gene.
+func fixture(t *testing.T) (*dataset.Matrix, *discretize.Discretizer, *core.Result) {
+	t.Helper()
+	m := &dataset.Matrix{
+		ColNames:   []string{"gA", "gB", "gC", "gD"},
+		ClassNames: []string{"pos", "neg"},
+	}
+	for i := 0; i < 12; i++ {
+		label := 0
+		v := 2.0
+		if i >= 6 {
+			label = 1
+			v = -2.0
+		}
+		noise := float64(i%3) * 0.1
+		m.Labels = append(m.Labels, label)
+		m.Values = append(m.Values, []float64{v + noise, v - noise, v, float64(i % 2)})
+	}
+	disc, err := discretize.EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := disc.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Mine(d, 0, core.Options{MinSup: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("fixture mined no groups")
+	}
+	return m, disc, res
+}
+
+func TestBuildLinksCoActiveGenes(t *testing.T) {
+	m, disc, res := fixture(t)
+	g, err := Build(m, disc, []*core.Result{res}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// The co-active trio must be linked; gD (class-blind) must not appear.
+	if g.Weight(0, 1) == 0 || g.Weight(0, 2) == 0 || g.Weight(1, 2) == 0 {
+		t.Fatalf("co-active genes not fully linked: %v", g.Edges())
+	}
+	for _, e := range g.Edges() {
+		if e.A == 3 || e.B == 3 {
+			t.Fatalf("independent gene gD linked: %+v", e)
+		}
+	}
+}
+
+func TestBuildRequiresDiscretizer(t *testing.T) {
+	if _, err := Build(&dataset.Matrix{}, nil, nil, Options{}); err == nil {
+		t.Fatal("nil discretizer accepted")
+	}
+}
+
+func TestSupportWeighting(t *testing.T) {
+	m, disc, res := fixture(t)
+	plain, err := Build(m, disc, []*core.Result{res}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Build(m, disc, []*core.Result{res}, Options{SupportWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Support weighting can only increase weights (support ≥ 1 per group).
+	for _, e := range plain.Edges() {
+		if weighted.Weight(e.A, e.B) < e.Weight {
+			t.Fatalf("support weighting decreased edge (%d,%d)", e.A, e.B)
+		}
+	}
+}
+
+func TestMinWeightFilters(t *testing.T) {
+	m, disc, res := fixture(t)
+	g, err := Build(m, disc, []*core.Result{res}, Options{MinWeight: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatal("MinWeight did not filter")
+	}
+}
+
+func TestEdgesSortedByWeight(t *testing.T) {
+	m, disc, res := fixture(t)
+	g, err := Build(m, disc, []*core.Result{res}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Weight > edges[i-1].Weight {
+			t.Fatal("edges not sorted by weight")
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	m, disc, res := fixture(t)
+	g, err := Build(m, disc, []*core.Result{res}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	if len(comps) == 0 {
+		t.Fatal("no components")
+	}
+	// The trio forms one component containing genes 0,1,2.
+	found := false
+	for _, c := range comps {
+		if len(c) >= 3 && c[0] == 0 && c[1] == 1 && c[2] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trio component missing: %v", comps)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m, disc, res := fixture(t)
+	g, err := Build(m, disc, []*core.Result{res}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT("net")
+	if !strings.HasPrefix(dot, "graph \"net\" {") || !strings.Contains(dot, "\"gA\" -- \"gB\"") {
+		t.Fatalf("DOT output wrong:\n%s", dot)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("DOT not closed")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := &Graph{Names: []string{"a"}, edges: map[[2]int]float64{}}
+	if g.NumEdges() != 0 || len(g.Edges()) != 0 || len(g.Components()) != 0 {
+		t.Fatal("empty graph not empty")
+	}
+	if g.Weight(0, 0) != 0 {
+		t.Fatal("absent edge weight not 0")
+	}
+}

@@ -1,0 +1,290 @@
+// Package reference provides brute-force implementations of rule-group,
+// closed-itemset and lower-bound mining by exhaustive row-subset and
+// item-subset enumeration. They are exponential and intended purely as
+// correctness oracles for property tests over tiny datasets (≤ ~16 rows).
+package reference
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// RuleGroup mirrors core.RuleGroup with just the fields the oracles check.
+type RuleGroup struct {
+	Antecedent []dataset.Item
+	Rows       []int // R(Antecedent), ascending
+	SupPos     int
+	SupNeg     int
+	Confidence float64
+	Chi        float64
+}
+
+// AllRuleGroups enumerates every rule group with the given consequent by
+// exhausting row subsets: each nonempty subset X yields the group with
+// upper bound I(X) and antecedent support set R(I(X)). Groups are deduped
+// by their row support set and returned sorted by ascending antecedent.
+func AllRuleGroups(d *dataset.Dataset, consequent int) []RuleGroup {
+	n := len(d.Rows)
+	if n > 22 {
+		panic("reference: dataset too large for brute force")
+	}
+	seen := map[uint64][]*bitset.Set{}
+	var out []RuleGroup
+	for mask := 1; mask < 1<<n; mask++ {
+		var rows []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				rows = append(rows, i)
+			}
+		}
+		a := dataset.CommonItems(d, rows)
+		if len(a) == 0 {
+			continue
+		}
+		sup := dataset.SupportSet(d, a)
+		h := sup.Hash()
+		dup := false
+		for _, prev := range seen[h] {
+			if prev.Equal(sup) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], sup)
+		out = append(out, makeGroup(d, consequent, a, sup))
+	}
+	sort.Slice(out, func(i, j int) bool { return lessItems(out[i].Antecedent, out[j].Antecedent) })
+	return out
+}
+
+func makeGroup(d *dataset.Dataset, consequent int, a []dataset.Item, sup *bitset.Set) RuleGroup {
+	g := RuleGroup{Antecedent: append([]dataset.Item(nil), a...), Rows: sup.Ints()}
+	for _, ri := range g.Rows {
+		if d.Rows[ri].Class == consequent {
+			g.SupPos++
+		} else {
+			g.SupNeg++
+		}
+	}
+	tot := g.SupPos + g.SupNeg
+	if tot > 0 {
+		g.Confidence = float64(g.SupPos) / float64(tot)
+	}
+	g.Chi = stats.Chi2(tot, g.SupPos, len(d.Rows), d.ClassCount(consequent))
+	return g
+}
+
+// Constraints mirrors core.Options' measure thresholds for the oracle.
+// Zero values disable each constraint (MinSup defaults to 1).
+type Constraints struct {
+	MinSup         int
+	MinConf        float64
+	MinChi         float64
+	MinLift        float64
+	MinConviction  float64
+	MinEntropyGain float64
+	MinGiniGain    float64
+}
+
+// IRGs selects, from all rule groups, the interesting ones under FARMER's
+// step-7 semantics: process groups in ascending antecedent-size order; keep
+// a constraint-satisfying group iff every kept group with a strictly more
+// general antecedent has strictly lower confidence.
+func IRGs(d *dataset.Dataset, consequent, minsup int, minconf, minchi float64) []RuleGroup {
+	return IRGsConstrained(d, consequent, Constraints{MinSup: minsup, MinConf: minconf, MinChi: minchi})
+}
+
+// IRGsConstrained is IRGs with the full constraint set of footnote 3.
+func IRGsConstrained(d *dataset.Dataset, consequent int, c Constraints) []RuleGroup {
+	if c.MinSup < 1 {
+		c.MinSup = 1
+	}
+	n := len(d.Rows)
+	m := d.ClassCount(consequent)
+	all := AllRuleGroups(d, consequent)
+	sort.SliceStable(all, func(i, j int) bool {
+		return len(all[i].Antecedent) < len(all[j].Antecedent)
+	})
+	var kept []RuleGroup
+	for _, g := range all {
+		x, y := g.SupPos+g.SupNeg, g.SupPos
+		switch {
+		case g.SupPos < c.MinSup,
+			g.Confidence < c.MinConf,
+			c.MinChi > 0 && g.Chi < c.MinChi,
+			c.MinLift > 0 && stats.Lift(x, y, n, m) < c.MinLift,
+			c.MinConviction > 0 && stats.Conviction(x, y, n, m) < c.MinConviction,
+			c.MinEntropyGain > 0 && stats.EntropyGain(x, y, n, m) < c.MinEntropyGain,
+			c.MinGiniGain > 0 && stats.GiniGain(x, y, n, m) < c.MinGiniGain:
+			continue
+		}
+		interesting := true
+		for _, p := range kept {
+			if properSubsetItems(p.Antecedent, g.Antecedent) && p.Confidence >= g.Confidence {
+				interesting = false
+				break
+			}
+		}
+		if interesting {
+			kept = append(kept, g)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return lessItems(kept[i].Antecedent, kept[j].Antecedent) })
+	return kept
+}
+
+// ClosedSets enumerates every closed itemset with support ≥ minsup
+// (class-blind), sorted ascending; the second slice holds the supports.
+func ClosedSets(d *dataset.Dataset, minsup int) ([][]dataset.Item, []int) {
+	n := len(d.Rows)
+	if n > 22 {
+		panic("reference: dataset too large for brute force")
+	}
+	type entry struct {
+		items []dataset.Item
+		sup   int
+	}
+	seen := map[uint64][]entry{}
+	var out []entry
+	for mask := 1; mask < 1<<n; mask++ {
+		var rows []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				rows = append(rows, i)
+			}
+		}
+		a := dataset.CommonItems(d, rows)
+		if len(a) == 0 {
+			continue
+		}
+		sup := dataset.SupportSet(d, a).Count()
+		if sup < minsup {
+			continue
+		}
+		h := hashItems(a)
+		dup := false
+		for _, prev := range seen[h] {
+			if equalItems(prev.items, a) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		e := entry{items: append([]dataset.Item(nil), a...), sup: sup}
+		seen[h] = append(seen[h], e)
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessItems(out[i].items, out[j].items) })
+	items := make([][]dataset.Item, len(out))
+	sups := make([]int, len(out))
+	for i, e := range out {
+		items[i] = e.items
+		sups[i] = e.sup
+	}
+	return items, sups
+}
+
+// LowerBounds returns the minimal generators of antecedent a: the minimal
+// subsets L ⊆ a with R(L) = R(a), by subset exhaustion (|a| ≤ 20).
+func LowerBounds(d *dataset.Dataset, a []dataset.Item) [][]dataset.Item {
+	k := len(a)
+	if k > 20 {
+		panic("reference: antecedent too large for brute force")
+	}
+	target := dataset.SupportSet(d, a)
+	// Masks ordered by popcount so minimality reduces to a kept-subset test.
+	masks := make([]int, 0, 1<<k)
+	for mask := 1; mask < 1<<k; mask++ {
+		masks = append(masks, mask)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		return popcount(masks[i]) < popcount(masks[j])
+	})
+	var keptMasks []int
+	var out [][]dataset.Item
+	for _, mask := range masks {
+		minimal := true
+		for _, km := range keptMasks {
+			if km&mask == km {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		items := make([]dataset.Item, 0, popcount(mask))
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, a[i])
+			}
+		}
+		if dataset.SupportSet(d, items).Equal(target) {
+			keptMasks = append(keptMasks, mask)
+			out = append(out, items)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return lessItems(out[i], out[j]) })
+	return out
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+func hashItems(items []dataset.Item) uint64 {
+	h := uint64(14695981039346656037)
+	for _, it := range items {
+		h ^= uint64(uint32(it))
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalItems(a, b []dataset.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lessItems(a, b []dataset.Item) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// properSubsetItems reports a ⊊ b for sorted item slices.
+func properSubsetItems(a, b []dataset.Item) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}

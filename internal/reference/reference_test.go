@@ -1,0 +1,176 @@
+package reference
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func randomDataset(rng *rand.Rand) *dataset.Dataset {
+	n := 2 + rng.Intn(6)
+	numItems := 3 + rng.Intn(6)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+		classes[i] = rng.Intn(2)
+	}
+	d, err := dataset.FromItemLists(lists, classes, numItems, []string{"C", "N"})
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Every closed set reported must actually be closed: equal to its closure.
+func TestClosedSetsAreClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 60; iter++ {
+		d := randomDataset(rng)
+		items, sups := ClosedSets(d, 1)
+		for i, a := range items {
+			if got := dataset.Closure(d, a); !reflect.DeepEqual(got, a) {
+				t.Fatalf("set %v not closed (closure %v)", a, got)
+			}
+			if got := dataset.SupportSet(d, a).Count(); got != sups[i] {
+				t.Fatalf("set %v support %d, reported %d", a, got, sups[i])
+			}
+		}
+	}
+}
+
+// Closed sets are exactly the images of the closure operator: every
+// itemset's closure appears in the list.
+func TestClosedSetsComplete(t *testing.T) {
+	d := dataset.PaperExample()
+	items, _ := ClosedSets(d, 1)
+	index := map[string]bool{}
+	for _, a := range items {
+		index[dataset.StringFromItems(a)] = true
+	}
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 200; iter++ {
+		var probe []dataset.Item
+		for it := 0; it < d.NumItems; it++ {
+			if rng.Float64() < 0.2 {
+				probe = append(probe, dataset.Item(it))
+			}
+		}
+		cl := dataset.Closure(d, probe)
+		if len(cl) == 0 || dataset.SupportSet(d, cl).Count() == 0 {
+			continue
+		}
+		if !index[dataset.StringFromItems(cl)] {
+			t.Fatalf("closure %v of %v missing from ClosedSets", cl, probe)
+		}
+	}
+}
+
+// Rule groups biject with closed antecedents: distinct row sets, closed
+// antecedents, consistent stats.
+func TestAllRuleGroupsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		d := randomDataset(rng)
+		groups := AllRuleGroups(d, 0)
+		seenRows := map[string]bool{}
+		for _, g := range groups {
+			if got := dataset.Closure(d, g.Antecedent); !reflect.DeepEqual(got, g.Antecedent) {
+				t.Fatalf("antecedent %v not closed", g.Antecedent)
+			}
+			key := ""
+			for _, r := range g.Rows {
+				key += string(rune('0' + r))
+			}
+			if seenRows[key] {
+				t.Fatalf("duplicate row set %v", g.Rows)
+			}
+			seenRows[key] = true
+			if g.SupPos+g.SupNeg != len(g.Rows) {
+				t.Fatalf("support split %d+%d != %d rows", g.SupPos, g.SupNeg, len(g.Rows))
+			}
+		}
+	}
+}
+
+// IRGs are a subset of all rule groups and respect the definition: no kept
+// group has a kept proper-subset antecedent with conf ≥ its own.
+func TestIRGsSelfConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 60; iter++ {
+		d := randomDataset(rng)
+		irgs := IRGs(d, 0, 1, 0, 0)
+		for i, g := range irgs {
+			for j, h := range irgs {
+				if i == j {
+					continue
+				}
+				if properSubsetItems(h.Antecedent, g.Antecedent) && h.Confidence >= g.Confidence {
+					t.Fatalf("IRG %v dominated by kept subset %v", g.Antecedent, h.Antecedent)
+				}
+			}
+		}
+	}
+}
+
+// Lower bounds are minimal generators: same support as the antecedent, and
+// no proper subset of a lower bound generates the same rows.
+func TestLowerBoundsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 40; iter++ {
+		d := randomDataset(rng)
+		groups := AllRuleGroups(d, 0)
+		for _, g := range groups {
+			if len(g.Antecedent) > 8 {
+				continue // keep the subset exhaustion cheap
+			}
+			target := dataset.SupportSet(d, g.Antecedent)
+			for _, lb := range LowerBounds(d, g.Antecedent) {
+				if !dataset.SupportSet(d, lb).Equal(target) {
+					t.Fatalf("lower bound %v of %v has different support", lb, g.Antecedent)
+				}
+				// Dropping any single item must change the support.
+				for drop := range lb {
+					sub := append(append([]dataset.Item{}, lb[:drop]...), lb[drop+1:]...)
+					if len(sub) == 0 {
+						continue
+					}
+					if dataset.SupportSet(d, sub).Equal(target) {
+						t.Fatalf("lower bound %v of %v not minimal", lb, g.Antecedent)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPanicsOnHugeInput(t *testing.T) {
+	big := &dataset.Dataset{ClassNames: []string{"a"}, Rows: make([]dataset.Row, 30)}
+	for _, fn := range []func(){
+		func() { AllRuleGroups(big, 0) },
+		func() { ClosedSets(big, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("brute force accepted a 30-row dataset")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProperSubsetItems(t *testing.T) {
+	a := []dataset.Item{1, 3}
+	b := []dataset.Item{1, 2, 3}
+	if !properSubsetItems(a, b) || properSubsetItems(b, a) || properSubsetItems(a, a) {
+		t.Fatal("properSubsetItems wrong")
+	}
+}

@@ -1,0 +1,109 @@
+// Package stats implements the statistical measures used by FARMER: the 2×2
+// chi-square statistic chi(x, y) of §3.2.3, its convexity-based upper bound
+// over the reachable region of Lemma 3.9, and the extension measures the
+// paper's footnote 3 mentions (lift, conviction, entropy gain).
+package stats
+
+import "math"
+
+// Chi2 computes the chi-square statistic of the 2×2 contingency table
+// determined by
+//
+//	x = |R(A)|       (rows matching the antecedent)
+//	y = |R(A ∪ C)|   (rows matching antecedent and consequent)
+//	n = |D|          (total rows)
+//	m = |R(C)|       (rows with the consequent class)
+//
+// following the observed-vs-expected table of §3.2.3. Degenerate margins
+// (x or m equal to 0 or their maximum) yield 0, matching chi(n, m) = 0.
+func Chi2(x, y, n, m int) float64 {
+	if x < 0 || y < 0 || n <= 0 || m < 0 || y > x || x > n || m > n || y > m || x-y > n-m {
+		return 0 // outside the valid region; callers never ask for this
+	}
+	// Observed cells.
+	oAC := float64(y)
+	oAnC := float64(x - y)
+	onAC := float64(m - y)
+	onAnC := float64(n - m - (x - y))
+	// Expected cells from the margins.
+	fx, fm, fn := float64(x), float64(m), float64(n)
+	eAC := fx * fm / fn
+	eAnC := fx * (fn - fm) / fn
+	enAC := (fn - fx) * fm / fn
+	enAnC := (fn - fx) * (fn - fm) / fn
+	chi := 0.0
+	for _, cell := range [4][2]float64{{oAC, eAC}, {oAnC, eAnC}, {onAC, enAC}, {onAnC, enAnC}} {
+		if cell[1] > 0 {
+			d := cell[0] - cell[1]
+			chi += d * d / cell[1]
+		}
+	}
+	return chi
+}
+
+// Chi2UpperBound returns the Lemma 3.9 upper bound on the chi-square value
+// of any rule discovered in the subtree rooted at a node whose current rule
+// has margins (x, y): the maximum of chi over the three non-trivial vertices
+// of the reachable parallelogram, {(x, y), (x−y+m, m), (y+n−m, y)}. The
+// fourth vertex (n, m) always has chi = 0.
+func Chi2UpperBound(x, y, n, m int) float64 {
+	c := Chi2(x, y, n, m)
+	if v := Chi2(x-y+m, m, n, m); v > c {
+		c = v
+	}
+	if v := Chi2(y+n-m, y, n, m); v > c {
+		c = v
+	}
+	return c
+}
+
+// Lift returns conf(A→C) / P(C) computed from the same margins as Chi2.
+// It is one of the footnote-3 extension measures.
+func Lift(x, y, n, m int) float64 {
+	if x == 0 || m == 0 {
+		return 0
+	}
+	conf := float64(y) / float64(x)
+	return conf * float64(n) / float64(m)
+}
+
+// Conviction returns (1 − P(C)) / (1 − conf(A→C)); +Inf when the rule is
+// exact (conf = 1).
+func Conviction(x, y, n, m int) float64 {
+	if x == 0 {
+		return 0
+	}
+	conf := float64(y) / float64(x)
+	if conf >= 1 {
+		return math.Inf(1)
+	}
+	return (1 - float64(m)/float64(n)) / (1 - conf)
+}
+
+// EntropyGain returns the information gain of splitting the class
+// distribution (m of n positive) on the antecedent with margins (x, y):
+// H(m/n) − [x/n·H(y/x) + (n−x)/n·H((m−y)/(n−x))].
+func EntropyGain(x, y, n, m int) float64 {
+	if n == 0 {
+		return 0
+	}
+	h := func(p float64) float64 {
+		if p <= 0 || p >= 1 {
+			return 0
+		}
+		return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	}
+	base := h(float64(m) / float64(n))
+	cond := 0.0
+	if x > 0 {
+		cond += float64(x) / float64(n) * h(float64(y)/float64(x))
+	}
+	if n-x > 0 {
+		cond += float64(n-x) / float64(n) * h(float64(m-y)/float64(n-x))
+	}
+	g := base - cond
+	if g < 0 {
+		return 0 // guard tiny negative rounding
+	}
+	return g
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Hand-checked 2×2 table: n=100, m=50, x=40, y=30.
+// Observed: AC=30, A¬C=10, ¬AC=20, ¬A¬C=40. Expected: 20,20,30,30.
+// chi = 100/20 + 100/20 + 100/30 + 100/30 = 16.666...
+func TestChi2HandChecked(t *testing.T) {
+	got := Chi2(40, 30, 100, 50)
+	want := 100.0/20 + 100.0/20 + 100.0/30 + 100.0/30
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Chi2 = %v, want %v", got, want)
+	}
+}
+
+func TestChi2IndependenceIsZero(t *testing.T) {
+	// Perfect independence: x/n of rows match A regardless of class.
+	if got := Chi2(50, 25, 100, 50); got != 0 {
+		t.Fatalf("independent table chi = %v, want 0", got)
+	}
+	// chi(n, m) = 0 (the paper's degenerate vertex).
+	if got := Chi2(100, 50, 100, 50); got != 0 {
+		t.Fatalf("chi(n,m) = %v, want 0", got)
+	}
+}
+
+func TestChi2PerfectAssociation(t *testing.T) {
+	// A present exactly on the positive rows: chi = n.
+	if got := Chi2(50, 50, 100, 50); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("perfect association chi = %v, want 100", got)
+	}
+}
+
+func TestChi2SymmetricInClasses(t *testing.T) {
+	// Swapping C and ¬C leaves chi unchanged: (x, y) -> (x, x-y), m -> n-m.
+	a := Chi2(40, 30, 100, 40)
+	b := Chi2(40, 10, 100, 60)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("class-swap asymmetry: %v vs %v", a, b)
+	}
+}
+
+func TestChi2InvalidRegionIsZero(t *testing.T) {
+	cases := [][4]int{
+		{5, 6, 10, 6},  // y > x
+		{11, 5, 10, 6}, // x > n
+		{5, 5, 10, 4},  // y > m
+		{9, 2, 10, 6},  // x-y > n-m
+		{-1, 0, 10, 5}, // negative
+		{0, 0, 0, 0},   // empty dataset
+	}
+	for _, c := range cases {
+		if got := Chi2(c[0], c[1], c[2], c[3]); got != 0 {
+			t.Errorf("Chi2(%v) = %v, want 0", c, got)
+		}
+	}
+}
+
+func TestChi2ZeroAntecedent(t *testing.T) {
+	if got := Chi2(0, 0, 10, 5); got != 0 {
+		t.Fatalf("chi with empty antecedent = %v, want 0", got)
+	}
+}
+
+// The Lemma 3.9 bound must dominate chi of every rule reachable in the
+// subtree: all (x', y') with x≤x'≤n, y≤y'≤m, y'≤x', x'-y'≥x-y.
+func TestChi2UpperBoundDominatesRegion(t *testing.T) {
+	n, m := 30, 12
+	for x := 0; x <= n; x++ {
+		for y := 0; y <= min(x, m); y++ {
+			if x-y > n-m {
+				continue
+			}
+			ub := Chi2UpperBound(x, y, n, m)
+			for xp := x; xp <= n; xp++ {
+				for yp := y; yp <= min(xp, m); yp++ {
+					if xp-yp < x-y || xp-yp > n-m {
+						continue
+					}
+					if v := Chi2(xp, yp, n, m); v > ub+1e-9 {
+						t.Fatalf("bound violated: node (%d,%d) ub=%v but (%d,%d) has chi=%v",
+							x, y, ub, xp, yp, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChi2UpperBoundAtLeastCurrent(t *testing.T) {
+	if ub, c := Chi2UpperBound(7, 5, 20, 9), Chi2(7, 5, 20, 9); ub < c {
+		t.Fatalf("upper bound %v below current %v", ub, c)
+	}
+}
+
+func TestLift(t *testing.T) {
+	// conf = 0.75, P(C) = 0.5 -> lift 1.5.
+	if got := Lift(40, 30, 100, 50); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("Lift = %v, want 1.5", got)
+	}
+	if Lift(0, 0, 100, 50) != 0 || Lift(10, 5, 100, 0) != 0 {
+		t.Fatal("degenerate lift should be 0")
+	}
+}
+
+func TestConviction(t *testing.T) {
+	// conf = 0.75, P(¬C) = 0.5 -> conviction 2.
+	if got := Conviction(40, 30, 100, 50); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Conviction = %v, want 2", got)
+	}
+	if !math.IsInf(Conviction(10, 10, 100, 50), 1) {
+		t.Fatal("exact rule should have +Inf conviction")
+	}
+	if Conviction(0, 0, 100, 50) != 0 {
+		t.Fatal("empty antecedent conviction should be 0")
+	}
+}
+
+func TestEntropyGain(t *testing.T) {
+	// Perfect split halves: gain = H(0.5) = 1 bit.
+	if got := EntropyGain(50, 50, 100, 50); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect split gain = %v, want 1", got)
+	}
+	// Useless split: gain 0.
+	if got := EntropyGain(50, 25, 100, 50); math.Abs(got) > 1e-9 {
+		t.Fatalf("independent split gain = %v, want 0", got)
+	}
+	if EntropyGain(0, 0, 0, 0) != 0 {
+		t.Fatal("empty dataset gain should be 0")
+	}
+	// Gain is never negative.
+	for x := 0; x <= 20; x++ {
+		for y := 0; y <= min(x, 8); y++ {
+			if x-y > 12 {
+				continue
+			}
+			if g := EntropyGain(x, y, 20, 8); g < 0 {
+				t.Fatalf("negative gain at (%d,%d): %v", x, y, g)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

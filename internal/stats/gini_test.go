@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGiniGainPerfectSplit(t *testing.T) {
+	// Perfect halves: gini(0.5) = 0.5 fully removed.
+	if got := GiniGain(50, 50, 100, 50); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("perfect split gini gain = %v, want 0.5", got)
+	}
+}
+
+func TestGiniGainIndependentSplit(t *testing.T) {
+	if got := GiniGain(50, 25, 100, 50); math.Abs(got) > 1e-9 {
+		t.Fatalf("independent split gini gain = %v, want 0", got)
+	}
+}
+
+func TestGiniGainDegenerate(t *testing.T) {
+	if GiniGain(0, 0, 0, 0) != 0 {
+		t.Fatal("empty dataset gain should be 0")
+	}
+	if GiniGain(5, 6, 10, 6) != 0 { // y > x
+		t.Fatal("invalid region should be 0")
+	}
+}
+
+func TestGiniGainNonNegative(t *testing.T) {
+	n, m := 24, 10
+	for x := 0; x <= n; x++ {
+		for y := 0; y <= min(x, m); y++ {
+			if x-y > n-m {
+				continue
+			}
+			if g := GiniGain(x, y, n, m); g < 0 {
+				t.Fatalf("negative gini gain at (%d,%d): %v", x, y, g)
+			}
+		}
+	}
+}
+
+// The vertex bounds must dominate every reachable point, exactly like the
+// chi-square bound (all three are convex impurity gains).
+func TestImpurityBoundsDominateRegion(t *testing.T) {
+	n, m := 26, 11
+	for x := 0; x <= n; x++ {
+		for y := 0; y <= min(x, m); y++ {
+			if x-y > n-m {
+				continue
+			}
+			gubGini := GiniGainUpperBound(x, y, n, m)
+			gubEnt := EntropyGainUpperBound(x, y, n, m)
+			for xp := x; xp <= n; xp++ {
+				for yp := y; yp <= min(xp, m); yp++ {
+					if xp-yp < x-y || xp-yp > n-m {
+						continue
+					}
+					if v := GiniGain(xp, yp, n, m); v > gubGini+1e-9 {
+						t.Fatalf("gini bound violated: node (%d,%d) ub=%v but (%d,%d)=%v",
+							x, y, gubGini, xp, yp, v)
+					}
+					if v := EntropyGain(xp, yp, n, m); v > gubEnt+1e-9 {
+						t.Fatalf("entropy bound violated: node (%d,%d) ub=%v but (%d,%d)=%v",
+							x, y, gubEnt, xp, yp, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoundsAtLeastCurrent(t *testing.T) {
+	cases := [][4]int{{7, 5, 20, 9}, {3, 2, 15, 6}, {10, 4, 20, 8}}
+	for _, c := range cases {
+		if GiniGainUpperBound(c[0], c[1], c[2], c[3]) < GiniGain(c[0], c[1], c[2], c[3]) {
+			t.Fatalf("gini bound below current at %v", c)
+		}
+		if EntropyGainUpperBound(c[0], c[1], c[2], c[3]) < EntropyGain(c[0], c[1], c[2], c[3]) {
+			t.Fatalf("entropy bound below current at %v", c)
+		}
+	}
+}

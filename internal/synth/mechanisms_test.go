@@ -1,0 +1,227 @@
+package synth
+
+// Direct tests of the generator's cohort mechanisms: signatures, the
+// distributed confounder, signal fade, drift, and quantization.
+
+import (
+	"math"
+	"testing"
+)
+
+func mechSpec() Spec {
+	return Spec{
+		Name: "mech", Rows: 40, Cols: 60, Class1Rows: 20,
+		ClassNames:  [2]string{"pos", "neg"},
+		Informative: 12, Effect: 2.0, FlipProb: 0.1, Seed: 33,
+	}
+}
+
+func TestQuantizeTiesValues(t *testing.T) {
+	s := mechSpec()
+	s.Quantize = 0.5
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Values {
+		for _, v := range row {
+			q := v / 0.5
+			if math.Abs(q-math.Round(q)) > 1e-9 {
+				t.Fatalf("value %v not on the 0.5 grid", v)
+			}
+		}
+	}
+	// Quantization must create ties: far fewer distinct values than cells.
+	distinct := map[float64]bool{}
+	for _, row := range m.Values {
+		for _, v := range row {
+			distinct[v] = true
+		}
+	}
+	if len(distinct) > 40*60/4 {
+		t.Fatalf("%d distinct values; quantization produced too few ties", len(distinct))
+	}
+}
+
+func TestSignaturesShareActivation(t *testing.T) {
+	s := mechSpec()
+	s.Signatures = 3
+	s.FlipProb = 0.0 // deterministic activation per class
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no flips, class-marked rows shift on every gene of the marked
+	// signatures: per class the informative columns must show a clear mean
+	// separation for at least one signature's genes.
+	sep := 0
+	for c := 0; c < s.Cols; c++ {
+		var mu0, mu1 float64
+		for r := 0; r < s.Rows; r++ {
+			if m.Labels[r] == 0 {
+				mu0 += m.Values[r][c]
+			} else {
+				mu1 += m.Values[r][c]
+			}
+		}
+		mu0 /= float64(s.Class1Rows)
+		mu1 /= float64(s.Rows - s.Class1Rows)
+		if math.Abs(mu0-mu1) > 1.2 {
+			sep++
+		}
+	}
+	if sep < s.Informative/2 {
+		t.Fatalf("only %d separated columns; signatures not applied", sep)
+	}
+}
+
+func TestSignaturesValidation(t *testing.T) {
+	s := mechSpec()
+	s.Signatures = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative Signatures accepted")
+	}
+}
+
+func TestSpuriousConfounderFlipsAcrossCohort(t *testing.T) {
+	s := mechSpec()
+	s.Informative = 0
+	s.SpuriousCorr = 1.0
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class-1 rows (label 0): early rows shifted up, late rows shifted down
+	// on background genes. Compare the mean of the first vs last class-1 row.
+	first, last := -1, -1
+	for r := 0; r < s.Rows; r++ {
+		if m.Labels[r] == 0 {
+			if first < 0 {
+				first = r
+			}
+			last = r
+		}
+	}
+	mean := func(r int) float64 {
+		sum := 0.0
+		for _, v := range m.Values[r] {
+			sum += v
+		}
+		return sum / float64(len(m.Values[r]))
+	}
+	if mean(first)-mean(last) < 0.5 {
+		t.Fatalf("confounder sign flip missing: first %.3f last %.3f", mean(first), mean(last))
+	}
+	// Class-0 rows are untouched by the confounder: their means stay small.
+	for r := 0; r < s.Rows; r++ {
+		if m.Labels[r] == 1 && math.Abs(mean(r)) > 0.8 {
+			t.Fatalf("confounder leaked into the other class (row %d mean %.3f)", r, mean(r))
+		}
+	}
+}
+
+func TestSpuriousValidation(t *testing.T) {
+	s := mechSpec()
+	s.SpuriousCorr = -0.1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative SpuriousCorr accepted")
+	}
+}
+
+func TestSignalFadeAttenuatesLateRows(t *testing.T) {
+	s := mechSpec()
+	s.FlipProb = 0
+	s.SignalFade = 1.0
+	s.Effect = 4.0
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s
+	s2.SignalFade = 0
+	m2, err := s2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed: the faded matrix differs from the unfaded one, and total
+	// absolute informative signal is smaller.
+	var sum1, sum2 float64
+	for r := range m.Values {
+		for c := range m.Values[r] {
+			sum1 += math.Abs(m.Values[r][c])
+			sum2 += math.Abs(m2.Values[r][c])
+		}
+	}
+	if sum1 >= sum2 {
+		t.Fatalf("fade did not attenuate: |faded|=%.1f |full|=%.1f", sum1, sum2)
+	}
+}
+
+func TestSignalFadeValidation(t *testing.T) {
+	s := mechSpec()
+	s.SignalFade = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("SignalFade > 1 accepted")
+	}
+}
+
+func TestDriftValidationAndEffect(t *testing.T) {
+	s := mechSpec()
+	s.Drift = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative Drift accepted")
+	}
+	s = mechSpec()
+	s.Drift = 3.0
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drift = 0
+	m2, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for r := range m.Values {
+		for c := range m.Values[r] {
+			if m.Values[r][c] != m2.Values[r][c] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("drift had no effect")
+	}
+}
+
+func TestTable2SpecsGenerate(t *testing.T) {
+	for _, s := range Table2Specs() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		m, err := s.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if m.NumRows() != s.Rows || m.NumCols() != s.Cols {
+			t.Fatalf("%s: shape %dx%d, want %dx%d", s.Name, m.NumRows(), m.NumCols(), s.Rows, s.Cols)
+		}
+	}
+}
+
+func TestPaperSpecsGenerateSmallestFull(t *testing.T) {
+	// CT is the smallest paper-shape spec (62×2000): generating it at full
+	// size exercises the module and quantization paths at scale.
+	s, ok := PaperSpec("CT")
+	if !ok {
+		t.Fatal("CT spec missing")
+	}
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 62 || m.NumCols() != 2000 {
+		t.Fatalf("shape %dx%d", m.NumRows(), m.NumCols())
+	}
+}

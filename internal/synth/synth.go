@@ -1,0 +1,364 @@
+// Package synth generates synthetic gene-expression datasets standing in
+// for the five clinical microarray datasets of the paper's evaluation (lung
+// cancer, breast cancer, prostate cancer, ALL-AML leukemia, colon tumor),
+// which were distributed from institute websites that no longer serve them.
+//
+// The generator reproduces the properties the FARMER evaluation depends on:
+// few rows, many columns, a two-class label with a controlled split,
+// class-informative genes (which after discretization become the long
+// shared itemsets that blow up column enumeration), co-regulated background
+// modules (class-blind shared structure), and Gaussian noise elsewhere.
+// Everything is deterministic per seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+)
+
+// Spec describes a synthetic dataset. The zero value is not usable; start
+// from one of the presets in specs.go or fill every field.
+type Spec struct {
+	Name string
+
+	Rows int // number of samples
+	Cols int // number of genes
+
+	// Class1Rows rows get label ClassNames[0] (the paper's "class 1", used
+	// as the consequent); the remaining rows get ClassNames[1].
+	Class1Rows int
+	ClassNames [2]string
+
+	// Informative genes carry a mean shift of Effect standard deviations in
+	// one of the classes (alternating), making them predictive. FlipProb is
+	// the probability that the shift fails for a row (capping rule
+	// confidence below 100%); rows of the other class spuriously activate
+	// with half that probability.
+	Informative int
+	Effect      float64
+	FlipProb    float64
+
+	// Signatures, when > 0, groups the informative genes into that many
+	// co-regulated blocks whose activation is decided per (row, signature)
+	// rather than per (row, gene) — the "pathway" structure of real
+	// expression data. Genes inside a block then share nearly identical
+	// discretized row sets, which keeps the closed-set lattice biological
+	// rather than combinatorial. 0 keeps every informative gene
+	// independent.
+	Signatures int
+
+	// Modules class-blind co-regulated gene groups of ModuleSize genes each
+	// share a per-row latent factor, creating closed patterns that are not
+	// class-correlated (the background structure real microarrays have).
+	Modules    int
+	ModuleSize int
+
+	// SpuriousCorr, when > 0, plants a weak, distributed confounder: every
+	// background gene shifts class-1 rows by SpuriousCorr·(1 − 2·frac),
+	// frac being the row's position within its class — positively
+	// correlated with the class in the early (train) cohort and negatively
+	// in the late (test) cohort. Per gene the shift is far too weak for
+	// the MDL filter to keep, so rule classifiers never see it; a dense
+	// linear model sums it over thousands of genes, learns the spurious
+	// aggregate, and inverts on the test cohort. This is the batch-
+	// confounding failure mode reported for the breast-cancer cohort
+	// (where the paper's SVM scores 36.8%, below chance).
+	SpuriousCorr float64
+
+	// SignalFade, when > 0, attenuates the informative-gene effect across
+	// each class's cohort: the r-th row of a class keeps only
+	// (1 − SignalFade·frac) of the shift, frac being its position within
+	// the class. Under the deterministic stratified split the test rows
+	// are the late, faded ones — the train/test signal-strength mismatch
+	// reported for the breast-cancer cohort, which is what breaks
+	// margin-sensitive classifiers there while threshold rules survive.
+	SignalFade float64
+
+	// Drift, when > 0, adds a cohort/batch effect to the BACKGROUND genes:
+	// row r receives a per-gene baseline offset scaled by Drift·(r/Rows)
+	// within its class. Real clinical microarray cohorts (notably the
+	// breast-cancer study) carry exactly this kind of processing drift;
+	// classifiers that spread weight over thousands of background genes
+	// (the linear SVM) absorb the drift into their decision values, while
+	// the entropy-MDL + rule pipeline never sees those columns. Informative
+	// genes are left untouched.
+	Drift float64
+
+	// Quantize, when > 0, rounds every expression value to the nearest
+	// multiple of this step. Real microarray measurements are floor-
+	// thresholded and heavily tied, which is what lets equal-depth
+	// discretization form large buckets and long shared itemsets; without
+	// ties every item's support collapses to rows/buckets.
+	Quantize float64
+
+	Seed int64
+}
+
+// Validate checks the spec is generatable.
+func (s Spec) Validate() error {
+	switch {
+	case s.Rows <= 0 || s.Cols <= 0:
+		return fmt.Errorf("synth: need positive Rows and Cols, got %d×%d", s.Rows, s.Cols)
+	case s.Class1Rows <= 0 || s.Class1Rows >= s.Rows:
+		return fmt.Errorf("synth: Class1Rows %d must be in (0,%d)", s.Class1Rows, s.Rows)
+	case s.Informative < 0 || s.Informative > s.Cols:
+		return fmt.Errorf("synth: Informative %d outside [0,%d]", s.Informative, s.Cols)
+	case s.Modules < 0 || s.ModuleSize < 0:
+		return fmt.Errorf("synth: negative module parameters")
+	case s.Informative+s.Modules*s.ModuleSize > s.Cols:
+		return fmt.Errorf("synth: %d informative + %d module genes exceed %d columns",
+			s.Informative, s.Modules*s.ModuleSize, s.Cols)
+	case s.FlipProb < 0 || s.FlipProb >= 1:
+		return fmt.Errorf("synth: FlipProb %v outside [0,1)", s.FlipProb)
+	case s.Signatures < 0:
+		return fmt.Errorf("synth: negative Signatures")
+	case s.Drift < 0:
+		return fmt.Errorf("synth: negative Drift")
+	case s.SignalFade < 0 || s.SignalFade > 1:
+		return fmt.Errorf("synth: SignalFade %v outside [0,1]", s.SignalFade)
+	case s.SpuriousCorr < 0:
+		return fmt.Errorf("synth: negative SpuriousCorr")
+	case s.ClassNames[0] == "" || s.ClassNames[1] == "" || s.ClassNames[0] == s.ClassNames[1]:
+		return fmt.Errorf("synth: class names must be distinct and non-empty")
+	}
+	return nil
+}
+
+// Generate produces the continuous expression matrix for the spec.
+func (s Spec) Generate() (*dataset.Matrix, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	m := &dataset.Matrix{
+		ColNames:   make([]string, s.Cols),
+		ClassNames: []string{s.ClassNames[0], s.ClassNames[1]},
+		Labels:     make([]int, s.Rows),
+		Values:     make([][]float64, s.Rows),
+	}
+	for c := range m.ColNames {
+		m.ColNames[c] = fmt.Sprintf("g%d", c)
+	}
+	for r := range m.Labels {
+		if r >= s.Class1Rows {
+			m.Labels[r] = 1
+		}
+		m.Values[r] = make([]float64, s.Cols)
+	}
+
+	// Assign column roles from a seeded permutation so informative and
+	// module genes are scattered across the matrix.
+	perm := rng.Perm(s.Cols)
+	informative := perm[:s.Informative]
+	moduleGenes := perm[s.Informative : s.Informative+s.Modules*s.ModuleSize]
+
+	// Background noise everywhere.
+	for r := 0; r < s.Rows; r++ {
+		for c := 0; c < s.Cols; c++ {
+			m.Values[r][c] = rng.NormFloat64()
+		}
+	}
+
+	// Per-row signal attenuation across the cohort (SignalFade).
+	fade := make([]float64, s.Rows)
+	{
+		classPos := map[int]int{}
+		classTotal := map[int]int{}
+		for r := 0; r < s.Rows; r++ {
+			classTotal[m.Labels[r]]++
+		}
+		for r := 0; r < s.Rows; r++ {
+			l := m.Labels[r]
+			frac := float64(classPos[l]) / float64(classTotal[l])
+			classPos[l]++
+			fade[r] = 1 - s.SignalFade*frac
+		}
+	}
+
+	// Informative genes: alternate the marked class and the shift sign.
+	if s.Signatures > 0 && s.Informative > 0 {
+		// Per-(row, signature) activation shared by the block's genes.
+		nsig := s.Signatures
+		active := make([][]bool, nsig)
+		for si := range active {
+			marked := si % 2
+			active[si] = make([]bool, s.Rows)
+			for r := 0; r < s.Rows; r++ {
+				if m.Labels[r] == marked {
+					active[si][r] = !(s.FlipProb > 0 && rng.Float64() < s.FlipProb)
+				} else {
+					active[si][r] = s.FlipProb > 0 && rng.Float64() < s.FlipProb/2
+				}
+			}
+		}
+		for k, c := range informative {
+			si := k % nsig
+			dir := 1.0
+			if si%4 >= 2 {
+				dir = -1
+			}
+			for r := 0; r < s.Rows; r++ {
+				if active[si][r] {
+					m.Values[r][c] += dir * s.Effect * fade[r]
+				}
+			}
+		}
+	} else {
+		for k, c := range informative {
+			marked := k % 2
+			dir := 1.0
+			if k%4 >= 2 {
+				dir = -1
+			}
+			for r := 0; r < s.Rows; r++ {
+				if m.Labels[r] != marked {
+					continue
+				}
+				if s.FlipProb > 0 && rng.Float64() < s.FlipProb {
+					continue
+				}
+				m.Values[r][c] += dir * s.Effect * fade[r]
+			}
+		}
+	}
+
+	// Co-regulated modules: shared latent factor per row.
+	for mod := 0; mod < s.Modules; mod++ {
+		genes := moduleGenes[mod*s.ModuleSize : (mod+1)*s.ModuleSize]
+		for r := 0; r < s.Rows; r++ {
+			f := rng.NormFloat64()
+			for _, c := range genes {
+				m.Values[r][c] = 0.9*f + 0.45*m.Values[r][c]
+			}
+		}
+	}
+
+	// Weak distributed confounder on background genes (SpuriousCorr).
+	if s.SpuriousCorr > 0 {
+		isInformative := make([]bool, s.Cols)
+		for _, c := range informative {
+			isInformative[c] = true
+		}
+		classPos := map[int]int{}
+		classTotal := map[int]int{}
+		for r := 0; r < s.Rows; r++ {
+			classTotal[m.Labels[r]]++
+		}
+		for r := 0; r < s.Rows; r++ {
+			l := m.Labels[r]
+			frac := float64(classPos[l]) / float64(classTotal[l])
+			classPos[l]++
+			if l != 0 {
+				continue // confounder tracks class 1 (label index 0)
+			}
+			shift := s.SpuriousCorr * (1 - 2*frac)
+			for c := 0; c < s.Cols; c++ {
+				if !isInformative[c] {
+					m.Values[r][c] += shift
+				}
+			}
+		}
+	}
+
+	// Cohort drift on background genes: a fixed per-gene direction whose
+	// magnitude grows with the row's position inside its class (later rows
+	// — the test cohort under the deterministic stratified split — drift
+	// further).
+	if s.Drift > 0 {
+		isInformative := make([]bool, s.Cols)
+		for _, c := range informative {
+			isInformative[c] = true
+		}
+		dirs := make([]float64, s.Cols)
+		for c := range dirs {
+			dirs[c] = rng.NormFloat64()
+		}
+		classPos := map[int]int{}
+		classTotal := map[int]int{}
+		for r := 0; r < s.Rows; r++ {
+			classTotal[m.Labels[r]]++
+		}
+		for r := 0; r < s.Rows; r++ {
+			l := m.Labels[r]
+			frac := float64(classPos[l]) / float64(classTotal[l])
+			classPos[l]++
+			for c := 0; c < s.Cols; c++ {
+				if !isInformative[c] {
+					m.Values[r][c] += s.Drift * frac * dirs[c]
+				}
+			}
+		}
+	}
+
+	// Measurement quantization (floor thresholding).
+	if s.Quantize > 0 {
+		for r := 0; r < s.Rows; r++ {
+			for c := 0; c < s.Cols; c++ {
+				m.Values[r][c] = math.Round(m.Values[r][c]/s.Quantize) * s.Quantize
+			}
+		}
+	}
+	return m, nil
+}
+
+// GenerateDiscrete generates the matrix and applies equal-depth
+// discretization with the given bucket count — the pipeline the paper's
+// efficiency experiments use (10 buckets).
+func (s Spec) GenerateDiscrete(buckets int) (*dataset.Dataset, error) {
+	m, err := s.Generate()
+	if err != nil {
+		return nil, err
+	}
+	disc, err := discretize.EqualDepth(m, buckets)
+	if err != nil {
+		return nil, err
+	}
+	return disc.Apply(m)
+}
+
+// GenerateEntropyDiscrete generates the matrix and applies entropy-MDL
+// discretization — the pipeline the paper's classifier experiments use.
+func (s Spec) GenerateEntropyDiscrete() (*dataset.Dataset, error) {
+	m, err := s.Generate()
+	if err != nil {
+		return nil, err
+	}
+	disc, err := discretize.EntropyMDL(m)
+	if err != nil {
+		return nil, err
+	}
+	return disc.Apply(m)
+}
+
+// Scaled returns a copy of the spec with row and column counts (and the
+// structure parameters tied to them) multiplied by the given fractions,
+// clamped to usable minimums. Used to derive bench-scale variants of the
+// paper-shaped specs.
+func (s Spec) Scaled(rowFrac, colFrac float64) Spec {
+	out := s
+	out.Rows = clampMin(int(float64(s.Rows)*rowFrac), 6)
+	out.Class1Rows = clampMin(int(float64(s.Class1Rows)*rowFrac), 3)
+	if out.Class1Rows >= out.Rows {
+		out.Class1Rows = out.Rows - 3
+	}
+	out.Cols = clampMin(int(float64(s.Cols)*colFrac), 20)
+	out.Informative = clampMin(int(float64(s.Informative)*colFrac), 4)
+	out.Modules = clampMin(int(float64(s.Modules)*colFrac), 1)
+	if out.Informative+out.Modules*out.ModuleSize > out.Cols {
+		out.Modules = 0
+	}
+	out.Name = s.Name + "-scaled"
+	return out
+}
+
+func clampMin(v, lo int) int {
+	if v < lo {
+		return lo
+	}
+	return v
+}

@@ -1,0 +1,253 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "small", Rows: 30, Cols: 60, Class1Rows: 14,
+		ClassNames:  [2]string{"pos", "neg"},
+		Informative: 10, Effect: 2.0, FlipProb: 0.1,
+		Modules: 3, ModuleSize: 5, Seed: 42,
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	m, err := smallSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 30 || m.NumCols() != 60 {
+		t.Fatalf("shape = %dx%d", m.NumRows(), m.NumCols())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, l := range m.Labels {
+		if l == 0 {
+			pos++
+		}
+	}
+	if pos != 14 {
+		t.Fatalf("class1 rows = %d, want 14", pos)
+	}
+	if m.ClassNames[0] != "pos" || m.ClassNames[1] != "neg" {
+		t.Fatalf("class names = %v", m.ClassNames)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := smallSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Values, b.Values) {
+		t.Fatal("same seed produced different matrices")
+	}
+	s2 := smallSpec()
+	s2.Seed = 43
+	c, err := s2.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Values, c.Values) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := smallSpec()
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"zero rows", func(s *Spec) { s.Rows = 0 }},
+		{"zero cols", func(s *Spec) { s.Cols = 0 }},
+		{"all one class", func(s *Spec) { s.Class1Rows = s.Rows }},
+		{"no class1", func(s *Spec) { s.Class1Rows = 0 }},
+		{"too many informative", func(s *Spec) { s.Informative = s.Cols + 1 }},
+		{"modules overflow", func(s *Spec) { s.Modules = 100; s.ModuleSize = 100 }},
+		{"bad flip", func(s *Spec) { s.FlipProb = 1 }},
+		{"same class names", func(s *Spec) { s.ClassNames = [2]string{"x", "x"} }},
+	}
+	for _, c := range cases {
+		s := base
+		c.mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// Informative genes must be recoverable: entropy-MDL should keep a good
+// fraction of them and drop nearly all background genes.
+func TestInformativeGenesRecoverable(t *testing.T) {
+	s := smallSpec()
+	s.Rows, s.Class1Rows, s.Cols, s.Informative = 60, 30, 200, 20
+	s.FlipProb = 0.05
+	m, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := discretize.EntropyMDL(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for c := 0; c < m.NumCols(); c++ {
+		if d.Kept(c) {
+			kept++
+		}
+	}
+	if kept < 10 {
+		t.Fatalf("entropy discretization kept only %d columns; informative genes not recoverable", kept)
+	}
+	if kept > 80 {
+		t.Fatalf("entropy discretization kept %d of 200 columns; background too informative", kept)
+	}
+}
+
+func TestGenerateDiscreteShape(t *testing.T) {
+	ds, err := smallSpec().GenerateDiscrete(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 30 {
+		t.Fatalf("rows = %d", ds.NumRows())
+	}
+	// Equal-depth with 10 buckets on continuous data keeps every column:
+	// each row has one item per column.
+	for ri, r := range ds.Rows {
+		if len(r.Items) != 60 {
+			t.Fatalf("row %d has %d items, want 60", ri, len(r.Items))
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateEntropyDiscrete(t *testing.T) {
+	ds, err := smallSpec().GenerateEntropyDiscrete()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumRows() != 30 {
+		t.Fatalf("rows = %d", ds.NumRows())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperSpecsMatchTable1(t *testing.T) {
+	want := []struct {
+		name       string
+		rows, cols int
+		class1     int
+		c1name     string
+	}{
+		{"BC", 97, 24481, 46, "relapse"},
+		{"LC", 181, 12533, 31, "MPM"},
+		{"CT", 62, 2000, 40, "negative"},
+		{"PC", 136, 12600, 52, "tumor"},
+		{"ALL", 72, 7129, 47, "ALL"},
+	}
+	specs := PaperSpecs()
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs, want %d", len(specs), len(want))
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.Name != w.name || s.Rows != w.rows || s.Cols != w.cols ||
+			s.Class1Rows != w.class1 || s.ClassNames[0] != w.c1name {
+			t.Errorf("spec %s does not match Table 1: %+v", w.name, s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %s invalid: %v", w.name, err)
+		}
+	}
+}
+
+func TestPaperSpecLookup(t *testing.T) {
+	if _, ok := PaperSpec("CT"); !ok {
+		t.Fatal("CT spec missing")
+	}
+	if _, ok := PaperSpec("nope"); ok {
+		t.Fatal("unknown spec found")
+	}
+}
+
+func TestBenchSpecsValidAndSmall(t *testing.T) {
+	for _, s := range BenchSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("bench spec %s invalid: %v", s.Name, err)
+		}
+		if s.Rows > 60 {
+			t.Errorf("bench spec %s has %d rows; too large for CI sweeps", s.Name, s.Rows)
+		}
+		if s.Cols > 400 {
+			t.Errorf("bench spec %s has %d cols; too large for baselines", s.Name, s.Cols)
+		}
+		full, ok := PaperSpec(s.Name)
+		if !ok {
+			t.Errorf("bench spec %s has no paper twin", s.Name)
+			continue
+		}
+		// Class balance direction preserved.
+		fullMinor := full.Class1Rows*2 < full.Rows
+		benchMinor := s.Class1Rows*2 < s.Rows
+		if fullMinor != benchMinor {
+			t.Errorf("bench spec %s flipped the class balance", s.Name)
+		}
+	}
+}
+
+func TestScaledClamps(t *testing.T) {
+	s := smallSpec().Scaled(0.01, 0.01)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled spec invalid: %v", err)
+	}
+	if s.Rows < 6 || s.Cols < 20 {
+		t.Fatalf("clamps not applied: %d rows %d cols", s.Rows, s.Cols)
+	}
+}
+
+func TestGenerateDiscreteValid(t *testing.T) {
+	for _, s := range BenchSpecs() {
+		ds, err := s.GenerateDiscrete(10)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if ds.ClassCount(0) != s.Class1Rows {
+			t.Fatalf("%s: class1 count %d, want %d", s.Name, ds.ClassCount(0), s.Class1Rows)
+		}
+	}
+}
+
+var sinkDataset *dataset.Dataset
+
+func BenchmarkGenerateDiscreteCT(b *testing.B) {
+	s, _ := BenchSpec("CT")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds, err := s.GenerateDiscrete(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkDataset = ds
+	}
+}
