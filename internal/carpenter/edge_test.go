@@ -1,0 +1,48 @@
+package carpenter_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/carpenter"
+	"repro/internal/dataset"
+	"repro/internal/difftest"
+	"repro/internal/reference"
+)
+
+// CARPENTER's row-enumeration must reproduce the brute-force closed-set
+// lattice on the shared edge-case fixtures, with each pattern's row list
+// equal to the support set of its items.
+func TestEdgeFixturesAgainstOracle(t *testing.T) {
+	for _, f := range difftest.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for minsup := 1; minsup <= 2; minsup++ {
+				refItems, refSups := reference.ClosedSets(f.D, minsup)
+				want := make([]string, len(refItems))
+				for i := range refItems {
+					want[i] = fmt.Sprintf("%v|%d", refItems[i], refSups[i])
+				}
+				sort.Strings(want)
+
+				res, err := carpenter.Mine(f.D, carpenter.Options{MinSup: minsup})
+				if err != nil {
+					t.Fatalf("minsup=%d: %v", minsup, err)
+				}
+				got := make([]string, len(res.Patterns))
+				for i, p := range res.Patterns {
+					got[i] = fmt.Sprintf("%v|%d", p.Items, p.Support)
+					if rows := dataset.SupportSet(f.D, p.Items).Ints(); fmt.Sprint(rows) != fmt.Sprint(p.Rows) {
+						t.Fatalf("minsup=%d: pattern %v rows %v != R(items) %v",
+							minsup, p.Items, p.Rows, rows)
+					}
+				}
+				sort.Strings(got)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("minsup=%d: closed patterns\n got %v\nwant %v", minsup, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package charm_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/charm"
+	"repro/internal/dataset"
+	"repro/internal/difftest"
+	"repro/internal/reference"
+)
+
+// CHARM must reproduce the brute-force closed-set lattice on the shared
+// edge-case fixtures (empty and single-row datasets, duplicate rows, a
+// universal column, ...), and every reported tidset must equal the support
+// set of its itemset.
+func TestEdgeFixturesAgainstOracle(t *testing.T) {
+	for _, f := range difftest.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for minsup := 1; minsup <= 2; minsup++ {
+				refItems, refSups := reference.ClosedSets(f.D, minsup)
+				want := make([]string, len(refItems))
+				for i := range refItems {
+					want[i] = fmt.Sprintf("%v|%d", refItems[i], refSups[i])
+				}
+				sort.Strings(want)
+
+				res, err := charm.Mine(f.D, charm.Options{MinSup: minsup})
+				if err != nil {
+					t.Fatalf("minsup=%d: %v", minsup, err)
+				}
+				got := make([]string, len(res.Closed))
+				for i, cs := range res.Closed {
+					got[i] = fmt.Sprintf("%v|%d", cs.Items, cs.Support)
+					if !dataset.SupportSet(f.D, cs.Items).Equal(cs.Rows) {
+						t.Fatalf("minsup=%d: tidset of %v disagrees with R(items)", minsup, cs.Items)
+					}
+				}
+				sort.Strings(got)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("minsup=%d: closed sets\n got %v\nwant %v", minsup, got, want)
+				}
+			}
+		})
+	}
+}

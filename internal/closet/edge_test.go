@@ -1,0 +1,48 @@
+package closet_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/closet"
+	"repro/internal/dataset"
+	"repro/internal/difftest"
+	"repro/internal/reference"
+)
+
+// CLOSET must reproduce the brute-force closed-set lattice on the shared
+// edge-case fixtures, and each reported support must equal the actual
+// support-set size (CLOSET carries no tidsets, so recompute them).
+func TestEdgeFixturesAgainstOracle(t *testing.T) {
+	for _, f := range difftest.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			for minsup := 1; minsup <= 2; minsup++ {
+				refItems, refSups := reference.ClosedSets(f.D, minsup)
+				want := make([]string, len(refItems))
+				for i := range refItems {
+					want[i] = fmt.Sprintf("%v|%d", refItems[i], refSups[i])
+				}
+				sort.Strings(want)
+
+				res, err := closet.Mine(f.D, closet.Options{MinSup: minsup})
+				if err != nil {
+					t.Fatalf("minsup=%d: %v", minsup, err)
+				}
+				got := make([]string, len(res.Closed))
+				for i, cs := range res.Closed {
+					got[i] = fmt.Sprintf("%v|%d", cs.Items, cs.Support)
+					if sup := dataset.SupportSet(f.D, cs.Items).Count(); sup != cs.Support {
+						t.Fatalf("minsup=%d: %v reports support %d, actual %d",
+							minsup, cs.Items, cs.Support, sup)
+					}
+				}
+				sort.Strings(got)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("minsup=%d: closed sets\n got %v\nwant %v", minsup, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package columne_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/columne"
+	"repro/internal/difftest"
+	"repro/internal/reference"
+)
+
+// ColumnE emits one representative rule per interesting rule group, so on
+// the shared edge-case fixtures its rule SET must match the brute-force IRG
+// oracle on (row set, positive support, negative support) — antecedents may
+// legitimately differ within a group.
+func TestEdgeFixturesAgainstOracle(t *testing.T) {
+	for _, f := range difftest.Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			ref := reference.IRGs(f.D, f.Consequent, 1, 0, 0)
+			want := make([]string, len(ref))
+			for i, g := range ref {
+				want[i] = fmt.Sprintf("%v|%d|%d", g.Rows, g.SupPos, g.SupNeg)
+			}
+			sort.Strings(want)
+
+			res, err := columne.Mine(f.D, f.Consequent, columne.Options{MinSup: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]string, len(res.Rules))
+			for i, r := range res.Rules {
+				got[i] = fmt.Sprintf("%v|%d|%d", r.Rows.Ints(), r.SupPos, r.SupNeg)
+			}
+			sort.Strings(got)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("rule groups\n got %v\nwant %v", got, want)
+			}
+		})
+	}
+}

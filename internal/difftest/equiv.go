@@ -1,0 +1,375 @@
+// Package difftest is the differential correctness harness: it generates
+// small random datasets, runs every miner in the repository over them, and
+// cross-checks the results against each other and against the exhaustive
+// oracles in internal/reference. Failures shrink to a minimal reproducer
+// that can be committed to the fuzz corpus (see Encode).
+//
+// Three equivalence classes are asserted:
+//
+//	(a) core.Mine ≡ core.MineParallel ≡ reference.IRGsConstrained
+//	    on rule-group row-support sets, confidences and chi values;
+//	(b) charm ≡ closet ≡ columne, anchored on the closed-set lattice of
+//	    reference.ClosedSets;
+//	(c) carpenter ≡ reference.ClosedSets (with row sets).
+//
+// plus the MineLB and top-k oracles and four metamorphic invariants
+// (metamorphic.go).
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/reference"
+	"repro/internal/stats"
+)
+
+// groupKey is the canonical identity of a rule group for set comparison:
+// antecedent, row-support set, and the support split (which fixes the
+// confidence as an exact rational).
+func groupKey(ant []dataset.Item, rows []int, supPos, supNeg int) string {
+	return fmt.Sprintf("%v|%v|%d|%d", ant, rows, supPos, supNeg)
+}
+
+func coreGroupKeys(res *core.Result) []string {
+	keys := make([]string, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		keys = append(keys, groupKey(g.Antecedent, g.Rows, g.SupPos, g.SupNeg))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func refGroupKeys(groups []reference.RuleGroup) []string {
+	keys := make([]string, 0, len(groups))
+	for _, g := range groups {
+		keys = append(keys, groupKey(g.Antecedent, g.Rows, g.SupPos, g.SupNeg))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func diffKeys(label string, got, want []string) error {
+	if len(got) == len(want) {
+		same := true
+		for i := range got {
+			if got[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s:\n got  %s\n want %s", label, strings.Join(got, " ; "), strings.Join(want, " ; "))
+}
+
+// CheckMineEquivalence asserts equivalence class (a): sequential FARMER,
+// parallel FARMER and the brute-force IRG oracle agree on the exact set of
+// interesting rule groups — row-support sets, support splits, confidences
+// and chi values — and, when lower bounds are requested, on every group's
+// minimal generators.
+func CheckMineEquivalence(c Case) error {
+	seq, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return fmt.Errorf("core.Mine: %w", err)
+	}
+	par, err := core.MineParallel(c.D, c.Consequent, c.Opt, c.Workers)
+	if err != nil {
+		return fmt.Errorf("core.MineParallel: %w", err)
+	}
+	ref := reference.IRGsConstrained(c.D, c.Consequent, reference.Constraints{
+		MinSup:         c.Opt.MinSup,
+		MinConf:        c.Opt.MinConf,
+		MinChi:         c.Opt.MinChi,
+		MinLift:        c.Opt.MinLift,
+		MinConviction:  c.Opt.MinConviction,
+		MinEntropyGain: c.Opt.MinEntropyGain,
+		MinGiniGain:    c.Opt.MinGiniGain,
+	})
+	if err := diffKeys("Mine vs oracle", coreGroupKeys(seq), refGroupKeys(ref)); err != nil {
+		return err
+	}
+	if err := diffKeys(fmt.Sprintf("MineParallel(workers=%d) vs Mine", c.Workers),
+		coreGroupKeys(par), coreGroupKeys(seq)); err != nil {
+		return err
+	}
+
+	// Parallel stats must be deterministic: the summed counters are a
+	// property of the task decomposition, not of scheduling or worker count,
+	// and the result-shaped counters match sequential Mine. (Only asserted
+	// without ablation switches — disabling pruning 2 allows duplicate
+	// discoveries whose rejection accounting is legitimately path-dependent.)
+	if !c.Opt.DisablePruning1 && !c.Opt.DisablePruning2 && !c.Opt.DisablePruning3 {
+		otherWorkers := 1
+		if c.Workers == 1 {
+			otherWorkers = 3
+		}
+		par2, err := core.MineParallel(c.D, c.Consequent, c.Opt, otherWorkers)
+		if err != nil {
+			return fmt.Errorf("core.MineParallel(workers=%d): %w", otherWorkers, err)
+		}
+		if par.Stats != par2.Stats {
+			return fmt.Errorf("parallel stats differ across worker counts %d vs %d:\n %+v\n %+v",
+				c.Workers, otherWorkers, par.Stats, par2.Stats)
+		}
+		if par.Stats.GroupsEmitted != seq.Stats.GroupsEmitted ||
+			par.Stats.GroupsNotInterest != seq.Stats.GroupsNotInterest {
+			return fmt.Errorf("parallel group accounting %d/%d differs from sequential %d/%d",
+				par.Stats.GroupsEmitted, par.Stats.GroupsNotInterest,
+				seq.Stats.GroupsEmitted, seq.Stats.GroupsNotInterest)
+		}
+	}
+
+	// Confidence and chi must match the oracle exactly: all three compute
+	// them from identical integer margins through the same stats routines.
+	refByRows := make(map[string]reference.RuleGroup, len(ref))
+	for _, g := range ref {
+		refByRows[fmt.Sprint(g.Rows)] = g
+	}
+	for _, res := range []*core.Result{seq, par} {
+		for _, g := range res.Groups {
+			want, ok := refByRows[fmt.Sprint(g.Rows)]
+			if !ok {
+				return fmt.Errorf("group %v rows %v missing from oracle", g.Antecedent, g.Rows)
+			}
+			if g.Confidence != want.Confidence {
+				return fmt.Errorf("group %v confidence %v, oracle %v", g.Antecedent, g.Confidence, want.Confidence)
+			}
+			if g.Chi != want.Chi {
+				return fmt.Errorf("group %v chi %v, oracle %v", g.Antecedent, g.Chi, want.Chi)
+			}
+		}
+	}
+
+	if c.Opt.ComputeLowerBounds {
+		for _, res := range []*core.Result{seq, par} {
+			for _, g := range res.Groups {
+				if g.Truncated {
+					continue
+				}
+				want := reference.LowerBounds(c.D, g.Antecedent)
+				if err := diffKeys(fmt.Sprintf("lower bounds of %v", g.Antecedent),
+					itemSliceKeys(g.LowerBounds), itemSliceKeys(want)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func itemSliceKeys(sets [][]dataset.Item) []string {
+	keys := make([]string, len(sets))
+	for i, s := range sets {
+		keys[i] = fmt.Sprint(s)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// closedKey identifies a closed set by items and support.
+func closedKey(items []dataset.Item, sup int) string {
+	return fmt.Sprintf("%v|%d", items, sup)
+}
+
+// CheckClosedSetEquivalence asserts equivalence class (b): CHARM and CLOSET
+// produce the closed-set lattice of the brute-force oracle, and every
+// ColumnE rule lands on that lattice — its antecedent's closure is a mined
+// closed set with the same row set — while ColumnE's rule-group SET matches
+// the IRG oracle under the same constraints.
+func CheckClosedSetEquivalence(c Case) error {
+	refItems, refSups := reference.ClosedSets(c.D, c.MinSupCS)
+	want := make([]string, len(refItems))
+	latticeByRows := make(map[string][]dataset.Item, len(refItems))
+	for i := range refItems {
+		want[i] = closedKey(refItems[i], refSups[i])
+	}
+	sort.Strings(want)
+
+	ch, err := charm.Mine(c.D, charm.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("charm.Mine: %w", err)
+	}
+	got := make([]string, len(ch.Closed))
+	for i, cs := range ch.Closed {
+		got[i] = closedKey(cs.Items, cs.Support)
+		if !dataset.SupportSet(c.D, cs.Items).Equal(cs.Rows) {
+			return fmt.Errorf("charm closed set %v tidset disagrees with R(items)", cs.Items)
+		}
+		latticeByRows[fmt.Sprint(cs.Rows.Ints())] = cs.Items
+	}
+	sort.Strings(got)
+	if err := diffKeys("CHARM vs oracle closed sets", got, want); err != nil {
+		return err
+	}
+
+	cl, err := closet.Mine(c.D, closet.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("closet.Mine: %w", err)
+	}
+	got = got[:0]
+	for _, cs := range cl.Closed {
+		got = append(got, closedKey(cs.Items, cs.Support))
+	}
+	sort.Strings(got)
+	if err := diffKeys("CLOSET vs CHARM closed sets", got, want); err != nil {
+		return err
+	}
+
+	// ColumnE: rule groups against the IRG oracle, representatives against
+	// the lattice. ColumnE prunes on positive support, so MinSupCS (a
+	// class-blind row support) does not apply; use the case's rule MinSup.
+	ce, err := columne.Mine(c.D, c.Consequent, columne.Options{
+		MinSup:  c.Opt.MinSup,
+		MinConf: c.Opt.MinConf,
+		MinChi:  c.Opt.MinChi,
+	})
+	if err != nil {
+		return fmt.Errorf("columne.Mine: %w", err)
+	}
+	irgs := reference.IRGs(c.D, c.Consequent, c.Opt.MinSup, c.Opt.MinConf, c.Opt.MinChi)
+	ceKeys := make([]string, len(ce.Rules))
+	for i, r := range ce.Rules {
+		ceKeys[i] = fmt.Sprintf("%v|%d|%d", r.Rows.Ints(), r.SupPos, r.SupNeg)
+	}
+	irgKeys := make([]string, len(irgs))
+	for i, g := range irgs {
+		irgKeys[i] = fmt.Sprintf("%v|%d|%d", g.Rows, g.SupPos, g.SupNeg)
+	}
+	sort.Strings(ceKeys)
+	sort.Strings(irgKeys)
+	if err := diffKeys("ColumnE rule groups vs IRG oracle", ceKeys, irgKeys); err != nil {
+		return err
+	}
+	for _, r := range ce.Rules {
+		closure := dataset.Closure(c.D, r.Antecedent)
+		onLattice, ok := latticeByRows[fmt.Sprint(r.Rows.Ints())]
+		if r.Rows.Count() >= c.MinSupCS {
+			if !ok {
+				return fmt.Errorf("ColumnE rule %v: row set %v missing from closed-set lattice",
+					r.Antecedent, r.Rows.Ints())
+			}
+			if closedKey(closure, r.Rows.Count()) != closedKey(onLattice, r.Rows.Count()) {
+				return fmt.Errorf("ColumnE rule %v: closure %v != lattice closed set %v",
+					r.Antecedent, closure, onLattice)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCarpenterEquivalence asserts equivalence class (c): CARPENTER mines
+// exactly the oracle's closed-set lattice, with correct row sets.
+func CheckCarpenterEquivalence(c Case) error {
+	refItems, refSups := reference.ClosedSets(c.D, c.MinSupCS)
+	want := make([]string, len(refItems))
+	for i := range refItems {
+		want[i] = closedKey(refItems[i], refSups[i])
+	}
+	sort.Strings(want)
+
+	cp, err := carpenter.Mine(c.D, carpenter.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("carpenter.Mine: %w", err)
+	}
+	got := make([]string, len(cp.Patterns))
+	for i, p := range cp.Patterns {
+		got[i] = closedKey(p.Items, p.Support)
+		if rows := dataset.SupportSet(c.D, p.Items).Ints(); fmt.Sprint(rows) != fmt.Sprint(p.Rows) {
+			return fmt.Errorf("carpenter pattern %v rows %v != R(items) %v", p.Items, p.Rows, rows)
+		}
+	}
+	sort.Strings(got)
+	return diffKeys("CARPENTER vs oracle closed sets", got, want)
+}
+
+// maxLBAntecedent caps the antecedent size fed to the subset-exhaustive
+// lower-bound oracle (2^|A| masks per group).
+const maxLBAntecedent = 10
+
+// CheckMineLB asserts that core.MineLowerBounds reproduces the brute-force
+// minimal generators of every rule group of the dataset (the MineLB oracle).
+func CheckMineLB(c Case) error {
+	for _, gl := range reference.MineLB(c.D, c.Consequent, maxLBAntecedent) {
+		a := gl.Group.Antecedent
+		got, truncated := core.MineLowerBounds(c.D, a, dataset.SupportSet(c.D, a), 0)
+		if truncated {
+			return fmt.Errorf("MineLowerBounds(%v) truncated without a cap", a)
+		}
+		if err := diffKeys(fmt.Sprintf("MineLB of group %v", a),
+			itemSliceKeys(got), itemSliceKeys(gl.LowerBounds)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topKMeasures pairs each core measure with its stats function, in the
+// (x, y, n, m) contingency signature shared by core and reference.
+var topKMeasures = []struct {
+	Name    string
+	Measure core.Measure
+	Fn      func(x, y, n, m int) float64
+}{
+	{"chi2", core.MeasureChi2, stats.Chi2},
+	{"entropy", core.MeasureEntropyGain, stats.EntropyGain},
+	{"gini", core.MeasureGiniGain, stats.GiniGain},
+}
+
+// CheckTopK asserts that core.MineTopK returns the oracle's top-k scores
+// for every measure. Group identity is compared only where the score is
+// strictly above the k-th best (ties at the threshold may legitimately keep
+// different representatives).
+func CheckTopK(c Case, k int) error {
+	for _, m := range topKMeasures {
+		got, err := core.MineTopK(c.D, c.Consequent, k, m.Measure, c.Opt.MinSup)
+		if err != nil {
+			return fmt.Errorf("MineTopK(%s): %w", m.Name, err)
+		}
+		want := reference.TopK(c.D, c.Consequent, k, m.Fn, c.Opt.MinSup)
+		if len(got) != len(want) {
+			return fmt.Errorf("MineTopK(%s): %d groups, oracle %d", m.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Score != want[i].Score {
+				return fmt.Errorf("MineTopK(%s) rank %d: score %v, oracle %v",
+					m.Name, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs every equivalence class and metamorphic invariant over one
+// case, returning the first failure.
+func CheckAll(c Case) error {
+	checks := []struct {
+		name string
+		fn   func() error
+	}{
+		{"mine-equivalence", func() error { return CheckMineEquivalence(c) }},
+		{"closed-set-equivalence", func() error { return CheckClosedSetEquivalence(c) }},
+		{"carpenter-equivalence", func() error { return CheckCarpenterEquivalence(c) }},
+		{"minelb-oracle", func() error { return CheckMineLB(c) }},
+		{"topk-oracle", func() error { return CheckTopK(c, 3) }},
+		{"row-permutation", func() error { return CheckRowPermutationInvariance(c) }},
+		{"ord-reordering", func() error { return CheckORDReorderInvariance(c) }},
+		{"replication-scaling", func() error { return CheckReplicationScaling(c, 2) }},
+		{"item-relabeling", func() error { return CheckItemRelabelInvariance(c) }},
+	}
+	for _, chk := range checks {
+		if err := chk.fn(); err != nil {
+			return fmt.Errorf("%s: %w", chk.name, err)
+		}
+	}
+	return nil
+}

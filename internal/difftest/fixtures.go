@@ -1,0 +1,55 @@
+package difftest
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Fixture is one hand-picked edge-case dataset shared by the edge tests in
+// every miner package. Each is small enough for the exhaustive oracles.
+type Fixture struct {
+	Name       string
+	D          *dataset.Dataset
+	Consequent int
+}
+
+// Fixtures returns the edge cases that random generation hits only rarely:
+// empty and single-row datasets, single-class datasets (all rows positive or
+// all negative for the consequent), duplicate rows, and a universal column
+// present in every row.
+func Fixtures() []Fixture {
+	mk := func(name string, lists [][]dataset.Item, classes []int, numItems int, classNames []string, consequent int) Fixture {
+		d, err := dataset.FromItemLists(lists, classes, numItems, classNames)
+		if err != nil {
+			panic("difftest: fixture " + name + ": " + err.Error())
+		}
+		return Fixture{Name: name, D: d, Consequent: consequent}
+	}
+	two := []string{"C", "N"}
+	return []Fixture{
+		{Name: "empty", D: &dataset.Dataset{NumItems: 2, ClassNames: two}},
+		mk("single-row", [][]dataset.Item{{0, 1, 2}}, []int{0}, 3, two, 0),
+		mk("single-row-no-items", [][]dataset.Item{{}}, []int{0}, 2, two, 0),
+		mk("all-positive", [][]dataset.Item{{0, 1}, {0}, {1, 2}, {0, 2}}, []int{0, 0, 0, 0}, 3, two, 0),
+		mk("all-negative", [][]dataset.Item{{0, 1}, {0}, {1, 2}, {0, 2}}, []int{1, 1, 1, 1}, 3, two, 0),
+		mk("duplicate-rows", [][]dataset.Item{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 2}, {0, 2}},
+			[]int{0, 0, 1, 0, 1}, 3, two, 0),
+		mk("universal-column", [][]dataset.Item{{0, 1}, {0, 2}, {0, 3}, {0, 1, 3}, {0}},
+			[]int{0, 1, 0, 1, 0}, 4, two, 0),
+		mk("identical-rows-one-class", [][]dataset.Item{{1, 2}, {1, 2}, {1, 2}}, []int{0, 0, 0}, 3, two, 0),
+		mk("three-classes", [][]dataset.Item{{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}, {2}},
+			[]int{0, 1, 2, 0, 1}, 3, []string{"C", "N", "M"}, 2),
+	}
+}
+
+// Case lifts the fixture into a differential-test Case with permissive
+// constraints, ready for CheckAll.
+func (f Fixture) Case() Case {
+	return Case{
+		D:          f.D,
+		Consequent: f.Consequent,
+		Opt:        core.Options{MinSup: 1, ComputeLowerBounds: true},
+		Workers:    2,
+		MinSupCS:   1,
+	}
+}

@@ -1,0 +1,91 @@
+package difftest
+
+// Native fuzz targets over the byte-decoded case space. `go test` replays
+// the committed corpus under testdata/fuzz/; deeper exploration runs with
+//
+//	go test -run='^$' -fuzz=FuzzMineEquivalence -fuzztime=30s ./internal/difftest
+//
+// A crasher minimizes further with Shrink (see failCase) and its Encode
+// bytes belong in the corpus directory of the target that found it.
+
+import "testing"
+
+// fuzzSeeds are shared starting points: printable so the corpus files stay
+// readable, shaped to decode into structurally different datasets.
+var fuzzSeeds = [][]byte{
+	[]byte("0"),
+	[]byte("00000"),
+	[]byte("7A1"),
+	[]byte("4820AA77AA77AA77"),
+	[]byte("662100qq3ff0Z10a"),
+	[]byte("39 0A\xff\xffB\x0f\x0fC\xf0\xf0D\x01\x01E\x80\x80"),
+	[]byte("852\x10\x05a\x07\x00b\x03\x01c\x07\x02d\x01\x03e\x0f\x00f\x1f\x01"),
+}
+
+func fuzzCase(t *testing.T, data []byte, check func(Case) error) {
+	c, ok := Decode(data)
+	if !ok {
+		return
+	}
+	if err := check(c); err != nil {
+		shrunk := Shrink(c, func(cand Case) bool { return check(cand) != nil }, 2000)
+		t.Fatalf("%v\nminimized case:\n%s", err, Describe(shrunk))
+	}
+}
+
+// FuzzMineEquivalence drives equivalence class (a): Mine ≡ MineParallel ≡
+// the IRG oracle, including lower bounds.
+func FuzzMineEquivalence(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCase(t, data, func(c Case) error {
+			c.Opt.ComputeLowerBounds = true
+			return CheckMineEquivalence(c)
+		})
+	})
+}
+
+// FuzzClosedSetEquivalence drives equivalence classes (b) and (c): the
+// CHARM/CLOSET/ColumnE lattice agreement and CARPENTER against the oracle.
+func FuzzClosedSetEquivalence(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCase(t, data, func(c Case) error {
+			if err := CheckClosedSetEquivalence(c); err != nil {
+				return err
+			}
+			return CheckCarpenterEquivalence(c)
+		})
+	})
+}
+
+// FuzzMineLB drives the lower-bound miner against the subset-exhaustive
+// minimal-generator oracle, plus the metamorphic invariants (cheap on the
+// same decoded case, and item/row relabelings stress MineLB's intersection
+// collection from fresh angles).
+func FuzzMineLB(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzCase(t, data, func(c Case) error {
+			if err := CheckMineLB(c); err != nil {
+				return err
+			}
+			if err := CheckRowPermutationInvariance(c); err != nil {
+				return err
+			}
+			if err := CheckORDReorderInvariance(c); err != nil {
+				return err
+			}
+			if err := CheckReplicationScaling(c, 2); err != nil {
+				return err
+			}
+			return CheckItemRelabelInvariance(c)
+		})
+	})
+}

@@ -1,0 +1,184 @@
+package difftest
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Limits on generated and decoded instances, chosen so the exponential
+// oracles in internal/reference stay cheap (2^MaxRows subset masks).
+const (
+	MaxRows    = 9
+	MaxItems   = 12
+	MaxClasses = 3
+)
+
+// Case is one differential-test instance: a dataset plus the knobs every
+// check needs. Cases come from Random (property tests) or Decode (fuzzing).
+type Case struct {
+	D          *dataset.Dataset
+	Consequent int
+	Opt        core.Options
+	Workers    int
+	MinSupCS   int // class-blind minimum support for the closed-set checks
+}
+
+var (
+	confLevels = []float64{0, 0.3, 0.5, 0.8, 1.0}
+	chiLevels  = []float64{0, 0.5, 2}
+)
+
+// Random draws a case: a small random dataset (occasionally with planted
+// structure — duplicate rows, a universal column, skewed classes) and random
+// constraint settings.
+func Random(rng *rand.Rand) Case {
+	n := 1 + rng.Intn(MaxRows)
+	numItems := 2 + rng.Intn(MaxItems-1)
+	numClasses := 2 + rng.Intn(MaxClasses-1)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	density := 0.15 + 0.65*rng.Float64()
+	universal := rng.Intn(4) == 0 // plant an all-rows column
+	for i := 0; i < n; i++ {
+		for it := 0; it < numItems; it++ {
+			if rng.Float64() < density || (universal && it == 0) {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+		classes[i] = rng.Intn(numClasses)
+	}
+	// Plant duplicate rows (support > 1 closed sets, absorbed candidates).
+	if n >= 2 && rng.Intn(3) == 0 {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		lists[dst] = append([]dataset.Item(nil), lists[src]...)
+		if rng.Intn(2) == 0 {
+			classes[dst] = classes[src]
+		}
+	}
+	names := []string{"C", "N", "M"}[:numClasses]
+	d, err := dataset.FromItemLists(lists, classes, numItems, names)
+	if err != nil {
+		panic(err) // generator bug, not an input property
+	}
+	return Case{
+		D:          d,
+		Consequent: rng.Intn(numClasses),
+		Opt: core.Options{
+			MinSup:  1 + rng.Intn(3),
+			MinConf: confLevels[rng.Intn(len(confLevels))],
+			MinChi:  chiLevels[rng.Intn(len(chiLevels))],
+		},
+		Workers:  1 + rng.Intn(4),
+		MinSupCS: 1 + rng.Intn(3),
+	}
+}
+
+// Decode maps arbitrary bytes onto a valid Case so fuzzing never wastes
+// executions on rejected inputs. The layout is fixed-width per field:
+//
+//	data[0]        row count (1..MaxRows)
+//	data[1]        item count (2..MaxItems)
+//	data[2]        class count and consequent
+//	data[3]        MinSup / MinConf selector
+//	data[4]        MinChi selector / workers / closed-set minsup
+//	then per row:  1 class byte + 2 item-mask bytes (little endian)
+//
+// Missing bytes read as zero, so every input decodes; ok is false only for
+// an empty input (the generator floor is one row, and zero-length inputs
+// would all alias to the same case).
+func Decode(data []byte) (Case, bool) {
+	if len(data) == 0 {
+		return Case{}, false
+	}
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	n := 1 + int(at(0))%MaxRows
+	numItems := 2 + int(at(1))%(MaxItems-1)
+	numClasses := 2 + int(at(2))%(MaxClasses-1)
+	lists := make([][]dataset.Item, n)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		base := 5 + 3*i
+		classes[i] = int(at(base)) % numClasses
+		mask := uint(at(base+1)) | uint(at(base+2))<<8
+		for it := 0; it < numItems; it++ {
+			if mask&(1<<uint(it)) != 0 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	names := []string{"C", "N", "M"}[:numClasses]
+	d, err := dataset.FromItemLists(lists, classes, numItems, names)
+	if err != nil {
+		panic(err) // decoder must only build valid datasets
+	}
+	return Case{
+		D:          d,
+		Consequent: int(at(2)>>4) % numClasses,
+		Opt: core.Options{
+			MinSup:  1 + int(at(3)>>4)%3,
+			MinConf: confLevels[int(at(3)&0xF)%len(confLevels)],
+			MinChi:  chiLevels[int(at(4)&0x3)%len(chiLevels)],
+		},
+		Workers:  1 + int(at(4)>>2)%4,
+		MinSupCS: 1 + int(at(4)>>4)%3,
+	}, true
+}
+
+// Encode is Decode's inverse: it renders a case as fuzz-corpus bytes, so a
+// shrunk failure found by the property tests can be committed as a seed.
+// Knob values that Decode cannot represent are clamped to the nearest
+// representable one.
+func Encode(c Case) []byte {
+	n := len(c.D.Rows)
+	numClasses := c.D.NumClasses()
+	if n < 1 || n > MaxRows || c.D.NumItems < 2 || c.D.NumItems > MaxItems ||
+		numClasses < 2 || numClasses > MaxClasses {
+		return nil
+	}
+	confIdx := 0
+	for i, v := range confLevels {
+		if v == c.Opt.MinConf {
+			confIdx = i
+		}
+	}
+	chiIdx := 0
+	for i, v := range chiLevels {
+		if v == c.Opt.MinChi {
+			chiIdx = i
+		}
+	}
+	out := make([]byte, 5+3*n)
+	out[0] = byte(n - 1)
+	out[1] = byte(c.D.NumItems - 2)
+	out[2] = byte(numClasses-2) | byte(c.Consequent%numClasses)<<4
+	out[3] = byte(clampIdx(c.Opt.MinSup-1, 3))<<4 | byte(confIdx)
+	out[4] = byte(chiIdx) | byte(clampIdx(c.Workers-1, 4))<<2 | byte(clampIdx(c.MinSupCS-1, 3))<<4
+	for i, r := range c.D.Rows {
+		base := 5 + 3*i
+		out[base] = byte(r.Class)
+		var mask uint
+		for _, it := range r.Items {
+			mask |= 1 << uint(it)
+		}
+		out[base+1] = byte(mask)
+		out[base+2] = byte(mask >> 8)
+	}
+	return out
+}
+
+func clampIdx(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= n {
+		return n - 1
+	}
+	return v
+}

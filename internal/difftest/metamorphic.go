@@ -1,0 +1,204 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// The metamorphic invariants mine a transformed dataset and require the
+// transformed result to map back onto the original one. Transformations are
+// deterministic functions of the instance (no RNG), so a fuzz input that
+// trips an invariant reproduces from the bytes alone.
+
+// permutations returns deterministic non-trivial permutations of [0, n):
+// reversal and an odd/even interleave.
+func permutations(n int) [][]int {
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = n - 1 - i
+	}
+	inter := make([]int, 0, n)
+	for i := 0; i < n; i += 2 {
+		inter = append(inter, i)
+	}
+	for i := 1; i < n; i += 2 {
+		inter = append(inter, i)
+	}
+	return [][]int{rev, inter}
+}
+
+// CheckRowPermutationInvariance asserts that the mined IRG set is invariant
+// under row reordering: mining the permuted dataset and mapping row ids back
+// yields exactly the original groups.
+func CheckRowPermutationInvariance(c Case) error {
+	base, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return err
+	}
+	want := coreGroupKeys(base)
+	for _, perm := range permutations(len(c.D.Rows)) {
+		d2 := c.D.Clone()
+		for i, src := range perm {
+			d2.Rows[i] = c.D.Rows[src]
+		}
+		got, err := core.Mine(d2, c.Consequent, c.Opt)
+		if err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(got.Groups))
+		for _, g := range got.Groups {
+			rows := make([]int, len(g.Rows))
+			for i, r := range g.Rows {
+				rows[i] = perm[r]
+			}
+			sort.Ints(rows)
+			keys = append(keys, groupKey(g.Antecedent, rows, g.SupPos, g.SupNeg))
+		}
+		sort.Strings(keys)
+		if err := diffKeys(fmt.Sprintf("row permutation %v", perm), keys, want); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckORDReorderInvariance asserts that pre-applying the ORD reordering
+// (consequent-class rows first) before mining changes nothing: FARMER's
+// bounds depend on ORD internally, and feeding an already-ordered dataset
+// must be a fixpoint.
+func CheckORDReorderInvariance(c Case) error {
+	base, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return err
+	}
+	ordered, ord := dataset.OrderForConsequent(c.D, c.Consequent)
+	got, err := core.Mine(ordered, c.Consequent, c.Opt)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(got.Groups))
+	for _, g := range got.Groups {
+		rows := ord.MapRowsToOriginal(g.Rows)
+		sort.Ints(rows)
+		keys = append(keys, groupKey(g.Antecedent, rows, g.SupPos, g.SupNeg))
+	}
+	sort.Strings(keys)
+	return diffKeys("ORD reordering", keys, coreGroupKeys(base))
+}
+
+// CheckReplicationScaling asserts the §4.1 scale-up semantics: replicating
+// every row k times leaves the IRG antecedent set and confidences unchanged,
+// scales each group's support split by k, replicates its row set across the
+// k blocks, and scales chi-square by k. Only the support constraint is
+// scaled along; chi constraints would not commute with replication, so the
+// check pins MinChi to zero.
+func CheckReplicationScaling(c Case, k int) error {
+	opt := c.Opt
+	// Support scales by k exactly and confidence is preserved bit-for-bit
+	// (both sides of each quotient scale together), so MinSup and MinConf
+	// commute with replication. The chi and gain statistics change value
+	// (chi scales by k, the gains only agree up to rounding), so their
+	// thresholds are pinned to zero for this invariant.
+	opt.MinChi = 0
+	opt.MinLift = 0
+	opt.MinConviction = 0
+	opt.MinEntropyGain = 0
+	opt.MinGiniGain = 0
+	opt.ComputeLowerBounds = false
+	base, err := core.Mine(c.D, c.Consequent, opt)
+	if err != nil {
+		return err
+	}
+	repl := dataset.Replicate(c.D, k)
+	optK := opt
+	optK.MinSup = opt.MinSup * k
+	got, err := core.Mine(repl, c.Consequent, optK)
+	if err != nil {
+		return err
+	}
+	if len(got.Groups) != len(base.Groups) {
+		return fmt.Errorf("replication x%d: %d groups, want %d", k, len(got.Groups), len(base.Groups))
+	}
+	n := len(c.D.Rows)
+	byAnt := make(map[string]core.RuleGroup, len(base.Groups))
+	for _, g := range base.Groups {
+		byAnt[fmt.Sprint(g.Antecedent)] = g
+	}
+	for _, g := range got.Groups {
+		want, ok := byAnt[fmt.Sprint(g.Antecedent)]
+		if !ok {
+			return fmt.Errorf("replication x%d: group %v not mined on the original", k, g.Antecedent)
+		}
+		if g.SupPos != k*want.SupPos || g.SupNeg != k*want.SupNeg {
+			return fmt.Errorf("replication x%d: group %v support %d/%d, want %d/%d",
+				k, g.Antecedent, g.SupPos, g.SupNeg, k*want.SupPos, k*want.SupNeg)
+		}
+		if g.Confidence != want.Confidence {
+			return fmt.Errorf("replication x%d: group %v confidence %v, want %v",
+				k, g.Antecedent, g.Confidence, want.Confidence)
+		}
+		if math.Abs(g.Chi-float64(k)*want.Chi) > 1e-9*(1+math.Abs(g.Chi)) {
+			return fmt.Errorf("replication x%d: group %v chi %v, want %v",
+				k, g.Antecedent, g.Chi, float64(k)*want.Chi)
+		}
+		rows := make([]int, 0, k*len(want.Rows))
+		for j := 0; j < k; j++ {
+			for _, r := range want.Rows {
+				rows = append(rows, j*n+r)
+			}
+		}
+		sort.Ints(rows)
+		if fmt.Sprint(g.Rows) != fmt.Sprint(rows) {
+			return fmt.Errorf("replication x%d: group %v rows %v, want %v", k, g.Antecedent, g.Rows, rows)
+		}
+	}
+	return nil
+}
+
+// CheckItemRelabelInvariance asserts that renaming items (a bijection on
+// item ids) relabels antecedents without changing row sets, supports,
+// confidences or chi values.
+func CheckItemRelabelInvariance(c Case) error {
+	base, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return err
+	}
+	for _, perm := range permutations(c.D.NumItems) {
+		d2 := c.D.Clone()
+		d2.ItemNames = nil
+		for ri := range d2.Rows {
+			items := d2.Rows[ri].Items
+			for i, it := range items {
+				items[i] = dataset.Item(perm[it])
+			}
+			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		}
+		got, err := core.Mine(d2, c.Consequent, c.Opt)
+		if err != nil {
+			return err
+		}
+		// Map the mined antecedents back through the inverse permutation.
+		inv := make([]dataset.Item, len(perm))
+		for i, p := range perm {
+			inv[p] = dataset.Item(i)
+		}
+		keys := make([]string, 0, len(got.Groups))
+		for _, g := range got.Groups {
+			ant := make([]dataset.Item, len(g.Antecedent))
+			for i, it := range g.Antecedent {
+				ant[i] = inv[it]
+			}
+			sort.Slice(ant, func(a, b int) bool { return ant[a] < ant[b] })
+			keys = append(keys, groupKey(ant, g.Rows, g.SupPos, g.SupNeg))
+		}
+		sort.Strings(keys)
+		if err := diffKeys(fmt.Sprintf("item relabeling %v", perm), keys, coreGroupKeys(base)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

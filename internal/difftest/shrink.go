@@ -1,0 +1,131 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Shrink greedily minimizes a failing case: it tries dropping rows, merging
+// away classes, dropping whole item columns, and removing single items from
+// single rows, keeping any reduction under which fails still returns true.
+// The predicate must treat the case as self-contained (it receives the
+// shrunk dataset with Consequent clamped into range). maxSteps bounds the
+// number of predicate evaluations; the loop also stops at a fixpoint.
+func Shrink(c Case, fails func(Case) bool, maxSteps int) Case {
+	if maxSteps <= 0 {
+		maxSteps = 4096
+	}
+	steps := 0
+	try := func(cand Case) bool {
+		if steps >= maxSteps {
+			return false
+		}
+		steps++
+		if cand.D.Validate() != nil {
+			return false
+		}
+		return fails(cand)
+	}
+	for {
+		reduced := false
+
+		// Drop rows, highest index first so earlier ids stay stable.
+		for ri := len(c.D.Rows) - 1; ri >= 0; ri-- {
+			cand := c
+			cand.D = c.D.Clone()
+			cand.D.Rows = append(cand.D.Rows[:ri], cand.D.Rows[ri+1:]...)
+			if try(cand) {
+				c = cand
+				reduced = true
+			}
+		}
+
+		// Merge the last class into class 0 while more than two remain.
+		for c.D.NumClasses() > 2 {
+			cand := c
+			cand.D = c.D.Clone()
+			last := cand.D.NumClasses() - 1
+			for ri := range cand.D.Rows {
+				if cand.D.Rows[ri].Class == last {
+					cand.D.Rows[ri].Class = 0
+				}
+			}
+			cand.D.ClassNames = cand.D.ClassNames[:last]
+			if cand.Consequent >= last {
+				cand.Consequent = 0
+			}
+			if !try(cand) {
+				break
+			}
+			c = cand
+			reduced = true
+		}
+
+		// Drop whole item columns (compacting ids above the dropped one).
+		for it := c.D.NumItems - 1; it >= 0; it-- {
+			cand := c
+			cand.D = dropItem(c.D, dataset.Item(it))
+			if try(cand) {
+				c = cand
+				reduced = true
+			}
+		}
+
+		// Remove single items from single rows.
+		for ri := range c.D.Rows {
+			for k := len(c.D.Rows[ri].Items) - 1; k >= 0; k-- {
+				cand := c
+				cand.D = c.D.Clone()
+				items := cand.D.Rows[ri].Items
+				cand.D.Rows[ri].Items = append(items[:k], items[k+1:]...)
+				if try(cand) {
+					c = cand
+					reduced = true
+				}
+			}
+		}
+
+		if !reduced || steps >= maxSteps {
+			return c
+		}
+	}
+}
+
+// dropItem removes one item column entirely, shifting higher ids down.
+func dropItem(d *dataset.Dataset, it dataset.Item) *dataset.Dataset {
+	out := d.Clone()
+	out.NumItems = d.NumItems - 1
+	out.ItemNames = nil
+	for ri := range out.Rows {
+		items := out.Rows[ri].Items[:0]
+		for _, x := range out.Rows[ri].Items {
+			switch {
+			case x == it:
+			case x > it:
+				items = append(items, x-1)
+			default:
+				items = append(items, x)
+			}
+		}
+		out.Rows[ri].Items = items
+	}
+	return out
+}
+
+// Describe renders a case as a reproducible Go literal plus its fuzz-corpus
+// encoding, for failure messages.
+func Describe(c Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "consequent=%d opt=%+v workers=%d minsupCS=%d\n",
+		c.Consequent, c.Opt, c.Workers, c.MinSupCS)
+	fmt.Fprintf(&b, "rows (class: items):\n")
+	for _, r := range c.D.Rows {
+		fmt.Fprintf(&b, "  %s: %v\n", c.D.ClassNames[r.Class], r.Items)
+	}
+	if enc := Encode(c); enc != nil {
+		fmt.Fprintf(&b, "fuzz corpus entry:\ngo test fuzz v1\n[]byte(%q)\n", enc)
+	}
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package reference
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// MineLB pairs every rule group with minimal generators that reproduce the
+// group's row set.
+func TestMineLBOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 30; iter++ {
+		d := randomDataset(rng)
+		groups := AllRuleGroups(d, 0)
+		withLB := MineLB(d, 0, 0)
+		if len(withLB) != len(groups) {
+			t.Fatalf("MineLB covers %d groups, universe has %d", len(withLB), len(groups))
+		}
+		for _, gl := range withLB {
+			target := dataset.SupportSet(d, gl.Group.Antecedent)
+			if len(gl.LowerBounds) == 0 {
+				t.Fatalf("group %v has no lower bounds", gl.Group.Antecedent)
+			}
+			for _, lb := range gl.LowerBounds {
+				if !dataset.SupportSet(d, lb).Equal(target) {
+					t.Fatalf("lower bound %v of %v has different support", lb, gl.Group.Antecedent)
+				}
+			}
+		}
+	}
+}
+
+func TestMineLBAntecedentCap(t *testing.T) {
+	d := dataset.PaperExample()
+	capped := MineLB(d, 0, 2)
+	for _, gl := range capped {
+		if len(gl.Group.Antecedent) > 2 {
+			t.Fatalf("cap 2 kept antecedent %v", gl.Group.Antecedent)
+		}
+	}
+	if len(capped) >= len(AllRuleGroups(d, 0)) {
+		t.Fatal("cap removed nothing on the paper example")
+	}
+}
+
+// TopK scores descend and match a direct rescan of the rule-group universe.
+func TestTopKOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 30; iter++ {
+		d := randomDataset(rng)
+		k := 1 + rng.Intn(4)
+		got := TopK(d, 0, k, stats.Chi2, 1)
+		if len(got) > k {
+			t.Fatalf("returned %d > k=%d", len(got), k)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score {
+				t.Fatalf("scores not descending at %d", i)
+			}
+		}
+		n, m := len(d.Rows), d.ClassCount(0)
+		// No excluded group may beat the kept threshold.
+		if len(got) == k {
+			worst := got[len(got)-1].Score
+			kept := map[string]bool{}
+			for _, s := range got {
+				kept[dataset.StringFromItems(s.Group.Antecedent)] = true
+			}
+			for _, g := range AllRuleGroups(d, 0) {
+				if g.SupPos < 1 { // same minsup filter TopK was called with
+					continue
+				}
+				if kept[dataset.StringFromItems(g.Antecedent)] {
+					continue
+				}
+				if sc := stats.Chi2(g.SupPos+g.SupNeg, g.SupPos, n, m); sc > worst {
+					t.Fatalf("excluded group %v scores %v > kept threshold %v", g.Antecedent, sc, worst)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMinsupFilters(t *testing.T) {
+	d := dataset.PaperExample()
+	all := TopK(d, 0, 100, stats.Chi2, 1)
+	filtered := TopK(d, 0, 100, stats.Chi2, 3)
+	if len(filtered) >= len(all) {
+		t.Fatal("minsup=3 filtered nothing")
+	}
+	for _, s := range filtered {
+		if s.Group.SupPos < 3 {
+			t.Fatalf("group %v below minsup", s.Group.Antecedent)
+		}
+	}
+	var found bool
+	for _, s := range all {
+		if reflect.DeepEqual(s.Group.Antecedent, dataset.ItemsFromString("a")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("group {a} missing from unfiltered top-k")
+	}
+}
