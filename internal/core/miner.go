@@ -81,6 +81,15 @@ type miner struct {
 	// used by MineParallel's singleton tasks.
 	skipChildren bool
 
+	// recordRejected makes maybeEmit retain the row set of every group the
+	// local interestingness filter drops. MineParallel needs the identities,
+	// not just a count: a pair task can rediscover a group that another task
+	// already found (the sequential traversal absorbs the second node via
+	// pruning 1), so rejection events over-count — only the set of distinct
+	// rejected row sets is scheduling-independent.
+	recordRejected bool
+	rejectedRows   []*bitset.Set
+
 	groups []irgEntry
 	stats  Stats
 }
@@ -396,6 +405,9 @@ func (m *miner) maybeEmit(tuples []tuple, supp, supn int) {
 			}
 			if !confLess(e.supPos, e.tot, supp, tot) {
 				m.stats.GroupsNotInterest++
+				if m.recordRejected {
+					m.rejectedRows = append(m.rejectedRows, m.inX.Clone())
+				}
 				return
 			}
 		}

@@ -74,8 +74,9 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	}
 
 	type workerOut struct {
-		cands []irgEntry
-		stats Stats
+		cands    []irgEntry
+		rejected []*bitset.Set
+		stats    Stats
 	}
 	outs := make([]workerOut, workers)
 	next := make(chan task, len(tasks))
@@ -90,14 +91,15 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 		go func(w int) {
 			defer wg.Done()
 			m := &miner{
-				ds:     ordered,
-				tt:     shared,
-				numPos: ord.NumPositive,
-				n:      n,
-				opt:    opt,
-				inX:    bitset.New(n),
-				cnt:    make([]int32, n),
-				stamp:  make([]uint32, n),
+				ds:             ordered,
+				tt:             shared,
+				numPos:         ord.NumPositive,
+				n:              n,
+				opt:            opt,
+				inX:            bitset.New(n),
+				cnt:            make([]int32, n),
+				stamp:          make([]uint32, n),
+				recordRejected: true,
 			}
 			for tk := range next {
 				if tk.r2 < 0 {
@@ -106,11 +108,21 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 					m.minePair(tk.r1, tk.r2)
 				}
 			}
-			outs[w] = workerOut{cands: m.groups, stats: m.stats}
+			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, stats: m.stats}
 		}(w)
 	}
 	wg.Wait()
 
+	// Rejection accounting: a group dropped by a worker's local filter is a
+	// constraint-satisfying group the global fixpoint would also reject (see
+	// the dominator-transitivity argument above), but rejection EVENTS are
+	// not scheduling-independent — a pair task can rediscover a group whose
+	// node the sequential traversal absorbs via pruning 1, so the same group
+	// may be rejected in two tasks, or locally in one worker and again in
+	// the fixpoint. Deduplicating by row set (closed groups are identified
+	// by their row sets) makes the counter deterministic and equal to
+	// sequential Mine's, which rejects each dominated group exactly once.
+	rejected := make(map[string]struct{})
 	var cands []irgEntry
 	for _, o := range outs {
 		cands = append(cands, o.cands...)
@@ -121,6 +133,9 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 		res.Stats.PrunedChiBound += o.stats.PrunedChiBound
 		res.Stats.PrunedGainBound += o.stats.PrunedGainBound
 		res.Stats.RowsAbsorbed += o.stats.RowsAbsorbed
+		for _, r := range o.rejected {
+			rejected[r.String()] = struct{}{}
+		}
 	}
 
 	// Sequential interestingness fixpoint: more general groups (larger row
@@ -141,7 +156,7 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 				}
 				if !confLess(e.supPos, e.tot, c.supPos, c.tot) {
 					interesting = false
-					res.Stats.GroupsNotInterest++
+					rejected[c.rows.String()] = struct{}{}
 					break
 				}
 			}
@@ -151,6 +166,7 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 		}
 	}
 	res.Stats.GroupsEmitted = int64(len(kept))
+	res.Stats.GroupsNotInterest = int64(len(rejected))
 
 	for i := range kept {
 		e := &kept[i]
