@@ -1,0 +1,34 @@
+# Development targets. CI (.github/workflows/ci.yml) runs test, race and a
+# fuzz smoke pass; `make fuzz FUZZTIME=5m` digs deeper locally.
+
+GO       ?= go
+FUZZTIME ?= 30s
+
+FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
+
+.PHONY: all build vet test race fuzz bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Each differential fuzz target runs for FUZZTIME; the committed corpus
+# under internal/difftest/testdata/fuzz/ replays in plain `make test` too.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "--- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/difftest || exit 1; \
+	done
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
