@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 
 FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 
-.PHONY: all build vet test race fuzz bench
+.PHONY: all build vet test race fuzz bench bench-json
 
 all: vet build test
 
@@ -32,3 +32,9 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Machine-readable core benchmarks (ns/op, allocs/op, B/op for Mine,
+# MineParallel and CHARM over the bench datasets); CI archives the file.
+BENCH_JSON_DATASETS ?= BC,LC,CT,PC,ALL
+bench-json:
+	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o BENCH_core.json

@@ -1,6 +1,8 @@
 package farmer
 
 import (
+	"context"
+
 	"repro/internal/carpenter"
 	"repro/internal/charm"
 	"repro/internal/closet"
@@ -26,6 +28,9 @@ type (
 	ClosetOptions = closet.Options
 	// ClosetResult is MineClosedFPTree's outcome.
 	ClosetResult = closet.Result
+	// ClosetClosedSet is a closed itemset as reported by the CLOSET-style
+	// miner (items and support; no tidset).
+	ClosetClosedSet = closet.ClosedSet
 
 	// ColumnEOptions configures MineColumnE.
 	ColumnEOptions = columne.Options
@@ -40,6 +45,9 @@ type (
 	// CobblerResult is MineClosedCOBBLER's outcome, including per-mode node
 	// counts and the number of mode switches.
 	CobblerResult = cobbler.Result
+	// CobblerClosedPattern is a closed itemset with supporting rows as
+	// reported by COBBLER.
+	CobblerClosedPattern = cobbler.ClosedPattern
 
 	// CarpenterOptions configures MineClosedCARPENTER.
 	CarpenterOptions = carpenter.Options
@@ -64,10 +72,36 @@ func MineClosedCHARM(d *Dataset, opt CharmOptions) (*CharmResult, error) {
 	return charm.Mine(d, opt)
 }
 
+// MineClosedCHARMContext is MineClosedCHARM under a context: cancellation
+// stops the search within one node expansion and returns ctx.Err() with
+// the closed sets found so far.
+func MineClosedCHARMContext(ctx context.Context, d *Dataset, opt CharmOptions) (*CharmResult, error) {
+	return charm.MineContext(ctx, d, opt)
+}
+
+// MineClosedCHARMStream is MineClosedCHARMContext with streaming emission:
+// each closed set is delivered as soon as it survives subsumption, in
+// discovery order (not the sorted batch order).
+func MineClosedCHARMStream(ctx context.Context, d *Dataset, opt CharmOptions, onClosed func(ClosedSet) error) (*CharmResult, error) {
+	return charm.MineStream(ctx, d, opt, onClosed)
+}
+
 // MineClosedFPTree mines all closed itemsets of d with a CLOSET-style
 // FP-tree pattern-growth miner.
 func MineClosedFPTree(d *Dataset, opt ClosetOptions) (*ClosetResult, error) {
 	return closet.Mine(d, opt)
+}
+
+// MineClosedFPTreeContext is MineClosedFPTree under a context; see
+// MineClosedCHARMContext for the cancellation contract.
+func MineClosedFPTreeContext(ctx context.Context, d *Dataset, opt ClosetOptions) (*ClosetResult, error) {
+	return closet.MineContext(ctx, d, opt)
+}
+
+// MineClosedFPTreeStream is MineClosedFPTreeContext with streaming
+// emission, in discovery order.
+func MineClosedFPTreeStream(ctx context.Context, d *Dataset, opt ClosetOptions, onClosed func(ClosetClosedSet) error) (*ClosetResult, error) {
+	return closet.MineStream(ctx, d, opt, onClosed)
 }
 
 // MineColumnE mines one representative rule per interesting rule group by
@@ -77,10 +111,37 @@ func MineColumnE(d *Dataset, consequent int, opt ColumnEOptions) (*ColumnEResult
 	return columne.Mine(d, consequent, opt)
 }
 
+// MineColumnEContext is MineColumnE under a context; cancellation stops
+// the search within one node expansion and returns ctx.Err().
+func MineColumnEContext(ctx context.Context, d *Dataset, consequent int, opt ColumnEOptions) (*ColumnEResult, error) {
+	return columne.MineContext(ctx, d, consequent, opt)
+}
+
+// MineColumnEStream is MineColumnEContext with streaming emission. Unlike
+// the other miners, ColumnE decides interestingness by a global fixpoint
+// over all candidates, so rules are delivered during the finish phase (in
+// fixpoint order, not the sorted batch order) rather than as enumeration
+// proceeds.
+func MineColumnEStream(ctx context.Context, d *Dataset, consequent int, opt ColumnEOptions, onRule func(ColumnERule) error) (*ColumnEResult, error) {
+	return columne.MineStream(ctx, d, consequent, opt, onRule)
+}
+
 // MineClosedCARPENTER mines all closed itemsets of d by row enumeration
 // (Pan et al., KDD 2003) — FARMER's class-blind predecessor.
 func MineClosedCARPENTER(d *Dataset, opt CarpenterOptions) (*CarpenterResult, error) {
 	return carpenter.Mine(d, opt)
+}
+
+// MineClosedCARPENTERContext is MineClosedCARPENTER under a context; see
+// MineClosedCHARMContext for the cancellation contract.
+func MineClosedCARPENTERContext(ctx context.Context, d *Dataset, opt CarpenterOptions) (*CarpenterResult, error) {
+	return carpenter.MineContext(ctx, d, opt)
+}
+
+// MineClosedCARPENTERStream is MineClosedCARPENTERContext with streaming
+// emission, in discovery order.
+func MineClosedCARPENTERStream(ctx context.Context, d *Dataset, opt CarpenterOptions, onClosed func(ClosedPattern) error) (*CarpenterResult, error) {
+	return carpenter.MineStream(ctx, d, opt, onClosed)
 }
 
 // MineClosedCOBBLER mines all closed itemsets of d with COBBLER (Pan et
@@ -89,4 +150,16 @@ func MineClosedCARPENTER(d *Dataset, opt CarpenterOptions) (*CarpenterResult, er
 // both dimensions.
 func MineClosedCOBBLER(d *Dataset, opt CobblerOptions) (*CobblerResult, error) {
 	return cobbler.Mine(d, opt)
+}
+
+// MineClosedCOBBLERContext is MineClosedCOBBLER under a context; see
+// MineClosedCHARMContext for the cancellation contract.
+func MineClosedCOBBLERContext(ctx context.Context, d *Dataset, opt CobblerOptions) (*CobblerResult, error) {
+	return cobbler.MineContext(ctx, d, opt)
+}
+
+// MineClosedCOBBLERStream is MineClosedCOBBLERContext with streaming
+// emission, in discovery order.
+func MineClosedCOBBLERStream(ctx context.Context, d *Dataset, opt CobblerOptions, onClosed func(CobblerClosedPattern) error) (*CobblerResult, error) {
+	return cobbler.MineStream(ctx, d, opt, onClosed)
 }

@@ -1,0 +1,122 @@
+// Command benchjson measures the hot mining entry points — Mine,
+// MineParallel and CHARM — over the bench datasets with testing.Benchmark
+// and writes the results as a JSON array (ns/op, allocs/op, B/op). CI runs
+// it via `make bench-json` and archives BENCH_core.json so allocation
+// regressions in the shared engine show up as a diff, not a vibe.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	farmer "repro"
+	"repro/internal/synth"
+)
+
+// Row is one benchmark measurement in the output file.
+type Row struct {
+	Name        string  `json:"name"`
+	Dataset     string  `json:"dataset"`
+	MinSup      int     `json:"minsup"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// midMinsup mirrors bench_test.go's representative Figure-10 sweep point.
+func midMinsup(d *farmer.Dataset) int {
+	m := d.ClassCount(0) / 3
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+func run(datasets []string) ([]Row, error) {
+	var rows []Row
+	for _, name := range datasets {
+		spec, ok := synth.BenchSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("no bench spec %q", name)
+		}
+		d, err := spec.GenerateDiscrete(10)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", name, err)
+		}
+		minsup := midMinsup(d)
+		benches := []struct {
+			name string
+			fn   func() error
+		}{
+			{"Mine", func() error {
+				_, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: minsup})
+				return err
+			}},
+			{"MineParallel", func() error {
+				_, err := farmer.MineParallel(d, 0, farmer.MineOptions{MinSup: minsup}, 0)
+				return err
+			}},
+			{"CHARM", func() error {
+				_, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: minsup})
+				return err
+			}},
+		}
+		for _, bench := range benches {
+			fn := bench.fn
+			var failure error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := fn(); err != nil {
+						failure = err
+						b.FailNow()
+					}
+				}
+			})
+			if failure != nil {
+				return nil, fmt.Errorf("%s/%s: %w", bench.name, name, failure)
+			}
+			rows = append(rows, Row{
+				Name:        bench.name,
+				Dataset:     name,
+				MinSup:      minsup,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%-12s %-4s minsup=%-3d %12.0f ns/op %8d allocs/op %10d B/op\n",
+				bench.name, name, minsup,
+				rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
+		}
+	}
+	return rows, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file")
+	datasets := flag.String("datasets", "BC,LC,CT,PC,ALL", "comma-separated bench dataset names")
+	flag.Parse()
+
+	rows, err := run(strings.Split(*datasets, ","))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d measurements)\n", *out, len(rows))
+}

@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if _, err := run([]string{"no-such-spec"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

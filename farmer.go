@@ -1,6 +1,8 @@
 package farmer
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -55,11 +57,36 @@ func Mine(d *Dataset, consequent int, opt MineOptions) (*MineResult, error) {
 	return core.Mine(d, consequent, opt)
 }
 
+// MineContext is Mine under a context: cancellation or deadline expiry
+// stops the search within one node expansion and returns ctx.Err() together
+// with a partial result (the groups emitted so far and the statistics of
+// the work actually done).
+func MineContext(ctx context.Context, d *Dataset, consequent int, opt MineOptions) (*MineResult, error) {
+	return core.MineContext(ctx, d, consequent, opt)
+}
+
+// MineStream is MineContext with streaming emission: each interesting rule
+// group is delivered to onGroup as soon as it is accepted, in the same
+// order Mine would report it. A non-nil error from onGroup aborts the
+// search and is returned verbatim. The returned result carries statistics
+// only; its Groups field is nil.
+func MineStream(ctx context.Context, d *Dataset, consequent int, opt MineOptions, onGroup func(RuleGroup) error) (*MineResult, error) {
+	return core.MineStream(ctx, d, consequent, opt, onGroup)
+}
+
 // MineParallel is Mine spread across worker goroutines (workers ≤ 0 uses
 // GOMAXPROCS); results are identical to Mine, in deterministic antecedent
 // order.
 func MineParallel(d *Dataset, consequent int, opt MineOptions, workers int) (*MineResult, error) {
 	return core.MineParallel(d, consequent, opt, workers)
+}
+
+// MineParallelContext is MineParallel under a context. On cancellation all
+// workers drain and exit before it returns ctx.Err() with the merged
+// partial statistics; no rule groups are reported (the interestingness
+// fixpoint is not sound on a partial candidate set).
+func MineParallelContext(ctx context.Context, d *Dataset, consequent int, opt MineOptions, workers int) (*MineResult, error) {
+	return core.MineParallelContext(ctx, d, consequent, opt, workers)
 }
 
 // MineTopK returns the k rule groups maximizing the measure (subject to a
@@ -70,6 +97,12 @@ func MineTopK(d *Dataset, consequent, k int, measure Measure, minsup int) ([]Sco
 	return core.MineTopK(d, consequent, k, measure, minsup)
 }
 
+// MineTopKContext is MineTopK under a context; on cancellation it returns
+// the best groups found so far together with ctx.Err().
+func MineTopKContext(ctx context.Context, d *Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
+	return core.MineTopKContext(ctx, d, consequent, k, measure, minsup)
+}
+
 // LowerBounds computes the lower bounds (minimal generators) of an
 // antecedent over d: the minimal itemsets L ⊆ antecedent with
 // R(L) = R(antecedent). maxLB > 0 caps the expansion; the boolean reports
@@ -78,6 +111,14 @@ func MineTopK(d *Dataset, consequent, k int, measure Measure, minsup int) ([]Sco
 func LowerBounds(d *Dataset, antecedent []Item, maxLB int) ([][]Item, bool) {
 	rows := dataset.SupportSet(d, antecedent)
 	return core.MineLowerBounds(d, antecedent, rows, maxLB)
+}
+
+// LowerBoundsContext is LowerBounds under a context; on cancellation it
+// returns nil bounds and ctx.Err() (a partial generator set is not
+// meaningful).
+func LowerBoundsContext(ctx context.Context, d *Dataset, antecedent []Item, maxLB int) ([][]Item, bool, error) {
+	rows := dataset.SupportSet(d, antecedent)
+	return core.MineLowerBoundsContext(ctx, d, antecedent, rows, maxLB)
 }
 
 // SupportSet returns R(items): the ids of rows containing every item.

@@ -189,6 +189,36 @@ func (s *Set) AndCount(t *Set) int {
 	return c
 }
 
+// OrCount returns |s ∪ t| without allocating.
+func (s *Set) OrCount(t *Set) int {
+	s.compat(t)
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] | t.words[i])
+	}
+	return c
+}
+
+// AndTo sets dst = a ∩ b without allocating. All three sets must share one
+// capacity; dst may alias a or b.
+func AndTo(dst, a, b *Set) {
+	dst.compat(a)
+	dst.compat(b)
+	for i := range dst.words {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// AndNotTo sets dst = a − b without allocating. All three sets must share
+// one capacity; dst may alias a or b.
+func AndNotTo(dst, a, b *Set) {
+	dst.compat(a)
+	dst.compat(b)
+	for i := range dst.words {
+		dst.words[i] = a.words[i] &^ b.words[i]
+	}
+}
+
 // AndNotCount returns |s − t| without allocating.
 func (s *Set) AndNotCount(t *Set) int {
 	s.compat(t)

@@ -102,6 +102,88 @@ func TestSetOps(t *testing.T) {
 	}
 }
 
+func TestOrCount(t *testing.T) {
+	a := FromInts(128, 1, 2, 3, 64, 127)
+	b := FromInts(128, 2, 3, 4, 64)
+	if got := a.OrCount(b); got != 6 {
+		t.Fatalf("OrCount = %d, want 6", got)
+	}
+	or := a.Clone()
+	or.Or(b)
+	if got := a.OrCount(b); got != or.Count() {
+		t.Fatalf("OrCount %d disagrees with Or+Count %d", got, or.Count())
+	}
+	if got := a.OrCount(New(128)); got != a.Count() {
+		t.Fatalf("OrCount with empty = %d, want %d", got, a.Count())
+	}
+}
+
+func TestAndTo(t *testing.T) {
+	a := FromInts(128, 1, 2, 3, 64, 127)
+	b := FromInts(128, 2, 3, 4, 64)
+	dst := FromInts(128, 99) // stale contents must be overwritten
+	AndTo(dst, a, b)
+	if got := dst.Ints(); !reflect.DeepEqual(got, []int{2, 3, 64}) {
+		t.Fatalf("AndTo = %v", got)
+	}
+	// Must agree with Clone+And, and leave the operands untouched.
+	want := a.Clone()
+	want.And(b)
+	if !dst.Equal(want) {
+		t.Fatal("AndTo disagrees with Clone+And")
+	}
+	if !reflect.DeepEqual(a.Ints(), []int{1, 2, 3, 64, 127}) || !reflect.DeepEqual(b.Ints(), []int{2, 3, 4, 64}) {
+		t.Fatal("AndTo mutated an operand")
+	}
+	// dst aliasing an operand.
+	alias := a.Clone()
+	AndTo(alias, alias, b)
+	if !alias.Equal(want) {
+		t.Fatal("AndTo with aliased dst wrong")
+	}
+}
+
+func TestAndNotTo(t *testing.T) {
+	a := FromInts(128, 1, 2, 3, 64, 127)
+	b := FromInts(128, 2, 3, 4, 64)
+	dst := FromInts(128, 99)
+	AndNotTo(dst, a, b)
+	if got := dst.Ints(); !reflect.DeepEqual(got, []int{1, 127}) {
+		t.Fatalf("AndNotTo = %v", got)
+	}
+	want := a.Clone()
+	want.AndNot(b)
+	if !dst.Equal(want) {
+		t.Fatal("AndNotTo disagrees with Clone+AndNot")
+	}
+	if dst.Count() != a.AndNotCount(b) {
+		t.Fatal("AndNotTo disagrees with AndNotCount")
+	}
+	alias := a.Clone()
+	AndNotTo(alias, alias, b)
+	if !alias.Equal(want) {
+		t.Fatal("AndNotTo with aliased dst wrong")
+	}
+}
+
+func TestToVariantsCompatPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { AndTo(New(10), New(10), New(20)) },
+		func() { AndTo(New(20), New(10), New(10)) },
+		func() { AndNotTo(New(10), New(20), New(10)) },
+		func() { _ = New(10).OrCount(New(20)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("capacity mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestSubsetSuperset(t *testing.T) {
 	a := FromInts(64, 1, 2)
 	b := FromInts(64, 1, 2, 3)
@@ -241,7 +323,17 @@ func TestQuickAgainstModel(t *testing.T) {
 		}
 		u := a.Clone()
 		u.Or(b)
-		return u.Count() == union
+		if u.Count() != union || a.OrCount(b) != union {
+			return false
+		}
+		and := New(n)
+		AndTo(and, a, b)
+		if and.Count() != inter {
+			return false
+		}
+		diff := New(n)
+		AndNotTo(diff, a, b)
+		return diff.Count() == len(ma)-inter
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

@@ -11,11 +11,12 @@
 package carpenter
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ClosedPattern is one closed itemset with its supporting rows.
@@ -31,31 +32,65 @@ type Options struct {
 	MinSup int
 }
 
-// Result carries mined patterns and effort statistics.
+// Result carries mined patterns and effort statistics. Nodes keeps the
+// legacy enumeration-node count; Stats carries the engine's unified
+// counters (NodesVisited equals Nodes for this miner).
 type Result struct {
 	Patterns []ClosedPattern
 	Nodes    int64
+	Stats    engine.Stats
 }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// node expansion. On cancellation it returns ctx.Err() with a non-nil
+// Result carrying the partial statistics and the patterns already emitted.
+func MineContext(ctx context.Context, d *dataset.Dataset, opt Options) (*Result, error) {
+	var out []ClosedPattern
+	res, err := MineStream(ctx, d, opt, func(p ClosedPattern) error {
+		out = append(out, p)
+		return nil
+	})
+	if res != nil {
+		sort.Slice(out, func(i, j int) bool { return lessItems(out[i].Items, out[j].Items) })
+		res.Patterns = out
+	}
+	return res, err
+}
+
+// MineStream is the streaming form of Mine: each closed pattern is
+// delivered to onPattern at the moment its node emits — final immediately,
+// since the back scan guarantees each closed pattern is emitted at exactly
+// one node — in discovery (post-order) rather than Mine's sorted order. A
+// callback error aborts the run and is returned verbatim; after
+// cancellation no further patterns are delivered.
+func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern func(ClosedPattern) error) (*Result, error) {
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("carpenter: MinSup must be >= 1, got %d", opt.MinSup)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	n := len(d.Rows)
 	m := &miner{
 		d:      d,
 		tt:     dataset.Transpose(d),
 		n:      n,
 		minsup: opt.MinSup,
-		inX:    bitset.New(n),
-		cnt:    make([]int32, n),
-		stamp:  make([]uint32, n),
+		ex:     ex,
+		sc:     engine.NewScratch(n),
+		emit:   onPattern,
 	}
-	for ri := 0; ri < n; ri++ {
+	setupDone()
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	var err error
+	for ri := 0; ri < n && err == nil; ri++ {
 		row := &d.Rows[ri]
 		tuples := make([]tuple, 0, len(row.Items))
 		for _, it := range row.Items {
@@ -63,12 +98,12 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
 			tuples = append(tuples, tuple{item: it, rows: list[k:]})
 		}
-		m.inX.Set(ri)
-		m.mineNode(tuples, 1, ri)
-		m.inX.Clear(ri)
+		m.sc.InX.Set(ri)
+		err = m.mineNode(tuples, 1, ri)
+		m.sc.InX.Clear(ri)
 	}
-	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
-	return &Result{Patterns: m.out, Nodes: m.nodes}, nil
+	searchDone()
+	return &Result{Nodes: ex.Stats.NodesVisited, Stats: ex.Stats}, err
 }
 
 type tuple struct {
@@ -82,26 +117,29 @@ type miner struct {
 	n      int
 	minsup int
 
-	inX   *bitset.Set
-	cnt   []int32
-	stamp []uint32
-	epoch uint32
+	// ex and sc are the shared engine runtime: cancellation-aware node
+	// accounting and the epoch-stamped scratch substrate.
+	ex *engine.Exec
+	sc *engine.Scratch
 
-	out   []ClosedPattern
-	nodes int64
+	emit func(ClosedPattern) error
 }
 
-func (m *miner) mineNode(tuples []tuple, count int, rmax int) {
-	m.nodes++
+func (m *miner) mineNode(tuples []tuple, count int, rmax int) error {
+	if err := m.ex.EnterNode(); err != nil {
+		return err
+	}
 	if len(tuples) == 0 {
-		return
+		return nil
 	}
 	// Pruning 2: back scan over global list prefixes.
 	if m.backScanHit(tuples, rmax) {
-		return
+		m.ex.Stats.PrunedBackScan++
+		return nil
 	}
 	// Scan: occurrence counts over candidates; Y absorption (pruning 1).
-	m.epoch++
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxInTuple := 0
 	for _, t := range tuples {
@@ -109,39 +147,41 @@ func (m *miner) mineNode(tuples []tuple, count int, rmax int) {
 			maxInTuple = len(t.rows)
 		}
 		for _, r := range t.rows {
-			if m.stamp[r] != m.epoch {
-				m.stamp[r] = m.epoch
-				m.cnt[r] = 0
+			if stamp[r] != ep {
+				stamp[r] = ep
+				cnt[r] = 0
 			}
-			m.cnt[r]++
+			cnt[r]++
 		}
 	}
 	var eRows, yRows []int32
 	for _, t := range tuples {
 		for _, r := range t.rows {
-			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+			if stamp[r] != ep || cnt[r] < 0 {
 				continue
 			}
-			if m.cnt[r] == ntup {
+			if cnt[r] == ntup {
 				yRows = append(yRows, r)
 			} else {
 				eRows = append(eRows, r)
 			}
-			m.cnt[r] = -1
+			cnt[r] = -1
 		}
 	}
 	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
 	count += len(yRows)
+	m.ex.Stats.RowsAbsorbed += int64(len(yRows))
 
 	// Pruning 3: even absorbing the longest tuple's remaining candidates
 	// cannot reach minsup. (count already includes Y, which every tuple
 	// contains, so the bound stays valid.)
 	if count-len(yRows)+maxInTuple < m.minsup {
-		return
+		m.ex.Stats.PrunedTightBound++
+		return nil
 	}
 
 	for _, r := range yRows {
-		m.inX.Set(int(r))
+		m.sc.InX.Set(int(r))
 	}
 	cleaned := make([][]int32, len(tuples))
 	if len(yRows) == 0 {
@@ -183,32 +223,47 @@ func (m *miner) mineNode(tuples []tuple, count int, rmax int) {
 				k := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
 				child = append(child, tuple{item: tuples[ti].item, rows: rows[k:]})
 			}
-			m.inX.Set(int(r))
-			m.mineNode(child, count+1, int(r))
-			m.inX.Clear(int(r))
+			m.sc.InX.Set(int(r))
+			err := m.mineNode(child, count+1, int(r))
+			m.sc.InX.Clear(int(r))
+			if err != nil {
+				return err
+			}
 		}
 	}
 
-	// Emit the closed pattern of this node: I(X) with rows X ∪ Yacc.
+	// Emit the closed pattern of this node: I(X) with rows X ∪ Yacc. After
+	// cancellation the unwind path delivers nothing further.
 	if count >= m.minsup {
+		if err := m.ex.Err(); err != nil {
+			return err
+		}
 		items := make([]dataset.Item, len(tuples))
 		for i, t := range tuples {
 			items[i] = t.item
 		}
 		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
-		m.out = append(m.out, ClosedPattern{Items: items, Support: count, Rows: m.inX.Ints()})
+		m.ex.Stats.GroupsEmitted++
+		if m.emit != nil {
+			if err := m.emit(ClosedPattern{Items: items, Support: count, Rows: m.sc.InX.Ints()}); err != nil {
+				return err
+			}
+		}
 	}
 
 	for _, r := range yRows {
-		m.inX.Clear(int(r))
+		m.sc.InX.Clear(int(r))
 	}
+	return nil
 }
 
 func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 	if rmax == 0 {
 		return false
 	}
-	m.epoch++
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
+	inX := m.sc.InX
 	ntup := int32(len(tuples))
 	for ti, t := range tuples {
 		glist := m.tt.Lists[t.item]
@@ -217,21 +272,21 @@ func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 			if int(r) >= rmax {
 				break
 			}
-			if m.inX.Test(int(r)) {
+			if inX.Test(int(r)) {
 				continue
 			}
 			if ti == 0 {
-				m.stamp[r] = m.epoch
-				m.cnt[r] = 1
+				stamp[r] = ep
+				cnt[r] = 1
 				if ntup == 1 {
 					return true
 				}
 				hitAny = true
 				continue
 			}
-			if m.stamp[r] == m.epoch && m.cnt[r] == int32(ti) {
-				m.cnt[r]++
-				if m.cnt[r] == ntup {
+			if stamp[r] == ep && cnt[r] == int32(ti) {
+				cnt[r]++
+				if cnt[r] == ntup {
 					return true
 				}
 				hitAny = true

@@ -11,11 +11,13 @@
 package charm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ClosedSet is one closed itemset and its absolute row support.
@@ -40,22 +42,55 @@ type Options struct {
 // ErrBudget reports that the node budget was exhausted before completion.
 var ErrBudget = fmt.Errorf("charm: node budget exhausted")
 
-// Result carries the mined closed sets and search statistics.
+// Result carries the mined closed sets and search statistics. Nodes keeps
+// the legacy work-unit count (enumeration nodes plus subsumption
+// comparisons — the quantity MaxNodes bounds); Stats carries the engine's
+// unified counters, where NodesVisited counts enumeration nodes only.
 type Result struct {
 	Closed []ClosedSet
 	Nodes  int64
+	Stats  engine.Stats
 }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// enumeration node, so a cancelled run stops within one node expansion.
+// On cancellation it returns ctx.Err() with a non-nil Result carrying the
+// partial statistics and the closed sets already emitted. (Budget
+// exhaustion keeps its legacy convention: ErrBudget with a nil Result.)
+func MineContext(ctx context.Context, d *dataset.Dataset, opt Options) (*Result, error) {
+	var out []ClosedSet
+	res, err := MineStream(ctx, d, opt, func(c ClosedSet) error {
+		out = append(out, c)
+		return nil
+	})
+	if res != nil {
+		sort.Slice(out, func(i, j int) bool { return lessItems(out[i].Items, out[j].Items) })
+		res.Closed = out
+	}
+	return res, err
+}
+
+// MineStream is the streaming form of Mine: each closed set is delivered
+// to onClosed the moment its subsumption check passes — final immediately,
+// since CHARM never retracts an emitted set — in discovery (post-order)
+// rather than Mine's sorted order. A callback error aborts the run and is
+// returned verbatim; after cancellation no further sets are delivered.
+func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed func(ClosedSet) error) (*Result, error) {
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("charm: MinSup must be >= 1, got %d", opt.MinSup)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	m := &miner{d: d, opt: opt, subsume: map[uint64][]int{}}
+	ex := engine.NewExec(ctx)
+	m := &miner{d: d, opt: opt, ex: ex, emit: onClosed, subsume: map[uint64][]ClosedSet{}}
 
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	tt := dataset.Transpose(d)
 	n := len(d.Rows)
 	var nodes []itPair
@@ -77,11 +112,15 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 		}
 		return nodes[i].items[0] < nodes[j].items[0]
 	})
-	if err := m.extend(nodes); err != nil {
+	setupDone()
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	err := m.extend(nodes)
+	searchDone()
+	if err == ErrBudget {
 		return nil, err
 	}
-	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
-	return &Result{Closed: m.out, Nodes: m.nodes}, nil
+	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
 }
 
 type itPair struct {
@@ -93,8 +132,9 @@ type itPair struct {
 type miner struct {
 	d       *dataset.Dataset
 	opt     Options
-	out     []ClosedSet
-	subsume map[uint64][]int // tidset hash -> indices into out
+	ex      *engine.Exec
+	emit    func(ClosedSet) error
+	subsume map[uint64][]ClosedSet // tidset hash -> emitted sets
 	nodes   int64
 }
 
@@ -103,6 +143,9 @@ func (m *miner) extend(nodes []itPair) error {
 	for i := range nodes {
 		if nodes[i].dead {
 			continue
+		}
+		if err := m.ex.EnterNode(); err != nil {
+			return err
 		}
 		m.nodes++
 		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
@@ -115,10 +158,10 @@ func (m *miner) extend(nodes []itPair) error {
 			if nodes[j].dead {
 				continue
 			}
-			inter := xt.Clone()
-			inter.And(nodes[j].tids)
-			sup := inter.Count()
-			if sup < m.opt.MinSup {
+			// Count the intersection first; a tidset is allocated only for
+			// genuine children that survive the support check.
+			if xt.AndCount(nodes[j].tids) < m.opt.MinSup {
+				m.ex.Stats.PrunedTightBound++
 				continue
 			}
 			switch {
@@ -126,11 +169,15 @@ func (m *miner) extend(nodes []itPair) error {
 				// Property 1: merge j into i, drop j.
 				x = mergeItems(x, nodes[j].items)
 				nodes[j].dead = true
+				m.ex.Stats.RowsAbsorbed++
 			case xt.SubsetOf(nodes[j].tids):
 				// Property 2: every occurrence of X is one of Xj.
 				x = mergeItems(x, nodes[j].items)
+				m.ex.Stats.RowsAbsorbed++
 			default:
 				// Properties 3 and 4: a genuine child.
+				inter := xt.Clone()
+				inter.And(nodes[j].tids)
 				children = append(children, itPair{items: append([]dataset.Item(nil), nodes[j].items...), tids: inter})
 			}
 		}
@@ -148,26 +195,37 @@ func (m *miner) extend(nodes []itPair) error {
 		if err := m.extend(children); err != nil {
 			return err
 		}
-		m.emit(x, xt)
+		if err := m.maybeEmit(x, xt); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// emit adds X if it is not subsumed by an already-closed set with the same
-// tidset.
-func (m *miner) emit(items []dataset.Item, tids *bitset.Set) {
+// maybeEmit delivers X unless it is subsumed by an already-closed set with
+// the same tidset. Emission decisions are final: the subsumption store only
+// grows, so a delivered set is never retracted.
+func (m *miner) maybeEmit(items []dataset.Item, tids *bitset.Set) error {
+	if err := m.ex.Err(); err != nil {
+		return err // no deliveries after cancellation, even on unwind
+	}
 	sorted := append([]dataset.Item(nil), items...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
 	h := tids.Hash()
-	for _, idx := range m.subsume[h] {
+	for _, c := range m.subsume[h] {
 		m.nodes++ // comparisons count toward the work budget
-		c := &m.out[idx]
 		if c.Rows.Equal(tids) && containsAll(c.Items, sorted) {
-			return // subsumed: same rows, superset items
+			m.ex.Stats.GroupsNotInterest++
+			return nil // subsumed: same rows, superset items
 		}
 	}
-	m.subsume[h] = append(m.subsume[h], len(m.out))
-	m.out = append(m.out, ClosedSet{Items: sorted, Support: tids.Count(), Rows: tids.Clone()})
+	cs := ClosedSet{Items: sorted, Support: tids.Count(), Rows: tids.Clone()}
+	m.subsume[h] = append(m.subsume[h], cs)
+	m.ex.Stats.GroupsEmitted++
+	if m.emit != nil {
+		return m.emit(cs)
+	}
+	return nil
 }
 
 // mergeItems returns the sorted union of two item slices.

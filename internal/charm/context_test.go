@@ -1,0 +1,77 @@
+package charm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// A pre-cancelled context stops within one node expansion with no
+// deliveries and partial stats.
+func TestMineContextCancelled(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(71)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	delivered := 0
+	res, err := MineStream(ctx, d, Options{MinSup: 1}, func(ClosedSet) error {
+		delivered++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d sets delivered after cancellation", delivered)
+	}
+	if res == nil || res.Stats.NodesVisited > 1 {
+		t.Fatalf("cancelled run: res=%v, want partial stats with <= 1 node", res)
+	}
+}
+
+// Streaming delivery, once sorted, is byte-identical to batch Mine.
+func TestMineStreamEquivalentToBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for iter := 0; iter < 50; iter++ {
+		d := randomDataset(rng)
+		opt := Options{MinSup: 1 + rng.Intn(3)}
+		batch, err := Mine(d, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []ClosedSet
+		res, err := MineStream(context.Background(), d, opt, func(c ClosedSet) error {
+			streamed = append(streamed, c)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(streamed, func(i, j int) bool { return lessItems(streamed[i].Items, streamed[j].Items) })
+		if !reflect.DeepEqual(streamed, batch.Closed) {
+			t.Fatalf("iter %d: streamed %d sets != batch %d sets", iter, len(streamed), len(batch.Closed))
+		}
+		if res.Stats.Counters != batch.Stats.Counters {
+			t.Fatalf("iter %d: counters differ:\n %+v\n %+v", iter, res.Stats.Counters, batch.Stats.Counters)
+		}
+	}
+}
+
+// A callback error aborts the run and surfaces verbatim.
+func TestMineStreamCallbackError(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(73)))
+	boom := errors.New("boom")
+	calls := 0
+	_, err := MineStream(context.Background(), d, Options{MinSup: 1}, func(ClosedSet) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}

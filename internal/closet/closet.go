@@ -6,10 +6,12 @@
 package closet
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ClosedSet is one closed itemset and its absolute row support.
@@ -30,22 +32,56 @@ type Options struct {
 // ErrBudget reports an exhausted node budget.
 var ErrBudget = fmt.Errorf("closet: node budget exhausted")
 
-// Result carries mined closed sets and effort statistics.
+// Result carries mined closed sets and effort statistics. Nodes keeps the
+// legacy work-unit count (conditional trees plus subsumption comparisons —
+// what MaxNodes bounds); Stats carries the engine's unified counters,
+// where NodesVisited counts conditional trees only.
 type Result struct {
 	Closed []ClosedSet
 	Nodes  int64
+	Stats  engine.Stats
 }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// conditional-tree expansion. On cancellation it returns ctx.Err() with a
+// non-nil Result carrying the partial statistics and the closed sets
+// already emitted. (Budget exhaustion keeps its legacy convention:
+// ErrBudget with a nil Result.)
+func MineContext(ctx context.Context, d *dataset.Dataset, opt Options) (*Result, error) {
+	var out []ClosedSet
+	res, err := MineStream(ctx, d, opt, func(c ClosedSet) error {
+		out = append(out, c)
+		return nil
+	})
+	if res != nil {
+		sort.Slice(out, func(i, j int) bool { return lessItems(out[i].Items, out[j].Items) })
+		res.Closed = out
+	}
+	return res, err
+}
+
+// MineStream is the streaming form of Mine: each closed set is delivered
+// to onClosed the moment its subsumption check passes — final immediately,
+// since the bottom-up branch order guarantees a candidate's closed
+// superset is discovered first — in discovery rather than Mine's sorted
+// order. A callback error aborts the run and is returned verbatim; after
+// cancellation no further sets are delivered.
+func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed func(ClosedSet) error) (*Result, error) {
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("closet: MinSup must be >= 1, got %d", opt.MinSup)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	m := &miner{opt: opt, bySupport: map[int][]int{}}
+	ex := engine.NewExec(ctx)
+	m := &miner{opt: opt, ex: ex, emitFn: onClosed, bySupport: map[int][]int{}}
 
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	// Global frequencies define the FP-tree item order (descending count).
 	freq := make(map[dataset.Item]int)
 	for _, r := range d.Rows {
@@ -84,15 +120,21 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
 		tr.insert(buf, 1)
 	}
-	if err := m.mine(nil, len(d.Rows), tr); err != nil {
+	setupDone()
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	err := m.mine(nil, len(d.Rows), tr)
+	searchDone()
+	if err == ErrBudget {
 		return nil, err
 	}
-	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
-	return &Result{Closed: m.out, Nodes: m.nodes}, nil
+	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
 }
 
 type miner struct {
 	opt       Options
+	ex        *engine.Exec
+	emitFn    func(ClosedSet) error
 	rank      map[dataset.Item]int // global FP-tree rank (0 = most frequent)
 	out       []ClosedSet
 	bySupport map[int][]int // support -> indices into out, for subsumption
@@ -103,6 +145,9 @@ type miner struct {
 // prefixSup). It merges full-support items into the prefix, emits the
 // resulting closed candidate, and recurses per remaining frequent item.
 func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
+	if err := m.ex.EnterNode(); err != nil {
+		return err
+	}
 	m.nodes++
 	if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
 		return ErrBudget
@@ -119,9 +164,14 @@ func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
 			rest = append(rest, it)
 		}
 	}
+	if len(merged) > 0 {
+		m.ex.Stats.RowsAbsorbed += int64(len(merged))
+	}
 	closedCand := mergeItems(prefix, merged)
 	if len(closedCand) > 0 && prefixSup >= m.opt.MinSup {
-		m.emit(closedCand, prefixSup)
+		if err := m.emit(closedCand, prefixSup); err != nil {
+			return err
+		}
 	}
 
 	// Recurse per remaining item in exact reverse of the tree's rank
@@ -138,6 +188,7 @@ func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
 		// Subsumption pruning: an existing closed superset with the same
 		// support proves the whole branch is redundant.
 		if m.subsumed(childPrefix, sup) {
+			m.ex.Stats.PrunedBackScan++
 			continue
 		}
 		child := tr.conditional(it, m.opt.MinSup)
@@ -148,12 +199,22 @@ func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
 	return nil
 }
 
-func (m *miner) emit(items []dataset.Item, sup int) {
+func (m *miner) emit(items []dataset.Item, sup int) error {
+	if err := m.ex.Err(); err != nil {
+		return err // no deliveries after cancellation
+	}
 	if m.subsumed(items, sup) {
-		return
+		m.ex.Stats.GroupsNotInterest++
+		return nil
 	}
 	m.bySupport[sup] = append(m.bySupport[sup], len(m.out))
-	m.out = append(m.out, ClosedSet{Items: items, Support: sup})
+	cs := ClosedSet{Items: items, Support: sup}
+	m.out = append(m.out, cs)
+	m.ex.Stats.GroupsEmitted++
+	if m.emitFn != nil {
+		return m.emitFn(cs)
+	}
+	return nil
 }
 
 func (m *miner) subsumed(items []dataset.Item, sup int) bool {

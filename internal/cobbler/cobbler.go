@@ -18,11 +18,13 @@
 package cobbler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ClosedPattern is one closed itemset with its support.
@@ -50,10 +52,39 @@ type Result struct {
 	RowNodes     int64
 	FeatureNodes int64
 	Switches     int64
+	// Stats carries the engine's unified counters; NodesVisited equals
+	// RowNodes + FeatureNodes.
+	Stats engine.Stats
 }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// enumeration node in both modes. On cancellation it returns ctx.Err()
+// with a non-nil Result carrying the partial statistics and the patterns
+// already emitted.
+func MineContext(ctx context.Context, d *dataset.Dataset, opt Options) (*Result, error) {
+	var out []ClosedPattern
+	res, err := MineStream(ctx, d, opt, func(p ClosedPattern) error {
+		out = append(out, p)
+		return nil
+	})
+	if res != nil {
+		sort.Slice(out, func(i, j int) bool { return lessItems(out[i].Items, out[j].Items) })
+		res.Patterns = out
+	}
+	return res, err
+}
+
+// MineStream is the streaming form of Mine: each closed pattern is
+// delivered to onPattern the moment its row-set dedup check passes — final
+// immediately, since the dedup store only grows — in discovery rather than
+// Mine's sorted order. A callback error aborts the run and is returned
+// verbatim; after cancellation no further patterns are delivered.
+func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern func(ClosedPattern) error) (*Result, error) {
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("cobbler: MinSup must be >= 1, got %d", opt.MinSup)
 	}
@@ -65,11 +96,15 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	n := len(d.Rows)
 	m := &miner{
 		d:      d,
 		n:      n,
 		opt:    opt,
+		ex:     ex,
+		emitFn: onPattern,
 		seen:   map[uint64][]*bitset.Set{},
 		fullTi: make([]*bitset.Set, d.NumItems),
 	}
@@ -94,20 +129,24 @@ func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
 	for i := 0; i < n; i++ {
 		all.Set(i)
 	}
+	setupDone()
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	var err error
 	if m.pickMode(all, roots) == "row" {
 		m.switches++
-		m.rowEnumerate(all)
+		err = m.rowEnumerate(all)
 	} else {
-		m.featureEnumerate(roots)
+		err = m.featureEnumerate(roots)
 	}
+	searchDone()
 
-	sort.Slice(m.out, func(i, j int) bool { return lessItems(m.out[i].Items, m.out[j].Items) })
 	return &Result{
-		Patterns:     m.out,
 		RowNodes:     m.rowNodes,
 		FeatureNodes: m.featNodes,
 		Switches:     m.switches,
-	}, nil
+		Stats:        ex.Stats,
+	}, err
 }
 
 type itPair struct {
@@ -132,8 +171,10 @@ type miner struct {
 	opt    Options
 	fullTi []*bitset.Set
 
+	ex     *engine.Exec
+	emitFn func(ClosedPattern) error
+
 	seen map[uint64][]*bitset.Set // emitted closed row sets
-	out  []ClosedPattern
 
 	rowNodes  int64
 	featNodes int64
@@ -211,10 +252,13 @@ func pow2(k int) float64 {
 // sibling group is processed with the four itemset–tidset properties, and
 // each node's children either recurse feature-wise or are handed, as one
 // subtree, to the row enumerator over the node's tidset.
-func (m *miner) featureEnumerate(nodes []itPair) {
+func (m *miner) featureEnumerate(nodes []itPair) error {
 	for i := range nodes {
 		if nodes[i].dead {
 			continue
+		}
+		if err := m.ex.EnterNode(); err != nil {
+			return err
 		}
 		m.featNodes++
 		x := append([]dataset.Item(nil), nodes[i].items...)
@@ -224,18 +268,23 @@ func (m *miner) featureEnumerate(nodes []itPair) {
 			if nodes[j].dead {
 				continue
 			}
-			inter := xt.Clone()
-			inter.And(nodes[j].tids)
-			if inter.Count() < m.opt.MinSup {
+			// Count first; a tidset is allocated only for genuine children
+			// that survive the support check.
+			if xt.AndCount(nodes[j].tids) < m.opt.MinSup {
+				m.ex.Stats.PrunedTightBound++
 				continue
 			}
 			switch {
 			case xt.Equal(nodes[j].tids):
 				x = mergeItems(x, nodes[j].items)
 				nodes[j].dead = true
+				m.ex.Stats.RowsAbsorbed++
 			case xt.SubsetOf(nodes[j].tids):
 				x = mergeItems(x, nodes[j].items)
+				m.ex.Stats.RowsAbsorbed++
 			default:
+				inter := xt.Clone()
+				inter.And(nodes[j].tids)
 				children = append(children, itPair{
 					items: append([]dataset.Item(nil), nodes[j].items...),
 					tids:  inter,
@@ -251,41 +300,57 @@ func (m *miner) featureEnumerate(nodes []itPair) {
 				m.switches++
 				// The row enumerator over xt covers every closed pattern
 				// whose rows lie inside xt — a superset of this subtree.
-				m.rowEnumerate(xt)
+				if err := m.rowEnumerate(xt); err != nil {
+					return err
+				}
 			} else {
-				m.featureEnumerate(children)
+				if err := m.featureEnumerate(children); err != nil {
+					return err
+				}
 			}
 		}
-		m.emitRowsOfItems(x, xt)
+		if err := m.emitRowsOfItems(x, xt); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // rowEnumerate explores every closed pattern whose row set is a subset of
 // tids by CARPENTER-style row combination, maintaining the itemset
 // intersection incrementally.
-func (m *miner) rowEnumerate(tids *bitset.Set) {
+func (m *miner) rowEnumerate(tids *bitset.Set) error {
 	rows := tids.Ints()
-	var rec func(idx, depth int, common []dataset.Item)
-	rec = func(idx, depth int, common []dataset.Item) {
+	var rec func(idx, depth int, common []dataset.Item) error
+	rec = func(idx, depth int, common []dataset.Item) error {
+		if err := m.ex.EnterNode(); err != nil {
+			return err
+		}
 		m.rowNodes++
 		if depth >= m.opt.MinSup && len(common) > 0 {
 			closure := m.rowsOf(common)
 			if closure.Count() >= m.opt.MinSup {
-				m.emit(closure, common)
+				if err := m.emit(closure, common); err != nil {
+					return err
+				}
 			}
 		}
 		if depth+(len(rows)-idx) < m.opt.MinSup {
-			return // even taking every remaining row cannot reach minsup
+			m.ex.Stats.PrunedLooseBound++
+			return nil // even taking every remaining row cannot reach minsup
 		}
 		for k := idx; k < len(rows); k++ {
 			next := intersectWithRow(common, &m.d.Rows[rows[k]], depth == 0)
 			if len(next) == 0 {
 				continue
 			}
-			rec(k+1, depth+1, next)
+			if err := rec(k+1, depth+1, next); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0, 0, nil)
+	return rec(0, 0, nil)
 }
 
 // rowsOf intersects the tidsets of the given items.
@@ -300,33 +365,43 @@ func (m *miner) rowsOf(items []dataset.Item) *bitset.Set {
 // emitRowsOfItems emits the closure of an itemset discovered feature-side:
 // its global tidset may exceed the local one when property merges added
 // items, so the closure is recomputed from the items.
-func (m *miner) emitRowsOfItems(items []dataset.Item, tids *bitset.Set) {
+func (m *miner) emitRowsOfItems(items []dataset.Item, tids *bitset.Set) error {
 	if len(items) == 0 {
-		return
+		return nil
 	}
 	closure := dataset.CommonItemsSet(m.d, tids)
 	if len(closure) == 0 {
-		return
+		return nil
 	}
 	rows := m.rowsOf(closure)
 	if rows.Count() < m.opt.MinSup {
-		return
+		return nil
 	}
-	m.emit(rows, closure)
+	return m.emit(rows, closure)
 }
 
-// emit records a closed pattern keyed by its (closed) row set.
-func (m *miner) emit(rows *bitset.Set, items []dataset.Item) {
+// emit records a closed pattern keyed by its (closed) row set. Emission
+// decisions are final: the dedup store only grows, so a delivered pattern
+// is never retracted.
+func (m *miner) emit(rows *bitset.Set, items []dataset.Item) error {
+	if err := m.ex.Err(); err != nil {
+		return err // no deliveries after cancellation, even on unwind
+	}
 	h := rows.Hash()
 	for _, prev := range m.seen[h] {
 		if prev.Equal(rows) {
-			return
+			m.ex.Stats.GroupsNotInterest++
+			return nil
 		}
 	}
 	m.seen[h] = append(m.seen[h], rows.Clone())
 	sorted := append([]dataset.Item(nil), items...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	m.out = append(m.out, ClosedPattern{Items: sorted, Support: rows.Count()})
+	m.ex.Stats.GroupsEmitted++
+	if m.emitFn != nil {
+		return m.emitFn(ClosedPattern{Items: sorted, Support: rows.Count()})
+	}
+	return nil
 }
 
 // intersectWithRow intersects a sorted itemset with a row's items; when

@@ -1,0 +1,84 @@
+package cobbler
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// A pre-cancelled context stops within one node expansion in either mode
+// with no deliveries and partial stats.
+func TestMineContextCancelled(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(51)))
+	for _, mode := range []string{"", "row", "feature"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		delivered := 0
+		res, err := MineStream(ctx, d, Options{MinSup: 1, ForceMode: mode}, func(ClosedPattern) error {
+			delivered++
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mode %q: err = %v, want context.Canceled", mode, err)
+		}
+		if delivered != 0 {
+			t.Fatalf("mode %q: %d patterns delivered after cancellation", mode, delivered)
+		}
+		if res == nil || res.Stats.NodesVisited > 1 {
+			t.Fatalf("mode %q: cancelled run res=%v, want partial stats with <= 1 node", mode, res)
+		}
+	}
+}
+
+// Streaming delivery, once sorted, is byte-identical to batch Mine in
+// every mode.
+func TestMineStreamEquivalentToBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for iter := 0; iter < 30; iter++ {
+		d := randomDataset(rng)
+		for _, mode := range []string{"", "row", "feature"} {
+			opt := Options{MinSup: 1 + rng.Intn(3), ForceMode: mode}
+			batch, err := Mine(d, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var streamed []ClosedPattern
+			res, err := MineStream(context.Background(), d, opt, func(p ClosedPattern) error {
+				streamed = append(streamed, p)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(streamed, func(i, j int) bool { return lessItems(streamed[i].Items, streamed[j].Items) })
+			if !reflect.DeepEqual(streamed, batch.Patterns) {
+				t.Fatalf("iter %d mode %q: streamed %d patterns != batch %d",
+					iter, mode, len(streamed), len(batch.Patterns))
+			}
+			if res.Stats.Counters != batch.Stats.Counters {
+				t.Fatalf("iter %d mode %q: counters differ:\n %+v\n %+v",
+					iter, mode, res.Stats.Counters, batch.Stats.Counters)
+			}
+		}
+	}
+}
+
+// A callback error aborts the run and surfaces verbatim.
+func TestMineStreamCallbackError(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(53)))
+	boom := errors.New("boom")
+	calls := 0
+	_, err := MineStream(context.Background(), d, Options{MinSup: 1}, func(ClosedPattern) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}

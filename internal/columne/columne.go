@@ -12,11 +12,13 @@
 package columne
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -46,15 +48,47 @@ type Options struct {
 // ErrBudget reports that the node budget was exhausted before completion.
 var ErrBudget = fmt.Errorf("columne: node budget exhausted")
 
-// Result carries the mined rules and search statistics.
+// Result carries the mined rules and search statistics. Nodes keeps the
+// legacy enumeration-node count (what MaxNodes bounds); Stats carries the
+// engine's unified counters.
 type Result struct {
 	Rules []Rule
 	Nodes int64
+	Stats engine.Stats
 }
 
 // Mine enumerates column combinations and returns one rule per interesting
 // rule group with the given consequent.
 func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, consequent, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// node expansion and at every candidate of the finish-phase fixpoint. On
+// cancellation it returns ctx.Err() with a non-nil Result carrying partial
+// statistics and no rules. (Budget exhaustion keeps its legacy
+// convention: ErrBudget with a nil Result.)
+func MineContext(ctx context.Context, d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	var rules []Rule
+	res, err := MineStream(ctx, d, consequent, opt, func(r Rule) error {
+		rules = append(rules, r)
+		return nil
+	})
+	if res != nil {
+		sort.Slice(rules, func(i, j int) bool { return lessItems(rules[i].Antecedent, rules[j].Antecedent) })
+		res.Rules = rules
+	}
+	return res, err
+}
+
+// MineStream is Mine with per-rule delivery. Unlike the row enumerators,
+// ColumnE CANNOT stream during enumeration: whether a rule group is
+// interesting depends on a global fixpoint over every candidate, so
+// deliveries happen during the finish phase, after enumeration completes
+// (each rule is delivered the moment the fixpoint keeps it, in
+// most-general-first fixpoint order rather than Mine's sorted order). A
+// callback error aborts the run and is returned verbatim.
+func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Options, onRule func(Rule) error) (*Result, error) {
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("columne: MinSup must be >= 1, got %d", opt.MinSup)
 	}
@@ -68,6 +102,8 @@ func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("columne: consequent %d outside [0,%d)", consequent, d.NumClasses())
 	}
 
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	n := len(d.Rows)
 	posMask := bitset.New(n)
 	for ri := range d.Rows {
@@ -81,6 +117,9 @@ func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
 		n:       n,
 		numPos:  posMask.Count(),
 		posMask: posMask,
+		ex:      ex,
+		sc:      engine.NewScratch(n),
+		emit:    onRule,
 		byHash:  map[uint64][]int{},
 	}
 
@@ -105,11 +144,20 @@ func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
 		}
 		return singles[i].item < singles[j].item
 	})
-	if err := m.expand(nil, nil, singles); err != nil {
+	setupDone()
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	err := m.expand(nil, nil, singles)
+	searchDone()
+	if err == ErrBudget {
 		return nil, err
 	}
-	m.finish()
-	return &Result{Rules: m.kept, Nodes: m.nodes}, nil
+	if err == nil {
+		finishDone := engine.Phase(&ex.Stats.Timings.Finish)
+		err = m.finish()
+		finishDone()
+	}
+	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
 }
 
 type extension struct {
@@ -132,30 +180,45 @@ type miner struct {
 	posMask *bitset.Set
 	nodes   int64
 
+	// ex carries the unified counters and the cancellation token; sc.Tmp is
+	// the scratch tidset for intersection prechecks (a candidate tidset is
+	// only cloned once it survives the support test).
+	ex   *engine.Exec
+	sc   *engine.Scratch
+	emit func(Rule) error
+
 	// One candidate per distinct row set (rule group); interestingness is
 	// resolved after enumeration.
 	cands  []candidate
 	byHash map[uint64][]int
-	kept   []Rule
 }
 
 // expand grows the current antecedent by each viable extension in turn.
 func (m *miner) expand(items []dataset.Item, tids *bitset.Set, exts []extension) error {
 	for i, e := range exts {
+		if err := m.ex.EnterNode(); err != nil {
+			return err
+		}
 		m.nodes++
 		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
 			return ErrBudget
 		}
+		// Intersect into scratch first; the tidset is cloned only after the
+		// anti-monotone support check passes.
 		var cur *bitset.Set
 		if tids == nil {
 			cur = e.tids
 		} else {
-			cur = tids.Clone()
-			cur.And(e.tids)
+			bitset.AndTo(m.sc.Tmp, tids, e.tids)
+			cur = m.sc.Tmp
 		}
 		pos := cur.AndCount(m.posMask)
 		if pos < m.opt.MinSup {
+			m.ex.Stats.PrunedTightBound++
 			continue // anti-monotone: no superset can recover support
+		}
+		if cur == m.sc.Tmp {
+			cur = m.sc.Tmp.Clone()
 		}
 		cand := append(append([]dataset.Item(nil), items...), e.item)
 		m.record(cand, cur, pos)
@@ -193,8 +256,10 @@ func (m *miner) record(items []dataset.Item, rows *bitset.Set, pos int) {
 // finish applies the interestingness filter: a rule survives iff no rule of
 // a strictly more general group (proper superset row set) has confidence ≥
 // its own. Candidates are processed most-general-first so the kept set is
-// exactly the interesting groups.
-func (m *miner) finish() {
+// exactly the interesting groups; each kept rule is delivered immediately
+// (its decision is final: later candidates are more specific or
+// incomparable).
+func (m *miner) finish() error {
 	order := make([]int, len(m.cands))
 	for i := range order {
 		order[i] = i
@@ -204,6 +269,9 @@ func (m *miner) finish() {
 	})
 	var keptIdx []int
 	for _, ci := range order {
+		if err := m.ex.Err(); err != nil {
+			return err
+		}
 		c := &m.cands[ci]
 		interesting := true
 		for _, ki := range keptIdx {
@@ -214,24 +282,26 @@ func (m *miner) finish() {
 				break
 			}
 		}
-		if interesting {
-			keptIdx = append(keptIdx, ci)
+		if !interesting {
+			m.ex.Stats.GroupsNotInterest++
+			continue
+		}
+		keptIdx = append(keptIdx, ci)
+		m.ex.Stats.GroupsEmitted++
+		if m.emit != nil {
+			if err := m.emit(Rule{
+				Antecedent: c.items,
+				Rows:       c.rows,
+				SupPos:     c.supPos,
+				SupNeg:     c.tot - c.supPos,
+				Confidence: float64(c.supPos) / float64(c.tot),
+				Chi:        stats.Chi2(c.tot, c.supPos, m.n, m.numPos),
+			}); err != nil {
+				return err
+			}
 		}
 	}
-	sort.Slice(keptIdx, func(a, b int) bool {
-		return lessItems(m.cands[keptIdx[a]].items, m.cands[keptIdx[b]].items)
-	})
-	for _, ci := range keptIdx {
-		c := &m.cands[ci]
-		m.kept = append(m.kept, Rule{
-			Antecedent: c.items,
-			Rows:       c.rows,
-			SupPos:     c.supPos,
-			SupNeg:     c.tot - c.supPos,
-			Confidence: float64(c.supPos) / float64(c.tot),
-			Chi:        stats.Chi2(c.tot, c.supPos, m.n, m.numPos),
-		})
-	}
+	return nil
 }
 
 func lessItems(a, b []dataset.Item) bool {

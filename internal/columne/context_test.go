@@ -1,0 +1,78 @@
+package columne
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// A pre-cancelled context stops within one node expansion with no
+// deliveries and partial stats.
+func TestMineContextCancelled(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(61)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	delivered := 0
+	res, err := MineStream(ctx, d, 0, Options{MinSup: 1}, func(Rule) error {
+		delivered++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d rules delivered after cancellation", delivered)
+	}
+	if res == nil || res.Stats.NodesVisited > 1 {
+		t.Fatalf("cancelled run: res=%v, want partial stats with <= 1 node", res)
+	}
+}
+
+// Streaming delivery (finish-phase, fixpoint order), once sorted, is
+// byte-identical to batch Mine.
+func TestMineStreamEquivalentToBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for iter := 0; iter < 50; iter++ {
+		d := randomDataset(rng)
+		opt := Options{MinSup: 1 + rng.Intn(2), MinConf: 0.5}
+		batch, err := Mine(d, 0, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []Rule
+		res, err := MineStream(context.Background(), d, 0, opt, func(r Rule) error {
+			streamed = append(streamed, r)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(streamed, func(i, j int) bool { return lessItems(streamed[i].Antecedent, streamed[j].Antecedent) })
+		if !reflect.DeepEqual(streamed, batch.Rules) {
+			t.Fatalf("iter %d: streamed %d rules != batch %d", iter, len(streamed), len(batch.Rules))
+		}
+		if res.Stats.Counters != batch.Stats.Counters {
+			t.Fatalf("iter %d: counters differ:\n %+v\n %+v", iter, res.Stats.Counters, batch.Stats.Counters)
+		}
+	}
+}
+
+// A callback error aborts the finish phase and surfaces verbatim.
+func TestMineStreamCallbackError(t *testing.T) {
+	d := randomDataset(rand.New(rand.NewSource(63)))
+	boom := errors.New("boom")
+	calls := 0
+	_, err := MineStream(context.Background(), d, 0, Options{MinSup: 1}, func(Rule) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want callback error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring", calls)
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // mineLB wraps MineLowerBounds for the miner's reordered dataset.
@@ -25,9 +27,20 @@ func (m *miner) mineLB(a []dataset.Item, rowSet *bitset.Set) ([][]dataset.Item, 
 // second return value reports truncation; a truncated list is a subset of
 // the true lower bounds only up to the last fully processed intersection.
 func MineLowerBounds(d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, maxLB int) ([][]dataset.Item, bool) {
+	lbs, truncated, _ := MineLowerBoundsContext(context.Background(), d, a, rowSet, maxLB)
+	return lbs, truncated
+}
+
+// MineLowerBoundsContext is MineLowerBounds under a context: cancellation
+// is polled once per row during intersection collection and once per
+// closed set during the incremental update. On cancellation it returns
+// ctx.Err() and nil bounds (a partially updated Γ is not a valid subset of
+// the true lower bounds, so nothing partial is reported).
+func MineLowerBoundsContext(ctx context.Context, d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, maxLB int) ([][]dataset.Item, bool, error) {
+	ex := engine.NewExec(ctx)
 	k := len(a)
 	if k == 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	posOf := make(map[dataset.Item]int, k)
 	for i, it := range a {
@@ -37,6 +50,9 @@ func MineLowerBounds(d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, m
 	// Step 2 of Figure 9: collect the distinct maximal intersections.
 	var sigma []*bitset.Set
 	for ri := range d.Rows {
+		if err := ex.Err(); err != nil {
+			return nil, false, err
+		}
 		if rowSet.Test(ri) {
 			continue
 		}
@@ -59,6 +75,9 @@ func MineLowerBounds(d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, m
 	// Step 3: incremental update per added closed set.
 	truncated := false
 	for _, ap := range sigma {
+		if err := ex.Err(); err != nil {
+			return nil, false, err
+		}
 		var g1, g2 []*bitset.Set
 		for _, l := range gamma {
 			if l.SubsetOf(ap) {
@@ -131,7 +150,7 @@ func MineLowerBounds(d *dataset.Dataset, a []dataset.Item, rowSet *bitset.Set, m
 		out[i] = items
 	}
 	sort.Slice(out, func(x, y int) bool { return lessItems(out[x], out[y]) })
-	return out, truncated
+	return out, truncated, nil
 }
 
 // insertMaximal adds s to the antichain sets, dropping s if it is a subset

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -13,6 +15,38 @@ import (
 // interesting rule groups satisfying opt's constraints. Row ids in the
 // result refer to d's original row order.
 func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	return MineContext(context.Background(), d, consequent, opt)
+}
+
+// MineContext is Mine under a context: cancellation is checked at every
+// node expansion, so a cancelled or deadline-exceeded run stops within one
+// node. On cancellation it returns ctx.Err() together with a non-nil
+// Result carrying the partial statistics and the groups already decided.
+func MineContext(ctx context.Context, d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
+	var groups []RuleGroup
+	res, err := MineStream(ctx, d, consequent, opt, func(g RuleGroup) error {
+		groups = append(groups, g)
+		return nil
+	})
+	if res != nil {
+		res.Groups = groups
+	}
+	return res, err
+}
+
+// MineStream is the streaming form of Mine: each interesting rule group is
+// delivered to onGroup at the moment its membership in the result set
+// becomes final (step 7 keeps a group exactly when every more general
+// group it contains was already decided — see the enumeration-order
+// argument in DESIGN.md), instead of being accumulated in Result.Groups.
+// The delivery order equals batch Mine's Result.Groups order.
+//
+// The returned Result carries the run statistics with nil Groups. If
+// onGroup returns a non-nil error, mining stops and that error is returned
+// verbatim; if ctx is cancelled, mining stops within one node expansion,
+// no further groups are delivered, and ctx.Err() is returned alongside the
+// partial statistics.
+func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Options, onGroup func(RuleGroup) error) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -23,33 +57,47 @@ func Mine(d *dataset.Dataset, consequent int, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
 	}
 
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	ordered, ord := dataset.OrderForConsequent(d, consequent)
-	m := newMiner(ordered, ord.NumPositive, opt)
-	m.run()
+	m := newMiner(ordered, ord.NumPositive, opt, ex)
+	setupDone()
 
 	res := &Result{
 		Consequent: consequent,
 		NumRows:    len(ordered.Rows),
 		NumPos:     ord.NumPositive,
-		Stats:      m.stats,
 	}
-	for i := range m.groups {
-		e := &m.groups[i]
-		g := RuleGroup{
-			Antecedent: e.items,
-			SupPos:     e.supPos,
-			SupNeg:     e.tot - e.supPos,
-			Confidence: float64(e.supPos) / float64(e.tot),
-			Chi:        e.chi,
-			Rows:       ord.MapRowsToOriginal(e.rows.Ints()),
+	if onGroup != nil {
+		m.emit = func(e *irgEntry) error {
+			return onGroup(m.materialize(e, ord))
 		}
-		sort.Ints(g.Rows)
-		if opt.ComputeLowerBounds {
-			g.LowerBounds, g.Truncated = m.mineLB(e.items, e.rows)
-		}
-		res.Groups = append(res.Groups, g)
 	}
-	return res, nil
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	err := m.run()
+	searchDone()
+	res.Stats = ex.Stats
+	return res, err
+}
+
+// materialize turns an internal group entry into the public RuleGroup,
+// mapping row ids back to the caller's original order and expanding lower
+// bounds when requested.
+func (m *miner) materialize(e *irgEntry, ord *dataset.Ordering) RuleGroup {
+	g := RuleGroup{
+		Antecedent: e.items,
+		SupPos:     e.supPos,
+		SupNeg:     e.tot - e.supPos,
+		Confidence: float64(e.supPos) / float64(e.tot),
+		Chi:        e.chi,
+		Rows:       ord.MapRowsToOriginal(e.rows.Ints()),
+	}
+	sort.Ints(g.Rows)
+	if m.opt.ComputeLowerBounds {
+		g.LowerBounds, g.Truncated = m.mineLB(e.items, e.rows)
+	}
+	return g
 }
 
 // tuple is one row of a conditional transposed table: an item together with
@@ -67,15 +115,16 @@ type miner struct {
 	n      int
 	opt    Options
 
-	// inX marks rows in X ∪ Yacc along the current path: the exclusion set
-	// of the back scan and, at step 7, exactly R(I(X)) (see DESIGN.md).
-	inX *bitset.Set
+	// ex is the engine execution state: unified stats counters plus the
+	// cancellation token polled at every node expansion.
+	ex *engine.Exec
 
-	// epoch-stamped per-row scratch counters (shared by the candidate scan
-	// and the back scan; each pass bumps the epoch instead of clearing).
-	cnt   []int32
-	stamp []uint32
-	epoch uint32
+	// sc is the engine scratch substrate. sc.InX marks rows in X ∪ Yacc
+	// along the current path: the exclusion set of the back scan and, at
+	// step 7, exactly R(I(X)) (see DESIGN.md). sc.Cnt/sc.Stamp are the
+	// epoch-stamped per-row counters shared by the candidate scan and the
+	// back scan; each pass bumps the epoch instead of clearing.
+	sc *engine.Scratch
 
 	// skipChildren turns a mineNode call into emission-only (no step 6),
 	// used by MineParallel's singleton tasks.
@@ -90,39 +139,54 @@ type miner struct {
 	recordRejected bool
 	rejectedRows   []*bitset.Set
 
+	// emit, when non-nil, streams each kept group out at the moment step 7
+	// decides it. The irgEntry store is still retained — the step-7
+	// interestingness filter needs the kept row sets — but batch
+	// materialization (row-id mapping, lower bounds) happens per group at
+	// delivery time.
+	emit func(*irgEntry) error
+
 	groups []irgEntry
-	stats  Stats
 }
 
-func newMiner(d *dataset.Dataset, numPos int, opt Options) *miner {
+func newMiner(d *dataset.Dataset, numPos int, opt Options, ex *engine.Exec) *miner {
 	n := len(d.Rows)
+	if ex == nil {
+		ex = engine.NewExec(nil)
+	}
 	return &miner{
 		ds:     d,
 		tt:     dataset.Transpose(d),
 		numPos: numPos,
 		n:      n,
 		opt:    opt,
-		inX:    bitset.New(n),
-		cnt:    make([]int32, n),
-		stamp:  make([]uint32, n),
+		ex:     ex,
+		sc:     engine.NewScratch(n),
 	}
+}
+
+// rootTuples builds the conditional transposed table of root node {ri}: one
+// tuple per item of row ri, with the item's global occurrences after ri as
+// candidates.
+func (m *miner) rootTuples(ri int) []tuple {
+	row := &m.ds.Rows[ri]
+	tuples := make([]tuple, 0, len(row.Items))
+	for _, it := range row.Items {
+		list := m.tt.Lists[it]
+		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
+		tuples = append(tuples, tuple{item: it, rows: list[k:]})
+	}
+	return tuples
 }
 
 // run enumerates the children of the (virtual) root: one node per row, in
 // ORD order. The root itself corresponds to X = ∅ and emits no rule.
-func (m *miner) run() {
+func (m *miner) run() error {
 	if m.n == 0 || m.numPos == 0 {
-		return
+		return nil
 	}
 	for ri := 0; ri < m.n; ri++ {
-		row := &m.ds.Rows[ri]
-		tuples := make([]tuple, 0, len(row.Items))
-		for _, it := range row.Items {
-			list := m.tt.Lists[it]
-			// Candidate rows of this tuple: global occurrences after ri.
-			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
-			tuples = append(tuples, tuple{item: it, rows: list[k:]})
-		}
+		tuples := m.rootTuples(ri)
 		supp, supn := 0, 0
 		if ri < m.numPos {
 			supp = 1
@@ -133,29 +197,37 @@ func (m *miner) run() {
 		if epCount < 0 {
 			epCount = 0
 		}
-		m.inX.Set(ri)
-		m.mineNode(tuples, supp, supn, epCount, ri)
-		m.inX.Clear(ri)
+		m.sc.InX.Set(ri)
+		err := m.mineNode(tuples, supp, supn, epCount, ri)
+		m.sc.InX.Clear(ri)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // mineNode is MineIRGs of Figure 5 for the node whose row combination is
-// recorded in m.inX (X plus rows absorbed by pruning 1 on the path). tuples
-// is the X-conditional transposed table, supp/supn the counts of identified
-// rows containing I(X)∪C and I(X)∪¬C, epCount the number of positive
-// enumeration candidates, and rmax the largest explicitly chosen row id.
-func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
-	m.stats.NodesVisited++
+// recorded in m.sc.InX (X plus rows absorbed by pruning 1 on the path).
+// tuples is the X-conditional transposed table, supp/supn the counts of
+// identified rows containing I(X)∪C and I(X)∪¬C, epCount the number of
+// positive enumeration candidates, and rmax the largest explicitly chosen
+// row id. A non-nil error aborts the whole traversal (cancellation or a
+// failed emission callback).
+func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) error {
+	if err := m.ex.EnterNode(); err != nil {
+		return err
+	}
 	if len(tuples) == 0 {
-		return // I(X) = ∅: no rule here and no deeper candidates
+		return nil // I(X) = ∅: no rule here and no deeper candidates
 	}
 
 	// Step 1 — pruning strategy 2 (back scan, Lemma 3.6).
 	emitOK := true
 	if m.backScanHit(tuples, rmax) {
 		if !m.opt.DisablePruning2 {
-			m.stats.PrunedBackScan++
-			return
+			m.ex.Stats.PrunedBackScan++
+			return nil
 		}
 		// Ablation mode: keep traversing, but this node's group was (or
 		// will be) found at its compressed twin; emitting here would
@@ -167,13 +239,13 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 	if !m.opt.DisablePruning3 {
 		us2 := supp + epCount
 		if us2 < m.opt.MinSup {
-			m.stats.PrunedLooseBound++
-			return
+			m.ex.Stats.PrunedLooseBound++
+			return nil
 		}
 		if m.opt.needsConfBound() {
 			if uc2 := float64(us2) / float64(us2+supn); m.confBoundFails(uc2) {
-				m.stats.PrunedLooseBound++
-				return
+				m.ex.Stats.PrunedLooseBound++
+				return nil
 			}
 		}
 	}
@@ -181,7 +253,8 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 	// Step 3 — scan the conditional table: per-candidate occurrence counts,
 	// the U set (rows in ≥1 tuple), the Y set (rows in every tuple), and
 	// the per-tuple positive-candidate maximum for Us1.
-	m.epoch++
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxPosInTuple := 0
 	for _, t := range tuples {
@@ -193,11 +266,11 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 			maxPosInTuple = pos
 		}
 		for _, r := range t.rows {
-			if m.stamp[r] != m.epoch {
-				m.stamp[r] = m.epoch
-				m.cnt[r] = 0
+			if stamp[r] != ep {
+				stamp[r] = ep
+				cnt[r] = 0
 			}
-			m.cnt[r]++
+			cnt[r]++
 		}
 	}
 
@@ -210,10 +283,10 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 	yPos, yNeg := 0, 0
 	for _, t := range tuples {
 		for _, r := range t.rows {
-			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+			if stamp[r] != ep || cnt[r] < 0 {
 				continue // already classified
 			}
-			if m.cnt[r] == ntup {
+			if cnt[r] == ntup {
 				if m.opt.DisablePruning1 {
 					emitOK = false
 					eRows = append(eRows, r)
@@ -228,12 +301,12 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 			} else {
 				eRows = append(eRows, r)
 			}
-			m.cnt[r] = -1 // classified
+			cnt[r] = -1 // classified
 		}
 	}
 	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
 
-	m.stats.RowsAbsorbed += int64(len(yRows))
+	m.ex.Stats.RowsAbsorbed += int64(len(yRows))
 	suppIn := supp // γ'.sup plus this node's chosen row, per the Us1 formula
 	supp += yPos
 	supn += yNeg
@@ -242,31 +315,31 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 	if !m.opt.DisablePruning3 {
 		us1 := suppIn + maxPosInTuple
 		if us1 < m.opt.MinSup {
-			m.stats.PrunedTightBound++
-			return
+			m.ex.Stats.PrunedTightBound++
+			return nil
 		}
 		if m.opt.needsConfBound() {
 			if uc1 := float64(us1) / float64(us1+supn); m.confBoundFails(uc1) {
-				m.stats.PrunedTightBound++
-				return
+				m.ex.Stats.PrunedTightBound++
+				return nil
 			}
 		}
 		if m.opt.MinChi > 0 {
 			if stats.Chi2UpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinChi {
-				m.stats.PrunedChiBound++
-				return
+				m.ex.Stats.PrunedChiBound++
+				return nil
 			}
 		}
 		if m.opt.MinEntropyGain > 0 {
 			if stats.EntropyGainUpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinEntropyGain {
-				m.stats.PrunedGainBound++
-				return
+				m.ex.Stats.PrunedGainBound++
+				return nil
 			}
 		}
 		if m.opt.MinGiniGain > 0 {
 			if stats.GiniGainUpperBound(supp+supn, supp, m.n, m.numPos) < m.opt.MinGiniGain {
-				m.stats.PrunedGainBound++
-				return
+				m.ex.Stats.PrunedGainBound++
+				return nil
 			}
 		}
 	}
@@ -274,7 +347,7 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 	// Step 5 — pruning strategy 1: absorb Y into the node's row set and
 	// drop it from every tuple's candidate list (Lemma 3.5).
 	for _, r := range yRows {
-		m.inX.Set(int(r))
+		m.sc.InX.Set(int(r))
 	}
 	cleaned := make([][]int32, len(tuples))
 	if len(yRows) == 0 {
@@ -349,66 +422,82 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) {
 			} else {
 				cb++
 			}
-			m.inX.Set(int(r))
-			m.mineNode(child, ca, cb, childEp, int(r))
-			m.inX.Clear(int(r))
+			m.sc.InX.Set(int(r))
+			err := m.mineNode(child, ca, cb, childEp, int(r))
+			m.sc.InX.Clear(int(r))
+			if err != nil {
+				return err
+			}
 		}
 	}
 
 	// Step 7 — check whether I(X) → C is the upper bound of an IRG that
 	// satisfies the constraints, after all descendants (Lemma 3.4).
 	if emitOK {
-		m.maybeEmit(tuples, supp, supn)
+		if err := m.maybeEmit(tuples, supp, supn); err != nil {
+			return err
+		}
 	}
 
 	for _, r := range yRows {
-		m.inX.Clear(int(r))
+		m.sc.InX.Clear(int(r))
 	}
+	return nil
 }
 
 // maybeEmit applies the step-7 constraint and interestingness checks for
-// the current node, whose row set R(I(X)) is m.inX.
-func (m *miner) maybeEmit(tuples []tuple, supp, supn int) {
+// the current node, whose row set R(I(X)) is m.sc.InX. A kept group is
+// final the moment it is appended (later discoveries are more specific or
+// incomparable, so they can never displace it — see MineStream), which is
+// what makes streaming delivery sound.
+func (m *miner) maybeEmit(tuples []tuple, supp, supn int) error {
+	// After cancellation nothing more is delivered: the unwind path from a
+	// cancelled descendant passes through the step-7 calls of every
+	// ancestor, which would otherwise still emit.
+	if err := m.ex.Err(); err != nil {
+		return err
+	}
 	if supp < m.opt.MinSup {
-		return
+		return nil
 	}
 	tot := supp + supn
 	conf := float64(supp) / float64(tot)
 	if conf < m.opt.MinConf {
-		return
+		return nil
 	}
 	chi := stats.Chi2(tot, supp, m.n, m.numPos)
 	if m.opt.MinChi > 0 && chi < m.opt.MinChi {
-		return
+		return nil
 	}
 	if m.opt.MinLift > 0 && stats.Lift(tot, supp, m.n, m.numPos) < m.opt.MinLift {
-		return
+		return nil
 	}
 	if m.opt.MinConviction > 0 && stats.Conviction(tot, supp, m.n, m.numPos) < m.opt.MinConviction {
-		return
+		return nil
 	}
 	if m.opt.MinEntropyGain > 0 && stats.EntropyGain(tot, supp, m.n, m.numPos) < m.opt.MinEntropyGain {
-		return
+		return nil
 	}
 	if m.opt.MinGiniGain > 0 && stats.GiniGain(tot, supp, m.n, m.numPos) < m.opt.MinGiniGain {
-		return
+		return nil
 	}
 	// Interestingness: every already-kept group with a subset antecedent —
 	// equivalently a proper superset row set (both sets are closed) — must
 	// have strictly lower confidence. An equal row set means this very
 	// group was already kept.
+	inX := m.sc.InX
 	for i := range m.groups {
 		e := &m.groups[i]
-		if e.rows.SupersetOf(m.inX) {
-			if e.rows.Equal(m.inX) {
-				return // duplicate discovery (possible only in ablation modes)
+		if e.rows.SupersetOf(inX) {
+			if e.rows.Equal(inX) {
+				return nil // duplicate discovery (possible only in ablation modes)
 			}
 			if !confLess(e.supPos, e.tot, supp, tot) {
-				m.stats.GroupsNotInterest++
+				m.ex.Stats.GroupsNotInterest++
 				if m.recordRejected {
-					m.rejectedRows = append(m.rejectedRows, m.inX.Clone())
+					m.rejectedRows = append(m.rejectedRows, inX.Clone())
 				}
-				return
+				return nil
 			}
 		}
 	}
@@ -418,13 +507,17 @@ func (m *miner) maybeEmit(tuples []tuple, supp, supn int) {
 	}
 	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
 	m.groups = append(m.groups, irgEntry{
-		rows:   m.inX.Clone(),
+		rows:   inX.Clone(),
 		supPos: supp,
 		tot:    tot,
 		items:  items,
 		chi:    chi,
 	})
-	m.stats.GroupsEmitted++
+	m.ex.Stats.GroupsEmitted++
+	if m.emit != nil {
+		return m.emit(&m.groups[len(m.groups)-1])
+	}
+	return nil
 }
 
 // confBoundFails reports whether a confidence upper bound already violates
@@ -456,7 +549,9 @@ func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 	if len(tuples) == 0 || rmax == 0 {
 		return false
 	}
-	m.epoch++
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
+	inX := m.sc.InX
 	ntup := int32(len(tuples))
 	for ti, t := range tuples {
 		glist := m.tt.Lists[t.item]
@@ -465,21 +560,21 @@ func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 			if int(r) >= rmax {
 				break
 			}
-			if m.inX.Test(int(r)) {
+			if inX.Test(int(r)) {
 				continue
 			}
 			if ti == 0 {
-				m.stamp[r] = m.epoch
-				m.cnt[r] = 1
+				stamp[r] = ep
+				cnt[r] = 1
 				if ntup == 1 {
 					return true
 				}
 				hitAny = true
 				continue
 			}
-			if m.stamp[r] == m.epoch && m.cnt[r] == int32(ti) {
-				m.cnt[r]++
-				if m.cnt[r] == ntup {
+			if stamp[r] == ep && cnt[r] == int32(ti) {
+				cnt[r]++
+				if cnt[r] == ntup {
 					return true
 				}
 				hitAny = true

@@ -17,7 +17,11 @@
 // Lower bounds are recovered per group with MineLB (Figure 9).
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
 
 // Options configures a FARMER run.
 type Options struct {
@@ -94,15 +98,9 @@ func (o Options) needsConfBound() bool {
 	return o.MinConf > 0 || o.MinLift > 0 || o.MinConviction > 0
 }
 
-// Stats records search effort and pruning effectiveness for one run.
-type Stats struct {
-	NodesVisited      int64 // enumeration-tree nodes entered
-	PrunedBackScan    int64 // subtrees cut by pruning strategy 2
-	PrunedLooseBound  int64 // subtrees cut by Us2/Uc2 before scanning
-	PrunedTightBound  int64 // subtrees cut by Us1/Uc1 after scanning
-	PrunedChiBound    int64 // subtrees cut by the Lemma 3.9 chi bound
-	PrunedGainBound   int64 // subtrees cut by the entropy/gini gain bounds
-	RowsAbsorbed      int64 // candidate rows folded in by pruning strategy 1
-	GroupsEmitted     int64 // IRG upper bounds kept
-	GroupsNotInterest int64 // candidate upper bounds rejected at step 7
-}
+// Stats records search effort and pruning effectiveness for one run. It is
+// the engine's unified instrumentation record: the deterministic pruning
+// counters (engine.Counters, fields promoted) plus wall-clock phase timings
+// in Stats.Timings. Tests that assert run-to-run equality compare the
+// Counters portion.
+type Stats = engine.Stats

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // MineParallel is Mine spread over worker goroutines: the subtrees rooted
@@ -20,6 +22,17 @@ import (
 // workers ≤ 0 selects GOMAXPROCS. The ablation switches are honoured; the
 // per-strategy pruning counters in Stats are summed across workers.
 func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) (*Result, error) {
+	return MineParallelContext(context.Background(), d, consequent, opt, workers)
+}
+
+// MineParallelContext is MineParallel under a context. Each worker polls
+// cancellation at node-expansion granularity; once the context fires, every
+// worker stops expanding, drains the remaining task queue without doing
+// work, and exits before the call returns — no goroutine outlives the
+// call. On cancellation it returns ctx.Err() together with a non-nil
+// Result carrying the merged partial statistics (and no groups: the
+// interestingness fixpoint needs the complete candidate set to be sound).
+func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int, opt Options, workers int) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,6 +46,8 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	ordered, ord := dataset.OrderForConsequent(d, consequent)
 	n := len(ordered.Rows)
 	res := &Result{
@@ -41,6 +56,8 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 		NumPos:     ord.NumPositive,
 	}
 	if n == 0 || ord.NumPositive == 0 {
+		setupDone()
+		res.Stats = ex.Stats
 		return res, nil
 	}
 
@@ -72,11 +89,12 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 			tasks = append(tasks, task{r1, r2})
 		}
 	}
+	setupDone()
 
 	type workerOut struct {
 		cands    []irgEntry
 		rejected []*bitset.Set
-		stats    Stats
+		counters engine.Counters
 	}
 	outs := make([]workerOut, workers)
 	next := make(chan task, len(tasks))
@@ -85,33 +103,42 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	}
 	close(next)
 
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wex := engine.NewExec(ctx)
 			m := &miner{
 				ds:             ordered,
 				tt:             shared,
 				numPos:         ord.NumPositive,
 				n:              n,
 				opt:            opt,
-				inX:            bitset.New(n),
-				cnt:            make([]int32, n),
-				stamp:          make([]uint32, n),
+				ex:             wex,
+				sc:             engine.NewScratch(n),
 				recordRejected: true,
 			}
+			// The channel is pre-filled and closed, so ranging always
+			// drains it; after cancellation each remaining task is skipped
+			// without expanding a node, so the loop finishes promptly and
+			// the worker exits (no goroutine leak, no abandoned tasks).
 			for tk := range next {
+				if wex.Err() != nil {
+					continue
+				}
 				if tk.r2 < 0 {
 					m.mineSingleton(tk.r1)
 				} else {
 					m.minePair(tk.r1, tk.r2)
 				}
 			}
-			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, stats: m.stats}
+			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters}
 		}(w)
 	}
 	wg.Wait()
+	searchDone()
 
 	// Rejection accounting: a group dropped by a worker's local filter is a
 	// constraint-satisfying group the global fixpoint would also reject (see
@@ -126,17 +153,23 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	var cands []irgEntry
 	for _, o := range outs {
 		cands = append(cands, o.cands...)
-		res.Stats.NodesVisited += o.stats.NodesVisited
-		res.Stats.PrunedBackScan += o.stats.PrunedBackScan
-		res.Stats.PrunedLooseBound += o.stats.PrunedLooseBound
-		res.Stats.PrunedTightBound += o.stats.PrunedTightBound
-		res.Stats.PrunedChiBound += o.stats.PrunedChiBound
-		res.Stats.PrunedGainBound += o.stats.PrunedGainBound
-		res.Stats.RowsAbsorbed += o.stats.RowsAbsorbed
+		ex.Stats.Counters.Add(o.counters)
 		for _, r := range o.rejected {
 			rejected[r.String()] = struct{}{}
 		}
 	}
+	// Worker GroupsEmitted/GroupsNotInterest reflect local decisions only;
+	// the fixpoint below recomputes both globally.
+	ex.Stats.GroupsEmitted = 0
+	ex.Stats.GroupsNotInterest = 0
+
+	if err := ex.Err(); err != nil {
+		res.Stats = ex.Stats
+		return res, err
+	}
+
+	finishDone := engine.Phase(&ex.Stats.Timings.Finish)
+	defer finishDone()
 
 	// Sequential interestingness fixpoint: more general groups (larger row
 	// sets) decided first; row-set dedup collapses duplicates from ablation
@@ -146,6 +179,10 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	})
 	var kept []irgEntry
 	for _, c := range cands {
+		if err := ex.Err(); err != nil {
+			res.Stats = ex.Stats
+			return res, err
+		}
 		interesting := true
 		for i := range kept {
 			e := &kept[i]
@@ -165,10 +202,15 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 			kept = append(kept, c)
 		}
 	}
-	res.Stats.GroupsEmitted = int64(len(kept))
-	res.Stats.GroupsNotInterest = int64(len(rejected))
+	ex.Stats.GroupsEmitted = int64(len(kept))
+	ex.Stats.GroupsNotInterest = int64(len(rejected))
 
 	for i := range kept {
+		if err := ex.Err(); err != nil {
+			res.Groups = nil
+			res.Stats = ex.Stats
+			return res, err
+		}
 		e := &kept[i]
 		g := RuleGroup{
 			Antecedent: e.items,
@@ -188,19 +230,15 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	sort.SliceStable(res.Groups, func(i, j int) bool {
 		return lessItems(res.Groups[i].Antecedent, res.Groups[j].Antecedent)
 	})
+	res.Stats = ex.Stats
 	return res, nil
 }
 
 // mineSingleton runs node {r1} in emission-only mode: steps 1–5 and 7, no
-// children (pair tasks own the depth-2 subtrees).
+// children (pair tasks own the depth-2 subtrees). Errors (cancellation)
+// are recorded in the miner's Exec and surface through the caller's poll.
 func (m *miner) mineSingleton(ri int) {
-	row := &m.ds.Rows[ri]
-	tuples := make([]tuple, 0, len(row.Items))
-	for _, it := range row.Items {
-		list := m.tt.Lists[it]
-		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
-		tuples = append(tuples, tuple{item: it, rows: list[k:]})
-	}
+	tuples := m.rootTuples(ri)
 	supp, supn := 0, 0
 	if ri < m.numPos {
 		supp = 1
@@ -211,11 +249,11 @@ func (m *miner) mineSingleton(ri int) {
 	if epCount < 0 {
 		epCount = 0
 	}
-	m.inX.Set(ri)
+	m.sc.InX.Set(ri)
 	m.skipChildren = true
-	m.mineNode(tuples, supp, supn, epCount, ri)
+	_ = m.mineNode(tuples, supp, supn, epCount, ri)
 	m.skipChildren = false
-	m.inX.Clear(ri)
+	m.sc.InX.Clear(ri)
 }
 
 // minePair runs the full subtree of node {r1, r2}, with the conditional
@@ -246,9 +284,9 @@ func (m *miner) minePair(r1, r2 int) {
 	if epCount < 0 {
 		epCount = 0
 	}
-	m.inX.Set(r1)
-	m.inX.Set(r2)
-	m.mineNode(tuples, supp, supn, epCount, r2)
-	m.inX.Clear(r1)
-	m.inX.Clear(r2)
+	m.sc.InX.Set(r1)
+	m.sc.InX.Set(r2)
+	_ = m.mineNode(tuples, supp, supn, epCount, r2)
+	m.sc.InX.Clear(r1)
+	m.sc.InX.Clear(r2)
 }

@@ -80,7 +80,7 @@ func TestMineParallelStress(t *testing.T) {
 		if baseline == nil {
 			s := par.Stats
 			baseline = &s
-		} else if par.Stats != *baseline {
+		} else if par.Stats.Counters != baseline.Counters {
 			t.Fatalf("workers=%d: summed stats differ across worker counts\n got %+v\nwant %+v",
 				workers, par.Stats, *baseline)
 		}

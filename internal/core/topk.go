@@ -2,10 +2,12 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -58,6 +60,14 @@ type ScoredGroup struct {
 // as better groups are found. Groups are returned best-first; ties break
 // toward higher support, then lexicographic antecedents.
 func MineTopK(d *dataset.Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
+	return MineTopKContext(context.Background(), d, consequent, k, measure, minsup)
+}
+
+// MineTopKContext is MineTopK under a context: cancellation is checked at
+// every node expansion. On cancellation it returns ctx.Err() together with
+// the best groups found so far — a valid answer for whatever portion of
+// the search space was explored, not necessarily the global top k.
+func MineTopKContext(ctx context.Context, d *dataset.Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
@@ -72,9 +82,9 @@ func MineTopK(d *dataset.Dataset, consequent, k int, measure Measure, minsup int
 	}
 
 	ordered, ord := dataset.OrderForConsequent(d, consequent)
-	m := newMiner(ordered, ord.NumPositive, Options{MinSup: minsup})
+	m := newMiner(ordered, ord.NumPositive, Options{MinSup: minsup}, engine.NewExec(ctx))
 	tk := &topkSearch{miner: m, k: k, measure: measure}
-	tk.run()
+	err := tk.run()
 
 	out := make([]ScoredGroup, len(tk.best))
 	for i := range tk.best {
@@ -98,7 +108,7 @@ func MineTopK(d *dataset.Dataset, consequent, k int, measure Measure, minsup int
 		}
 		return lessItems(out[a].Antecedent, out[b].Antecedent)
 	})
-	return out, nil
+	return out, err
 }
 
 type scoredEntry struct {
@@ -123,19 +133,13 @@ type topkSearch struct {
 	best    topkHeap
 }
 
-func (t *topkSearch) run() {
+func (t *topkSearch) run() error {
 	m := t.miner
 	if m.n == 0 || m.numPos == 0 {
-		return
+		return nil
 	}
 	for ri := 0; ri < m.n; ri++ {
-		row := &m.ds.Rows[ri]
-		tuples := make([]tuple, 0, len(row.Items))
-		for _, it := range row.Items {
-			list := m.tt.Lists[it]
-			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
-			tuples = append(tuples, tuple{item: it, rows: list[k:]})
-		}
+		tuples := m.rootTuples(ri)
 		supp, supn := 0, 0
 		if ri < m.numPos {
 			supp = 1
@@ -146,30 +150,37 @@ func (t *topkSearch) run() {
 		if epCount < 0 {
 			epCount = 0
 		}
-		m.inX.Set(ri)
-		t.walk(tuples, supp, supn, epCount, ri)
-		m.inX.Clear(ri)
+		m.sc.InX.Set(ri)
+		err := t.walk(tuples, supp, supn, epCount, ri)
+		m.sc.InX.Clear(ri)
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // walk mirrors mineNode's traversal with the branch-and-bound cut: instead
 // of fixed thresholds, subtrees are pruned when the measure's vertex bound
 // cannot beat the current k-th best score.
-func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
+func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) error {
 	m := t.miner
-	m.stats.NodesVisited++
+	if err := m.ex.EnterNode(); err != nil {
+		return err
+	}
 	if len(tuples) == 0 {
-		return
+		return nil
 	}
 	if m.backScanHit(tuples, rmax) {
-		return
+		return nil
 	}
 	if supp+epCount < m.opt.MinSup {
-		return
+		return nil
 	}
 
 	// Scan (same bookkeeping as mineNode's step 3).
-	m.epoch++
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxPosInTuple := 0
 	for _, tp := range tuples {
@@ -180,21 +191,21 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 			maxPosInTuple = pos
 		}
 		for _, r := range tp.rows {
-			if m.stamp[r] != m.epoch {
-				m.stamp[r] = m.epoch
-				m.cnt[r] = 0
+			if stamp[r] != ep {
+				stamp[r] = ep
+				cnt[r] = 0
 			}
-			m.cnt[r]++
+			cnt[r]++
 		}
 	}
 	var eRows, yRows []int32
 	yPos, yNeg := 0, 0
 	for _, tp := range tuples {
 		for _, r := range tp.rows {
-			if m.stamp[r] != m.epoch || m.cnt[r] < 0 {
+			if stamp[r] != ep || cnt[r] < 0 {
 				continue
 			}
-			if m.cnt[r] == ntup {
+			if cnt[r] == ntup {
 				yRows = append(yRows, r)
 				if int(r) < m.numPos {
 					yPos++
@@ -204,7 +215,7 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 			} else {
 				eRows = append(eRows, r)
 			}
-			m.cnt[r] = -1
+			cnt[r] = -1
 		}
 	}
 	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
@@ -214,17 +225,17 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 
 	// Bound cuts: support, then the dynamic measure bound.
 	if suppIn+maxPosInTuple < m.opt.MinSup {
-		return
+		return nil
 	}
 	if len(t.best) == t.k {
 		if t.measure.bound(supp+supn, supp, m.n, m.numPos) <= t.best.threshold() {
-			m.stats.PrunedGainBound++
-			return
+			m.ex.Stats.PrunedGainBound++
+			return nil
 		}
 	}
 
 	for _, r := range yRows {
-		m.inX.Set(int(r))
+		m.sc.InX.Set(int(r))
 	}
 	cleaned := make([][]int32, len(tuples))
 	if len(yRows) == 0 {
@@ -268,14 +279,18 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 			} else {
 				cb++
 			}
-			m.inX.Set(int(r))
-			t.walk(child, ca, cb, childEp, int(r))
-			m.inX.Clear(int(r))
+			m.sc.InX.Set(int(r))
+			err := t.walk(child, ca, cb, childEp, int(r))
+			m.sc.InX.Clear(int(r))
+			if err != nil {
+				return err
+			}
 		}
 	}
 
-	// Emit into the heap.
-	if supp >= m.opt.MinSup {
+	// Emit into the heap. After cancellation the unwind path skips
+	// emission, mirroring maybeEmit's contract.
+	if supp >= m.opt.MinSup && m.ex.Err() == nil {
 		score := t.measure.value(supp+supn, supp, m.n, m.numPos)
 		if len(t.best) < t.k || score > t.best.threshold() {
 			items := make([]dataset.Item, len(tuples))
@@ -284,7 +299,7 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 			}
 			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
 			entry := scoredEntry{score: score}
-			entry.rows = m.inX.Clone()
+			entry.rows = m.sc.InX.Clone()
 			entry.supPos = supp
 			entry.tot = supp + supn
 			entry.items = items
@@ -292,11 +307,12 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) {
 			if len(t.best) > t.k {
 				heap.Pop(&t.best)
 			}
-			m.stats.GroupsEmitted++
+			m.ex.Stats.GroupsEmitted++
 		}
 	}
 
 	for _, r := range yRows {
-		m.inX.Clear(int(r))
+		m.sc.InX.Clear(int(r))
 	}
+	return nil
 }

@@ -12,8 +12,9 @@
 //	    reference.ClosedSets;
 //	(c) carpenter ≡ reference.ClosedSets (with row sets).
 //
-// plus the MineLB and top-k oracles and four metamorphic invariants
-// (metamorphic.go).
+// plus the MineLB and top-k oracles, the streaming contract of
+// core.MineStream (batch-identical delivery and cancelled-prefix,
+// streaming.go) and four metamorphic invariants (metamorphic.go).
 package difftest
 
 import (
@@ -117,7 +118,7 @@ func CheckMineEquivalence(c Case) error {
 		if err != nil {
 			return fmt.Errorf("core.MineParallel(workers=%d): %w", otherWorkers, err)
 		}
-		if par.Stats != par2.Stats {
+		if par.Stats.Counters != par2.Stats.Counters {
 			return fmt.Errorf("parallel stats differ across worker counts %d vs %d:\n %+v\n %+v",
 				c.Workers, otherWorkers, par.Stats, par2.Stats)
 		}
@@ -357,6 +358,8 @@ func CheckAll(c Case) error {
 		fn   func() error
 	}{
 		{"mine-equivalence", func() error { return CheckMineEquivalence(c) }},
+		{"streaming-equivalence", func() error { return CheckStreamingEquivalence(c) }},
+		{"cancelled-prefix", func() error { return CheckCancelledPrefix(c) }},
 		{"closed-set-equivalence", func() error { return CheckClosedSetEquivalence(c) }},
 		{"carpenter-equivalence", func() error { return CheckCarpenterEquivalence(c) }},
 		{"minelb-oracle", func() error { return CheckMineLB(c) }},

@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+)
+
+// CheckStreamingEquivalence asserts that streaming emission is a pure
+// re-plumbing of batch mining: the sequence of rule groups delivered by
+// core.MineStream is byte-identical (order included) to core.Mine's Groups
+// slice, and the search-shaped counters agree.
+func CheckStreamingEquivalence(c Case) error {
+	batch, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return fmt.Errorf("core.Mine: %w", err)
+	}
+	var streamed []core.RuleGroup
+	res, err := core.MineStream(context.Background(), c.D, c.Consequent, c.Opt,
+		func(g core.RuleGroup) error {
+			streamed = append(streamed, g)
+			return nil
+		})
+	if err != nil {
+		return fmt.Errorf("core.MineStream: %w", err)
+	}
+	if len(streamed) != len(batch.Groups) || (len(streamed) > 0 && !reflect.DeepEqual(streamed, batch.Groups)) {
+		return fmt.Errorf("streamed %d groups differ from batch %d groups", len(streamed), len(batch.Groups))
+	}
+	if res.Stats.Counters != batch.Stats.Counters {
+		return fmt.Errorf("streaming counters differ from batch:\n %+v\n %+v",
+			res.Stats.Counters, batch.Stats.Counters)
+	}
+	return nil
+}
+
+// CheckCancelledPrefix asserts the streaming cancellation contract: a run
+// cancelled after k deliveries has emitted exactly the first k groups of the
+// full run — a byte-identical prefix, with nothing delivered after the
+// cancellation point.
+func CheckCancelledPrefix(c Case) error {
+	full, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return fmt.Errorf("core.Mine: %w", err)
+	}
+	if len(full.Groups) == 0 {
+		return nil
+	}
+	for _, stopAt := range []int{1, (len(full.Groups) + 1) / 2, len(full.Groups)} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var emitted []core.RuleGroup
+		_, err := core.MineStream(ctx, c.D, c.Consequent, c.Opt,
+			func(g core.RuleGroup) error {
+				emitted = append(emitted, g)
+				if len(emitted) == stopAt {
+					cancel()
+				}
+				return nil
+			})
+		cancel()
+		if len(emitted) < stopAt {
+			// The run finished before reaching stopAt deliveries; with
+			// stopAt <= len(full.Groups) and equivalence already checked,
+			// this cannot happen.
+			return fmt.Errorf("cancelled run emitted %d groups, expected at least %d", len(emitted), stopAt)
+		}
+		if stopAt < len(full.Groups) && !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("cancelled run (stopAt=%d) returned err=%v, want context.Canceled", stopAt, err)
+		}
+		if !reflect.DeepEqual(emitted, full.Groups[:len(emitted)]) {
+			return fmt.Errorf("cancelled run (stopAt=%d): emitted %d groups are not a prefix of the full run",
+				stopAt, len(emitted))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package engine is the shared mining runtime behind every miner in the
+// repository: FARMER's row enumerators (Mine, MineParallel, MineTopK,
+// MineLB) and the five baselines (CHARM, CLOSET, ColumnE, CARPENTER,
+// COBBLER). It factors out the three pieces the miners used to hand-roll
+// independently:
+//
+//   - Execution control (Exec): a context-cancellation token polled at
+//     node-expansion granularity. A cancelled run stops within one node
+//     expansion and surfaces ctx.Err() alongside whatever partial
+//     statistics were gathered.
+//   - Instrumentation (Stats): one counter set with identical semantics
+//     across miners — enumeration nodes, per-pruning-strategy cuts
+//     (strategies 1–3 of §3.2), emission counts — plus wall-clock phase
+//     timings. The counter portion (Counters) is deterministic and
+//     comparable; timings are kept separate so differential tests can
+//     assert counter equality across runs.
+//   - Scratch substrate (Scratch): the epoch-stamped per-row counters and
+//     bitset scratch shared by the row-enumeration miners, so per-node
+//     work reuses one allocation per run instead of allocating per node.
+//
+// The streaming contract every miner built on this package follows: a
+// group/pattern is delivered to its OnX callback at the moment its
+// membership in the result set becomes final (each miner's emission
+// decision is final when made; only ColumnE's global interestingness
+// fixpoint defers delivery to the finish phase). A callback error aborts
+// the run and is returned verbatim; after cancellation no further
+// deliveries happen.
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/bitset"
+)
+
+// Counters is the deterministic portion of Stats: pure event counts that
+// depend only on the dataset, the options, and the task decomposition —
+// never on scheduling or wall clock. It is comparable, so tests can assert
+// run-to-run equality.
+//
+// Not every miner uses every counter: the class-blind baselines have no
+// confidence bounds, CHARM/CLOSET prune only by support. A counter a miner
+// does not implement stays zero; the ones it does implement share these
+// exact semantics.
+type Counters struct {
+	NodesVisited      int64 // enumeration-tree nodes entered
+	PrunedBackScan    int64 // subtrees cut by pruning strategy 2 (back scan)
+	PrunedLooseBound  int64 // subtrees cut by Us2/Uc2 before scanning
+	PrunedTightBound  int64 // subtrees cut by Us1/Uc1 (or support) after scanning
+	PrunedChiBound    int64 // subtrees cut by the Lemma 3.9 chi bound
+	PrunedGainBound   int64 // subtrees cut by the entropy/gini gain bounds
+	RowsAbsorbed      int64 // candidates folded in by absorption pruning (rows for row enumerators, items for column enumerators)
+	GroupsEmitted     int64 // groups/patterns kept (delivered or accumulated)
+	GroupsNotInterest int64 // candidate upper bounds rejected as uninteresting
+}
+
+// Add accumulates o into c (used to merge per-worker counters).
+func (c *Counters) Add(o Counters) {
+	c.NodesVisited += o.NodesVisited
+	c.PrunedBackScan += o.PrunedBackScan
+	c.PrunedLooseBound += o.PrunedLooseBound
+	c.PrunedTightBound += o.PrunedTightBound
+	c.PrunedChiBound += o.PrunedChiBound
+	c.PrunedGainBound += o.PrunedGainBound
+	c.RowsAbsorbed += o.RowsAbsorbed
+	c.GroupsEmitted += o.GroupsEmitted
+	c.GroupsNotInterest += o.GroupsNotInterest
+}
+
+// Timings records the wall-clock phases of one run. Unlike Counters these
+// vary run to run; they are reported, never compared.
+type Timings struct {
+	// Setup covers validation, row reordering and transposition.
+	Setup time.Duration
+	// Search covers the enumeration itself (including streamed emission).
+	Search time.Duration
+	// Finish covers post-enumeration work: the parallel interestingness
+	// fixpoint, sorting, and batch materialization. Zero for miners that
+	// finalize inline.
+	Finish time.Duration
+}
+
+// Stats is the unified instrumentation record shared by all miners: the
+// deterministic counters plus the phase timings. Counter fields are
+// promoted (s.NodesVisited); tests that need run-to-run equality compare
+// s.Counters.
+type Stats struct {
+	Counters
+	Timings Timings
+}
+
+// Phase starts timing a phase and returns the function that stops it,
+// adding the elapsed time to *dst:
+//
+//	defer engine.Phase(&ex.Stats.Timings.Search)()
+func Phase(dst *time.Duration) func() {
+	t0 := time.Now()
+	return func() { *dst += time.Since(t0) }
+}
+
+// Exec is the per-run execution state a miner threads through its
+// enumeration: the unified Stats and the cancellation token. One Exec is
+// private to one goroutine; parallel miners give each worker its own and
+// merge Counters afterwards.
+type Exec struct {
+	Stats Stats
+
+	ctx  context.Context
+	done <-chan struct{}
+	err  error
+}
+
+// NewExec returns an Exec bound to ctx. A nil ctx behaves like
+// context.Background() (never cancelled, zero polling cost).
+func NewExec(ctx context.Context) *Exec {
+	e := &Exec{}
+	if ctx != nil {
+		e.ctx = ctx
+		e.done = ctx.Done()
+	}
+	return e
+}
+
+// EnterNode counts one enumeration node and polls cancellation. Miners
+// call it first thing on every node expansion — that is the granularity of
+// the cancellation contract: once the context is cancelled, at most one
+// further node is entered.
+func (e *Exec) EnterNode() error {
+	e.Stats.NodesVisited++
+	return e.Err()
+}
+
+// Err polls cancellation without counting a node. It returns nil until the
+// context fires, then the context's error on every subsequent call.
+func (e *Exec) Err() error {
+	if e.err == nil && e.done != nil {
+		select {
+		case <-e.done:
+			e.err = e.ctx.Err()
+		default:
+		}
+	}
+	return e.err
+}
+
+// Scratch is the shared per-run scratch substrate of the row-enumeration
+// miners: epoch-stamped per-row counters (reset by bumping the epoch, not
+// by clearing) and reusable bitsets, all sized to the dataset's row count
+// and allocated once per run.
+type Scratch struct {
+	// Cnt and Stamp form the epoch-stamped counter array: Cnt[r] is valid
+	// iff Stamp[r] equals the current epoch. Both the conditional-table
+	// scan and the back scan use them; each pass calls NextEpoch instead
+	// of zeroing.
+	Cnt   []int32
+	Stamp []uint32
+
+	// InX marks the rows of the current enumeration path (X plus absorbed
+	// rows) — the exclusion set of the back scan.
+	InX *bitset.Set
+
+	// Tmp is a reusable bitset for non-allocating set algebra on hot
+	// paths (e.g. intersection prechecks before a Clone is justified).
+	// Its contents are undefined between uses.
+	Tmp *bitset.Set
+
+	epoch uint32
+}
+
+// NewScratch returns scratch for a dataset of n rows.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		Cnt:   make([]int32, n),
+		Stamp: make([]uint32, n),
+		InX:   bitset.New(n),
+		Tmp:   bitset.New(n),
+	}
+}
+
+// NextEpoch invalidates every stamped counter and returns the new epoch.
+func (s *Scratch) NextEpoch() uint32 {
+	s.epoch++
+	return s.epoch
+}

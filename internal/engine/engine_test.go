@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestExecNilContextNeverCancels(t *testing.T) {
+	e := NewExec(nil)
+	for i := 0; i < 100; i++ {
+		if err := e.EnterNode(); err != nil {
+			t.Fatalf("nil-context exec cancelled at node %d: %v", i, err)
+		}
+	}
+	if e.Stats.NodesVisited != 100 {
+		t.Fatalf("NodesVisited = %d, want 100", e.Stats.NodesVisited)
+	}
+}
+
+func TestExecBackgroundContext(t *testing.T) {
+	e := NewExec(context.Background())
+	if err := e.EnterNode(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cancellation contract: after cancel, the very next EnterNode reports
+// the context error, and the error is sticky.
+func TestExecCancellationWithinOneNode(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewExec(ctx)
+	if err := e.EnterNode(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := e.EnterNode(); err != context.Canceled {
+		t.Fatalf("EnterNode after cancel = %v, want context.Canceled", err)
+	}
+	if e.Stats.NodesVisited != 2 {
+		t.Fatalf("NodesVisited = %d, want 2 (the aborting node still counts)", e.Stats.NodesVisited)
+	}
+	if err := e.Err(); err != context.Canceled {
+		t.Fatalf("Err not sticky: %v", err)
+	}
+}
+
+func TestExecDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	e := NewExec(ctx)
+	if err := e.EnterNode(); err != context.DeadlineExceeded {
+		t.Fatalf("expired deadline gave %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{NodesVisited: 1, PrunedBackScan: 2, PrunedLooseBound: 3, PrunedTightBound: 4,
+		PrunedChiBound: 5, PrunedGainBound: 6, RowsAbsorbed: 7, GroupsEmitted: 8, GroupsNotInterest: 9}
+	b := a
+	b.Add(a)
+	want := Counters{NodesVisited: 2, PrunedBackScan: 4, PrunedLooseBound: 6, PrunedTightBound: 8,
+		PrunedChiBound: 10, PrunedGainBound: 12, RowsAbsorbed: 14, GroupsEmitted: 16, GroupsNotInterest: 18}
+	if b != want {
+		t.Fatalf("Add: got %+v want %+v", b, want)
+	}
+}
+
+func TestCountersComparable(t *testing.T) {
+	// Stats carries wall-clock timings; the deterministic portion must be
+	// exactly the comparable Counters so differential tests can assert
+	// equality across runs.
+	s1 := Stats{Counters: Counters{NodesVisited: 5}, Timings: Timings{Search: time.Second}}
+	s2 := Stats{Counters: Counters{NodesVisited: 5}, Timings: Timings{Search: 2 * time.Second}}
+	if s1.Counters != s2.Counters {
+		t.Fatal("equal counters compare unequal")
+	}
+	if s1 == s2 {
+		t.Fatal("whole Stats with different timings compare equal")
+	}
+}
+
+func TestPhaseAccumulates(t *testing.T) {
+	var d time.Duration
+	stop := Phase(&d)
+	time.Sleep(time.Millisecond)
+	stop()
+	if d <= 0 {
+		t.Fatalf("phase recorded %v, want > 0", d)
+	}
+	prev := d
+	Phase(&d)() // immediate stop still accumulates (adds, not overwrites)
+	if d < prev {
+		t.Fatalf("phase overwrote accumulated time: %v -> %v", prev, d)
+	}
+}
+
+func TestScratchEpochs(t *testing.T) {
+	s := NewScratch(8)
+	if len(s.Cnt) != 8 || len(s.Stamp) != 8 || s.InX.Len() != 8 || s.Tmp.Len() != 8 {
+		t.Fatal("scratch sized wrong")
+	}
+	ep := s.NextEpoch()
+	s.Stamp[3] = ep
+	s.Cnt[3] = 7
+	ep2 := s.NextEpoch()
+	if ep2 == ep {
+		t.Fatal("epoch did not advance")
+	}
+	if s.Stamp[3] == ep2 {
+		t.Fatal("stale stamp matches new epoch")
+	}
+}

@@ -9,12 +9,18 @@ import (
 	"repro/internal/synth"
 )
 
-// AblationRow is FARMER's effort with one pruning configuration.
+// AblationRow is FARMER's effort with one pruning configuration. The three
+// counter columns attribute the work saved to each strategy: rows folded in
+// by pruning 1, subtrees cut by pruning 2's back scan, and subtrees cut by
+// pruning 3's support/confidence/chi bounds.
 type AblationRow struct {
-	Variant string
-	Runtime time.Duration
-	Nodes   int64
-	Groups  int
+	Variant  string
+	Runtime  time.Duration
+	Nodes    int64
+	Absorbed int64
+	BackScan int64
+	Bounds   int64
+	Groups   int
 }
 
 // AblationResult measures the contribution of each pruning strategy —
@@ -63,10 +69,14 @@ func Ablation(spec synth.Spec, cfg Config) (*AblationResult, error) {
 			return nil, err
 		}
 		out.Rows = append(out.Rows, AblationRow{
-			Variant: v.name,
-			Runtime: time.Since(start),
-			Nodes:   res.Stats.NodesVisited,
-			Groups:  len(res.Groups),
+			Variant:  v.name,
+			Runtime:  time.Since(start),
+			Nodes:    res.Stats.NodesVisited,
+			Absorbed: res.Stats.RowsAbsorbed,
+			BackScan: res.Stats.PrunedBackScan,
+			Bounds: res.Stats.PrunedLooseBound + res.Stats.PrunedTightBound +
+				res.Stats.PrunedChiBound + res.Stats.PrunedGainBound,
+			Groups: len(res.Groups),
 		})
 	}
 	return out, nil
@@ -77,10 +87,12 @@ func (r *AblationResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation — %s: pruning strategies at minsup=%d minconf=%.2f\n",
 		r.Dataset, r.MinSup, r.MinConf)
-	fmt.Fprintf(&b, "%-30s  %14s  %12s  %8s\n", "variant", "runtime", "nodes", "groups")
+	fmt.Fprintf(&b, "%-30s  %14s  %12s  %10s  %10s  %10s  %8s\n",
+		"variant", "runtime", "nodes", "absorbed", "backscan", "bounds", "groups")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "%-30s  %14v  %12d  %8d\n",
-			row.Variant, row.Runtime.Round(10*time.Microsecond), row.Nodes, row.Groups)
+		fmt.Fprintf(&b, "%-30s  %14v  %12d  %10d  %10d  %10d  %8d\n",
+			row.Variant, row.Runtime.Round(10*time.Microsecond),
+			row.Nodes, row.Absorbed, row.BackScan, row.Bounds, row.Groups)
 	}
 	return b.String()
 }
