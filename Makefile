@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 
 FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 
-.PHONY: all build vet test race fuzz bench bench-json
+.PHONY: all build vet test race fuzz bench bench-json bench-compare
 
 all: vet build test
 
@@ -38,3 +38,10 @@ bench:
 BENCH_JSON_DATASETS ?= BC,LC,CT,PC,ALL
 bench-json:
 	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o BENCH_core.json
+
+# Re-measure and diff against the committed baseline; exits non-zero when
+# ns/op or allocs/op grew past BENCH_THRESHOLD on any benchmark.
+BENCH_THRESHOLD ?= 0.30
+bench-compare:
+	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o /tmp/bench_new.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) BENCH_core.json /tmp/bench_new.json

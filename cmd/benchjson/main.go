@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"testing"
@@ -98,10 +99,97 @@ func run(datasets []string) ([]Row, error) {
 	return rows, nil
 }
 
+// compare prints per-benchmark deltas between two measurement files
+// (matched by name+dataset) and reports whether any regression exceeds the
+// thresholds: ns/op or allocs/op growing by more than frac. Benchmarks
+// present in only one file are reported but never fail the comparison —
+// the guard is for regressions, not coverage drift.
+func compare(oldPath, newPath string, frac float64, w io.Writer) (bool, error) {
+	load := func(path string) (map[string]Row, []string, error) {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rows []Row
+		if err := json.Unmarshal(buf, &rows); err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		m := make(map[string]Row, len(rows))
+		var order []string
+		for _, r := range rows {
+			k := r.Name + "/" + r.Dataset
+			if _, dup := m[k]; !dup {
+				order = append(order, k)
+			}
+			m[k] = r
+		}
+		return m, order, nil
+	}
+	oldRows, _, err := load(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRows, order, err := load(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			return 0
+		}
+		return 100 * (newV - oldV) / oldV
+	}
+	regressed := false
+	fmt.Fprintf(w, "%-22s %14s %14s %14s %14s\n", "benchmark", "ns/op old", "ns/op new", "allocs old", "allocs new")
+	for _, k := range order {
+		n := newRows[k]
+		o, ok := oldRows[k]
+		if !ok {
+			fmt.Fprintf(w, "%-22s %14s %14.0f %14s %14d   (new benchmark)\n", k, "-", n.NsPerOp, "-", n.AllocsPerOp)
+			continue
+		}
+		dn := pct(o.NsPerOp, n.NsPerOp)
+		da := pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
+		marker := ""
+		if dn > 100*frac || da > 100*frac {
+			marker = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-22s %14.0f %14.0f %14d %14d   ns %+6.1f%%  allocs %+6.1f%%%s\n",
+			k, o.NsPerOp, n.NsPerOp, o.AllocsPerOp, n.AllocsPerOp, dn, da, marker)
+	}
+	for k, o := range oldRows {
+		if _, ok := newRows[k]; !ok {
+			fmt.Fprintf(w, "%-22s %14.0f %14s %14d %14s   (missing from new)\n", k, o.NsPerOp, "-", o.AllocsPerOp, "-")
+		}
+	}
+	return regressed, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file")
 	datasets := flag.String("datasets", "BC,LC,CT,PC,ALL", "comma-separated bench dataset names")
+	doCompare := flag.Bool("compare", false, "compare two measurement files: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when ns/op or allocs/op grew by more than this fraction")
 	flag.Parse()
+
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := compare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% threshold\n", 100**threshold)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rows, err := run(strings.Split(*datasets, ","))
 	if err != nil {

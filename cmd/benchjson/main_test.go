@@ -1,9 +1,110 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunRejectsUnknownDataset(t *testing.T) {
 	if _, err := run([]string{"no-such-spec"}); err == nil {
 		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func writeRows(t *testing.T, dir, name string, rows []Row) string {
+	t.Helper()
+	buf, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRows(t, dir, "old.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "CHARM", Dataset: "CT", NsPerOp: 200, AllocsPerOp: 500},
+	})
+	newPath := writeRows(t, dir, "new.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 105, AllocsPerOp: 900},  // within threshold
+		{Name: "CHARM", Dataset: "CT", NsPerOp: 400, AllocsPerOp: 500}, // 2x slower
+	})
+	var w strings.Builder
+	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("2x ns/op regression not flagged:\n%s", w.String())
+	}
+	if !strings.Contains(w.String(), "REGRESSION") {
+		t.Fatalf("output lacks REGRESSION marker:\n%s", w.String())
+	}
+}
+
+func TestCompareImprovementAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRows(t, dir, "old.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 134070},
+	})
+	newPath := writeRows(t, dir, "new.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 90, AllocsPerOp: 1671},
+	})
+	var w strings.Builder
+	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("improvement flagged as regression:\n%s", w.String())
+	}
+	// A looser threshold tolerates a mild slowdown; a tighter one flags it.
+	newPath2 := writeRows(t, dir, "new2.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 120, AllocsPerOp: 134070},
+	})
+	regressed, err = compare(oldPath, newPath2, 0.30, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("20% slowdown flagged despite 30% threshold")
+	}
+	regressed, err = compare(oldPath, newPath2, 0.10, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("20% slowdown not flagged at 10% threshold")
+	}
+}
+
+func TestCompareUnmatchedBenchmarksNeverFail(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRows(t, dir, "old.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "Gone", Dataset: "CT", NsPerOp: 50, AllocsPerOp: 5},
+	})
+	newPath := writeRows(t, dir, "new.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "Fresh", Dataset: "CT", NsPerOp: 999999, AllocsPerOp: 999999},
+	})
+	var w strings.Builder
+	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("added/removed benchmarks must not fail the comparison:\n%s", w.String())
+	}
+	if !strings.Contains(w.String(), "new benchmark") || !strings.Contains(w.String(), "missing from new") {
+		t.Fatalf("coverage drift not reported:\n%s", w.String())
 	}
 }

@@ -1,0 +1,150 @@
+package bitset
+
+// Arena allocates Sets whose storage comes from reusable slabs with stack
+// (mark/release) discipline. The column enumerators create one tidset per
+// surviving child node and drop it on recursion unwind; routing those
+// through an arena makes the intersection step allocation-free once the
+// slabs reach their high-water size.
+//
+// Arena-backed sets must not outlive the mark they were allocated under:
+// Release recycles their storage. Sets that escape the recursion (emitted
+// results, dedup stores) must be Cloned onto the heap first.
+type Arena struct {
+	words []uint64
+	sets  []Set
+}
+
+// ArenaMark captures the arena depth at one recursion level.
+type ArenaMark struct {
+	words, sets int
+}
+
+// Mark records the arena state; pass it to Release on unwind.
+func (a *Arena) Mark() ArenaMark { return ArenaMark{len(a.words), len(a.sets)} }
+
+// Release recycles every set allocated since m.
+func (a *Arena) Release(m ArenaMark) {
+	a.words = a.words[:m.words]
+	a.sets = a.sets[:m.sets]
+}
+
+// alloc reserves nw words and one Set header, without zeroing the words.
+func (a *Arena) alloc(n, nw int) (*Set, []uint64) {
+	lw := len(a.words)
+	if lw+nw > cap(a.words) {
+		c := 2 * cap(a.words)
+		if c < lw+nw {
+			c = lw + nw
+		}
+		if c < 64 {
+			c = 64
+		}
+		nb := make([]uint64, lw, c)
+		copy(nb, a.words)
+		a.words = nb
+	}
+	a.words = a.words[:lw+nw]
+	w := a.words[lw : lw+nw : lw+nw]
+
+	ls := len(a.sets)
+	if ls+1 > cap(a.sets) {
+		c := 2 * cap(a.sets)
+		if c < ls+1 {
+			c = ls + 1
+		}
+		if c < 16 {
+			c = 16
+		}
+		nb := make([]Set, ls, c)
+		copy(nb, a.sets)
+		a.sets = nb
+	}
+	a.sets = a.sets[:ls+1]
+	s := &a.sets[ls]
+	*s = Set{words: w, n: n}
+	return s, w
+}
+
+// New returns an empty arena-backed set of capacity n bits.
+func (a *Arena) New(n int) *Set {
+	s, w := a.alloc(n, (n+wordBits-1)/wordBits)
+	clear(w)
+	return s
+}
+
+// And returns x ∩ y as a new arena-backed set (equal capacities required).
+func (a *Arena) And(x, y *Set) *Set {
+	x.compat(y)
+	s, w := a.alloc(x.n, len(x.words))
+	for i := range w {
+		w[i] = x.words[i] & y.words[i]
+	}
+	return s
+}
+
+// Copy returns an arena-backed copy of t.
+func (a *Arena) Copy(t *Set) *Set {
+	s, w := a.alloc(t.n, len(t.words))
+	copy(w, t.words)
+	return s
+}
+
+// Dedup is an insert-only set of Sets, keyed by the FNV word hash with an
+// Equal scan as collision fallback. It replaces the String()-keyed maps
+// the miners used for row-set deduplication: the hash costs one pass over
+// the words instead of a decimal rendering per lookup.
+//
+// The first set per hash lives inline in the map value (one map entry, no
+// per-bucket slice); genuine hash collisions between different sets are
+// vanishingly rare and spill to a linearly scanned overflow list.
+//
+// Dedup retains the Sets passed to Add; callers hand it heap-owned sets
+// (or Clone arena-backed ones first).
+type Dedup struct {
+	m        map[uint64]*Set
+	overflow []*Set
+	n        int
+}
+
+// NewDedup returns an empty Dedup.
+func NewDedup() *Dedup { return &Dedup{m: make(map[uint64]*Set)} }
+
+// Add inserts s and reports whether it was not already present.
+func (d *Dedup) Add(s *Set) bool {
+	h := s.Hash()
+	prev, ok := d.m[h]
+	if !ok {
+		d.m[h] = s
+		d.n++
+		return true
+	}
+	if prev.Equal(s) {
+		return false
+	}
+	for _, o := range d.overflow {
+		if o.Equal(s) {
+			return false
+		}
+	}
+	d.overflow = append(d.overflow, s)
+	d.n++
+	return true
+}
+
+// Contains reports whether an equal set was added before.
+func (d *Dedup) Contains(s *Set) bool {
+	if prev, ok := d.m[s.Hash()]; ok {
+		if prev.Equal(s) {
+			return true
+		}
+		for _, o := range d.overflow {
+			if o.Equal(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct sets added.
+func (d *Dedup) Len() int { return d.n }

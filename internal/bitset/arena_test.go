@@ -1,0 +1,127 @@
+package bitset
+
+import "testing"
+
+func TestArenaNewAndRelease(t *testing.T) {
+	var a Arena
+	m := a.Mark()
+	s := a.New(130) // three words
+	if s.Len() != 130 || !s.Empty() {
+		t.Fatalf("arena New: len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Set(0)
+	s.Set(129)
+	u := a.New(130)
+	if !u.Empty() {
+		t.Fatal("second arena set shares storage with first")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("first arena set corrupted: count=%d", s.Count())
+	}
+	a.Release(m)
+	// Reused storage must come back cleared.
+	v := a.New(130)
+	if !v.Empty() {
+		t.Fatalf("reused arena set not cleared: %v", v)
+	}
+}
+
+func TestArenaAndCopy(t *testing.T) {
+	var a Arena
+	x := FromInts(70, 1, 3, 64, 69)
+	y := FromInts(70, 3, 64, 68)
+	m := a.Mark()
+	got := a.And(x, y)
+	if want := FromInts(70, 3, 64); !got.Equal(want) {
+		t.Fatalf("arena And = %v, want %v", got, want)
+	}
+	cp := a.Copy(x)
+	if !cp.Equal(x) {
+		t.Fatalf("arena Copy = %v, want %v", cp, x)
+	}
+	cp.Clear(1)
+	if !x.Test(1) {
+		t.Fatal("arena Copy aliases its source")
+	}
+	a.Release(m)
+}
+
+func TestArenaGrowthKeepsOuterSetsValid(t *testing.T) {
+	var a Arena
+	outer := a.New(64)
+	outer.Set(7)
+	m := a.Mark()
+	for i := 0; i < 200; i++ { // force words/sets slab growth
+		_ = a.New(64)
+	}
+	if !outer.Test(7) || outer.Count() != 1 {
+		t.Fatalf("outer set corrupted by growth: %v", outer)
+	}
+	a.Release(m)
+}
+
+func TestArenaSteadyStateZeroAllocs(t *testing.T) {
+	var a Arena
+	x := FromInts(256, 0, 100, 255)
+	y := FromInts(256, 100, 200)
+	cycle := func() {
+		m := a.Mark()
+		s := a.And(x, y)
+		_ = a.Copy(s)
+		_ = a.New(256)
+		a.Release(m)
+	}
+	cycle() // warm
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("arena steady-state cycle allocates %v times, want 0", n)
+	}
+}
+
+func TestDedupAddAndContains(t *testing.T) {
+	d := NewDedup()
+	a := FromInts(50, 1, 2, 3)
+	b := FromInts(50, 1, 2, 3)
+	c := FromInts(50, 4)
+	if !d.Add(a) {
+		t.Fatal("first Add reported duplicate")
+	}
+	if d.Add(b) {
+		t.Fatal("equal set reported as new")
+	}
+	if !d.Contains(b) || d.Contains(c) {
+		t.Fatal("Contains wrong")
+	}
+	if !d.Add(c) {
+		t.Fatal("distinct set reported duplicate")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+}
+
+// Equal-hash-different-content sets must still be distinguished: force the
+// fallback by inserting into the same bucket via a handcrafted collision
+// check against sets that happen to share a hash. (We cannot cheaply forge
+// an FNV collision, so instead verify the bucket scan compares content by
+// exercising many near-identical sets — any hash-only implementation would
+// collapse distinct sets with equal hashes; the Equal fallback is also
+// covered directly by the duplicate checks above.)
+func TestDedupManyDistinctSets(t *testing.T) {
+	d := NewDedup()
+	for i := 0; i < 300; i++ {
+		if !d.Add(FromInts(512, i, i+100)) {
+			t.Fatalf("set %d reported duplicate", i)
+		}
+	}
+	if d.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", d.Len())
+	}
+	for i := 0; i < 300; i++ {
+		if d.Add(FromInts(512, i, i+100)) {
+			t.Fatalf("re-adding set %d reported new", i)
+		}
+	}
+	if d.Len() != 300 {
+		t.Fatalf("Len after re-adds = %d, want 300", d.Len())
+	}
+}

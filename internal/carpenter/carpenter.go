@@ -13,6 +13,7 @@ package carpenter
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -92,24 +93,25 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 	var err error
 	for ri := 0; ri < n && err == nil; ri++ {
 		row := &d.Rows[ri]
-		tuples := make([]tuple, 0, len(row.Items))
-		for _, it := range row.Items {
+		mark := m.sc.A.Mark()
+		tuples := m.sc.A.Tup.Alloc(len(row.Items))
+		for i, it := range row.Items {
 			list := m.tt.Lists[it]
 			k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
-			tuples = append(tuples, tuple{item: it, rows: list[k:]})
+			tuples[i] = tuple{Item: it, Rows: list[k:]}
 		}
 		m.sc.InX.Set(ri)
 		err = m.mineNode(tuples, 1, ri)
 		m.sc.InX.Clear(ri)
+		m.sc.A.Release(mark)
 	}
 	searchDone()
 	return &Result{Nodes: ex.Stats.NodesVisited, Stats: ex.Stats}, err
 }
 
-type tuple struct {
-	item dataset.Item
-	rows []int32
-}
+// tuple is one row of a conditional transposed table, shared with the
+// engine so the tables live on the scratch arena.
+type tuple = engine.Tuple
 
 type miner struct {
 	d      *dataset.Dataset
@@ -137,38 +139,50 @@ func (m *miner) mineNode(tuples []tuple, count int, rmax int) error {
 		m.ex.Stats.PrunedBackScan++
 		return nil
 	}
+	// Everything from here on allocates on the arena and pops on unwind.
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
+
 	// Scan: occurrence counts over candidates; Y absorption (pruning 1).
 	ep := m.sc.NextEpoch()
 	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxInTuple := 0
+	distinct := 0
 	for _, t := range tuples {
-		if len(t.rows) > maxInTuple {
-			maxInTuple = len(t.rows)
+		if len(t.Rows) > maxInTuple {
+			maxInTuple = len(t.Rows)
 		}
-		for _, r := range t.rows {
+		for _, r := range t.Rows {
 			if stamp[r] != ep {
 				stamp[r] = ep
 				cnt[r] = 0
+				distinct++
 			}
 			cnt[r]++
 		}
 	}
-	var eRows, yRows []int32
+	// Classify the union into Y (in every tuple) and E′, packed into one
+	// arena buffer: E′ grows from the front, Y from the back.
+	union := m.sc.A.I32.Alloc(distinct)
+	ne, ny := 0, 0
 	for _, t := range tuples {
-		for _, r := range t.rows {
+		for _, r := range t.Rows {
 			if stamp[r] != ep || cnt[r] < 0 {
 				continue
 			}
 			if cnt[r] == ntup {
-				yRows = append(yRows, r)
+				ny++
+				union[distinct-ny] = r
 			} else {
-				eRows = append(eRows, r)
+				union[ne] = r
+				ne++
 			}
 			cnt[r] = -1
 		}
 	}
-	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+	eRows, yRows := union[:ne], union[ne:]
+	slices.Sort(eRows)
 	count += len(yRows)
 	m.ex.Stats.RowsAbsorbed += int64(len(yRows))
 
@@ -183,45 +197,69 @@ func (m *miner) mineNode(tuples []tuple, count int, rmax int) error {
 	for _, r := range yRows {
 		m.sc.InX.Set(int(r))
 	}
-	cleaned := make([][]int32, len(tuples))
+	cleaned := m.sc.A.Rows.Alloc(len(tuples))
 	if len(yRows) == 0 {
 		for i := range tuples {
-			cleaned[i] = tuples[i].rows
+			cleaned[i] = tuples[i].Rows
 		}
 	} else {
-		inY := make(map[int32]bool, len(yRows))
-		for _, r := range yRows {
-			inY[r] = true
-		}
+		slices.Sort(yRows)
+		total := 0
 		for i := range tuples {
-			dst := make([]int32, 0, len(tuples[i].rows))
-			for _, r := range tuples[i].rows {
-				if !inY[r] {
-					dst = append(dst, r)
+			total += len(tuples[i].Rows) - len(yRows) // Y is in every tuple
+		}
+		backing := m.sc.A.I32.Alloc(total)
+		w := 0
+		for i := range tuples {
+			start := w
+			yi := 0
+			for _, r := range tuples[i].Rows {
+				for yi < len(yRows) && yRows[yi] < r {
+					yi++
 				}
+				if yi < len(yRows) && yRows[yi] == r {
+					continue
+				}
+				backing[w] = r
+				w++
 			}
-			cleaned[i] = dst
+			cleaned[i] = backing[start:w:w]
 		}
 	}
 
-	// Children per remaining candidate, ascending.
+	// Children per remaining candidate, ascending. The tuple lists per
+	// candidate are laid out in one flat counted arena array; candidate
+	// positions come from binary search in the sorted eRows.
 	if len(eRows) > 0 {
-		posOf := make(map[int32]int32, len(eRows))
-		for i, r := range eRows {
-			posOf[r] = int32(i)
+		posOf := func(r int32) int {
+			return sort.Search(len(eRows), func(i int) bool { return eRows[i] >= r })
 		}
-		containing := make([][]int32, len(eRows))
+		counts := m.sc.A.I32.Alloc(len(eRows) + 1)
 		for ti := range cleaned {
 			for _, r := range cleaned[ti] {
-				containing[posOf[r]] = append(containing[posOf[r]], int32(ti))
+				counts[posOf(r)+1]++
 			}
 		}
+		for i := 1; i <= len(eRows); i++ {
+			counts[i] += counts[i-1]
+		}
+		flat := m.sc.A.I32.Alloc(int(counts[len(eRows)]))
+		fill := m.sc.A.I32.Alloc(len(eRows))
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				p := posOf(r)
+				flat[int(counts[p])+int(fill[p])] = int32(ti)
+				fill[p]++
+			}
+		}
+		childBacking := m.sc.A.Tup.Alloc(int(counts[len(eRows)]))
 		for p, r := range eRows {
-			child := make([]tuple, 0, len(containing[p]))
-			for _, ti := range containing[p] {
+			tis := flat[counts[p]:counts[p+1]]
+			child := childBacking[counts[p]:counts[p]:counts[p+1]]
+			for _, ti := range tis {
 				rows := cleaned[ti]
 				k := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
-				child = append(child, tuple{item: tuples[ti].item, rows: rows[k:]})
+				child = append(child, tuple{Item: tuples[ti].Item, Rows: rows[k:]})
 			}
 			m.sc.InX.Set(int(r))
 			err := m.mineNode(child, count+1, int(r))
@@ -240,9 +278,9 @@ func (m *miner) mineNode(tuples []tuple, count int, rmax int) error {
 		}
 		items := make([]dataset.Item, len(tuples))
 		for i, t := range tuples {
-			items[i] = t.item
+			items[i] = t.Item
 		}
-		sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+		slices.Sort(items)
 		m.ex.Stats.GroupsEmitted++
 		if m.emit != nil {
 			if err := m.emit(ClosedPattern{Items: items, Support: count, Rows: m.sc.InX.Ints()}); err != nil {
@@ -266,7 +304,7 @@ func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 	inX := m.sc.InX
 	ntup := int32(len(tuples))
 	for ti, t := range tuples {
-		glist := m.tt.Lists[t.item]
+		glist := m.tt.Lists[t.Item]
 		hitAny := false
 		for _, r := range glist {
 			if int(r) >= rmax {

@@ -13,6 +13,7 @@ package charm
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -126,6 +127,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 type itPair struct {
 	items []dataset.Item // the extension items beyond the inherited prefix
 	tids  *bitset.Set
+	sup   int  // cached tidset count (sort key)
 	dead  bool // removed by property 1
 }
 
@@ -136,6 +138,15 @@ type miner struct {
 	emit    func(ClosedSet) error
 	subsume map[uint64][]ClosedSet // tidset hash -> emitted sets
 	nodes   int64
+
+	// Per-node scratch: child tidsets, item unions, and the child pair
+	// headers all live on arenas marked at node entry and released on
+	// unwind, so the intersection step stops allocating once the slabs
+	// reach their high-water size. Emitted sets are cloned off the arena
+	// in maybeEmit.
+	ar    bitset.Arena
+	items engine.Slab[dataset.Item]
+	pairs engine.Slab[itPair]
 }
 
 // extend is CHARM-EXTEND over one sibling group.
@@ -151,55 +162,73 @@ func (m *miner) extend(nodes []itPair) error {
 		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
 			return ErrBudget
 		}
-		x := append([]dataset.Item(nil), nodes[i].items...)
-		xt := nodes[i].tids
-		var children []itPair
-		for j := i + 1; j < len(nodes); j++ {
-			if nodes[j].dead {
-				continue
-			}
-			// Count the intersection first; a tidset is allocated only for
-			// genuine children that survive the support check.
-			if xt.AndCount(nodes[j].tids) < m.opt.MinSup {
-				m.ex.Stats.PrunedTightBound++
-				continue
-			}
-			switch {
-			case xt.Equal(nodes[j].tids):
-				// Property 1: merge j into i, drop j.
-				x = mergeItems(x, nodes[j].items)
-				nodes[j].dead = true
-				m.ex.Stats.RowsAbsorbed++
-			case xt.SubsetOf(nodes[j].tids):
-				// Property 2: every occurrence of X is one of Xj.
-				x = mergeItems(x, nodes[j].items)
-				m.ex.Stats.RowsAbsorbed++
-			default:
-				// Properties 3 and 4: a genuine child.
-				inter := xt.Clone()
-				inter.And(nodes[j].tids)
-				children = append(children, itPair{items: append([]dataset.Item(nil), nodes[j].items...), tids: inter})
-			}
+		amark := m.ar.Mark()
+		imark := m.items.Mark()
+		pmark := m.pairs.Mark()
+		x, children := m.buildChildren(nodes, i)
+		err := m.extend(children)
+		if err == nil {
+			err = m.maybeEmit(x, nodes[i].tids)
 		}
-		// Children inherit the (possibly property-extended) prefix X.
-		for c := range children {
-			children[c].items = mergeItems(x, children[c].items)
-		}
-		sort.SliceStable(children, func(a, b int) bool {
-			sa, sb := children[a].tids.Count(), children[b].tids.Count()
-			if sa != sb {
-				return sa < sb
-			}
-			return lessItems(children[a].items, children[b].items)
-		})
-		if err := m.extend(children); err != nil {
-			return err
-		}
-		if err := m.maybeEmit(x, xt); err != nil {
+		m.pairs.Release(pmark)
+		m.items.Release(imark)
+		m.ar.Release(amark)
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// buildChildren is the intersection step of CHARM-EXTEND for nodes[i]: it
+// applies the four tidset-containment properties against every later
+// sibling and returns the (possibly property-extended) itemset X together
+// with the surviving children, support-ordered. Everything it returns
+// lives on the miner's arenas under the caller's marks.
+func (m *miner) buildChildren(nodes []itPair, i int) ([]dataset.Item, []itPair) {
+	x := m.items.Alloc(len(nodes[i].items))
+	copy(x, nodes[i].items)
+	xt := nodes[i].tids
+	children := m.pairs.Alloc(len(nodes) - i - 1)[:0]
+	for j := i + 1; j < len(nodes); j++ {
+		if nodes[j].dead {
+			continue
+		}
+		// Count the intersection first; a tidset is materialized only for
+		// genuine children that survive the support check.
+		sup := xt.AndCount(nodes[j].tids)
+		if sup < m.opt.MinSup {
+			m.ex.Stats.PrunedTightBound++
+			continue
+		}
+		switch {
+		case xt.Equal(nodes[j].tids):
+			// Property 1: merge j into i, drop j.
+			x = m.mergeItems(x, nodes[j].items)
+			nodes[j].dead = true
+			m.ex.Stats.RowsAbsorbed++
+		case xt.SubsetOf(nodes[j].tids):
+			// Property 2: every occurrence of X is one of Xj.
+			x = m.mergeItems(x, nodes[j].items)
+			m.ex.Stats.RowsAbsorbed++
+		default:
+			// Properties 3 and 4: a genuine child. The extension items are
+			// borrowed from the sibling until the prefix union below.
+			children = append(children, itPair{items: nodes[j].items, tids: m.ar.And(xt, nodes[j].tids), sup: sup})
+		}
+	}
+	// Children inherit the (possibly property-extended) prefix X, which is
+	// final only now — properties 1/2 may extend it after a child was cut.
+	for c := range children {
+		children[c].items = m.mergeItems(x, children[c].items)
+	}
+	slices.SortStableFunc(children, func(a, b itPair) int {
+		if a.sup != b.sup {
+			return a.sup - b.sup
+		}
+		return cmpItems(a.items, b.items)
+	})
+	return x, children
 }
 
 // maybeEmit delivers X unless it is subsumed by an already-closed set with
@@ -210,7 +239,7 @@ func (m *miner) maybeEmit(items []dataset.Item, tids *bitset.Set) error {
 		return err // no deliveries after cancellation, even on unwind
 	}
 	sorted := append([]dataset.Item(nil), items...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	slices.Sort(sorted)
 	h := tids.Hash()
 	for _, c := range m.subsume[h] {
 		m.nodes++ // comparisons count toward the work budget
@@ -228,19 +257,29 @@ func (m *miner) maybeEmit(items []dataset.Item, tids *bitset.Set) error {
 	return nil
 }
 
-// mergeItems returns the sorted union of two item slices.
-func mergeItems(a, b []dataset.Item) []dataset.Item {
-	out := make([]dataset.Item, 0, len(a)+len(b))
-	out = append(out, a...)
-	out = append(out, b...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	dst := out[:0]
-	for i, v := range out {
-		if i == 0 || v != out[i-1] {
-			dst = append(dst, v)
+// mergeItems returns the sorted union of two sorted item slices, allocated
+// on the items slab (both inputs stay valid; the old a leaks until the
+// node's release, which the stack discipline bounds by tree depth).
+func (m *miner) mergeItems(a, b []dataset.Item) []dataset.Item {
+	out := m.items.Alloc(len(a) + len(b))
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out[k] = a[i]
+			i++
+		case a[i] > b[j]:
+			out[k] = b[j]
+			j++
+		default:
+			out[k] = a[i]
+			i, j = i+1, j+1
 		}
+		k++
 	}
-	return dst
+	k += copy(out[k:], a[i:])
+	k += copy(out[k:], b[j:])
+	return out[:k]
 }
 
 // containsAll reports whether sorted slice a contains every element of
@@ -259,11 +298,14 @@ func containsAll(a, b []dataset.Item) bool {
 	return true
 }
 
-func lessItems(a, b []dataset.Item) bool {
+func lessItems(a, b []dataset.Item) bool { return cmpItems(a, b) < 0 }
+
+// cmpItems orders item slices lexicographically, shorter-first on ties.
+func cmpItems(a, b []dataset.Item) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			return int(a[i]) - int(b[i])
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }

@@ -8,6 +8,7 @@ package closet
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -105,19 +106,22 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	for i, it := range frequent {
 		rank[it] = i
 	}
-	m.rank = rank
+	m.frequent = frequent
+	m.nranks = len(frequent)
 
-	// Build the initial tree over frequent items in rank order.
-	tr := newTree()
-	buf := make([]dataset.Item, 0, 64)
+	// Build the initial tree over frequent items in rank order. The tree
+	// works in rank space throughout: per-item chains and counts are
+	// rank-indexed arrays, not maps.
+	tr := m.newTree()
+	buf := make([]int32, 0, 64)
 	for _, r := range d.Rows {
 		buf = buf[:0]
 		for _, it := range r.Items {
-			if _, ok := rank[it]; ok {
-				buf = append(buf, it)
+			if rk, ok := rank[it]; ok {
+				buf = append(buf, int32(rk))
 			}
 		}
-		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		slices.Sort(buf)
 		tr.insert(buf, 1)
 	}
 	setupDone()
@@ -135,10 +139,22 @@ type miner struct {
 	opt       Options
 	ex        *engine.Exec
 	emitFn    func(ClosedSet) error
-	rank      map[dataset.Item]int // global FP-tree rank (0 = most frequent)
+	frequent  []dataset.Item // rank -> item (rank 0 = most frequent)
+	nranks    int
 	out       []ClosedSet
 	bySupport map[int][]int // support -> indices into out, for subsumption
 	nodes     int64
+
+	// Slab arenas behind the conditional trees: node storage, the
+	// rank-indexed head/count arrays, the path scratch, and the item-merge
+	// buffer. Each child's conditional tree is built under a mark taken in
+	// the parent's loop and released when its subtree returns, so tree
+	// construction stops allocating once the slabs reach high water.
+	nodesSlab engine.Slab[node]
+	headsSlab engine.Slab[*node]
+	intsSlab  engine.Slab[int]
+	rankSlab  engine.Slab[int32]
+	itemsSlab engine.Slab[dataset.Item]
 }
 
 // mine processes the conditional FP-tree of prefix (whose own support is
@@ -155,19 +171,18 @@ func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
 
 	// Item merging: items occurring in every transaction of the base join
 	// the closure directly.
-	var merged []dataset.Item
-	var rest []dataset.Item
-	for it, c := range tr.counts {
-		if c == prefixSup {
-			merged = append(merged, it)
-		} else if c >= m.opt.MinSup {
-			rest = append(rest, it)
+	immark := m.itemsSlab.Mark()
+	merged := m.itemsSlab.Alloc(m.nranks)[:0]
+	for r := 0; r < m.nranks; r++ {
+		if c := tr.counts[r]; c > 0 && c == prefixSup {
+			merged = append(merged, m.frequent[r])
 		}
 	}
 	if len(merged) > 0 {
 		m.ex.Stats.RowsAbsorbed += int64(len(merged))
 	}
 	closedCand := mergeItems(prefix, merged)
+	m.itemsSlab.Release(immark)
 	if len(closedCand) > 0 && prefixSup >= m.opt.MinSup {
 		if err := m.emit(closedCand, prefixSup); err != nil {
 			return err
@@ -178,21 +193,32 @@ func (m *miner) mine(prefix []dataset.Item, prefixSup int, tr *tree) error {
 	// order (bottom-up). This ordering is what makes the subsumption check
 	// sound: a non-closed candidate's closed superset is always discovered
 	// in an earlier branch.
-	sort.Slice(rest, func(i, j int) bool { return m.rank[rest[i]] > m.rank[rest[j]] })
-	for _, it := range rest {
+	for r := m.nranks - 1; r >= 0; r-- {
+		sup := tr.counts[r]
+		if sup < m.opt.MinSup || sup == prefixSup {
+			continue
+		}
 		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
 			return ErrBudget
 		}
-		sup := tr.counts[it]
-		childPrefix := mergeItems(closedCand, []dataset.Item{it})
+		childPrefix := mergeItems(closedCand, []dataset.Item{m.frequent[r]})
 		// Subsumption pruning: an existing closed superset with the same
 		// support proves the whole branch is redundant.
 		if m.subsumed(childPrefix, sup) {
 			m.ex.Stats.PrunedBackScan++
 			continue
 		}
-		child := tr.conditional(it, m.opt.MinSup)
-		if err := m.mine(childPrefix, sup, child); err != nil {
+		nmark := m.nodesSlab.Mark()
+		hmark := m.headsSlab.Mark()
+		imark := m.intsSlab.Mark()
+		rmark := m.rankSlab.Mark()
+		child := tr.conditional(int32(r), m.opt.MinSup)
+		err := m.mine(childPrefix, sup, child)
+		m.rankSlab.Release(rmark)
+		m.intsSlab.Release(imark)
+		m.headsSlab.Release(hmark)
+		m.nodesSlab.Release(nmark)
+		if err != nil {
 			return err
 		}
 	}
@@ -227,68 +253,74 @@ func (m *miner) subsumed(items []dataset.Item, sup int) bool {
 	return false
 }
 
-// tree is an FP-tree: prefix-shared transaction storage with per-item node
-// chains for conditional projection.
+// tree is an FP-tree over item RANKS: prefix-shared transaction storage
+// with per-rank node chains for conditional projection. All storage comes
+// from the owning miner's slabs.
 type tree struct {
+	m      *miner
 	root   *node
-	heads  map[dataset.Item]*node
-	counts map[dataset.Item]int
+	heads  []*node // rank -> first node carrying that rank
+	counts []int   // rank -> conditional support
 }
 
 type node struct {
-	item    dataset.Item
+	rank    int32
 	count   int
 	parent  *node
 	child   *node // first child
 	sibling *node // next sibling
-	hlink   *node // next node with the same item
+	hlink   *node // next node with the same rank
 }
 
-func newTree() *tree {
-	return &tree{root: &node{item: -1}, heads: map[dataset.Item]*node{}, counts: map[dataset.Item]int{}}
+func (m *miner) newTree() *tree {
+	root := m.nodesSlab.One()
+	root.rank = -1
+	return &tree{m: m, root: root, heads: m.headsSlab.Alloc(m.nranks), counts: m.intsSlab.Alloc(m.nranks)}
 }
 
-// insert adds one transaction (items in tree order) with the given count.
-func (t *tree) insert(items []dataset.Item, count int) {
+// insert adds one transaction (ranks ascending) with the given count.
+func (t *tree) insert(ranks []int32, count int) {
 	cur := t.root
-	for _, it := range items {
+	for _, rk := range ranks {
 		var ch *node
 		for c := cur.child; c != nil; c = c.sibling {
-			if c.item == it {
+			if c.rank == rk {
 				ch = c
 				break
 			}
 		}
 		if ch == nil {
-			ch = &node{item: it, count: 0, parent: cur}
+			ch = t.m.nodesSlab.One()
+			ch.rank = rk
+			ch.parent = cur
 			ch.sibling = cur.child
 			cur.child = ch
-			ch.hlink = t.heads[it]
-			t.heads[it] = ch
+			ch.hlink = t.heads[rk]
+			t.heads[rk] = ch
 		}
 		ch.count += count
-		t.counts[it] += count
+		t.counts[rk] += count
 		cur = ch
 	}
 }
 
-// conditional builds the conditional FP-tree of item it: the prefix paths
+// conditional builds the conditional FP-tree of rank rk: the prefix paths
 // of every node carrying it, with infrequent items stripped.
-func (t *tree) conditional(it dataset.Item, minsup int) *tree {
+func (t *tree) conditional(rk int32, minsup int) *tree {
 	// First pass: conditional frequencies.
-	condFreq := map[dataset.Item]int{}
-	for n := t.heads[it]; n != nil; n = n.hlink {
-		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
-			condFreq[p.item] += n.count
+	condFreq := t.m.intsSlab.Alloc(t.m.nranks)
+	for n := t.heads[rk]; n != nil; n = n.hlink {
+		for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
+			condFreq[p.rank] += n.count
 		}
 	}
-	out := newTree()
-	var path []dataset.Item
-	for n := t.heads[it]; n != nil; n = n.hlink {
+	out := t.m.newTree()
+	path := t.m.rankSlab.Alloc(t.m.nranks)[:0]
+	for n := t.heads[rk]; n != nil; n = n.hlink {
 		path = path[:0]
-		for p := n.parent; p != nil && p.item >= 0; p = p.parent {
-			if condFreq[p.item] >= minsup {
-				path = append(path, p.item)
+		for p := n.parent; p != nil && p.rank >= 0; p = p.parent {
+			if condFreq[p.rank] >= minsup {
+				path = append(path, p.rank)
 			}
 		}
 		// path is leaf-to-root; reverse to root-to-leaf insertion order.
@@ -304,7 +336,7 @@ func mergeItems(a, b []dataset.Item) []dataset.Item {
 	out := make([]dataset.Item, 0, len(a)+len(b))
 	out = append(out, a...)
 	out = append(out, b...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	dst := out[:0]
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {

@@ -20,6 +20,7 @@ package cobbler
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -105,7 +106,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 		opt:    opt,
 		ex:     ex,
 		emitFn: onPattern,
-		seen:   map[uint64][]*bitset.Set{},
+		seen:   bitset.NewDedup(),
 		fullTi: make([]*bitset.Set, d.NumItems),
 	}
 	for it := 0; it < d.NumItems; it++ {
@@ -119,8 +120,8 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 
 	var roots []itPair
 	for it := 0; it < d.NumItems; it++ {
-		if m.fullTi[it].Count() >= opt.MinSup {
-			roots = append(roots, itPair{items: []dataset.Item{dataset.Item(it)}, tids: m.fullTi[it]})
+		if sup := m.fullTi[it].Count(); sup >= opt.MinSup {
+			roots = append(roots, itPair{items: []dataset.Item{dataset.Item(it)}, tids: m.fullTi[it], sup: sup})
 		}
 	}
 	sortPairs(roots)
@@ -152,16 +153,16 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 type itPair struct {
 	items []dataset.Item
 	tids  *bitset.Set
+	sup   int // cached tidset count (sort key)
 	dead  bool
 }
 
 func sortPairs(ps []itPair) {
-	sort.SliceStable(ps, func(i, j int) bool {
-		si, sj := ps[i].tids.Count(), ps[j].tids.Count()
-		if si != sj {
-			return si < sj
+	slices.SortStableFunc(ps, func(a, b itPair) int {
+		if a.sup != b.sup {
+			return a.sup - b.sup
 		}
-		return lessItems(ps[i].items, ps[j].items)
+		return cmpItems(a.items, b.items)
 	})
 }
 
@@ -174,7 +175,15 @@ type miner struct {
 	ex     *engine.Exec
 	emitFn func(ClosedPattern) error
 
-	seen map[uint64][]*bitset.Set // emitted closed row sets
+	seen *bitset.Dedup // emitted closed row sets
+
+	// Per-node scratch for both enumeration modes: child tidsets and
+	// closure computations on the bitset arena, item unions and pair
+	// headers on the slabs, all marked at node entry and released on
+	// unwind. emit clones whatever escapes into the dedup store.
+	ar    bitset.Arena
+	items engine.Slab[dataset.Item]
+	pairs engine.Slab[itPair]
 
 	rowNodes  int64
 	featNodes int64
@@ -261,55 +270,62 @@ func (m *miner) featureEnumerate(nodes []itPair) error {
 			return err
 		}
 		m.featNodes++
-		x := append([]dataset.Item(nil), nodes[i].items...)
+		amark := m.ar.Mark()
+		imark := m.items.Mark()
+		pmark := m.pairs.Mark()
+		x := m.items.Alloc(len(nodes[i].items))
+		copy(x, nodes[i].items)
 		xt := nodes[i].tids
-		var children []itPair
+		children := m.pairs.Alloc(len(nodes) - i - 1)[:0]
 		for j := i + 1; j < len(nodes); j++ {
 			if nodes[j].dead {
 				continue
 			}
-			// Count first; a tidset is allocated only for genuine children
-			// that survive the support check.
-			if xt.AndCount(nodes[j].tids) < m.opt.MinSup {
+			// Count first; a tidset is materialized only for genuine
+			// children that survive the support check.
+			sup := xt.AndCount(nodes[j].tids)
+			if sup < m.opt.MinSup {
 				m.ex.Stats.PrunedTightBound++
 				continue
 			}
 			switch {
 			case xt.Equal(nodes[j].tids):
-				x = mergeItems(x, nodes[j].items)
+				x = m.mergeItems(x, nodes[j].items)
 				nodes[j].dead = true
 				m.ex.Stats.RowsAbsorbed++
 			case xt.SubsetOf(nodes[j].tids):
-				x = mergeItems(x, nodes[j].items)
+				x = m.mergeItems(x, nodes[j].items)
 				m.ex.Stats.RowsAbsorbed++
 			default:
-				inter := xt.Clone()
-				inter.And(nodes[j].tids)
-				children = append(children, itPair{
-					items: append([]dataset.Item(nil), nodes[j].items...),
-					tids:  inter,
-				})
+				// The extension items are borrowed from the sibling until
+				// the prefix union below.
+				children = append(children, itPair{items: nodes[j].items, tids: m.ar.And(xt, nodes[j].tids), sup: sup})
 			}
 		}
+		// Children inherit the (possibly property-extended) prefix X, which
+		// is final only now.
 		for c := range children {
-			children[c].items = mergeItems(x, children[c].items)
+			children[c].items = m.mergeItems(x, children[c].items)
 		}
 		sortPairs(children)
+		err := error(nil)
 		if len(children) > 0 {
 			if m.pickMode(xt, children) == "row" {
 				m.switches++
 				// The row enumerator over xt covers every closed pattern
 				// whose rows lie inside xt — a superset of this subtree.
-				if err := m.rowEnumerate(xt); err != nil {
-					return err
-				}
+				err = m.rowEnumerate(xt)
 			} else {
-				if err := m.featureEnumerate(children); err != nil {
-					return err
-				}
+				err = m.featureEnumerate(children)
 			}
 		}
-		if err := m.emitRowsOfItems(x, xt); err != nil {
+		if err == nil {
+			err = m.emitRowsOfItems(x, xt)
+		}
+		m.pairs.Release(pmark)
+		m.items.Release(imark)
+		m.ar.Release(amark)
+		if err != nil {
 			return err
 		}
 	}
@@ -328,11 +344,15 @@ func (m *miner) rowEnumerate(tids *bitset.Set) error {
 		}
 		m.rowNodes++
 		if depth >= m.opt.MinSup && len(common) > 0 {
+			amark := m.ar.Mark()
 			closure := m.rowsOf(common)
+			err := error(nil)
 			if closure.Count() >= m.opt.MinSup {
-				if err := m.emit(closure, common); err != nil {
-					return err
-				}
+				err = m.emit(closure, common)
+			}
+			m.ar.Release(amark)
+			if err != nil {
+				return err
 			}
 		}
 		if depth+(len(rows)-idx) < m.opt.MinSup {
@@ -340,11 +360,15 @@ func (m *miner) rowEnumerate(tids *bitset.Set) error {
 			return nil // even taking every remaining row cannot reach minsup
 		}
 		for k := idx; k < len(rows); k++ {
-			next := intersectWithRow(common, &m.d.Rows[rows[k]], depth == 0)
+			imark := m.items.Mark()
+			next := m.intersectWithRow(common, &m.d.Rows[rows[k]], depth == 0)
 			if len(next) == 0 {
+				m.items.Release(imark)
 				continue
 			}
-			if err := rec(k+1, depth+1, next); err != nil {
+			err := rec(k+1, depth+1, next)
+			m.items.Release(imark)
+			if err != nil {
 				return err
 			}
 		}
@@ -353,9 +377,10 @@ func (m *miner) rowEnumerate(tids *bitset.Set) error {
 	return rec(0, 0, nil)
 }
 
-// rowsOf intersects the tidsets of the given items.
+// rowsOf intersects the tidsets of the given items. The result lives on
+// the bitset arena under the caller's mark.
 func (m *miner) rowsOf(items []dataset.Item) *bitset.Set {
-	out := m.fullTi[items[0]].Clone()
+	out := m.ar.Copy(m.fullTi[items[0]])
 	for _, it := range items[1:] {
 		out.And(m.fullTi[it])
 	}
@@ -373,6 +398,8 @@ func (m *miner) emitRowsOfItems(items []dataset.Item, tids *bitset.Set) error {
 	if len(closure) == 0 {
 		return nil
 	}
+	amark := m.ar.Mark()
+	defer m.ar.Release(amark)
 	rows := m.rowsOf(closure)
 	if rows.Count() < m.opt.MinSup {
 		return nil
@@ -387,16 +414,13 @@ func (m *miner) emit(rows *bitset.Set, items []dataset.Item) error {
 	if err := m.ex.Err(); err != nil {
 		return err // no deliveries after cancellation, even on unwind
 	}
-	h := rows.Hash()
-	for _, prev := range m.seen[h] {
-		if prev.Equal(rows) {
-			m.ex.Stats.GroupsNotInterest++
-			return nil
-		}
+	if m.seen.Contains(rows) {
+		m.ex.Stats.GroupsNotInterest++
+		return nil
 	}
-	m.seen[h] = append(m.seen[h], rows.Clone())
+	m.seen.Add(rows.Clone())
 	sorted := append([]dataset.Item(nil), items...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	slices.Sort(sorted)
 	m.ex.Stats.GroupsEmitted++
 	if m.emitFn != nil {
 		return m.emitFn(ClosedPattern{Items: sorted, Support: rows.Count()})
@@ -404,14 +428,15 @@ func (m *miner) emit(rows *bitset.Set, items []dataset.Item) error {
 	return nil
 }
 
-// intersectWithRow intersects a sorted itemset with a row's items; when
-// first is true the row's items are taken as the initial set.
-func intersectWithRow(common []dataset.Item, r *dataset.Row, first bool) []dataset.Item {
+// intersectWithRow intersects a sorted itemset with a row's items, on the
+// items slab under the caller's mark; when first is true the row's items
+// are borrowed as the initial set.
+func (m *miner) intersectWithRow(common []dataset.Item, r *dataset.Row, first bool) []dataset.Item {
 	if first {
 		return r.Items
 	}
-	out := make([]dataset.Item, 0, len(common))
-	i, j := 0, 0
+	out := m.items.Alloc(len(common))
+	i, j, k := 0, 0, 0
 	for i < len(common) && j < len(r.Items) {
 		switch {
 		case common[i] < r.Items[j]:
@@ -419,33 +444,48 @@ func intersectWithRow(common []dataset.Item, r *dataset.Row, first bool) []datas
 		case common[i] > r.Items[j]:
 			j++
 		default:
-			out = append(out, common[i])
+			out[k] = common[i]
+			k++
 			i++
 			j++
 		}
 	}
-	return out
+	return out[:k]
 }
 
-func mergeItems(a, b []dataset.Item) []dataset.Item {
-	out := make([]dataset.Item, 0, len(a)+len(b))
-	out = append(out, a...)
-	out = append(out, b...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	dst := out[:0]
-	for i, v := range out {
-		if i == 0 || v != out[i-1] {
-			dst = append(dst, v)
+// mergeItems returns the sorted union of two sorted item slices, allocated
+// on the items slab (both inputs stay valid; the old a leaks until the
+// node's release, which the stack discipline bounds by tree depth).
+func (m *miner) mergeItems(a, b []dataset.Item) []dataset.Item {
+	out := m.items.Alloc(len(a) + len(b))
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out[k] = a[i]
+			i++
+		case a[i] > b[j]:
+			out[k] = b[j]
+			j++
+		default:
+			out[k] = a[i]
+			i, j = i+1, j+1
 		}
+		k++
 	}
-	return dst
+	k += copy(out[k:], a[i:])
+	k += copy(out[k:], b[j:])
+	return out[:k]
 }
 
-func lessItems(a, b []dataset.Item) bool {
+func lessItems(a, b []dataset.Item) bool { return cmpItems(a, b) < 0 }
+
+// cmpItems orders item slices lexicographically, shorter-first on ties.
+func cmpItems(a, b []dataset.Item) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			return int(a[i]) - int(b[i])
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }

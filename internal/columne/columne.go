@@ -14,6 +14,7 @@ package columne
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -191,6 +192,13 @@ type miner struct {
 	// resolved after enumeration.
 	cands  []candidate
 	byHash map[uint64][]int
+
+	// ar and items back the enumeration path: the current tidset and the
+	// growing antecedent live on arenas marked per extension and released
+	// when its subtree returns. record clones whatever escapes into the
+	// candidate store.
+	ar    bitset.Arena
+	items engine.Slab[dataset.Item]
 }
 
 // expand grows the current antecedent by each viable extension in turn.
@@ -203,8 +211,8 @@ func (m *miner) expand(items []dataset.Item, tids *bitset.Set, exts []extension)
 		if m.opt.MaxNodes > 0 && m.nodes > m.opt.MaxNodes {
 			return ErrBudget
 		}
-		// Intersect into scratch first; the tidset is cloned only after the
-		// anti-monotone support check passes.
+		// Intersect into scratch first; the tidset is copied onto the
+		// arena only after the anti-monotone support check passes.
 		var cur *bitset.Set
 		if tids == nil {
 			cur = e.tids
@@ -217,13 +225,20 @@ func (m *miner) expand(items []dataset.Item, tids *bitset.Set, exts []extension)
 			m.ex.Stats.PrunedTightBound++
 			continue // anti-monotone: no superset can recover support
 		}
+		amark := m.ar.Mark()
+		imark := m.items.Mark()
 		if cur == m.sc.Tmp {
-			cur = m.sc.Tmp.Clone()
+			cur = m.ar.Copy(m.sc.Tmp)
 		}
-		cand := append(append([]dataset.Item(nil), items...), e.item)
+		cand := m.items.Alloc(len(items) + 1)
+		copy(cand, items)
+		cand[len(items)] = e.item
 		m.record(cand, cur, pos)
 		// Children reuse the later extensions (set-enumeration tree).
-		if err := m.expand(cand, cur, exts[i+1:]); err != nil {
+		err := m.expand(cand, cur, exts[i+1:])
+		m.items.Release(imark)
+		m.ar.Release(amark)
+		if err != nil {
 			return err
 		}
 	}
@@ -249,7 +264,7 @@ func (m *miner) record(items []dataset.Item, rows *bitset.Set, pos int) {
 	}
 	m.byHash[h] = append(m.byHash[h], len(m.cands))
 	sorted := append([]dataset.Item(nil), items...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	slices.Sort(sorted)
 	m.cands = append(m.cands, candidate{items: sorted, rows: rows.Clone(), supPos: pos, tot: tot})
 }
 

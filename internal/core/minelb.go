@@ -90,7 +90,7 @@ func MineLowerBoundsContext(ctx context.Context, d *dataset.Dataset, a []dataset
 			continue // A' covers no current lower bound: Γ unchanged
 		}
 		// Candidates: l1 ∪ {i} for l1 ∈ Γ1 and i ∈ A − A'.
-		seen := map[uint64][]*bitset.Set{}
+		seen := bitset.NewDedup()
 		var cands []*bitset.Set
 		for _, l1 := range g1 {
 			for i := 0; i < k; i++ {
@@ -99,16 +99,7 @@ func MineLowerBoundsContext(ctx context.Context, d *dataset.Dataset, a []dataset
 				}
 				c := l1.Clone()
 				c.Set(i)
-				h := c.Hash()
-				dup := false
-				for _, prev := range seen[h] {
-					if prev.Equal(c) {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					seen[h] = append(seen[h], c)
+				if seen.Add(c) {
 					cands = append(cands, c)
 				}
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -101,12 +102,10 @@ func (m *miner) materialize(e *irgEntry, ord *dataset.Ordering) RuleGroup {
 }
 
 // tuple is one row of a conditional transposed table: an item together with
-// the enumeration-candidate rows it contains at the current node. The slice
-// is a view into an ancestor's storage and is never mutated.
-type tuple struct {
-	item dataset.Item
-	rows []int32
-}
+// the enumeration-candidate rows it contains at the current node. The Rows
+// slice is a view into an ancestor's storage and is never mutated. It is
+// the engine's shared Tuple so conditional tables live on the engine arena.
+type tuple = engine.Tuple
 
 type miner struct {
 	ds     *dataset.Dataset
@@ -135,8 +134,11 @@ type miner struct {
 	// not just a count: a pair task can rediscover a group that another task
 	// already found (the sequential traversal absorbs the second node via
 	// pruning 1), so rejection events over-count — only the set of distinct
-	// rejected row sets is scheduling-independent.
+	// rejected row sets is scheduling-independent. rejectedSeen dedups the
+	// events worker-locally, so each distinct row set is Cloned once per
+	// worker instead of once per rediscovery.
 	recordRejected bool
+	rejectedSeen   *bitset.Dedup
 	rejectedRows   []*bitset.Set
 
 	// emit, when non-nil, streams each kept group out at the moment step 7
@@ -167,14 +169,15 @@ func newMiner(d *dataset.Dataset, numPos int, opt Options, ex *engine.Exec) *min
 
 // rootTuples builds the conditional transposed table of root node {ri}: one
 // tuple per item of row ri, with the item's global occurrences after ri as
-// candidates.
+// candidates. The table lives on the arena; the caller owns the enclosing
+// mark.
 func (m *miner) rootTuples(ri int) []tuple {
 	row := &m.ds.Rows[ri]
-	tuples := make([]tuple, 0, len(row.Items))
-	for _, it := range row.Items {
+	tuples := m.sc.A.Tup.Alloc(len(row.Items))
+	for i, it := range row.Items {
 		list := m.tt.Lists[it]
 		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(ri) })
-		tuples = append(tuples, tuple{item: it, rows: list[k:]})
+		tuples[i] = tuple{Item: it, Rows: list[k:]}
 	}
 	return tuples
 }
@@ -186,6 +189,7 @@ func (m *miner) run() error {
 		return nil
 	}
 	for ri := 0; ri < m.n; ri++ {
+		mark := m.sc.A.Mark()
 		tuples := m.rootTuples(ri)
 		supp, supn := 0, 0
 		if ri < m.numPos {
@@ -200,6 +204,7 @@ func (m *miner) run() error {
 		m.sc.InX.Set(ri)
 		err := m.mineNode(tuples, supp, supn, epCount, ri)
 		m.sc.InX.Clear(ri)
+		m.sc.A.Release(mark)
 		if err != nil {
 			return err
 		}
@@ -250,6 +255,10 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 		}
 	}
 
+	// Everything from here on allocates on the arena and pops on unwind.
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
+
 	// Step 3 — scan the conditional table: per-candidate occurrence counts,
 	// the U set (rows in ≥1 tuple), the Y set (rows in every tuple), and
 	// the per-tuple positive-candidate maximum for Us1.
@@ -257,41 +266,46 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxPosInTuple := 0
+	distinct := 0
 	for _, t := range tuples {
-		if len(t.rows) == 0 {
+		if len(t.Rows) == 0 {
 			continue
 		}
 		// Candidates are sorted with positives (< numPos) first.
-		if pos := sort.Search(len(t.rows), func(i int) bool { return t.rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
+		if pos := sort.Search(len(t.Rows), func(i int) bool { return t.Rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
 			maxPosInTuple = pos
 		}
-		for _, r := range t.rows {
+		for _, r := range t.Rows {
 			if stamp[r] != ep {
 				stamp[r] = ep
 				cnt[r] = 0
+				distinct++
 			}
 			cnt[r]++
 		}
 	}
 
-	// Classify the union U into Y (in every tuple) and E' = U − Y.
+	// Classify the union U into Y (in every tuple) and E' = U − Y, packed
+	// into one arena buffer: E' grows from the front, Y from the back.
 	// With pruning 1 disabled, Y rows stay ordinary candidates, the node's
 	// counts exclude them, and the node must not emit: its row set is not
 	// closed, and the fully explicit descendant will report the group.
-	var eRows []int32
-	var yRows []int32
+	union := m.sc.A.I32.Alloc(distinct)
+	ne, ny := 0, 0
 	yPos, yNeg := 0, 0
 	for _, t := range tuples {
-		for _, r := range t.rows {
+		for _, r := range t.Rows {
 			if stamp[r] != ep || cnt[r] < 0 {
 				continue // already classified
 			}
 			if cnt[r] == ntup {
 				if m.opt.DisablePruning1 {
 					emitOK = false
-					eRows = append(eRows, r)
+					union[ne] = r
+					ne++
 				} else {
-					yRows = append(yRows, r)
+					ny++
+					union[distinct-ny] = r
 					if int(r) < m.numPos {
 						yPos++
 					} else {
@@ -299,12 +313,14 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 					}
 				}
 			} else {
-				eRows = append(eRows, r)
+				union[ne] = r
+				ne++
 			}
 			cnt[r] = -1 // classified
 		}
 	}
-	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+	eRows, yRows := union[:ne], union[ne:]
+	slices.Sort(eRows)
 
 	m.ex.Stats.RowsAbsorbed += int64(len(yRows))
 	suppIn := supp // γ'.sup plus this node's chosen row, per the Us1 formula
@@ -349,31 +365,33 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 	for _, r := range yRows {
 		m.sc.InX.Set(int(r))
 	}
-	cleaned := make([][]int32, len(tuples))
+	cleaned := m.sc.A.Rows.Alloc(len(tuples))
 	if len(yRows) == 0 {
 		for i := range tuples {
-			cleaned[i] = tuples[i].rows
+			cleaned[i] = tuples[i].Rows
 		}
 	} else {
-		sort.Slice(yRows, func(a, b int) bool { return yRows[a] < yRows[b] })
+		slices.Sort(yRows)
 		total := 0
 		for i := range tuples {
-			total += len(tuples[i].rows) - len(yRows) // Y is in every tuple
+			total += len(tuples[i].Rows) - len(yRows) // Y is in every tuple
 		}
-		backing := make([]int32, 0, total)
+		backing := m.sc.A.I32.Alloc(total)
+		w := 0
 		for i := range tuples {
-			start := len(backing)
+			start := w
 			yi := 0
-			for _, r := range tuples[i].rows {
+			for _, r := range tuples[i].Rows {
 				for yi < len(yRows) && yRows[yi] < r {
 					yi++
 				}
 				if yi < len(yRows) && yRows[yi] == r {
 					continue
 				}
-				backing = append(backing, r)
+				backing[w] = r
+				w++
 			}
-			cleaned[i] = backing[start:len(backing):len(backing)]
+			cleaned[i] = backing[start:w:w]
 		}
 	}
 
@@ -386,7 +404,7 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 		posOf := func(r int32) int {
 			return sort.Search(len(eRows), func(i int) bool { return eRows[i] >= r })
 		}
-		counts := make([]int32, len(eRows)+1)
+		counts := m.sc.A.I32.Alloc(len(eRows) + 1)
 		for ti := range cleaned {
 			for _, r := range cleaned[ti] {
 				counts[posOf(r)+1]++
@@ -395,8 +413,8 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 		for i := 1; i <= len(eRows); i++ {
 			counts[i] += counts[i-1]
 		}
-		flat := make([]int32, counts[len(eRows)])
-		fill := make([]int32, len(eRows))
+		flat := m.sc.A.I32.Alloc(int(counts[len(eRows)]))
+		fill := m.sc.A.I32.Alloc(len(eRows))
 		for ti := range cleaned {
 			for _, r := range cleaned[ti] {
 				p := posOf(r)
@@ -405,14 +423,14 @@ func (m *miner) mineNode(tuples []tuple, supp, supn, epCount int, rmax int) erro
 			}
 		}
 		posBoundary := sort.Search(len(eRows), func(i int) bool { return eRows[i] >= int32(m.numPos) })
-		childBacking := make([]tuple, counts[len(eRows)])
+		childBacking := m.sc.A.Tup.Alloc(int(counts[len(eRows)]))
 		for p, r := range eRows {
 			tis := flat[counts[p]:counts[p+1]]
 			child := childBacking[counts[p]:counts[p]:counts[p+1]]
 			for _, ti := range tis {
 				rows := cleaned[ti]
 				k := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
-				child = append(child, tuple{item: tuples[ti].item, rows: rows[k:]})
+				child = append(child, tuple{Item: tuples[ti].Item, Rows: rows[k:]})
 			}
 			ca, cb := supp, supn
 			childEp := 0
@@ -495,7 +513,14 @@ func (m *miner) maybeEmit(tuples []tuple, supp, supn int) error {
 			if !confLess(e.supPos, e.tot, supp, tot) {
 				m.ex.Stats.GroupsNotInterest++
 				if m.recordRejected {
-					m.rejectedRows = append(m.rejectedRows, inX.Clone())
+					if m.rejectedSeen == nil {
+						m.rejectedSeen = bitset.NewDedup()
+					}
+					if !m.rejectedSeen.Contains(inX) {
+						c := inX.Clone()
+						m.rejectedSeen.Add(c)
+						m.rejectedRows = append(m.rejectedRows, c)
+					}
 				}
 				return nil
 			}
@@ -503,9 +528,9 @@ func (m *miner) maybeEmit(tuples []tuple, supp, supn int) error {
 	}
 	items := make([]dataset.Item, len(tuples))
 	for i, t := range tuples {
-		items[i] = t.item
+		items[i] = t.Item
 	}
-	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+	slices.Sort(items)
 	m.groups = append(m.groups, irgEntry{
 		rows:   inX.Clone(),
 		supPos: supp,
@@ -554,7 +579,7 @@ func (m *miner) backScanHit(tuples []tuple, rmax int) bool {
 	inX := m.sc.InX
 	ntup := int32(len(tuples))
 	for ti, t := range tuples {
-		glist := m.tt.Lists[t.item]
+		glist := m.tt.Lists[t.Item]
 		hitAny := false
 		for _, r := range glist {
 			if int(r) >= rmax {

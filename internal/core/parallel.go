@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
@@ -25,13 +26,125 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 	return MineParallelContext(context.Background(), d, consequent, opt, workers)
 }
 
+// Task granularity: depth-2 nodes. The row enumeration tree is extremely
+// left-heavy (the first root subtree holds about half the work), so
+// scheduling whole root subtrees starves all but one worker. Instead,
+// every singleton {r1} runs as an emission-only task (children skipped)
+// and every pair {r1, r2} runs as a full subtree task whose conditional
+// table is built directly from the global transposed table — sound
+// because candidate lists built this way are supersets of the ones the
+// sequential traversal would pass down (pruning 1 re-detects absorbed
+// rows locally) and candidate collection is order-independent.
+//
+// A wsTask is a contiguous run of those subtasks under one root: the
+// subtask for r2 == r1 is the singleton {r1}, every r2 > r1 is the pair
+// {r1, r2}. Materializing all n(n+1)/2 subtasks up front would make setup
+// O(n²) in time and memory; instead an atomic root generator hands out one
+// whole root {r1, r1, n} at a time and workers split ranges adaptively:
+// while other workers are hungry, the owner sheds the upper half of its
+// range into its own deque, where it can be stolen. The subtask universe
+// is fixed — only the distribution over workers varies — so the summed
+// pruning counters are identical across worker counts and schedules.
+type wsTask struct {
+	r1     int
+	lo, hi int // subtask r2 range: [lo, hi)
+}
+
+// wsGrain is the range size below which tasks are no longer split. Pair
+// subtrees near the diagonal are tiny; splitting below this granularity
+// costs more in deque traffic than it recovers in balance.
+const wsGrain = 16
+
+// wsDeque is one worker's task queue. The owner pushes and pops at the
+// tail (LIFO keeps the conditional tables it just shed cache-warm);
+// thieves steal from the head, where the largest shed ranges sit.
+type wsDeque struct {
+	mu    sync.Mutex
+	tasks []wsTask
+}
+
+func (d *wsDeque) push(t wsTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) popTail() (wsTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return wsTask{}, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+func (d *wsDeque) stealHead() (wsTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return wsTask{}, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// wsScheduler coordinates the bounded generator, the per-worker deques,
+// and termination detection. done counts executed subtasks; when it
+// reaches total the last worker closes doneCh and everyone exits.
+type wsScheduler struct {
+	n      int
+	next   atomic.Int64 // next root r1 to hand out
+	deques []wsDeque
+	hungry atomic.Int32 // workers currently looking for work
+	done   atomic.Int64 // subtasks executed
+	total  int64
+	doneCh chan struct{}
+}
+
+func newWsScheduler(n, workers int) *wsScheduler {
+	return &wsScheduler{
+		n:      n,
+		deques: make([]wsDeque, workers),
+		total:  int64(n) * int64(n+1) / 2,
+		doneCh: make(chan struct{}),
+	}
+}
+
+// take returns the next task for worker w: own deque first, then the
+// root generator, then stealing. ok=false means no work was found this
+// round (the caller re-polls until doneCh closes).
+func (s *wsScheduler) take(w int) (wsTask, bool) {
+	if t, ok := s.deques[w].popTail(); ok {
+		return t, true
+	}
+	if r1 := int(s.next.Add(1)) - 1; r1 < s.n {
+		return wsTask{r1: r1, lo: r1, hi: s.n}, true
+	}
+	for i := 1; i < len(s.deques); i++ {
+		if t, ok := s.deques[(w+i)%len(s.deques)].stealHead(); ok {
+			return t, true
+		}
+	}
+	return wsTask{}, false
+}
+
+// finish credits executed subtasks toward termination.
+func (s *wsScheduler) finish(count int) {
+	if s.done.Add(int64(count)) == s.total {
+		close(s.doneCh)
+	}
+}
+
 // MineParallelContext is MineParallel under a context. Each worker polls
 // cancellation at node-expansion granularity; once the context fires, every
-// worker stops expanding, drains the remaining task queue without doing
-// work, and exits before the call returns — no goroutine outlives the
-// call. On cancellation it returns ctx.Err() together with a non-nil
-// Result carrying the merged partial statistics (and no groups: the
-// interestingness fixpoint needs the complete candidate set to be sound).
+// worker stops taking tasks and exits before the call returns — no
+// goroutine outlives the call. On cancellation it returns ctx.Err()
+// together with a non-nil Result carrying the merged partial statistics
+// (and no groups: the interestingness fixpoint needs the complete
+// candidate set to be sound).
 func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int, opt Options, workers int) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
@@ -64,31 +177,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	// The transposed table is immutable and shared; each worker owns its
 	// scratch arrays and candidate store.
 	shared := dataset.Transpose(ordered)
-
-	// Task granularity: depth-2 nodes. The row enumeration tree is extremely
-	// left-heavy (the first root subtree holds about half the work), so
-	// scheduling whole root subtrees starves all but one worker. Instead,
-	// every singleton {r1} runs as an emission-only task (children skipped)
-	// and every pair {r1, r2} runs as a full subtree task whose conditional
-	// table is built directly from the global transposed table — sound
-	// because candidate lists built this way are supersets of the ones the
-	// sequential traversal would pass down (pruning 1 re-detects absorbed
-	// rows locally) and candidate collection is order-independent.
-	//
-	// Each worker applies the step-7 interestingness filter against its own
-	// local store: dropping a group because ANY constraint-satisfying
-	// subset group has ≥ confidence is globally sound (if that subset is
-	// itself uninteresting, transitivity yields an interesting dominator),
-	// so local filtering only removes groups the global fixpoint would
-	// remove anyway, while keeping the candidate union small.
-	type task struct{ r1, r2 int }
-	tasks := make([]task, 0, n+n*(n-1)/2)
-	for r1 := 0; r1 < n; r1++ {
-		tasks = append(tasks, task{r1, -1})
-		for r2 := r1 + 1; r2 < n; r2++ {
-			tasks = append(tasks, task{r1, r2})
-		}
-	}
+	sched := newWsScheduler(n, workers)
 	setupDone()
 
 	type workerOut struct {
@@ -97,11 +186,6 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 		counters engine.Counters
 	}
 	outs := make([]workerOut, workers)
-	next := make(chan task, len(tasks))
-	for _, t := range tasks {
-		next <- t
-	}
-	close(next)
 
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
 	var wg sync.WaitGroup
@@ -120,20 +204,50 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 				sc:             engine.NewScratch(n),
 				recordRejected: true,
 			}
-			// The channel is pre-filled and closed, so ranging always
-			// drains it; after cancellation each remaining task is skipped
-			// without expanding a node, so the loop finishes promptly and
-			// the worker exits (no goroutine leak, no abandoned tasks).
-			for tk := range next {
-				if wex.Err() != nil {
-					continue
+			for wex.Err() == nil {
+				t, ok := sched.take(w)
+				if !ok {
+					// Advertise hunger (busy workers start shedding), then
+					// spin between generator, deques, and termination.
+					sched.hungry.Add(1)
+					for !ok {
+						select {
+						case <-sched.doneCh:
+							sched.hungry.Add(-1)
+							goto out
+						default:
+						}
+						if wex.Err() != nil {
+							sched.hungry.Add(-1)
+							goto out
+						}
+						runtime.Gosched()
+						t, ok = sched.take(w)
+					}
+					sched.hungry.Add(-1)
 				}
-				if tk.r2 < 0 {
-					m.mineSingleton(tk.r1)
-				} else {
-					m.minePair(tk.r1, tk.r2)
+				// Adaptive granularity: while others are starving, shed
+				// the upper half of the range into the (stealable) deque.
+				for t.hi-t.lo > wsGrain && sched.hungry.Load() > 0 {
+					mid := (t.lo + t.hi) / 2
+					sched.deques[w].push(wsTask{r1: t.r1, lo: mid, hi: t.hi})
+					t.hi = mid
 				}
+				ran := 0
+				for r2 := t.lo; r2 < t.hi; r2++ {
+					if wex.Err() != nil {
+						break
+					}
+					if r2 == t.r1 {
+						m.mineSingleton(t.r1)
+					} else {
+						m.minePair(t.r1, r2)
+					}
+					ran++
+				}
+				sched.finish(ran)
 			}
+		out:
 			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters}
 		}(w)
 	}
@@ -142,20 +256,21 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 
 	// Rejection accounting: a group dropped by a worker's local filter is a
 	// constraint-satisfying group the global fixpoint would also reject (see
-	// the dominator-transitivity argument above), but rejection EVENTS are
-	// not scheduling-independent — a pair task can rediscover a group whose
-	// node the sequential traversal absorbs via pruning 1, so the same group
-	// may be rejected in two tasks, or locally in one worker and again in
-	// the fixpoint. Deduplicating by row set (closed groups are identified
-	// by their row sets) makes the counter deterministic and equal to
-	// sequential Mine's, which rejects each dominated group exactly once.
-	rejected := make(map[string]struct{})
+	// the dominator-transitivity argument in mineSingleton/minePair), but
+	// rejection EVENTS are not scheduling-independent — a pair task can
+	// rediscover a group whose node the sequential traversal absorbs via
+	// pruning 1, so the same group may be rejected in two tasks, or locally
+	// in one worker and again in the fixpoint. Deduplicating by row set
+	// (closed groups are identified by their row sets) makes the counter
+	// deterministic and equal to sequential Mine's, which rejects each
+	// dominated group exactly once.
+	rejected := bitset.NewDedup()
 	var cands []irgEntry
 	for _, o := range outs {
 		cands = append(cands, o.cands...)
 		ex.Stats.Counters.Add(o.counters)
 		for _, r := range o.rejected {
-			rejected[r.String()] = struct{}{}
+			rejected.Add(r)
 		}
 	}
 	// Worker GroupsEmitted/GroupsNotInterest reflect local decisions only;
@@ -193,7 +308,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 				}
 				if !confLess(e.supPos, e.tot, c.supPos, c.tot) {
 					interesting = false
-					rejected[c.rows.String()] = struct{}{}
+					rejected.Add(c.rows)
 					break
 				}
 			}
@@ -203,7 +318,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 		}
 	}
 	ex.Stats.GroupsEmitted = int64(len(kept))
-	ex.Stats.GroupsNotInterest = int64(len(rejected))
+	ex.Stats.GroupsNotInterest = int64(rejected.Len())
 
 	for i := range kept {
 		if err := ex.Err(); err != nil {
@@ -235,9 +350,15 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 }
 
 // mineSingleton runs node {r1} in emission-only mode: steps 1–5 and 7, no
-// children (pair tasks own the depth-2 subtrees). Errors (cancellation)
-// are recorded in the miner's Exec and surface through the caller's poll.
+// children (pair tasks own the depth-2 subtrees). Dropping a group because
+// ANY constraint-satisfying subset group has ≥ confidence is globally
+// sound (if that subset is itself uninteresting, transitivity yields an
+// interesting dominator), so each worker filters against its local store
+// only. Errors (cancellation) are recorded in the miner's Exec and surface
+// through the caller's poll.
 func (m *miner) mineSingleton(ri int) {
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
 	tuples := m.rootTuples(ri)
 	supp, supn := 0, 0
 	if ri < m.numPos {
@@ -259,26 +380,31 @@ func (m *miner) mineSingleton(ri int) {
 // minePair runs the full subtree of node {r1, r2}, with the conditional
 // table built directly from the global transposed table.
 func (m *miner) minePair(r1, r2 int) {
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
 	row := &m.ds.Rows[r1]
-	tuples := make([]tuple, 0, len(row.Items))
+	tuples := m.sc.A.Tup.Alloc(len(row.Items))[:0]
 	for _, it := range row.Items {
 		if !m.ds.Rows[r2].HasItem(it) {
 			continue
 		}
 		list := m.tt.Lists[it]
 		k := sort.Search(len(list), func(i int) bool { return list[i] > int32(r2) })
-		tuples = append(tuples, tuple{item: it, rows: list[k:]})
+		tuples = append(tuples, tuple{Item: it, Rows: list[k:]})
 	}
 	if len(tuples) == 0 {
 		return
 	}
 	supp, supn := 0, 0
-	for _, r := range []int{r1, r2} {
-		if r < m.numPos {
-			supp++
-		} else {
-			supn++
-		}
+	if r1 < m.numPos {
+		supp++
+	} else {
+		supn++
+	}
+	if r2 < m.numPos {
+		supp++
+	} else {
+		supn++
 	}
 	epCount := m.numPos - r2 - 1
 	if epCount < 0 {

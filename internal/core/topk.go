@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dataset"
@@ -178,47 +179,57 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) error {
 		return nil
 	}
 
+	// Everything from here on allocates on the arena and pops on unwind.
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
+
 	// Scan (same bookkeeping as mineNode's step 3).
 	ep := m.sc.NextEpoch()
 	cnt, stamp := m.sc.Cnt, m.sc.Stamp
 	ntup := int32(len(tuples))
 	maxPosInTuple := 0
+	distinct := 0
 	for _, tp := range tuples {
-		if len(tp.rows) == 0 {
+		if len(tp.Rows) == 0 {
 			continue
 		}
-		if pos := sort.Search(len(tp.rows), func(i int) bool { return tp.rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
+		if pos := sort.Search(len(tp.Rows), func(i int) bool { return tp.Rows[i] >= int32(m.numPos) }); pos > maxPosInTuple {
 			maxPosInTuple = pos
 		}
-		for _, r := range tp.rows {
+		for _, r := range tp.Rows {
 			if stamp[r] != ep {
 				stamp[r] = ep
 				cnt[r] = 0
+				distinct++
 			}
 			cnt[r]++
 		}
 	}
-	var eRows, yRows []int32
+	union := m.sc.A.I32.Alloc(distinct)
+	ne, ny := 0, 0
 	yPos, yNeg := 0, 0
 	for _, tp := range tuples {
-		for _, r := range tp.rows {
+		for _, r := range tp.Rows {
 			if stamp[r] != ep || cnt[r] < 0 {
 				continue
 			}
 			if cnt[r] == ntup {
-				yRows = append(yRows, r)
+				ny++
+				union[distinct-ny] = r
 				if int(r) < m.numPos {
 					yPos++
 				} else {
 					yNeg++
 				}
 			} else {
-				eRows = append(eRows, r)
+				union[ne] = r
+				ne++
 			}
 			cnt[r] = -1
 		}
 	}
-	sort.Slice(eRows, func(a, b int) bool { return eRows[a] < eRows[b] })
+	eRows, yRows := union[:ne], union[ne:]
+	slices.Sort(eRows)
 	suppIn := supp
 	supp += yPos
 	supn += yNeg
@@ -237,39 +248,68 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) error {
 	for _, r := range yRows {
 		m.sc.InX.Set(int(r))
 	}
-	cleaned := make([][]int32, len(tuples))
+	cleaned := m.sc.A.Rows.Alloc(len(tuples))
 	if len(yRows) == 0 {
 		for i := range tuples {
-			cleaned[i] = tuples[i].rows
+			cleaned[i] = tuples[i].Rows
 		}
 	} else {
-		sort.Slice(yRows, func(a, b int) bool { return yRows[a] < yRows[b] })
+		slices.Sort(yRows)
+		total := 0
 		for i := range tuples {
-			dst := make([]int32, 0, len(tuples[i].rows))
+			total += len(tuples[i].Rows) - len(yRows) // Y is in every tuple
+		}
+		backing := m.sc.A.I32.Alloc(total)
+		w := 0
+		for i := range tuples {
+			start := w
 			yi := 0
-			for _, r := range tuples[i].rows {
+			for _, r := range tuples[i].Rows {
 				for yi < len(yRows) && yRows[yi] < r {
 					yi++
 				}
 				if yi < len(yRows) && yRows[yi] == r {
 					continue
 				}
-				dst = append(dst, r)
+				backing[w] = r
+				w++
 			}
-			cleaned[i] = dst
+			cleaned[i] = backing[start:w:w]
 		}
 	}
 
+	// Children via the same flat counted layout as mineNode's step 6.
 	if len(eRows) > 0 {
+		posOf := func(r int32) int {
+			return sort.Search(len(eRows), func(i int) bool { return eRows[i] >= r })
+		}
+		counts := m.sc.A.I32.Alloc(len(eRows) + 1)
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				counts[posOf(r)+1]++
+			}
+		}
+		for i := 1; i <= len(eRows); i++ {
+			counts[i] += counts[i-1]
+		}
+		flat := m.sc.A.I32.Alloc(int(counts[len(eRows)]))
+		fill := m.sc.A.I32.Alloc(len(eRows))
+		for ti := range cleaned {
+			for _, r := range cleaned[ti] {
+				p := posOf(r)
+				flat[int(counts[p])+int(fill[p])] = int32(ti)
+				fill[p]++
+			}
+		}
 		posBoundary := sort.Search(len(eRows), func(i int) bool { return eRows[i] >= int32(m.numPos) })
+		childBacking := m.sc.A.Tup.Alloc(int(counts[len(eRows)]))
 		for p, r := range eRows {
-			var child []tuple
-			for ti := range cleaned {
+			tis := flat[counts[p]:counts[p+1]]
+			child := childBacking[counts[p]:counts[p]:counts[p+1]]
+			for _, ti := range tis {
 				rows := cleaned[ti]
-				kk := sort.Search(len(rows), func(i int) bool { return rows[i] >= r })
-				if kk < len(rows) && rows[kk] == r {
-					child = append(child, tuple{item: tuples[ti].item, rows: rows[kk+1:]})
-				}
+				kk := sort.Search(len(rows), func(i int) bool { return rows[i] > r })
+				child = append(child, tuple{Item: tuples[ti].Item, Rows: rows[kk:]})
 			}
 			ca, cb := supp, supn
 			childEp := 0
@@ -295,9 +335,9 @@ func (t *topkSearch) walk(tuples []tuple, supp, supn, epCount, rmax int) error {
 		if len(t.best) < t.k || score > t.best.threshold() {
 			items := make([]dataset.Item, len(tuples))
 			for i, tp := range tuples {
-				items[i] = tp.item
+				items[i] = tp.Item
 			}
-			sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+			slices.Sort(items)
 			entry := scoredEntry{score: score}
 			entry.rows = m.sc.InX.Clone()
 			entry.supPos = supp

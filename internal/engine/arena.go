@@ -1,0 +1,98 @@
+package engine
+
+// Slab is a grow-only typed slab with stack (mark/release) discipline: the
+// recursion-structured scratch data of an enumeration tree — conditional
+// tables, cleaned candidate lists, count buffers — is pushed on node entry
+// and popped on unwind, so steady-state node expansion reuses the same
+// backing arrays instead of allocating per node.
+//
+// The contract mirrors a call stack:
+//
+//	mark := s.Mark()
+//	buf := s.Alloc(n) // valid until Release(mark)
+//	...
+//	s.Release(mark)
+//
+// Alloc may grow the backing array (amortized doubling). Growth copies the
+// live prefix, but slices handed out earlier keep pointing into the old
+// array — they stay valid because Go's GC keeps that array alive for as
+// long as any frame references it; the frames drop those references on
+// unwind, after which the arena is a single array at its high-water size
+// and every subsequent Alloc is allocation-free.
+type Slab[T any] struct {
+	buf []T
+}
+
+// Mark returns the current stack depth, to be passed to Release.
+func (s *Slab[T]) Mark() int { return len(s.buf) }
+
+// Release pops every allocation made since the corresponding Mark,
+// restoring the slab's high-water state for reuse. Slices allocated above
+// the mark must not be used afterwards.
+func (s *Slab[T]) Release(mark int) { s.buf = s.buf[:mark] }
+
+// Alloc returns a zeroed slice of length n whose storage lives in the slab
+// until the enclosing mark is released. The result has capacity exactly n,
+// so appending to it cannot clobber later allocations.
+func (s *Slab[T]) Alloc(n int) []T {
+	l := len(s.buf)
+	if l+n > cap(s.buf) {
+		c := 2 * cap(s.buf)
+		if c < l+n {
+			c = l + n
+		}
+		if c < 64 {
+			c = 64
+		}
+		nb := make([]T, l, c)
+		copy(nb, s.buf)
+		s.buf = nb
+	}
+	s.buf = s.buf[:l+n]
+	out := s.buf[l : l+n : l+n]
+	clear(out)
+	return out
+}
+
+// One allocates a single zeroed element and returns its address. The
+// pointer is valid until the enclosing mark is released.
+func (s *Slab[T]) One() *T {
+	return &s.Alloc(1)[0]
+}
+
+// Tuple is one row of a conditional transposed table: an item together with
+// the enumeration-candidate rows containing it at the current node. The
+// Rows slice is a view into an ancestor's storage and is never mutated.
+// (The item type is int32 because dataset.Item is an alias of int32; using
+// the underlying type keeps engine free of a dataset dependency.)
+type Tuple struct {
+	Item int32
+	Rows []int32
+}
+
+// Arena groups the slabs behind the row-enumeration hot path: int32 row
+// lists and count buffers, cleaned-table slice headers, and conditional
+// transposed tables. One Arena is private to one goroutine (it lives in
+// Scratch); parallel miners give each worker its own.
+type Arena struct {
+	I32  Slab[int32]
+	Rows Slab[[]int32]
+	Tup  Slab[Tuple]
+}
+
+// ArenaMark captures the depth of every slab at one recursion level.
+type ArenaMark struct {
+	i32, rows, tup int
+}
+
+// Mark records the arena state on node entry.
+func (a *Arena) Mark() ArenaMark {
+	return ArenaMark{a.I32.Mark(), a.Rows.Mark(), a.Tup.Mark()}
+}
+
+// Release pops every allocation made since m, on recursion unwind.
+func (a *Arena) Release(m ArenaMark) {
+	a.I32.Release(m.i32)
+	a.Rows.Release(m.rows)
+	a.Tup.Release(m.tup)
+}

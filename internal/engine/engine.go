@@ -165,6 +165,12 @@ type Scratch struct {
 	// Its contents are undefined between uses.
 	Tmp *bitset.Set
 
+	// A is the depth-indexed slab arena behind the conditional-table hot
+	// path: every per-node buffer (cleaned candidate lists, count arrays,
+	// child conditional tables) is pushed on node entry and popped on
+	// recursion unwind, so steady-state node expansion allocates nothing.
+	A Arena
+
 	epoch uint32
 }
 
@@ -179,7 +185,13 @@ func NewScratch(n int) *Scratch {
 }
 
 // NextEpoch invalidates every stamped counter and returns the new epoch.
+// On uint32 wraparound the stamp array is cleared explicitly, so stale
+// stamps from four billion epochs ago can never collide with a live one.
 func (s *Scratch) NextEpoch() uint32 {
 	s.epoch++
+	if s.epoch == 0 {
+		clear(s.Stamp)
+		s.epoch = 1
+	}
 	return s.epoch
 }
