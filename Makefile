@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 
 FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare
+.PHONY: all build vet test race fuzz bench bench-json bench-compare serve smoke
 
 all: vet build test
 
@@ -32,6 +32,17 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Run the mining service locally with the bundled mini datasets loaded.
+SERVE_ADDR ?= :8077
+serve:
+	$(GO) run ./cmd/farmerd -addr $(SERVE_ADDR) -data testdata
+
+# End-to-end service smoke: boots a real farmerd, mines FARMER and CHARM
+# over HTTP, checks the streams against direct library calls, cancels a
+# job mid-run and SIGTERMs the daemon. CI runs this with -race.
+smoke:
+	$(GO) test -count=1 -run TestFarmerdEndToEnd ./cmd/farmerd
 
 # Machine-readable core benchmarks (ns/op, allocs/op, B/op for Mine,
 # MineParallel and CHARM over the bench datasets); CI archives the file.

@@ -1,0 +1,116 @@
+package farmer_test
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current package")
+
+// apiSurface renders the exported surface of the root package: one line
+// per exported top-level identifier, with full signatures for functions.
+// Changing the public API is deliberate work; this test makes sure it
+// never happens as a side effect.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["farmer"]
+	if !ok {
+		t.Fatalf("package farmer not found, got %v", pkgs)
+	}
+
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() {
+					continue
+				}
+				sig := &ast.FuncDecl{Name: d.Name, Type: d.Type}
+				var buf bytes.Buffer
+				if err := printer.Fprint(&buf, fset, sig); err != nil {
+					t.Fatal(err)
+				}
+				// Collapse any multi-line signature to one line.
+				lines = append(lines, strings.Join(strings.Fields(buf.String()), " "))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, "type "+s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								lines = append(lines, kw+" "+n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got := apiSurface(t)
+	const golden = "testdata/api_surface.golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v — run `go test -run TestAPISurfaceGolden -update .` after an intentional API change", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		set := func(ls []string) map[string]bool {
+			m := make(map[string]bool, len(ls))
+			for _, l := range ls {
+				if l != "" {
+					m[l] = true
+				}
+			}
+			return m
+		}
+		gs, ws := set(gotLines), set(wantLines)
+		for l := range gs {
+			if !ws[l] {
+				t.Errorf("added to API surface: %s", l)
+			}
+		}
+		for l := range ws {
+			if !gs[l] {
+				t.Errorf("removed from API surface: %s", l)
+			}
+		}
+		t.Fatalf("exported API changed — if intentional, run `go test -run TestAPISurfaceGolden -update .`")
+	}
+}

@@ -7,6 +7,7 @@
 package farmer_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -69,7 +70,7 @@ func benchFig10FARMER(b *testing.B, name string) {
 	opt := farmer.MineOptions{MinSup: midMinsup(d), ComputeLowerBounds: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.Mine(d, 0, opt); err != nil {
+		if _, err := farmer.RunFARMER(context.Background(), d, 0, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +82,7 @@ func benchFig10ColumnE(b *testing.B, name string) {
 	b.ReportAllocs()
 	dnf := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.MineColumnE(d, 0, opt); err != nil {
+		if _, err := farmer.RunColumnE(context.Background(), d, 0, opt); err != nil {
 			if errors.Is(err, farmer.ErrColumnEBudget) {
 				dnf++
 				continue
@@ -100,7 +101,7 @@ func benchFig10CHARM(b *testing.B, name string) {
 	b.ReportAllocs()
 	dnf := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.MineClosedCHARM(d, opt); err != nil {
+		if _, err := farmer.RunCHARM(context.Background(), d, opt); err != nil {
 			if errors.Is(err, farmer.ErrCharmBudget) {
 				dnf++
 				continue
@@ -142,7 +143,7 @@ func BenchmarkFig10Counts_AllDatasets(b *testing.B) {
 		total := 0
 		for _, n := range names {
 			d := benchDataset(b, n)
-			res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: midMinsup(d)})
+			res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: midMinsup(d)})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -161,7 +162,7 @@ func benchFig11(b *testing.B, name string, minchi float64) {
 	opt := farmer.MineOptions{MinSup: 1, MinConf: 0.8, MinChi: minchi, ComputeLowerBounds: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.Mine(d, 0, opt); err != nil {
+		if _, err := farmer.RunFARMER(context.Background(), d, 0, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +225,7 @@ func benchScaleUp(b *testing.B, factor int) {
 	minsup := midMinsup(benchDataset(b, "CT")) * factor
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: minsup}); err != nil {
+		if _, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -278,13 +279,13 @@ func benchCloset(b *testing.B, name string, algo string) {
 		var err error
 		switch algo {
 		case "charm":
-			_, err = farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: minsup, MaxNodes: 5_000_000})
+			_, err = farmer.RunCHARM(context.Background(), d, farmer.CharmOptions{MinSup: minsup, MaxNodes: 5_000_000})
 			if errors.Is(err, farmer.ErrCharmBudget) {
 				dnf++
 				err = nil
 			}
 		case "closet":
-			_, err = farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: minsup, MaxNodes: 5_000_000})
+			_, err = farmer.RunCLOSET(context.Background(), d, farmer.ClosetOptions{MinSup: minsup, MaxNodes: 5_000_000})
 			if errors.Is(err, farmer.ErrClosetBudget) {
 				dnf++
 				err = nil
@@ -309,7 +310,7 @@ func benchCobbler(b *testing.B, mode string) {
 	opt := farmer.CobblerOptions{MinSup: midMinsup(d), ForceMode: mode}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.MineClosedCOBBLER(d, opt); err != nil {
+		if _, err := farmer.RunCOBBLER(context.Background(), d, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,12 +325,22 @@ func BenchmarkCobbler_CT_FeatureOnly(b *testing.B) { benchCobbler(b, "feature") 
 // NOTE: on a single-core host (such as some CI sandboxes) these benchmarks
 // show only the scheduling overhead; the speedup needs real cores.
 
+// parOpt returns opt with the Workers field set for the canonical API
+// (≤ 0 means all cores, matching the benchmarks' worker sweep).
+func parOpt(opt farmer.MineOptions, workers int) farmer.MineOptions {
+	opt.Workers = workers
+	if workers <= 0 {
+		opt.Workers = -1
+	}
+	return opt
+}
+
 func benchParallel(b *testing.B, workers int) {
 	d := benchDataset(b, "ALL")
 	opt := farmer.MineOptions{MinSup: 2, ComputeLowerBounds: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.MineParallel(d, 0, opt, workers); err != nil {
+		if _, err := farmer.RunFARMER(context.Background(), d, 0, parOpt(opt, workers)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -340,7 +351,7 @@ func BenchmarkParallel_ALL_Sequential(b *testing.B) {
 	opt := farmer.MineOptions{MinSup: 2, ComputeLowerBounds: true}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := farmer.Mine(d, 0, opt); err != nil {
+		if _, err := farmer.RunFARMER(context.Background(), d, 0, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -352,7 +363,7 @@ func BenchmarkParallel_ALL_4Workers(b *testing.B) { benchParallel(b, 4) }
 
 func BenchmarkMicro_MineLB(b *testing.B) {
 	d := benchDataset(b, "CT")
-	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2})
+	res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -379,7 +390,7 @@ func BenchmarkMicro_Closure(b *testing.B) {
 func ExampleMine() {
 	d, _ := farmer.ReadTransactions(
 		strings.NewReader("C : a b\nC : a\nN : b\n"))
-	res, _ := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2, MinConf: 0.9, ComputeLowerBounds: true})
+	res, _ := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 2, MinConf: 0.9, ComputeLowerBounds: true})
 	for _, g := range res.Groups {
 		fmt.Println(g.Format(d, "C"))
 	}

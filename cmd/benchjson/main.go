@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,15 +56,15 @@ func run(datasets []string) ([]Row, error) {
 			fn   func() error
 		}{
 			{"Mine", func() error {
-				_, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: minsup})
+				_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup})
 				return err
 			}},
 			{"MineParallel", func() error {
-				_, err := farmer.MineParallel(d, 0, farmer.MineOptions{MinSup: minsup}, 0)
+				_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup, Workers: -1})
 				return err
 			}},
 			{"CHARM", func() error {
-				_, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: minsup})
+				_, err := farmer.RunCHARM(context.Background(), d, farmer.CharmOptions{MinSup: minsup})
 				return err
 			}},
 		}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -92,12 +93,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		ComputeLowerBounds: *lower,
 		MaxLowerBounds:     *maxlower,
 	}
-	var res *farmer.MineResult
-	if *workers == 1 {
-		res, err = farmer.Mine(d, consequent, opt)
-	} else {
-		res, err = farmer.MineParallel(d, consequent, opt, *workers)
+	if *workers != 1 {
+		opt.Workers = *workers
+		if *workers <= 0 {
+			opt.Workers = -1 // all cores
+		}
 	}
+	res, err := farmer.RunFARMER(context.Background(), d, consequent, opt)
 	if err != nil {
 		return err
 	}
@@ -112,7 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		printText(w, d, *class, res, *lower)
 	}
 	if *stats {
-		s := res.Stats
+		s := res.Stats()
 		fmt.Fprintf(stderr,
 			"groups=%d nodes=%d pruned(back-scan=%d loose=%d tight=%d chi=%d gain=%d) absorbed=%d\n",
 			len(res.Groups), s.NodesVisited, s.PrunedBackScan,
@@ -123,24 +125,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 
 // runTopK prints the k best rule groups under the chosen measure.
 func runTopK(stdout io.Writer, d *farmer.Dataset, consequent int, class string, k int, measureName string, minsup int) error {
-	var measure farmer.Measure
-	switch measureName {
-	case "chi2":
-		measure = farmer.MeasureChi2
-	case "entropy":
-		measure = farmer.MeasureEntropyGain
-	case "gini":
-		measure = farmer.MeasureGiniGain
-	default:
-		return fmt.Errorf("unknown measure %q (want chi2, entropy or gini)", measureName)
+	measure, err := farmer.ParseMeasure(measureName)
+	if err != nil {
+		return err
 	}
-	top, err := farmer.MineTopK(d, consequent, k, measure, minsup)
+	res, err := farmer.RunTopK(context.Background(), d, consequent,
+		farmer.TopKOptions{K: k, Measure: measure, MinSup: minsup})
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(stdout)
 	defer w.Flush()
-	for rank, g := range top {
+	for rank, g := range res.Groups {
 		fmt.Fprintf(w, "#%d score=%.4f %s\n", rank+1, g.Score, g.Format(d, class))
 	}
 	return nil

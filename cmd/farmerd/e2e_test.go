@@ -1,0 +1,323 @@
+package main_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	farmer "repro"
+	"repro/internal/serve"
+)
+
+const paperExample = `
+C : a b c l o s
+C : a d e h p l r
+C : a c e h o q t
+N : a e f h p r
+N : b d f g l q s t
+`
+
+// slowExample mirrors internal/serve's slow dataset: a FARMER minsup=1
+// run of around a second, so a DELETE can land mid-job.
+func slowExample() string {
+	const rows, items = 70, 100
+	rng := rand.New(rand.NewSource(4041))
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%2 == 0 {
+			b.WriteString("C :")
+		} else {
+			b.WriteString("N :")
+		}
+		for it := 0; it < items; it++ {
+			p := 0.35
+			if i%2 == 0 && it < 3 {
+				p = 0.9
+			}
+			if rng.Float64() < p {
+				fmt.Fprintf(&b, " g%d", it)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// startDaemon builds the farmerd binary, boots it on an ephemeral port
+// with the paper dataset preloaded, and returns its base URL plus the
+// running command for shutdown.
+func startDaemon(t *testing.T) (string, *exec.Cmd) {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "farmerd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dataDir := filepath.Join(dir, "data")
+	if err := os.Mkdir(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "paper.txt"), []byte(paperExample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-data", dataDir, "-workers", "2", "-drain", "10s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stdout = os.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+
+	// The daemon logs the resolved listen address once the socket is open.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "[farmerd]", line)
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				select {
+				case addrc <- strings.TrimSpace(line[i+len("listening on "):]):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, cmd
+	case <-time.After(15 * time.Second):
+		t.Fatal("farmerd did not report its listen address")
+		return "", nil
+	}
+}
+
+func postJob(t *testing.T, baseURL string, spec serve.JobSpec) serve.JobStatus {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/jobs: status %d: %s", resp.StatusCode, body)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, baseURL, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, baseURL, id string, pred func(serve.JobStatus) bool) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := getStatus(t, baseURL, id); pred(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s: timed out, last status %+v", id, getStatus(t, baseURL, id))
+	return serve.JobStatus{}
+}
+
+func readStream(t *testing.T, baseURL, id string) []string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func names(d *farmer.Dataset, items []farmer.Item) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = d.ItemName(it)
+	}
+	return out
+}
+
+// TestFarmerdEndToEnd boots the real daemon, mines over HTTP, checks the
+// streams against direct library calls, cancels a long job mid-run, and
+// shuts the daemon down cleanly with SIGTERM.
+func TestFarmerdEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e smoke skipped in -short mode")
+	}
+	baseURL, cmd := startDaemon(t)
+
+	// Liveness and preloaded dataset.
+	resp, err := http.Get(baseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	d, err := farmer.ReadTransactions(strings.NewReader(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// FARMER over HTTP == FARMER in-process, record for record.
+	fj := postJob(t, baseURL, serve.JobSpec{
+		Miner: "farmer", Dataset: "paper", Class: "C",
+		MinSup: 2, MinConf: 0.7, LowerBounds: true,
+	})
+	waitFor(t, baseURL, fj.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	var wantF []string
+	opt := farmer.MineOptions{MinSup: 2, MinConf: 0.7, ComputeLowerBounds: true}
+	opt.OnGroup = func(g farmer.RuleGroup) error {
+		rec := serve.GroupRecord{
+			Antecedent: names(d, g.Antecedent),
+			SupPos:     g.SupPos,
+			SupNeg:     g.SupNeg,
+			Confidence: g.Confidence,
+			Chi:        g.Chi,
+		}
+		for _, lb := range g.LowerBounds {
+			rec.LowerBounds = append(rec.LowerBounds, names(d, lb))
+		}
+		buf, err := json.Marshal(rec)
+		wantF = append(wantF, string(buf))
+		return err
+	}
+	if _, err := farmer.RunFARMER(context.Background(), d, d.ClassIndex("C"), opt); err != nil {
+		t.Fatal(err)
+	}
+	gotF := readStream(t, baseURL, fj.ID)
+	if len(gotF) != len(wantF) {
+		t.Fatalf("farmer stream: %d lines, library emits %d", len(gotF), len(wantF))
+	}
+	for i := range gotF {
+		if gotF[i] != wantF[i] {
+			t.Fatalf("farmer stream line %d:\n got %s\nwant %s", i, gotF[i], wantF[i])
+		}
+	}
+
+	// CHARM over HTTP == CHARM in-process.
+	cj := postJob(t, baseURL, serve.JobSpec{Miner: "charm", Dataset: "paper", MinSup: 2})
+	waitFor(t, baseURL, cj.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	var wantC []string
+	copt := farmer.CharmOptions{MinSup: 2}
+	copt.OnClosed = func(c farmer.ClosedSet) error {
+		buf, err := json.Marshal(serve.ClosedRecord{Items: names(d, c.Items), Support: c.Support})
+		wantC = append(wantC, string(buf))
+		return err
+	}
+	if _, err := farmer.RunCHARM(context.Background(), d, copt); err != nil {
+		t.Fatal(err)
+	}
+	gotC := readStream(t, baseURL, cj.ID)
+	if len(gotC) != len(wantC) {
+		t.Fatalf("charm stream: %d lines, library emits %d", len(gotC), len(wantC))
+	}
+	for i := range gotC {
+		if gotC[i] != wantC[i] {
+			t.Fatalf("charm stream line %d:\n got %s\nwant %s", i, gotC[i], wantC[i])
+		}
+	}
+
+	// Upload a long-running dataset, cancel mid-job, and confirm the stop
+	// lands within one node expansion (well under the full ~1.5s run).
+	req, err := http.NewRequest(http.MethodPut, baseURL+"/v1/datasets/slow", strings.NewReader(slowExample()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+	sj := postJob(t, baseURL, serve.JobSpec{Miner: "farmer", Dataset: "slow", MinSup: 1})
+	waitFor(t, baseURL, sj.ID, func(s serve.JobStatus) bool {
+		return s.State == serve.StateRunning && s.Emitted > 0
+	})
+	req, _ = http.NewRequest(http.MethodDelete, baseURL+"/v1/jobs/"+sj.ID, nil)
+	cancelledAt := time.Now()
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := waitFor(t, baseURL, sj.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if wait := time.Since(cancelledAt); wait > 5*time.Second {
+		t.Fatalf("cancellation took %v", wait)
+	}
+	if final.State != serve.StateCancelled {
+		t.Fatalf("cancelled job state %q", final.State)
+	}
+	if final.Stats == nil || final.Stats.NodesVisited == 0 {
+		t.Fatalf("cancelled job lost its partial stats: %+v", final.Stats)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("farmerd exited uncleanly: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("farmerd did not exit after SIGTERM")
+	}
+}

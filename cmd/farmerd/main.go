@@ -1,0 +1,123 @@
+// Command farmerd is the long-running mining service: it keeps datasets
+// registered in memory and runs mining jobs for any of the repository's
+// miners over an HTTP/JSON API. Submit jobs with POST /v1/jobs, watch
+// them with GET /v1/jobs/{id}, stream results as NDJSON from
+// GET /v1/jobs/{id}/results, and cancel with DELETE /v1/jobs/{id}.
+// SIGINT/SIGTERM drains running jobs before exiting; jobs still live
+// when the drain timeout expires are cancelled (each stops within one
+// node expansion).
+//
+// Usage:
+//
+//	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N] [-drain 30s]
+//
+// -data preloads every dataset file in DIR at startup: *.txt in the
+// transactions format, *.csv as expression matrices discretized into
+// -buckets equal-depth buckets. The registry can also be filled at
+// runtime with PUT /v1/datasets/{name}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// preload registers every recognized dataset file in dir under its
+// basename (extension stripped).
+func preload(reg *serve.Registry, dir string, buckets int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var format string
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".txt", ".tr":
+			format = "transactions"
+		case ".csv":
+			format = "matrix"
+		default:
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
+		d, err := reg.Load(name, format, buckets, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("dataset %s: %d rows, %d items, classes %v",
+			name, d.NumRows(), d.NumItems, d.ClassNames)
+	}
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	workers := flag.Int("workers", 0, "mining worker pool size (<= 0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue depth; full queue returns 503")
+	data := flag.String("data", "", "directory of datasets to preload (*.txt transactions, *.csv matrices)")
+	buckets := flag.Int("buckets", 10, "equal-depth buckets for preloaded matrix datasets")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout before cancelling jobs")
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	if *data != "" {
+		if err := preload(reg, *data, *buckets); err != nil {
+			log.Fatalf("preload %s: %v", *data, err)
+		}
+	}
+	mgr := serve.NewManager(reg, *workers, *queue)
+	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("farmerd: %v", err)
+	}
+	log.Printf("farmerd listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- hs.Serve(ln)
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("farmerd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("farmerd: draining (up to %v)", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain jobs first so live result streams can finish, then close the
+	// HTTP listener and remaining connections.
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		log.Printf("farmerd: drain deadline hit, jobs cancelled")
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("farmerd: http shutdown: %v", err)
+	}
+	fmt.Println("farmerd: bye")
+}

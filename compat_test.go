@@ -1,0 +1,232 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated
+// wrappers to guarantee they keep working and stay equivalent to the
+// canonical Run* API.
+
+package farmer_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	farmer "repro"
+)
+
+// The deprecated Mine*/MineContext/MineStream/MineParallel wrappers must
+// return exactly what the canonical entry points return: same groups, same
+// counters.
+func TestDeprecatedWrappersMatchCanonicalAPI(t *testing.T) {
+	d := loadExample(t)
+	ctx := context.Background()
+	opt := farmer.MineOptions{MinSup: 2, MinConf: 0.7, ComputeLowerBounds: true}
+
+	want, err := farmer.RunFARMER(ctx, d, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := farmer.Mine(d, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) || got.Stats().Counters != want.Stats().Counters {
+		t.Fatal("Mine disagrees with RunFARMER")
+	}
+
+	got, err = farmer.MineContext(ctx, d, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Groups, want.Groups) {
+		t.Fatal("MineContext disagrees with RunFARMER")
+	}
+
+	var streamed []farmer.RuleGroup
+	sres, err := farmer.MineStream(ctx, d, 0, opt, func(g farmer.RuleGroup) error {
+		streamed = append(streamed, g)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Groups != nil {
+		t.Fatal("MineStream must not batch groups")
+	}
+	if !reflect.DeepEqual(streamed, want.Groups) {
+		t.Fatal("MineStream disagrees with RunFARMER")
+	}
+
+	// The parallel scheduler reports groups in sorted antecedent order, not
+	// the sequential discovery order; compare order-insensitively.
+	wantSorted := sortedGroups(want.Groups)
+	par, err := farmer.MineParallel(d, 0, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedGroups(par.Groups), wantSorted) {
+		t.Fatal("MineParallel disagrees with RunFARMER")
+	}
+	pctx, err := farmer.MineParallelContext(ctx, d, 0, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedGroups(pctx.Groups), wantSorted) {
+		t.Fatal("MineParallelContext disagrees with RunFARMER")
+	}
+}
+
+// sortedGroups returns a copy of groups in lexicographic antecedent order.
+func sortedGroups(groups []farmer.RuleGroup) []farmer.RuleGroup {
+	out := append([]farmer.RuleGroup(nil), groups...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Antecedent, out[j].Antecedent
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestDeprecatedTopKMatchesRunTopK(t *testing.T) {
+	d := loadExample(t)
+	want, err := farmer.RunTopK(context.Background(), d, 0,
+		farmer.TopKOptions{K: 3, Measure: farmer.MeasureChi2, MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := farmer.MineTopK(d, 0, 3, farmer.MeasureChi2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Groups) {
+		t.Fatal("MineTopK disagrees with RunTopK")
+	}
+	if want.Count() != len(want.Groups) {
+		t.Fatal("TopKResult.Count disagrees with len(Groups)")
+	}
+}
+
+// The deprecated baseline wrappers (batch, Context and Stream forms) must
+// match their canonical Run* counterparts.
+func TestDeprecatedBaselineWrappersMatchCanonicalAPI(t *testing.T) {
+	d := loadExample(t)
+	ctx := context.Background()
+
+	wantCh, err := farmer.RunCHARM(ctx, d, farmer.CharmOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCh, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCh.Closed, wantCh.Closed) {
+		t.Fatal("MineClosedCHARM disagrees with RunCHARM")
+	}
+	var streamed []farmer.ClosedSet
+	sres, err := farmer.MineClosedCHARMStream(ctx, d, farmer.CharmOptions{MinSup: 2},
+		func(c farmer.ClosedSet) error { streamed = append(streamed, c); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(wantCh.Closed) || sres.Count() != 0 {
+		t.Fatalf("MineClosedCHARMStream emitted %d sets, want %d (batch count %d, want 0)",
+			len(streamed), len(wantCh.Closed), sres.Count())
+	}
+
+	wantFP, err := farmer.RunCLOSET(ctx, d, farmer.ClosetOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFP, err := farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFP.Closed, wantFP.Closed) {
+		t.Fatal("MineClosedFPTree disagrees with RunCLOSET")
+	}
+
+	wantCE, err := farmer.RunColumnE(ctx, d, 0, farmer.ColumnEOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCE, err := farmer.MineColumnE(d, 0, farmer.ColumnEOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCE.Rules, wantCE.Rules) {
+		t.Fatal("MineColumnE disagrees with RunColumnE")
+	}
+
+	wantCP, err := farmer.RunCARPENTER(ctx, d, farmer.CarpenterOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCP, err := farmer.MineClosedCARPENTER(d, farmer.CarpenterOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCP.Patterns, wantCP.Patterns) {
+		t.Fatal("MineClosedCARPENTER disagrees with RunCARPENTER")
+	}
+
+	wantCO, err := farmer.RunCOBBLER(ctx, d, farmer.CobblerOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCO, err := farmer.MineClosedCOBBLER(d, farmer.CobblerOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCO.Patterns, wantCO.Patterns) {
+		t.Fatal("MineClosedCOBBLER disagrees with RunCOBBLER")
+	}
+}
+
+// RunFARMER rejects the unsupported OnGroup+Workers combination instead of
+// silently picking one mode.
+func TestRunFARMERStreamingParallelConflict(t *testing.T) {
+	d := loadExample(t)
+	_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{
+		MinSup:  1,
+		Workers: 2,
+		OnGroup: func(farmer.RuleGroup) error { return nil },
+	})
+	if err == nil {
+		t.Fatal("OnGroup with Workers != 0 must error")
+	}
+}
+
+// Every result type is usable through the MinerResult interface.
+func TestMinerResultInterface(t *testing.T) {
+	d := loadExample(t)
+	ctx := context.Background()
+
+	farmerRes, err := farmer.RunFARMER(ctx, d, 0, farmer.MineOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charmRes, err := farmer.RunCHARM(ctx, d, farmer.CharmOptions{MinSup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		res  farmer.MinerResult
+		want int
+	}{
+		{"farmer", farmerRes, len(farmerRes.Groups)},
+		{"charm", charmRes, len(charmRes.Closed)},
+	} {
+		if tc.res.Count() != tc.want {
+			t.Errorf("%s: Count() = %d, want %d", tc.name, tc.res.Count(), tc.want)
+		}
+		if tc.res.Stats().NodesVisited == 0 {
+			t.Errorf("%s: Stats().NodesVisited = 0, want > 0", tc.name)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package farmer_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,9 +26,9 @@ func nameItems(d *farmer.Dataset, items []farmer.Item) string {
 }
 
 // Mining with a confidence constraint returns only groups at or above it.
-func ExampleMine_withConfidence() {
+func ExampleRunFARMER_withConfidence() {
 	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
-	res, _ := farmer.Mine(d, d.ClassIndex("C"), farmer.MineOptions{
+	res, _ := farmer.RunFARMER(context.Background(), d, d.ClassIndex("C"), farmer.MineOptions{
 		MinSup:  2,
 		MinConf: 0.95,
 	})
@@ -39,11 +40,12 @@ func ExampleMine_withConfidence() {
 	// aco (sup=2 conf=1.00)
 }
 
-// MineTopK ranks rule groups by a convex measure with branch-and-bound.
-func ExampleMineTopK() {
+// RunTopK ranks rule groups by a convex measure with branch-and-bound.
+func ExampleRunTopK() {
 	d, _ := farmer.ReadTransactions(strings.NewReader(exampleTable))
-	top, _ := farmer.MineTopK(d, d.ClassIndex("C"), 2, farmer.MeasureChi2, 1)
-	for _, g := range top {
+	top, _ := farmer.RunTopK(context.Background(), d, d.ClassIndex("C"),
+		farmer.TopKOptions{K: 2, Measure: farmer.MeasureChi2, MinSup: 1})
+	for _, g := range top.Groups {
 		fmt.Printf("%s chi=%.2f\n", nameItems(d, g.Antecedent), g.Score)
 	}
 	// Output:

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,11 +50,12 @@ func main() {
 
 		// Branch-and-bound top-k: no support/confidence hand-tuning needed
 		// beyond a sanity minimum.
-		top, err := farmer.MineTopK(d, class, 3, farmer.MeasureChi2, 5)
+		top, err := farmer.RunTopK(context.Background(), d, class,
+			farmer.TopKOptions{K: 3, Measure: farmer.MeasureChi2, MinSup: 5})
 		if err != nil {
 			log.Fatal(err)
 		}
-		for rank, sg := range top {
+		for rank, sg := range top.Groups {
 			// Recover the group's lower bounds for the "already implied by"
 			// panels, then explain in gene-expression terms.
 			g := sg.RuleGroup
@@ -64,12 +66,12 @@ func main() {
 	}
 
 	// The same cohort mined exhaustively for IRGs, in parallel.
-	res, err := farmer.MineParallel(d, 0, farmer.MineOptions{
-		MinSup: 8, MinConf: 0.9,
-	}, 0)
+	res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{
+		MinSup: 8, MinConf: 0.9, Workers: -1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("exhaustive IRG mining at minsup=8, minconf=0.9: %d groups (%d nodes searched)\n",
-		len(res.Groups), res.Stats.NodesVisited)
+		len(res.Groups), res.Stats().NodesVisited)
 }

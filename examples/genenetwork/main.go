@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	var results []*farmer.MineResult
 	totalGroups := 0
 	for class := 0; class < 2; class++ {
-		res, err := farmer.Mine(d, class, farmer.MineOptions{MinSup: 5, MinConf: 0.8})
+		res, err := farmer.RunFARMER(context.Background(), d, class, farmer.MineOptions{MinSup: 5, MinConf: 0.8})
 		if err != nil {
 			log.Fatal(err)
 		}

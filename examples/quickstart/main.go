@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -28,7 +29,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := farmer.Mine(d, d.ClassIndex("C"), farmer.MineOptions{
+	res, err := farmer.RunFARMER(context.Background(), d, d.ClassIndex("C"), farmer.MineOptions{
 		MinSup:             2,   // the rule must cover ≥2 class-C samples
 		MinConf:            0.7, // and be ≥70% confident
 		ComputeLowerBounds: true,
@@ -38,7 +39,7 @@ func main() {
 	}
 
 	fmt.Printf("%d interesting rule groups (searched %d row-enumeration nodes):\n\n",
-		len(res.Groups), res.Stats.NodesVisited)
+		len(res.Groups), res.Stats().NodesVisited)
 	for _, g := range res.Groups {
 		fmt.Println(g.Format(d, "C"))
 		for _, lb := range g.LowerBounds {

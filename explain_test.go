@@ -1,6 +1,7 @@
 package farmer_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestExplainGroupWithDiscretizer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 3, MinConf: 1, ComputeLowerBounds: true})
+	res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 3, MinConf: 1, ComputeLowerBounds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestExplainGroupWithoutDiscretizer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 1})
+	res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -53,16 +53,21 @@ const (
 // constraints. See Definition 2.2 of the paper: a rule group is interesting
 // iff every strictly more general group it contains has strictly lower
 // confidence.
+//
+// Deprecated: use RunFARMER, which adds context cancellation and folds the
+// parallel and streaming variants into the options struct.
 func Mine(d *Dataset, consequent int, opt MineOptions) (*MineResult, error) {
-	return core.Mine(d, consequent, opt)
+	return RunFARMER(context.Background(), d, consequent, opt)
 }
 
 // MineContext is Mine under a context: cancellation or deadline expiry
 // stops the search within one node expansion and returns ctx.Err() together
 // with a partial result (the groups emitted so far and the statistics of
 // the work actually done).
+//
+// Deprecated: use RunFARMER, its canonical name.
 func MineContext(ctx context.Context, d *Dataset, consequent int, opt MineOptions) (*MineResult, error) {
-	return core.MineContext(ctx, d, consequent, opt)
+	return RunFARMER(ctx, d, consequent, opt)
 }
 
 // MineStream is MineContext with streaming emission: each interesting rule
@@ -70,37 +75,59 @@ func MineContext(ctx context.Context, d *Dataset, consequent int, opt MineOption
 // order Mine would report it. A non-nil error from onGroup aborts the
 // search and is returned verbatim. The returned result carries statistics
 // only; its Groups field is nil.
+//
+// Deprecated: use RunFARMER with the OnGroup options field.
 func MineStream(ctx context.Context, d *Dataset, consequent int, opt MineOptions, onGroup func(RuleGroup) error) (*MineResult, error) {
-	return core.MineStream(ctx, d, consequent, opt, onGroup)
+	opt.OnGroup = onGroup
+	opt.Workers = 0
+	return RunFARMER(ctx, d, consequent, opt)
 }
 
 // MineParallel is Mine spread across worker goroutines (workers ≤ 0 uses
 // GOMAXPROCS); results are identical to Mine, in deterministic antecedent
 // order.
+//
+// Deprecated: use RunFARMER with the Workers options field.
 func MineParallel(d *Dataset, consequent int, opt MineOptions, workers int) (*MineResult, error) {
-	return core.MineParallel(d, consequent, opt, workers)
+	return MineParallelContext(context.Background(), d, consequent, opt, workers)
 }
 
 // MineParallelContext is MineParallel under a context. On cancellation all
 // workers drain and exit before it returns ctx.Err() with the merged
 // partial statistics; no rule groups are reported (the interestingness
 // fixpoint is not sound on a partial candidate set).
+//
+// Deprecated: use RunFARMER with the Workers options field.
 func MineParallelContext(ctx context.Context, d *Dataset, consequent int, opt MineOptions, workers int) (*MineResult, error) {
-	return core.MineParallelContext(ctx, d, consequent, opt, workers)
+	opt.Workers = workers
+	if workers <= 0 {
+		opt.Workers = -1 // keep the historical "≤ 0 means GOMAXPROCS"
+	}
+	opt.OnGroup = nil
+	return RunFARMER(ctx, d, consequent, opt)
 }
 
 // MineTopK returns the k rule groups maximizing the measure (subject to a
 // minimum support) by branch-and-bound over the row enumeration tree with
 // the Morishita–Sese convex bound, best-first. Unlike Mine it ranks ALL
 // rule groups, not just the interesting ones.
+//
+// Deprecated: use RunTopK, which adds context cancellation, an options
+// struct and a stats-carrying result.
 func MineTopK(d *Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
-	return core.MineTopK(d, consequent, k, measure, minsup)
+	return MineTopKContext(context.Background(), d, consequent, k, measure, minsup)
 }
 
 // MineTopKContext is MineTopK under a context; on cancellation it returns
 // the best groups found so far together with ctx.Err().
+//
+// Deprecated: use RunTopK, its canonical name.
 func MineTopKContext(ctx context.Context, d *Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
-	return core.MineTopKContext(ctx, d, consequent, k, measure, minsup)
+	res, err := RunTopK(ctx, d, consequent, TopKOptions{K: k, Measure: measure, MinSup: minsup})
+	if res == nil {
+		return nil, err
+	}
+	return res.Groups, err
 }
 
 // LowerBounds computes the lower bounds (minimal generators) of an

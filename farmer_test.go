@@ -2,6 +2,7 @@ package farmer_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -45,7 +46,7 @@ func itemNames(d *farmer.Dataset, items []farmer.Item) string {
 
 func TestMineEndToEnd(t *testing.T) {
 	d := loadExample(t)
-	res, err := farmer.Mine(d, d.ClassIndex("C"), farmer.MineOptions{
+	res, err := farmer.RunFARMER(context.Background(), d, d.ClassIndex("C"), farmer.MineOptions{
 		MinSup: 2, MinConf: 0.7, ComputeLowerBounds: true,
 	})
 	if err != nil {
@@ -104,15 +105,15 @@ func TestClosureOperators(t *testing.T) {
 
 func TestBaselinesAgree(t *testing.T) {
 	d := loadExample(t)
-	ch, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: 2})
+	ch, err := farmer.RunCHARM(context.Background(), d, farmer.CharmOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: 2})
+	fp, err := farmer.RunCLOSET(context.Background(), d, farmer.ClosetOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cp, err := farmer.MineClosedCARPENTER(d, farmer.CarpenterOptions{MinSup: 2})
+	cp, err := farmer.RunCARPENTER(context.Background(), d, farmer.CarpenterOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestBaselinesAgree(t *testing.T) {
 			len(ch.Closed), len(fp.Closed), len(cp.Patterns))
 	}
 
-	ce, err := farmer.MineColumnE(d, 0, farmer.ColumnEOptions{MinSup: 2})
+	ce, err := farmer.RunColumnE(context.Background(), d, 0, farmer.ColumnEOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fa, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2})
+	fa, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,13 +137,13 @@ func TestBaselinesAgree(t *testing.T) {
 
 func TestBudgetSentinels(t *testing.T) {
 	d := loadExample(t)
-	if _, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrCharmBudget) {
+	if _, err := farmer.RunCHARM(context.Background(), d, farmer.CharmOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrCharmBudget) {
 		t.Fatalf("charm budget error = %v", err)
 	}
-	if _, err := farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrClosetBudget) {
+	if _, err := farmer.RunCLOSET(context.Background(), d, farmer.ClosetOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrClosetBudget) {
 		t.Fatalf("closet budget error = %v", err)
 	}
-	if _, err := farmer.MineColumnE(d, 0, farmer.ColumnEOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrColumnEBudget) {
+	if _, err := farmer.RunColumnE(context.Background(), d, 0, farmer.ColumnEOptions{MinSup: 1, MaxNodes: 1}); !errors.Is(err, farmer.ErrColumnEBudget) {
 		t.Fatalf("columne budget error = %v", err)
 	}
 }
@@ -165,7 +166,7 @@ func TestSyntheticPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 2})
+	res, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,11 +256,11 @@ func TestTransactionsRoundTripAPI(t *testing.T) {
 
 func TestMineParallelAPI(t *testing.T) {
 	d := loadExample(t)
-	seq, err := farmer.Mine(d, 0, farmer.MineOptions{MinSup: 1})
+	seq, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := farmer.MineParallel(d, 0, farmer.MineOptions{MinSup: 1}, 3)
+	par, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: 1, Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ package farmer_test
 // boundary the way a downstream user would.
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -32,7 +33,7 @@ func TestIntegrationTransactionsFileToIRGs(t *testing.T) {
 	}
 
 	for _, class := range []string{"ALL", "AML"} {
-		res, err := farmer.Mine(d, d.ClassIndex(class), farmer.MineOptions{
+		res, err := farmer.RunFARMER(context.Background(), d, d.ClassIndex(class), farmer.MineOptions{
 			MinSup: 3, MinConf: 0.9, ComputeLowerBounds: true,
 		})
 		if err != nil {
@@ -59,7 +60,7 @@ func TestIntegrationMarkerGeneRecovered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := farmer.Mine(d, d.ClassIndex("AML"), farmer.MineOptions{
+	res, err := farmer.RunFARMER(context.Background(), d, d.ClassIndex("AML"), farmer.MineOptions{
 		MinSup: 4, MinConf: 1.0, ComputeLowerBounds: true,
 	})
 	if err != nil {
@@ -139,19 +140,19 @@ func TestIntegrationAllMinersAgreeOnFixture(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	charm, err := farmer.MineClosedCHARM(d, farmer.CharmOptions{MinSup: 2})
+	charm, err := farmer.RunCHARM(context.Background(), d, farmer.CharmOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	closet, err := farmer.MineClosedFPTree(d, farmer.ClosetOptions{MinSup: 2})
+	closet, err := farmer.RunCLOSET(context.Background(), d, farmer.ClosetOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	carp, err := farmer.MineClosedCARPENTER(d, farmer.CarpenterOptions{MinSup: 2})
+	carp, err := farmer.RunCARPENTER(context.Background(), d, farmer.CarpenterOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cob, err := farmer.MineClosedCOBBLER(d, farmer.CobblerOptions{MinSup: 2})
+	cob, err := farmer.RunCOBBLER(context.Background(), d, farmer.CobblerOptions{MinSup: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,12 @@ type ClosedPattern struct {
 type Options struct {
 	// MinSup is the minimum absolute row support, ≥ 1.
 	MinSup int
+
+	// OnClosed, when non-nil, switches the canonical entry point
+	// (farmer.RunCARPENTER) to streaming emission in discovery order; the
+	// result accumulates no Patterns. Ignored by the low-level Mine*
+	// functions, which take their callback as an argument.
+	OnClosed func(ClosedPattern) error
 }
 
 // Result carries mined patterns and effort statistics. Nodes keeps the
@@ -39,8 +45,15 @@ type Options struct {
 type Result struct {
 	Patterns []ClosedPattern
 	Nodes    int64
-	Stats    engine.Stats
+
+	stats engine.Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of closed patterns in the batch result.
+func (r *Result) Count() int { return len(r.Patterns) }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
@@ -106,7 +119,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 		m.sc.A.Release(mark)
 	}
 	searchDone()
-	return &Result{Nodes: ex.Stats.NodesVisited, Stats: ex.Stats}, err
+	return &Result{Nodes: ex.Stats.NodesVisited, stats: ex.Stats}, err
 }
 
 // tuple is one row of a conditional transposed table, shared with the

@@ -38,6 +38,13 @@ type Options struct {
 	// the way the paper reports "did not finish". The error returned is
 	// ErrBudget.
 	MaxNodes int64
+
+	// OnClosed, when non-nil, switches the canonical entry point
+	// (farmer.RunCHARM) to streaming emission: each closed set is
+	// delivered as soon as it survives subsumption, in discovery order,
+	// and the result accumulates no Closed sets. Ignored by the low-level
+	// Mine* functions, which take their callback as an argument.
+	OnClosed func(ClosedSet) error
 }
 
 // ErrBudget reports that the node budget was exhausted before completion.
@@ -50,8 +57,15 @@ var ErrBudget = fmt.Errorf("charm: node budget exhausted")
 type Result struct {
 	Closed []ClosedSet
 	Nodes  int64
-	Stats  engine.Stats
+
+	stats engine.Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of closed sets in the batch result.
+func (r *Result) Count() int { return len(r.Closed) }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
@@ -121,7 +135,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if err == ErrBudget {
 		return nil, err
 	}
-	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
+	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 
 type itPair struct {

@@ -26,7 +26,7 @@ func TestMineContextCancelled(t *testing.T) {
 	if delivered != 0 {
 		t.Fatalf("%d sets delivered after cancellation", delivered)
 	}
-	if res == nil || res.Stats.NodesVisited > 1 {
+	if res == nil || res.Stats().NodesVisited > 1 {
 		t.Fatalf("cancelled run: res=%v, want partial stats with <= 1 node", res)
 	}
 }
@@ -53,8 +53,8 @@ func TestMineStreamEquivalentToBatch(t *testing.T) {
 		if !reflect.DeepEqual(streamed, batch.Closed) {
 			t.Fatalf("iter %d: streamed %d sets != batch %d sets", iter, len(streamed), len(batch.Closed))
 		}
-		if res.Stats.Counters != batch.Stats.Counters {
-			t.Fatalf("iter %d: counters differ:\n %+v\n %+v", iter, res.Stats.Counters, batch.Stats.Counters)
+		if res.Stats().Counters != batch.Stats().Counters {
+			t.Fatalf("iter %d: counters differ:\n %+v\n %+v", iter, res.Stats().Counters, batch.Stats().Counters)
 		}
 	}
 }

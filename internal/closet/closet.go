@@ -28,6 +28,12 @@ type Options struct {
 	// MaxNodes, when > 0, bounds the WORK done: conditional trees explored
 	// plus subsumption comparisons. Exceeding it aborts with ErrBudget.
 	MaxNodes int64
+
+	// OnClosed, when non-nil, switches the canonical entry point
+	// (farmer.RunCLOSET) to streaming emission in discovery order; the
+	// result accumulates no Closed sets. Ignored by the low-level Mine*
+	// functions, which take their callback as an argument.
+	OnClosed func(ClosedSet) error
 }
 
 // ErrBudget reports an exhausted node budget.
@@ -40,8 +46,15 @@ var ErrBudget = fmt.Errorf("closet: node budget exhausted")
 type Result struct {
 	Closed []ClosedSet
 	Nodes  int64
-	Stats  engine.Stats
+
+	stats engine.Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of closed sets in the batch result.
+func (r *Result) Count() int { return len(r.Closed) }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
@@ -132,7 +145,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if err == ErrBudget {
 		return nil, err
 	}
-	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
+	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 
 type miner struct {

@@ -43,6 +43,12 @@ type Options struct {
 	// "" (dynamic), "row", or "feature". The ablation benchmarks use it to
 	// quantify what switching buys.
 	ForceMode string
+
+	// OnClosed, when non-nil, switches the canonical entry point
+	// (farmer.RunCOBBLER) to streaming emission in discovery order; the
+	// result accumulates no Patterns. Ignored by the low-level Mine*
+	// functions, which take their callback as an argument.
+	OnClosed func(ClosedPattern) error
 }
 
 // Result carries the mined patterns and effort statistics.
@@ -53,10 +59,17 @@ type Result struct {
 	RowNodes     int64
 	FeatureNodes int64
 	Switches     int64
-	// Stats carries the engine's unified counters; NodesVisited equals
+
+	// stats carries the engine's unified counters; NodesVisited equals
 	// RowNodes + FeatureNodes.
-	Stats engine.Stats
+	stats engine.Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of closed patterns in the batch result.
+func (r *Result) Count() int { return len(r.Patterns) }
 
 // Mine returns all closed itemsets of d with support ≥ opt.MinSup.
 func Mine(d *dataset.Dataset, opt Options) (*Result, error) {
@@ -146,7 +159,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 		RowNodes:     m.rowNodes,
 		FeatureNodes: m.featNodes,
 		Switches:     m.switches,
-		Stats:        ex.Stats,
+		stats:        ex.Stats,
 	}, err
 }
 

@@ -27,7 +27,7 @@ func TestMineContextCancelled(t *testing.T) {
 		if delivered != 0 {
 			t.Fatalf("mode %q: %d patterns delivered after cancellation", mode, delivered)
 		}
-		if res == nil || res.Stats.NodesVisited > 1 {
+		if res == nil || res.Stats().NodesVisited > 1 {
 			t.Fatalf("mode %q: cancelled run res=%v, want partial stats with <= 1 node", mode, res)
 		}
 	}
@@ -58,9 +58,9 @@ func TestMineStreamEquivalentToBatch(t *testing.T) {
 				t.Fatalf("iter %d mode %q: streamed %d patterns != batch %d",
 					iter, mode, len(streamed), len(batch.Patterns))
 			}
-			if res.Stats.Counters != batch.Stats.Counters {
+			if res.Stats().Counters != batch.Stats().Counters {
 				t.Fatalf("iter %d mode %q: counters differ:\n %+v\n %+v",
-					iter, mode, res.Stats.Counters, batch.Stats.Counters)
+					iter, mode, res.Stats().Counters, batch.Stats().Counters)
 			}
 		}
 	}

@@ -44,6 +44,14 @@ type Options struct {
 	// MaxNodes, when > 0, aborts enumeration with ErrBudget after that many
 	// nodes.
 	MaxNodes int64
+
+	// OnRule, when non-nil, switches the canonical entry point
+	// (farmer.RunColumnE) to streaming emission: rules are delivered
+	// during the finish-phase fixpoint (ColumnE's interestingness is a
+	// global fixpoint), and the result accumulates no Rules. Ignored by
+	// the low-level Mine* functions, which take their callback as an
+	// argument.
+	OnRule func(Rule) error
 }
 
 // ErrBudget reports that the node budget was exhausted before completion.
@@ -55,8 +63,15 @@ var ErrBudget = fmt.Errorf("columne: node budget exhausted")
 type Result struct {
 	Rules []Rule
 	Nodes int64
-	Stats engine.Stats
+
+	stats engine.Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of rules in the batch result.
+func (r *Result) Count() int { return len(r.Rules) }
 
 // Mine enumerates column combinations and returns one rule per interesting
 // rule group with the given consequent.
@@ -158,7 +173,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 		err = m.finish()
 		finishDone()
 	}
-	return &Result{Nodes: m.nodes, Stats: ex.Stats}, err
+	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 
 type extension struct {

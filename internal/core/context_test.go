@@ -25,9 +25,9 @@ func TestMineContextCancelledBeforeStart(t *testing.T) {
 	if res == nil {
 		t.Fatal("cancelled run returned nil Result; want partial stats")
 	}
-	if res.Stats.NodesVisited > 1 {
+	if res.Stats().NodesVisited > 1 {
 		t.Fatalf("NodesVisited = %d after pre-cancelled context; want <= 1 (stop within one node expansion)",
-			res.Stats.NodesVisited)
+			res.Stats().NodesVisited)
 	}
 	if len(res.Groups) != 0 {
 		t.Fatalf("pre-cancelled run emitted %d groups", len(res.Groups))
@@ -69,9 +69,9 @@ func TestMineStreamCancelMidRun(t *testing.T) {
 		if !reflect.DeepEqual(got, full.Groups[:stopAt]) {
 			t.Fatalf("stopAt=%d: cancelled-run prefix differs from batch order", stopAt)
 		}
-		if res.Stats.NodesVisited > full.Stats.NodesVisited {
+		if res.Stats().NodesVisited > full.Stats().NodesVisited {
 			t.Fatalf("stopAt=%d: cancelled run visited %d nodes, full run %d",
-				stopAt, res.Stats.NodesVisited, full.Stats.NodesVisited)
+				stopAt, res.Stats().NodesVisited, full.Stats().NodesVisited)
 		}
 	}
 }
@@ -111,9 +111,9 @@ func TestMineStreamEquivalentToBatch(t *testing.T) {
 	if !reflect.DeepEqual(streamed, batch.Groups) {
 		t.Fatalf("streamed groups differ from batch:\n got %d\nwant %d", len(streamed), len(batch.Groups))
 	}
-	if res.Stats.Counters != batch.Stats.Counters {
+	if res.Stats().Counters != batch.Stats().Counters {
 		t.Fatalf("streamed counters differ from batch:\n got %+v\nwant %+v",
-			res.Stats.Counters, batch.Stats.Counters)
+			res.Stats().Counters, batch.Stats().Counters)
 	}
 	if res.Groups != nil {
 		t.Fatal("MineStream accumulated Groups; streaming must not batch")
@@ -143,8 +143,8 @@ func TestMineParallelContextCancelDrains(t *testing.T) {
 				len(res.Groups))
 		}
 		// Workers enter at most one node each before observing cancellation.
-		if res.Stats.NodesVisited > 4 {
-			t.Fatalf("cancelled run visited %d nodes with 4 workers; want <= 4", res.Stats.NodesVisited)
+		if res.Stats().NodesVisited > 4 {
+			t.Fatalf("cancelled run visited %d nodes with 4 workers; want <= 4", res.Stats().NodesVisited)
 		}
 	}
 

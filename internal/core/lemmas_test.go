@@ -86,7 +86,7 @@ func TestLemma35AbsorptionInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	with := mustMine(t, d, 0, Options{MinSup: 1})
-	if with.Stats.RowsAbsorbed == 0 {
+	if with.Stats().RowsAbsorbed == 0 {
 		t.Fatal("construction did not trigger pruning 1")
 	}
 	without := mustMine(t, d, 0, Options{MinSup: 1, DisablePruning1: true})
@@ -117,13 +117,13 @@ func TestLemma36BackScanExample5(t *testing.T) {
 	d := dataset.PaperExample()
 	with := mustMine(t, d, 0, Options{MinSup: 1})
 	without := mustMine(t, d, 0, Options{MinSup: 1, DisablePruning2: true})
-	if with.Stats.PrunedBackScan == 0 {
+	if with.Stats().PrunedBackScan == 0 {
 		t.Fatal("back scan never fired")
 	}
-	if without.Stats.NodesVisited < with.Stats.NodesVisited {
+	if without.Stats().NodesVisited < with.Stats().NodesVisited {
 		t.Fatal("disabling the back scan reduced the node count")
 	}
-	if without.Stats.PrunedBackScan != 0 {
+	if without.Stats().PrunedBackScan != 0 {
 		t.Fatal("disabled back scan still pruned")
 	}
 	if !reflect.DeepEqual(coreKeys(with), coreKeys(without)) {

@@ -108,7 +108,7 @@ func TestGainPruningFires(t *testing.T) {
 	if len(res.Groups) != 0 {
 		t.Fatalf("entropy gain 0.9 should eliminate every group on 5 rows, got %d", len(res.Groups))
 	}
-	if res.Stats.PrunedGainBound == 0 {
+	if res.Stats().PrunedGainBound == 0 {
 		t.Fatal("gain bound never pruned")
 	}
 }

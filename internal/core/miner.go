@@ -78,7 +78,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
 	err := m.run()
 	searchDone()
-	res.Stats = ex.Stats
+	res.stats = ex.Stats
 	return res, err
 }
 

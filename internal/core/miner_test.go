@@ -109,7 +109,7 @@ func TestPaperExample2RuleGroup(t *testing.T) {
 func TestPaperExampleBackScanFires(t *testing.T) {
 	d := dataset.PaperExample()
 	res := mustMine(t, d, 0, Options{MinSup: 1})
-	if res.Stats.PrunedBackScan == 0 {
+	if res.Stats().PrunedBackScan == 0 {
 		t.Fatal("back-scan pruning never fired on the paper example")
 	}
 }
@@ -438,9 +438,9 @@ func TestPruningReducesNodes(t *testing.T) {
 	full := mustMine(t, d, 0, Options{MinSup: 2, MinConf: 0.6})
 	none := mustMine(t, d, 0, Options{MinSup: 2, MinConf: 0.6,
 		DisablePruning1: true, DisablePruning2: true, DisablePruning3: true})
-	if full.Stats.NodesVisited >= none.Stats.NodesVisited {
+	if full.Stats().NodesVisited >= none.Stats().NodesVisited {
 		t.Fatalf("pruning did not reduce nodes: %d vs %d",
-			full.Stats.NodesVisited, none.Stats.NodesVisited)
+			full.Stats().NodesVisited, none.Stats().NodesVisited)
 	}
 }
 
@@ -450,7 +450,7 @@ func TestResultMetadata(t *testing.T) {
 	if res.NumRows != 5 || res.NumPos != 3 || res.Consequent != 0 {
 		t.Fatalf("metadata = %+v", res)
 	}
-	if res.Stats.GroupsEmitted != int64(len(res.Groups)) {
+	if res.Stats().GroupsEmitted != int64(len(res.Groups)) {
 		t.Fatal("GroupsEmitted disagrees with output length")
 	}
 }

@@ -67,6 +67,20 @@ type Options struct {
 	DisablePruning1 bool // do not absorb Y rows / do not compress nodes
 	DisablePruning2 bool // do not cut subtrees on back-scan hits
 	DisablePruning3 bool // do not apply support/confidence/chi bounds
+
+	// Workers selects the execution mode of the canonical entry point
+	// (farmer.RunFARMER): 0 runs the sequential miner; any other value
+	// runs the work-stealing parallel scheduler with that many workers
+	// (negative = GOMAXPROCS). Ignored by the low-level Mine/MineParallel
+	// functions, which take the mode from their own name and arguments.
+	Workers int
+
+	// OnGroup, when non-nil, switches the canonical entry point to
+	// streaming emission: each interesting rule group is delivered as soon
+	// as it is accepted, in batch order, and the result accumulates no
+	// Groups. Streaming is sequential; combining OnGroup with Workers != 0
+	// is an error. Ignored by the low-level Mine* functions.
+	OnGroup func(RuleGroup) error
 }
 
 // Validate reports whether the options are usable.

@@ -170,7 +170,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	}
 	if n == 0 || ord.NumPositive == 0 {
 		setupDone()
-		res.Stats = ex.Stats
+		res.stats = ex.Stats
 		return res, nil
 	}
 
@@ -279,7 +279,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	ex.Stats.GroupsNotInterest = 0
 
 	if err := ex.Err(); err != nil {
-		res.Stats = ex.Stats
+		res.stats = ex.Stats
 		return res, err
 	}
 
@@ -295,7 +295,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	var kept []irgEntry
 	for _, c := range cands {
 		if err := ex.Err(); err != nil {
-			res.Stats = ex.Stats
+			res.stats = ex.Stats
 			return res, err
 		}
 		interesting := true
@@ -323,7 +323,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	for i := range kept {
 		if err := ex.Err(); err != nil {
 			res.Groups = nil
-			res.Stats = ex.Stats
+			res.stats = ex.Stats
 			return res, err
 		}
 		e := &kept[i]
@@ -345,7 +345,7 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	sort.SliceStable(res.Groups, func(i, j int) bool {
 		return lessItems(res.Groups[i].Antecedent, res.Groups[j].Antecedent)
 	})
-	res.Stats = ex.Stats
+	res.stats = ex.Stats
 	return res, nil
 }
 

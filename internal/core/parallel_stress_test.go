@@ -78,22 +78,22 @@ func TestMineParallelStress(t *testing.T) {
 		// The summed counters are a deterministic property of the task
 		// decomposition, not of scheduling: every worker count must agree.
 		if baseline == nil {
-			s := par.Stats
+			s := par.Stats()
 			baseline = &s
-		} else if par.Stats.Counters != baseline.Counters {
+		} else if par.Stats().Counters != baseline.Counters {
 			t.Fatalf("workers=%d: summed stats differ across worker counts\n got %+v\nwant %+v",
-				workers, par.Stats, *baseline)
+				workers, par.Stats(), *baseline)
 		}
 		// The result-shaped counters must agree with sequential Mine exactly:
 		// every distinct constraint-satisfying group is either kept or
 		// rejected as uninteresting exactly once in both decompositions.
-		if par.Stats.GroupsEmitted != seq.Stats.GroupsEmitted {
+		if par.Stats().GroupsEmitted != seq.Stats().GroupsEmitted {
 			t.Fatalf("workers=%d: GroupsEmitted %d, sequential %d",
-				workers, par.Stats.GroupsEmitted, seq.Stats.GroupsEmitted)
+				workers, par.Stats().GroupsEmitted, seq.Stats().GroupsEmitted)
 		}
-		if par.Stats.GroupsNotInterest != seq.Stats.GroupsNotInterest {
+		if par.Stats().GroupsNotInterest != seq.Stats().GroupsNotInterest {
 			t.Fatalf("workers=%d: GroupsNotInterest %d, sequential %d",
-				workers, par.Stats.GroupsNotInterest, seq.Stats.GroupsNotInterest)
+				workers, par.Stats().GroupsNotInterest, seq.Stats().GroupsNotInterest)
 		}
 	}
 }

@@ -95,8 +95,14 @@ type Result struct {
 	// count (the n and m of the chi-square margins).
 	NumRows, NumPos int
 
-	Stats Stats
+	stats Stats
 }
+
+// Stats returns the engine's unified run statistics.
+func (r *Result) Stats() Stats { return r.stats }
+
+// Count returns the number of rule groups in the batch result.
+func (r *Result) Count() int { return len(r.Groups) }
 
 // irgEntry is the internal store for step 7: the group's row support set
 // over the reordered dataset plus exact confidence as a fraction. Antecedent

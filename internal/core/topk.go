@@ -26,6 +26,33 @@ const (
 	MeasureGiniGain
 )
 
+// String returns the measure's canonical name: "chi2", "entropy" or
+// "gini".
+func (m Measure) String() string {
+	switch m {
+	case MeasureEntropyGain:
+		return "entropy"
+	case MeasureGiniGain:
+		return "gini"
+	default:
+		return "chi2"
+	}
+}
+
+// ParseMeasure maps a canonical measure name ("chi2", "entropy", "gini")
+// back to its Measure, as used by the CLI flags and the service API.
+func ParseMeasure(name string) (Measure, error) {
+	switch name {
+	case "chi2", "":
+		return MeasureChi2, nil
+	case "entropy":
+		return MeasureEntropyGain, nil
+	case "gini":
+		return MeasureGiniGain, nil
+	}
+	return 0, fmt.Errorf("core: unknown measure %q (want chi2, entropy or gini)", name)
+}
+
 func (m Measure) value(x, y, n, pos int) float64 {
 	switch m {
 	case MeasureEntropyGain:
@@ -54,6 +81,31 @@ type ScoredGroup struct {
 	Score float64
 }
 
+// TopKOptions configures TopK: the number of groups to keep, the objective
+// measure, and the minimum support.
+type TopKOptions struct {
+	// K is the number of best groups to return. Must be ≥ 1.
+	K int
+	// Measure is the convex objective; its zero value is MeasureChi2.
+	Measure Measure
+	// MinSup is the minimum rule support, ≥ 1.
+	MinSup int
+}
+
+// TopKResult carries the ranked groups (best first) and the run's unified
+// statistics.
+type TopKResult struct {
+	Groups []ScoredGroup
+
+	stats engine.Stats
+}
+
+// Stats returns the engine's unified run statistics.
+func (r *TopKResult) Stats() engine.Stats { return r.stats }
+
+// Count returns the number of ranked groups kept.
+func (r *TopKResult) Count() int { return len(r.Groups) }
+
 // MineTopK returns the k rule groups with the given consequent that
 // maximize the measure, subject to a minimum support, by branch-and-bound
 // over the row enumeration tree: the convex vertex bound of each subtree is
@@ -69,6 +121,17 @@ func MineTopK(d *dataset.Dataset, consequent, k int, measure Measure, minsup int
 // the best groups found so far — a valid answer for whatever portion of
 // the search space was explored, not necessarily the global top k.
 func MineTopKContext(ctx context.Context, d *dataset.Dataset, consequent, k int, measure Measure, minsup int) ([]ScoredGroup, error) {
+	res, err := TopK(ctx, d, consequent, TopKOptions{K: k, Measure: measure, MinSup: minsup})
+	if res == nil {
+		return nil, err
+	}
+	return res.Groups, err
+}
+
+// TopK is the canonical branch-and-bound entry point: MineTopKContext with
+// an options struct and a stats-carrying result.
+func TopK(ctx context.Context, d *dataset.Dataset, consequent int, opt TopKOptions) (*TopKResult, error) {
+	k, measure, minsup := opt.K, opt.Measure, opt.MinSup
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
@@ -109,7 +172,7 @@ func MineTopKContext(ctx context.Context, d *dataset.Dataset, consequent, k int,
 		}
 		return lessItems(out[a].Antecedent, out[b].Antecedent)
 	})
-	return out, err
+	return &TopKResult{Groups: out, stats: m.ex.Stats}, err
 }
 
 type scoredEntry struct {

@@ -118,15 +118,15 @@ func CheckMineEquivalence(c Case) error {
 		if err != nil {
 			return fmt.Errorf("core.MineParallel(workers=%d): %w", otherWorkers, err)
 		}
-		if par.Stats.Counters != par2.Stats.Counters {
+		if par.Stats().Counters != par2.Stats().Counters {
 			return fmt.Errorf("parallel stats differ across worker counts %d vs %d:\n %+v\n %+v",
-				c.Workers, otherWorkers, par.Stats, par2.Stats)
+				c.Workers, otherWorkers, par.Stats(), par2.Stats())
 		}
-		if par.Stats.GroupsEmitted != seq.Stats.GroupsEmitted ||
-			par.Stats.GroupsNotInterest != seq.Stats.GroupsNotInterest {
+		if par.Stats().GroupsEmitted != seq.Stats().GroupsEmitted ||
+			par.Stats().GroupsNotInterest != seq.Stats().GroupsNotInterest {
 			return fmt.Errorf("parallel group accounting %d/%d differs from sequential %d/%d",
-				par.Stats.GroupsEmitted, par.Stats.GroupsNotInterest,
-				seq.Stats.GroupsEmitted, seq.Stats.GroupsNotInterest)
+				par.Stats().GroupsEmitted, par.Stats().GroupsNotInterest,
+				seq.Stats().GroupsEmitted, seq.Stats().GroupsNotInterest)
 		}
 	}
 

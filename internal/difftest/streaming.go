@@ -30,9 +30,9 @@ func CheckStreamingEquivalence(c Case) error {
 	if len(streamed) != len(batch.Groups) || (len(streamed) > 0 && !reflect.DeepEqual(streamed, batch.Groups)) {
 		return fmt.Errorf("streamed %d groups differ from batch %d groups", len(streamed), len(batch.Groups))
 	}
-	if res.Stats.Counters != batch.Stats.Counters {
+	if res.Stats().Counters != batch.Stats().Counters {
 		return fmt.Errorf("streaming counters differ from batch:\n %+v\n %+v",
-			res.Stats.Counters, batch.Stats.Counters)
+			res.Stats().Counters, batch.Stats().Counters)
 	}
 	return nil
 }

@@ -90,6 +90,21 @@ type Stats struct {
 	Timings Timings
 }
 
+// MinerResult is the common face of every miner's result type — FARMER's
+// rule groups, the top-k groups, and the five baselines' closed sets /
+// rules all satisfy it. It lets a caller that juggles several miners (the
+// serving layer's job manager, the progress endpoint) read run statistics
+// and batch sizes uniformly instead of switching on six concrete types.
+type MinerResult interface {
+	// Stats returns the run's unified statistics. After cancellation it
+	// reflects the work actually done (a partial run).
+	Stats() Stats
+	// Count returns the number of groups/patterns/rules materialized in
+	// the batch result. Streamed runs do not accumulate a batch, so their
+	// count is zero; the emitted total lives in Stats().GroupsEmitted.
+	Count() int
+}
+
 // Phase starts timing a phase and returns the function that stops it,
 // adding the elapsed time to *dst:
 //

@@ -71,11 +71,11 @@ func Ablation(spec synth.Spec, cfg Config) (*AblationResult, error) {
 		out.Rows = append(out.Rows, AblationRow{
 			Variant:  v.name,
 			Runtime:  time.Since(start),
-			Nodes:    res.Stats.NodesVisited,
-			Absorbed: res.Stats.RowsAbsorbed,
-			BackScan: res.Stats.PrunedBackScan,
-			Bounds: res.Stats.PrunedLooseBound + res.Stats.PrunedTightBound +
-				res.Stats.PrunedChiBound + res.Stats.PrunedGainBound,
+			Nodes:    res.Stats().NodesVisited,
+			Absorbed: res.Stats().RowsAbsorbed,
+			BackScan: res.Stats().PrunedBackScan,
+			Bounds: res.Stats().PrunedLooseBound + res.Stats().PrunedTightBound +
+				res.Stats().PrunedChiBound + res.Stats().PrunedGainBound,
 			Groups: len(res.Groups),
 		})
 	}

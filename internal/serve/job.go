@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	farmer "repro"
+	"repro/internal/engine"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the request body of POST /v1/jobs: which miner to run, on
+// which registered dataset, with which parameters. Fields a miner does
+// not use are ignored.
+type JobSpec struct {
+	// Miner is one of "farmer", "topk", "charm", "closet", "columne",
+	// "carpenter", "cobbler".
+	Miner string `json:"miner"`
+	// Dataset names a dataset previously registered with the service.
+	Dataset string `json:"dataset"`
+	// Class is the consequent class name for the class-aware miners
+	// (farmer, topk, columne); empty selects class 0.
+	Class string `json:"class,omitempty"`
+
+	MinSup  int     `json:"minsup,omitempty"`
+	MinConf float64 `json:"minconf,omitempty"`
+	MinChi  float64 `json:"minchi,omitempty"`
+	// LowerBounds asks the FARMER miner to recover each group's lower
+	// bounds.
+	LowerBounds bool `json:"lower_bounds,omitempty"`
+
+	// K and Measure configure the "topk" miner.
+	K       int    `json:"k,omitempty"`
+	Measure string `json:"measure,omitempty"`
+
+	// Workers selects the FARMER parallel scheduler (negative =
+	// GOMAXPROCS); 0 runs sequentially with live streaming.
+	Workers int `json:"workers,omitempty"`
+
+	// TimeoutMS bounds the job's run time; 0 means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// runnerFunc executes one mining job: it emits result records as they
+// become available and returns the miner's result (for its statistics).
+// On cancellation it returns ctx.Err() together with partial statistics.
+type runnerFunc func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error)
+
+// Job is one submitted mining run. All mutable fields are guarded by mu;
+// results only ever grows, and stops growing once the state is terminal.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	runner runnerFunc
+
+	mu        sync.Mutex
+	state     State
+	results   []json.RawMessage
+	wake      chan struct{} // closed and replaced on every append / state change
+	done      chan struct{} // closed once, when the state turns terminal
+	cancel    context.CancelFunc
+	errMsg    string
+	stats     engine.Stats
+	hasStats  bool
+	createdAt time.Time
+	startedAt time.Time
+	endedAt   time.Time
+}
+
+func newJob(id string, spec JobSpec, run runnerFunc) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		runner:    run,
+		state:     StateQueued,
+		wake:      make(chan struct{}),
+		done:      make(chan struct{}),
+		createdAt: time.Now(),
+	}
+}
+
+// wakeLocked signals every waiter and re-arms the broadcast channel.
+// Callers must hold mu.
+func (j *Job) wakeLocked() {
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+// emit appends one result record. It is only called from the worker
+// goroutine running the job, before the state turns terminal.
+func (j *Job) emit(v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.results = append(j.results, raw)
+	j.wakeLocked()
+	j.mu.Unlock()
+	return nil
+}
+
+// finish moves the job to a terminal state exactly once and records the
+// final statistics (partial on cancellation).
+func (j *Job) finish(state State, stats engine.Stats, hasStats bool, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.stats = stats
+	j.hasStats = hasStats
+	j.errMsg = errMsg
+	j.endedAt = time.Now()
+	close(j.done)
+	j.wakeLocked()
+}
+
+// next returns the result records from index from onward, whether the job
+// is finished, and — when it is not — a channel that is closed on the
+// next append or state change. The channel is captured under the same
+// lock as the batch, so no update can be missed.
+func (j *Job) next(from int) (batch []json.RawMessage, terminal bool, wake <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.results) {
+		batch = j.results[from:]
+	}
+	return batch, j.state.Terminal(), j.wake
+}
+
+// JobStatus is the wire form of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Miner   string `json:"miner"`
+	Dataset string `json:"dataset"`
+	State   State  `json:"state"`
+	// Emitted is the number of result records available so far; it grows
+	// while the job runs.
+	Emitted int    `json:"emitted"`
+	Error   string `json:"error,omitempty"`
+	// Stats is present once the job is terminal; for cancelled jobs it
+	// holds the partial statistics up to the cancellation point.
+	Stats      *engine.Stats `json:"stats,omitempty"`
+	CreatedAt  string        `json:"created_at"`
+	StartedAt  string        `json:"started_at,omitempty"`
+	FinishedAt string        `json:"finished_at,omitempty"`
+}
+
+// Status snapshots the job for the status endpoint.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Miner:     j.Spec.Miner,
+		Dataset:   j.Spec.Dataset,
+		State:     j.state,
+		Emitted:   len(j.results),
+		Error:     j.errMsg,
+		CreatedAt: j.createdAt.Format(time.RFC3339Nano),
+	}
+	if j.hasStats {
+		stats := j.stats
+		st.Stats = &stats
+	}
+	if !j.startedAt.IsZero() {
+		st.StartedAt = j.startedAt.Format(time.RFC3339Nano)
+	}
+	if !j.endedAt.IsZero() {
+		st.FinishedAt = j.endedAt.Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Done exposes the terminal-state channel (closed when the job finishes).
+func (j *Job) Done() <-chan struct{} { return j.done }

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Sentinel errors mapped to HTTP statuses by the server.
+var (
+	// ErrDraining rejects submissions while the manager shuts down (503).
+	ErrDraining = errors.New("serve: manager is draining")
+	// ErrQueueFull rejects submissions when the job queue is at capacity
+	// (503): backpressure instead of unbounded memory growth.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrNotFound reports an unknown job id (404).
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// Manager owns the job queue and the bounded worker pool that drains it.
+// Jobs pass through queued -> running -> done/failed/cancelled; a DELETE
+// cancels a queued job immediately and interrupts a running one through
+// its context (the engine stops within one node expansion).
+type Manager struct {
+	reg *Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	seq      int
+	queue    chan *Job
+	draining bool
+
+	wg sync.WaitGroup // live workers
+}
+
+// NewManager starts workers goroutines (<= 0 selects GOMAXPROCS) serving
+// a queue of the given depth (<= 0 selects 64).
+func NewManager(reg *Registry, workers, depth int) *Manager {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	m := &Manager{
+		reg:   reg,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, depth),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the dataset registry jobs resolve their input from.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Submit validates spec, compiles it into a runner and enqueues the job.
+// Validation failures (unknown miner, dataset or class) are returned
+// immediately; ErrDraining and ErrQueueFull signal admission refusal.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	run, err := buildRunner(m.reg, spec)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.seq++
+	job := newJob(fmt.Sprintf("job-%d", m.seq), spec, run)
+	select {
+	case m.queue <- job:
+		m.jobs[job.ID] = job
+		return job, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns a snapshot of all jobs, newest first not guaranteed.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Cancel stops the job with the given id: a queued job turns cancelled
+// immediately (the worker skips it when it is popped), a running job has
+// its context cancelled and finishes with partial statistics. Cancelling
+// a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	job.mu.Lock()
+	switch {
+	case job.state == StateQueued:
+		job.state = StateCancelled
+		job.errMsg = context.Canceled.Error()
+		job.endedAt = time.Now()
+		close(job.done)
+		job.wakeLocked()
+		job.mu.Unlock()
+	case job.state == StateRunning:
+		cancel := job.cancel
+		job.mu.Unlock()
+		cancel()
+	default:
+		job.mu.Unlock()
+	}
+	return nil
+}
+
+// Shutdown drains the service: no new submissions are admitted, workers
+// finish the jobs already queued or running, and once ctx expires every
+// remaining job is cancelled (each stops within one node expansion).
+// Shutdown returns when all workers have exited; the error is ctx.Err()
+// when the drain deadline forced cancellation, nil otherwise.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline hit: cancel everything still live and wait for the
+	// workers — cancellation is honoured within one node expansion, so
+	// this wait is short and bounded by the slowest expansion.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			j.state = StateCancelled
+			j.errMsg = context.Canceled.Error()
+			j.endedAt = time.Now()
+			close(j.done)
+			j.wakeLocked()
+		case StateRunning:
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.run(job)
+	}
+}
+
+// run executes one job on the calling worker goroutine.
+func (m *Manager) run(job *Job) {
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if job.Spec.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(job.Spec.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting in the queue
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.startedAt = time.Now()
+	job.cancel = cancel
+	job.wakeLocked()
+	job.mu.Unlock()
+
+	res, err := job.runner(ctx, job.emit)
+	var stats engine.Stats
+	hasStats := res != nil
+	if hasStats {
+		stats = res.Stats()
+	}
+	switch {
+	case err == nil:
+		job.finish(StateDone, stats, hasStats, "")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		job.finish(StateCancelled, stats, hasStats, err.Error())
+	default:
+		job.finish(StateFailed, stats, hasStats, err.Error())
+	}
+}

@@ -1,0 +1,91 @@
+// Package serve is the farmerd mining service: a dataset registry, a job
+// manager running miners on a bounded worker pool, and an HTTP/JSON API
+// over both. Datasets are registered once (uploaded or preloaded from
+// disk) and referenced by name; jobs run any of the repository's miners
+// through the canonical farmer.Run* entry points with per-job
+// cancellation and live NDJSON result streaming.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	farmer "repro"
+)
+
+// Registry is the named-dataset store shared by all jobs. Datasets are
+// immutable once registered; re-registering a name replaces it for future
+// jobs without disturbing running ones (they hold their own pointer).
+type Registry struct {
+	mu       sync.RWMutex
+	datasets map[string]*farmer.Dataset
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{datasets: make(map[string]*farmer.Dataset)}
+}
+
+// Put registers d under name, replacing any previous dataset of that name.
+func (r *Registry) Put(name string, d *farmer.Dataset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.datasets[name] = d
+}
+
+// Get returns the dataset registered under name.
+func (r *Registry) Get(name string) (*farmer.Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.datasets[name]
+	return d, ok
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.datasets))
+	for n := range r.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load parses src in the given format and registers the result under name.
+// Format "transactions" is the repository's "<class> : item item ..."
+// text format; "matrix" is a labeled expression CSV, discretized with
+// equal-depth buckets (default 10 when buckets <= 0).
+func (r *Registry) Load(name, format string, buckets int, src io.Reader) (*farmer.Dataset, error) {
+	var (
+		d   *farmer.Dataset
+		err error
+	)
+	switch format {
+	case "", "transactions":
+		d, err = farmer.ReadTransactions(src)
+	case "matrix":
+		if buckets <= 0 {
+			buckets = 10
+		}
+		var m *farmer.Matrix
+		if m, err = farmer.ReadMatrixCSV(src); err != nil {
+			break
+		}
+		var disc *farmer.Discretizer
+		if disc, err = farmer.EqualDepth(m, buckets); err != nil {
+			break
+		}
+		d, err = disc.Apply(m)
+	default:
+		return nil, fmt.Errorf("unknown dataset format %q (want transactions or matrix)", format)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load dataset %s: %w", name, err)
+	}
+	r.Put(name, d)
+	return d, nil
+}

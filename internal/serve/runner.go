@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	farmer "repro"
+)
+
+// GroupRecord is the NDJSON wire form of a rule group (FARMER, TopK) or a
+// single rule (ColumnE). Items are reported by name so clients need no
+// item-id table.
+type GroupRecord struct {
+	Antecedent  []string   `json:"antecedent"`
+	LowerBounds [][]string `json:"lower_bounds,omitempty"`
+	SupPos      int        `json:"sup_pos"`
+	SupNeg      int        `json:"sup_neg"`
+	Confidence  float64    `json:"confidence"`
+	Chi         float64    `json:"chi"`
+	// Score is the objective value for TopK jobs; absent otherwise.
+	Score *float64 `json:"score,omitempty"`
+}
+
+// ClosedRecord is the NDJSON wire form of a closed itemset / pattern
+// (CHARM, CLOSET, CARPENTER, COBBLER).
+type ClosedRecord struct {
+	Items   []string `json:"items"`
+	Support int      `json:"support"`
+}
+
+func itemNames(d *farmer.Dataset, items []farmer.Item) []string {
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = d.ItemName(it)
+	}
+	return names
+}
+
+func groupRecord(d *farmer.Dataset, g farmer.RuleGroup) GroupRecord {
+	rec := GroupRecord{
+		Antecedent: itemNames(d, g.Antecedent),
+		SupPos:     g.SupPos,
+		SupNeg:     g.SupNeg,
+		Confidence: g.Confidence,
+		Chi:        g.Chi,
+	}
+	for _, lb := range g.LowerBounds {
+		rec.LowerBounds = append(rec.LowerBounds, itemNames(d, lb))
+	}
+	return rec
+}
+
+// resolveClass maps the spec's class name to a consequent index. The
+// empty name selects class 0, matching the cmd/farmer default.
+func resolveClass(d *farmer.Dataset, class string) (int, error) {
+	if class == "" {
+		return 0, nil
+	}
+	c := d.ClassIndex(class)
+	if c < 0 {
+		return 0, fmt.Errorf("unknown class %q", class)
+	}
+	return c, nil
+}
+
+// buildRunner validates spec against the registry and compiles it into a
+// runnerFunc. All validation errors surface here, at submission time, so
+// a queued job can only fail from the mining run itself.
+func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
+	d, ok := reg.Get(spec.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", spec.Dataset)
+	}
+	minsup := spec.MinSup
+	if minsup < 1 {
+		minsup = 1
+	}
+
+	switch spec.Miner {
+	case "farmer":
+		consequent, err := resolveClass(d, spec.Class)
+		if err != nil {
+			return nil, err
+		}
+		opt := farmer.MineOptions{
+			MinSup:             minsup,
+			MinConf:            spec.MinConf,
+			MinChi:             spec.MinChi,
+			ComputeLowerBounds: spec.LowerBounds,
+			Workers:            spec.Workers,
+		}
+		if opt.Workers != 0 {
+			// Parallel runs are batch-only: the interestingness fixpoint is
+			// not sound on a partial candidate set, so groups are emitted
+			// after the run completes.
+			return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+				res, err := farmer.RunFARMER(ctx, d, consequent, opt)
+				if res == nil {
+					return nil, err
+				}
+				for _, g := range res.Groups {
+					if emitErr := emit(groupRecord(d, g)); emitErr != nil {
+						return res, emitErr
+					}
+				}
+				return res, err
+			}, nil
+		}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			o := opt
+			o.OnGroup = func(g farmer.RuleGroup) error { return emit(groupRecord(d, g)) }
+			res, err := farmer.RunFARMER(ctx, d, consequent, o)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	case "topk":
+		consequent, err := resolveClass(d, spec.Class)
+		if err != nil {
+			return nil, err
+		}
+		measure, err := farmer.ParseMeasure(spec.Measure)
+		if err != nil {
+			return nil, err
+		}
+		k := spec.K
+		if k < 1 {
+			k = 1
+		}
+		opt := farmer.TopKOptions{K: k, Measure: measure, MinSup: minsup}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			// Best-first search only knows the final ranking at the end, so
+			// TopK is batch-only; on cancellation the best groups so far are
+			// still emitted.
+			res, err := farmer.RunTopK(ctx, d, consequent, opt)
+			if res == nil {
+				return nil, err
+			}
+			for _, sg := range res.Groups {
+				rec := groupRecord(d, sg.RuleGroup)
+				score := sg.Score
+				rec.Score = &score
+				if emitErr := emit(rec); emitErr != nil {
+					return res, emitErr
+				}
+			}
+			return res, err
+		}, nil
+
+	case "charm":
+		opt := farmer.CharmOptions{MinSup: minsup}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			opt.OnClosed = func(c farmer.ClosedSet) error {
+				return emit(ClosedRecord{Items: itemNames(d, c.Items), Support: c.Support})
+			}
+			res, err := farmer.RunCHARM(ctx, d, opt)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	case "closet":
+		opt := farmer.ClosetOptions{MinSup: minsup}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			opt.OnClosed = func(c farmer.ClosetClosedSet) error {
+				return emit(ClosedRecord{Items: itemNames(d, c.Items), Support: c.Support})
+			}
+			res, err := farmer.RunCLOSET(ctx, d, opt)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	case "columne":
+		consequent, err := resolveClass(d, spec.Class)
+		if err != nil {
+			return nil, err
+		}
+		opt := farmer.ColumnEOptions{MinSup: minsup, MinConf: spec.MinConf, MinChi: spec.MinChi}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			opt.OnRule = func(r farmer.ColumnERule) error {
+				return emit(GroupRecord{
+					Antecedent: itemNames(d, r.Antecedent),
+					SupPos:     r.SupPos,
+					SupNeg:     r.SupNeg,
+					Confidence: r.Confidence,
+					Chi:        r.Chi,
+				})
+			}
+			res, err := farmer.RunColumnE(ctx, d, consequent, opt)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	case "carpenter":
+		opt := farmer.CarpenterOptions{MinSup: minsup}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			opt.OnClosed = func(p farmer.ClosedPattern) error {
+				return emit(ClosedRecord{Items: itemNames(d, p.Items), Support: p.Support})
+			}
+			res, err := farmer.RunCARPENTER(ctx, d, opt)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	case "cobbler":
+		opt := farmer.CobblerOptions{MinSup: minsup}
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			opt.OnClosed = func(p farmer.CobblerClosedPattern) error {
+				return emit(ClosedRecord{Items: itemNames(d, p.Items), Support: p.Support})
+			}
+			res, err := farmer.RunCOBBLER(ctx, d, opt)
+			if res == nil {
+				return nil, err
+			}
+			return res, err
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown miner %q (want farmer, topk, charm, closet, columne, carpenter or cobbler)", spec.Miner)
+	}
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server is the HTTP face of the mining service.
+//
+//	GET    /healthz                 liveness probe
+//	GET    /v1/datasets             registered dataset names + shapes
+//	PUT    /v1/datasets/{name}      register a dataset (body = data;
+//	                                ?format=transactions|matrix&buckets=N)
+//	POST   /v1/jobs                 submit a JobSpec, returns the job status
+//	GET    /v1/jobs                 all job statuses
+//	GET    /v1/jobs/{id}            job status + live progress
+//	GET    /v1/jobs/{id}/results    NDJSON result stream, follows a live job
+//	DELETE /v1/jobs/{id}            cancel (queued or running)
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes of the service around mgr.
+func NewServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
+	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.putDataset)
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.jobResults)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name    string   `json:"name"`
+	Rows    int      `json:"rows"`
+	Items   int      `json:"items"`
+	Classes []string `json:"classes"`
+}
+
+func (s *Server) listDatasets(w http.ResponseWriter, _ *http.Request) {
+	reg := s.mgr.Registry()
+	infos := []DatasetInfo{}
+	for _, name := range reg.Names() {
+		if d, ok := reg.Get(name); ok {
+			infos = append(infos, DatasetInfo{
+				Name:    name,
+				Rows:    d.NumRows(),
+				Items:   d.NumItems,
+				Classes: d.ClassNames,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) putDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	buckets := 0
+	if b := r.URL.Query().Get("buckets"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad buckets %q: %w", b, err))
+			return
+		}
+		buckets = n
+	}
+	d, err := s.mgr.Registry().Load(name, r.URL.Query().Get("format"), buckets, r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, DatasetInfo{
+		Name:    name,
+		Rows:    d.NumRows(),
+		Items:   d.NumItems,
+		Classes: d.ClassNames,
+	})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
+	statuses := []JobStatus{}
+	for _, j := range s.mgr.Jobs() {
+		statuses = append(statuses, j.Status())
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) jobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	job, _ := s.mgr.Get(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// jobResults streams the job's result records as NDJSON, following a
+// live job until it finishes or the client goes away. Records already
+// emitted are replayed first, so the stream is identical no matter when
+// the client connects.
+func (s *Server) jobResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers before the first (possibly slow) record
+	}
+	from := 0
+	for {
+		batch, terminal, wake := job.next(from)
+		for _, raw := range batch {
+			if _, err := w.Write(raw); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+		}
+		from += len(batch)
+		if flusher != nil && len(batch) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package farmer
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/cobbler"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// This file is the canonical mining API: one entry point per miner, context
+// first, with an options struct whose optional Workers / OnX callback
+// fields select parallel execution and streaming emission. The historical
+// Mine*/MineContext/MineStream/MineParallel name families in farmer.go and
+// baselines.go are thin deprecated wrappers over these functions.
+
+// MinerResult is the common face of every miner's result type: run
+// statistics plus the size of the materialized batch. All seven result
+// types (MineResult, TopKResult, CharmResult, ClosetResult, ColumnEResult,
+// CarpenterResult, CobblerResult) satisfy it, so callers that juggle
+// several miners — the farmerd job manager, for one — can handle them
+// uniformly.
+type MinerResult = engine.MinerResult
+
+// Every result type satisfies MinerResult; keep this list in sync with the
+// miners.
+var (
+	_ MinerResult = (*MineResult)(nil)
+	_ MinerResult = (*TopKResult)(nil)
+	_ MinerResult = (*CharmResult)(nil)
+	_ MinerResult = (*ClosetResult)(nil)
+	_ MinerResult = (*ColumnEResult)(nil)
+	_ MinerResult = (*CarpenterResult)(nil)
+	_ MinerResult = (*CobblerResult)(nil)
+)
+
+type (
+	// TopKOptions configures RunTopK (K, Measure, MinSup).
+	TopKOptions = core.TopKOptions
+	// TopKResult is RunTopK's outcome: the ranked groups, best first, plus
+	// search statistics.
+	TopKResult = core.TopKResult
+)
+
+// ParseMeasure maps a canonical measure name ("chi2", "entropy", "gini")
+// to its Measure; the empty string parses as chi2.
+func ParseMeasure(name string) (Measure, error) { return core.ParseMeasure(name) }
+
+// RunFARMER mines the interesting rule groups of d predicting the given
+// consequent class — the canonical form of Mine. Cancellation or deadline
+// expiry of ctx stops the search within one node expansion and returns
+// ctx.Err() together with a partial result.
+//
+// opt.Workers selects the execution mode: 0 runs the sequential miner; any
+// other value runs the work-stealing parallel scheduler with that many
+// workers (negative = GOMAXPROCS). A cancelled parallel run reports no
+// groups (the interestingness fixpoint is not sound on a partial candidate
+// set), only merged statistics.
+//
+// opt.OnGroup switches to streaming emission: each interesting rule group
+// is delivered as soon as it is accepted, in the same order Mine would
+// report it, and the result carries statistics only. A callback error
+// aborts the run and is returned verbatim. Streaming is sequential;
+// combining OnGroup with Workers != 0 is an error.
+func RunFARMER(ctx context.Context, d *Dataset, consequent int, opt MineOptions) (*MineResult, error) {
+	switch {
+	case opt.OnGroup != nil:
+		if opt.Workers != 0 {
+			return nil, fmt.Errorf("farmer: OnGroup streaming is sequential; Workers must be 0, got %d", opt.Workers)
+		}
+		return core.MineStream(ctx, d, consequent, opt, opt.OnGroup)
+	case opt.Workers != 0:
+		return core.MineParallelContext(ctx, d, consequent, opt, opt.Workers)
+	default:
+		return core.MineContext(ctx, d, consequent, opt)
+	}
+}
+
+// RunTopK returns the opt.K rule groups maximizing opt.Measure (subject to
+// opt.MinSup) by best-first branch-and-bound — the canonical form of
+// MineTopK. On cancellation it returns the best groups found so far
+// together with ctx.Err().
+func RunTopK(ctx context.Context, d *Dataset, consequent int, opt TopKOptions) (*TopKResult, error) {
+	return core.TopK(ctx, d, consequent, opt)
+}
+
+// RunCHARM mines all closed itemsets of d with the CHARM algorithm — the
+// canonical form of MineClosedCHARM. Cancellation stops the search within
+// one node expansion and returns ctx.Err() with the partial result.
+// opt.OnClosed switches to streaming emission in discovery order.
+func RunCHARM(ctx context.Context, d *Dataset, opt CharmOptions) (*CharmResult, error) {
+	if opt.OnClosed != nil {
+		return charm.MineStream(ctx, d, opt, opt.OnClosed)
+	}
+	return charm.MineContext(ctx, d, opt)
+}
+
+// RunCLOSET mines all closed itemsets of d with the CLOSET-style FP-tree
+// miner — the canonical form of MineClosedFPTree. opt.OnClosed switches to
+// streaming emission in discovery order.
+func RunCLOSET(ctx context.Context, d *Dataset, opt ClosetOptions) (*ClosetResult, error) {
+	if opt.OnClosed != nil {
+		return closet.MineStream(ctx, d, opt, opt.OnClosed)
+	}
+	return closet.MineContext(ctx, d, opt)
+}
+
+// RunColumnE mines one representative rule per interesting rule group by
+// column enumeration — the canonical form of MineColumnE. opt.OnRule
+// switches to streaming emission; ColumnE's interestingness is a global
+// fixpoint, so rules are delivered during the finish phase.
+func RunColumnE(ctx context.Context, d *Dataset, consequent int, opt ColumnEOptions) (*ColumnEResult, error) {
+	if opt.OnRule != nil {
+		return columne.MineStream(ctx, d, consequent, opt, opt.OnRule)
+	}
+	return columne.MineContext(ctx, d, consequent, opt)
+}
+
+// RunCARPENTER mines all closed itemsets of d by row enumeration — the
+// canonical form of MineClosedCARPENTER. opt.OnClosed switches to
+// streaming emission in discovery order.
+func RunCARPENTER(ctx context.Context, d *Dataset, opt CarpenterOptions) (*CarpenterResult, error) {
+	if opt.OnClosed != nil {
+		return carpenter.MineStream(ctx, d, opt, opt.OnClosed)
+	}
+	return carpenter.MineContext(ctx, d, opt)
+}
+
+// RunCOBBLER mines all closed itemsets of d with COBBLER's dynamic
+// row/feature enumeration — the canonical form of MineClosedCOBBLER.
+// opt.OnClosed switches to streaming emission in discovery order.
+func RunCOBBLER(ctx context.Context, d *Dataset, opt CobblerOptions) (*CobblerResult, error) {
+	if opt.OnClosed != nil {
+		return cobbler.MineStream(ctx, d, opt, opt.OnClosed)
+	}
+	return cobbler.MineContext(ctx, d, opt)
+}
