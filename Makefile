@@ -6,7 +6,7 @@ FUZZTIME ?= 30s
 
 FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare serve smoke
+.PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve serve smoke
 
 all: vet build test
 
@@ -56,3 +56,10 @@ BENCH_THRESHOLD ?= 0.30
 bench-compare:
 	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o /tmp/bench_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) BENCH_core.json /tmp/bench_new.json
+
+# Cold-vs-warm repeated-job throughput through the farmerd request path
+# (HTTP submit + NDJSON stream): ServeCold mines every request, ServeWarm
+# replays the primed result cache. CI archives the file.
+BENCH_SERVE_DATASETS ?= BC,LC,CT,PC,ALL
+bench-serve:
+	$(GO) run ./cmd/benchjson -serve -datasets $(BENCH_SERVE_DATASETS) -o BENCH_serve.json

@@ -3,19 +3,30 @@
 // and writes the results as a JSON array (ns/op, allocs/op, B/op). CI runs
 // it via `make bench-json` and archives BENCH_core.json so allocation
 // regressions in the shared engine show up as a diff, not a vibe.
+//
+// -serve instead measures the farmerd request path end to end over
+// httptest (submit + stream NDJSON): a cold service that mines every
+// request versus a warm one replaying its result cache. CI archives the
+// output as BENCH_serve.json.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"regexp"
+	"runtime"
 	"strings"
 	"testing"
 
 	farmer "repro"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -60,7 +71,10 @@ func run(datasets []string) ([]Row, error) {
 				return err
 			}},
 			{"MineParallel", func() error {
-				_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup, Workers: -1})
+				// Explicit worker count: the bench datasets are small enough
+				// that Workers:-1 would take the sequential fallback, and this
+				// row exists to measure the parallel scheduler.
+				_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup, Workers: runtime.GOMAXPROCS(0)})
 				return err
 			}},
 			{"CHARM", func() error {
@@ -100,12 +114,121 @@ func run(datasets []string) ([]Row, error) {
 	return rows, nil
 }
 
+// submitAndStream pushes one job through the full HTTP request path —
+// POST the spec, then read the NDJSON result stream to EOF — and returns
+// the number of result lines.
+func submitAndStream(baseURL string, spec serve.JobSpec) (int, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", strings.NewReader(string(buf)))
+	if err != nil {
+		return 0, err
+	}
+	var st serve.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	rr, err := http.Get(baseURL + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		return 0, err
+	}
+	defer rr.Body.Close()
+	lines := 0
+	sc := bufio.NewScanner(rr.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+	}
+	return lines, sc.Err()
+}
+
+// runServe measures cold-versus-warm repeated-job throughput: ServeCold
+// submits against a service with caching disabled (every request mines),
+// ServeWarm against one whose cache was primed with the same request
+// (every request replays). Both go through real HTTP.
+func runServe(datasets []string) ([]Row, error) {
+	var rows []Row
+	for _, name := range datasets {
+		spec, ok := synth.BenchSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("no bench spec %q", name)
+		}
+		d, err := spec.GenerateDiscrete(10)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", name, err)
+		}
+		minsup := midMinsup(d)
+		job := serve.JobSpec{Miner: "farmer", Dataset: name, MinSup: minsup}
+
+		for _, mode := range []struct {
+			rowName    string
+			cacheBytes int64
+		}{
+			{"ServeCold", 0},
+			{"ServeWarm", serve.DefaultCacheBytes},
+		} {
+			reg := serve.NewRegistry()
+			if err := reg.Put(name, d); err != nil {
+				return nil, err
+			}
+			mgr := serve.NewManager(reg, 0, 64, mode.cacheBytes)
+			ts := httptest.NewServer(serve.NewServer(mgr))
+			shutdown := func() {
+				ts.Close()
+				mgr.Shutdown(context.Background())
+			}
+			if _, err := submitAndStream(ts.URL, job); err != nil { // warm the cache / JIT the path
+				shutdown()
+				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, err)
+			}
+			var failure error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := submitAndStream(ts.URL, job); err != nil {
+						failure = err
+						b.FailNow()
+					}
+				}
+			})
+			shutdown()
+			if failure != nil {
+				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, failure)
+			}
+			rows = append(rows, Row{
+				Name:        mode.rowName,
+				Dataset:     name,
+				MinSup:      minsup,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%-12s %-4s minsup=%-3d %12.0f ns/op %8d allocs/op %10d B/op\n",
+				mode.rowName, name, minsup,
+				rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
+		}
+	}
+	return rows, nil
+}
+
 // compare prints per-benchmark deltas between two measurement files
 // (matched by name+dataset) and reports whether any regression exceeds the
-// thresholds: ns/op or allocs/op growing by more than frac. Benchmarks
-// present in only one file are reported but never fail the comparison —
-// the guard is for regressions, not coverage drift.
-func compare(oldPath, newPath string, frac float64, w io.Writer) (bool, error) {
+// thresholds. metric selects what can fail the comparison: "both" gates
+// ns/op and allocs/op, "ns" or "allocs" gates only that column — CI uses
+// "allocs" for a hard gate because allocation counts are deterministic
+// while shared-runner timings are not. match, when non-nil, restricts
+// gating (not reporting) to benchmark keys it accepts. Benchmarks present
+// in only one file are reported but never fail the comparison — the guard
+// is for regressions, not coverage drift.
+func compare(oldPath, newPath string, frac float64, metric string, match *regexp.Regexp, w io.Writer) (bool, error) {
 	load := func(path string) (map[string]Row, []string, error) {
 		buf, err := os.ReadFile(path)
 		if err != nil {
@@ -152,8 +275,10 @@ func compare(oldPath, newPath string, frac float64, w io.Writer) (bool, error) {
 		}
 		dn := pct(o.NsPerOp, n.NsPerOp)
 		da := pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
+		nsBad := metric != "allocs" && dn > 100*frac
+		allocsBad := metric != "ns" && da > 100*frac
 		marker := ""
-		if dn > 100*frac || da > 100*frac {
+		if (nsBad || allocsBad) && (match == nil || match.MatchString(k)) {
 			marker = "  REGRESSION"
 			regressed = true
 		}
@@ -171,16 +296,33 @@ func compare(oldPath, newPath string, frac float64, w io.Writer) (bool, error) {
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file")
 	datasets := flag.String("datasets", "BC,LC,CT,PC,ALL", "comma-separated bench dataset names")
+	doServe := flag.Bool("serve", false, "measure the farmerd request path (cold vs warm cache) instead of the core miners")
 	doCompare := flag.Bool("compare", false, "compare two measurement files: benchjson -compare old.json new.json")
-	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when ns/op or allocs/op grew by more than this fraction")
+	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when a gated metric grew by more than this fraction")
+	metric := flag.String("metric", "both", "with -compare, which metric gates failure: both, ns or allocs")
+	matchExpr := flag.String("match", "", "with -compare, regexp limiting which name/dataset rows gate failure (all rows are still reported)")
 	flag.Parse()
 
 	if *doCompare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] [-metric both|ns|allocs] [-match re] old.json new.json")
 			os.Exit(2)
 		}
-		regressed, err := compare(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		switch *metric {
+		case "both", "ns", "allocs":
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown -metric %q (want both, ns or allocs)\n", *metric)
+			os.Exit(2)
+		}
+		var match *regexp.Regexp
+		if *matchExpr != "" {
+			var err error
+			if match, err = regexp.Compile(*matchExpr); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -match:", err)
+				os.Exit(2)
+			}
+		}
+		regressed, err := compare(flag.Arg(0), flag.Arg(1), *threshold, *metric, match, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -192,7 +334,11 @@ func main() {
 		return
 	}
 
-	rows, err := run(strings.Split(*datasets, ","))
+	measure := run
+	if *doServe {
+		measure = runServe
+	}
+	rows, err := measure(strings.Split(*datasets, ","))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

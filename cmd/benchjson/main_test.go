@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -38,7 +39,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 		{Name: "CHARM", Dataset: "CT", NsPerOp: 400, AllocsPerOp: 500}, // 2x slower
 	})
 	var w strings.Builder
-	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	regressed, err := compare(oldPath, newPath, 0.30, "both", nil, &w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCompareImprovementAndThreshold(t *testing.T) {
 		{Name: "Mine", Dataset: "CT", NsPerOp: 90, AllocsPerOp: 1671},
 	})
 	var w strings.Builder
-	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	regressed, err := compare(oldPath, newPath, 0.30, "both", nil, &w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,19 +71,60 @@ func TestCompareImprovementAndThreshold(t *testing.T) {
 	newPath2 := writeRows(t, dir, "new2.json", []Row{
 		{Name: "Mine", Dataset: "CT", NsPerOp: 120, AllocsPerOp: 134070},
 	})
-	regressed, err = compare(oldPath, newPath2, 0.30, &w)
+	regressed, err = compare(oldPath, newPath2, 0.30, "both", nil, &w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if regressed {
 		t.Fatal("20% slowdown flagged despite 30% threshold")
 	}
-	regressed, err = compare(oldPath, newPath2, 0.10, &w)
+	regressed, err = compare(oldPath, newPath2, 0.10, "both", nil, &w)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !regressed {
 		t.Fatal("20% slowdown not flagged at 10% threshold")
+	}
+}
+
+func TestCompareMetricAndMatchGating(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRows(t, dir, "old.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 1000},
+		{Name: "ServeCold", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 1000},
+	})
+	// Mine regresses only on allocs; ServeCold only on ns.
+	newPath := writeRows(t, dir, "new.json", []Row{
+		{Name: "Mine", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 1500},
+		{Name: "ServeCold", Dataset: "CT", NsPerOp: 400, AllocsPerOp: 1000},
+	})
+	mine := regexp.MustCompile(`^(Mine|CHARM)/`)
+
+	var w strings.Builder
+	regressed, err := compare(oldPath, newPath, 0.10, "allocs", mine, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("Mine allocs regression not gated:\n%s", w.String())
+	}
+
+	// The ns-only regression is outside the allocs metric; with the match
+	// limited to Mine rows, nothing gates.
+	regressed, err = compare(oldPath, newPath, 0.10, "ns", mine, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("ns gate fired for rows excluded by -match")
+	}
+
+	regressed, err = compare(oldPath, newPath, 0.10, "ns", nil, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("unfiltered ns gate missed the ServeCold regression")
 	}
 }
 
@@ -97,7 +139,7 @@ func TestCompareUnmatchedBenchmarksNeverFail(t *testing.T) {
 		{Name: "Fresh", Dataset: "CT", NsPerOp: 999999, AllocsPerOp: 999999},
 	})
 	var w strings.Builder
-	regressed, err := compare(oldPath, newPath, 0.30, &w)
+	regressed, err := compare(oldPath, newPath, 0.30, "both", nil, &w)
 	if err != nil {
 		t.Fatal(err)
 	}

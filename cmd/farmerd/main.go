@@ -9,12 +9,19 @@
 //
 // Usage:
 //
-//	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N] [-drain 30s]
+//	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N]
+//	        [-drain 30s] [-cache-bytes N] [-pprof-addr addr]
 //
 // -data preloads every dataset file in DIR at startup: *.txt in the
 // transactions format, *.csv as expression matrices discretized into
 // -buckets equal-depth buckets. The registry can also be filled at
 // runtime with PUT /v1/datasets/{name}.
+//
+// Repeated identical job submissions are served from a byte-bounded
+// result cache (-cache-bytes, 0 disables) and flagged "cached": true in
+// their status; re-registering a dataset name invalidates its cached
+// results. -pprof-addr exposes net/http/pprof on a separate listener for
+// live profiling (off by default; never exposed on the API address).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -78,6 +86,8 @@ func main() {
 	data := flag.String("data", "", "directory of datasets to preload (*.txt transactions, *.csv matrices)")
 	buckets := flag.Int("buckets", 10, "equal-depth buckets for preloaded matrix datasets")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout before cancelling jobs")
+	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result cache budget in bytes (0 disables caching)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 
 	reg := serve.NewRegistry()
@@ -86,8 +96,20 @@ func main() {
 			log.Fatalf("preload %s: %v", *data, err)
 		}
 	}
-	mgr := serve.NewManager(reg, *workers, *queue)
+	mgr := serve.NewManager(reg, *workers, *queue, *cacheBytes)
 	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+
+	if *pprofAddr != "" {
+		// pprof rides on its own listener and the default mux (which the
+		// net/http/pprof import populates), so profiling endpoints are never
+		// reachable through the public API address.
+		go func() {
+			log.Printf("farmerd pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("farmerd: pprof: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

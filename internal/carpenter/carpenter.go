@@ -37,6 +37,12 @@ type Options struct {
 	// result accumulates no Patterns. Ignored by the low-level Mine*
 	// functions, which take their callback as an argument.
 	OnClosed func(ClosedPattern) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset: the run reuses the snapshot's transposed table instead of
+	// rebuilding it. The snapshot must have been built from the exact
+	// *Dataset passed to the mining call.
+	Prepared *dataset.Snapshot
 }
 
 // Result carries mined patterns and effort statistics. Nodes keeps the
@@ -86,15 +92,28 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("carpenter: MinSup must be >= 1, got %d", opt.MinSup)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	snap := opt.Prepared
+	if snap != nil && snap.Dataset() != d {
+		return nil, fmt.Errorf("carpenter: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	n := len(d.Rows)
+	var tt *dataset.Transposed
+	if snap != nil {
+		ex.Stats.PrepareReused++
+		tt = snap.Transposed()
+	} else {
+		tt = dataset.Transpose(d)
+	}
 	m := &miner{
 		d:      d,
-		tt:     dataset.Transpose(d),
+		tt:     tt,
 		n:      n,
 		minsup: opt.MinSup,
 		ex:     ex,

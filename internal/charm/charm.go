@@ -45,6 +45,12 @@ type Options struct {
 	// and the result accumulates no Closed sets. Ignored by the low-level
 	// Mine* functions, which take their callback as an argument.
 	OnClosed func(ClosedSet) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset: the run takes its root tidsets from the snapshot's shared
+	// per-item row bitsets instead of rebuilding them. The snapshot must
+	// have been built from the exact *Dataset passed to the mining call.
+	Prepared *dataset.Snapshot
 }
 
 // ErrBudget reports that the node budget was exhausted before completion.
@@ -99,25 +105,44 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("charm: MinSup must be >= 1, got %d", opt.MinSup)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	snap := opt.Prepared
+	if snap != nil && snap.Dataset() != d {
+		return nil, fmt.Errorf("charm: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	ex := engine.NewExec(ctx)
 	m := &miner{d: d, opt: opt, ex: ex, emit: onClosed, subsume: map[uint64][]ClosedSet{}}
 
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
-	tt := dataset.Transpose(d)
-	n := len(d.Rows)
 	var nodes []itPair
-	for it, list := range tt.Lists {
-		if len(list) < opt.MinSup {
-			continue
+	if snap != nil {
+		// Root tidsets come from the snapshot's shared bitsets; the
+		// enumeration only reads them (children are arena intersections,
+		// emission clones), so sharing across concurrent runs is safe.
+		ex.Stats.PrepareReused++
+		for it, rows := range snap.ItemRows() {
+			if rows == nil || rows.Count() < opt.MinSup {
+				continue
+			}
+			nodes = append(nodes, itPair{items: []dataset.Item{dataset.Item(it)}, tids: rows})
 		}
-		tid := bitset.New(n)
-		for _, r := range list {
-			tid.Set(int(r))
+	} else {
+		tt := dataset.Transpose(d)
+		n := len(d.Rows)
+		for it, list := range tt.Lists {
+			if len(list) < opt.MinSup {
+				continue
+			}
+			tid := bitset.New(n)
+			for _, r := range list {
+				tid.Set(int(r))
+			}
+			nodes = append(nodes, itPair{items: []dataset.Item{dataset.Item(it)}, tids: tid})
 		}
-		nodes = append(nodes, itPair{items: []dataset.Item{dataset.Item(it)}, tids: tid})
 	}
 	// Process in increasing support order (the f ordering of the paper).
 	sort.SliceStable(nodes, func(i, j int) bool {

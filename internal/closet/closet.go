@@ -34,6 +34,14 @@ type Options struct {
 	// result accumulates no Closed sets. Ignored by the low-level Mine*
 	// functions, which take their callback as an argument.
 	OnClosed func(ClosedSet) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset: the run takes the FP-tree header order from the snapshot's
+	// global frequency order instead of recounting (the comparator is the
+	// same, so the filtered order is identical). The initial tree still
+	// builds per run — it depends on MinSup. The snapshot must have been
+	// built from the exact *Dataset passed to the mining call.
+	Prepared *dataset.Snapshot
 }
 
 // ErrBudget reports an exhausted node budget.
@@ -89,32 +97,50 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if opt.MinSup < 1 {
 		return nil, fmt.Errorf("closet: MinSup must be >= 1, got %d", opt.MinSup)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	snap := opt.Prepared
+	if snap != nil && snap.Dataset() != d {
+		return nil, fmt.Errorf("closet: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	ex := engine.NewExec(ctx)
 	m := &miner{opt: opt, ex: ex, emitFn: onClosed, bySupport: map[int][]int{}}
 
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	// Global frequencies define the FP-tree item order (descending count).
-	freq := make(map[dataset.Item]int)
-	for _, r := range d.Rows {
-		for _, it := range r.Items {
-			freq[it]++
-		}
-	}
 	var frequent []dataset.Item
-	for it, c := range freq {
-		if c >= opt.MinSup {
-			frequent = append(frequent, it)
+	if snap != nil {
+		// The snapshot's frequency order uses the same comparator
+		// (count desc, item asc), so filtering it by MinSup yields
+		// exactly the order the recount below would produce.
+		ex.Stats.PrepareReused++
+		for _, it := range snap.FreqOrder() {
+			if snap.ItemFreq(it) >= opt.MinSup {
+				frequent = append(frequent, it)
+			}
 		}
+	} else {
+		freq := make(map[dataset.Item]int)
+		for _, r := range d.Rows {
+			for _, it := range r.Items {
+				freq[it]++
+			}
+		}
+		for it, c := range freq {
+			if c >= opt.MinSup {
+				frequent = append(frequent, it)
+			}
+		}
+		sort.Slice(frequent, func(i, j int) bool {
+			if freq[frequent[i]] != freq[frequent[j]] {
+				return freq[frequent[i]] > freq[frequent[j]]
+			}
+			return frequent[i] < frequent[j]
+		})
 	}
-	sort.Slice(frequent, func(i, j int) bool {
-		if freq[frequent[i]] != freq[frequent[j]] {
-			return freq[frequent[i]] > freq[frequent[j]]
-		}
-		return frequent[i] < frequent[j]
-	})
 	rank := make(map[dataset.Item]int, len(frequent))
 	for i, it := range frequent {
 		rank[it] = i

@@ -49,6 +49,12 @@ type Options struct {
 	// result accumulates no Patterns. Ignored by the low-level Mine*
 	// functions, which take their callback as an argument.
 	OnClosed func(ClosedPattern) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset: the run takes its per-item row bitsets from the snapshot's
+	// shared structures instead of rebuilding them. The snapshot must have
+	// been built from the exact *Dataset passed to the mining call.
+	Prepared *dataset.Snapshot
 }
 
 // Result carries the mined patterns and effort statistics.
@@ -107,8 +113,14 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 	default:
 		return nil, fmt.Errorf("cobbler: unknown ForceMode %q", opt.ForceMode)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	snap := opt.Prepared
+	if snap != nil && snap.Dataset() != d {
+		return nil, fmt.Errorf("cobbler: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
@@ -120,14 +132,22 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 		ex:     ex,
 		emitFn: onPattern,
 		seen:   bitset.NewDedup(),
-		fullTi: make([]*bitset.Set, d.NumItems),
 	}
-	for it := 0; it < d.NumItems; it++ {
-		m.fullTi[it] = bitset.New(n)
-	}
-	for ri, r := range d.Rows {
-		for _, it := range r.Items {
-			m.fullTi[it].Set(ri)
+	if snap != nil {
+		// The shared per-item bitsets are only read (rowsOf copies into
+		// the arena before intersecting), so reuse across concurrent runs
+		// is safe.
+		ex.Stats.PrepareReused++
+		m.fullTi = snap.ItemRows()
+	} else {
+		m.fullTi = make([]*bitset.Set, d.NumItems)
+		for it := 0; it < d.NumItems; it++ {
+			m.fullTi[it] = bitset.New(n)
+		}
+		for ri, r := range d.Rows {
+			for _, it := range r.Items {
+				m.fullTi[it].Set(ri)
+			}
 		}
 	}
 

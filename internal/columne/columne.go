@@ -52,6 +52,13 @@ type Options struct {
 	// the low-level Mine* functions, which take their callback as an
 	// argument.
 	OnRule func(Rule) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset: the run takes its singleton tidsets and consequent mask
+	// from the snapshot's shared structures instead of rebuilding them.
+	// The snapshot must have been built from the exact *Dataset passed to
+	// the mining call.
+	Prepared *dataset.Snapshot
 }
 
 // ErrBudget reports that the node budget was exhausted before completion.
@@ -111,8 +118,14 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	if opt.MinConf < 0 || opt.MinConf > 1 {
 		return nil, fmt.Errorf("columne: MinConf %v outside [0,1]", opt.MinConf)
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
+	snap := opt.Prepared
+	if snap != nil && snap.Dataset() != d {
+		return nil, fmt.Errorf("columne: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if consequent < 0 || consequent >= d.NumClasses() {
 		return nil, fmt.Errorf("columne: consequent %d outside [0,%d)", consequent, d.NumClasses())
@@ -121,10 +134,19 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
 	n := len(d.Rows)
-	posMask := bitset.New(n)
-	for ri := range d.Rows {
-		if d.Rows[ri].Class == consequent {
-			posMask.Set(ri)
+	var posMask *bitset.Set
+	if snap != nil {
+		view, err := snap.ForConsequent(consequent)
+		if err != nil {
+			return nil, err
+		}
+		posMask = view.PosMask
+	} else {
+		posMask = bitset.New(n)
+		for ri := range d.Rows {
+			if d.Rows[ri].Class == consequent {
+				posMask.Set(ri)
+			}
 		}
 	}
 	m := &miner{
@@ -140,18 +162,31 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	}
 
 	// Frequent single items by positive support, ascending-support order.
-	tt := dataset.Transpose(d)
 	var singles []extension
-	for it, list := range tt.Lists {
-		tid := bitset.New(n)
-		for _, r := range list {
-			tid.Set(int(r))
+	if snap != nil {
+		// Singleton tidsets are the snapshot's shared per-item bitsets;
+		// the enumeration only intersects into scratch and clones on
+		// record, so sharing across concurrent runs is safe.
+		ex.Stats.PrepareReused++
+		for it, rows := range snap.ItemRows() {
+			if rows == nil || rows.AndCount(posMask) < opt.MinSup {
+				continue
+			}
+			singles = append(singles, extension{item: dataset.Item(it), tids: rows})
 		}
-		pos := tid.AndCount(posMask)
-		if pos < opt.MinSup {
-			continue
+	} else {
+		tt := dataset.Transpose(d)
+		for it, list := range tt.Lists {
+			tid := bitset.New(n)
+			for _, r := range list {
+				tid.Set(int(r))
+			}
+			pos := tid.AndCount(posMask)
+			if pos < opt.MinSup {
+				continue
+			}
+			singles = append(singles, extension{item: dataset.Item(it), tids: tid})
 		}
-		singles = append(singles, extension{item: dataset.Item(it), tids: tid})
 	}
 	sort.Slice(singles, func(i, j int) bool {
 		si, sj := singles[i].tids.Count(), singles[j].tids.Count()

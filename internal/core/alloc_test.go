@@ -22,7 +22,7 @@ func TestMineNodeSteadyStateZeroAllocs(t *testing.T) {
 	for name, d := range datasets {
 		t.Run(name, func(t *testing.T) {
 			ordered, ord := dataset.OrderForConsequent(d, 0)
-			m := newMiner(ordered, ord.NumPositive, Options{MinSup: 1}, engine.NewExec(nil))
+			m := newMiner(ordered, ord.NumPositive, Options{MinSup: 1}, engine.NewExec(nil), nil)
 			if err := m.run(); err != nil {
 				t.Fatal(err)
 			}

@@ -51,17 +51,13 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	if consequent < 0 || consequent >= d.NumClasses() {
-		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
-	}
-
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
-	ordered, ord := dataset.OrderForConsequent(d, consequent)
-	m := newMiner(ordered, ord.NumPositive, opt, ex)
+	ordered, ord, tt, err := resolveView(d, consequent, opt.Prepared, ex)
+	if err != nil {
+		return nil, err
+	}
+	m := newMiner(ordered, ord.NumPositive, opt, ex, tt)
 	setupDone()
 
 	res := &Result{
@@ -76,7 +72,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	}
 
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
-	err := m.run()
+	err = m.run()
 	searchDone()
 	res.stats = ex.Stats
 	return res, err
@@ -151,20 +147,54 @@ type miner struct {
 	groups []irgEntry
 }
 
-func newMiner(d *dataset.Dataset, numPos int, opt Options, ex *engine.Exec) *miner {
+// newMiner builds the per-run miner state. tt, when non-nil, is a prebuilt
+// transposed table of d (from a prepared snapshot); nil means build it here.
+func newMiner(d *dataset.Dataset, numPos int, opt Options, ex *engine.Exec, tt *dataset.Transposed) *miner {
 	n := len(d.Rows)
 	if ex == nil {
 		ex = engine.NewExec(nil)
 	}
+	if tt == nil {
+		tt = dataset.Transpose(d)
+	}
 	return &miner{
 		ds:     d,
-		tt:     dataset.Transpose(d),
+		tt:     tt,
 		numPos: numPos,
 		n:      n,
 		opt:    opt,
 		ex:     ex,
 		sc:     engine.NewScratch(n),
 	}
+}
+
+// resolveView resolves the build phase of one run: the ORD-ordered dataset,
+// the row permutation, and — when a prepared snapshot is reused — its
+// prebuilt transposed table (nil otherwise, meaning the caller builds one).
+// Validation is structural: a snapshot was validated at construction, so
+// only its identity against d is checked; a raw dataset is validated here.
+func resolveView(d *dataset.Dataset, consequent int, snap *dataset.Snapshot, ex *engine.Exec) (*dataset.Dataset, *dataset.Ordering, *dataset.Transposed, error) {
+	if snap != nil && snap.Dataset() != d {
+		return nil, nil, nil, fmt.Errorf("core: Prepared snapshot was built from a different dataset")
+	}
+	if snap == nil {
+		if err := d.Validate(); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if consequent < 0 || consequent >= d.NumClasses() {
+		return nil, nil, nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
+	}
+	if snap == nil {
+		ordered, ord := dataset.OrderForConsequent(d, consequent)
+		return ordered, ord, nil, nil
+	}
+	v, err := snap.ForConsequent(consequent)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ex.Stats.PrepareReused++
+	return v.Ordered, v.Ord, v.TT, nil
 }
 
 // rootTuples builds the conditional transposed table of root node {ri}: one

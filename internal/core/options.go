@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/dataset"
 	"repro/internal/engine"
 )
 
@@ -81,6 +82,14 @@ type Options struct {
 	// Groups. Streaming is sequential; combining OnGroup with Workers != 0
 	// is an error. Ignored by the low-level Mine* functions.
 	OnGroup func(RuleGroup) error
+
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset being mined: the run reuses the snapshot's ORD ordering and
+	// transposed table instead of rebuilding them (Stats.PrepareReused
+	// records the reuse; the groups and Counters are identical either
+	// way). The snapshot must have been built from the exact *Dataset
+	// passed to the mining call — a mismatch is an error.
+	Prepared *dataset.Snapshot
 }
 
 // Validate reports whether the options are usable.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -149,19 +148,16 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	if err := d.Validate(); err != nil {
-		return nil, err
-	}
-	if consequent < 0 || consequent >= d.NumClasses() {
-		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
-	ordered, ord := dataset.OrderForConsequent(d, consequent)
+	ordered, ord, shared, err := resolveView(d, consequent, opt.Prepared, ex)
+	if err != nil {
+		return nil, err
+	}
 	n := len(ordered.Rows)
 	res := &Result{
 		Consequent: consequent,
@@ -176,7 +172,9 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 
 	// The transposed table is immutable and shared; each worker owns its
 	// scratch arrays and candidate store.
-	shared := dataset.Transpose(ordered)
+	if shared == nil {
+		shared = dataset.Transpose(ordered)
+	}
 	sched := newWsScheduler(n, workers)
 	setupDone()
 

@@ -90,6 +90,10 @@ type TopKOptions struct {
 	Measure Measure
 	// MinSup is the minimum rule support, ≥ 1.
 	MinSup int
+	// Prepared, when non-nil, supplies a precompiled snapshot of the
+	// dataset (see Options.Prepared): the run reuses the snapshot's ORD
+	// ordering and transposed table instead of rebuilding them.
+	Prepared *dataset.Snapshot
 }
 
 // TopKResult carries the ranked groups (best first) and the run's unified
@@ -138,17 +142,18 @@ func TopK(ctx context.Context, d *dataset.Dataset, consequent int, opt TopKOptio
 	if minsup < 1 {
 		return nil, fmt.Errorf("core: minsup must be >= 1, got %d", minsup)
 	}
-	if err := d.Validate(); err != nil {
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
+	ordered, ord, tt, err := resolveView(d, consequent, opt.Prepared, ex)
+	if err != nil {
 		return nil, err
 	}
-	if consequent < 0 || consequent >= d.NumClasses() {
-		return nil, fmt.Errorf("core: consequent class %d outside [0,%d)", consequent, d.NumClasses())
-	}
-
-	ordered, ord := dataset.OrderForConsequent(d, consequent)
-	m := newMiner(ordered, ord.NumPositive, Options{MinSup: minsup}, engine.NewExec(ctx))
+	m := newMiner(ordered, ord.NumPositive, Options{MinSup: minsup}, ex, tt)
+	setupDone()
 	tk := &topkSearch{miner: m, k: k, measure: measure}
-	err := tk.run()
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	err = tk.run()
+	searchDone()
 
 	out := make([]ScoredGroup, len(tk.best))
 	for i := range tk.best {

@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func snapTestData(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := FromItemLists(
+		[][]Item{
+			{0, 1, 2},
+			{1, 2, 3},
+			{0, 2},
+			{3},
+			{1, 2},
+		},
+		[]int{0, 1, 0, 1, 0},
+		5, // item 4 never occurs
+		[]string{"pos", "neg"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSnapshotCompiledStructures(t *testing.T) {
+	d := snapTestData(t)
+	snap, err := NewSnapshot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dataset() != d {
+		t.Fatal("Dataset() must return the exact source pointer")
+	}
+
+	want := Transpose(d)
+	if !reflect.DeepEqual(snap.Transposed(), want) {
+		t.Fatalf("transposed mismatch: got %+v want %+v", snap.Transposed(), want)
+	}
+
+	rows := snap.ItemRows()
+	if len(rows) != d.NumItems {
+		t.Fatalf("ItemRows length %d, want %d", len(rows), d.NumItems)
+	}
+	for it, list := range want.Lists {
+		var got []int
+		if rows[it] != nil {
+			got = rows[it].Ints()
+		}
+		var exp []int
+		for _, r := range list {
+			exp = append(exp, int(r))
+		}
+		if !reflect.DeepEqual(got, exp) && !(len(got) == 0 && len(exp) == 0) {
+			t.Fatalf("item %d rows = %v, want %v", it, got, exp)
+		}
+	}
+
+	// freq: item2=4, item1=3, item0=2, item3=2, item4=0 (absent).
+	if got, exp := snap.FreqOrder(), []Item{2, 1, 0, 3}; !reflect.DeepEqual(got, exp) {
+		t.Fatalf("FreqOrder = %v, want %v", got, exp)
+	}
+	if snap.ItemFreq(2) != 4 || snap.ItemFreq(4) != 0 {
+		t.Fatalf("ItemFreq wrong: %d, %d", snap.ItemFreq(2), snap.ItemFreq(4))
+	}
+}
+
+func TestSnapshotConsequentView(t *testing.T) {
+	d := snapTestData(t)
+	snap, err := NewSnapshot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < d.NumClasses(); c++ {
+		v, err := snap.ForConsequent(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered, ord := OrderForConsequent(d, c)
+		if !reflect.DeepEqual(v.Ordered.Rows, ordered.Rows) {
+			t.Fatalf("class %d: ordered rows differ", c)
+		}
+		if !reflect.DeepEqual(v.Ord, ord) {
+			t.Fatalf("class %d: ordering differs", c)
+		}
+		if !reflect.DeepEqual(v.TT, Transpose(ordered)) {
+			t.Fatalf("class %d: ordered transpose differs", c)
+		}
+		for i, r := range d.Rows {
+			if v.PosMask.Test(i) != (r.Class == c) {
+				t.Fatalf("class %d: PosMask wrong at row %d", c, i)
+			}
+		}
+		// Cached: same pointer on the second call.
+		v2, err := snap.ForConsequent(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v2 != v {
+			t.Fatalf("class %d: view not cached", c)
+		}
+	}
+	if _, err := snap.ForConsequent(-1); err == nil {
+		t.Fatal("negative consequent must error")
+	}
+	if _, err := snap.ForConsequent(d.NumClasses()); err == nil {
+		t.Fatal("out-of-range consequent must error")
+	}
+}
+
+func TestSnapshotRejectsInvalidDataset(t *testing.T) {
+	d := &Dataset{
+		Rows:       []Row{{Items: []Item{3}, Class: 0}},
+		NumItems:   2, // item 3 out of range
+		ClassNames: []string{"a"},
+	}
+	if _, err := NewSnapshot(d); err == nil {
+		t.Fatal("NewSnapshot must validate")
+	}
+}
+
+func TestSnapshotConcurrentForConsequent(t *testing.T) {
+	d := snapTestData(t)
+	snap, err := NewSnapshot(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	views := make([]*ConsequentView, 16)
+	for i := range views {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := snap.ForConsequent(i % 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			views[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i := range views {
+		if views[i] == nil || views[i] != views[i%2] {
+			t.Fatalf("view %d not shared with view %d", i, i%2)
+		}
+	}
+}

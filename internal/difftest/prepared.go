@@ -1,0 +1,154 @@
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/cobbler"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// comparePrepared asserts the contract of dataset.Snapshot reuse for one
+// miner: a run handed a prepared snapshot must produce exactly the batch
+// result and the deterministic Counters of a from-scratch run — the
+// snapshot moves the build phase, it never changes the enumeration — and
+// must record the reuse in Stats.PrepareReused.
+func comparePrepared(label string, fresh, prepared any, fs, ps engine.Stats) error {
+	if !reflect.DeepEqual(fresh, prepared) {
+		return fmt.Errorf("%s: prepared run result differs from fresh run", label)
+	}
+	if fs.Counters != ps.Counters {
+		return fmt.Errorf("%s: prepared counters %+v != fresh counters %+v", label, ps.Counters, fs.Counters)
+	}
+	if fs.PrepareReused != 0 {
+		return fmt.Errorf("%s: fresh run claims PrepareReused=%d", label, fs.PrepareReused)
+	}
+	if ps.PrepareReused != 1 {
+		return fmt.Errorf("%s: prepared run has PrepareReused=%d, want 1", label, ps.PrepareReused)
+	}
+	return nil
+}
+
+// CheckPrepared runs every miner on c twice — from scratch and through one
+// shared prepared snapshot — and asserts batch results and Counters are
+// identical (equivalence class (d) of the harness: prepared ≡ fresh).
+func CheckPrepared(c Case) error {
+	snap, err := dataset.NewSnapshot(c.D)
+	if err != nil {
+		return fmt.Errorf("NewSnapshot: %w", err)
+	}
+
+	// FARMER sequential.
+	fres, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return fmt.Errorf("core.Mine: %w", err)
+	}
+	popt := c.Opt
+	popt.Prepared = snap
+	pres, err := core.Mine(c.D, c.Consequent, popt)
+	if err != nil {
+		return fmt.Errorf("core.Mine prepared: %w", err)
+	}
+	if err := comparePrepared("Mine", fres.Groups, pres.Groups, fres.Stats(), pres.Stats()); err != nil {
+		return err
+	}
+
+	// FARMER parallel (fixed worker count; counters are schedule-invariant).
+	fpar, err := core.MineParallel(c.D, c.Consequent, c.Opt, c.Workers)
+	if err != nil {
+		return fmt.Errorf("core.MineParallel: %w", err)
+	}
+	ppar, err := core.MineParallel(c.D, c.Consequent, popt, c.Workers)
+	if err != nil {
+		return fmt.Errorf("core.MineParallel prepared: %w", err)
+	}
+	if err := comparePrepared("MineParallel", fpar.Groups, ppar.Groups, fpar.Stats(), ppar.Stats()); err != nil {
+		return err
+	}
+
+	// Top-k over the same snapshot.
+	tkOpt := core.TopKOptions{K: 3, MinSup: c.Opt.MinSup}
+	ftk, err := core.TopK(nil, c.D, c.Consequent, tkOpt)
+	if err != nil {
+		return fmt.Errorf("core.TopK: %w", err)
+	}
+	tkOpt.Prepared = snap
+	ptk, err := core.TopK(nil, c.D, c.Consequent, tkOpt)
+	if err != nil {
+		return fmt.Errorf("core.TopK prepared: %w", err)
+	}
+	if err := comparePrepared("TopK", ftk.Groups, ptk.Groups, ftk.Stats(), ptk.Stats()); err != nil {
+		return err
+	}
+
+	// CHARM.
+	fch, err := charm.Mine(c.D, charm.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("charm.Mine: %w", err)
+	}
+	pch, err := charm.Mine(c.D, charm.Options{MinSup: c.MinSupCS, Prepared: snap})
+	if err != nil {
+		return fmt.Errorf("charm.Mine prepared: %w", err)
+	}
+	if err := comparePrepared("CHARM", fch.Closed, pch.Closed, fch.Stats(), pch.Stats()); err != nil {
+		return err
+	}
+
+	// CLOSET.
+	fcl, err := closet.Mine(c.D, closet.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("closet.Mine: %w", err)
+	}
+	pcl, err := closet.Mine(c.D, closet.Options{MinSup: c.MinSupCS, Prepared: snap})
+	if err != nil {
+		return fmt.Errorf("closet.Mine prepared: %w", err)
+	}
+	if err := comparePrepared("CLOSET", fcl.Closed, pcl.Closed, fcl.Stats(), pcl.Stats()); err != nil {
+		return err
+	}
+
+	// ColumnE.
+	ceOpt := columne.Options{MinSup: c.Opt.MinSup, MinConf: c.Opt.MinConf, MinChi: c.Opt.MinChi}
+	fce, err := columne.Mine(c.D, c.Consequent, ceOpt)
+	if err != nil {
+		return fmt.Errorf("columne.Mine: %w", err)
+	}
+	ceOpt.Prepared = snap
+	pce, err := columne.Mine(c.D, c.Consequent, ceOpt)
+	if err != nil {
+		return fmt.Errorf("columne.Mine prepared: %w", err)
+	}
+	if err := comparePrepared("ColumnE", fce.Rules, pce.Rules, fce.Stats(), pce.Stats()); err != nil {
+		return err
+	}
+
+	// CARPENTER.
+	fca, err := carpenter.Mine(c.D, carpenter.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("carpenter.Mine: %w", err)
+	}
+	pca, err := carpenter.Mine(c.D, carpenter.Options{MinSup: c.MinSupCS, Prepared: snap})
+	if err != nil {
+		return fmt.Errorf("carpenter.Mine prepared: %w", err)
+	}
+	if err := comparePrepared("CARPENTER", fca.Patterns, pca.Patterns, fca.Stats(), pca.Stats()); err != nil {
+		return err
+	}
+
+	// COBBLER.
+	fco, err := cobbler.Mine(c.D, cobbler.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("cobbler.Mine: %w", err)
+	}
+	pco, err := cobbler.Mine(c.D, cobbler.Options{MinSup: c.MinSupCS, Prepared: snap})
+	if err != nil {
+		return fmt.Errorf("cobbler.Mine prepared: %w", err)
+	}
+	return comparePrepared("COBBLER", fco.Patterns, pco.Patterns, fco.Stats(), pco.Stats())
+}

@@ -1,0 +1,32 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPreparedEquivalence drives the prepared-snapshot contract over
+// generated datasets: for every miner, a run reusing a shared Snapshot
+// must match the from-scratch run's batch result and deterministic
+// Counters exactly, with the reuse visible only in Stats.PrepareReused.
+func TestPreparedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	for iter := 0; iter < 60; iter++ {
+		c := Random(rng)
+		if err := CheckPrepared(c); err != nil {
+			t.Fatalf("iter %d: %v\ncase:\n%s", iter, err, Describe(c))
+		}
+	}
+}
+
+// Every edge-case fixture also passes the prepared contract.
+func TestPreparedFixtures(t *testing.T) {
+	for _, f := range Fixtures() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if err := CheckPrepared(f.Case()); err != nil {
+				t.Fatalf("%v\ncase:\n%s", err, Describe(f.Case()))
+			}
+		})
+	}
+}

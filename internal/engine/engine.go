@@ -85,9 +85,20 @@ type Timings struct {
 // deterministic counters plus the phase timings. Counter fields are
 // promoted (s.NodesVisited); tests that need run-to-run equality compare
 // s.Counters.
+//
+// PrepareReused lives outside Counters on purpose: a run that reuses a
+// prepared dataset snapshot must produce Counters identical to a
+// from-scratch run (the snapshot only moves the build phase, it never
+// changes the enumeration), so the reuse marker cannot participate in
+// counter-equality checks.
 type Stats struct {
 	Counters
 	Timings Timings
+	// PrepareReused counts build phases satisfied from a prepared
+	// dataset.Snapshot instead of being recomputed (1 per run that was
+	// handed a snapshot, 0 otherwise). The saving itself shows up as a
+	// near-zero Timings.Setup.
+	PrepareReused int64
 }
 
 // MinerResult is the common face of every miner's result type — FARMER's

@@ -1,0 +1,69 @@
+package serve_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// benchManager builds a registry + manager over the paper example with the
+// given cache budget and tears both down when the benchmark ends.
+func benchManager(b *testing.B, cacheBytes int64) *serve.Manager {
+	b.Helper()
+	reg := serve.NewRegistry()
+	if _, err := reg.Load("paper", "transactions", 0, strings.NewReader(paperExample)); err != nil {
+		b.Fatal(err)
+	}
+	mgr := serve.NewManager(reg, 0, 64, cacheBytes)
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			b.Errorf("shutdown: %v", err)
+		}
+	})
+	return mgr
+}
+
+func submitWait(b *testing.B, mgr *serve.Manager, spec serve.JobSpec) {
+	b.Helper()
+	job, err := mgr.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-job.Done()
+	if st := job.Status(); st.State != serve.StateDone {
+		b.Fatalf("job state %q: %s", st.State, st.Error)
+	}
+}
+
+// BenchmarkJobCold measures a repeated identical request with caching
+// disabled: every submission mines from scratch (snapshot reuse still
+// applies — that is the registry's job, not the cache's).
+func BenchmarkJobCold(b *testing.B) {
+	mgr := benchManager(b, 0)
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	submitWait(b, mgr, spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, mgr, spec)
+	}
+}
+
+// BenchmarkJobWarm measures the same request against a primed result
+// cache: every submission replays stored records without touching a
+// worker.
+func BenchmarkJobWarm(b *testing.B) {
+	mgr := benchManager(b, serve.DefaultCacheBytes)
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	submitWait(b, mgr, spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submitWait(b, mgr, spec)
+	}
+}

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// requestKey is the canonical request hash a result is cached and
+// coalesced under: the miner, the dataset's registration generation, and
+// every result-affecting option, hashed over an unambiguous field-per-line
+// rendering. The generation — not the dataset name — keys the data, so
+// re-registering a name invalidates all of its cached results implicitly:
+// their keys can simply never be asked for again, and the entries age out
+// of the LRU. TimeoutMS participates because it changes what a run may
+// produce (a timed-out job is never cached, but two live submissions with
+// different deadlines must not coalesce into one run with the wrong one).
+func requestKey(spec JobSpec, gen uint64) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf(
+		"miner=%s\ngen=%d\nclass=%s\nminsup=%d\nminconf=%g\nminchi=%g\nlb=%t\nk=%d\nmeasure=%s\nworkers=%d\ntimeout=%d\n",
+		spec.Miner, gen, spec.Class, spec.MinSup, spec.MinConf, spec.MinChi,
+		spec.LowerBounds, spec.K, spec.Measure, spec.Workers, spec.TimeoutMS,
+	)))
+	return hex.EncodeToString(h[:])
+}
+
+// canonicalSpec normalizes the fields buildRunner would normalize anyway
+// (MinSup and K floors, the default measure name), so equivalent requests
+// share one key.
+func canonicalSpec(spec JobSpec) JobSpec {
+	if spec.MinSup < 1 {
+		spec.MinSup = 1
+	}
+	if spec.Miner == "topk" {
+		if spec.K < 1 {
+			spec.K = 1
+		}
+		if spec.Measure == "" {
+			spec.Measure = "chi2"
+		}
+	}
+	return spec
+}
+
+// cachedResult is one finished job's replayable outcome: the raw NDJSON
+// records exactly as the live job marshaled them (so a replay is
+// byte-identical to the original stream) plus the final statistics.
+type cachedResult struct {
+	records  []json.RawMessage
+	stats    engine.Stats
+	hasStats bool
+}
+
+// cacheEntryOverhead approximates the per-record and per-entry bookkeeping
+// (slice headers, list element, map entry, key) counted against the byte
+// bound, so a flood of tiny results cannot blow past the configured memory
+// budget on overhead alone.
+const cacheEntryOverhead = 256
+
+func (r cachedResult) size() int64 {
+	n := int64(cacheEntryOverhead)
+	for _, rec := range r.records {
+		n += int64(len(rec)) + 48
+	}
+	return n
+}
+
+// resultCache is a byte-bounded LRU over cachedResults keyed by request
+// key. A nil *resultCache is a valid, always-missing cache (caching
+// disabled).
+type resultCache struct {
+	mu    sync.Mutex
+	max   int64
+	cur   int64
+	order *list.List // front = most recently used; values are *cacheItem
+	byKey map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	res   cachedResult
+	bytes int64
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	return &resultCache{max: maxBytes, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the cached result for key, marking it most recently used.
+func (c *resultCache) get(key string) (cachedResult, bool) {
+	if c == nil {
+		return cachedResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return cachedResult{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// put inserts (or refreshes) key, evicting least-recently-used entries
+// until the byte bound holds again. Results larger than the whole bound
+// are not cached at all.
+func (c *resultCache) put(key string, res cachedResult) {
+	if c == nil {
+		return
+	}
+	n := res.size()
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		item := el.Value.(*cacheItem)
+		c.cur += n - item.bytes
+		item.res, item.bytes = res, n
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheItem{key: key, res: res, bytes: n})
+		c.cur += n
+	}
+	for c.cur > c.max {
+		el := c.order.Back()
+		if el == nil {
+			break
+		}
+		item := c.order.Remove(el).(*cacheItem)
+		delete(c.byKey, item.key)
+		c.cur -= item.bytes
+	}
+}
+
+// bytes reports the current cached size (for tests and introspection).
+func (c *resultCache) bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}

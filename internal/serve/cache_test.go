@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func rawRecords(sizes ...int) []json.RawMessage {
+	out := make([]json.RawMessage, len(sizes))
+	for i, n := range sizes {
+		out[i] = make(json.RawMessage, n)
+	}
+	return out
+}
+
+func TestRequestKeyDiscriminates(t *testing.T) {
+	base := JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	seen := map[string]string{}
+	add := func(label string, spec JobSpec, gen uint64) {
+		t.Helper()
+		key := requestKey(spec, gen)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("key collision between %s and %s", prev, label)
+		}
+		seen[key] = label
+	}
+	add("base", base, 1)
+	add("gen", base, 2)
+	for label, mutate := range map[string]func(*JobSpec){
+		"miner":   func(s *JobSpec) { s.Miner = "charm" },
+		"class":   func(s *JobSpec) { s.Class = "N" },
+		"minsup":  func(s *JobSpec) { s.MinSup = 3 },
+		"minconf": func(s *JobSpec) { s.MinConf = 0.9 },
+		"minchi":  func(s *JobSpec) { s.MinChi = 3.84 },
+		"lb":      func(s *JobSpec) { s.LowerBounds = true },
+		"k":       func(s *JobSpec) { s.K = 5 },
+		"measure": func(s *JobSpec) { s.Measure = "conf" },
+		"workers": func(s *JobSpec) { s.Workers = 2 },
+		"timeout": func(s *JobSpec) { s.TimeoutMS = 100 },
+	} {
+		spec := base
+		mutate(&spec)
+		add(label, spec, 1)
+	}
+	// The key ignores the dataset name on purpose: the generation is the
+	// data's identity, and generations are registry-wide unique.
+	renamed := base
+	renamed.Dataset = "other"
+	if requestKey(renamed, 1) != requestKey(base, 1) {
+		t.Fatal("key depends on dataset name; generation should be the data identity")
+	}
+}
+
+func TestCanonicalSpecNormalizes(t *testing.T) {
+	a := canonicalSpec(JobSpec{Miner: "topk", Dataset: "d"})
+	b := canonicalSpec(JobSpec{Miner: "topk", Dataset: "d", MinSup: 1, K: 1, Measure: "chi2"})
+	if requestKey(a, 7) != requestKey(b, 7) {
+		t.Fatalf("equivalent topk specs got different keys:\n%+v\n%+v", a, b)
+	}
+	c := canonicalSpec(JobSpec{Miner: "charm", Dataset: "d", MinSup: -3})
+	if c.MinSup != 1 {
+		t.Fatalf("MinSup floor: got %d, want 1", c.MinSup)
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	entry := func(recBytes int) cachedResult { return cachedResult{records: rawRecords(recBytes)} }
+	one := entry(1000).size()
+	c := newResultCache(3 * one)
+
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprintf("k%d", i), entry(1000))
+	}
+	if c.len() != 3 || c.bytes() != 3*one {
+		t.Fatalf("after 3 puts: len=%d bytes=%d, want 3/%d", c.len(), c.bytes(), 3*one)
+	}
+
+	// Touch k0 so k1 is the eviction victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	c.put("k3", entry(1000))
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 survived; LRU should have evicted it")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s evicted; want it retained", k)
+		}
+	}
+	if c.bytes() != 3*one {
+		t.Fatalf("bytes=%d after eviction, want %d", c.bytes(), 3*one)
+	}
+
+	// An entry larger than the whole budget is refused outright.
+	c.put("huge", entry(int(4*one)))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry was cached")
+	}
+
+	// Refreshing a key in place adjusts accounting instead of duplicating.
+	c.put("k3", entry(500))
+	if got, want := c.bytes(), 2*one+entry(500).size(); got != want || c.len() != 3 {
+		t.Fatalf("after refresh: len=%d bytes=%d, want 3/%d", c.len(), got, want)
+	}
+
+	// A nil cache (caching disabled) accepts every call and stays empty.
+	var nilCache *resultCache
+	nilCache.put("x", entry(10))
+	if _, ok := nilCache.get("x"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if nilCache.len() != 0 || nilCache.bytes() != 0 {
+		t.Fatal("nil cache reports non-zero stats")
+	}
+	if newResultCache(0) != nil {
+		t.Fatal("newResultCache(0) should disable caching")
+	}
+}

@@ -70,6 +70,13 @@ type Job struct {
 	Spec JobSpec
 
 	runner runnerFunc
+	// key is the canonical request hash the job is registered under in the
+	// manager's singleflight table and result cache; empty for cached
+	// replay jobs (they were never inflight and are never re-cached).
+	key string
+	// cached marks a job whose records were replayed from the result cache
+	// instead of mined; it is set at construction and never changes.
+	cached bool
 
 	mu        sync.Mutex
 	state     State
@@ -95,6 +102,29 @@ func newJob(id string, spec JobSpec, run runnerFunc) *Job {
 		done:      make(chan struct{}),
 		createdAt: time.Now(),
 	}
+}
+
+// newCachedJob builds a job that is born terminal: its records are the
+// cached NDJSON bytes of an identical completed request, so streaming it
+// replays the original run byte for byte without touching a worker.
+func newCachedJob(id string, spec JobSpec, res cachedResult) *Job {
+	now := time.Now()
+	j := &Job{
+		ID:        id,
+		Spec:      spec,
+		cached:    true,
+		state:     StateDone,
+		results:   res.records,
+		stats:     res.stats,
+		hasStats:  res.hasStats,
+		wake:      make(chan struct{}),
+		done:      make(chan struct{}),
+		createdAt: now,
+		startedAt: now,
+		endedAt:   now,
+	}
+	close(j.done)
+	return j
 }
 
 // wakeLocked signals every waiter and re-arms the broadcast channel.
@@ -158,6 +188,9 @@ type JobStatus struct {
 	// while the job runs.
 	Emitted int    `json:"emitted"`
 	Error   string `json:"error,omitempty"`
+	// Cached reports that the job replayed a cached result of an identical
+	// earlier request instead of mining. Its stats are the original run's.
+	Cached bool `json:"cached,omitempty"`
 	// Stats is present once the job is terminal; for cancelled jobs it
 	// holds the partial statistics up to the cancellation point.
 	Stats      *engine.Stats `json:"stats,omitempty"`
@@ -177,6 +210,7 @@ func (j *Job) Status() JobStatus {
 		State:     j.state,
 		Emitted:   len(j.results),
 		Error:     j.errMsg,
+		Cached:    j.cached,
 		CreatedAt: j.createdAt.Format(time.RFC3339Nano),
 	}
 	if j.hasStats {

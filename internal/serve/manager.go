@@ -22,15 +22,27 @@ var (
 	ErrNotFound = errors.New("serve: no such job")
 )
 
+// DefaultCacheBytes is the result-cache bound selected by a negative
+// cacheBytes argument to NewManager (and by farmerd's flag default).
+const DefaultCacheBytes int64 = 64 << 20
+
 // Manager owns the job queue and the bounded worker pool that drains it.
 // Jobs pass through queued -> running -> done/failed/cancelled; a DELETE
 // cancels a queued job immediately and interrupts a running one through
 // its context (the engine stops within one node expansion).
+//
+// Two layers sit in front of the queue, both keyed by the canonical
+// request hash (miner + dataset generation + options — see requestKey):
+// inflight coalesces identical concurrent submissions onto one live job
+// (singleflight), and cache replays the NDJSON records of identical
+// completed jobs without re-mining.
 type Manager struct {
-	reg *Registry
+	reg   *Registry
+	cache *resultCache
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
+	inflight map[string]*Job // request key -> queued/running job
 	seq      int
 	queue    chan *Job
 	draining bool
@@ -39,18 +51,25 @@ type Manager struct {
 }
 
 // NewManager starts workers goroutines (<= 0 selects GOMAXPROCS) serving
-// a queue of the given depth (<= 0 selects 64).
-func NewManager(reg *Registry, workers, depth int) *Manager {
+// a queue of the given depth (<= 0 selects 64). cacheBytes bounds the
+// result cache: negative selects DefaultCacheBytes, zero disables caching
+// (singleflight coalescing stays on — it holds no extra memory).
+func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if depth <= 0 {
 		depth = 64
 	}
+	if cacheBytes < 0 {
+		cacheBytes = DefaultCacheBytes
+	}
 	m := &Manager{
-		reg:   reg,
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, depth),
+		reg:      reg,
+		cache:    newResultCache(cacheBytes),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, depth),
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
@@ -65,24 +84,60 @@ func (m *Manager) Registry() *Registry { return m.reg }
 // Submit validates spec, compiles it into a runner and enqueues the job.
 // Validation failures (unknown miner, dataset or class) are returned
 // immediately; ErrDraining and ErrQueueFull signal admission refusal.
+//
+// Identical requests are served without re-mining: a submission whose
+// canonical request key matches a live (queued or running) job returns
+// that job — both callers stream the same run — and one matching a cached
+// completed result returns a fresh job that is already done, flagged
+// Cached in its status, replaying the stored records byte for byte.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
-	run, err := buildRunner(m.reg, spec)
+	spec = canonicalSpec(spec)
+	d, snap, gen, ok := m.reg.Entry(spec.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", spec.Dataset)
+	}
+	run, err := buildRunner(d, snap, spec)
 	if err != nil {
 		return nil, err
 	}
+	key := requestKey(spec, gen)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
 	}
+	if live, ok := m.inflight[key]; ok {
+		return live, nil
+	}
+	if res, ok := m.cache.get(key); ok {
+		m.seq++
+		job := newCachedJob(fmt.Sprintf("job-%d", m.seq), spec, res)
+		m.jobs[job.ID] = job
+		return job, nil
+	}
 	m.seq++
 	job := newJob(fmt.Sprintf("job-%d", m.seq), spec, run)
+	job.key = key
 	select {
 	case m.queue <- job:
 		m.jobs[job.ID] = job
+		m.inflight[key] = job
 		return job, nil
 	default:
 		return nil, ErrQueueFull
+	}
+}
+
+// CacheStats reports the result cache's current entry count and byte size
+// (zeros when caching is disabled).
+func (m *Manager) CacheStats() (entries int, bytes int64) {
+	return m.cache.len(), m.cache.bytes()
+}
+
+// detachLocked removes job from the singleflight table. Callers hold m.mu.
+func (m *Manager) detachLocked(job *Job) {
+	if job.key != "" && m.inflight[job.key] == job {
+		delete(m.inflight, job.key)
 	}
 }
 
@@ -123,6 +178,9 @@ func (m *Manager) Cancel(id string) error {
 		close(job.done)
 		job.wakeLocked()
 		job.mu.Unlock()
+		m.mu.Lock()
+		m.detachLocked(job)
+		m.mu.Unlock()
 	case job.state == StateRunning:
 		cancel := job.cancel
 		job.mu.Unlock()
@@ -169,6 +227,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			j.endedAt = time.Now()
 			close(j.done)
 			j.wakeLocked()
+			m.detachLocked(j)
 		case StateRunning:
 			j.cancel()
 		}
@@ -217,9 +276,19 @@ func (m *Manager) run(job *Job) {
 	switch {
 	case err == nil:
 		job.finish(StateDone, stats, hasStats, "")
+		// Only complete, successful runs are cacheable: the records are
+		// final and the replay is byte-identical. The stored slice is the
+		// job's own — it never grows after the terminal transition.
+		job.mu.Lock()
+		records := job.results
+		job.mu.Unlock()
+		m.cache.put(job.key, cachedResult{records: records, stats: stats, hasStats: hasStats})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		job.finish(StateCancelled, stats, hasStats, err.Error())
 	default:
 		job.finish(StateFailed, stats, hasStats, err.Error())
 	}
+	m.mu.Lock()
+	m.detachLocked(job)
+	m.mu.Unlock()
 }

@@ -15,32 +15,67 @@ import (
 	farmer "repro"
 )
 
-// Registry is the named-dataset store shared by all jobs. Datasets are
-// immutable once registered; re-registering a name replaces it for future
-// jobs without disturbing running ones (they hold their own pointer).
+// Registry is the named-dataset store shared by all jobs. Each entry is an
+// immutable (dataset, snapshot, generation) triple: the snapshot is the
+// prepared compiled form every job of that dataset reuses, the generation
+// is a registry-wide monotonic counter bumped on every registration, so
+// request keys derived from it can never confuse results across re-uploads
+// of the same name. Re-registering a name installs a fresh triple for
+// future jobs without disturbing running ones (they hold their own
+// pointers).
 type Registry struct {
 	mu       sync.RWMutex
-	datasets map[string]*farmer.Dataset
+	datasets map[string]*regEntry
+	gen      uint64
+}
+
+type regEntry struct {
+	d    *farmer.Dataset
+	snap *farmer.Snapshot
+	gen  uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{datasets: make(map[string]*farmer.Dataset)}
+	return &Registry{datasets: make(map[string]*regEntry)}
 }
 
 // Put registers d under name, replacing any previous dataset of that name.
-func (r *Registry) Put(name string, d *farmer.Dataset) {
+// The dataset is validated and compiled into its prepared snapshot here,
+// once, so every job submitted against it skips the per-run build phase.
+func (r *Registry) Put(name string, d *farmer.Dataset) error {
+	snap, err := farmer.Prepare(d)
+	if err != nil {
+		return fmt.Errorf("register dataset %s: %w", name, err)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.datasets[name] = d
+	r.gen++
+	r.datasets[name] = &regEntry{d: d, snap: snap, gen: r.gen}
+	return nil
 }
 
 // Get returns the dataset registered under name.
 func (r *Registry) Get(name string) (*farmer.Dataset, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	d, ok := r.datasets[name]
-	return d, ok
+	e, ok := r.datasets[name]
+	if !ok {
+		return nil, false
+	}
+	return e.d, true
+}
+
+// Entry returns the full registration triple for name: the dataset, its
+// prepared snapshot, and the registration generation.
+func (r *Registry) Entry(name string) (d *farmer.Dataset, snap *farmer.Snapshot, gen uint64, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.datasets[name]
+	if !ok {
+		return nil, nil, 0, false
+	}
+	return e.d, e.snap, e.gen, true
 }
 
 // Names returns the registered dataset names, sorted.
@@ -86,6 +121,8 @@ func (r *Registry) Load(name, format string, buckets int, src io.Reader) (*farme
 	if err != nil {
 		return nil, fmt.Errorf("load dataset %s: %w", name, err)
 	}
-	r.Put(name, d)
+	if err := r.Put(name, d); err != nil {
+		return nil, err
+	}
 	return d, nil
 }

@@ -63,14 +63,14 @@ func resolveClass(d *farmer.Dataset, class string) (int, error) {
 	return c, nil
 }
 
-// buildRunner validates spec against the registry and compiles it into a
-// runnerFunc. All validation errors surface here, at submission time, so
-// a queued job can only fail from the mining run itself.
-func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
-	d, ok := reg.Get(spec.Dataset)
-	if !ok {
-		return nil, fmt.Errorf("unknown dataset %q", spec.Dataset)
-	}
+// buildRunner validates spec against the resolved dataset and compiles it
+// into a runnerFunc. All validation errors surface here, at submission
+// time, so a queued job can only fail from the mining run itself. The
+// runner captures d and snap — a job keeps mining the dataset it was
+// submitted against even if the name is re-registered mid-run — and every
+// invocation copies its options before attaching callbacks, so a runner
+// is safe to invoke more than once.
+func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (runnerFunc, error) {
 	minsup := spec.MinSup
 	if minsup < 1 {
 		minsup = 1
@@ -88,6 +88,7 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 			MinChi:             spec.MinChi,
 			ComputeLowerBounds: spec.LowerBounds,
 			Workers:            spec.Workers,
+			Prepared:           snap,
 		}
 		if opt.Workers != 0 {
 			// Parallel runs are batch-only: the interestingness fixpoint is
@@ -129,7 +130,7 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		if k < 1 {
 			k = 1
 		}
-		opt := farmer.TopKOptions{K: k, Measure: measure, MinSup: minsup}
+		opt := farmer.TopKOptions{K: k, Measure: measure, MinSup: minsup, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
 			// Best-first search only knows the final ranking at the end, so
 			// TopK is batch-only; on cancellation the best groups so far are
@@ -150,12 +151,13 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		}, nil
 
 	case "charm":
-		opt := farmer.CharmOptions{MinSup: minsup}
+		opt := farmer.CharmOptions{MinSup: minsup, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
-			opt.OnClosed = func(c farmer.ClosedSet) error {
+			o := opt
+			o.OnClosed = func(c farmer.ClosedSet) error {
 				return emit(ClosedRecord{Items: itemNames(d, c.Items), Support: c.Support})
 			}
-			res, err := farmer.RunCHARM(ctx, d, opt)
+			res, err := farmer.RunCHARM(ctx, d, o)
 			if res == nil {
 				return nil, err
 			}
@@ -163,12 +165,13 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		}, nil
 
 	case "closet":
-		opt := farmer.ClosetOptions{MinSup: minsup}
+		opt := farmer.ClosetOptions{MinSup: minsup, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
-			opt.OnClosed = func(c farmer.ClosetClosedSet) error {
+			o := opt
+			o.OnClosed = func(c farmer.ClosetClosedSet) error {
 				return emit(ClosedRecord{Items: itemNames(d, c.Items), Support: c.Support})
 			}
-			res, err := farmer.RunCLOSET(ctx, d, opt)
+			res, err := farmer.RunCLOSET(ctx, d, o)
 			if res == nil {
 				return nil, err
 			}
@@ -180,9 +183,10 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		if err != nil {
 			return nil, err
 		}
-		opt := farmer.ColumnEOptions{MinSup: minsup, MinConf: spec.MinConf, MinChi: spec.MinChi}
+		opt := farmer.ColumnEOptions{MinSup: minsup, MinConf: spec.MinConf, MinChi: spec.MinChi, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
-			opt.OnRule = func(r farmer.ColumnERule) error {
+			o := opt
+			o.OnRule = func(r farmer.ColumnERule) error {
 				return emit(GroupRecord{
 					Antecedent: itemNames(d, r.Antecedent),
 					SupPos:     r.SupPos,
@@ -191,7 +195,7 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 					Chi:        r.Chi,
 				})
 			}
-			res, err := farmer.RunColumnE(ctx, d, consequent, opt)
+			res, err := farmer.RunColumnE(ctx, d, consequent, o)
 			if res == nil {
 				return nil, err
 			}
@@ -199,12 +203,13 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		}, nil
 
 	case "carpenter":
-		opt := farmer.CarpenterOptions{MinSup: minsup}
+		opt := farmer.CarpenterOptions{MinSup: minsup, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
-			opt.OnClosed = func(p farmer.ClosedPattern) error {
+			o := opt
+			o.OnClosed = func(p farmer.ClosedPattern) error {
 				return emit(ClosedRecord{Items: itemNames(d, p.Items), Support: p.Support})
 			}
-			res, err := farmer.RunCARPENTER(ctx, d, opt)
+			res, err := farmer.RunCARPENTER(ctx, d, o)
 			if res == nil {
 				return nil, err
 			}
@@ -212,12 +217,13 @@ func buildRunner(reg *Registry, spec JobSpec) (runnerFunc, error) {
 		}, nil
 
 	case "cobbler":
-		opt := farmer.CobblerOptions{MinSup: minsup}
+		opt := farmer.CobblerOptions{MinSup: minsup, Prepared: snap}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
-			opt.OnClosed = func(p farmer.CobblerClosedPattern) error {
+			o := opt
+			o.OnClosed = func(p farmer.CobblerClosedPattern) error {
 				return emit(ClosedRecord{Items: itemNames(d, p.Items), Support: p.Support})
 			}
-			res, err := farmer.RunCOBBLER(ctx, d, opt)
+			res, err := farmer.RunCOBBLER(ctx, d, o)
 			if res == nil {
 				return nil, err
 			}

@@ -1,0 +1,258 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	farmer "repro"
+	"repro/internal/serve"
+)
+
+// TestCachedReplayByteIdentical is the acceptance check for the result
+// cache: resubmitting a completed request returns a job that is already
+// done, flagged cached, carries the original run's statistics, and whose
+// NDJSON stream is byte-identical to the fresh run's.
+func TestCachedReplayByteIdentical(t *testing.T) {
+	ts, mgr := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2, LowerBounds: true}
+	first := submit(t, ts.URL, spec)
+	if first.Cached {
+		t.Fatal("first submission flagged cached")
+	}
+	waitState(t, ts.URL, first.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	fresh := streamLines(t, ts.URL, first.ID)
+	if len(fresh) == 0 {
+		t.Fatal("fresh run emitted nothing; test needs records to compare")
+	}
+
+	if entries, bytes := mgr.CacheStats(); entries != 1 || bytes <= 0 {
+		t.Fatalf("cache stats after first run: entries=%d bytes=%d, want 1 entry with positive size", entries, bytes)
+	}
+
+	second := submit(t, ts.URL, spec)
+	if second.ID == first.ID {
+		t.Fatal("cached replay reused the original job id")
+	}
+	if !second.Cached {
+		t.Fatalf("second submission not flagged cached: %+v", second)
+	}
+	if second.State != serve.StateDone {
+		t.Fatalf("cached job state %q at submission, want done", second.State)
+	}
+	replay := streamLines(t, ts.URL, second.ID)
+	equalLines(t, "cached replay", replay, fresh)
+
+	freshStatus := status(t, ts.URL, first.ID)
+	cachedStatus := status(t, ts.URL, second.ID)
+	if freshStatus.Stats == nil || cachedStatus.Stats == nil {
+		t.Fatal("missing stats on terminal jobs")
+	}
+	if !reflect.DeepEqual(*freshStatus.Stats, *cachedStatus.Stats) {
+		t.Fatalf("cached stats differ from the original run's:\nfresh  %+v\ncached %+v", *freshStatus.Stats, *cachedStatus.Stats)
+	}
+	if freshStatus.Stats.PrepareReused != 1 {
+		t.Fatalf("PrepareReused=%d on a registry-served run, want 1", freshStatus.Stats.PrepareReused)
+	}
+}
+
+// Closed-set miners replay through the cache too, and their runs reuse
+// the registry snapshot.
+func TestCachedReplayClosedSetMiners(t *testing.T) {
+	ts, _ := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+
+	for _, miner := range []string{"charm", "closet", "columne", "carpenter", "cobbler", "topk"} {
+		spec := serve.JobSpec{Miner: miner, Dataset: "paper", MinSup: 2}
+		first := submit(t, ts.URL, spec)
+		waitState(t, ts.URL, first.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+		fresh := streamLines(t, ts.URL, first.ID)
+
+		second := submit(t, ts.URL, spec)
+		if !second.Cached {
+			t.Fatalf("%s: repeat submission not cached", miner)
+		}
+		equalLines(t, miner+" replay", streamLines(t, ts.URL, second.ID), fresh)
+
+		st := status(t, ts.URL, first.ID)
+		if st.Stats == nil || st.Stats.PrepareReused != 1 {
+			t.Fatalf("%s: PrepareReused=%v, want 1", miner, st.Stats)
+		}
+	}
+}
+
+// Re-registering a dataset name bumps its generation, so an identical
+// request after the re-Put misses the cache and mines the new data.
+func TestCacheMissOnReregistration(t *testing.T) {
+	ts, _ := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	first := submit(t, ts.URL, spec)
+	waitState(t, ts.URL, first.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+
+	// Same bytes, new registration: the data is identical but the cache
+	// must not serve results across registrations.
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+
+	second := submit(t, ts.URL, spec)
+	if second.Cached {
+		t.Fatal("submission after re-registration served from cache")
+	}
+	waitState(t, ts.URL, second.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	equalLines(t, "post-reregistration run",
+		streamLines(t, ts.URL, second.ID), streamLines(t, ts.URL, first.ID))
+}
+
+// Identical submissions while a matching job is still live coalesce onto
+// that job instead of enqueueing a duplicate run.
+func TestSingleflightCoalescesIdenticalSubmissions(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	put(t, ts.URL+"/v1/datasets/slow", slowExample())
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "slow", MinSup: 1}
+	first := submit(t, ts.URL, spec)
+	waitState(t, ts.URL, first.ID, func(s serve.JobStatus) bool { return s.State == serve.StateRunning })
+
+	second := submit(t, ts.URL, spec)
+	if second.ID != first.ID {
+		t.Fatalf("identical live submission got job %s, want coalescing onto %s", second.ID, first.ID)
+	}
+	if second.Cached {
+		t.Fatal("coalesced live job flagged cached")
+	}
+
+	// A different request must not coalesce.
+	other := submit(t, ts.URL, serve.JobSpec{Miner: "farmer", Dataset: "slow", MinSup: 2})
+	if other.ID == first.ID {
+		t.Fatal("different spec coalesced onto the live job")
+	}
+
+	// The runs themselves are deliberately long; cancel instead of waiting.
+	for _, id := range []string{first.ID, other.ID} {
+		cancelJob(t, ts.URL, id)
+		waitState(t, ts.URL, id, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	}
+}
+
+func cancelJob(t *testing.T, baseURL, id string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, baseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// mediumExample is a transactions text big enough that a minsup=1 FARMER
+// run stays observably live for a moment, yet cheap enough to run to
+// completion (twice) under the race detector.
+func mediumExample() string {
+	const rows, items = 36, 48
+	rng := rand.New(rand.NewSource(777))
+	var b strings.Builder
+	for i := 0; i < rows; i++ {
+		if i%2 == 0 {
+			b.WriteString("C :")
+		} else {
+			b.WriteString("N :")
+		}
+		for it := 0; it < items; it++ {
+			p := 0.35
+			if i%2 == 0 && it < 3 {
+				p = 0.9
+			}
+			if rng.Float64() < p {
+				fmt.Fprintf(&b, " g%d", it)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Re-Putting a dataset name under a live job must not disturb that job:
+// it keeps mining the dataset (and snapshot) it was submitted against,
+// and its results match a library run over the original data.
+func TestRePutUnderLiveJobKeepsSnapshot(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	medium := mediumExample()
+	put(t, ts.URL+"/v1/datasets/d", medium)
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "d", MinSup: 1}
+	first := submit(t, ts.URL, spec)
+	waitState(t, ts.URL, first.ID, func(s serve.JobStatus) bool {
+		return s.State == serve.StateRunning || s.State.Terminal()
+	})
+
+	// Swap the name to a completely different dataset mid-run.
+	put(t, ts.URL+"/v1/datasets/d", paperExample)
+
+	got := streamLines(t, ts.URL, first.ID)
+	if st := status(t, ts.URL, first.ID); st.State != serve.StateDone {
+		t.Fatalf("live job state %q after re-Put, want done", st.State)
+	}
+
+	d, err := farmer.ReadTransactions(strings.NewReader(medium))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedFarmerLines(t, d, 0, farmer.MineOptions{MinSup: 1})
+	equalLines(t, "live job across re-Put", got, want)
+
+	// New submissions resolve the new registration.
+	second := submit(t, ts.URL, spec)
+	if second.Cached || second.ID == first.ID {
+		t.Fatalf("post-re-Put submission should be a fresh job: %+v", second)
+	}
+	waitState(t, ts.URL, second.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	pd := loadExample(t)
+	equalLines(t, "post-re-Put run",
+		streamLines(t, ts.URL, second.ID), expectedFarmerLines(t, pd, 0, farmer.MineOptions{MinSup: 1}))
+}
+
+// A zero cache budget disables replay: repeats mine again, but still
+// produce identical bytes.
+func TestCacheDisabled(t *testing.T) {
+	reg := serve.NewRegistry()
+	mgr := serve.NewManager(reg, 1, 4, 0)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+	if _, err := reg.Load("paper", "transactions", 0, strings.NewReader(paperExample)); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	first, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-first.Done()
+	if entries, bytes := mgr.CacheStats(); entries != 0 || bytes != 0 {
+		t.Fatalf("disabled cache reports entries=%d bytes=%d", entries, bytes)
+	}
+	second, err := mgr.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-second.Done()
+	if st := second.Status(); st.Cached {
+		t.Fatal("replay served with caching disabled")
+	}
+}

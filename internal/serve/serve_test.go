@@ -58,7 +58,7 @@ func service(t *testing.T, workers, depth int) (*httptest.Server, *serve.Manager
 	t.Helper()
 	base := runtime.NumGoroutine()
 	reg := serve.NewRegistry()
-	mgr := serve.NewManager(reg, workers, depth)
+	mgr := serve.NewManager(reg, workers, depth, serve.DefaultCacheBytes)
 	ts := httptest.NewServer(serve.NewServer(mgr))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -420,7 +420,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestGracefulShutdownDrainsInFlightJobs(t *testing.T) {
 	reg := serve.NewRegistry()
-	mgr := serve.NewManager(reg, 1, 4)
+	mgr := serve.NewManager(reg, 1, 4, serve.DefaultCacheBytes)
 	ts := httptest.NewServer(serve.NewServer(mgr))
 	defer ts.Close()
 	put(t, ts.URL+"/v1/datasets/paper", paperExample)
@@ -446,7 +446,7 @@ func TestGracefulShutdownDrainsInFlightJobs(t *testing.T) {
 
 func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 	reg := serve.NewRegistry()
-	mgr := serve.NewManager(reg, 1, 4)
+	mgr := serve.NewManager(reg, 1, 4, serve.DefaultCacheBytes)
 	ts := httptest.NewServer(serve.NewServer(mgr))
 	defer ts.Close()
 	put(t, ts.URL+"/v1/datasets/slow", slowExample())
@@ -474,7 +474,8 @@ func TestQueueBackpressure(t *testing.T) {
 	waitState(t, ts.URL, running.ID, func(s serve.JobStatus) bool { return s.State == serve.StateRunning })
 	submit(t, ts.URL, serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}) // fills the queue
 
-	buf, _ := json.Marshal(serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2})
+	// A different minsup so the probe cannot coalesce with the queued job.
+	buf, _ := json.Marshal(serve.JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 3})
 	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(buf)))
 	if err != nil {
 		t.Fatal(err)

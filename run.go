@@ -56,11 +56,15 @@ func ParseMeasure(name string) (Measure, error) { return core.ParseMeasure(name)
 // expiry of ctx stops the search within one node expansion and returns
 // ctx.Err() together with a partial result.
 //
-// opt.Workers selects the execution mode: 0 runs the sequential miner; any
-// other value runs the work-stealing parallel scheduler with that many
-// workers (negative = GOMAXPROCS). A cancelled parallel run reports no
-// groups (the interestingness fixpoint is not sound on a partial candidate
-// set), only merged statistics.
+// opt.Workers selects the execution mode: 0 runs the sequential miner; a
+// positive value runs the work-stealing parallel scheduler with exactly
+// that many workers; a negative value is the auto mode — GOMAXPROCS
+// workers, except that inputs below ParallelFallbackRows rows run the
+// sequential miner instead (at bench scale the scheduler's setup and
+// merge overhead loses to sequential Mine on several datasets — see the
+// README performance notes; the mined groups are identical either way). A
+// cancelled parallel run reports no groups (the interestingness fixpoint
+// is not sound on a partial candidate set), only merged statistics.
 //
 // opt.OnGroup switches to streaming emission: each interesting rule group
 // is delivered as soon as it is accepted, in the same order Mine would
@@ -75,6 +79,9 @@ func RunFARMER(ctx context.Context, d *Dataset, consequent int, opt MineOptions)
 		}
 		return core.MineStream(ctx, d, consequent, opt, opt.OnGroup)
 	case opt.Workers != 0:
+		if opt.Workers < 0 && len(d.Rows) < ParallelFallbackRows {
+			return core.MineContext(ctx, d, consequent, opt)
+		}
 		return core.MineParallelContext(ctx, d, consequent, opt, opt.Workers)
 	default:
 		return core.MineContext(ctx, d, consequent, opt)
