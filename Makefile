@@ -4,7 +4,8 @@
 GO       ?= go
 FUZZTIME ?= 30s
 
-FUZZ_TARGETS := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
+FUZZ_TARGETS       := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
+STORE_FUZZ_TARGETS := FuzzReadSnapshot
 
 .PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve serve smoke
 
@@ -22,12 +23,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Each differential fuzz target runs for FUZZTIME; the committed corpus
-# under internal/difftest/testdata/fuzz/ replays in plain `make test` too.
+# Each fuzz target runs for FUZZTIME; the committed corpora under
+# internal/difftest/testdata/fuzz/ and internal/store/testdata/fuzz/
+# replay in plain `make test` too.
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \
 		echo "--- fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/difftest || exit 1; \
+	done
+	@for t in $(STORE_FUZZ_TARGETS); do \
+		echo "--- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/store || exit 1; \
 	done
 
 bench:
@@ -44,8 +50,9 @@ serve:
 smoke:
 	$(GO) test -count=1 -run TestFarmerdEndToEnd ./cmd/farmerd
 
-# Machine-readable core benchmarks (ns/op, allocs/op, B/op for Mine,
-# MineParallel and CHARM over the bench datasets); CI archives the file.
+# Machine-readable core benchmarks (ns/op, allocs/op, B/op for Prepare,
+# SnapshotLoad, Mine, MineParallel and CHARM over the bench datasets); CI
+# archives the file.
 BENCH_JSON_DATASETS ?= BC,LC,CT,PC,ALL
 bench-json:
 	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o BENCH_core.json

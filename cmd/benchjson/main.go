@@ -1,8 +1,11 @@
 // Command benchjson measures the hot mining entry points — Mine,
 // MineParallel and CHARM — over the bench datasets with testing.Benchmark
-// and writes the results as a JSON array (ns/op, allocs/op, B/op). CI runs
-// it via `make bench-json` and archives BENCH_core.json so allocation
-// regressions in the shared engine show up as a diff, not a vibe.
+// and writes the results as a JSON array (ns/op, allocs/op, B/op), along
+// with the two ways a service can obtain a prepared snapshot: Prepare
+// (compile from the in-memory dataset) versus SnapshotLoad (read + decode
+// the durable encoding, the farmerd -store restart path). CI runs it via
+// `make bench-json` and archives BENCH_core.json so allocation regressions
+// in the shared engine show up as a diff, not a vibe.
 //
 // -serve instead measures the farmerd request path end to end over
 // httptest (submit + stream NDJSON): a cold service that mines every
@@ -12,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -27,6 +31,7 @@ import (
 
 	farmer "repro"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/synth"
 )
 
@@ -39,6 +44,47 @@ type Row struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// writeRestartFixtures writes d to temp files in both on-disk forms a
+// restarting service can resume from: the transactions text and the
+// durable snapshot encoding. The caller removes both.
+func writeRestartFixtures(d *farmer.Dataset) (txtFile, snapFile string, err error) {
+	writeTemp := func(pattern string, write func(io.Writer) error) (string, error) {
+		f, err := os.CreateTemp("", pattern)
+		if err != nil {
+			return "", err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return "", err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(f.Name())
+			return "", err
+		}
+		return f.Name(), nil
+	}
+	txtFile, err = writeTemp("benchjson-*.txt", func(w io.Writer) error {
+		return farmer.WriteTransactions(w, d)
+	})
+	if err != nil {
+		return "", "", err
+	}
+	snap, err := farmer.Prepare(d)
+	if err != nil {
+		os.Remove(txtFile)
+		return "", "", err
+	}
+	snapFile, err = writeTemp("benchjson-*.snap", func(w io.Writer) error {
+		return farmer.WriteSnapshot(w, snap)
+	})
+	if err != nil {
+		os.Remove(txtFile)
+		return "", "", err
+	}
+	return txtFile, snapFile, nil
 }
 
 // midMinsup mirrors bench_test.go's representative Figure-10 sweep point.
@@ -62,10 +108,43 @@ func run(datasets []string) ([]Row, error) {
 			return nil, fmt.Errorf("generate %s: %w", name, err)
 		}
 		minsup := midMinsup(d)
+
+		// The two restart paths, both starting from a file on disk and
+		// ending with a ready snapshot: Prepare re-reads the transactions
+		// text and compiles (farmerd without -store), SnapshotLoad reads
+		// and decodes the durable encoding (farmerd with -store).
+		txtFile, snapFile, err := writeRestartFixtures(d)
+		if err != nil {
+			return nil, fmt.Errorf("write restart fixtures %s: %w", name, err)
+		}
+		defer os.Remove(txtFile)
+		defer os.Remove(snapFile)
+
 		benches := []struct {
 			name string
 			fn   func() error
 		}{
+			{"Prepare", func() error {
+				buf, err := os.ReadFile(txtFile)
+				if err != nil {
+					return err
+				}
+				d, err := farmer.ReadTransactions(bytes.NewReader(buf))
+				if err != nil {
+					return err
+				}
+				_, err = farmer.Prepare(d)
+				return err
+			}},
+			{"SnapshotLoad", func() error {
+				// Exactly what store.Load does on an LRU miss.
+				buf, err := os.ReadFile(snapFile)
+				if err != nil {
+					return err
+				}
+				_, err = store.Decode(buf)
+				return err
+			}},
 			{"Mine", func() error {
 				_, err := farmer.RunFARMER(context.Background(), d, 0, farmer.MineOptions{MinSup: minsup})
 				return err

@@ -10,12 +10,23 @@
 // Usage:
 //
 //	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N]
-//	        [-drain 30s] [-cache-bytes N] [-pprof-addr addr]
+//	        [-drain 30s] [-cache-bytes N] [-store DIR] [-store-bytes N]
+//	        [-pprof-addr addr]
 //
 // -data preloads every dataset file in DIR at startup: *.txt in the
 // transactions format, *.csv as expression matrices discretized into
 // -buckets equal-depth buckets. The registry can also be filled at
 // runtime with PUT /v1/datasets/{name}.
+//
+// -store makes the registry durable: every registered dataset's compiled
+// snapshot is persisted to DIR in the versioned binary format (atomic
+// write-then-rename, whole-file checksum), and a restarted daemon serves
+// everything the store holds without re-upload or recompilation —
+// snapshots are decoded lazily on first use and the decoded working set
+// is bounded by -store-bytes with LRU eviction. The registry generation
+// counter survives restarts, so the result-cache invalidation contract
+// (re-registering a name can never revive stale cached results) holds
+// across them. -data preloads write through to the store.
 //
 // Repeated identical job submissions are served from a byte-bounded
 // result cache (-cache-bytes, 0 disables) and flagged "cached": true in
@@ -41,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // preload registers every recognized dataset file in dir under its
@@ -87,10 +99,26 @@ func main() {
 	buckets := flag.Int("buckets", 10, "equal-depth buckets for preloaded matrix datasets")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout before cancelling jobs")
 	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result cache budget in bytes (0 disables caching)")
+	storeDir := flag.String("store", "", "durable snapshot store directory (empty = RAM-only registry)")
+	storeBytes := flag.Int64("store-bytes", store.DefaultCacheBytes, "decoded-snapshot LRU budget in bytes for -store (0 keeps nothing decoded)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
 
-	reg := serve.NewRegistry()
+	var reg *serve.Registry
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{CacheBytes: *storeBytes})
+		if err != nil {
+			log.Fatalf("open store %s: %v", *storeDir, err)
+		}
+		defer st.Close()
+		reg = serve.NewRegistryWithStore(st)
+		if names := reg.Names(); len(names) > 0 {
+			log.Printf("store %s: restored %d dataset(s) at generation %d: %v",
+				*storeDir, len(names), reg.Generation(), names)
+		}
+	} else {
+		reg = serve.NewRegistry()
+	}
 	if *data != "" {
 		if err := preload(reg, *data, *buckets); err != nil {
 			log.Fatalf("preload %s: %v", *data, err)

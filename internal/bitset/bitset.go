@@ -31,6 +31,46 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// FromWords wraps words as a set of capacity n. The set takes ownership of
+// the slice: the caller must not reuse it. len(words) must be exactly the
+// word count New(n) would allocate — this lets a decoder carve many sets
+// out of one flat allocation (each set's region is disjoint, so the usual
+// mutation rules are unchanged).
+func FromWords(n int, words []uint64) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	if want := (n + wordBits - 1) / wordBits; len(words) != want {
+		panic(fmt.Sprintf("bitset: %d words for capacity %d, want %d", len(words), n, want))
+	}
+	return &Set{words: words, n: n}
+}
+
+// Words returns the set's backing words, least-significant bit first.
+// The slice is the live backing store: callers must treat it as read-only.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Carve partitions words into count consecutive sets of capacity n each,
+// in two allocations total — the bulk form of FromWords for decoders that
+// read many sets as one flat array. The sets take ownership of the slice;
+// their word regions are disjoint, so per-set mutation rules are unchanged.
+func Carve(n, count int, words []uint64) []*Set {
+	if n < 0 || count < 0 {
+		panic("bitset: negative capacity or count")
+	}
+	per := (n + wordBits - 1) / wordBits
+	if len(words) != per*count {
+		panic(fmt.Sprintf("bitset: %d words for %d sets of capacity %d, want %d", len(words), count, n, per*count))
+	}
+	backing := make([]Set, count)
+	out := make([]*Set, count)
+	for i := range backing {
+		backing[i] = Set{words: words[i*per : (i+1)*per : (i+1)*per], n: n}
+		out[i] = &backing[i]
+	}
+	return out
+}
+
 // FromInts returns a set of capacity n with the given bits set.
 func FromInts(n int, xs ...int) *Set {
 	s := New(n)

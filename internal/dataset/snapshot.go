@@ -86,6 +86,39 @@ func NewSnapshot(d *Dataset) (*Snapshot, error) {
 	}, nil
 }
 
+// RestoreSnapshot assembles a snapshot from parts compiled earlier — the
+// decode half of the durable snapshot format (internal/store). The caller
+// guarantees the parts are mutually consistent and derived from d exactly
+// as NewSnapshot would have computed them; the store's decoder establishes
+// this with structural checks plus a whole-file checksum. views may be nil
+// or hold any subset of materialized consequent views (missing ones are
+// compiled lazily as usual).
+func RestoreSnapshot(d *Dataset, tt *Transposed, itemRows []*bitset.Set, freqOrder []Item, views map[int]*ConsequentView) *Snapshot {
+	if views == nil {
+		views = make(map[int]*ConsequentView)
+	}
+	return &Snapshot{
+		d:         d,
+		tt:        tt,
+		itemRows:  itemRows,
+		freqOrder: freqOrder,
+		views:     views,
+	}
+}
+
+// MaterializedViews returns a copy of the per-consequent views compiled so
+// far (keyed by consequent class). The encoder uses it to persist views a
+// warm snapshot has already paid for; callers must not mutate the views.
+func (s *Snapshot) MaterializedViews() map[int]*ConsequentView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]*ConsequentView, len(s.views))
+	for k, v := range s.views {
+		out[k] = v
+	}
+	return out
+}
+
 // Dataset returns the dataset the snapshot was compiled from. Miners use
 // pointer identity to check that a caller-supplied snapshot actually
 // belongs to the dataset being mined.

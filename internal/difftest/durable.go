@@ -1,0 +1,155 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/cobbler"
+	"repro/internal/columne"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+// CheckDurable closes the persistence loop of the durable snapshot format
+// (equivalence class (e) of the harness: disk ≡ fresh): compile a
+// snapshot, write it to the binary format, read it back, and assert every
+// miner produces exactly the from-scratch batch result and deterministic
+// Counters when run from the rehydrated snapshot. The write/read round
+// trip must be invisible to enumeration — only Stats.PrepareReused may
+// differ, exactly as for an in-memory prepared snapshot.
+func CheckDurable(c Case) error {
+	snap, err := dataset.NewSnapshot(c.D)
+	if err != nil {
+		return fmt.Errorf("NewSnapshot: %w", err)
+	}
+	// Materialize the consequent view the class-aware miners will want, so
+	// the encoding's view sections are exercised, not just tolerated.
+	if c.D.NumClasses() > 0 && c.D.NumRows() > 0 {
+		if _, err := snap.ForConsequent(c.Consequent); err != nil {
+			return fmt.Errorf("ForConsequent: %w", err)
+		}
+	}
+	buf, err := store.Encode(snap)
+	if err != nil {
+		return fmt.Errorf("Encode: %w", err)
+	}
+	loaded, err := store.Decode(buf)
+	if err != nil {
+		return fmt.Errorf("Decode: %w", err)
+	}
+	// The decoded snapshot carries its own dataset copy; miners pin
+	// snapshots to the exact dataset pointer, so the durable runs mine
+	// that copy.
+	d2 := loaded.Dataset()
+
+	// FARMER sequential.
+	fres, err := core.Mine(c.D, c.Consequent, c.Opt)
+	if err != nil {
+		return fmt.Errorf("core.Mine: %w", err)
+	}
+	dopt := c.Opt
+	dopt.Prepared = loaded
+	dres, err := core.Mine(d2, c.Consequent, dopt)
+	if err != nil {
+		return fmt.Errorf("core.Mine durable: %w", err)
+	}
+	if err := comparePrepared("Mine(durable)", fres.Groups, dres.Groups, fres.Stats(), dres.Stats()); err != nil {
+		return err
+	}
+
+	// FARMER parallel (fixed worker count; counters are schedule-invariant).
+	fpar, err := core.MineParallel(c.D, c.Consequent, c.Opt, c.Workers)
+	if err != nil {
+		return fmt.Errorf("core.MineParallel: %w", err)
+	}
+	dpar, err := core.MineParallel(d2, c.Consequent, dopt, c.Workers)
+	if err != nil {
+		return fmt.Errorf("core.MineParallel durable: %w", err)
+	}
+	if err := comparePrepared("MineParallel(durable)", fpar.Groups, dpar.Groups, fpar.Stats(), dpar.Stats()); err != nil {
+		return err
+	}
+
+	// Top-k over the same rehydrated snapshot.
+	tkOpt := core.TopKOptions{K: 3, MinSup: c.Opt.MinSup}
+	ftk, err := core.TopK(nil, c.D, c.Consequent, tkOpt)
+	if err != nil {
+		return fmt.Errorf("core.TopK: %w", err)
+	}
+	tkOpt.Prepared = loaded
+	dtk, err := core.TopK(nil, d2, c.Consequent, tkOpt)
+	if err != nil {
+		return fmt.Errorf("core.TopK durable: %w", err)
+	}
+	if err := comparePrepared("TopK(durable)", ftk.Groups, dtk.Groups, ftk.Stats(), dtk.Stats()); err != nil {
+		return err
+	}
+
+	// CHARM.
+	fch, err := charm.Mine(c.D, charm.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("charm.Mine: %w", err)
+	}
+	dch, err := charm.Mine(d2, charm.Options{MinSup: c.MinSupCS, Prepared: loaded})
+	if err != nil {
+		return fmt.Errorf("charm.Mine durable: %w", err)
+	}
+	if err := comparePrepared("CHARM(durable)", fch.Closed, dch.Closed, fch.Stats(), dch.Stats()); err != nil {
+		return err
+	}
+
+	// CLOSET.
+	fcl, err := closet.Mine(c.D, closet.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("closet.Mine: %w", err)
+	}
+	dcl, err := closet.Mine(d2, closet.Options{MinSup: c.MinSupCS, Prepared: loaded})
+	if err != nil {
+		return fmt.Errorf("closet.Mine durable: %w", err)
+	}
+	if err := comparePrepared("CLOSET(durable)", fcl.Closed, dcl.Closed, fcl.Stats(), dcl.Stats()); err != nil {
+		return err
+	}
+
+	// ColumnE.
+	ceOpt := columne.Options{MinSup: c.Opt.MinSup, MinConf: c.Opt.MinConf, MinChi: c.Opt.MinChi}
+	fce, err := columne.Mine(c.D, c.Consequent, ceOpt)
+	if err != nil {
+		return fmt.Errorf("columne.Mine: %w", err)
+	}
+	ceOpt.Prepared = loaded
+	dce, err := columne.Mine(d2, c.Consequent, ceOpt)
+	if err != nil {
+		return fmt.Errorf("columne.Mine durable: %w", err)
+	}
+	if err := comparePrepared("ColumnE(durable)", fce.Rules, dce.Rules, fce.Stats(), dce.Stats()); err != nil {
+		return err
+	}
+
+	// CARPENTER.
+	fca, err := carpenter.Mine(c.D, carpenter.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("carpenter.Mine: %w", err)
+	}
+	dca, err := carpenter.Mine(d2, carpenter.Options{MinSup: c.MinSupCS, Prepared: loaded})
+	if err != nil {
+		return fmt.Errorf("carpenter.Mine durable: %w", err)
+	}
+	if err := comparePrepared("CARPENTER(durable)", fca.Patterns, dca.Patterns, fca.Stats(), dca.Stats()); err != nil {
+		return err
+	}
+
+	// COBBLER.
+	fco, err := cobbler.Mine(c.D, cobbler.Options{MinSup: c.MinSupCS})
+	if err != nil {
+		return fmt.Errorf("cobbler.Mine: %w", err)
+	}
+	dco, err := cobbler.Mine(d2, cobbler.Options{MinSup: c.MinSupCS, Prepared: loaded})
+	if err != nil {
+		return fmt.Errorf("cobbler.Mine durable: %w", err)
+	}
+	return comparePrepared("COBBLER(durable)", fco.Patterns, dco.Patterns, fco.Stats(), dco.Stats())
+}

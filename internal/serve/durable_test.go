@@ -1,0 +1,202 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	farmer "repro"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// durableService boots a store-backed service over dir and returns it with
+// a shutdown function that drains the manager, closes the HTTP server and
+// the store, and waits for the store's evictor goroutine to exit.
+func durableService(t *testing.T, dir string) (*httptest.Server, *serve.Registry, func()) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serve.NewRegistryWithStore(st)
+	mgr := serve.NewManager(reg, 2, 8, serve.DefaultCacheBytes)
+	ts := httptest.NewServer(serve.NewServer(mgr))
+	var once bool
+	shutdown := func() {
+		if once {
+			return
+		}
+		once = true
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("manager shutdown: %v", err)
+		}
+		ts.Close()
+		if err := st.Close(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	}
+	t.Cleanup(shutdown)
+	return ts, reg, shutdown
+}
+
+func listDatasets(t *testing.T, baseURL string) map[string]serve.DatasetInfo {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []serve.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]serve.DatasetInfo, len(infos))
+	for _, i := range infos {
+		out[i.Name] = i
+	}
+	return out
+}
+
+// TestRestartServesStoredDatasets is the service-level durability contract:
+// a server restarted over the same store directory serves every dataset
+// without re-upload, with identical mining results, and with the
+// generation counter continuing from its persisted value so the result
+// cache can never confuse pre- and post-restart registrations.
+func TestRestartServesStoredDatasets(t *testing.T) {
+	dir := t.TempDir()
+	base := runtime.NumGoroutine()
+
+	// First life: upload both dataset formats, mine one, remember results.
+	ts, reg, shutdown := durableService(t, dir)
+	put(t, ts.URL+"/v1/datasets/paper?format=transactions", paperExample)
+	matrix := "label,g1,g2,g3\nA,0.1,5.0,2.2\nA,0.2,4.8,2.4\nB,0.9,1.0,0.3\nB,0.8,1.2,0.2\n"
+	put(t, ts.URL+"/v1/datasets/expr?format=matrix&buckets=2", matrix)
+
+	spec := serve.JobSpec{Miner: "farmer", Dataset: "paper", Class: "C", MinSup: 2, MinConf: 0.7, LowerBounds: true}
+	st1 := submit(t, ts.URL, spec)
+	waitState(t, ts.URL, st1.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	want := streamLines(t, ts.URL, st1.ID)
+	gen := reg.Generation()
+	if gen != 2 {
+		t.Fatalf("generation after two uploads = %d, want 2", gen)
+	}
+	shutdown()
+
+	// The evictor goroutine must die with the store: no leak across lives.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > base {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Errorf("goroutine leak across restart: %d before, %d after shutdown", base, n)
+	}
+
+	// Second life over the same directory: no uploads.
+	ts2, reg2, shutdown2 := durableService(t, dir)
+	if got := reg2.Generation(); got != gen {
+		t.Fatalf("generation after restart = %d, want %d", got, gen)
+	}
+	infos := listDatasets(t, ts2.URL)
+	if len(infos) != 2 {
+		t.Fatalf("restarted server lists %d datasets, want 2: %+v", len(infos), infos)
+	}
+	d := loadExample(t)
+	if got := infos["paper"]; got.Rows != d.NumRows() || got.Items != d.NumItems || len(got.Classes) != 2 {
+		t.Fatalf("restored paper info = %+v", got)
+	}
+	if got := infos["expr"]; got.Rows != 4 {
+		t.Fatalf("restored expr info = %+v", got)
+	}
+
+	// Mining the restored dataset reproduces the pre-restart stream exactly,
+	// and matches the library run (the snapshot was decoded from disk).
+	st2 := submit(t, ts2.URL, spec)
+	waitState(t, ts2.URL, st2.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	got := streamLines(t, ts2.URL, st2.ID)
+	equalLines(t, "post-restart farmer stream", got, want)
+	lib := expectedFarmerLines(t, d, d.ClassIndex("C"),
+		farmer.MineOptions{MinSup: 2, MinConf: 0.7, ComputeLowerBounds: true})
+	equalLines(t, "post-restart vs library", got, lib)
+
+	// The restored expr dataset mines without re-upload too.
+	me := submit(t, ts2.URL, serve.JobSpec{Miner: "farmer", Dataset: "expr", Class: "A", MinSup: 1})
+	final := waitState(t, ts2.URL, me.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if final.State != serve.StateDone || final.Emitted == 0 {
+		t.Fatalf("restored expr mine: state %q, emitted %d, error %q", final.State, final.Emitted, final.Error)
+	}
+
+	// Re-registering after the restart moves to a never-seen generation.
+	put(t, ts2.URL+"/v1/datasets/paper?format=transactions", paperExample)
+	if got := reg2.Generation(); got != gen+1 {
+		t.Fatalf("generation after post-restart re-upload = %d, want %d", got, gen+1)
+	}
+	shutdown2()
+}
+
+// TestRegistryPutFailureLeavesNoPartialState injects a writer that fails —
+// after corrupting its target, the worst case — and asserts a failed
+// registration is invisible everywhere: no entry, no burned generation, no
+// snapshot file, and the same name registers cleanly once persistence
+// recovers.
+func TestRegistryPutFailureLeavesNoPartialState(t *testing.T) {
+	dir := t.TempDir()
+	failing := true
+	st, err := store.Open(dir, store.Options{
+		WriteFile: func(path string, data []byte) error {
+			if failing {
+				os.WriteFile(path, data[:len(data)/2], 0o644) // half-written target
+				return errors.New("injected disk failure")
+			}
+			return os.WriteFile(path, data, 0o644)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	reg := serve.NewRegistryWithStore(st)
+	d := loadExample(t)
+
+	if err := reg.Put("paper", d); err == nil {
+		t.Fatal("Put with failing writer succeeded")
+	}
+	if got := reg.Generation(); got != 0 {
+		t.Fatalf("failed Put burned generation: %d", got)
+	}
+	if names := reg.Names(); len(names) != 0 {
+		t.Fatalf("failed Put left registry entries: %v", names)
+	}
+	if _, ok := reg.Get("paper"); ok {
+		t.Fatal("failed Put left a loadable dataset")
+	}
+	snaps, err := os.ReadDir(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 0 {
+		t.Fatalf("failed Put left %d files in the snapshot directory", len(snaps))
+	}
+
+	// Persistence recovers; the same name registers with the next generation.
+	failing = false
+	if err := reg.Put("paper", d); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if got := reg.Generation(); got != 1 {
+		t.Fatalf("generation after recovery = %d, want 1", got)
+	}
+	d2, snap, gen, err := reg.Entry("paper")
+	if err != nil || d2 == nil || snap == nil || gen != 1 {
+		t.Fatalf("Entry after recovery: d=%v snap=%v gen=%d err=%v", d2 != nil, snap != nil, gen, err)
+	}
+}

@@ -92,9 +92,9 @@ func (m *Manager) Registry() *Registry { return m.reg }
 // Cached in its status, replaying the stored records byte for byte.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	spec = canonicalSpec(spec)
-	d, snap, gen, ok := m.reg.Entry(spec.Dataset)
-	if !ok {
-		return nil, fmt.Errorf("unknown dataset %q", spec.Dataset)
+	d, snap, gen, err := m.reg.Entry(spec.Dataset)
+	if err != nil {
+		return nil, err
 	}
 	run, err := buildRunner(d, snap, spec)
 	if err != nil {

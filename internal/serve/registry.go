@@ -13,7 +13,23 @@ import (
 	"sync"
 
 	farmer "repro"
+	"repro/internal/store"
 )
+
+// SnapshotStore is the persistence layer a registry can sit on —
+// implemented by *store.Store, abstracted here so tests can inject
+// failing writers and assert the registry's atomicity guarantees.
+type SnapshotStore interface {
+	// Put persists snap under name at the given generation, atomically:
+	// an error means nothing changed on disk.
+	Put(name string, snap *farmer.Snapshot, gen uint64) error
+	// Load returns the decoded snapshot and its generation.
+	Load(name string) (*farmer.Snapshot, uint64, error)
+	// Entries lists the stored datasets without decoding snapshots.
+	Entries() []store.Meta
+	// Generation returns the persisted registry-wide generation counter.
+	Generation() uint64
+}
 
 // Registry is the named-dataset store shared by all jobs. Each entry is an
 // immutable (dataset, snapshot, generation) triple: the snapshot is the
@@ -23,59 +39,127 @@ import (
 // of the same name. Re-registering a name installs a fresh triple for
 // future jobs without disturbing running ones (they hold their own
 // pointers).
+//
+// With a SnapshotStore attached (NewRegistryWithStore), the registry is
+// durable: every Put writes through to disk before it is visible, entries
+// found in the store at startup are registered lazily (decoded on first
+// use, retained subject to the store's LRU budget), and the generation
+// counter continues from its persisted value — so the result-cache
+// invalidation contract (a re-Put always moves to a never-seen generation)
+// holds across restarts.
 type Registry struct {
 	mu       sync.RWMutex
 	datasets map[string]*regEntry
 	gen      uint64
+	store    SnapshotStore // nil = memory-only
 }
 
+// regEntry is one registration. Memory-only registries pin d and snap;
+// store-backed ones keep just the metadata and fetch the snapshot from the
+// store (whose LRU decides what stays decoded).
 type regEntry struct {
-	d    *farmer.Dataset
-	snap *farmer.Snapshot
 	gen  uint64
+	info DatasetInfo
+	d    *farmer.Dataset  // nil when store-backed
+	snap *farmer.Snapshot // nil when store-backed
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty, memory-only registry.
 func NewRegistry() *Registry {
 	return &Registry{datasets: make(map[string]*regEntry)}
+}
+
+// NewRegistryWithStore returns a registry persisted through st: datasets
+// already in the store are registered immediately (without decoding — the
+// first job against each one triggers the load) and the generation counter
+// resumes from its persisted value.
+func NewRegistryWithStore(st SnapshotStore) *Registry {
+	r := &Registry{datasets: make(map[string]*regEntry), store: st, gen: st.Generation()}
+	for _, m := range st.Entries() {
+		r.datasets[m.Name] = &regEntry{
+			gen: m.Generation,
+			info: DatasetInfo{
+				Name:    m.Name,
+				Rows:    m.Rows,
+				Items:   m.Items,
+				Classes: m.Classes,
+			},
+		}
+	}
+	return r
 }
 
 // Put registers d under name, replacing any previous dataset of that name.
 // The dataset is validated and compiled into its prepared snapshot here,
 // once, so every job submitted against it skips the per-run build phase.
+//
+// With a store attached the registration is durable and all-or-nothing:
+// the snapshot is persisted (and the bumped generation committed) before
+// the entry becomes visible, and a persistence failure leaves both the
+// registry and the store exactly as they were — no half-written file, no
+// registered-but-unloadable name, no burned generation.
 func (r *Registry) Put(name string, d *farmer.Dataset) error {
 	snap, err := farmer.Prepare(d)
 	if err != nil {
 		return fmt.Errorf("register dataset %s: %w", name, err)
 	}
+	info := DatasetInfo{Name: name, Rows: d.NumRows(), Items: d.NumItems, Classes: d.ClassNames}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.gen++
-	r.datasets[name] = &regEntry{d: d, snap: snap, gen: r.gen}
+	next := r.gen + 1
+	if r.store != nil {
+		if err := r.store.Put(name, snap, next); err != nil {
+			return fmt.Errorf("register dataset %s: %w", name, err)
+		}
+		r.gen = next
+		r.datasets[name] = &regEntry{gen: next, info: info}
+		return nil
+	}
+	r.gen = next
+	r.datasets[name] = &regEntry{gen: next, info: info, d: d, snap: snap}
 	return nil
 }
 
-// Get returns the dataset registered under name.
+// Get returns the dataset registered under name, loading it from the
+// store first when necessary.
 func (r *Registry) Get(name string) (*farmer.Dataset, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.datasets[name]
-	if !ok {
-		return nil, false
-	}
-	return e.d, true
+	d, _, _, err := r.Entry(name)
+	return d, err == nil
 }
 
 // Entry returns the full registration triple for name: the dataset, its
-// prepared snapshot, and the registration generation.
-func (r *Registry) Entry(name string) (d *farmer.Dataset, snap *farmer.Snapshot, gen uint64, ok bool) {
+// prepared snapshot, and the registration generation. Store-backed entries
+// are decoded on first use (and whenever the store's LRU has let them go
+// since); the returned snapshot stays valid for the caller's lifetime
+// regardless of later eviction or re-registration.
+func (r *Registry) Entry(name string) (d *farmer.Dataset, snap *farmer.Snapshot, gen uint64, err error) {
+	r.mu.RLock()
+	e, ok := r.datasets[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, nil, 0, fmt.Errorf("unknown dataset %q", name)
+	}
+	if e.d != nil {
+		return e.d, e.snap, e.gen, nil
+	}
+	snap, gen, err = r.store.Load(name)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	return snap.Dataset(), snap, gen, nil
+}
+
+// Info returns the registered dataset's shape without forcing a snapshot
+// load — listing endpoints stay cheap even when thousands of stored
+// datasets are registered but cold.
+func (r *Registry) Info(name string) (DatasetInfo, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.datasets[name]
 	if !ok {
-		return nil, nil, 0, false
+		return DatasetInfo{}, false
 	}
-	return e.d, e.snap, e.gen, true
+	return e.info, true
 }
 
 // Names returns the registered dataset names, sorted.
@@ -88,6 +172,13 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Generation returns the current registry-wide generation counter.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // Load parses src in the given format and registers the result under name.

@@ -70,13 +70,10 @@ func (s *Server) listDatasets(w http.ResponseWriter, _ *http.Request) {
 	reg := s.mgr.Registry()
 	infos := []DatasetInfo{}
 	for _, name := range reg.Names() {
-		if d, ok := reg.Get(name); ok {
-			infos = append(infos, DatasetInfo{
-				Name:    name,
-				Rows:    d.NumRows(),
-				Items:   d.NumItems,
-				Classes: d.ClassNames,
-			})
+		// Info reads registration metadata only: listing never forces a
+		// cold store-backed snapshot to decode.
+		if info, ok := reg.Info(name); ok {
+			infos = append(infos, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, infos)

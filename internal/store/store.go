@@ -1,0 +1,374 @@
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// DefaultCacheBytes bounds the decoded-snapshot LRU when Options.CacheBytes
+// is negative (and backs farmerd's -store-bytes default).
+const DefaultCacheBytes int64 = 256 << 20
+
+// manifestName is the store's commit record. A dataset exists iff the
+// manifest references its snapshot file, so the atomic manifest rename is
+// the single commit point for every Put.
+const manifestName = "MANIFEST.json"
+
+// snapshotDir holds the encoded snapshot files, one per dataset, named
+// <escaped-name>.<generation>.snap so a replacement never overwrites the
+// committed file before the manifest points at it.
+const snapshotDir = "snapshots"
+
+// Meta describes one stored dataset without decoding its snapshot: the
+// listing endpoints and lazy registration run entirely off the manifest.
+type Meta struct {
+	Name       string   `json:"name"`
+	File       string   `json:"file"` // relative to the snapshots directory
+	Generation uint64   `json:"generation"`
+	Rows       int      `json:"rows"`
+	Items      int      `json:"items"`
+	Classes    []string `json:"classes"`
+}
+
+// manifest is the JSON document persisted as MANIFEST.json.
+type manifest struct {
+	Version    int             `json:"version"`
+	Generation uint64          `json:"generation"` // registry-wide counter, survives restarts
+	Datasets   map[string]Meta `json:"datasets"`
+}
+
+// Options tunes Open.
+type Options struct {
+	// CacheBytes bounds the decoded-snapshot LRU: negative selects
+	// DefaultCacheBytes, zero keeps nothing decoded (every load re-reads
+	// the file — a valid low-memory mode since loads are cheap).
+	CacheBytes int64
+	// WriteFile overrides the atomic file writer — a test seam for
+	// injecting persistence failures. nil selects the real writer
+	// (write temp file in the same directory, sync, rename).
+	WriteFile func(path string, data []byte) error
+}
+
+// Store is a directory of durably encoded snapshots plus a byte-budgeted
+// LRU of decoded ones. All methods are safe for concurrent use. Writes are
+// crash-safe: a snapshot lands under a fresh file name, then the manifest
+// — the only commit point — is swapped in atomically; a crash between the
+// two leaves an orphan file the next Open removes.
+type Store struct {
+	dir        string
+	cacheBytes int64
+	writeFile  func(path string, data []byte) error
+
+	mu     sync.Mutex
+	man    manifest
+	lru    *list.List // front = most recently used; values are *lruEntry
+	byName map[string]*list.Element
+	cur    int64
+
+	evictCh chan struct{} // signals the evictor after inserts
+	closeCh chan struct{} // closed by Close
+	doneCh  chan struct{} // closed when the evictor exits
+
+	loadMu sync.Mutex // serializes cache-miss decodes (one per name at a time is enough at this layer)
+}
+
+type lruEntry struct {
+	name  string
+	gen   uint64
+	snap  *dataset.Snapshot
+	bytes int64 // encoded size: a close, cheap proxy for the decoded footprint
+}
+
+// Open attaches to dir, creating it (and its manifest) when empty, and
+// removes any orphaned snapshot files a crash may have left behind. The
+// returned store owns an evictor goroutine; Close releases it.
+func Open(dir string, opt Options) (*Store, error) {
+	if opt.CacheBytes < 0 {
+		opt.CacheBytes = DefaultCacheBytes
+	}
+	if err := os.MkdirAll(filepath.Join(dir, snapshotDir), 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:        dir,
+		cacheBytes: opt.CacheBytes,
+		writeFile:  opt.WriteFile,
+		man:        manifest{Version: 1, Datasets: map[string]Meta{}},
+		lru:        list.New(),
+		byName:     map[string]*list.Element{},
+		evictCh:    make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
+		doneCh:     make(chan struct{}),
+	}
+	if s.writeFile == nil {
+		s.writeFile = atomicWriteFile
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh store; leave the empty manifest unwritten until first Put.
+	case err != nil:
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	default:
+		if err := json.Unmarshal(buf, &s.man); err != nil {
+			return nil, fmt.Errorf("store: parse manifest: %w", err)
+		}
+		if s.man.Version != 1 {
+			return nil, fmt.Errorf("store: unsupported manifest version %d", s.man.Version)
+		}
+		if s.man.Datasets == nil {
+			s.man.Datasets = map[string]Meta{}
+		}
+	}
+	s.removeOrphans()
+	go s.evictor()
+	return s, nil
+}
+
+// removeOrphans deletes snapshot files the manifest does not reference —
+// leftovers of crashes between the snapshot write and the manifest commit,
+// or of replaced registrations.
+func (s *Store) removeOrphans() {
+	live := make(map[string]bool, len(s.man.Datasets))
+	for _, m := range s.man.Datasets {
+		live[m.File] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, snapshotDir))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && !live[e.Name()] {
+			os.Remove(filepath.Join(s.dir, snapshotDir, e.Name()))
+		}
+	}
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Generation returns the persisted registry-wide generation counter: the
+// highest generation any Put has committed.
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.Generation
+}
+
+// Entries lists the stored datasets from the manifest, without touching
+// any snapshot file.
+func (s *Store) Entries() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.man.Datasets))
+	for _, m := range s.man.Datasets {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Put persists snap under name at the given generation. The write is
+// all-or-nothing: the snapshot is encoded into a brand-new file, and only
+// a successful atomic manifest swap makes it (and the generation) visible
+// — any failure leaves the store, on disk and in memory, exactly as it
+// was, with at worst an orphaned temp file that the next Open collects.
+func (s *Store) Put(name string, snap *dataset.Snapshot, gen uint64) error {
+	buf, err := Encode(snap)
+	if err != nil {
+		return err
+	}
+	d := snap.Dataset()
+	file := fmt.Sprintf("%s.%d.snap", url.PathEscape(name), gen)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeFile(filepath.Join(s.dir, snapshotDir, file), buf); err != nil {
+		os.Remove(filepath.Join(s.dir, snapshotDir, file))
+		return fmt.Errorf("store: persist snapshot %s: %w", name, err)
+	}
+	next := s.man
+	next.Datasets = make(map[string]Meta, len(s.man.Datasets)+1)
+	for k, v := range s.man.Datasets {
+		next.Datasets[k] = v
+	}
+	prev, replaced := next.Datasets[name]
+	next.Datasets[name] = Meta{
+		Name:       name,
+		File:       file,
+		Generation: gen,
+		Rows:       d.NumRows(),
+		Items:      d.NumItems,
+		Classes:    append([]string(nil), d.ClassNames...),
+	}
+	if gen > next.Generation {
+		next.Generation = gen
+	}
+	if err := s.writeManifest(next); err != nil {
+		os.Remove(filepath.Join(s.dir, snapshotDir, file))
+		return fmt.Errorf("store: commit manifest for %s: %w", name, err)
+	}
+	s.man = next
+	if replaced && prev.File != file {
+		os.Remove(filepath.Join(s.dir, snapshotDir, prev.File))
+	}
+	s.insertLocked(name, gen, snap, int64(len(buf)))
+	return nil
+}
+
+func (s *Store) writeManifest(m manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.writeFile(filepath.Join(s.dir, manifestName), append(buf, '\n'))
+}
+
+// Load returns the decoded snapshot and generation for name, reading and
+// decoding the file only on an LRU miss.
+func (s *Store) Load(name string) (*dataset.Snapshot, uint64, error) {
+	s.mu.Lock()
+	meta, ok := s.man.Datasets[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("store: no stored dataset %q", name)
+	}
+	if el, hit := s.byName[name]; hit {
+		e := el.Value.(*lruEntry)
+		if e.gen == meta.Generation {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			return e.snap, e.gen, nil
+		}
+	}
+	s.mu.Unlock()
+
+	// Decode outside s.mu so loads never block Puts of other datasets;
+	// loadMu keeps concurrent misses from decoding the same file twice.
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.mu.Lock()
+	meta, ok = s.man.Datasets[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, fmt.Errorf("store: no stored dataset %q", name)
+	}
+	if el, hit := s.byName[name]; hit { // raced with another loader or a Put
+		e := el.Value.(*lruEntry)
+		if e.gen == meta.Generation {
+			s.lru.MoveToFront(el)
+			s.mu.Unlock()
+			return e.snap, e.gen, nil
+		}
+	}
+	s.mu.Unlock()
+	buf, err := os.ReadFile(filepath.Join(s.dir, snapshotDir, meta.File))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: load %s: %w", name, err)
+	}
+	snap, err := Decode(buf)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: load %s: %w", name, err)
+	}
+	s.mu.Lock()
+	s.insertLocked(name, meta.Generation, snap, int64(len(buf)))
+	s.mu.Unlock()
+	return snap, meta.Generation, nil
+}
+
+// insertLocked installs (or refreshes) the decoded snapshot in the LRU and
+// nudges the evictor. Callers hold s.mu.
+func (s *Store) insertLocked(name string, gen uint64, snap *dataset.Snapshot, bytes int64) {
+	if el, ok := s.byName[name]; ok {
+		e := el.Value.(*lruEntry)
+		s.cur += bytes - e.bytes
+		e.gen, e.snap, e.bytes = gen, snap, bytes
+		s.lru.MoveToFront(el)
+	} else {
+		s.byName[name] = s.lru.PushFront(&lruEntry{name: name, gen: gen, snap: snap, bytes: bytes})
+		s.cur += bytes
+	}
+	select {
+	case s.evictCh <- struct{}{}:
+	default: // a trim is already pending
+	}
+}
+
+// evictor trims the decoded-snapshot LRU back under the byte budget after
+// every insert. Running it on its own goroutine keeps eviction off the
+// job-serving path; the budget can be exceeded only for the instant
+// between an insert and the trim it signals.
+func (s *Store) evictor() {
+	defer close(s.doneCh)
+	for {
+		select {
+		case <-s.evictCh:
+			s.mu.Lock()
+			for s.cur > s.cacheBytes {
+				el := s.lru.Back()
+				if el == nil {
+					break
+				}
+				e := s.lru.Remove(el).(*lruEntry)
+				delete(s.byName, e.name)
+				s.cur -= e.bytes
+			}
+			s.mu.Unlock()
+		case <-s.closeCh:
+			return
+		}
+	}
+}
+
+// CacheStats reports the decoded-snapshot LRU's entry count and byte size.
+func (s *Store) CacheStats() (entries int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byName), s.cur
+}
+
+// Close stops the evictor and waits for it. The directory stays valid: a
+// later Open resumes from the manifest.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.closeCh:
+	default:
+		close(s.closeCh)
+	}
+	s.mu.Unlock()
+	<-s.doneCh
+	return nil
+}
+
+// atomicWriteFile is the real persistence primitive: write a temp file
+// next to the target, sync it to stable storage, then rename over the
+// target so readers only ever observe the old or the complete new bytes.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,32 @@
+package farmer
+
+import (
+	"io"
+
+	"repro/internal/store"
+)
+
+// WriteSnapshot persists a prepared snapshot in the repository's durable
+// binary format (versioned, checksummed; see DESIGN.md §7). The same
+// format backs farmerd's -store directory, so a snapshot written here can
+// be shipped to and served by any node — and a future distributed
+// coordinator reads the exact bytes the library writes.
+//
+// Materialized per-consequent views travel with the snapshot: call
+// (*Snapshot).ForConsequent before writing to bake a view in, or skip it
+// and let readers compile views lazily as usual.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	return store.Write(w, s)
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot, verifying its
+// version and whole-file checksum and re-validating the embedded dataset,
+// so the result is as safe to mine from as one compiled by Prepare. The
+// decoded snapshot carries its own dataset: mine it with
+// s.Dataset() and pass s through the options' Prepared field.
+//
+// Corrupt, truncated, or wrong-version input returns an error — never a
+// panic — making the format safe to load from untrusted storage.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	return store.Read(r)
+}
