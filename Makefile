@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 FUZZ_TARGETS       := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 STORE_FUZZ_TARGETS := FuzzReadSnapshot
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve serve smoke
+.PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve serve smoke smoke-cluster
 
 all: vet build test
 
@@ -66,7 +66,16 @@ bench-compare:
 
 # Cold-vs-warm repeated-job throughput through the farmerd request path
 # (HTTP submit + NDJSON stream): ServeCold mines every request, ServeWarm
-# replays the primed result cache. CI archives the file.
+# replays the primed result cache. -cluster adds distributed rows:
+# ClusterSingle (standalone service) vs Cluster2W (coordinator + two local
+# cluster workers), same job, so the delta is the distribution overhead.
+# CI archives the file.
 BENCH_SERVE_DATASETS ?= BC,LC,CT,PC,ALL
 bench-serve:
-	$(GO) run ./cmd/benchjson -serve -datasets $(BENCH_SERVE_DATASETS) -o BENCH_serve.json
+	$(GO) run ./cmd/benchjson -serve -cluster -datasets $(BENCH_SERVE_DATASETS) -o BENCH_serve.json
+
+# Cluster smoke: coordinator + two worker daemons as real processes over
+# one shared store dir, FARMER and CHARM mined distributed and diffed
+# byte-for-byte against a standalone daemon, one worker SIGKILLed mid-job.
+smoke-cluster:
+	$(GO) test -count=1 -run TestFarmerdClusterEndToEnd ./cmd/farmerd

@@ -28,8 +28,10 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	farmer "repro"
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -298,6 +300,105 @@ func runServe(datasets []string) ([]Row, error) {
 	return rows, nil
 }
 
+// runCluster measures distributed mining wall clock through real HTTP:
+// ClusterSingle is a FARMER job on a standalone service (the single-node
+// parallel runner), Cluster2W the same job through a coordinator with two
+// local cluster workers — same machine, so the delta is pure protocol,
+// serialization and merge overhead, the floor a real multi-host
+// deployment pays before network time. Caching is disabled so every
+// request mines.
+func runCluster(datasets []string) ([]Row, error) {
+	var rows []Row
+	for _, name := range datasets {
+		spec, ok := synth.BenchSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("no bench spec %q", name)
+		}
+		d, err := spec.GenerateDiscrete(10)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", name, err)
+		}
+		minsup := midMinsup(d)
+		job := serve.JobSpec{Miner: "farmer", Dataset: name, MinSup: minsup, Workers: runtime.GOMAXPROCS(0)}
+
+		for _, mode := range []struct {
+			rowName string
+			workers int
+		}{
+			{"ClusterSingle", 0},
+			{"Cluster2W", 2},
+		} {
+			reg := serve.NewRegistry()
+			if err := reg.Put(name, d); err != nil {
+				return nil, err
+			}
+			mgr := serve.NewManager(reg, 0, 64, 0)
+			srv := serve.NewServer(mgr)
+			var coord *cluster.Coordinator
+			var cancelWorkers context.CancelFunc = func() {}
+			if mode.workers > 0 {
+				coord = cluster.NewCoordinator(mgr, cluster.Options{Chunks: 2 * mode.workers})
+				coord.RegisterRoutes(srv)
+			}
+			ts := httptest.NewServer(srv)
+			if mode.workers > 0 {
+				var ctx context.Context
+				ctx, cancelWorkers = context.WithCancel(context.Background())
+				for i := 0; i < mode.workers; i++ {
+					w := cluster.NewWorker(ts.URL, cluster.WorkerOptions{
+						ID:           fmt.Sprintf("bench-w%d", i),
+						PollInterval: time.Millisecond,
+					})
+					go func() { _ = w.Run(ctx) }()
+				}
+				deadline := time.Now().Add(5 * time.Second)
+				for coord.ActiveWorkers() < mode.workers && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			shutdown := func() {
+				cancelWorkers()
+				mgr.Shutdown(context.Background())
+				if coord != nil {
+					coord.Close()
+				}
+				ts.Close()
+			}
+			if _, err := submitAndStream(ts.URL, job); err != nil {
+				shutdown()
+				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, err)
+			}
+			var failure error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := submitAndStream(ts.URL, job); err != nil {
+						failure = err
+						b.FailNow()
+					}
+				}
+			})
+			shutdown()
+			if failure != nil {
+				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, failure)
+			}
+			rows = append(rows, Row{
+				Name:        mode.rowName,
+				Dataset:     name,
+				MinSup:      minsup,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%-13s %-4s minsup=%-3d %12.0f ns/op %8d allocs/op %10d B/op\n",
+				mode.rowName, name, minsup,
+				rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
+		}
+	}
+	return rows, nil
+}
+
 // compare prints per-benchmark deltas between two measurement files
 // (matched by name+dataset) and reports whether any regression exceeds the
 // thresholds. metric selects what can fail the comparison: "both" gates
@@ -376,6 +477,7 @@ func main() {
 	out := flag.String("o", "BENCH_core.json", "output file")
 	datasets := flag.String("datasets", "BC,LC,CT,PC,ALL", "comma-separated bench dataset names")
 	doServe := flag.Bool("serve", false, "measure the farmerd request path (cold vs warm cache) instead of the core miners")
+	doCluster := flag.Bool("cluster", false, "also measure distributed mining (single-node vs 2 local cluster workers)")
 	doCompare := flag.Bool("compare", false, "compare two measurement files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when a gated metric grew by more than this fraction")
 	metric := flag.String("metric", "both", "with -compare, which metric gates failure: both, ns or allocs")
@@ -421,6 +523,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *doCluster {
+		crows, err := runCluster(strings.Split(*datasets, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, crows...)
 	}
 	buf, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

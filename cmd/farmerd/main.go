@@ -11,7 +11,8 @@
 //
 //	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N]
 //	        [-drain 30s] [-cache-bytes N] [-store DIR] [-store-bytes N]
-//	        [-pprof-addr addr]
+//	        [-pprof-addr addr] [-coordinator] [-worker-of URL]
+//	        [-worker-id ID] [-lease-ttl 15s] [-cluster-chunks N]
 //
 // -data preloads every dataset file in DIR at startup: *.txt in the
 // transactions format, *.csv as expression matrices discretized into
@@ -33,6 +34,17 @@
 // their status; re-registering a dataset name invalidates its cached
 // results. -pprof-addr exposes net/http/pprof on a separate listener for
 // live profiling (off by default; never exposed on the API address).
+//
+// -coordinator makes this daemon a cluster coordinator: jobs submitted to
+// its API are sharded into partition leases over /cluster/v1 endpoints on
+// the same listener, mined by worker daemons, and merged back into results
+// identical to a single-node run. With no joined workers it behaves like a
+// standalone daemon. -worker-of URL makes this daemon a worker of the
+// coordinator at URL: it polls for leases, resolves datasets by snapshot
+// digest (from its own -store when possible, fetching otherwise), and
+// reports partial results. -lease-ttl and -cluster-chunks tune coordinator
+// failover and initial lease granularity; -worker-id names the worker
+// (default hostname-pid).
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -102,11 +115,18 @@ func main() {
 	storeDir := flag.String("store", "", "durable snapshot store directory (empty = RAM-only registry)")
 	storeBytes := flag.Int64("store-bytes", store.DefaultCacheBytes, "decoded-snapshot LRU budget in bytes for -store (0 keeps nothing decoded)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
+	coordinator := flag.Bool("coordinator", false, "shard submitted jobs across cluster workers")
+	workerOf := flag.String("worker-of", "", "join the cluster coordinated by this base URL")
+	workerID := flag.String("worker-id", "", "worker name in the cluster (default hostname-pid)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator lease deadline; expired leases requeue")
+	clusterChunks := flag.Int("cluster-chunks", 8, "initial partition leases per distributed FARMER job")
 	flag.Parse()
 
 	var reg *serve.Registry
+	var st *store.Store
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{CacheBytes: *storeBytes})
+		var err error
+		st, err = store.Open(*storeDir, store.Options{CacheBytes: *storeBytes})
 		if err != nil {
 			log.Fatalf("open store %s: %v", *storeDir, err)
 		}
@@ -125,7 +145,14 @@ func main() {
 		}
 	}
 	mgr := serve.NewManager(reg, *workers, *queue, *cacheBytes)
-	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(mgr)}
+	srv := serve.NewServer(mgr)
+	if *coordinator {
+		coord := cluster.NewCoordinator(mgr, cluster.Options{LeaseTTL: *leaseTTL, Chunks: *clusterChunks})
+		coord.RegisterRoutes(srv)
+		defer coord.Close()
+		log.Printf("farmerd: coordinating cluster jobs (lease TTL %v, %d chunks)", *leaseTTL, *clusterChunks)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	if *pprofAddr != "" {
 		// pprof rides on its own listener and the default mux (which the
@@ -151,6 +178,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *workerOf != "" {
+		wid := *workerID
+		if wid == "" {
+			host, _ := os.Hostname()
+			wid = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		w := cluster.NewWorker(*workerOf, cluster.WorkerOptions{
+			ID:      wid,
+			Store:   st,
+			Workers: *workers,
+		})
+		log.Printf("farmerd: worker %s joining cluster at %s", wid, *workerOf)
+		go func() { _ = w.Run(ctx) }()
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("farmerd: %v", err)

@@ -1,0 +1,105 @@
+// Package cluster shards mining across farmerd nodes. A coordinator sits
+// inside one daemon's job manager (via serve.Manager.SetRunnerBuilder) and
+// turns submitted jobs into leases over slices of the enumeration-task
+// universe (plan.Partition); workers — other farmerd processes started
+// with -worker-of — poll for leases, fetch the compiled dataset by
+// store-format snapshot digest (or load it from their own store), mine
+// their slice, and stream the partial back. The coordinator merges
+// partials with core.MergePartials, so the distributed result — rule
+// groups, NDJSON bytes, and engine.Stats counters — is identical to the
+// single-node run; plan.Coverage is the ledger that proves every subtask
+// was executed exactly once before the merge is allowed to happen.
+//
+// The protocol is pull-based HTTP/JSON under /cluster/v1 on the
+// coordinator's own listener:
+//
+//	POST /cluster/v1/poll                     worker asks for a lease
+//	GET  /cluster/v1/snapshots/{digest}       encoded snapshot bytes
+//	POST /cluster/v1/leases/{id}/renew        heartbeat; 404 = abandon run
+//	POST /cluster/v1/leases/{id}/results      NDJSON frames, terminal "end"
+//
+// Leases carry deadlines. A worker that dies (or stalls) simply stops
+// renewing; the reaper re-queues the expired lease — split in two, so a
+// straggler's slice spreads over the survivors — with retry backoff.
+// Results commit atomically on the terminal frame: a half-streamed result
+// from a dying worker is discarded wholesale, and a zombie worker
+// reporting after its lease expired gets ErrLeaseGone and discards
+// locally.
+package cluster
+
+import (
+	"encoding/json"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/serve"
+)
+
+// LeaseKind says how a worker executes a lease.
+type LeaseKind string
+
+const (
+	// KindPartition mines one plan.Partition of a FARMER job with
+	// core.MinePartitions and reports a single partial frame.
+	KindPartition LeaseKind = "partition"
+	// KindWhole runs the entire job through the standard in-process
+	// runner (serve.BuildRunner) and reports each NDJSON record — how
+	// non-FARMER miners, whose enumeration is not row-partitionable,
+	// are placed on a worker.
+	KindWhole LeaseKind = "whole"
+)
+
+// Lease is one unit of claimed work, as returned by POST /cluster/v1/poll.
+type Lease struct {
+	ID  string `json:"id"`
+	Job string `json:"job"`
+	// Spec is the submitted job spec; workers derive mining options from
+	// it exactly as a standalone daemon would.
+	Spec serve.JobSpec `json:"spec"`
+	Kind LeaseKind     `json:"kind"`
+	// Partition is the leased universe slice for KindPartition.
+	Partition plan.Partition `json:"partition,omitempty"`
+	// SnapshotName and Digest identify the compiled dataset: workers
+	// fetch-or-load by digest and may cache it under the name.
+	SnapshotName string `json:"snapshot_name"`
+	Digest       string `json:"digest"`
+	// TTLMS is the lease deadline budget; workers renew at TTLMS/3 pace.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// PollRequest is the body of POST /cluster/v1/poll.
+type PollRequest struct {
+	Worker string `json:"worker"`
+}
+
+// PollResponse carries at most one lease; an absent lease means no work
+// is currently assignable and the worker should poll again shortly.
+type PollResponse struct {
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// Frame is one NDJSON line of POST /cluster/v1/leases/{id}/results.
+// Exactly one field is set. A result body is: zero or more partial/record
+// frames, then one end frame; the coordinator commits nothing until the
+// end frame arrives intact.
+type Frame struct {
+	// Partial is a serialized core.Partial (KindPartition leases). Kept
+	// as raw JSON here so the coordinator controls when it is decoded.
+	Partial json.RawMessage `json:"partial,omitempty"`
+	// Record is one NDJSON result record (KindWhole leases), exactly the
+	// bytes the worker's in-process runner emitted.
+	Record json.RawMessage `json:"record,omitempty"`
+	// End terminates the stream.
+	End *EndFrame `json:"end,omitempty"`
+}
+
+// EndFrame closes a lease's result stream.
+type EndFrame struct {
+	// Error is the worker-side failure, empty on success. Cancellation
+	// errors requeue the lease; anything else fails the job.
+	Error string `json:"error,omitempty"`
+	// Stats carries the whole-job run's statistics (KindWhole only;
+	// partition leases carry their counters inside the partial).
+	Stats    *engine.Stats `json:"stats,omitempty"`
+	HasStats bool          `json:"has_stats,omitempty"`
+}

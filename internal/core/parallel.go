@@ -10,6 +10,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/plan"
 )
 
 // MineParallel is Mine spread over worker goroutines: the subtrees rooted
@@ -35,67 +36,63 @@ func MineParallel(d *dataset.Dataset, consequent int, opt Options, workers int) 
 // sequential traversal would pass down (pruning 1 re-detects absorbed
 // rows locally) and candidate collection is order-independent.
 //
-// A wsTask is a contiguous run of those subtasks under one root: the
-// subtask for r2 == r1 is the singleton {r1}, every r2 > r1 is the pair
-// {r1, r2}. Materializing all n(n+1)/2 subtasks up front would make setup
-// O(n²) in time and memory; instead an atomic root generator hands out one
-// whole root {r1, r1, n} at a time and workers split ranges adaptively:
-// while other workers are hungry, the owner sheds the upper half of its
-// range into its own deque, where it can be stolen. The subtask universe
-// is fixed — only the distribution over workers varies — so the summed
-// pruning counters are identical across worker counts and schedules.
-type wsTask struct {
-	r1     int
-	lo, hi int // subtask r2 range: [lo, hi)
-}
+// That subtask universe lives in internal/plan: a plan.Partition is a
+// contiguous slice of the linearized triangle, a plan.Source deals
+// disjoint partitions out. In-process mining consumes plan.RootSource
+// (one whole root at a time, so the cheap deep tail stays coalesced) and
+// a cluster worker consumes plan.NewSpanSource over its leased slice —
+// the scheduler below is the same either way. The universe is fixed by
+// the row count alone and only its distribution varies, so the summed
+// pruning counters are identical across worker counts, schedules, and
+// cluster topologies.
 
-// wsGrain is the range size below which tasks are no longer split. Pair
-// subtrees near the diagonal are tiny; splitting below this granularity
-// costs more in deque traffic than it recovers in balance.
+// wsGrain is the partition size below which tasks are no longer split.
+// Pair subtrees near the diagonal are tiny; splitting below this
+// granularity costs more in deque traffic than it recovers in balance.
 const wsGrain = 16
 
 // wsDeque is one worker's task queue. The owner pushes and pops at the
 // tail (LIFO keeps the conditional tables it just shed cache-warm);
-// thieves steal from the head, where the largest shed ranges sit.
+// thieves steal from the head, where the largest shed partitions sit.
 type wsDeque struct {
 	mu    sync.Mutex
-	tasks []wsTask
+	tasks []plan.Partition
 }
 
-func (d *wsDeque) push(t wsTask) {
+func (d *wsDeque) push(t plan.Partition) {
 	d.mu.Lock()
 	d.tasks = append(d.tasks, t)
 	d.mu.Unlock()
 }
 
-func (d *wsDeque) popTail() (wsTask, bool) {
+func (d *wsDeque) popTail() (plan.Partition, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.tasks) == 0 {
-		return wsTask{}, false
+		return plan.Partition{}, false
 	}
 	t := d.tasks[len(d.tasks)-1]
 	d.tasks = d.tasks[:len(d.tasks)-1]
 	return t, true
 }
 
-func (d *wsDeque) stealHead() (wsTask, bool) {
+func (d *wsDeque) stealHead() (plan.Partition, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.tasks) == 0 {
-		return wsTask{}, false
+		return plan.Partition{}, false
 	}
 	t := d.tasks[0]
 	d.tasks = d.tasks[1:]
 	return t, true
 }
 
-// wsScheduler coordinates the bounded generator, the per-worker deques,
+// wsScheduler coordinates the partition source, the per-worker deques,
 // and termination detection. done counts executed subtasks; when it
-// reaches total the last worker closes doneCh and everyone exits.
+// reaches the source's size the last worker closes doneCh and everyone
+// exits.
 type wsScheduler struct {
-	n      int
-	next   atomic.Int64 // next root r1 to hand out
+	src    plan.SizedSource
 	deques []wsDeque
 	hungry atomic.Int32 // workers currently looking for work
 	done   atomic.Int64 // subtasks executed
@@ -103,31 +100,35 @@ type wsScheduler struct {
 	doneCh chan struct{}
 }
 
-func newWsScheduler(n, workers int) *wsScheduler {
-	return &wsScheduler{
-		n:      n,
+func newWsScheduler(src plan.SizedSource, workers int) *wsScheduler {
+	s := &wsScheduler{
+		src:    src,
 		deques: make([]wsDeque, workers),
-		total:  int64(n) * int64(n+1) / 2,
+		total:  src.Size(),
 		doneCh: make(chan struct{}),
 	}
+	if s.total == 0 {
+		close(s.doneCh)
+	}
+	return s
 }
 
-// take returns the next task for worker w: own deque first, then the
-// root generator, then stealing. ok=false means no work was found this
-// round (the caller re-polls until doneCh closes).
-func (s *wsScheduler) take(w int) (wsTask, bool) {
+// take returns the next partition for worker w: own deque first, then the
+// source, then stealing. ok=false means no work was found this round (the
+// caller re-polls until doneCh closes).
+func (s *wsScheduler) take(w int) (plan.Partition, bool) {
 	if t, ok := s.deques[w].popTail(); ok {
 		return t, true
 	}
-	if r1 := int(s.next.Add(1)) - 1; r1 < s.n {
-		return wsTask{r1: r1, lo: r1, hi: s.n}, true
+	if t, ok := s.src.Claim(); ok {
+		return t, true
 	}
 	for i := 1; i < len(s.deques); i++ {
 		if t, ok := s.deques[(w+i)%len(s.deques)].stealHead(); ok {
 			return t, true
 		}
 	}
-	return wsTask{}, false
+	return plan.Partition{}, false
 }
 
 // finish credits executed subtasks toward termination.
@@ -135,6 +136,110 @@ func (s *wsScheduler) finish(count int) {
 	if s.done.Add(int64(count)) == s.total {
 		close(s.doneCh)
 	}
+}
+
+// workerOut is what one scheduler worker hands back: its candidate store,
+// the row sets it rejected locally, and its subtask counters.
+type workerOut struct {
+	cands    []irgEntry
+	rejected []*bitset.Set
+	counters engine.Counters
+}
+
+// minePartitions drains src over the given worker count: each worker owns
+// its Exec, miner and scratch, takes partitions via the work-stealing
+// scheduler, sheds halves while others are hungry, and executes subtasks
+// at depth-2 granularity. It returns when the source's whole region has
+// been executed or the context fired.
+func minePartitions(ctx context.Context, ordered *dataset.Dataset, shared *dataset.Transposed, numPos int, opt Options, src plan.SizedSource, workers int) []workerOut {
+	n := len(ordered.Rows)
+	sched := newWsScheduler(src, workers)
+	outs := make([]workerOut, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wex := engine.NewExec(ctx)
+			m := &miner{
+				ds:             ordered,
+				tt:             shared,
+				numPos:         numPos,
+				n:              n,
+				opt:            opt,
+				ex:             wex,
+				sc:             engine.NewScratch(n),
+				recordRejected: true,
+			}
+			for wex.Err() == nil {
+				t, ok := sched.take(w)
+				if !ok {
+					// Advertise hunger (busy workers start shedding), then
+					// spin between source, deques, and termination.
+					sched.hungry.Add(1)
+					for !ok {
+						select {
+						case <-sched.doneCh:
+							sched.hungry.Add(-1)
+							goto out
+						default:
+						}
+						if wex.Err() != nil {
+							sched.hungry.Add(-1)
+							goto out
+						}
+						runtime.Gosched()
+						t, ok = sched.take(w)
+					}
+					sched.hungry.Add(-1)
+				}
+				// Adaptive granularity: while others are starving, shed
+				// the upper half of the partition into the (stealable)
+				// deque.
+				for t.Len() > wsGrain && sched.hungry.Load() > 0 {
+					var upper plan.Partition
+					t, upper = t.Split()
+					sched.deques[w].push(upper)
+				}
+				sched.finish(m.minePartition(t))
+			}
+		out:
+			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters}
+		}(w)
+	}
+	wg.Wait()
+	return outs
+}
+
+// minePartition executes every subtask of partition p in linear order and
+// returns how many ran before cancellation (if any) stopped it.
+func (m *miner) minePartition(p plan.Partition) int {
+	ran := 0
+	idx := p.Start
+	for idx < p.End {
+		r1 := plan.RootOf(p.N, idx)
+		base := plan.RootBase(p.N, r1)
+		end := plan.RootBase(p.N, r1+1)
+		if end > p.End {
+			end = p.End
+		}
+		lo := r1 + int(idx-base)
+		hi := r1 + int(end-base)
+		for r2 := lo; r2 < hi; r2++ {
+			if m.ex.Err() != nil {
+				return ran
+			}
+			if r2 == r1 {
+				m.mineSingleton(r1)
+			} else {
+				m.minePair(r1, r2)
+			}
+			ran++
+		}
+		idx = end
+	}
+	return ran
 }
 
 // MineParallelContext is MineParallel under a context. Each worker polls
@@ -175,81 +280,10 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	if shared == nil {
 		shared = dataset.Transpose(ordered)
 	}
-	sched := newWsScheduler(n, workers)
 	setupDone()
 
-	type workerOut struct {
-		cands    []irgEntry
-		rejected []*bitset.Set
-		counters engine.Counters
-	}
-	outs := make([]workerOut, workers)
-
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wex := engine.NewExec(ctx)
-			m := &miner{
-				ds:             ordered,
-				tt:             shared,
-				numPos:         ord.NumPositive,
-				n:              n,
-				opt:            opt,
-				ex:             wex,
-				sc:             engine.NewScratch(n),
-				recordRejected: true,
-			}
-			for wex.Err() == nil {
-				t, ok := sched.take(w)
-				if !ok {
-					// Advertise hunger (busy workers start shedding), then
-					// spin between generator, deques, and termination.
-					sched.hungry.Add(1)
-					for !ok {
-						select {
-						case <-sched.doneCh:
-							sched.hungry.Add(-1)
-							goto out
-						default:
-						}
-						if wex.Err() != nil {
-							sched.hungry.Add(-1)
-							goto out
-						}
-						runtime.Gosched()
-						t, ok = sched.take(w)
-					}
-					sched.hungry.Add(-1)
-				}
-				// Adaptive granularity: while others are starving, shed
-				// the upper half of the range into the (stealable) deque.
-				for t.hi-t.lo > wsGrain && sched.hungry.Load() > 0 {
-					mid := (t.lo + t.hi) / 2
-					sched.deques[w].push(wsTask{r1: t.r1, lo: mid, hi: t.hi})
-					t.hi = mid
-				}
-				ran := 0
-				for r2 := t.lo; r2 < t.hi; r2++ {
-					if wex.Err() != nil {
-						break
-					}
-					if r2 == t.r1 {
-						m.mineSingleton(t.r1)
-					} else {
-						m.minePair(t.r1, r2)
-					}
-					ran++
-				}
-				sched.finish(ran)
-			}
-		out:
-			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters}
-		}(w)
-	}
-	wg.Wait()
+	outs := minePartitions(ctx, ordered, shared, ord.NumPositive, opt, plan.NewRootSource(n), workers)
 	searchDone()
 
 	// Rejection accounting: a group dropped by a worker's local filter is a
@@ -271,15 +305,29 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 			rejected.Add(r)
 		}
 	}
-	// Worker GroupsEmitted/GroupsNotInterest reflect local decisions only;
-	// the fixpoint below recomputes both globally.
-	ex.Stats.GroupsEmitted = 0
-	ex.Stats.GroupsNotInterest = 0
 
 	if err := ex.Err(); err != nil {
+		// Worker GroupsEmitted/GroupsNotInterest reflect local decisions
+		// only; without a complete candidate set they cannot be globally
+		// recomputed, so zero them as before.
+		ex.Stats.GroupsEmitted = 0
+		ex.Stats.GroupsNotInterest = 0
 		res.stats = ex.Stats
 		return res, err
 	}
+
+	return finishParallel(ex, res, ordered, ord, opt, cands, rejected)
+}
+
+// finishParallel applies the global interestingness fixpoint to the
+// gathered candidates and materializes the result — the merge step shared
+// by the in-process scheduler above and MergePartials at the cluster
+// boundary. ex.Stats.Counters must already hold the summed subtask
+// counters; GroupsEmitted and GroupsNotInterest are recomputed globally
+// here.
+func finishParallel(ex *engine.Exec, res *Result, ordered *dataset.Dataset, ord *dataset.Ordering, opt Options, cands []irgEntry, rejected *bitset.Dedup) (*Result, error) {
+	ex.Stats.GroupsEmitted = 0
+	ex.Stats.GroupsNotInterest = 0
 
 	finishDone := engine.Phase(&ex.Stats.Timings.Finish)
 	defer finishDone()

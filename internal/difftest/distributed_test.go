@@ -1,0 +1,67 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestDistributedFixtures runs every edge-case fixture through a live
+// two-worker cluster and diffs the streams against the single-node runner.
+func TestDistributedFixtures(t *testing.T) {
+	h, err := NewDistHarness(DistOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for _, f := range Fixtures() {
+		if err := CheckDistributed(h, f.Case()); err != nil {
+			t.Errorf("fixture %s: %v", f.Name, err)
+		}
+	}
+}
+
+// TestDistributedRandom is the property form: >= 40 random datasets, each
+// mined distributed and single-node, streams byte-identical and counters
+// equal.
+func TestDistributedRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster property test")
+	}
+	h, err := NewDistHarness(DistOptions{Workers: 2, Chunks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rng := rand.New(rand.NewSource(0xFA43))
+	for i := 0; i < 44; i++ {
+		c := Random(rng)
+		if err := CheckDistributed(h, c); err != nil {
+			t.Fatalf("case %d (%s): %v", i, Describe(c), err)
+		}
+	}
+}
+
+// TestDistributedWorkerLoss forces the failover path: one of the two
+// workers silently drops its first leases (no renewals, no results), so
+// the coordinator must expire them, re-split, and re-queue — and the runs
+// must still match the single-node baseline exactly.
+func TestDistributedWorkerLoss(t *testing.T) {
+	h, err := NewDistHarness(DistOptions{
+		Workers:       2,
+		AbandonLeases: 3,
+		LeaseTTL:      200 * time.Millisecond,
+		Chunks:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rng := rand.New(rand.NewSource(0xDEAD))
+	for i := 0; i < 4; i++ {
+		c := Random(rng)
+		if err := CheckDistributed(h, c); err != nil {
+			t.Fatalf("case %d (%s): %v", i, Describe(c), err)
+		}
+	}
+}

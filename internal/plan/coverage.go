@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Coverage is a ledger of which slices of a universe have been accounted
+// for. It is the correctness oracle of the partition layer: property tests
+// feed it every partition a split sequence produced, and the cluster
+// coordinator feeds it every completed lease before merging partials — in
+// both cases Done reports whether the universe was covered exactly once.
+// Add rejects any overlap with previously added slices, so double
+// execution (the one failure a re-queueing coordinator could introduce) is
+// detected at the ledger, not in corrupted counters.
+type Coverage struct {
+	mu    sync.Mutex
+	n     int
+	total int64
+	// ivs holds the merged, sorted, pairwise-disjoint added intervals.
+	ivs []Partition
+}
+
+// NewCoverage returns an empty ledger over the n-row universe.
+func NewCoverage(n int) *Coverage {
+	return &Coverage{n: n, total: Total(n)}
+}
+
+// Add records partition p as covered. It errors if p lies outside the
+// universe, belongs to a different universe, or overlaps anything already
+// added. Empty partitions are accepted and ignored. Add is safe for
+// concurrent use.
+func (c *Coverage) Add(p Partition) error {
+	if p.Empty() {
+		return nil
+	}
+	if p.N != c.n {
+		return fmt.Errorf("plan: partition of n=%d universe added to n=%d ledger", p.N, c.n)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Position of the first interval ending after p starts.
+	i := sort.Search(len(c.ivs), func(i int) bool { return c.ivs[i].End > p.Start })
+	if i < len(c.ivs) && c.ivs[i].Start < p.End {
+		return fmt.Errorf("plan: partition [%d,%d) overlaps covered [%d,%d)",
+			p.Start, p.End, c.ivs[i].Start, c.ivs[i].End)
+	}
+	// Merge with abutting neighbours to keep the ledger small.
+	lo, hi := p.Start, p.End
+	j := i
+	if i > 0 && c.ivs[i-1].End == lo {
+		lo = c.ivs[i-1].Start
+		i--
+	}
+	if j < len(c.ivs) && c.ivs[j].Start == hi {
+		hi = c.ivs[j].End
+		j++
+	}
+	merged := Partition{N: c.n, Start: lo, End: hi}
+	c.ivs = append(c.ivs[:i], append([]Partition{merged}, c.ivs[j:]...)...)
+	return nil
+}
+
+// Covered returns the number of subtasks accounted for so far.
+func (c *Coverage) Covered() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum int64
+	for _, iv := range c.ivs {
+		sum += iv.Len()
+	}
+	return sum
+}
+
+// Done reports whether the whole universe has been covered exactly once.
+func (c *Coverage) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total == 0 || (len(c.ivs) == 1 && c.ivs[0].Start == 0 && c.ivs[0].End == c.total)
+}
+
+// Missing returns the uncovered slices of the universe, in order. A
+// coordinator uses it to turn an incomplete run into the exact set of
+// partitions still owed.
+func (c *Coverage) Missing() []Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Partition
+	prev := int64(0)
+	for _, iv := range c.ivs {
+		if iv.Start > prev {
+			out = append(out, Partition{N: c.n, Start: prev, End: iv.Start})
+		}
+		prev = iv.End
+	}
+	if prev < c.total {
+		out = append(out, Partition{N: c.n, Start: prev, End: c.total})
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package plan
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestIndexSubtaskRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 50} {
+		want := int64(0)
+		for r1 := 0; r1 < n; r1++ {
+			if got := RootBase(n, r1); got != want {
+				t.Fatalf("RootBase(%d,%d)=%d want %d", n, r1, got, want)
+			}
+			for r2 := r1; r2 < n; r2++ {
+				idx := Index(n, r1, r2)
+				if idx != want {
+					t.Fatalf("Index(%d,%d,%d)=%d want %d", n, r1, r2, idx, want)
+				}
+				gr1, gr2 := Subtask(n, idx)
+				if gr1 != r1 || gr2 != r2 {
+					t.Fatalf("Subtask(%d,%d)=(%d,%d) want (%d,%d)", n, idx, gr1, gr2, r1, r2)
+				}
+				want++
+			}
+		}
+		if Total(n) != want {
+			t.Fatalf("Total(%d)=%d want %d", n, Total(n), want)
+		}
+	}
+}
+
+func TestSpansEnumerateSubtasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		total := Total(n)
+		start := rng.Int63n(total + 1)
+		end := start + rng.Int63n(total-start+1)
+		p := Partition{N: n, Start: start, End: end}
+
+		var got []int64
+		p.Spans(func(s Span) bool {
+			if s.R1 > s.Lo || s.Lo >= s.Hi || s.Hi > n {
+				t.Fatalf("bad span %+v in %+v", s, p)
+			}
+			for r2 := s.Lo; r2 < s.Hi; r2++ {
+				got = append(got, Index(n, s.R1, r2))
+			}
+			return true
+		})
+		if int64(len(got)) != p.Len() {
+			t.Fatalf("spans of %+v yielded %d subtasks, want %d", p, len(got), p.Len())
+		}
+		for i, idx := range got {
+			if idx != start+int64(i) {
+				t.Fatalf("spans of %+v: subtask %d is index %d, want %d", p, i, idx, start+int64(i))
+			}
+		}
+	}
+}
+
+// TestSplitSequenceCoversUniverseExactlyOnce is the partition-layer
+// invariant the cluster rests on: any sequence of Split/SplitAt/SplitN
+// applied to the universe yields leaves that cover it exactly once — no
+// gap, no overlap — regardless of the split tree's shape or the order the
+// leaves arrive.
+func TestSplitSequenceCoversUniverseExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(40) // including n == 0
+		work := []Partition{Universe(n)}
+		var leaves []Partition
+		for len(work) > 0 {
+			// Pop a random element to randomize the tree shape.
+			i := rng.Intn(len(work))
+			p := work[i]
+			work[i] = work[len(work)-1]
+			work = work[:len(work)-1]
+
+			if p.Len() <= 1 || rng.Intn(4) == 0 {
+				leaves = append(leaves, p)
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0:
+				a, b := p.Split()
+				work = append(work, a, b)
+			case 1:
+				at := p.Start + rng.Int63n(p.Len()+1)
+				a, b := p.SplitAt(at)
+				work = append(work, a, b)
+			default:
+				work = append(work, p.SplitN(1+rng.Intn(5))...)
+			}
+		}
+		rng.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+
+		cov := NewCoverage(n)
+		for _, p := range leaves {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid leaf %+v: %v", n, p, err)
+			}
+			if err := cov.Add(p); err != nil {
+				t.Fatalf("n=%d: overlap among split leaves: %v", n, err)
+			}
+		}
+		if !cov.Done() {
+			t.Fatalf("n=%d: split leaves leave gaps: missing %+v", n, cov.Missing())
+		}
+	}
+}
+
+// TestConcurrentClaimsCoverExactlyOnce drives RootSource and SpanSource
+// from many goroutines under -race: the claimed partitions must still
+// tile the region exactly once.
+func TestConcurrentClaimsCoverExactlyOnce(t *testing.T) {
+	const workers = 8
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+
+		sources := map[string]struct {
+			src Source
+			cov *Coverage
+		}{
+			"root": {NewRootSource(n), NewCoverage(n)},
+		}
+		// SpanSource covers an arbitrary sub-slice; use a sub-ledger
+		// trick: cover the complement up front, claims must fill the rest.
+		total := Total(n)
+		start := rng.Int63n(total + 1)
+		end := start + rng.Int63n(total-start+1)
+		spanCov := NewCoverage(n)
+		if err := spanCov.Add(Partition{N: n, Start: 0, End: start}); err != nil {
+			t.Fatal(err)
+		}
+		if err := spanCov.Add(Partition{N: n, Start: end, End: total}); err != nil {
+			t.Fatal(err)
+		}
+		sources["span"] = struct {
+			src Source
+			cov *Coverage
+		}{NewSpanSource(Partition{N: n, Start: start, End: end}), spanCov}
+
+		for name, s := range sources {
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						p, ok := s.src.Claim()
+						if !ok {
+							return
+						}
+						if err := s.cov.Add(p); err != nil {
+							errc <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatalf("%s source, n=%d: double claim: %v", name, n, err)
+			}
+			if !s.cov.Done() {
+				t.Fatalf("%s source, n=%d: claims incomplete, missing %+v", name, n, s.cov.Missing())
+			}
+		}
+	}
+}
+
+func TestCoverageRejectsOverlapAndForeignUniverse(t *testing.T) {
+	cov := NewCoverage(10)
+	if err := cov.Add(Partition{N: 10, Start: 5, End: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cov.Add(Partition{N: 10, Start: 19, End: 25}); err == nil {
+		t.Fatal("want overlap error")
+	}
+	if err := cov.Add(Partition{N: 9, Start: 0, End: 1}); err == nil {
+		t.Fatal("want foreign-universe error")
+	}
+	if err := cov.Add(Partition{N: 10, Start: 50, End: 56}); err == nil {
+		t.Fatal("want out-of-universe error (Total(10)=55)")
+	}
+	if cov.Done() {
+		t.Fatal("partially covered ledger reports Done")
+	}
+	missing := cov.Missing()
+	if len(missing) != 2 || missing[0] != (Partition{N: 10, Start: 0, End: 5}) ||
+		missing[1] != (Partition{N: 10, Start: 20, End: 55}) {
+		t.Fatalf("Missing() = %+v", missing)
+	}
+}
+
+func TestEncodingRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(1000)
+		total := Total(n)
+		start := rng.Int63n(total + 1)
+		p := Partition{N: n, Start: start, End: start + rng.Int63n(total-start+1)}
+
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON Partition
+		if err := json.Unmarshal(data, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		if viaJSON != p {
+			t.Fatalf("json round trip: got %+v want %+v", viaJSON, p)
+		}
+
+		viaBin, rest, err := DecodeBinary(p.AppendBinary(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaBin != p || len(rest) != 0 {
+			t.Fatalf("binary round trip: got %+v rest=%d want %+v", viaBin, len(rest), p)
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{0x80}); err == nil {
+		t.Fatal("want error on truncated input")
+	}
+}
+
+func TestSplitNShapesLeases(t *testing.T) {
+	p := Universe(100) // 5050 subtasks
+	chunks := p.SplitN(7)
+	if len(chunks) != 7 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	cov := NewCoverage(100)
+	for _, c := range chunks {
+		if c.Len() < p.Len()/7 || c.Len() > p.Len()/7+1 {
+			t.Fatalf("uneven chunk %+v (len %d)", c, c.Len())
+		}
+		if err := cov.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cov.Done() {
+		t.Fatal("chunks do not cover universe")
+	}
+	if got := (Partition{N: 4, Start: 0, End: 3}).SplitN(10); len(got) != 3 {
+		t.Fatalf("SplitN beyond Len: got %d chunks", len(got))
+	}
+	if got := (Partition{N: 4, Start: 2, End: 2}).SplitN(3); got != nil {
+		t.Fatalf("SplitN of empty: got %+v", got)
+	}
+}

@@ -58,10 +58,13 @@ type JobSpec struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// runnerFunc executes one mining job: it emits result records as they
+// RunnerFunc executes one mining job: it emits result records as they
 // become available and returns the miner's result (for its statistics).
 // On cancellation it returns ctx.Err() together with partial statistics.
-type runnerFunc func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error)
+// Exported so a cluster coordinator can substitute distributed runners
+// through Manager.SetRunnerBuilder while reusing the job machinery
+// (queueing, streaming, caching, cancellation) unchanged.
+type RunnerFunc func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error)
 
 // Job is one submitted mining run. All mutable fields are guarded by mu;
 // results only ever grows, and stops growing once the state is terminal.
@@ -69,7 +72,7 @@ type Job struct {
 	ID   string
 	Spec JobSpec
 
-	runner runnerFunc
+	runner RunnerFunc
 	// key is the canonical request hash the job is registered under in the
 	// manager's singleflight table and result cache; empty for cached
 	// replay jobs (they were never inflight and are never re-cached).
@@ -92,7 +95,7 @@ type Job struct {
 	endedAt   time.Time
 }
 
-func newJob(id string, spec JobSpec, run runnerFunc) *Job {
+func newJob(id string, spec JobSpec, run RunnerFunc) *Job {
 	return &Job{
 		ID:        id,
 		Spec:      spec,

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	farmer "repro"
 	"repro/internal/engine"
 )
 
@@ -39,6 +40,11 @@ const DefaultCacheBytes int64 = 64 << 20
 type Manager struct {
 	reg   *Registry
 	cache *resultCache
+
+	// builder compiles validated specs into runners; nil selects the
+	// in-process buildRunner. A cluster coordinator installs its
+	// distributed builder here via SetRunnerBuilder.
+	builder RunnerBuilder
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -81,6 +87,23 @@ func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 // Registry returns the dataset registry jobs resolve their input from.
 func (m *Manager) Registry() *Registry { return m.reg }
 
+// RunnerBuilder compiles a validated (dataset, snapshot, spec) triple into
+// the RunnerFunc that will execute the job. The default is the in-process
+// BuildRunner; a cluster coordinator substitutes one that leases
+// partitions to remote workers and merges their partials, leaving every
+// other manager behavior — queueing, singleflight, result cache, NDJSON
+// streaming, cancellation — untouched.
+type RunnerBuilder func(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (RunnerFunc, error)
+
+// SetRunnerBuilder installs b as the manager's runner builder (nil
+// restores the in-process default). Call before serving traffic: jobs
+// already queued keep the runner they were compiled with.
+func (m *Manager) SetRunnerBuilder(b RunnerBuilder) {
+	m.mu.Lock()
+	m.builder = b
+	m.mu.Unlock()
+}
+
 // Submit validates spec, compiles it into a runner and enqueues the job.
 // Validation failures (unknown miner, dataset or class) are returned
 // immediately; ErrDraining and ErrQueueFull signal admission refusal.
@@ -96,7 +119,13 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := buildRunner(d, snap, spec)
+	m.mu.Lock()
+	build := m.builder
+	m.mu.Unlock()
+	if build == nil {
+		build = buildRunner
+	}
+	run, err := build(d, snap, spec)
 	if err != nil {
 		return nil, err
 	}

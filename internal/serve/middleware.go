@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// jsonErrors wraps a handler so that every error response leaving the
+// service is structured JSON. The service's own handlers already emit
+// {"error": ...} bodies, but http.ServeMux itself answers unmatched paths
+// and methods with text/plain ("404 page not found", "405 method not
+// allowed") — a cluster client, which parses every non-2xx body as JSON,
+// must never see those. Any response with status >= 400 whose handler did
+// not declare a JSON content type is buffered and re-emitted as
+// {"error": <body text>}.
+func jsonErrors(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		jw := &jsonErrorWriter{rw: w}
+		next.ServeHTTP(jw, r)
+		jw.finish()
+	})
+}
+
+// jsonErrorWriter passes 2xx/3xx and JSON responses straight through and
+// buffers non-JSON error responses for rewriting. Flusher is forwarded so
+// NDJSON streaming keeps its incremental delivery.
+type jsonErrorWriter struct {
+	rw        http.ResponseWriter
+	status    int
+	committed bool // headers sent to the client
+	intercept bool
+	buf       bytes.Buffer
+}
+
+func (w *jsonErrorWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.committed || w.intercept {
+		return
+	}
+	ct := w.rw.Header().Get("Content-Type")
+	if status >= 400 && !strings.HasPrefix(ct, "application/json") {
+		w.status = status
+		w.intercept = true
+		return
+	}
+	w.committed = true
+	w.rw.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.intercept {
+		return w.buf.Write(b)
+	}
+	if !w.committed {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.rw.Write(b)
+}
+
+// Flush forwards streaming flushes; intercepted error bodies are tiny and
+// flushed once at finish.
+func (w *jsonErrorWriter) Flush() {
+	if w.committed {
+		if f, ok := w.rw.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+}
+
+// finish rewrites an intercepted error as structured JSON.
+func (w *jsonErrorWriter) finish() {
+	if !w.intercept {
+		return
+	}
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	body, err := json.Marshal(map[string]string{"error": msg})
+	if err != nil {
+		body = []byte(`{"error":"internal error"}`)
+	}
+	h := w.rw.Header()
+	h.Set("Content-Type", "application/json")
+	h.Del("Content-Length") // the rewritten body has a different length
+	h.Del("X-Content-Type-Options")
+	w.rw.WriteHeader(w.status)
+	_, _ = w.rw.Write(append(body, '\n'))
+}

@@ -50,6 +50,37 @@ func groupRecord(d *farmer.Dataset, g farmer.RuleGroup) GroupRecord {
 	return rec
 }
 
+// MakeGroupRecord converts a rule group to its NDJSON wire form exactly
+// as the in-process FARMER runner does — the cluster coordinator uses it
+// so merged distributed results stream byte-identically.
+func MakeGroupRecord(d *farmer.Dataset, g farmer.RuleGroup) GroupRecord {
+	return groupRecord(d, g)
+}
+
+// FarmerJobOptions resolves a "farmer" job spec into the consequent index
+// and canonical mining options the in-process runner would use — shared
+// with the cluster so a distributed run and a single-node run of the same
+// spec mine under identical options.
+func FarmerJobOptions(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (consequent int, opt farmer.MineOptions, err error) {
+	consequent, err = resolveClass(d, spec.Class)
+	if err != nil {
+		return 0, farmer.MineOptions{}, err
+	}
+	minsup := spec.MinSup
+	if minsup < 1 {
+		minsup = 1
+	}
+	opt = farmer.MineOptions{
+		MinSup:             minsup,
+		MinConf:            spec.MinConf,
+		MinChi:             spec.MinChi,
+		ComputeLowerBounds: spec.LowerBounds,
+		Workers:            spec.Workers,
+		Prepared:           snap,
+	}
+	return consequent, opt, nil
+}
+
 // resolveClass maps the spec's class name to a consequent index. The
 // empty name selects class 0, matching the cmd/farmer default.
 func resolveClass(d *farmer.Dataset, class string) (int, error) {
@@ -63,14 +94,23 @@ func resolveClass(d *farmer.Dataset, class string) (int, error) {
 	return c, nil
 }
 
+// BuildRunner is the default, in-process runner builder — exported so a
+// cluster worker can execute whole-job leases through exactly the same
+// compilation path a standalone daemon uses (same validation, same wire
+// records), and so a coordinator's RunnerBuilder can fall back to it for
+// miners it does not distribute.
+func BuildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (RunnerFunc, error) {
+	return buildRunner(d, snap, spec)
+}
+
 // buildRunner validates spec against the resolved dataset and compiles it
-// into a runnerFunc. All validation errors surface here, at submission
+// into a RunnerFunc. All validation errors surface here, at submission
 // time, so a queued job can only fail from the mining run itself. The
 // runner captures d and snap — a job keeps mining the dataset it was
 // submitted against even if the name is re-registered mid-run — and every
 // invocation copies its options before attaching callbacks, so a runner
 // is safe to invoke more than once.
-func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (runnerFunc, error) {
+func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (RunnerFunc, error) {
 	minsup := spec.MinSup
 	if minsup < 1 {
 		minsup = 1
@@ -78,17 +118,9 @@ func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (runner
 
 	switch spec.Miner {
 	case "farmer":
-		consequent, err := resolveClass(d, spec.Class)
+		consequent, opt, err := FarmerJobOptions(d, snap, spec)
 		if err != nil {
 			return nil, err
-		}
-		opt := farmer.MineOptions{
-			MinSup:             minsup,
-			MinConf:            spec.MinConf,
-			MinChi:             spec.MinChi,
-			ComputeLowerBounds: spec.LowerBounds,
-			Workers:            spec.Workers,
-			Prepared:           snap,
 		}
 		if opt.Workers != 0 {
 			// Parallel runs are batch-only: the interestingness fixpoint is

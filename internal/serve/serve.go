@@ -20,14 +20,20 @@ import (
 //	GET    /v1/jobs/{id}/results    NDJSON result stream, follows a live job
 //	DELETE /v1/jobs/{id}            cancel (queued or running)
 type Server struct {
-	mgr *Manager
-	mux *http.ServeMux
+	mgr     *Manager
+	mux     *http.ServeMux
+	build   VersionInfo
+	handler http.Handler
 }
 
-// NewServer wires the routes of the service around mgr.
+// NewServer wires the routes of the service around mgr. Every error
+// response — including the mux's own 404/405 — leaves as structured JSON
+// (see jsonErrors), so machine clients such as cluster workers parse one
+// shape uniformly.
 func NewServer(mgr *Manager) *Server {
-	s := &Server{mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{mgr: mgr, mux: http.NewServeMux(), build: versionInfo()}
 	s.mux.HandleFunc("GET /healthz", s.health)
+	s.mux.HandleFunc("GET /version", s.version)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.putDataset)
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
@@ -35,11 +41,19 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/results", s.jobResults)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.handler = jsonErrors(s.mux)
 	return s
 }
 
+// Handle registers an extra route on the server's mux — how cmd/farmerd
+// mounts the cluster coordinator and worker endpoints under the same
+// listener (and the same JSON-error envelope) as the mining API.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

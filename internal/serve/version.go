@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionInfo is the wire form of GET /version: enough for a cluster
+// coordinator (or an operator's probe) to identify what build is serving
+// and which registry generation its datasets are at.
+type VersionInfo struct {
+	Service   string `json:"service"`
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build recorded one; Dirty marks uncommitted local changes.
+	Revision string `json:"revision,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+	// Generation is the registry-wide dataset generation counter —
+	// store-backed daemons persist it across restarts, so two probes
+	// returning the same generation saw the same registered datasets.
+	Generation uint64 `json:"generation"`
+}
+
+// versionInfo gathers the build identity once; the generation is filled
+// per request.
+func versionInfo() VersionInfo {
+	v := VersionInfo{Service: "farmerd", GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.modified":
+				v.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return v
+}
+
+func (s *Server) version(w http.ResponseWriter, _ *http.Request) {
+	v := s.build
+	v.Generation = s.mgr.Registry().Generation()
+	writeJSON(w, http.StatusOK, v)
+}

@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+func TestHealthzAndVersion(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	put(t, ts.URL+"/v1/datasets/mini", paperExample)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if !health["ok"] {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	vresp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("version status %d", vresp.StatusCode)
+	}
+	var v serve.VersionInfo
+	if err := json.NewDecoder(vresp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Service != "farmerd" || !strings.HasPrefix(v.GoVersion, "go") {
+		t.Fatalf("version = %+v", v)
+	}
+	// One dataset registered above: the generation counter must show it.
+	if v.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", v.Generation)
+	}
+}
+
+// Every error response must be structured JSON — including the ones the
+// ServeMux itself produces for unmatched routes and methods, which a
+// cluster client would otherwise fail to parse.
+func TestAllErrorResponsesAreJSON(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+
+	for _, tc := range []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{http.MethodGet, "/no/such/route", "", http.StatusNotFound},
+		{http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/v1/datasets/mini", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/jobs/job-999", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/jobs", "{not json", http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"miner":"nope","dataset":"x"}`, http.StatusBadRequest},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: content type %q, body %q", tc.method, tc.path, ct, raw)
+			continue
+		}
+		var msg struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &msg); err != nil || msg.Error == "" {
+			t.Errorf("%s %s: body %q is not {\"error\": ...}: %v", tc.method, tc.path, raw, err)
+		}
+	}
+}

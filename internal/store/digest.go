@@ -1,0 +1,16 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// DigestBytes returns the content address of an encoded snapshot:
+// "sha256:" plus the hex SHA-256 of its bytes. The encoded form is
+// deterministic for a given compiled dataset, so equal digests mean equal
+// snapshots — the property the cluster's fetch-or-load path depends on
+// (workers verify fetched bytes against the digest before decoding).
+func DigestBytes(buf []byte) string {
+	sum := sha256.Sum256(buf)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

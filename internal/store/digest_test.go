@@ -1,0 +1,90 @@
+package store
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPutRecordsDigestAndFindByDigest(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	d := randomDataset(t, rng)
+	snap := mustSnapshot(t, d, 0)
+
+	st := openTestStore(t, dir, Options{})
+	if err := st.Put("mini", snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	meta := st.Entries()[0]
+	if !strings.HasPrefix(meta.Digest, "sha256:") || len(meta.Digest) != len("sha256:")+64 {
+		t.Fatalf("digest = %q", meta.Digest)
+	}
+	buf, meta2, err := st.ReadEncoded("mini")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DigestBytes(buf) != meta.Digest || meta2.Digest != meta.Digest {
+		t.Fatalf("encoded bytes hash to %q, manifest says %q", DigestBytes(buf), meta.Digest)
+	}
+	if m, ok := st.FindByDigest(meta.Digest); !ok || m.Name != "mini" {
+		t.Fatalf("FindByDigest = %+v, %v", m, ok)
+	}
+	if _, ok := st.FindByDigest("sha256:" + strings.Repeat("0", 64)); ok {
+		t.Fatal("found nonexistent digest")
+	}
+	if _, ok := st.FindByDigest(""); ok {
+		t.Fatal("empty digest matched")
+	}
+	if _, _, err := st.ReadEncoded("missing"); err == nil {
+		t.Fatal("ReadEncoded of missing dataset succeeded")
+	}
+}
+
+// Manifests written before digests existed must gain digests on Open.
+func TestOpenBackfillsLegacyDigests(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(12))
+	d := randomDataset(t, rng)
+	snap := mustSnapshot(t, d, 0)
+
+	st := openTestStore(t, dir, Options{})
+	if err := st.Put("mini", snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := st.Entries()[0].Digest
+	st.Close()
+
+	// Strip the digest from the on-disk manifest, as an old binary would
+	// have written it.
+	manPath := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	m := man.Datasets["mini"]
+	m.Digest = ""
+	man.Datasets["mini"] = m
+	stripped, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, stripped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, Options{})
+	if got := st2.Entries()[0].Digest; got != want {
+		t.Fatalf("backfilled digest = %q, want %q", got, want)
+	}
+	if _, ok := st2.FindByDigest(want); !ok {
+		t.Fatal("backfilled digest not findable")
+	}
+}

@@ -37,6 +37,11 @@ type Meta struct {
 	Rows       int      `json:"rows"`
 	Items      int      `json:"items"`
 	Classes    []string `json:"classes"`
+	// Digest is the content address of the encoded snapshot file
+	// (DigestBytes of its bytes). Cluster workers fetch-or-load datasets
+	// by digest, so two stores that hold the same compiled dataset agree
+	// on its identity regardless of name or generation.
+	Digest string `json:"digest,omitempty"`
 }
 
 // manifest is the JSON document persisted as MANIFEST.json.
@@ -130,8 +135,27 @@ func Open(dir string, opt Options) (*Store, error) {
 		}
 	}
 	s.removeOrphans()
+	s.backfillDigests()
 	go s.evictor()
 	return s, nil
+}
+
+// backfillDigests computes missing Meta.Digest values for manifests
+// written before digests existed. The updated manifest is kept in memory
+// only; the next Put persists it. Unreadable files keep an empty digest —
+// Load will surface the real error when the dataset is used.
+func (s *Store) backfillDigests() {
+	for name, m := range s.man.Datasets {
+		if m.Digest != "" {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(s.dir, snapshotDir, m.File))
+		if err != nil {
+			continue
+		}
+		m.Digest = DigestBytes(buf)
+		s.man.Datasets[name] = m
+	}
 }
 
 // removeOrphans deletes snapshot files the manifest does not reference —
@@ -208,6 +232,7 @@ func (s *Store) Put(name string, snap *dataset.Snapshot, gen uint64) error {
 		Rows:       d.NumRows(),
 		Items:      d.NumItems,
 		Classes:    append([]string(nil), d.ClassNames...),
+		Digest:     DigestBytes(buf),
 	}
 	if gen > next.Generation {
 		next.Generation = gen
@@ -326,6 +351,39 @@ func (s *Store) evictor() {
 			return
 		}
 	}
+}
+
+// FindByDigest returns the manifest entry whose encoded snapshot has the
+// given content digest, if any.
+func (s *Store) FindByDigest(digest string) (Meta, bool) {
+	if digest == "" {
+		return Meta{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.man.Datasets {
+		if m.Digest == digest {
+			return m, true
+		}
+	}
+	return Meta{}, false
+}
+
+// ReadEncoded returns the raw encoded snapshot bytes for name, straight
+// from disk — what a coordinator serves to workers fetching a dataset by
+// digest.
+func (s *Store) ReadEncoded(name string) ([]byte, Meta, error) {
+	s.mu.Lock()
+	meta, ok := s.man.Datasets[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, Meta{}, fmt.Errorf("store: no stored dataset %q", name)
+	}
+	buf, err := os.ReadFile(filepath.Join(s.dir, snapshotDir, meta.File))
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: read %s: %w", name, err)
+	}
+	return buf, meta, nil
 }
 
 // CacheStats reports the decoded-snapshot LRU's entry count and byte size.
