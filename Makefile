@@ -7,7 +7,7 @@ FUZZTIME ?= 30s
 FUZZ_TARGETS       := FuzzMineEquivalence FuzzClosedSetEquivalence FuzzMineLB
 STORE_FUZZ_TARGETS := FuzzReadSnapshot
 
-.PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve serve smoke smoke-cluster
+.PHONY: all build vet test race fuzz bench bench-json bench-compare bench-serve bench-serve-compare serve smoke smoke-cluster
 
 all: vet build test
 
@@ -51,8 +51,8 @@ smoke:
 	$(GO) test -count=1 -run TestFarmerdEndToEnd ./cmd/farmerd
 
 # Machine-readable core benchmarks (ns/op, allocs/op, B/op for Prepare,
-# SnapshotLoad, Mine, MineParallel and CHARM over the bench datasets); CI
-# archives the file.
+# SnapshotLoad, Mine, MineParallel and CHARM over the bench datasets, plus
+# the widened bitset kernels in isolation); CI archives the file.
 BENCH_JSON_DATASETS ?= BC,LC,CT,PC,ALL
 bench-json:
 	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o BENCH_core.json
@@ -64,15 +64,22 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -datasets $(BENCH_JSON_DATASETS) -o /tmp/bench_new.json
 	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) BENCH_core.json /tmp/bench_new.json
 
-# Cold-vs-warm repeated-job throughput through the farmerd request path
-# (HTTP submit + NDJSON stream): ServeCold mines every request, ServeWarm
-# replays the primed result cache. -cluster adds distributed rows:
-# ClusterSingle (standalone service) vs Cluster2W (coordinator + two local
-# cluster workers), same job, so the delta is the distribution overhead.
-# CI archives the file.
+# Cold-vs-warm repeated-request throughput through the farmerd query path
+# (one-round-trip POST /v1/query + NDJSON body): ServeCold mines every
+# request, ServeWarm replays the primed result cache zero-copy. -cluster
+# adds distributed rows: ClusterSingle (standalone service) vs Cluster2W
+# (coordinator + two local cluster workers), same job, so the delta is the
+# distribution overhead. CI archives the file.
 BENCH_SERVE_DATASETS ?= BC,LC,CT,PC,ALL
 bench-serve:
 	$(GO) run ./cmd/benchjson -serve -cluster -datasets $(BENCH_SERVE_DATASETS) -o BENCH_serve.json
+
+# Re-measure the request path and diff against the committed baseline;
+# exits non-zero when allocs/op or bytes/op on a warm replay grew past
+# BENCH_THRESHOLD (timing is reported but never gates locally).
+bench-serve-compare:
+	$(GO) run ./cmd/benchjson -serve -datasets $(BENCH_SERVE_DATASETS) -o /tmp/bench_serve_new.json
+	$(GO) run ./cmd/benchjson -compare -metric allocs,bytes -match '^ServeWarm/' -threshold $(BENCH_THRESHOLD) BENCH_serve.json /tmp/bench_serve_new.json
 
 # Cluster smoke: coordinator + two worker daemons as real processes over
 # one shared store dir, FARMER and CHARM mined distributed and diffed

@@ -21,8 +21,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"regexp"
 	"runtime"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	farmer "repro"
+	"repro/internal/bitset"
 	"repro/internal/cluster"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -192,7 +195,56 @@ func run(datasets []string) ([]Row, error) {
 				rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
 		}
 	}
-	return rows, nil
+	return append(rows, runBitset()...), nil
+}
+
+// bitsetSink keeps the compiler from eliminating the pure bitset kernels
+// under benchmark.
+var bitsetSink int
+
+// runBitset measures the widened bitset kernels in isolation — the
+// word-level AND/ANDNOT/popcount loops under every tidset intersection the
+// miners perform — so a regression in the 4-words-per-iteration code paths
+// gates CI like any other core benchmark.
+func runBitset() []Row {
+	const nbits = 8192
+	rng := rand.New(rand.NewSource(1))
+	x, y, dst := bitset.New(nbits), bitset.New(nbits), bitset.New(nbits)
+	for i := 0; i < nbits/2; i++ {
+		x.Set(rng.Intn(nbits))
+		y.Set(rng.Intn(nbits))
+	}
+	benches := []struct {
+		name string
+		fn   func()
+	}{
+		{"BitsetAnd", func() { bitset.AndTo(dst, x, y) }},
+		{"BitsetAndNot", func() { bitset.AndNotTo(dst, x, y) }},
+		{"BitsetPopcount", func() { bitsetSink = x.Count() }},
+		{"BitsetAndCount", func() { bitsetSink = x.AndCount(y) }},
+	}
+	var rows []Row
+	for _, bench := range benches {
+		fn := bench.fn
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		rows = append(rows, Row{
+			Name:        bench.name,
+			Dataset:     "8192b",
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-14s %-5s %22.0f ns/op %8d allocs/op %10d B/op\n",
+			bench.name, "8192b",
+			rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
+	}
+	return rows
 }
 
 // submitAndStream pushes one job through the full HTTP request path —
@@ -230,10 +282,82 @@ func submitAndStream(baseURL string, spec serve.JobSpec) (int, error) {
 	return lines, sc.Err()
 }
 
-// runServe measures cold-versus-warm repeated-job throughput: ServeCold
-// submits against a service with caching disabled (every request mines),
-// ServeWarm against one whose cache was primed with the same request
-// (every request replays). Both go through real HTTP.
+// queryClient issues repeated POST /v1/query requests with minimal
+// per-request allocation, so the benchmark measures the service, not the
+// harness: the spec is marshaled once, the body reader and read buffer are
+// reused across calls, and the response is consumed with a fixed buffer
+// instead of a per-call bufio.Scanner.
+type queryClient struct {
+	client *http.Client
+	url    *url.URL
+	header http.Header
+	body   []byte
+	rd     *bytes.Reader
+	buf    []byte
+}
+
+func newQueryClient(baseURL string, spec serve.JobSpec) (*queryClient, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	u, err := url.Parse(baseURL + "/v1/query")
+	if err != nil {
+		return nil, err
+	}
+	return &queryClient{
+		client: http.DefaultClient,
+		url:    u,
+		header: http.Header{"Content-Type": []string{"application/json"}},
+		body:   body,
+		rd:     bytes.NewReader(nil),
+		buf:    make([]byte, 64<<10),
+	}, nil
+}
+
+// do runs one query round trip and returns the number of NDJSON result
+// lines.
+func (q *queryClient) do() (int, error) {
+	q.rd.Reset(q.body)
+	req := &http.Request{
+		Method:        http.MethodPost,
+		URL:           q.url,
+		Header:        q.header,
+		Body:          io.NopCloser(q.rd),
+		ContentLength: int64(len(q.body)),
+		// GetBody lets the transport safely replay the request when a
+		// kept-alive connection turns out dead.
+		GetBody: func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(q.body)), nil
+		},
+	}
+	resp, err := q.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	lines := 0
+	for {
+		n, err := resp.Body.Read(q.buf)
+		lines += bytes.Count(q.buf[:n], []byte{'\n'})
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("query: status %d", resp.StatusCode)
+	}
+	return lines, nil
+}
+
+// runServe measures cold-versus-warm repeated-request throughput over the
+// one-round-trip query endpoint: ServeCold runs against a service with
+// caching disabled (every request mines), ServeWarm against one whose
+// cache was primed with the same request (every request replays the
+// pre-encoded body zero-copy). Both go through real HTTP.
 func runServe(datasets []string) ([]Row, error) {
 	var rows []Row
 	for _, name := range datasets {
@@ -265,7 +389,12 @@ func runServe(datasets []string) ([]Row, error) {
 				ts.Close()
 				mgr.Shutdown(context.Background())
 			}
-			if _, err := submitAndStream(ts.URL, job); err != nil { // warm the cache / JIT the path
+			qc, err := newQueryClient(ts.URL, job)
+			if err != nil {
+				shutdown()
+				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, err)
+			}
+			if _, err := qc.do(); err != nil { // warm the cache / JIT the path
 				shutdown()
 				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, err)
 			}
@@ -273,7 +402,7 @@ func runServe(datasets []string) ([]Row, error) {
 			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := submitAndStream(ts.URL, job); err != nil {
+					if _, err := qc.do(); err != nil {
 						failure = err
 						b.FailNow()
 					}
@@ -399,16 +528,40 @@ func runCluster(datasets []string) ([]Row, error) {
 	return rows, nil
 }
 
+// parseMetric expands the -compare metric selector into the set of
+// columns that gate failure: a comma-separated combination of "ns",
+// "allocs" and "bytes", with "both" kept as the legacy spelling of
+// "ns,allocs".
+func parseMetric(metric string) (map[string]bool, error) {
+	if metric == "both" {
+		return map[string]bool{"ns": true, "allocs": true}, nil
+	}
+	gate := map[string]bool{}
+	for _, m := range strings.Split(metric, ",") {
+		switch m = strings.TrimSpace(m); m {
+		case "ns", "allocs", "bytes":
+			gate[m] = true
+		default:
+			return nil, fmt.Errorf("unknown metric %q (want a comma-separated combination of ns, allocs, bytes — or both)", m)
+		}
+	}
+	return gate, nil
+}
+
 // compare prints per-benchmark deltas between two measurement files
 // (matched by name+dataset) and reports whether any regression exceeds the
-// thresholds. metric selects what can fail the comparison: "both" gates
-// ns/op and allocs/op, "ns" or "allocs" gates only that column — CI uses
-// "allocs" for a hard gate because allocation counts are deterministic
-// while shared-runner timings are not. match, when non-nil, restricts
-// gating (not reporting) to benchmark keys it accepts. Benchmarks present
-// in only one file are reported but never fail the comparison — the guard
-// is for regressions, not coverage drift.
+// thresholds. metric selects which columns can fail the comparison (see
+// parseMetric) — CI uses "allocs" and "allocs,bytes" for hard gates
+// because allocation counts and sizes are deterministic while
+// shared-runner timings are not. match, when non-nil, restricts gating
+// (not reporting) to benchmark keys it accepts. Benchmarks present in
+// only one file are reported but never fail the comparison — the guard is
+// for regressions, not coverage drift.
 func compare(oldPath, newPath string, frac float64, metric string, match *regexp.Regexp, w io.Writer) (bool, error) {
+	gate, err := parseMetric(metric)
+	if err != nil {
+		return false, err
+	}
 	load := func(path string) (map[string]Row, []string, error) {
 		buf, err := os.ReadFile(path)
 		if err != nil {
@@ -445,29 +598,34 @@ func compare(oldPath, newPath string, frac float64, metric string, match *regexp
 		return 100 * (newV - oldV) / oldV
 	}
 	regressed := false
-	fmt.Fprintf(w, "%-22s %14s %14s %14s %14s\n", "benchmark", "ns/op old", "ns/op new", "allocs old", "allocs new")
+	fmt.Fprintf(w, "%-22s %12s %12s %12s %12s %12s %12s\n",
+		"benchmark", "ns/op old", "ns/op new", "allocs old", "allocs new", "B/op old", "B/op new")
 	for _, k := range order {
 		n := newRows[k]
 		o, ok := oldRows[k]
 		if !ok {
-			fmt.Fprintf(w, "%-22s %14s %14.0f %14s %14d   (new benchmark)\n", k, "-", n.NsPerOp, "-", n.AllocsPerOp)
+			fmt.Fprintf(w, "%-22s %12s %12.0f %12s %12d %12s %12d   (new benchmark)\n",
+				k, "-", n.NsPerOp, "-", n.AllocsPerOp, "-", n.BytesPerOp)
 			continue
 		}
 		dn := pct(o.NsPerOp, n.NsPerOp)
 		da := pct(float64(o.AllocsPerOp), float64(n.AllocsPerOp))
-		nsBad := metric != "allocs" && dn > 100*frac
-		allocsBad := metric != "ns" && da > 100*frac
+		db := pct(float64(o.BytesPerOp), float64(n.BytesPerOp))
+		nsBad := gate["ns"] && dn > 100*frac
+		allocsBad := gate["allocs"] && da > 100*frac
+		bytesBad := gate["bytes"] && db > 100*frac
 		marker := ""
-		if (nsBad || allocsBad) && (match == nil || match.MatchString(k)) {
+		if (nsBad || allocsBad || bytesBad) && (match == nil || match.MatchString(k)) {
 			marker = "  REGRESSION"
 			regressed = true
 		}
-		fmt.Fprintf(w, "%-22s %14.0f %14.0f %14d %14d   ns %+6.1f%%  allocs %+6.1f%%%s\n",
-			k, o.NsPerOp, n.NsPerOp, o.AllocsPerOp, n.AllocsPerOp, dn, da, marker)
+		fmt.Fprintf(w, "%-22s %12.0f %12.0f %12d %12d %12d %12d   ns %+6.1f%%  allocs %+6.1f%%  bytes %+6.1f%%%s\n",
+			k, o.NsPerOp, n.NsPerOp, o.AllocsPerOp, n.AllocsPerOp, o.BytesPerOp, n.BytesPerOp, dn, da, db, marker)
 	}
 	for k, o := range oldRows {
 		if _, ok := newRows[k]; !ok {
-			fmt.Fprintf(w, "%-22s %14.0f %14s %14d %14s   (missing from new)\n", k, o.NsPerOp, "-", o.AllocsPerOp, "-")
+			fmt.Fprintf(w, "%-22s %12.0f %12s %12d %12s %12d %12s   (missing from new)\n",
+				k, o.NsPerOp, "-", o.AllocsPerOp, "-", o.BytesPerOp, "-")
 		}
 	}
 	return regressed, nil
@@ -480,19 +638,17 @@ func main() {
 	doCluster := flag.Bool("cluster", false, "also measure distributed mining (single-node vs 2 local cluster workers)")
 	doCompare := flag.Bool("compare", false, "compare two measurement files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when a gated metric grew by more than this fraction")
-	metric := flag.String("metric", "both", "with -compare, which metric gates failure: both, ns or allocs")
+	metric := flag.String("metric", "both", "with -compare, which metrics gate failure: a comma-separated combination of ns, allocs, bytes (or both = ns,allocs)")
 	matchExpr := flag.String("match", "", "with -compare, regexp limiting which name/dataset rows gate failure (all rows are still reported)")
 	flag.Parse()
 
 	if *doCompare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] [-metric both|ns|allocs] [-match re] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare [-threshold 0.30] [-metric ns,allocs,bytes] [-match re] old.json new.json")
 			os.Exit(2)
 		}
-		switch *metric {
-		case "both", "ns", "allocs":
-		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown -metric %q (want both, ns or allocs)\n", *metric)
+		if _, err := parseMetric(*metric); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -metric:", err)
 			os.Exit(2)
 		}
 		var match *regexp.Regexp

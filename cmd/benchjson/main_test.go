@@ -128,6 +128,35 @@ func TestCompareMetricAndMatchGating(t *testing.T) {
 	}
 }
 
+func TestCompareBytesMetric(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeRows(t, dir, "old.json", []Row{
+		{Name: "ServeWarm", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 50, BytesPerOp: 1000},
+	})
+	// Only bytes/op regresses.
+	newPath := writeRows(t, dir, "new.json", []Row{
+		{Name: "ServeWarm", Dataset: "CT", NsPerOp: 100, AllocsPerOp: 50, BytesPerOp: 2000},
+	})
+	var w strings.Builder
+	regressed, err := compare(oldPath, newPath, 0.10, "allocs", nil, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("allocs-only gate fired on a bytes regression:\n%s", w.String())
+	}
+	regressed, err = compare(oldPath, newPath, 0.10, "allocs,bytes", nil, &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("allocs,bytes gate missed a 2x bytes/op regression:\n%s", w.String())
+	}
+	if _, err := compare(oldPath, newPath, 0.10, "allocs,watts", nil, &w); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
 func TestCompareUnmatchedBenchmarksNeverFail(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := writeRows(t, dir, "old.json", []Row{

@@ -107,11 +107,26 @@ func (s *Set) check(i int) {
 	}
 }
 
+// The combining kernels below (AND/ANDNOT/popcount and friends) process
+// four words per iteration. Equal-capacity sets always have equal word
+// lengths (New, FromWords and Carve all derive the word count from n), so
+// after compat the second operand can be resliced to the first's length —
+// that, plus the constant-length four-word windows, lets the compiler
+// hoist every bounds check out of the loop body. Same pattern that made
+// store.Decode 10-14x.
+
 // Count returns the number of set bits.
 func (s *Set) Count() int {
+	a := s.words
+	n := len(a) &^ 3
 	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		c += bits.OnesCount64(x[0]) + bits.OnesCount64(x[1]) +
+			bits.OnesCount64(x[2]) + bits.OnesCount64(x[3])
+	}
+	for i := n; i < len(a); i++ {
+		c += bits.OnesCount64(a[i])
 	}
 	return c
 }
@@ -155,24 +170,54 @@ func (s *Set) compat(t *Set) {
 // And sets s = s ∩ t.
 func (s *Set) And(t *Set) {
 	s.compat(t)
-	for i := range s.words {
-		s.words[i] &= t.words[i]
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		x[0] &= y[0]
+		x[1] &= y[1]
+		x[2] &= y[2]
+		x[3] &= y[3]
+	}
+	for i := n; i < len(a); i++ {
+		a[i] &= b[i]
 	}
 }
 
 // Or sets s = s ∪ t.
 func (s *Set) Or(t *Set) {
 	s.compat(t)
-	for i := range s.words {
-		s.words[i] |= t.words[i]
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		x[0] |= y[0]
+		x[1] |= y[1]
+		x[2] |= y[2]
+		x[3] |= y[3]
+	}
+	for i := n; i < len(a); i++ {
+		a[i] |= b[i]
 	}
 }
 
 // AndNot sets s = s − t.
 func (s *Set) AndNot(t *Set) {
 	s.compat(t)
-	for i := range s.words {
-		s.words[i] &^= t.words[i]
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		x[0] &^= y[0]
+		x[1] &^= y[1]
+		x[2] &^= y[2]
+		x[3] &^= y[3]
+	}
+	for i := n; i < len(a); i++ {
+		a[i] &^= b[i]
 	}
 }
 
@@ -222,9 +267,17 @@ func (s *Set) Intersects(t *Set) bool {
 // AndCount returns |s ∩ t| without allocating.
 func (s *Set) AndCount(t *Set) int {
 	s.compat(t)
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
 	c := 0
-	for i := range s.words {
-		c += bits.OnesCount64(s.words[i] & t.words[i])
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		c += bits.OnesCount64(x[0]&y[0]) + bits.OnesCount64(x[1]&y[1]) +
+			bits.OnesCount64(x[2]&y[2]) + bits.OnesCount64(x[3]&y[3])
+	}
+	for i := n; i < len(a); i++ {
+		c += bits.OnesCount64(a[i] & b[i])
 	}
 	return c
 }
@@ -232,9 +285,17 @@ func (s *Set) AndCount(t *Set) int {
 // OrCount returns |s ∪ t| without allocating.
 func (s *Set) OrCount(t *Set) int {
 	s.compat(t)
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
 	c := 0
-	for i := range s.words {
-		c += bits.OnesCount64(s.words[i] | t.words[i])
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		c += bits.OnesCount64(x[0]|y[0]) + bits.OnesCount64(x[1]|y[1]) +
+			bits.OnesCount64(x[2]|y[2]) + bits.OnesCount64(x[3]|y[3])
+	}
+	for i := n; i < len(a); i++ {
+		c += bits.OnesCount64(a[i] | b[i])
 	}
 	return c
 }
@@ -244,8 +305,19 @@ func (s *Set) OrCount(t *Set) int {
 func AndTo(dst, a, b *Set) {
 	dst.compat(a)
 	dst.compat(b)
-	for i := range dst.words {
-		dst.words[i] = a.words[i] & b.words[i]
+	d, x, y := dst.words, a.words[:len(dst.words)], b.words[:len(dst.words)]
+	n := len(d) &^ 3
+	for i := 0; i < n; i += 4 {
+		dd := d[i : i+4 : i+4]
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		dd[0] = xx[0] & yy[0]
+		dd[1] = xx[1] & yy[1]
+		dd[2] = xx[2] & yy[2]
+		dd[3] = xx[3] & yy[3]
+	}
+	for i := n; i < len(d); i++ {
+		d[i] = x[i] & y[i]
 	}
 }
 
@@ -254,17 +326,36 @@ func AndTo(dst, a, b *Set) {
 func AndNotTo(dst, a, b *Set) {
 	dst.compat(a)
 	dst.compat(b)
-	for i := range dst.words {
-		dst.words[i] = a.words[i] &^ b.words[i]
+	d, x, y := dst.words, a.words[:len(dst.words)], b.words[:len(dst.words)]
+	n := len(d) &^ 3
+	for i := 0; i < n; i += 4 {
+		dd := d[i : i+4 : i+4]
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		dd[0] = xx[0] &^ yy[0]
+		dd[1] = xx[1] &^ yy[1]
+		dd[2] = xx[2] &^ yy[2]
+		dd[3] = xx[3] &^ yy[3]
+	}
+	for i := n; i < len(d); i++ {
+		d[i] = x[i] &^ y[i]
 	}
 }
 
 // AndNotCount returns |s − t| without allocating.
 func (s *Set) AndNotCount(t *Set) int {
 	s.compat(t)
+	a, b := s.words, t.words[:len(s.words)]
+	n := len(a) &^ 3
 	c := 0
-	for i := range s.words {
-		c += bits.OnesCount64(s.words[i] &^ t.words[i])
+	for i := 0; i < n; i += 4 {
+		x := a[i : i+4 : i+4]
+		y := b[i : i+4 : i+4]
+		c += bits.OnesCount64(x[0]&^y[0]) + bits.OnesCount64(x[1]&^y[1]) +
+			bits.OnesCount64(x[2]&^y[2]) + bits.OnesCount64(x[3]&^y[3])
+	}
+	for i := n; i < len(a); i++ {
+		c += bits.OnesCount64(a[i] &^ b[i])
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"math/bits"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -365,15 +366,108 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
-func BenchmarkAndCount(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	x, y := New(1024), New(1024)
-	for i := 0; i < 512; i++ {
-		x.Set(rng.Intn(1024))
-		y.Set(rng.Intn(1024))
+// The combining kernels process four words per iteration with a scalar
+// tail; every capacity class around the 4-word boundary must agree with a
+// naive word-at-a-time reference, or the tail handling is wrong.
+func TestWideKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, bits64 := range []int{0, 1, 3, 63, 64, 65, 127, 128, 129, 191, 192, 193, 255, 256, 257, 320, 500, 1024, 1031} {
+		a, b := New(bits64), New(bits64)
+		for i := 0; i < bits64/2; i++ {
+			a.Set(rng.Intn(bits64))
+			b.Set(rng.Intn(bits64))
+		}
+		refAnd, refOr, refAndNot := New(bits64), New(bits64), New(bits64)
+		count, andC, orC, andNotC := 0, 0, 0, 0
+		for i := range refAnd.words {
+			refAnd.words[i] = a.words[i] & b.words[i]
+			refOr.words[i] = a.words[i] | b.words[i]
+			refAndNot.words[i] = a.words[i] &^ b.words[i]
+			count += bits.OnesCount64(a.words[i])
+			andC += bits.OnesCount64(a.words[i] & b.words[i])
+			orC += bits.OnesCount64(a.words[i] | b.words[i])
+			andNotC += bits.OnesCount64(a.words[i] &^ b.words[i])
+		}
+		if got := a.Count(); got != count {
+			t.Fatalf("n=%d Count = %d, want %d", bits64, got, count)
+		}
+		if got := a.AndCount(b); got != andC {
+			t.Fatalf("n=%d AndCount = %d, want %d", bits64, got, andC)
+		}
+		if got := a.OrCount(b); got != orC {
+			t.Fatalf("n=%d OrCount = %d, want %d", bits64, got, orC)
+		}
+		if got := a.AndNotCount(b); got != andNotC {
+			t.Fatalf("n=%d AndNotCount = %d, want %d", bits64, got, andNotC)
+		}
+		for _, op := range []struct {
+			name string
+			got  func() *Set
+			want *Set
+		}{
+			{"And", func() *Set { s := a.Clone(); s.And(b); return s }, refAnd},
+			{"Or", func() *Set { s := a.Clone(); s.Or(b); return s }, refOr},
+			{"AndNot", func() *Set { s := a.Clone(); s.AndNot(b); return s }, refAndNot},
+			{"AndTo", func() *Set { s := New(bits64); AndTo(s, a, b); return s }, refAnd},
+			{"AndNotTo", func() *Set { s := New(bits64); AndNotTo(s, a, b); return s }, refAndNot},
+		} {
+			if got := op.got(); !got.Equal(op.want) {
+				t.Fatalf("n=%d %s disagrees with reference", bits64, op.name)
+			}
+		}
 	}
+}
+
+var benchSink int
+
+func benchPair(n int) (*Set, *Set) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := New(n), New(n)
+	for i := 0; i < n/2; i++ {
+		x.Set(rng.Intn(n))
+		y.Set(rng.Intn(n))
+	}
+	return x, y
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	x, y := benchPair(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		x.AndCount(y)
+		benchSink = x.AndCount(y)
+	}
+}
+
+func BenchmarkAndCount8192(b *testing.B) {
+	x, y := benchPair(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.AndCount(y)
+	}
+}
+
+func BenchmarkAnd8192(b *testing.B) {
+	x, y := benchPair(8192)
+	dst := New(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndTo(dst, x, y)
+	}
+}
+
+func BenchmarkAndNot8192(b *testing.B) {
+	x, y := benchPair(8192)
+	dst := New(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndNotTo(dst, x, y)
+	}
+}
+
+func BenchmarkCount8192(b *testing.B) {
+	x, _ := benchPair(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = x.Count()
 	}
 }

@@ -5,11 +5,25 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/engine"
 )
+
+// reqKey is the canonical request hash a result is cached and coalesced
+// under, in its binary form. Using the raw [32]byte as the map key keeps
+// warm-path lookups allocation-free; the hex rendering clients see (the
+// ETag) is materialized once per cache entry, not once per request.
+type reqKey [32]byte
+
+// keyBufPool recycles the scratch buffer requestKey renders the spec
+// fields into before hashing, so steady-state warm traffic computes its
+// request hash without a single heap allocation.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 192)
+	return &b
+}}
 
 // requestKey is the canonical request hash a result is cached and
 // coalesced under: the miner, the dataset's registration generation, and
@@ -20,13 +34,43 @@ import (
 // of the LRU. TimeoutMS participates because it changes what a run may
 // produce (a timed-out job is never cached, but two live submissions with
 // different deadlines must not coalesce into one run with the wrong one).
-func requestKey(spec JobSpec, gen uint64) string {
-	h := sha256.Sum256([]byte(fmt.Sprintf(
-		"miner=%s\ngen=%d\nclass=%s\nminsup=%d\nminconf=%g\nminchi=%g\nlb=%t\nk=%d\nmeasure=%s\nworkers=%d\ntimeout=%d\n",
-		spec.Miner, gen, spec.Class, spec.MinSup, spec.MinConf, spec.MinChi,
-		spec.LowerBounds, spec.K, spec.Measure, spec.Workers, spec.TimeoutMS,
-	)))
-	return hex.EncodeToString(h[:])
+func requestKey(spec JobSpec, gen uint64) reqKey {
+	bp := keyBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "miner="...)
+	b = append(b, spec.Miner...)
+	b = append(b, "\ngen="...)
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, "\nclass="...)
+	b = append(b, spec.Class...)
+	b = append(b, "\nminsup="...)
+	b = strconv.AppendInt(b, int64(spec.MinSup), 10)
+	b = append(b, "\nminconf="...)
+	b = strconv.AppendFloat(b, spec.MinConf, 'g', -1, 64)
+	b = append(b, "\nminchi="...)
+	b = strconv.AppendFloat(b, spec.MinChi, 'g', -1, 64)
+	b = append(b, "\nlb="...)
+	b = strconv.AppendBool(b, spec.LowerBounds)
+	b = append(b, "\nk="...)
+	b = strconv.AppendInt(b, int64(spec.K), 10)
+	b = append(b, "\nmeasure="...)
+	b = append(b, spec.Measure...)
+	b = append(b, "\nworkers="...)
+	b = strconv.AppendInt(b, int64(spec.Workers), 10)
+	b = append(b, "\ntimeout="...)
+	b = strconv.AppendInt(b, spec.TimeoutMS, 10)
+	b = append(b, '\n')
+	sum := sha256.Sum256(b)
+	*bp = b
+	keyBufPool.Put(bp)
+	return sum
+}
+
+// etagFor renders the strong ETag for a request key. The key already
+// folds in the registry generation, so a re-registration rotates the ETag
+// of every request against that dataset automatically.
+func etagFor(key reqKey) string {
+	return `"` + hex.EncodeToString(key[:]) + `"`
 }
 
 // canonicalSpec normalizes the fields buildRunner would normalize anyway
@@ -47,27 +91,44 @@ func canonicalSpec(spec JobSpec) JobSpec {
 	return spec
 }
 
-// cachedResult is one finished job's replayable outcome: the raw NDJSON
-// records exactly as the live job marshaled them (so a replay is
-// byte-identical to the original stream) plus the final statistics.
+// cachedResult is one finished job's replayable outcome: the complete
+// NDJSON body exactly as the live stream wrote it — every record followed
+// by '\n', pre-encoded into a single contiguous buffer so a warm replay is
+// one header write and one body write — plus the record count, the final
+// statistics, and the pre-rendered ETag.
 type cachedResult struct {
-	records  []json.RawMessage
+	body     []byte
+	count    int
 	stats    engine.Stats
 	hasStats bool
+	etag     string
 }
 
-// cacheEntryOverhead approximates the per-record and per-entry bookkeeping
-// (slice headers, list element, map entry, key) counted against the byte
-// bound, so a flood of tiny results cannot blow past the configured memory
-// budget on overhead alone.
+// encodeBody flattens the records of a completed run into the cached
+// NDJSON body. The result is byte-identical to what the live stream wrote:
+// each record followed by a newline. It is non-nil even for zero records,
+// because a non-nil body is what marks a job replayable.
+func encodeBody(records []json.RawMessage) []byte {
+	total := 0
+	for _, rec := range records {
+		total += len(rec) + 1
+	}
+	body := make([]byte, 0, total)
+	for _, rec := range records {
+		body = append(body, rec...)
+		body = append(body, '\n')
+	}
+	return body
+}
+
+// cacheEntryOverhead approximates the per-entry bookkeeping (list element,
+// map entry, key, ETag, headers) counted against the byte bound, so a
+// flood of tiny results cannot blow past the configured memory budget on
+// overhead alone.
 const cacheEntryOverhead = 256
 
 func (r cachedResult) size() int64 {
-	n := int64(cacheEntryOverhead)
-	for _, rec := range r.records {
-		n += int64(len(rec)) + 48
-	}
-	return n
+	return int64(cacheEntryOverhead) + int64(len(r.body)) + int64(len(r.etag))
 }
 
 // resultCache is a byte-bounded LRU over cachedResults keyed by request
@@ -78,11 +139,11 @@ type resultCache struct {
 	max   int64
 	cur   int64
 	order *list.List // front = most recently used; values are *cacheItem
-	byKey map[string]*list.Element
+	byKey map[reqKey]*list.Element
 }
 
 type cacheItem struct {
-	key   string
+	key   reqKey
 	res   cachedResult
 	bytes int64
 }
@@ -91,11 +152,11 @@ func newResultCache(maxBytes int64) *resultCache {
 	if maxBytes <= 0 {
 		return nil
 	}
-	return &resultCache{max: maxBytes, order: list.New(), byKey: make(map[string]*list.Element)}
+	return &resultCache{max: maxBytes, order: list.New(), byKey: make(map[reqKey]*list.Element)}
 }
 
 // get returns the cached result for key, marking it most recently used.
-func (c *resultCache) get(key string) (cachedResult, bool) {
+func (c *resultCache) get(key reqKey) (cachedResult, bool) {
 	if c == nil {
 		return cachedResult{}, false
 	}
@@ -112,7 +173,7 @@ func (c *resultCache) get(key string) (cachedResult, bool) {
 // put inserts (or refreshes) key, evicting least-recently-used entries
 // until the byte bound holds again. Results larger than the whole bound
 // are not cached at all.
-func (c *resultCache) put(key string, res cachedResult) {
+func (c *resultCache) put(key reqKey, res cachedResult) {
 	if c == nil {
 		return
 	}

@@ -2,21 +2,13 @@ package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"strings"
 	"testing"
 )
 
-func rawRecords(sizes ...int) []json.RawMessage {
-	out := make([]json.RawMessage, len(sizes))
-	for i, n := range sizes {
-		out[i] = make(json.RawMessage, n)
-	}
-	return out
-}
-
 func TestRequestKeyDiscriminates(t *testing.T) {
 	base := JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
-	seen := map[string]string{}
+	seen := map[reqKey]string{}
 	add := func(label string, spec JobSpec, gen uint64) {
 		t.Helper()
 		key := requestKey(spec, gen)
@@ -52,6 +44,38 @@ func TestRequestKeyDiscriminates(t *testing.T) {
 	}
 }
 
+// The pooled scratch buffer must not leak state between renderings: a key
+// computed after an unrelated (longer) one is identical to a key computed
+// on a fresh pool.
+func TestRequestKeyPoolReuseStable(t *testing.T) {
+	long := JobSpec{Miner: "carpenter", Dataset: "d", Class: strings.Repeat("x", 150), MinSup: 7}
+	base := JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	want := requestKey(base, 3)
+	for i := 0; i < 100; i++ {
+		requestKey(long, uint64(i))
+		if got := requestKey(base, 3); got != want {
+			t.Fatalf("key changed after pooled-buffer reuse (iteration %d)", i)
+		}
+	}
+}
+
+func TestEtagForRotatesWithGeneration(t *testing.T) {
+	spec := JobSpec{Miner: "farmer", Dataset: "paper", MinSup: 2}
+	a := etagFor(requestKey(spec, 1))
+	b := etagFor(requestKey(spec, 2))
+	if a == b {
+		t.Fatal("etag did not rotate with the generation")
+	}
+	if a != etagFor(requestKey(spec, 1)) {
+		t.Fatal("etag not stable for identical request+generation")
+	}
+	for _, e := range []string{a, b} {
+		if len(e) != 66 || e[0] != '"' || e[len(e)-1] != '"' {
+			t.Fatalf("etag %q is not a quoted 64-hex strong validator", e)
+		}
+	}
+}
+
 func TestCanonicalSpecNormalizes(t *testing.T) {
 	a := canonicalSpec(JobSpec{Miner: "topk", Dataset: "d"})
 	b := canonicalSpec(JobSpec{Miner: "topk", Dataset: "d", MinSup: 1, K: 1, Measure: "chi2"})
@@ -64,29 +88,53 @@ func TestCanonicalSpecNormalizes(t *testing.T) {
 	}
 }
 
+// encodeBody must reproduce exactly what the live stream writes: each raw
+// record followed by one newline, and a non-nil buffer even for zero
+// records (a non-nil body is what marks a job replayable).
+func TestEncodeBody(t *testing.T) {
+	records := []json.RawMessage{
+		json.RawMessage(`{"a":1}`),
+		json.RawMessage(`{"b":2}`),
+	}
+	if got, want := string(encodeBody(records)), "{\"a\":1}\n{\"b\":2}\n"; got != want {
+		t.Fatalf("encodeBody = %q, want %q", got, want)
+	}
+	if encodeBody(nil) == nil {
+		t.Fatal("encodeBody(nil) returned a nil body")
+	}
+	if len(encodeBody(nil)) != 0 {
+		t.Fatal("encodeBody(nil) returned a non-empty body")
+	}
+}
+
 func TestResultCacheLRUEviction(t *testing.T) {
-	entry := func(recBytes int) cachedResult { return cachedResult{records: rawRecords(recBytes)} }
+	key := func(i byte) reqKey {
+		var k reqKey
+		k[0] = i
+		return k
+	}
+	entry := func(bodyBytes int) cachedResult { return cachedResult{body: make([]byte, bodyBytes)} }
 	one := entry(1000).size()
 	c := newResultCache(3 * one)
 
-	for i := 0; i < 3; i++ {
-		c.put(fmt.Sprintf("k%d", i), entry(1000))
+	for i := byte(0); i < 3; i++ {
+		c.put(key(i), entry(1000))
 	}
 	if c.len() != 3 || c.bytes() != 3*one {
 		t.Fatalf("after 3 puts: len=%d bytes=%d, want 3/%d", c.len(), c.bytes(), 3*one)
 	}
 
 	// Touch k0 so k1 is the eviction victim.
-	if _, ok := c.get("k0"); !ok {
+	if _, ok := c.get(key(0)); !ok {
 		t.Fatal("k0 missing before eviction")
 	}
-	c.put("k3", entry(1000))
-	if _, ok := c.get("k1"); ok {
+	c.put(key(3), entry(1000))
+	if _, ok := c.get(key(1)); ok {
 		t.Fatal("k1 survived; LRU should have evicted it")
 	}
-	for _, k := range []string{"k0", "k2", "k3"} {
-		if _, ok := c.get(k); !ok {
-			t.Fatalf("%s evicted; want it retained", k)
+	for _, k := range []byte{0, 2, 3} {
+		if _, ok := c.get(key(k)); !ok {
+			t.Fatalf("k%d evicted; want it retained", k)
 		}
 	}
 	if c.bytes() != 3*one {
@@ -94,21 +142,21 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	}
 
 	// An entry larger than the whole budget is refused outright.
-	c.put("huge", entry(int(4*one)))
-	if _, ok := c.get("huge"); ok {
+	c.put(key(4), entry(int(4*one)))
+	if _, ok := c.get(key(4)); ok {
 		t.Fatal("oversized entry was cached")
 	}
 
 	// Refreshing a key in place adjusts accounting instead of duplicating.
-	c.put("k3", entry(500))
+	c.put(key(3), entry(500))
 	if got, want := c.bytes(), 2*one+entry(500).size(); got != want || c.len() != 3 {
 		t.Fatalf("after refresh: len=%d bytes=%d, want 3/%d", c.len(), got, want)
 	}
 
 	// A nil cache (caching disabled) accepts every call and stays empty.
 	var nilCache *resultCache
-	nilCache.put("x", entry(10))
-	if _, ok := nilCache.get("x"); ok {
+	nilCache.put(key(9), entry(10))
+	if _, ok := nilCache.get(key(9)); ok {
 		t.Fatal("nil cache returned a hit")
 	}
 	if nilCache.len() != 0 || nilCache.bytes() != 0 {
@@ -116,5 +164,26 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	}
 	if newResultCache(0) != nil {
 		t.Fatal("newResultCache(0) should disable caching")
+	}
+}
+
+func TestEtagMatches(t *testing.T) {
+	const etag = `"abc123"`
+	for header, want := range map[string]bool{
+		etag:                         true,
+		"*":                          true,
+		`W/"abc123"`:                 true,
+		`"zzz", "abc123"`:            true,
+		`"zzz",W/"abc123"`:           true,
+		`  "abc123"  `:               true,
+		`"zzz"`:                      false,
+		`"abc12"`:                    false,
+		"":                           false,
+		`"zzz", "yyy"`:               false,
+		`W/"zzz"`:                    false,
+	} {
+		if got := etagMatches(header, etag); got != want {
+			t.Errorf("etagMatches(%q) = %v, want %v", header, got, want)
+		}
 	}
 }

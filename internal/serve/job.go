@@ -74,16 +74,25 @@ type Job struct {
 
 	runner RunnerFunc
 	// key is the canonical request hash the job is registered under in the
-	// manager's singleflight table and result cache; empty for cached
-	// replay jobs (they were never inflight and are never re-cached).
-	key string
+	// manager's singleflight table and result cache; hasKey is false for
+	// cached replay jobs (they were never inflight and are never
+	// re-cached).
+	key    reqKey
+	hasKey bool
 	// cached marks a job whose records were replayed from the result cache
 	// instead of mined; it is set at construction and never changes.
 	cached bool
 
-	mu        sync.Mutex
-	state     State
-	results   []json.RawMessage
+	mu      sync.Mutex
+	state   State
+	results []json.RawMessage
+	emitted int
+	// body is the complete pre-encoded NDJSON stream (every record plus
+	// its newline, one contiguous buffer) of a cleanly completed run; etag
+	// is its strong validator. Both are immutable once set, so replaying
+	// them is a single header write and a single body write.
+	body      []byte
+	etag      string
 	wake      chan struct{} // closed and replaced on every append / state change
 	done      chan struct{} // closed once, when the state turns terminal
 	cancel    context.CancelFunc
@@ -107,27 +116,36 @@ func newJob(id string, spec JobSpec, run RunnerFunc) *Job {
 	}
 }
 
-// newCachedJob builds a job that is born terminal: its records are the
-// cached NDJSON bytes of an identical completed request, so streaming it
-// replays the original run byte for byte without touching a worker.
+// closedChan is shared by every born-terminal job: such a job never wakes
+// a waiter and is done from birth, so it needs no channels of its own.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// newCachedJob builds a job that is born terminal: its body is the cached
+// pre-encoded NDJSON of an identical completed request (shared with the
+// cache entry, never copied), so streaming it replays the original run
+// byte for byte without touching a worker.
 func newCachedJob(id string, spec JobSpec, res cachedResult) *Job {
 	now := time.Now()
-	j := &Job{
+	return &Job{
 		ID:        id,
 		Spec:      spec,
 		cached:    true,
 		state:     StateDone,
-		results:   res.records,
+		emitted:   res.count,
+		body:      res.body,
+		etag:      res.etag,
 		stats:     res.stats,
 		hasStats:  res.hasStats,
-		wake:      make(chan struct{}),
-		done:      make(chan struct{}),
+		wake:      closedChan,
+		done:      closedChan,
 		createdAt: now,
 		startedAt: now,
 		endedAt:   now,
 	}
-	close(j.done)
-	return j
 }
 
 // wakeLocked signals every waiter and re-arms the broadcast channel.
@@ -146,9 +164,33 @@ func (j *Job) emit(v any) error {
 	}
 	j.mu.Lock()
 	j.results = append(j.results, raw)
+	j.emitted++
 	j.wakeLocked()
 	j.mu.Unlock()
 	return nil
+}
+
+// setReplay attaches the pre-encoded NDJSON body (and its ETag) of a
+// cleanly completed run, making the job replayable through the zero-copy
+// path. Called once, by the worker, after the terminal transition.
+func (j *Job) setReplay(body []byte, etag string) {
+	j.mu.Lock()
+	j.body = body
+	j.etag = etag
+	j.mu.Unlock()
+}
+
+// replay returns the pre-encoded NDJSON body and ETag when the job
+// completed cleanly and its body has been materialized. Callers serve the
+// returned buffer as-is: it is immutable and may be shared with the
+// result cache and with other in-flight responses.
+func (j *Job) replay() (body []byte, etag string, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.body == nil {
+		return nil, "", false
+	}
+	return j.body, j.etag, true
 }
 
 // finish moves the job to a terminal state exactly once and records the
@@ -211,7 +253,7 @@ func (j *Job) Status() JobStatus {
 		Miner:     j.Spec.Miner,
 		Dataset:   j.Spec.Dataset,
 		State:     j.state,
-		Emitted:   len(j.results),
+		Emitted:   j.emitted,
 		Error:     j.errMsg,
 		Cached:    j.cached,
 		CreatedAt: j.createdAt.Format(time.RFC3339Nano),

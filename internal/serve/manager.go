@@ -3,8 +3,8 @@ package serve
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -48,7 +48,7 @@ type Manager struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	inflight map[string]*Job // request key -> queued/running job
+	inflight map[reqKey]*Job // request key -> queued/running job
 	seq      int
 	queue    chan *Job
 	draining bool
@@ -74,7 +74,7 @@ func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 		reg:      reg,
 		cache:    newResultCache(cacheBytes),
 		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
+		inflight: make(map[reqKey]*Job),
 		queue:    make(chan *Job, depth),
 	}
 	for i := 0; i < workers; i++ {
@@ -119,9 +119,28 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	key := requestKey(spec, gen)
+	// Fast path: an identical live job or a cached result serves the
+	// submission without compiling a runner. An invalid spec can never be
+	// inflight or cached (it could not have been enqueued), so skipping
+	// compilation here skips no validation.
 	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if live, ok := m.inflight[key]; ok {
+		m.mu.Unlock()
+		return live, nil
+	}
+	if res, ok := m.cache.get(key); ok {
+		job := m.addCachedJobLocked(spec, res)
+		m.mu.Unlock()
+		return job, nil
+	}
 	build := m.builder
 	m.mu.Unlock()
+
 	if build == nil {
 		build = buildRunner
 	}
@@ -129,7 +148,6 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	key := requestKey(spec, gen)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -139,14 +157,11 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		return live, nil
 	}
 	if res, ok := m.cache.get(key); ok {
-		m.seq++
-		job := newCachedJob(fmt.Sprintf("job-%d", m.seq), spec, res)
-		m.jobs[job.ID] = job
-		return job, nil
+		return m.addCachedJobLocked(spec, res), nil
 	}
 	m.seq++
-	job := newJob(fmt.Sprintf("job-%d", m.seq), spec, run)
-	job.key = key
+	job := newJob(jobID(m.seq), spec, run)
+	job.key, job.hasKey = key, true
 	select {
 	case m.queue <- job:
 		m.jobs[job.ID] = job
@@ -157,6 +172,37 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	}
 }
 
+// addCachedJobLocked registers a born-terminal replay job for res. Callers
+// hold m.mu.
+func (m *Manager) addCachedJobLocked(spec JobSpec, res cachedResult) *Job {
+	m.seq++
+	job := newCachedJob(jobID(m.seq), spec, res)
+	m.jobs[job.ID] = job
+	return job
+}
+
+// jobID renders the job identifier without fmt's reflection overhead.
+func jobID(seq int) string {
+	return "job-" + strconv.Itoa(seq)
+}
+
+// cachedFor resolves spec straight to its cached pre-encoded result, the
+// zero-copy warm path behind POST /v1/query: only the registration
+// generation is consulted (never the snapshot store, never the job
+// machinery), so a warm hit costs one hash and two map lookups and
+// creates nothing that must be tracked or reclaimed.
+func (m *Manager) cachedFor(spec JobSpec) (cachedResult, bool) {
+	if m.cache == nil {
+		return cachedResult{}, false
+	}
+	spec = canonicalSpec(spec)
+	gen, ok := m.reg.GenerationOf(spec.Dataset)
+	if !ok {
+		return cachedResult{}, false
+	}
+	return m.cache.get(requestKey(spec, gen))
+}
+
 // CacheStats reports the result cache's current entry count and byte size
 // (zeros when caching is disabled).
 func (m *Manager) CacheStats() (entries int, bytes int64) {
@@ -165,7 +211,7 @@ func (m *Manager) CacheStats() (entries int, bytes int64) {
 
 // detachLocked removes job from the singleflight table. Callers hold m.mu.
 func (m *Manager) detachLocked(job *Job) {
-	if job.key != "" && m.inflight[job.key] == job {
+	if job.hasKey && m.inflight[job.key] == job {
 		delete(m.inflight, job.key)
 	}
 }
@@ -305,13 +351,17 @@ func (m *Manager) run(job *Job) {
 	switch {
 	case err == nil:
 		job.finish(StateDone, stats, hasStats, "")
-		// Only complete, successful runs are cacheable: the records are
-		// final and the replay is byte-identical. The stored slice is the
-		// job's own — it never grows after the terminal transition.
+		// Only complete, successful runs are replayable: the records are
+		// final, so they are flattened once into the contiguous NDJSON
+		// body that the cache stores and the job itself serves through the
+		// zero-copy path — every later replay shares this one buffer.
 		job.mu.Lock()
 		records := job.results
 		job.mu.Unlock()
-		m.cache.put(job.key, cachedResult{records: records, stats: stats, hasStats: hasStats})
+		body := encodeBody(records)
+		etag := etagFor(job.key)
+		job.setReplay(body, etag)
+		m.cache.put(job.key, cachedResult{body: body, count: len(records), stats: stats, hasStats: hasStats, etag: etag})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		job.finish(StateCancelled, stats, hasStats, err.Error())
 	default:

@@ -5,7 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"sync"
 )
+
+// errorWriterPool recycles the per-request wrapper jsonErrors installs, so
+// the envelope costs steady-state traffic no allocations. Requests are
+// served synchronously — no handler retains its ResponseWriter — so a
+// wrapper can be reset and reused the moment its request returns.
+var errorWriterPool = sync.Pool{New: func() any { return new(jsonErrorWriter) }}
 
 // jsonErrors wraps a handler so that every error response leaving the
 // service is structured JSON. The service's own handlers already emit
@@ -17,9 +24,12 @@ import (
 // {"error": <body text>}.
 func jsonErrors(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		jw := &jsonErrorWriter{rw: w}
+		jw := errorWriterPool.Get().(*jsonErrorWriter)
+		jw.reset(w)
 		next.ServeHTTP(jw, r)
 		jw.finish()
+		jw.reset(nil)
+		errorWriterPool.Put(jw)
 	})
 }
 
@@ -32,6 +42,15 @@ type jsonErrorWriter struct {
 	committed bool // headers sent to the client
 	intercept bool
 	buf       bytes.Buffer
+}
+
+// reset re-arms the wrapper for a new request (or clears it for pooling).
+func (w *jsonErrorWriter) reset(rw http.ResponseWriter) {
+	w.rw = rw
+	w.status = 0
+	w.committed = false
+	w.intercept = false
+	w.buf.Reset()
 }
 
 func (w *jsonErrorWriter) Header() http.Header { return w.rw.Header() }

@@ -174,6 +174,20 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// GenerationOf returns the registration generation for name without
+// touching the snapshot store: the warm query path resolves its request
+// hash from this alone, so a cache hit never forces a stored snapshot to
+// decode (or even a disk read).
+func (r *Registry) GenerationOf(name string) (uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.datasets[name]
+	if !ok {
+		return 0, false
+	}
+	return e.gen, true
+}
+
 // Generation returns the current registry-wide generation counter.
 func (r *Registry) Generation() uint64 {
 	r.mu.RLock()

@@ -1,12 +1,17 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 )
+
+const ndjsonContentType = "application/x-ndjson"
 
 // Server is the HTTP face of the mining service.
 //
@@ -14,6 +19,10 @@ import (
 //	GET    /v1/datasets             registered dataset names + shapes
 //	PUT    /v1/datasets/{name}      register a dataset (body = data;
 //	                                ?format=transactions|matrix&buckets=N)
+//	POST   /v1/query                submit a JobSpec and stream its NDJSON
+//	                                results in one round trip; warm repeats
+//	                                replay the result cache zero-copy and
+//	                                honour If-None-Match with 304
 //	POST   /v1/jobs                 submit a JobSpec, returns the job status
 //	GET    /v1/jobs                 all job statuses
 //	GET    /v1/jobs/{id}            job status + live progress
@@ -36,6 +45,7 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /version", s.version)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("PUT /v1/datasets/{name}", s.putDataset)
+	s.mux.HandleFunc("POST /v1/query", s.query)
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
@@ -56,12 +66,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
+// responseBufPool recycles the encode buffers behind every JSON response,
+// so status and submit traffic does not allocate a fresh buffer (or take
+// chunked encoding) per request.
+var responseBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
+	buf := responseBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	responseBufPool.Put(buf)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -117,12 +138,59 @@ func (s *Server) putDataset(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
+func decodeSpec(r *http.Request, spec *JobSpec) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("bad job spec: %w", err)
+	}
+	return nil
+}
+
+// query is the one-round-trip request path tuned for repeat traffic: the
+// spec is submitted and its NDJSON results stream back on the same
+// response. A request whose canonical hash matches a cached completed run
+// replays the pre-encoded body without touching the job manager — one
+// header write plus one body write of an immutable shared buffer, with
+// Content-Length set (no chunked encoding) and a strong ETag; a matching
+// If-None-Match returns 304 without reading the body at all. Cache misses
+// fall back to a normal submission (singleflight, queueing, backpressure
+// and cancellation all apply) whose results are streamed live.
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeSpec(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res, ok := s.mgr.cachedFor(spec); ok {
+		serveReplay(w, r, res.body, res.etag, true)
+		return
+	}
+	job, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Submit may still have resolved a replay (cache filled between the
+	// lookup and the submission, or coalesced onto a finished job).
+	if body, etag, ok := job.replay(); ok {
+		serveReplay(w, r, body, etag, job.cached)
+		return
+	}
+	w.Header().Set("X-Cache", "MISS")
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	streamFollow(w, r, job)
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := decodeSpec(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	job, err := s.mgr.Submit(spec)
@@ -164,18 +232,62 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
-// jobResults streams the job's result records as NDJSON, following a
-// live job until it finishes or the client goes away. Records already
-// emitted are replayed first, so the stream is identical no matter when
-// the client connects.
-func (s *Server) jobResults(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.mgr.Get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, ErrNotFound)
+// etagMatches reports whether the If-None-Match header value matches the
+// given strong ETag. The comparison accepts "*", a single ETag, or a
+// comma-separated list, tolerating a W/ weakness prefix (weak comparison
+// is permitted for GET/HEAD conditionals) — all without allocating.
+func etagMatches(header, etag string) bool {
+	if header == "*" {
+		return true
+	}
+	for {
+		header = strings.TrimLeft(header, " \t,")
+		if header == "" {
+			return false
+		}
+		candidate := header
+		if strings.HasPrefix(candidate, "W/") {
+			candidate = candidate[2:]
+		}
+		// The ETag ends with '"', so a prefix match cannot stop short of a
+		// token boundary.
+		if strings.HasPrefix(candidate, etag) {
+			return true
+		}
+		i := strings.IndexByte(header, ',')
+		if i < 0 {
+			return false
+		}
+		header = header[i+1:]
+	}
+}
+
+// serveReplay writes a fully-known NDJSON body in one shot: strong ETag,
+// explicit Content-Length (the stack skips chunked transfer encoding),
+// and a single Write of the shared immutable buffer. An If-None-Match hit
+// answers 304 before the body is ever touched. cacheHit marks responses
+// served from the result cache (X-Cache: HIT) as the cached flag does on
+// job statuses.
+func serveReplay(w http.ResponseWriter, r *http.Request, body []byte, etag string, cacheHit bool) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	if cacheHit {
+		h.Set("X-Cache", "HIT")
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	h.Set("Content-Type", ndjsonContentType)
+	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// streamFollow replays the records already emitted and follows the live
+// job until it finishes or the client goes away. Headers must be written
+// before the call.
+func streamFollow(w http.ResponseWriter, r *http.Request, job *Job) {
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
 		flusher.Flush() // commit headers before the first (possibly slow) record
@@ -204,4 +316,25 @@ func (s *Server) jobResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// jobResults streams the job's result records as NDJSON. A cleanly
+// completed job — cached replay or original run — is served through the
+// zero-copy path (one write of the pre-encoded body, Content-Length and
+// ETag set, If-None-Match honoured); anything still live or terminated
+// early is replayed record by record, following the job until it finishes
+// or the client goes away.
+func (s *Server) jobResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+	if body, etag, ok := job.replay(); ok {
+		serveReplay(w, r, body, etag, job.cached)
+		return
+	}
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	streamFollow(w, r, job)
 }
