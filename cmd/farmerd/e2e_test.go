@@ -2,6 +2,7 @@ package main_test
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -304,6 +305,42 @@ func TestFarmerdEndToEnd(t *testing.T) {
 	}
 	if final.Stats == nil || final.Stats.NodesVisited == 0 {
 		t.Fatalf("cancelled job lost its partial stats: %+v", final.Stats)
+	}
+
+	// The Prometheus scrape must be well-formed text exposition and carry
+	// the request/job/queue/cache/tenant series after the traffic above.
+	resp, err = http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	samples, err := serve.CheckPromText(bytes.NewReader(metricsBody))
+	if err != nil {
+		t.Fatalf("malformed /metrics exposition: %v\n%s", err, metricsBody)
+	}
+	if samples == 0 {
+		t.Fatal("/metrics scrape carried no samples")
+	}
+	for _, want := range []string{
+		`farmerd_requests_total{route="/v1/jobs",status="2xx"}`,
+		"farmerd_jobs_submitted_total",
+		`farmerd_jobs_finished_total{state="done"}`,
+		"farmerd_job_queue_wait_seconds_count",
+		"farmerd_job_run_seconds_count",
+		"farmerd_queue_depth",
+		"farmerd_cache_entries",
+		`farmerd_tenant_jobs_total{tenant="anonymous"}`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing series %s", want)
+		}
 	}
 
 	// SIGTERM drains and exits cleanly.

@@ -12,7 +12,22 @@
 //	farmerd [-addr :8077] [-workers N] [-queue N] [-data DIR] [-buckets N]
 //	        [-drain 30s] [-cache-bytes N] [-store DIR] [-store-bytes N]
 //	        [-pprof-addr addr] [-coordinator] [-worker-of URL]
-//	        [-worker-id ID] [-lease-ttl 15s] [-cluster-chunks N]
+//	        [-worker-id ID] [-worker-key KEY] [-lease-ttl 15s]
+//	        [-cluster-chunks N] [-keys FILE] [-audit FILE] [-metrics]
+//
+// -keys FILE turns on multi-tenant authentication: FILE is a JSON keys
+// file ({"tenants": [{"name", "key", "weight", "rate_per_sec", "burst",
+// "max_inflight", "max_cost"}, ...], "anonymous": {...}}) and every
+// request outside /healthz, /version and /metrics must then present a
+// listed key via "Authorization: Bearer <key>" or "X-API-Key". SIGHUP
+// re-reads the file without dropping queued jobs or limiter state; an
+// invalid file leaves the previous keys in force. Without -keys the
+// daemon runs open (one unlimited anonymous tenant).
+//
+// -audit FILE appends one JSON object per security-relevant event
+// (submissions, completions, auth failures, quota/admission rejections,
+// key reloads) to FILE ("-" = stderr). -metrics=false disables the
+// GET /metrics Prometheus endpoint and its request instrumentation.
 //
 // -data preloads every dataset file in DIR at startup: *.txt in the
 // transactions format, *.csv as expression matrices discretized into
@@ -52,6 +67,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -104,6 +120,15 @@ func preload(reg *serve.Registry, dir string, buckets int) error {
 	return nil
 }
 
+// loadKeys reads and parses the tenant keys file.
+func loadKeys(path string) (serve.KeysFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return serve.KeysFile{}, err
+	}
+	return serve.ParseKeysFile(data)
+}
+
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	workers := flag.Int("workers", 0, "mining worker pool size (<= 0 = GOMAXPROCS)")
@@ -120,6 +145,10 @@ func main() {
 	workerID := flag.String("worker-id", "", "worker name in the cluster (default hostname-pid)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator lease deadline; expired leases requeue")
 	clusterChunks := flag.Int("cluster-chunks", 8, "initial partition leases per distributed FARMER job")
+	keysPath := flag.String("keys", "", "tenant keys file (JSON); requests must then present an API key. SIGHUP reloads")
+	auditPath := flag.String("audit", "", "append JSON audit events to this file (\"-\" = stderr; empty disables)")
+	metricsOn := flag.Bool("metrics", true, "expose GET /metrics and request instrumentation")
+	workerKey := flag.String("worker-key", "", "API key presented to the -worker-of coordinator")
 	flag.Parse()
 
 	var reg *serve.Registry
@@ -145,12 +174,73 @@ func main() {
 		}
 	}
 	mgr := serve.NewManager(reg, *workers, *queue, *cacheBytes)
-	srv := serve.NewServer(mgr)
+
+	var tenants *serve.Tenants
+	if *keysPath != "" {
+		cfg, err := loadKeys(*keysPath)
+		if err != nil {
+			log.Fatalf("farmerd: keys %s: %v", *keysPath, err)
+		}
+		tenants, err = serve.NewTenantsFromConfig(cfg)
+		if err != nil {
+			log.Fatalf("farmerd: keys %s: %v", *keysPath, err)
+		}
+		mgr.SetTenants(tenants)
+		log.Printf("farmerd: %d tenant key(s) loaded from %s", len(cfg.Tenants), *keysPath)
+	}
+
+	var auditLog *serve.AuditLogger
+	if *auditPath != "" {
+		var w io.Writer
+		if *auditPath == "-" {
+			w = os.Stderr
+		} else {
+			f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("farmerd: audit %s: %v", *auditPath, err)
+			}
+			defer f.Close()
+			w = f
+		}
+		auditLog = serve.NewAuditLogger(w)
+		mgr.SetAudit(auditLog)
+	}
+
+	var srvOpts []serve.ServerOption
+	if !*metricsOn {
+		srvOpts = append(srvOpts, serve.WithoutMetrics())
+	}
+	srv := serve.NewServer(mgr, srvOpts...)
 	if *coordinator {
 		coord := cluster.NewCoordinator(mgr, cluster.Options{LeaseTTL: *leaseTTL, Chunks: *clusterChunks})
 		coord.RegisterRoutes(srv)
+		if m := srv.Metrics(); m != nil {
+			coord.RegisterMetrics(m)
+		}
 		defer coord.Close()
 		log.Printf("farmerd: coordinating cluster jobs (lease TTL %v, %d chunks)", *leaseTTL, *clusterChunks)
+	}
+
+	if *keysPath != "" {
+		// SIGHUP re-reads the keys file in place: tenants keep their limiter
+		// state and queued jobs across a rotation; a broken file is logged
+		// and the previous registry stays in force.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				cfg, err := loadKeys(*keysPath)
+				if err == nil {
+					err = tenants.Reload(cfg)
+				}
+				if err != nil {
+					log.Printf("farmerd: keys reload: %v (previous keys kept)", err)
+					continue
+				}
+				auditLog.Log(serve.AuditEvent{Event: "keys_reloaded", Detail: fmt.Sprintf("%d tenants", len(cfg.Tenants))})
+				log.Printf("farmerd: reloaded %d tenant key(s) from %s", len(cfg.Tenants), *keysPath)
+			}
+		}()
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -189,6 +279,7 @@ func main() {
 			ID:      wid,
 			Store:   st,
 			Workers: *workers,
+			APIKey:  *workerKey,
 		})
 		log.Printf("farmerd: worker %s joining cluster at %s", wid, *workerOf)
 		go func() { _ = w.Run(ctx) }()

@@ -28,6 +28,12 @@ func (a *Arena) Release(m ArenaMark) {
 	a.sets = a.sets[:m.sets]
 }
 
+// Bytes reports the arena's retained backing storage (word slab plus set
+// headers) at its high-water size.
+func (a *Arena) Bytes() int64 {
+	return int64(cap(a.words))*8 + int64(cap(a.sets))*int64(setHeaderBytes)
+}
+
 // alloc reserves nw words and one Set header, without zeroing the words.
 func (a *Arena) alloc(n, nw int) (*Set, []uint64) {
 	lw := len(a.words)

@@ -50,6 +50,13 @@ func FromWords(n int, words []uint64) *Set {
 // The slice is the live backing store: callers must treat it as read-only.
 func (s *Set) Words() []uint64 { return s.words }
 
+// setHeaderBytes sizes a Set header for arena accounting: a slice header
+// (three words) plus the capacity int.
+const setHeaderBytes = 4 * 8
+
+// Bytes reports the set's backing storage for resource accounting.
+func (s *Set) Bytes() int64 { return int64(cap(s.words)) * 8 }
+
 // Carve partitions words into count consecutive sets of capacity n each,
 // in two allocations total — the bulk form of FromWords for decoders that
 // read many sets as one flat array. The sets take ownership of the slice;

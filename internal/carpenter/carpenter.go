@@ -138,6 +138,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 		m.sc.A.Release(mark)
 	}
 	searchDone()
+	ex.Stats.ArenaBytes = m.sc.Bytes()
 	return &Result{Nodes: ex.Stats.NodesVisited, stats: ex.Stats}, err
 }
 

@@ -160,6 +160,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if err == ErrBudget {
 		return nil, err
 	}
+	ex.Stats.ArenaBytes = m.ar.Bytes() + m.items.SizeBytes() + m.pairs.SizeBytes()
 	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 

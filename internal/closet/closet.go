@@ -171,6 +171,8 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onClosed f
 	if err == ErrBudget {
 		return nil, err
 	}
+	ex.Stats.ArenaBytes = m.nodesSlab.SizeBytes() + m.headsSlab.SizeBytes() +
+		m.intsSlab.SizeBytes() + m.rankSlab.SizeBytes() + m.itemsSlab.SizeBytes()
 	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -158,6 +159,34 @@ func (c *Coordinator) Close() error {
 // coordinator mounts its endpoints on.
 type RouteRegistrar interface {
 	Handle(pattern string, h http.Handler)
+}
+
+// RegisterMetrics contributes the coordinator's lease-economy gauges to a
+// serve metrics registry: they render on every GET /metrics scrape after
+// the daemon's own series.
+func (c *Coordinator) RegisterMetrics(m *serve.Metrics) {
+	m.Register(func(w io.Writer) {
+		c.mu.Lock()
+		st := Stats{
+			ActiveWorkers: c.activeWorkersLocked(),
+			PendingLeases: len(c.pending),
+			Outstanding:   len(c.leases),
+			Jobs:          len(c.jobs),
+		}
+		c.mu.Unlock()
+		fmt.Fprintf(w, "# HELP farmerd_cluster_active_workers Workers that polled within three lease TTLs.\n")
+		fmt.Fprintf(w, "# TYPE farmerd_cluster_active_workers gauge\n")
+		fmt.Fprintf(w, "farmerd_cluster_active_workers %d\n", st.ActiveWorkers)
+		fmt.Fprintf(w, "# HELP farmerd_cluster_pending_leases Leases queued for assignment.\n")
+		fmt.Fprintf(w, "# TYPE farmerd_cluster_pending_leases gauge\n")
+		fmt.Fprintf(w, "farmerd_cluster_pending_leases %d\n", st.PendingLeases)
+		fmt.Fprintf(w, "# HELP farmerd_cluster_outstanding_leases Leases held by workers.\n")
+		fmt.Fprintf(w, "# TYPE farmerd_cluster_outstanding_leases gauge\n")
+		fmt.Fprintf(w, "farmerd_cluster_outstanding_leases %d\n", st.Outstanding)
+		fmt.Fprintf(w, "# HELP farmerd_cluster_jobs Distributed jobs in flight.\n")
+		fmt.Fprintf(w, "# TYPE farmerd_cluster_jobs gauge\n")
+		fmt.Fprintf(w, "farmerd_cluster_jobs %d\n", st.Jobs)
+	})
 }
 
 // RegisterRoutes mounts the cluster protocol endpoints.

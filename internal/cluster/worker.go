@@ -32,6 +32,10 @@ type WorkerOptions struct {
 	// Client overrides the HTTP client (tests). Nil uses a default with
 	// no global timeout — result uploads of large partials may be slow.
 	Client *http.Client
+	// APIKey authenticates the worker against a coordinator running with
+	// a keys file; sent as a bearer token on every request. Empty means
+	// the coordinator is open.
+	APIKey string
 
 	// AbandonLeases makes the worker take — and then silently drop — the
 	// first N leases it is assigned, without reporting results or
@@ -93,12 +97,26 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// newRequest builds a coordinator request with the worker's API key (when
+// configured) attached — every call site goes through it so an
+// authenticated cluster never leaks an anonymous request.
+func (w *Worker) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if w.opt.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+w.opt.APIKey)
+	}
+	return req, nil
+}
+
 func (w *Worker) poll(ctx context.Context) (*Lease, error) {
 	body, err := json.Marshal(PollRequest{Worker: w.opt.ID})
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/cluster/v1/poll", bytes.NewReader(body))
+	req, err := w.newRequest(ctx, http.MethodPost, w.base+"/cluster/v1/poll", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +232,7 @@ func (w *Worker) renewLoop(ctx context.Context, cancel context.CancelFunc, l *Le
 			return
 		case <-tick.C:
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		req, err := w.newRequest(ctx, http.MethodPost,
 			w.base+"/cluster/v1/leases/"+l.ID+"/renew", nil)
 		if err != nil {
 			return
@@ -278,7 +296,7 @@ func (w *Worker) cache(digest string, snap *farmer.Snapshot) {
 }
 
 func (w *Worker) fetch(ctx context.Context, digest string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := w.newRequest(ctx, http.MethodGet,
 		w.base+"/cluster/v1/snapshots/"+digest, nil)
 	if err != nil {
 		return nil, err
@@ -328,7 +346,7 @@ func (w *Worker) report(ctx context.Context, l *Lease, partial *core.Partial, re
 		rctx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost,
+	req, err := w.newRequest(rctx, http.MethodPost,
 		w.base+"/cluster/v1/leases/"+l.ID+"/results", &body)
 	if err != nil {
 		return

@@ -175,6 +175,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, opt Options, onPattern 
 	}
 	searchDone()
 
+	ex.Stats.ArenaBytes = m.ar.Bytes() + m.items.SizeBytes() + m.pairs.SizeBytes()
 	return &Result{
 		RowNodes:     m.rowNodes,
 		FeatureNodes: m.featNodes,

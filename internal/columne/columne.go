@@ -208,6 +208,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 		err = m.finish()
 		finishDone()
 	}
+	ex.Stats.ArenaBytes = m.sc.Bytes() + m.ar.Bytes() + m.items.SizeBytes()
 	return &Result{Nodes: m.nodes, stats: ex.Stats}, err
 }
 

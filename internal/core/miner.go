@@ -74,6 +74,7 @@ func MineStream(ctx context.Context, d *dataset.Dataset, consequent int, opt Opt
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
 	err = m.run()
 	searchDone()
+	ex.Stats.ArenaBytes = m.sc.Bytes()
 	res.stats = ex.Stats
 	return res, err
 }

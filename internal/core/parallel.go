@@ -141,9 +141,10 @@ func (s *wsScheduler) finish(count int) {
 // workerOut is what one scheduler worker hands back: its candidate store,
 // the row sets it rejected locally, and its subtask counters.
 type workerOut struct {
-	cands    []irgEntry
-	rejected []*bitset.Set
-	counters engine.Counters
+	cands      []irgEntry
+	rejected   []*bitset.Set
+	counters   engine.Counters
+	arenaBytes int64
 }
 
 // minePartitions drains src over the given worker count: each worker owns
@@ -205,7 +206,7 @@ func minePartitions(ctx context.Context, ordered *dataset.Dataset, shared *datas
 				sched.finish(m.minePartition(t))
 			}
 		out:
-			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters}
+			outs[w] = workerOut{cands: m.groups, rejected: m.rejectedRows, counters: wex.Stats.Counters, arenaBytes: m.sc.Bytes()}
 		}(w)
 	}
 	wg.Wait()
@@ -301,6 +302,10 @@ func MineParallelContext(ctx context.Context, d *dataset.Dataset, consequent int
 	for _, o := range outs {
 		cands = append(cands, o.cands...)
 		ex.Stats.Counters.Add(o.counters)
+		// Counters.Add cannot carry ArenaBytes (it lives outside Counters
+		// to stay out of counter-equality); sum the per-worker high-water
+		// marks explicitly.
+		ex.Stats.ArenaBytes += o.arenaBytes
 		for _, r := range o.rejected {
 			rejected.Add(r)
 		}

@@ -154,6 +154,7 @@ func TopK(ctx context.Context, d *dataset.Dataset, consequent int, opt TopKOptio
 	searchDone := engine.Phase(&ex.Stats.Timings.Search)
 	err = tk.run()
 	searchDone()
+	ex.Stats.ArenaBytes = m.sc.Bytes()
 
 	out := make([]ScoredGroup, len(tk.best))
 	for i := range tk.best {

@@ -1,5 +1,7 @@
 package engine
 
+import "unsafe"
+
 // Slab is a grow-only typed slab with stack (mark/release) discipline: the
 // recursion-structured scratch data of an enumeration tree — conditional
 // tables, cleaned candidate lists, count buffers — is pushed on node entry
@@ -60,6 +62,13 @@ func (s *Slab[T]) One() *T {
 	return &s.Alloc(1)[0]
 }
 
+// SizeBytes reports the slab's retained backing storage — capacity, not
+// live length — since the high-water array is what the run actually held.
+func (s *Slab[T]) SizeBytes() int64 {
+	var zero T
+	return int64(cap(s.buf)) * int64(unsafe.Sizeof(zero))
+}
+
 // Tuple is one row of a conditional transposed table: an item together with
 // the enumeration-candidate rows containing it at the current node. The
 // Rows slice is a view into an ancestor's storage and is never mutated.
@@ -95,4 +104,9 @@ func (a *Arena) Release(m ArenaMark) {
 	a.I32.Release(m.i32)
 	a.Rows.Release(m.rows)
 	a.Tup.Release(m.tup)
+}
+
+// Bytes reports the arena's retained backing storage across all slabs.
+func (a *Arena) Bytes() int64 {
+	return a.I32.SizeBytes() + a.Rows.SizeBytes() + a.Tup.SizeBytes()
 }

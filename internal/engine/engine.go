@@ -99,6 +99,13 @@ type Stats struct {
 	// handed a snapshot, 0 otherwise). The saving itself shows up as a
 	// near-zero Timings.Setup.
 	PrepareReused int64
+	// ArenaBytes is the high-water retained size of the run's arena and
+	// scratch storage, for resource accounting. Like PrepareReused it
+	// lives outside Counters: slab capacities grow by amortized doubling,
+	// so the figure depends on allocation history (and, for parallel
+	// miners, on the task decomposition), never satisfying the
+	// run-to-run equality Counters guarantees.
+	ArenaBytes int64
 }
 
 // MinerResult is the common face of every miner's result type — FARMER's
@@ -208,6 +215,13 @@ func NewScratch(n int) *Scratch {
 		InX:   bitset.New(n),
 		Tmp:   bitset.New(n),
 	}
+}
+
+// Bytes reports the scratch substrate's retained storage: the stamped
+// counter arrays, both bitsets, and the slab arena at its high-water size.
+func (s *Scratch) Bytes() int64 {
+	return int64(cap(s.Cnt))*4 + int64(cap(s.Stamp))*4 +
+		s.InX.Bytes() + s.Tmp.Bytes() + s.A.Bytes()
 }
 
 // NextEpoch invalidates every stamped counter and returns the new epoch.

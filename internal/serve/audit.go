@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AuditEvent is one structured audit record: who did (or was refused)
+// what. Events are line-JSON, one object per line, append-only.
+type AuditEvent struct {
+	// TS is stamped by the logger at write time (RFC3339Nano).
+	TS string `json:"ts"`
+	// Event is the record type: auth_failure, rate_limited,
+	// quota_exceeded, admission_rejected, job_submitted, job_finished,
+	// keys_reloaded.
+	Event string `json:"event"`
+	// Tenant is the acting principal (empty for pre-auth failures).
+	Tenant string `json:"tenant,omitempty"`
+	// Job is the affected job id, when one exists.
+	Job string `json:"job,omitempty"`
+	// Detail is the human-readable specifics (error text, spec summary).
+	Detail string `json:"detail,omitempty"`
+}
+
+// AuditLogger writes audit events as newline-delimited JSON to one
+// writer. A nil *AuditLogger is valid and drops everything, so callers
+// log unconditionally. Writes are serialized: concurrent events never
+// interleave within a line.
+type AuditLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAuditLogger returns a logger writing to w (nil w returns a nil
+// logger, which discards).
+func NewAuditLogger(w io.Writer) *AuditLogger {
+	if w == nil {
+		return nil
+	}
+	return &AuditLogger{w: w}
+}
+
+// Log stamps and writes one event. Nil-safe; marshal or write failures
+// are dropped (auditing must never take the service down).
+func (l *AuditLogger) Log(ev AuditEvent) {
+	if l == nil {
+		return
+	}
+	ev.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}

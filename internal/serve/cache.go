@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 )
@@ -135,6 +136,11 @@ func (r cachedResult) size() int64 {
 // key. A nil *resultCache is a valid, always-missing cache (caching
 // disabled).
 type resultCache struct {
+	// hits and misses are lifetime lookup totals for /metrics; atomics so
+	// the scrape never takes the cache lock.
+	hits   atomic.Int64
+	misses atomic.Int64
+
 	mu    sync.Mutex
 	max   int64
 	cur   int64
@@ -164,10 +170,20 @@ func (c *resultCache) get(key reqKey) (cachedResult, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
+		c.misses.Add(1)
 		return cachedResult{}, false
 	}
+	c.hits.Add(1)
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheItem).res, true
+}
+
+// counters reports lifetime hit/miss totals (zeros when disabled).
+func (c *resultCache) counters() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
 }
 
 // put inserts (or refreshes) key, evicting least-recently-used entries

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sort"
+
+	farmer "repro"
+)
+
+// CostModel predicts a job's enumeration cost from the dataset's shape,
+// seeded from COBBLER's mode-selection estimator (the same arithmetic that
+// picks row vs feature enumeration per subtree, applied once at admission
+// time over the whole dataset): the row-enumeration tree is bounded by
+// 2^(rows−minsup+1) — the combination depth before the support cut fires —
+// and the feature-enumeration tree by summing 2^level over start positions
+// in descending item-support order, where level is the deepest k with
+// S(f1)·…·S(fk)·rows ≥ minsup. The model is computed once per dataset
+// registration (one frequency pass) and cached on the registry entry.
+type CostModel struct {
+	// Rows is the dataset's row count.
+	Rows int
+	// counts holds per-item support counts, descending.
+	counts []int
+}
+
+// newCostModel builds the model with one pass over the rows.
+func newCostModel(d *farmer.Dataset) *CostModel {
+	freq := make([]int, d.NumItems)
+	for _, r := range d.Rows {
+		for _, it := range r.Items {
+			freq[it]++
+		}
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		if c > 0 {
+			counts = append(counts, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return &CostModel{Rows: len(d.Rows), counts: counts}
+}
+
+// estimateCap is the saturation value of both estimators: once an estimate
+// exceeds any plausible budget there is no point refining it.
+const estimateCap = 1e18
+
+func costPow2(k int) float64 {
+	if k > 60 {
+		return estimateCap
+	}
+	return float64(int64(1) << uint(k))
+}
+
+// rowEstimate bounds the row-enumeration tree by 2^(rows−minsup+1).
+func (c *CostModel) rowEstimate(minsup int) float64 {
+	depth := c.Rows - minsup + 1
+	if depth < 0 {
+		depth = 0
+	}
+	return costPow2(depth)
+}
+
+// featureEstimate mirrors COBBLER's estimator over the frequent items.
+func (c *CostModel) featureEstimate(minsup int) float64 {
+	fr := float64(c.Rows)
+	if fr == 0 {
+		return 0
+	}
+	fracs := make([]float64, 0, len(c.counts))
+	for _, n := range c.counts { // counts are descending, so fracs are too
+		if n < minsup {
+			break
+		}
+		fracs = append(fracs, float64(n)/fr)
+	}
+	total := 0.0
+	for start := range fracs {
+		expected := fr
+		level := 0
+		for k := start; k < len(fracs); k++ {
+			expected *= fracs[k]
+			if expected < float64(minsup) {
+				break
+			}
+			level++
+		}
+		total += costPow2(level)
+		if total > 1e12 {
+			return estimateCap
+		}
+	}
+	return total
+}
+
+// Estimate predicts the enumeration cost of spec against this dataset:
+// the row bound for the row enumerators, the feature bound for the column
+// enumerators, and — like COBBLER's own mode pick — the cheaper of the two
+// for miners that switch. The figure is dimensionless (estimated node
+// expansions); tenant budgets (TenantConfig.MaxCost) are calibrated
+// against it.
+func (c *CostModel) Estimate(spec QuerySpec) float64 {
+	minsup := spec.MinSup
+	if minsup < 1 {
+		minsup = 1
+	}
+	switch spec.Miner {
+	case "farmer", "topk", "carpenter":
+		return c.rowEstimate(minsup)
+	case "charm", "closet", "columne":
+		return c.featureEstimate(minsup)
+	default: // cobbler and anything future: assume the cheaper mode
+		row, feat := c.rowEstimate(minsup), c.featureEstimate(minsup)
+		if row < feat {
+			return row
+		}
+		return feat
+	}
+}

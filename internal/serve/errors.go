@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Stable machine-readable error codes. Every error response leaving the
+// service carries exactly one of these in its "code" field; clients branch
+// on the code, never on the human-readable message. The vocabulary is
+// append-only — codes are part of the v1 wire contract (see README).
+const (
+	// CodeBadRequest: malformed body, unknown field, invalid option.
+	CodeBadRequest = "bad_request"
+	// CodeUnauthorized: missing or unrecognized API key (401).
+	CodeUnauthorized = "unauthorized"
+	// CodeRateLimited: the tenant's token bucket is empty (429,
+	// Retry-After set).
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded: the tenant is at its in-flight job quota (429,
+	// Retry-After set).
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeAdmissionRejected: the job's predicted cost exceeds the
+	// tenant's budget (403) — retrying without changing the request is
+	// pointless.
+	CodeAdmissionRejected = "admission_rejected"
+	// CodeQueueFull: the global job queue is at capacity (503,
+	// Retry-After set).
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the service is shutting down (503).
+	CodeDraining = "draining"
+	// CodeDatasetNotFound: the spec names an unregistered dataset (404).
+	CodeDatasetNotFound = "dataset_not_found"
+	// CodeJobNotFound: unknown job id (404).
+	CodeJobNotFound = "job_not_found"
+	// CodeNotFound: no route matched the path (404).
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the path exists but not for this method (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInternal: an unexpected server-side failure (5xx).
+	CodeInternal = "internal_error"
+)
+
+// ErrorCodes returns the complete error-code vocabulary, sorted — pinned
+// by the HTTP-surface golden test the way api_surface_test.go pins the Go
+// surface.
+func ErrorCodes() []string {
+	return []string{
+		CodeAdmissionRejected,
+		CodeBadRequest,
+		CodeDatasetNotFound,
+		CodeDraining,
+		CodeInternal,
+		CodeJobNotFound,
+		CodeMethodNotAllowed,
+		CodeNotFound,
+		CodeQueueFull,
+		CodeQuotaExceeded,
+		CodeRateLimited,
+		CodeUnauthorized,
+	}
+}
+
+// errorBody is the one error envelope of the v1 API.
+type errorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeError emits the structured error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// writeErrorRetry is writeError plus a Retry-After header (rounded up to a
+// whole second, minimum 1) — the 429/503 shape of the backpressure and
+// rate-limit rejections.
+func writeErrorRetry(w http.ResponseWriter, status int, code string, err error, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, status, code, err)
+}
+
+// QuotaError rejects a submission because the tenant already has its
+// maximum number of jobs queued or running. RetryAfter hints when a slot
+// is plausibly free.
+type QuotaError struct {
+	Tenant   string
+	Inflight int
+	Limit    int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q is at its in-flight job quota (%d of %d)", e.Tenant, e.Inflight, e.Limit)
+}
+
+// AdmissionError rejects a submission whose predicted enumeration cost
+// exceeds the tenant's budget. Predicted is the COBBLER-style node
+// estimate for the (dataset shape, options) pair; Budget is the tenant's
+// configured ceiling.
+type AdmissionError struct {
+	Tenant    string
+	Predicted float64
+	Budget    float64
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: predicted cost %.3g exceeds tenant %q budget %.3g (raise minsup or narrow the query)", e.Predicted, e.Tenant, e.Budget)
+}
+
+// RateLimitError rejects a request whose tenant token bucket is empty.
+type RateLimitError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("serve: tenant %q is rate limited", e.Tenant)
+}

@@ -26,38 +26,6 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// JobSpec is the request body of POST /v1/jobs: which miner to run, on
-// which registered dataset, with which parameters. Fields a miner does
-// not use are ignored.
-type JobSpec struct {
-	// Miner is one of "farmer", "topk", "charm", "closet", "columne",
-	// "carpenter", "cobbler".
-	Miner string `json:"miner"`
-	// Dataset names a dataset previously registered with the service.
-	Dataset string `json:"dataset"`
-	// Class is the consequent class name for the class-aware miners
-	// (farmer, topk, columne); empty selects class 0.
-	Class string `json:"class,omitempty"`
-
-	MinSup  int     `json:"minsup,omitempty"`
-	MinConf float64 `json:"minconf,omitempty"`
-	MinChi  float64 `json:"minchi,omitempty"`
-	// LowerBounds asks the FARMER miner to recover each group's lower
-	// bounds.
-	LowerBounds bool `json:"lower_bounds,omitempty"`
-
-	// K and Measure configure the "topk" miner.
-	K       int    `json:"k,omitempty"`
-	Measure string `json:"measure,omitempty"`
-
-	// Workers selects the FARMER parallel scheduler (negative =
-	// GOMAXPROCS); 0 runs sequentially with live streaming.
-	Workers int `json:"workers,omitempty"`
-
-	// TimeoutMS bounds the job's run time; 0 means no deadline.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
 // RunnerFunc executes one mining job: it emits result records as they
 // become available and returns the miner's result (for its statistics).
 // On cancellation it returns ctx.Err() together with partial statistics.
@@ -73,6 +41,10 @@ type Job struct {
 	Spec JobSpec
 
 	runner RunnerFunc
+	// tenant is the principal the job was admitted for; its quota slot is
+	// released (and its accounting credited) when the job turns terminal.
+	// Nil for cached replay jobs and for direct library submissions.
+	tenant *Tenant
 	// key is the canonical request hash the job is registered under in the
 	// manager's singleflight table and result cache; hasKey is false for
 	// cached replay jobs (they were never inflight and are never
@@ -228,7 +200,16 @@ type JobStatus struct {
 	ID      string `json:"id"`
 	Miner   string `json:"miner"`
 	Dataset string `json:"dataset"`
-	State   State  `json:"state"`
+	// Tenant is the principal the job was admitted for ("anonymous" on
+	// open deployments).
+	Tenant string `json:"tenant"`
+	State  State  `json:"state"`
+	// QueueMS is the time the job spent (or, while still queued, has so
+	// far spent) waiting for a worker; RunMS is its execution time so far
+	// or final. Both are reported separately so a slow queue is never
+	// mistaken for a slow run.
+	QueueMS int64 `json:"queue_ms"`
+	RunMS   int64 `json:"run_ms"`
 	// Emitted is the number of result records available so far; it grows
 	// while the job runs.
 	Emitted int    `json:"emitted"`
@@ -252,11 +233,27 @@ func (j *Job) Status() JobStatus {
 		ID:        j.ID,
 		Miner:     j.Spec.Miner,
 		Dataset:   j.Spec.Dataset,
+		Tenant:    tenantName(j.tenant),
 		State:     j.state,
 		Emitted:   j.emitted,
 		Error:     j.errMsg,
 		Cached:    j.cached,
 		CreatedAt: j.createdAt.Format(time.RFC3339Nano),
+	}
+	switch {
+	case !j.startedAt.IsZero():
+		st.QueueMS = j.startedAt.Sub(j.createdAt).Milliseconds()
+	case !j.endedAt.IsZero(): // cancelled while queued: never ran
+		st.QueueMS = j.endedAt.Sub(j.createdAt).Milliseconds()
+	default: // still waiting
+		st.QueueMS = time.Since(j.createdAt).Milliseconds()
+	}
+	if !j.startedAt.IsZero() {
+		if !j.endedAt.IsZero() {
+			st.RunMS = j.endedAt.Sub(j.startedAt).Milliseconds()
+		} else {
+			st.RunMS = time.Since(j.startedAt).Milliseconds()
+		}
 	}
 	if j.hasStats {
 		stats := j.stats

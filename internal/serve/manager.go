@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	farmer "repro"
@@ -27,19 +28,44 @@ var (
 // cacheBytes argument to NewManager (and by farmerd's flag default).
 const DefaultCacheBytes int64 = 64 << 20
 
-// Manager owns the job queue and the bounded worker pool that drains it.
-// Jobs pass through queued -> running -> done/failed/cancelled; a DELETE
-// cancels a queued job immediately and interrupts a running one through
-// its context (the engine stops within one node expansion).
+// tenantQueue is one tenant's FIFO of queued jobs plus its smooth
+// weighted-round-robin state. Queues are created on a tenant's first
+// submission and kept for the manager's lifetime (tenant counts are
+// small); emptiness, not existence, is what the scheduler tests.
+type tenantQueue struct {
+	t    *Tenant
+	jobs []*Job
+	// current is the smooth-WRR credit: every scheduling round adds the
+	// tenant's weight to each non-empty queue, picks the largest, and
+	// subtracts the round's total weight from the winner — interleaving
+	// proportionally instead of bursting.
+	current int
+}
+
+// Manager owns the per-tenant job queues and the bounded worker pool that
+// drains them. Jobs pass through queued -> running -> done/failed/
+// cancelled; a DELETE cancels a queued job immediately and interrupts a
+// running one through its context (the engine stops within one node
+// expansion).
 //
-// Two layers sit in front of the queue, both keyed by the canonical
+// Scheduling is weighted round-robin across tenants with queued work
+// (nginx's smooth WRR), so a tenant flooding its queue delays only its own
+// jobs: another tenant's next job is picked within one round regardless of
+// backlog depth. The global queue depth still bounds total memory
+// (ErrQueueFull), and per-tenant quotas bound any one tenant's share of
+// it.
+//
+// Two layers sit in front of the queues, both keyed by the canonical
 // request hash (miner + dataset generation + options — see requestKey):
 // inflight coalesces identical concurrent submissions onto one live job
 // (singleflight), and cache replays the NDJSON records of identical
 // completed jobs without re-mining.
 type Manager struct {
-	reg   *Registry
-	cache *resultCache
+	reg     *Registry
+	cache   *resultCache
+	tenants atomic.Pointer[Tenants]
+	metrics atomic.Pointer[Metrics]     // nil-safe: no-op until SetMetrics
+	audit   atomic.Pointer[AuditLogger] // nil-safe: no-op until SetAudit
 
 	// builder compiles validated specs into runners; nil selects the
 	// in-process buildRunner. A cluster coordinator installs its
@@ -47,19 +73,26 @@ type Manager struct {
 	builder RunnerBuilder
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signalled when work is queued or draining starts
 	jobs     map[string]*Job
 	inflight map[reqKey]*Job // request key -> queued/running job
 	seq      int
-	queue    chan *Job
+	queues   []*tenantQueue // WRR order: first-submission order, stable
+	queueOf  map[*Tenant]*tenantQueue
+	queued   int // jobs across all queues (bounded by depth)
+	running  int
+	depth    int
 	draining bool
 
 	wg sync.WaitGroup // live workers
 }
 
 // NewManager starts workers goroutines (<= 0 selects GOMAXPROCS) serving
-// a queue of the given depth (<= 0 selects 64). cacheBytes bounds the
+// queues with a total depth bound (<= 0 selects 64). cacheBytes bounds the
 // result cache: negative selects DefaultCacheBytes, zero disables caching
-// (singleflight coalescing stays on — it holds no extra memory).
+// (singleflight coalescing stays on — it holds no extra memory). The
+// manager starts with an open tenant registry (one unlimited anonymous
+// tenant); install a keyed one with SetTenants before serving traffic.
 func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -75,8 +108,11 @@ func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 		cache:    newResultCache(cacheBytes),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[reqKey]*Job),
-		queue:    make(chan *Job, depth),
+		queueOf:  make(map[*Tenant]*tenantQueue),
+		depth:    depth,
 	}
+	m.tenants.Store(NewTenants())
+	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -86,6 +122,23 @@ func NewManager(reg *Registry, workers, depth int, cacheBytes int64) *Manager {
 
 // Registry returns the dataset registry jobs resolve their input from.
 func (m *Manager) Registry() *Registry { return m.reg }
+
+// Tenants returns the manager's tenant registry.
+func (m *Manager) Tenants() *Tenants { return m.tenants.Load() }
+
+// SetTenants installs a tenant registry (from a keys file). Call before
+// serving traffic: jobs already queued keep the tenant they resolved.
+func (m *Manager) SetTenants(t *Tenants) { m.tenants.Store(t) }
+
+// SetMetrics installs the metrics sink the manager reports job lifecycle
+// events into (nil disables).
+func (m *Manager) SetMetrics(mx *Metrics) { m.metrics.Store(mx) }
+
+// SetAudit installs the audit logger (nil disables).
+func (m *Manager) SetAudit(a *AuditLogger) { m.audit.Store(a) }
+
+// auditLog returns the current audit logger (nil-safe to call Log on).
+func (m *Manager) auditLog() *AuditLogger { return m.audit.Load() }
 
 // RunnerBuilder compiles a validated (dataset, snapshot, spec) triple into
 // the RunnerFunc that will execute the job. The default is the in-process
@@ -104,16 +157,28 @@ func (m *Manager) SetRunnerBuilder(b RunnerBuilder) {
 	m.mu.Unlock()
 }
 
-// Submit validates spec, compiles it into a runner and enqueues the job.
+// Submit is SubmitAs for the anonymous tenant — the library entry point
+// open deployments and tests use.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	return m.SubmitAs(m.Tenants().Anonymous(), spec)
+}
+
+// SubmitAs validates spec, applies the tenant's admission checks, compiles
+// the spec into a runner and enqueues the job on the tenant's queue.
 // Validation failures (unknown miner, dataset or class) are returned
-// immediately; ErrDraining and ErrQueueFull signal admission refusal.
+// immediately; ErrDraining, ErrQueueFull, *QuotaError and *AdmissionError
+// signal admission refusal.
 //
 // Identical requests are served without re-mining: a submission whose
 // canonical request key matches a live (queued or running) job returns
 // that job — both callers stream the same run — and one matching a cached
 // completed result returns a fresh job that is already done, flagged
 // Cached in its status, replaying the stored records byte for byte.
-func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+// Replays and coalesced joins bypass cost admission: they do no new work.
+func (m *Manager) SubmitAs(t *Tenant, spec JobSpec) (*Job, error) {
+	if t == nil {
+		t = m.Tenants().Anonymous()
+	}
 	spec = canonicalSpec(spec)
 	d, snap, gen, err := m.reg.Entry(spec.Dataset)
 	if err != nil {
@@ -141,6 +206,23 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	build := m.builder
 	m.mu.Unlock()
 
+	// Cost admission: predicted enumeration cost against the tenant
+	// budget, before compiling a runner or touching the queue. Only
+	// genuinely new work reaches this point.
+	if t != nil {
+		if budget := t.Config().MaxCost; budget > 0 {
+			if cost := m.reg.CostModelFor(spec.Dataset, d); cost != nil {
+				if est := cost.Estimate(spec); est > budget {
+					t.Acct.AdmissionRejected.Add(1)
+					m.metricsRef().AdmissionRejected()
+					err := &AdmissionError{Tenant: t.Name(), Predicted: est, Budget: budget}
+					m.auditLog().Log(AuditEvent{Event: "admission_rejected", Tenant: t.Name(), Detail: err.Error()})
+					return nil, err
+				}
+			}
+		}
+	}
+
 	if build == nil {
 		build = buildRunner
 	}
@@ -159,18 +241,60 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if res, ok := m.cache.get(key); ok {
 		return m.addCachedJobLocked(spec, res), nil
 	}
+	if m.queued >= m.depth {
+		m.metricsRef().QueueRejected()
+		return nil, ErrQueueFull
+	}
+	if t != nil {
+		if limit := t.Config().MaxInflight; limit > 0 && t.inflight >= limit {
+			t.Acct.QuotaRejected.Add(1)
+			m.metricsRef().QuotaRejected()
+			err := &QuotaError{Tenant: t.Name(), Inflight: t.inflight, Limit: limit}
+			m.auditLog().Log(AuditEvent{Event: "quota_exceeded", Tenant: t.Name(), Detail: err.Error()})
+			return nil, err
+		}
+	}
 	m.seq++
 	job := newJob(jobID(m.seq), spec, run)
 	job.key, job.hasKey = key, true
-	select {
-	case m.queue <- job:
-		m.jobs[job.ID] = job
-		m.inflight[key] = job
-		return job, nil
-	default:
-		return nil, ErrQueueFull
+	job.tenant = t
+	m.jobs[job.ID] = job
+	m.inflight[key] = job
+	q := m.queueForLocked(t)
+	q.jobs = append(q.jobs, job)
+	m.queued++
+	if t != nil {
+		t.inflight++
 	}
+	m.metricsRef().JobSubmitted()
+	m.auditLog().Log(AuditEvent{Event: "job_submitted", Tenant: tenantName(t), Job: job.ID, Detail: spec.Miner + "/" + spec.Dataset})
+	m.cond.Signal()
+	return job, nil
 }
+
+// queueForLocked returns (creating if needed) the tenant's queue. Callers
+// hold m.mu. A nil tenant shares one queue.
+func (m *Manager) queueForLocked(t *Tenant) *tenantQueue {
+	if q, ok := m.queueOf[t]; ok {
+		return q
+	}
+	q := &tenantQueue{t: t}
+	m.queueOf[t] = q
+	m.queues = append(m.queues, q)
+	return q
+}
+
+// tenantName renders a possibly-nil tenant for statuses and logs.
+func tenantName(t *Tenant) string {
+	if t == nil {
+		return AnonymousTenant
+	}
+	return t.Name()
+}
+
+// metricsRef returns the current metrics sink (nil-safe to call methods
+// on).
+func (m *Manager) metricsRef() *Metrics { return m.metrics.Load() }
 
 // addCachedJobLocked registers a born-terminal replay job for res. Callers
 // hold m.mu.
@@ -184,6 +308,13 @@ func (m *Manager) addCachedJobLocked(spec JobSpec, res cachedResult) *Job {
 // jobID renders the job identifier without fmt's reflection overhead.
 func jobID(seq int) string {
 	return "job-" + strconv.Itoa(seq)
+}
+
+// seqNum recovers the dense sequence number from a job id, giving
+// listJobs a total newest-first order without a clock comparison.
+func (j *Job) seqNum() int {
+	n, _ := strconv.Atoi(j.ID[len("job-"):])
+	return n
 }
 
 // cachedFor resolves spec straight to its cached pre-encoded result, the
@@ -207,6 +338,19 @@ func (m *Manager) cachedFor(spec JobSpec) (cachedResult, bool) {
 // (zeros when caching is disabled).
 func (m *Manager) CacheStats() (entries int, bytes int64) {
 	return m.cache.len(), m.cache.bytes()
+}
+
+// CacheCounters reports the result cache's lifetime hit/miss totals.
+func (m *Manager) CacheCounters() (hits, misses int64) {
+	return m.cache.counters()
+}
+
+// QueueStats reports the scheduler's current occupancy: jobs queued
+// across all tenants and jobs running on workers.
+func (m *Manager) QueueStats() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued, m.running
 }
 
 // detachLocked removes job from the singleflight table. Callers hold m.mu.
@@ -235,6 +379,14 @@ func (m *Manager) Jobs() []*Job {
 	return out
 }
 
+// releaseTenantLocked returns a finished/cancelled job's quota slot.
+// Callers hold m.mu.
+func (m *Manager) releaseTenantLocked(job *Job) {
+	if job.tenant != nil {
+		job.tenant.inflight--
+	}
+}
+
 // Cancel stops the job with the given id: a queued job turns cancelled
 // immediately (the worker skips it when it is popped), a running job has
 // its context cancelled and finishes with partial statistics. Cancelling
@@ -255,6 +407,8 @@ func (m *Manager) Cancel(id string) error {
 		job.mu.Unlock()
 		m.mu.Lock()
 		m.detachLocked(job)
+		m.releaseTenantLocked(job)
+		m.metricsRef().JobFinished(StateCancelled)
 		m.mu.Unlock()
 	case job.state == StateRunning:
 		cancel := job.cancel
@@ -275,7 +429,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
 
@@ -303,20 +457,83 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			close(j.done)
 			j.wakeLocked()
 			m.detachLocked(j)
+			m.releaseTenantLocked(j)
+			m.metricsRef().JobFinished(StateCancelled)
 		case StateRunning:
 			j.cancel()
 		}
 		j.mu.Unlock()
 	}
+	m.cond.Broadcast()
 	m.mu.Unlock()
 	<-done
 	return ctx.Err()
 }
 
+// dequeue blocks until a job is available (returning it) or the manager
+// is draining with every queue empty (returning nil). The pick is smooth
+// weighted round-robin across tenants with queued work, so one tenant's
+// backlog cannot monopolize the workers.
+func (m *Manager) dequeue() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if job := m.pickLocked(); job != nil {
+			m.queued--
+			m.running++
+			return job
+		}
+		if m.draining {
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// pickLocked runs one smooth-WRR round over the non-empty queues: add
+// each contender's weight to its credit, pick the largest credit (queue
+// order breaks ties deterministically), charge the winner the round's
+// total. With equal weights this interleaves tenants one-for-one; with
+// weight 3 vs 1 the heavy tenant gets three picks spread across every
+// four, never a burst. Callers hold m.mu.
+func (m *Manager) pickLocked() *Job {
+	total := 0
+	var best *tenantQueue
+	for _, q := range m.queues {
+		if len(q.jobs) == 0 {
+			continue
+		}
+		w := 1
+		if q.t != nil {
+			w = q.t.weight()
+		}
+		q.current += w
+		total += w
+		if best == nil || q.current > best.current {
+			best = q
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	best.current -= total
+	job := best.jobs[0]
+	copy(best.jobs, best.jobs[1:])
+	best.jobs = best.jobs[:len(best.jobs)-1]
+	return job
+}
+
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for job := range m.queue {
+	for {
+		job := m.dequeue()
+		if job == nil {
+			return
+		}
 		m.run(job)
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
 	}
 }
 
@@ -340,7 +557,9 @@ func (m *Manager) run(job *Job) {
 	job.startedAt = time.Now()
 	job.cancel = cancel
 	job.wakeLocked()
+	queueWait := job.startedAt.Sub(job.createdAt)
 	job.mu.Unlock()
+	m.metricsRef().ObserveQueueWait(queueWait)
 
 	res, err := job.runner(ctx, job.emit)
 	var stats engine.Stats
@@ -348,8 +567,10 @@ func (m *Manager) run(job *Job) {
 	if hasStats {
 		stats = res.Stats()
 	}
+	var state State
 	switch {
 	case err == nil:
+		state = StateDone
 		job.finish(StateDone, stats, hasStats, "")
 		// Only complete, successful runs are replayable: the records are
 		// final, so they are flattened once into the contiguous NDJSON
@@ -363,11 +584,29 @@ func (m *Manager) run(job *Job) {
 		job.setReplay(body, etag)
 		m.cache.put(job.key, cachedResult{body: body, count: len(records), stats: stats, hasStats: hasStats, etag: etag})
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		state = StateCancelled
 		job.finish(StateCancelled, stats, hasStats, err.Error())
 	default:
+		state = StateFailed
 		job.finish(StateFailed, stats, hasStats, err.Error())
 	}
+
+	job.mu.Lock()
+	runDur := job.endedAt.Sub(job.startedAt)
+	job.mu.Unlock()
+	if t := job.tenant; t != nil {
+		t.Acct.Jobs.Add(1)
+		t.Acct.RowsExpanded.Add(stats.NodesVisited)
+		t.Acct.ArenaBytes.Add(stats.ArenaBytes)
+		t.Acct.RunNS.Add(int64(runDur))
+		t.Acct.QueueNS.Add(int64(queueWait))
+	}
+	m.metricsRef().ObserveRun(runDur)
+	m.metricsRef().JobFinished(state)
+	m.auditLog().Log(AuditEvent{Event: "job_finished", Tenant: tenantName(job.tenant), Job: job.ID, Detail: string(state)})
+
 	m.mu.Lock()
 	m.detachLocked(job)
+	m.releaseTenantLocked(job)
 	m.mu.Unlock()
 }

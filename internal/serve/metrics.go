@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's dependency-free Prometheus instrumentation:
+// fixed-cardinality atomic counters and histograms, rendered in the text
+// exposition format by GET /metrics. Every series is pre-declared — route
+// labels come from a closed route classification, never from raw request
+// paths — so a scrape's cardinality cannot be driven by traffic.
+//
+// Increment paths are single atomic adds (no locks, no allocations): the
+// warm query path pays two time.Now calls and three atomic adds per
+// request, which keeps it inside the ServeWarm allocation gate.
+type Metrics struct {
+	requests [nRoutes][nStatusClasses]atomic.Int64
+	latency  [nRoutes]histogram
+
+	queueWait histogram
+	runTime   histogram
+
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+
+	authFailures      atomic.Int64
+	rateLimited       atomic.Int64
+	quotaRejected     atomic.Int64
+	admissionRejected atomic.Int64
+	queueRejected     atomic.Int64
+
+	mu         sync.Mutex
+	collectors []func(io.Writer)
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Route classification for request metrics: a closed set so label
+// cardinality is fixed no matter what paths clients probe.
+const (
+	routeHealthz = iota
+	routeVersion
+	routeMetrics
+	routeDatasets
+	routeQuery
+	routeJobs
+	routeCluster
+	routeOther
+	nRoutes
+)
+
+var routeNames = [nRoutes]string{
+	"/healthz", "/version", "/metrics", "/v1/datasets", "/v1/query",
+	"/v1/jobs", "/cluster", "other",
+}
+
+// routeIndex classifies a request path without allocating.
+func routeIndex(path string) int {
+	switch {
+	case path == "/healthz":
+		return routeHealthz
+	case path == "/version":
+		return routeVersion
+	case path == "/metrics":
+		return routeMetrics
+	case hasPrefix(path, "/v1/datasets"):
+		return routeDatasets
+	case path == "/v1/query":
+		return routeQuery
+	case hasPrefix(path, "/v1/jobs"):
+		return routeJobs
+	case hasPrefix(path, "/cluster/"):
+		return routeCluster
+	default:
+		return routeOther
+	}
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}
+
+const nStatusClasses = 5 // 1xx..5xx
+
+var statusClassNames = [nStatusClasses]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// ObserveRequest records one completed HTTP request. Nil-safe.
+func (m *Metrics) ObserveRequest(route, status int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if route < 0 || route >= nRoutes {
+		route = routeOther
+	}
+	class := status/100 - 1
+	if class < 0 || class >= nStatusClasses {
+		class = nStatusClasses - 1
+	}
+	m.requests[route][class].Add(1)
+	m.latency[route].observe(d)
+}
+
+// ObserveQueueWait records a job's queue wait (submission to worker
+// pickup). Nil-safe.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.queueWait.observe(d)
+}
+
+// ObserveRun records a job's execution time. Nil-safe.
+func (m *Metrics) ObserveRun(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.runTime.observe(d)
+}
+
+// JobSubmitted counts one admitted job. Nil-safe.
+func (m *Metrics) JobSubmitted() {
+	if m == nil {
+		return
+	}
+	m.jobsSubmitted.Add(1)
+}
+
+// JobFinished counts one terminal transition. Nil-safe.
+func (m *Metrics) JobFinished(state State) {
+	if m == nil {
+		return
+	}
+	switch state {
+	case StateDone:
+		m.jobsDone.Add(1)
+	case StateFailed:
+		m.jobsFailed.Add(1)
+	case StateCancelled:
+		m.jobsCancelled.Add(1)
+	}
+}
+
+// AuthFailure / RateLimited / QuotaRejected / AdmissionRejected /
+// QueueRejected count refused requests by refusal layer. All nil-safe.
+func (m *Metrics) AuthFailure() {
+	if m == nil {
+		return
+	}
+	m.authFailures.Add(1)
+}
+
+func (m *Metrics) RateLimited() {
+	if m == nil {
+		return
+	}
+	m.rateLimited.Add(1)
+}
+
+func (m *Metrics) QuotaRejected() {
+	if m == nil {
+		return
+	}
+	m.quotaRejected.Add(1)
+}
+
+func (m *Metrics) AdmissionRejected() {
+	if m == nil {
+		return
+	}
+	m.admissionRejected.Add(1)
+}
+
+func (m *Metrics) QueueRejected() {
+	if m == nil {
+		return
+	}
+	m.queueRejected.Add(1)
+}
+
+// Register adds a collector invoked at every scrape, after the built-in
+// series — how the cluster coordinator contributes its lease metrics
+// without serve importing cluster.
+func (m *Metrics) Register(collect func(io.Writer)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.collectors = append(m.collectors, collect)
+	m.mu.Unlock()
+}
+
+// histogram is a fixed-bucket latency histogram: cumulative rendering
+// happens at scrape, so observation is one bucket add plus a sum add.
+type histogram struct {
+	counts [len(bucketBounds) + 1]atomic.Int64 // +1 = +Inf
+	sumNS  atomic.Int64
+}
+
+// bucketBounds are the histogram's upper bounds in seconds, chosen to
+// resolve both sub-millisecond warm replays and multi-minute mining runs.
+var bucketBounds = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30, 60}
+
+// bucketLabels are the pre-rendered `le` label values (bounds + "+Inf").
+var bucketLabels = func() [len(bucketBounds) + 1]string {
+	var out [len(bucketBounds) + 1]string
+	for i, b := range bucketBounds {
+		out[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	out[len(bucketBounds)] = "+Inf"
+	return out
+}()
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	idx := len(bucketBounds)
+	for i, b := range bucketBounds {
+		if secs <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// promWriter accumulates exposition text; all writes go through it so the
+// final handler response is one buffer.
+type promWriter struct {
+	w io.Writer
+	b []byte
+}
+
+func (p *promWriter) line(s string) {
+	p.b = append(p.b, s...)
+	p.b = append(p.b, '\n')
+}
+
+func (p *promWriter) sample(name, labels string, value float64) {
+	p.b = append(p.b, name...)
+	if labels != "" {
+		p.b = append(p.b, '{')
+		p.b = append(p.b, labels...)
+		p.b = append(p.b, '}')
+	}
+	p.b = append(p.b, ' ')
+	p.b = strconv.AppendFloat(p.b, value, 'g', -1, 64)
+	p.b = append(p.b, '\n')
+}
+
+func (p *promWriter) counter(name, labels string, value int64) {
+	p.sample(name, labels, float64(value))
+}
+
+func (p *promWriter) flush() error {
+	_, err := p.w.Write(p.b)
+	return err
+}
+
+// writeHistogram renders a histogram in the conventional _bucket/_sum/
+// _count triplet with cumulative buckets.
+func (p *promWriter) writeHistogram(name, extraLabels string, h *histogram) {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		labels := `le="` + bucketLabels[i] + `"`
+		if extraLabels != "" {
+			labels = extraLabels + "," + labels
+		}
+		p.counter(name+"_bucket", labels, cum)
+	}
+	p.sample(name+"_sum", extraLabels, float64(h.sumNS.Load())/1e9)
+	p.counter(name+"_count", extraLabels, cum)
+}
+
+// render writes the registry's own series (requests, latency, job
+// lifecycle, refusals) followed by the registered collectors.
+func (m *Metrics) render(w io.Writer) error {
+	p := &promWriter{w: w, b: make([]byte, 0, 8192)}
+
+	p.line("# HELP farmerd_requests_total HTTP requests by route class and status class.")
+	p.line("# TYPE farmerd_requests_total counter")
+	for r := 0; r < nRoutes; r++ {
+		for c := 0; c < nStatusClasses; c++ {
+			if v := m.requests[r][c].Load(); v > 0 {
+				p.counter("farmerd_requests_total", `route="`+routeNames[r]+`",status="`+statusClassNames[c]+`"`, v)
+			}
+		}
+	}
+
+	p.line("# HELP farmerd_request_seconds HTTP request latency by route class.")
+	p.line("# TYPE farmerd_request_seconds histogram")
+	for r := 0; r < nRoutes; r++ {
+		if m.latency[r].countTotal() == 0 {
+			continue
+		}
+		p.writeHistogram("farmerd_request_seconds", `route="`+routeNames[r]+`"`, &m.latency[r])
+	}
+
+	p.line("# HELP farmerd_job_queue_wait_seconds Time jobs spent queued before a worker picked them up.")
+	p.line("# TYPE farmerd_job_queue_wait_seconds histogram")
+	p.writeHistogram("farmerd_job_queue_wait_seconds", "", &m.queueWait)
+
+	p.line("# HELP farmerd_job_run_seconds Job execution time on a worker.")
+	p.line("# TYPE farmerd_job_run_seconds histogram")
+	p.writeHistogram("farmerd_job_run_seconds", "", &m.runTime)
+
+	p.line("# HELP farmerd_jobs_submitted_total Jobs admitted to the queue.")
+	p.line("# TYPE farmerd_jobs_submitted_total counter")
+	p.counter("farmerd_jobs_submitted_total", "", m.jobsSubmitted.Load())
+
+	p.line("# HELP farmerd_jobs_finished_total Jobs reaching a terminal state.")
+	p.line("# TYPE farmerd_jobs_finished_total counter")
+	p.counter("farmerd_jobs_finished_total", `state="done"`, m.jobsDone.Load())
+	p.counter("farmerd_jobs_finished_total", `state="failed"`, m.jobsFailed.Load())
+	p.counter("farmerd_jobs_finished_total", `state="cancelled"`, m.jobsCancelled.Load())
+
+	p.line("# HELP farmerd_rejected_total Requests refused before reaching a worker, by layer.")
+	p.line("# TYPE farmerd_rejected_total counter")
+	p.counter("farmerd_rejected_total", `reason="auth"`, m.authFailures.Load())
+	p.counter("farmerd_rejected_total", `reason="rate_limited"`, m.rateLimited.Load())
+	p.counter("farmerd_rejected_total", `reason="quota"`, m.quotaRejected.Load())
+	p.counter("farmerd_rejected_total", `reason="admission"`, m.admissionRejected.Load())
+	p.counter("farmerd_rejected_total", `reason="queue_full"`, m.queueRejected.Load())
+
+	if err := p.flush(); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	collectors := m.collectors
+	m.mu.Unlock()
+	for _, c := range collectors {
+		c(w)
+	}
+	return nil
+}
+
+func (h *histogram) countTotal() int64 {
+	total := int64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}

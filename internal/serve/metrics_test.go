@@ -1,0 +1,135 @@
+package serve_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestMetricsEndpoint drives real traffic (including refusals) through a
+// keyed service and checks that the /metrics scrape is well-formed
+// Prometheus text carrying the expected series.
+func TestMetricsEndpoint(t *testing.T) {
+	cfg := serve.KeysFile{
+		Tenants:   []serve.TenantConfig{{Name: "alice", Key: "ka"}},
+		Anonymous: &serve.TenantConfig{Name: "anonymous"},
+	}
+	ts, _ := keyedService(t, cfg, 2, 16, nil)
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "ka", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	// A real mining run (2xx + finished job), a 404, and an auth refusal:
+	// each must land in its own series.
+	code, _, st := submitKeyed(t, ts.URL, "ka", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 2})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	waitStateKeyed(t, ts.URL, "ka", st.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs/job-999999", "ka", "")
+	resp.Body.Close()
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs", "bogus-key", "")
+	resp.Body.Close()
+
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := serve.CheckPromText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape not valid Prometheus text: %v\n%s", err, body)
+	}
+	if samples < 20 {
+		t.Fatalf("suspiciously small scrape: %d samples", samples)
+	}
+
+	for _, want := range []string{
+		`farmerd_requests_total{route="/v1/jobs",status="2xx"}`,
+		`farmerd_requests_total{route="/v1/jobs",status="4xx"}`,
+		"farmerd_request_seconds_bucket",
+		"farmerd_jobs_submitted_total 1",
+		`farmerd_jobs_finished_total{state="done"} 1`,
+		"farmerd_job_queue_wait_seconds_count 1",
+		"farmerd_job_run_seconds_count 1",
+		`farmerd_rejected_total{reason="auth"} 1`,
+		"farmerd_queue_depth 0",
+		"farmerd_jobs_running 0",
+		"farmerd_cache_entries",
+		`farmerd_tenant_jobs_total{tenant="alice"} 1`,
+		`farmerd_tenant_rows_expanded_total{tenant="alice"}`,
+		`farmerd_tenant_run_seconds_total{tenant="alice"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestCheckPromTextAccepts pins the validator's positive cases, including
+// the special values and escapes the text format allows.
+func TestCheckPromTextAccepts(t *testing.T) {
+	const good = `# HELP foo_total A counter.
+# TYPE foo_total counter
+foo_total 17
+# TYPE lat histogram
+lat_bucket{le="0.1"} 3
+lat_bucket{le="+Inf"} 4
+lat_sum 0.42
+lat_count 4
+weird{l="a\"b\\c\nd"} NaN
+stamped{x="y"} 1.5e3 1712345678901
+`
+	samples, err := serve.CheckPromText(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	if samples != 7 {
+		t.Fatalf("counted %d samples, want 7", samples)
+	}
+}
+
+// TestCheckPromTextRejects pins the validator's negative cases — the
+// realistic ways a hand-rolled renderer goes wrong. CI runs this same
+// checker against the live daemon's scrape, so the smoke test only means
+// something if these all fail.
+func TestCheckPromTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing value":       "foo_total\n",
+		"bare label block":    "foo{bar} 1\n",
+		"unquoted value":      "foo{bar=baz} 1\n",
+		"digit-leading name":  "1foo 2\n",
+		"bad escape":          "foo{l=\"a\\qb\"} 1\n",
+		"unterminated labels": "foo{l=\"x\" 1\n",
+		"non-numeric value":   "foo{l=\"x\"} fast\n",
+		"extra fields":        "foo 1 2 3\n",
+		"bad timestamp":       "foo 1 soon\n",
+		"unknown TYPE kind":   "# TYPE foo banana\nfoo 1\n",
+		"malformed TYPE":      "# TYPE foo\nfoo 1\n",
+		"duplicate series":    "foo{a=\"1\"} 1\nfoo{a=\"1\"} 2\n",
+	}
+	for name, payload := range cases {
+		if _, err := serve.CheckPromText(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted %q", name, payload)
+		}
+	}
+	// Same name with different labels is NOT a duplicate.
+	if _, err := serve.CheckPromText(strings.NewReader("foo{a=\"1\"} 1\nfoo{a=\"2\"} 2\n")); err != nil {
+		t.Errorf("distinct label sets rejected: %v", err)
+	}
+}

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // errorWriterPool recycles the per-request wrapper jsonErrors installs, so
@@ -16,38 +19,53 @@ var errorWriterPool = sync.Pool{New: func() any { return new(jsonErrorWriter) }}
 
 // jsonErrors wraps a handler so that every error response leaving the
 // service is structured JSON. The service's own handlers already emit
-// {"error": ...} bodies, but http.ServeMux itself answers unmatched paths
-// and methods with text/plain ("404 page not found", "405 method not
-// allowed") — a cluster client, which parses every non-2xx body as JSON,
-// must never see those. Any response with status >= 400 whose handler did
-// not declare a JSON content type is buffered and re-emitted as
-// {"error": <body text>}.
-func jsonErrors(next http.Handler) http.Handler {
+// {"error": ..., "code": ...} bodies, but http.ServeMux itself answers
+// unmatched paths and methods with text/plain ("404 page not found", "405
+// method not allowed") — a cluster client, which parses every non-2xx body
+// as JSON, must never see those. Any response with status >= 400 whose
+// handler did not declare a JSON content type is buffered and re-emitted
+// as {"error": <body text>, "code": <mapped code>}.
+//
+// The wrapper is also where request metrics are observed: it is the one
+// place that sees both the final status (even for rewritten errors) and
+// the full handler duration. A nil m skips the clock reads entirely.
+func jsonErrors(next http.Handler, m *Metrics) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
 		jw := errorWriterPool.Get().(*jsonErrorWriter)
 		jw.reset(w)
 		next.ServeHTTP(jw, r)
 		jw.finish()
+		status := jw.finalStatus
 		jw.reset(nil)
 		errorWriterPool.Put(jw)
+		if m != nil {
+			m.ObserveRequest(routeIndex(r.URL.Path), status, time.Since(start))
+		}
 	})
 }
 
 // jsonErrorWriter passes 2xx/3xx and JSON responses straight through and
 // buffers non-JSON error responses for rewriting. Flusher is forwarded so
-// NDJSON streaming keeps its incremental delivery.
+// NDJSON streaming keeps its incremental delivery. finalStatus records the
+// status actually sent, for request metrics.
 type jsonErrorWriter struct {
-	rw        http.ResponseWriter
-	status    int
-	committed bool // headers sent to the client
-	intercept bool
-	buf       bytes.Buffer
+	rw          http.ResponseWriter
+	status      int
+	finalStatus int
+	committed   bool // headers sent to the client
+	intercept   bool
+	buf         bytes.Buffer
 }
 
 // reset re-arms the wrapper for a new request (or clears it for pooling).
 func (w *jsonErrorWriter) reset(rw http.ResponseWriter) {
 	w.rw = rw
 	w.status = 0
+	w.finalStatus = http.StatusOK
 	w.committed = false
 	w.intercept = false
 	w.buf.Reset()
@@ -59,6 +77,7 @@ func (w *jsonErrorWriter) WriteHeader(status int) {
 	if w.committed || w.intercept {
 		return
 	}
+	w.finalStatus = status
 	ct := w.rw.Header().Get("Content-Type")
 	if status >= 400 && !strings.HasPrefix(ct, "application/json") {
 		w.status = status
@@ -89,6 +108,20 @@ func (w *jsonErrorWriter) Flush() {
 	}
 }
 
+// codeForStatus maps an intercepted non-JSON error to its stable code.
+func codeForStatus(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return CodeNotFound
+	case status == http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case status >= 500:
+		return CodeInternal
+	default:
+		return CodeBadRequest
+	}
+}
+
 // finish rewrites an intercepted error as structured JSON.
 func (w *jsonErrorWriter) finish() {
 	if !w.intercept {
@@ -98,9 +131,9 @@ func (w *jsonErrorWriter) finish() {
 	if msg == "" {
 		msg = http.StatusText(w.status)
 	}
-	body, err := json.Marshal(map[string]string{"error": msg})
+	body, err := json.Marshal(errorBody{Error: msg, Code: codeForStatus(w.status)})
 	if err != nil {
-		body = []byte(`{"error":"internal error"}`)
+		body = []byte(`{"error":"internal error","code":"internal_error"}`)
 	}
 	h := w.rw.Header()
 	h.Set("Content-Type", "application/json")
@@ -108,4 +141,66 @@ func (w *jsonErrorWriter) finish() {
 	h.Del("X-Content-Type-Options")
 	w.rw.WriteHeader(w.status)
 	_, _ = w.rw.Write(append(body, '\n'))
+}
+
+// tenantCtxKey carries the authenticated *Tenant through the request
+// context. Only used when a keys file is configured: the open deployment
+// skips the context attachment (and its two allocations) entirely, which
+// is what keeps the warm replay path inside its allocation gate.
+type tenantCtxKey struct{}
+
+// errMissingKey / errBadKey distinguish the two 401 shapes in audit logs.
+var (
+	errMissingKey = errors.New("serve: missing API key")
+	errBadKey     = errors.New("serve: unrecognized API key")
+)
+
+// authExempt reports paths served without authentication: liveness,
+// build identity, and the metrics scrape (operators curl these; scrapers
+// rarely support per-target secrets).
+func authExempt(path string) bool {
+	return path == "/healthz" || path == "/version" || path == "/metrics"
+}
+
+// withAuth resolves the request's tenant and applies its token-bucket
+// rate limit before the mux runs. On an open registry (no keys file) the
+// request passes through untouched — no header parsing, no context
+// values, no per-request allocations.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tn := s.mgr.Tenants()
+		if tn.Open() || authExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		t := tn.Authenticate(r)
+		if t == nil {
+			s.metrics.AuthFailure()
+			err := errBadKey
+			if apiKey(r) == "" {
+				err = errMissingKey
+			}
+			s.mgr.auditLog().Log(AuditEvent{Event: "auth_failure", Detail: err.Error() + " " + r.Method + " " + r.URL.Path})
+			writeError(w, http.StatusUnauthorized, CodeUnauthorized, err)
+			return
+		}
+		if ok, retry := t.Allow(time.Now()); !ok {
+			t.Acct.RateLimited.Add(1)
+			s.metrics.RateLimited()
+			rlErr := &RateLimitError{Tenant: t.Name(), RetryAfter: retry}
+			s.mgr.auditLog().Log(AuditEvent{Event: "rate_limited", Tenant: t.Name(), Detail: r.Method + " " + r.URL.Path})
+			writeErrorRetry(w, http.StatusTooManyRequests, CodeRateLimited, rlErr, retry)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+	})
+}
+
+// tenantOf returns the request's authenticated tenant, falling back to
+// the anonymous tenant (open deployments never attach a context value).
+func (s *Server) tenantOf(r *http.Request) *Tenant {
+	if t, ok := r.Context().Value(tenantCtxKey{}).(*Tenant); ok {
+		return t
+	}
+	return s.mgr.Tenants().Anonymous()
 }

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckPromText validates a Prometheus text-exposition (version 0.0.4)
+// payload: every line must be a well-formed HELP/TYPE comment or a sample
+// whose metric name, label set and value parse, TYPE declarations must
+// name a known metric type, and no (name, labels) series may repeat. It
+// returns the number of sample lines seen so callers can also assert the
+// scrape was non-trivial.
+//
+// This is the CI gate behind the farmerd smoke test's /metrics scrape —
+// a dependency-free subset of what a real Prometheus server enforces at
+// ingestion, strict enough to catch the realistic failure modes of a
+// hand-rolled renderer (unescaped label values, missing values, duplicate
+// series, malformed histogram lines).
+func CheckPromText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	seen := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		series, err := checkSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if seen[series] {
+			return samples, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+// checkComment validates a "# HELP name ..." or "# TYPE name kind" line.
+// Other comments are allowed by the format and pass through.
+func checkComment(line string) error {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " ")
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		fields := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if fields[0] == "" || !validMetricName(fields[0]) {
+			return fmt.Errorf("HELP names invalid metric %q", fields[0])
+		}
+	case strings.HasPrefix(rest, "TYPE "):
+		fields := strings.Fields(rest[len("TYPE "):])
+		if len(fields) != 2 {
+			return fmt.Errorf("TYPE wants \"name kind\": %q", line)
+		}
+		if !validMetricName(fields[0]) {
+			return fmt.Errorf("TYPE names invalid metric %q", fields[0])
+		}
+		switch fields[1] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("TYPE %s: unknown kind %q", fields[0], fields[1])
+		}
+	}
+	return nil
+}
+
+// checkSample validates one sample line and returns its series identity
+// (name plus raw label block) for duplicate detection.
+func checkSample(line string) (string, error) {
+	nameEnd := 0
+	for nameEnd < len(line) && isNameChar(line[nameEnd], nameEnd == 0) {
+		nameEnd++
+	}
+	if nameEnd == 0 {
+		return "", fmt.Errorf("no metric name: %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+
+	series := name
+	if strings.HasPrefix(rest, "{") {
+		end, err := checkLabels(name, rest)
+		if err != nil {
+			return "", err
+		}
+		series = name + rest[:end]
+		rest = rest[end:]
+	}
+
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("%s: want \"value [timestamp]\", got %q", series, rest)
+	}
+	if _, err := parsePromValue(fields[0]); err != nil {
+		return "", fmt.Errorf("%s: bad value %q", series, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("%s: bad timestamp %q", series, fields[1])
+		}
+	}
+	return series, nil
+}
+
+// checkLabels validates the {label="value",...} block opening rest and
+// returns the index just past its closing brace.
+func checkLabels(metric, rest string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return 0, fmt.Errorf("%s: unterminated label block", metric)
+		}
+		if rest[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(rest) && isNameChar(rest[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("%s: empty label name at %q", metric, rest[i:])
+		}
+		if i >= len(rest) || rest[i] != '=' {
+			return 0, fmt.Errorf("%s: label %q missing '='", metric, rest[start:i])
+		}
+		i++
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("%s: label %q value not quoted", metric, rest[start:i-1])
+		}
+		i++
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' {
+				// Escapes: \\ \" \n are the format's complete set.
+				if i+1 >= len(rest) {
+					return 0, fmt.Errorf("%s: dangling escape", metric)
+				}
+				switch rest[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("%s: bad escape \\%c", metric, rest[i+1])
+				}
+				i++
+			} else if rest[i] == '\n' {
+				return 0, fmt.Errorf("%s: unescaped newline in label value", metric)
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return 0, fmt.Errorf("%s: unterminated label value", metric)
+		}
+		i++ // closing quote
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		}
+	}
+}
+
+// parsePromValue accepts any float plus the format's special values.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// isNameChar reports whether c may appear in a metric/label name; digits
+// are excluded at the first position.
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -7,6 +7,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,11 @@ import (
 	farmer "repro"
 	"repro/internal/store"
 )
+
+// ErrUnknownDataset reports a spec naming a dataset that was never
+// registered. The HTTP layer maps it to 404 dataset_not_found (every
+// other validation failure stays 400 bad_request).
+var ErrUnknownDataset = errors.New("unknown dataset")
 
 // SnapshotStore is the persistence layer a registry can sit on —
 // implemented by *store.Store, abstracted here so tests can inject
@@ -62,6 +68,10 @@ type regEntry struct {
 	info DatasetInfo
 	d    *farmer.Dataset  // nil when store-backed
 	snap *farmer.Snapshot // nil when store-backed
+	// cost is the admission-control model: computed eagerly at Put for
+	// memory-resident entries, lazily on first Entry load for store-backed
+	// ones (guarded by the registry mutex).
+	cost *CostModel
 }
 
 // NewRegistry returns an empty, memory-only registry.
@@ -107,16 +117,17 @@ func (r *Registry) Put(name string, d *farmer.Dataset) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	next := r.gen + 1
+	cost := newCostModel(d)
 	if r.store != nil {
 		if err := r.store.Put(name, snap, next); err != nil {
 			return fmt.Errorf("register dataset %s: %w", name, err)
 		}
 		r.gen = next
-		r.datasets[name] = &regEntry{gen: next, info: info}
+		r.datasets[name] = &regEntry{gen: next, info: info, cost: cost}
 		return nil
 	}
 	r.gen = next
-	r.datasets[name] = &regEntry{gen: next, info: info, d: d, snap: snap}
+	r.datasets[name] = &regEntry{gen: next, info: info, d: d, snap: snap, cost: cost}
 	return nil
 }
 
@@ -137,7 +148,7 @@ func (r *Registry) Entry(name string) (d *farmer.Dataset, snap *farmer.Snapshot,
 	e, ok := r.datasets[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, nil, 0, fmt.Errorf("unknown dataset %q", name)
+		return nil, nil, 0, fmt.Errorf("%w %q", ErrUnknownDataset, name)
 	}
 	if e.d != nil {
 		return e.d, e.snap, e.gen, nil
@@ -147,6 +158,29 @@ func (r *Registry) Entry(name string) (d *farmer.Dataset, snap *farmer.Snapshot,
 		return nil, nil, 0, fmt.Errorf("dataset %q: %w", name, err)
 	}
 	return snap.Dataset(), snap, gen, nil
+}
+
+// CostModelFor returns the admission-control cost model for name,
+// computing and memoizing it from d (the dataset Entry just returned) when
+// the entry was registered cold from the store. A concurrent double
+// computation is benign: the models are identical and one wins.
+func (r *Registry) CostModelFor(name string, d *farmer.Dataset) *CostModel {
+	r.mu.RLock()
+	e, ok := r.datasets[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if e.cost != nil {
+		return e.cost
+	}
+	cost := newCostModel(d)
+	r.mu.Lock()
+	if cur, ok := r.datasets[name]; ok && cur == e && cur.cost == nil {
+		cur.cost = cost
+	}
+	r.mu.Unlock()
+	return cost
 }
 
 // Info returns the registered dataset's shape without forcing a snapshot

@@ -508,7 +508,7 @@ func TestRequestValidation(t *testing.T) {
 	if code := post(serve.JobSpec{Miner: "nope", Dataset: "paper"}); code != http.StatusBadRequest {
 		t.Errorf("unknown miner: status %d", code)
 	}
-	if code := post(serve.JobSpec{Miner: "farmer", Dataset: "nope"}); code != http.StatusBadRequest {
+	if code := post(serve.JobSpec{Miner: "farmer", Dataset: "nope"}); code != http.StatusNotFound {
 		t.Errorf("unknown dataset: status %d", code)
 	}
 	if code := post(serve.JobSpec{Miner: "farmer", Dataset: "paper", Class: "nope"}); code != http.StatusBadRequest {

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// QuerySpec is the one versioned request body shared by POST /v1/query and
+// POST /v1/jobs: which miner to run, on which registered dataset, with
+// which parameters. Fields a miner does not use are ignored; unknown
+// fields are rejected at decode time so a misspelled option can never be
+// silently dropped. The wire format is version 1; a future incompatible
+// revision will be mounted under /v2 rather than mutating these fields.
+type QuerySpec struct {
+	// Miner is one of "farmer", "topk", "charm", "closet", "columne",
+	// "carpenter", "cobbler".
+	Miner string `json:"miner"`
+	// Dataset names a dataset previously registered with the service.
+	Dataset string `json:"dataset"`
+	// Class is the consequent class name for the class-aware miners
+	// (farmer, topk, columne); empty selects class 0.
+	Class string `json:"class,omitempty"`
+
+	MinSup  int     `json:"minsup,omitempty"`
+	MinConf float64 `json:"minconf,omitempty"`
+	MinChi  float64 `json:"minchi,omitempty"`
+	// LowerBounds asks the FARMER miner to recover each group's lower
+	// bounds.
+	LowerBounds bool `json:"lower_bounds,omitempty"`
+
+	// K and Measure configure the "topk" miner.
+	K       int    `json:"k,omitempty"`
+	Measure string `json:"measure,omitempty"`
+
+	// Workers selects the FARMER parallel scheduler (negative =
+	// GOMAXPROCS); 0 runs sequentially with live streaming.
+	Workers int `json:"workers,omitempty"`
+
+	// TimeoutMS bounds the job's run time; 0 means no deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JobSpec is the historical name of QuerySpec, kept as an alias so library
+// callers (the cluster coordinator's RunnerBuilder, tests) compile
+// unchanged.
+type JobSpec = QuerySpec
+
+// decodeSpec parses a request body into spec, rejecting unknown fields.
+func decodeSpec(r *http.Request, spec *QuerySpec) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return fmt.Errorf("bad job spec: %w", err)
+	}
+	return nil
+}

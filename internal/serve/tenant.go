@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TenantConfig is one tenant's entry in the keys file: its identity, API
+// key, scheduling weight, and limits. Zero-valued limits mean unlimited —
+// an open deployment is just an anonymous tenant with everything zero.
+type TenantConfig struct {
+	// Name identifies the tenant in job statuses, metrics and audit logs.
+	Name string `json:"name"`
+	// Key is the API key presented as "Authorization: Bearer <key>" (or
+	// "X-API-Key: <key>"). Empty only for the anonymous tenant.
+	Key string `json:"key,omitempty"`
+	// Weight is the tenant's share in the fair scheduler's weighted
+	// round-robin (default 1).
+	Weight int `json:"weight,omitempty"`
+	// RatePerSec and Burst parameterize the request token bucket;
+	// RatePerSec 0 disables rate limiting for this tenant.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	Burst      int     `json:"burst,omitempty"`
+	// MaxInflight caps the tenant's queued+running jobs; 0 = unlimited.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// MaxCost is the admission-control budget: a job whose predicted
+	// enumeration cost (see CostModel) exceeds it is rejected with 403
+	// admission_rejected. 0 = unlimited.
+	MaxCost float64 `json:"max_cost,omitempty"`
+}
+
+// KeysFile is the on-disk tenant configuration (-keys flag), hot-reloaded
+// on SIGHUP. When Anonymous is nil, requests without a valid key are
+// rejected; when the whole file is absent the service runs open (a single
+// unlimited anonymous tenant).
+type KeysFile struct {
+	Tenants []TenantConfig `json:"tenants"`
+	// Anonymous, when present, admits requests carrying no API key under
+	// the given limits (its Key field is ignored).
+	Anonymous *TenantConfig `json:"anonymous,omitempty"`
+}
+
+// TenantAcct is a tenant's rolled-up resource accounting, maintained with
+// atomics so the scheduler and the metrics scrape never contend.
+type TenantAcct struct {
+	// Jobs counts runs finished on this tenant's behalf (any terminal
+	// state); RowsExpanded, ArenaBytes, RunNS and QueueNS accumulate the
+	// per-job engine.Stats resource figures and wall times.
+	Jobs         atomic.Int64
+	RowsExpanded atomic.Int64
+	ArenaBytes   atomic.Int64
+	RunNS        atomic.Int64
+	QueueNS      atomic.Int64
+	// RateLimited / QuotaRejected / AdmissionRejected count requests
+	// refused before reaching the queue.
+	RateLimited       atomic.Int64
+	QuotaRejected     atomic.Int64
+	AdmissionRejected atomic.Int64
+}
+
+// Tenant is one authenticated principal: its live config, token bucket,
+// accounting, and scheduler state. The struct's identity is stable across
+// key rotations — Reload updates cfg in place for tenants whose Name
+// persists, so bucket level, accounting and queued jobs survive a SIGHUP.
+type Tenant struct {
+	// Acct is the tenant's resource roll-up (atomics; read by /metrics).
+	Acct TenantAcct
+
+	mu  sync.Mutex
+	cfg TenantConfig
+	// Token bucket (lazy refill): tokens is the current level, refilled
+	// from lastRefill at cfg.RatePerSec up to cfg.Burst.
+	tokens     float64
+	lastRefill time.Time
+
+	// inflight is the tenant's queued+running job count, guarded by the
+	// manager's mutex (not mu): it changes only under scheduler
+	// transitions.
+	inflight int
+}
+
+// Name returns the tenant's identity.
+func (t *Tenant) Name() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg.Name
+}
+
+// Config returns a snapshot of the tenant's current limits.
+func (t *Tenant) Config() TenantConfig {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cfg
+}
+
+// weight returns the WRR share (>= 1).
+func (t *Tenant) weight() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Weight < 1 {
+		return 1
+	}
+	return t.cfg.Weight
+}
+
+// Allow takes one token from the tenant's bucket. When the bucket is
+// empty it reports false and how long until a token accrues. A tenant
+// with RatePerSec 0 is never limited.
+func (t *Tenant) Allow(now time.Time) (bool, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rate := t.cfg.RatePerSec
+	if rate <= 0 {
+		return true, 0
+	}
+	burst := float64(t.cfg.Burst)
+	if burst < 1 {
+		burst = 1
+	}
+	if t.lastRefill.IsZero() {
+		t.tokens = burst
+	} else if dt := now.Sub(t.lastRefill).Seconds(); dt > 0 {
+		t.tokens += dt * rate
+		if t.tokens > burst {
+			t.tokens = burst
+		}
+	}
+	t.lastRefill = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - t.tokens) / rate * float64(time.Second))
+	return false, wait
+}
+
+// setConfig installs a new config without disturbing bucket or accounting
+// state (the bucket level is clamped to the new burst on next Allow).
+func (t *Tenant) setConfig(cfg TenantConfig) {
+	t.mu.Lock()
+	t.cfg = cfg
+	t.mu.Unlock()
+}
+
+// AnonymousTenant is the identity requests resolve to when no keys file is
+// configured (open deployment) or when the keys file admits keyless
+// requests.
+const AnonymousTenant = "anonymous"
+
+// Tenants is the authentication registry: API key -> Tenant, rebuilt by
+// Reload on SIGHUP while preserving Tenant identity by name so limiter
+// state, accounting, and queued jobs survive a rotation.
+type Tenants struct {
+	mu     sync.RWMutex
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	anon   *Tenant // nil = keyless requests rejected
+	// open marks the no-keys-file deployment: every request is the
+	// unlimited anonymous tenant and auth headers are ignored.
+	open bool
+}
+
+// NewTenants returns an open registry: a single unlimited anonymous
+// tenant, no keys required — the zero-configuration deployment every
+// existing test and the default farmerd invocation run under.
+func NewTenants() *Tenants {
+	anon := &Tenant{cfg: TenantConfig{Name: AnonymousTenant}}
+	return &Tenants{
+		byKey:  map[string]*Tenant{},
+		byName: map[string]*Tenant{AnonymousTenant: anon},
+		anon:   anon,
+		open:   true,
+	}
+}
+
+// NewTenantsFromConfig returns a registry enforcing the given keys file.
+func NewTenantsFromConfig(cfg KeysFile) (*Tenants, error) {
+	t := &Tenants{byKey: map[string]*Tenant{}, byName: map[string]*Tenant{}}
+	if err := t.apply(cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseKeysFile decodes a keys file, rejecting unknown fields.
+func ParseKeysFile(data []byte) (KeysFile, error) {
+	var cfg KeysFile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return KeysFile{}, fmt.Errorf("keys file: %w", err)
+	}
+	return cfg, nil
+}
+
+// Reload swaps in a new keys file atomically: tenants whose Name persists
+// keep their Tenant struct (bucket level, accounting, inflight jobs);
+// removed tenants' keys stop resolving immediately. Invalid configs leave
+// the registry untouched.
+func (t *Tenants) Reload(cfg KeysFile) error {
+	return t.apply(cfg)
+}
+
+func (t *Tenants) apply(cfg KeysFile) error {
+	seenName := map[string]bool{}
+	seenKey := map[string]bool{}
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return fmt.Errorf("keys file: tenant with empty name")
+		}
+		if tc.Key == "" {
+			return fmt.Errorf("keys file: tenant %q has no key", tc.Name)
+		}
+		if seenName[tc.Name] {
+			return fmt.Errorf("keys file: duplicate tenant name %q", tc.Name)
+		}
+		if seenKey[tc.Key] {
+			return fmt.Errorf("keys file: duplicate key (tenant %q)", tc.Name)
+		}
+		seenName[tc.Name] = true
+		seenKey[tc.Key] = true
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newByKey := make(map[string]*Tenant, len(cfg.Tenants))
+	newByName := make(map[string]*Tenant, len(cfg.Tenants)+1)
+	for _, tc := range cfg.Tenants {
+		tn := t.byName[tc.Name]
+		if tn == nil {
+			tn = &Tenant{}
+		}
+		tn.setConfig(tc)
+		newByKey[tc.Key] = tn
+		newByName[tc.Name] = tn
+	}
+	var anon *Tenant
+	if cfg.Anonymous != nil {
+		ac := *cfg.Anonymous
+		if ac.Name == "" {
+			ac.Name = AnonymousTenant
+		}
+		ac.Key = ""
+		anon = t.byName[ac.Name]
+		if anon == nil {
+			anon = &Tenant{}
+		}
+		anon.setConfig(ac)
+		newByName[ac.Name] = anon
+	}
+	t.byKey = newByKey
+	t.byName = newByName
+	t.anon = anon
+	t.open = false
+	return nil
+}
+
+// Open reports whether the registry runs without authentication.
+func (t *Tenants) Open() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.open
+}
+
+// Anonymous returns the tenant keyless requests resolve to (nil when such
+// requests are rejected).
+func (t *Tenants) Anonymous() *Tenant {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.anon
+}
+
+// Lookup resolves an API key.
+func (t *Tenants) Lookup(key string) (*Tenant, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tn, ok := t.byKey[key]
+	return tn, ok
+}
+
+// ByName resolves a tenant by identity (for metrics and job filters).
+func (t *Tenants) ByName(name string) (*Tenant, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tn, ok := t.byName[name]
+	return tn, ok
+}
+
+// All returns the live tenants sorted order-independently (the metrics
+// scrape sorts names itself).
+func (t *Tenants) All() []*Tenant {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Tenant, 0, len(t.byName))
+	for _, tn := range t.byName {
+		out = append(out, tn)
+	}
+	return out
+}
+
+// Authenticate resolves the request's tenant from its Authorization
+// bearer token or X-API-Key header. In an open registry every request is
+// anonymous and headers are ignored. A missing key resolves to the
+// anonymous tenant when one is configured; otherwise, and for
+// unrecognized keys, Authenticate returns nil.
+func (t *Tenants) Authenticate(r *http.Request) *Tenant {
+	t.mu.RLock()
+	open, anon := t.open, t.anon
+	t.mu.RUnlock()
+	if open {
+		return anon
+	}
+	key := apiKey(r)
+	if key == "" {
+		return anon // nil when anonymous access is not configured
+	}
+	tn, ok := t.Lookup(key)
+	if !ok {
+		return nil
+	}
+	return tn
+}
+
+// apiKey extracts the presented API key without allocating.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		const prefix = "Bearer "
+		if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+			return strings.TrimSpace(auth[len(prefix):])
+		}
+		return ""
+	}
+	return r.Header.Get("X-API-Key")
+}

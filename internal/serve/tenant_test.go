@@ -1,0 +1,618 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	farmer "repro"
+	"repro/internal/serve"
+)
+
+// keyedService boots a service enforcing the given keys file, with an
+// optional fake runner builder (nil keeps real mining).
+func keyedService(t *testing.T, cfg serve.KeysFile, workers, depth int, builder serve.RunnerBuilder) (*httptest.Server, *serve.Manager) {
+	t.Helper()
+	reg := serve.NewRegistry()
+	mgr := serve.NewManager(reg, workers, depth, 0)
+	tenants, err := serve.NewTenantsFromConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetTenants(tenants)
+	if builder != nil {
+		mgr.SetRunnerBuilder(builder)
+	}
+	ts := httptest.NewServer(serve.NewServer(mgr))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("manager shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	return ts, mgr
+}
+
+// doKeyed performs one request with an optional API key and returns the
+// response (caller closes the body).
+func doKeyed(t *testing.T, method, url, key, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// statusKeyed fetches a job status under an API key.
+func statusKeyed(t *testing.T, baseURL, key, id string) serve.JobStatus {
+	t.Helper()
+	resp := doKeyed(t, http.MethodGet, baseURL+"/v1/jobs/"+id, key, "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitStateKeyed polls a job status under an API key until pred accepts it.
+func waitStateKeyed(t *testing.T, baseURL, key, id string, pred func(serve.JobStatus) bool) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st := statusKeyed(t, baseURL, key, id)
+		if pred(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s: timed out, last %+v", id, statusKeyed(t, baseURL, key, id))
+	return serve.JobStatus{}
+}
+
+// errBody is the structured error envelope every refusal must carry.
+type errBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// submitKeyed posts a job spec under key and returns the HTTP status, the
+// decoded error envelope (zero on success) and the job status (zero on
+// refusal).
+func submitKeyed(t *testing.T, baseURL, key string, spec serve.QuerySpec) (int, errBody, serve.JobStatus) {
+	t.Helper()
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := doKeyed(t, http.MethodPost, baseURL+"/v1/jobs", key, string(buf))
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusAccepted {
+		var st serve.JobStatus
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("job status: %v: %s", err, raw)
+		}
+		return resp.StatusCode, errBody{}, st
+	}
+	var eb errBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Code == "" {
+		t.Fatalf("refusal without structured code: status %d, body %s", resp.StatusCode, raw)
+	}
+	if resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode == http.StatusServiceUnavailable && eb.Code == "queue_full") {
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%d %s refusal without Retry-After", resp.StatusCode, eb.Code)
+		}
+	}
+	return resp.StatusCode, eb, serve.JobStatus{}
+}
+
+// instantBuilder returns a RunnerBuilder whose runners finish immediately,
+// reporting each run's spec MinSup on order (the WRR pick sequence), except
+// specs with MinSup == plugSup, which block until gate closes.
+const plugSup = 999
+
+func instantBuilder(order chan int, gate chan struct{}) serve.RunnerBuilder {
+	return func(d *farmer.Dataset, snap *farmer.Snapshot, spec serve.JobSpec) (serve.RunnerFunc, error) {
+		ms := spec.MinSup
+		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
+			if ms == plugSup {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				return nil, nil
+			}
+			if order != nil {
+				order <- ms
+			}
+			return nil, nil
+		}, nil
+	}
+}
+
+// TestHTTPSurfaceGolden pins the service's wire contract: the route table
+// and the error-code vocabulary. A diff here is an API change and must be
+// deliberate (update this test and the README together).
+func TestHTTPSurfaceGolden(t *testing.T) {
+	wantRoutes := []string{
+		"GET /healthz",
+		"GET /version",
+		"GET /metrics",
+		"GET /v1/datasets",
+		"PUT /v1/datasets/{name}",
+		"POST /v1/query",
+		"POST /v1/jobs",
+		"GET /v1/jobs",
+		"GET /v1/jobs/{id}",
+		"GET /v1/jobs/{id}/results",
+		"DELETE /v1/jobs/{id}",
+	}
+	gotRoutes := serve.Routes()
+	if len(gotRoutes) != len(wantRoutes) {
+		t.Fatalf("route table: got %d routes %v, want %d", len(gotRoutes), gotRoutes, len(wantRoutes))
+	}
+	for i := range wantRoutes {
+		if gotRoutes[i] != wantRoutes[i] {
+			t.Errorf("route %d: got %q, want %q", i, gotRoutes[i], wantRoutes[i])
+		}
+	}
+
+	wantCodes := []string{
+		"admission_rejected",
+		"bad_request",
+		"dataset_not_found",
+		"draining",
+		"internal_error",
+		"job_not_found",
+		"method_not_allowed",
+		"not_found",
+		"queue_full",
+		"quota_exceeded",
+		"rate_limited",
+		"unauthorized",
+	}
+	gotCodes := serve.ErrorCodes()
+	if len(gotCodes) != len(wantCodes) {
+		t.Fatalf("error codes: got %v, want %v", gotCodes, wantCodes)
+	}
+	for i := range wantCodes {
+		if gotCodes[i] != wantCodes[i] {
+			t.Errorf("code %d: got %q, want %q", i, gotCodes[i], wantCodes[i])
+		}
+	}
+}
+
+// TestAuthMatrix covers the authentication decisions: missing key, bad
+// key, valid key, exempt paths, rate limiting, and a key rotation while a
+// job is in flight (the tenant's identity and accounting must survive).
+func TestAuthMatrix(t *testing.T) {
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	release := func() { gateOnce.Do(func() { close(gate) }) }
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "alice", Key: "ka-v1"},
+		{Name: "ratty", Key: "kr", RatePerSec: 0.0001, Burst: 1},
+	}}
+	ts, mgr := keyedService(t, cfg, 1, 16, instantBuilder(nil, gate))
+	defer release()
+
+	// Exempt paths need no key.
+	for _, path := range []string{"/healthz", "/version", "/metrics"} {
+		resp := doKeyed(t, http.MethodGet, ts.URL+path, "", "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s without key: %d", path, resp.StatusCode)
+		}
+	}
+
+	// Missing and unrecognized keys are 401 unauthorized with the
+	// structured envelope.
+	for _, key := range []string{"", "wrong"} {
+		resp := doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs", key, "")
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("key %q: status %d, want 401", key, resp.StatusCode)
+		}
+		var eb errBody
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Code != "unauthorized" {
+			t.Fatalf("key %q: body %s, want code unauthorized", key, raw)
+		}
+	}
+
+	// Valid key: dataset registration and a blocked in-flight submission.
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "ka-v1", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT with valid key: %d", resp.StatusCode)
+	}
+	code, _, st := submitKeyed(t, ts.URL, "ka-v1", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: plugSup})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with valid key: %d", code)
+	}
+	if st.Tenant != "alice" {
+		t.Fatalf("job tenant %q, want alice", st.Tenant)
+	}
+
+	// The X-API-Key header is an accepted alternative to Bearer.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs", nil)
+	req.Header.Set("X-API-Key", "ka-v1")
+	xresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xresp.Body.Close()
+	if xresp.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key request: %d", xresp.StatusCode)
+	}
+
+	// Rate limit: burst 1 admits one request, the next is 429 rate_limited
+	// with Retry-After.
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs", "kr", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ratty request: %d", resp.StatusCode)
+	}
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs", "kr", "")
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second ratty request: %d, want 429", resp.StatusCode)
+	}
+	var eb errBody
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Code != "rate_limited" {
+		t.Fatalf("rate limit body %s, want code rate_limited", raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("rate limit response without Retry-After")
+	}
+
+	// Rotate alice's key while her job is still running: the old key stops
+	// resolving, the new one works, and the job (and its accounting) stays
+	// hers.
+	if err := mgr.Tenants().Reload(serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "alice", Key: "ka-v2"},
+		{Name: "ratty", Key: "kr", RatePerSec: 0.0001, Burst: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs", "ka-v1", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("old key after rotation: %d, want 401", resp.StatusCode)
+	}
+	resp = doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID, "ka-v2", "")
+	var mid serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&mid); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || mid.Tenant != "alice" {
+		t.Fatalf("status via rotated key: %d, tenant %q", resp.StatusCode, mid.Tenant)
+	}
+
+	// Release the plug; alice's accounting must credit the run to the
+	// same tenant identity that survived the rotation.
+	release()
+	deadline := time.Now().Add(10 * time.Second)
+	aliceT, ok := mgr.Tenants().ByName("alice")
+	if !ok {
+		t.Fatal("alice missing after rotation")
+	}
+	for aliceT.Acct.Jobs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("alice's job never credited after rotation")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQuotaAndAdmission covers the two submission-time refusals: the
+// in-flight quota (429 quota_exceeded, retryable) and the predicted-cost
+// budget (403 admission_rejected, not retryable).
+func TestQuotaAndAdmission(t *testing.T) {
+	gate := make(chan struct{})
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "bob", Key: "kb", MaxInflight: 1},
+		{Name: "carol", Key: "kc", MaxCost: 10},
+	}}
+	ts, _ := keyedService(t, cfg, 1, 16, instantBuilder(nil, gate))
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "kb", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	// Quota: bob's single slot is taken by a blocked job; the second
+	// distinct submission is refused, and a slot frees on completion.
+	code, _, st := submitKeyed(t, ts.URL, "kb", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: plugSup})
+	if code != http.StatusAccepted {
+		t.Fatalf("bob's first job: %d", code)
+	}
+	code, eb, _ := submitKeyed(t, ts.URL, "kb", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 7})
+	if code != http.StatusTooManyRequests || eb.Code != "quota_exceeded" {
+		t.Fatalf("over-quota: status %d code %q, want 429 quota_exceeded", code, eb.Code)
+	}
+	close(gate)
+	waitStateKeyed(t, ts.URL, "kb", st.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	code, _, _ = submitKeyed(t, ts.URL, "kb", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 7})
+	if code != http.StatusAccepted {
+		t.Fatalf("bob after slot freed: %d", code)
+	}
+
+	// Admission: the paper dataset has 5 rows, so a farmer run at
+	// minsup=1 predicts 2^5 = 32 nodes — over carol's budget of 10 —
+	// while minsup=4 predicts 2^2 = 4 and is admitted.
+	code, eb, _ = submitKeyed(t, ts.URL, "kc", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 1})
+	if code != http.StatusForbidden || eb.Code != "admission_rejected" {
+		t.Fatalf("over-budget: status %d code %q, want 403 admission_rejected", code, eb.Code)
+	}
+	code, _, _ = submitKeyed(t, ts.URL, "kc", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 4})
+	if code != http.StatusAccepted {
+		t.Fatalf("under-budget: %d", code)
+	}
+}
+
+// waitOrder drains n picks from order or fails after a deadline.
+func waitOrder(t *testing.T, order chan int, n int) []int {
+	t.Helper()
+	picks := make([]int, 0, n)
+	deadline := time.After(15 * time.Second)
+	for len(picks) < n {
+		select {
+		case ms := <-order:
+			picks = append(picks, ms)
+		case <-deadline:
+			t.Fatalf("scheduler stalled: %d of %d picks, order %v", len(picks), n, picks)
+		}
+	}
+	return picks
+}
+
+// TestFairSchedulingAlternates is the fairness stress: one tenant floods
+// the queue, a second tenant submits afterwards, and the weighted
+// round-robin must interleave them one-for-one (equal weights) instead of
+// draining the flood first. Runs under -race in CI.
+func TestFairSchedulingAlternates(t *testing.T) {
+	order := make(chan int, 64)
+	gate := make(chan struct{})
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "greedy", Key: "kg"},
+		{Name: "polite", Key: "kp"},
+	}}
+	ts, _ := keyedService(t, cfg, 1, 64, instantBuilder(order, gate))
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "kg", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	// Plug the single worker so every later submission queues behind it.
+	_, _, plug := submitKeyed(t, ts.URL, "kg", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: plugSup})
+
+	var ids []string
+	for i := 0; i < 10; i++ { // greedy floods first
+		code, _, st := submitKeyed(t, ts.URL, "kg", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 100 + i})
+		if code != http.StatusAccepted {
+			t.Fatalf("greedy job %d: %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+	for i := 0; i < 5; i++ { // polite arrives second
+		code, _, st := submitKeyed(t, ts.URL, "kp", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 200 + i})
+		if code != http.StatusAccepted {
+			t.Fatalf("polite job %d: %d", i, code)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// With the plug still holding the only worker, every submission above
+	// is waiting — the status split must show queue time and no run time.
+	time.Sleep(20 * time.Millisecond)
+	queuedSt := statusKeyed(t, ts.URL, "kg", ids[len(ids)-1])
+	if queuedSt.State != serve.StateQueued || queuedSt.QueueMS < 10 {
+		t.Errorf("queued job wait split: %+v", queuedSt)
+	}
+	close(gate)
+
+	picks := waitOrder(t, order, 15)
+	// While both queues hold work the scheduler must alternate; greedy's
+	// tail drains after polite empties. Greedy submitted first, so each
+	// round starts with greedy on the tie-break.
+	want := []int{100, 200, 101, 201, 102, 202, 103, 203, 104, 204, 105, 106, 107, 108, 109}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("pick order %v, want %v (diverges at %d)", picks, want, i)
+		}
+	}
+
+	// Every job terminates, and the status wire form separates queue wait
+	// from run time: queued-behind-the-plug jobs carry a queue wait, and
+	// the plug itself carries its (gated) run time.
+	for _, id := range ids {
+		st := waitStateKeyed(t, ts.URL, "kg", id, func(s serve.JobStatus) bool { return s.State.Terminal() })
+		if st.State != serve.StateDone {
+			t.Fatalf("job %s: state %s", id, st.State)
+		}
+	}
+	last := waitStateKeyed(t, ts.URL, "kg", ids[len(ids)-1], func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	if last.QueueMS < 10 {
+		t.Errorf("finished job lost its queue wait: %+v", last)
+	}
+	// The plug spent its life running (gated), not queued: its run time
+	// covers the 20ms the gate stayed shut.
+	plugFinal := waitStateKeyed(t, ts.URL, "kg", plug.ID, func(s serve.JobStatus) bool { return s.State == serve.StateDone })
+	if plugFinal.RunMS < 10 || plugFinal.StartedAt == "" || plugFinal.FinishedAt == "" {
+		t.Errorf("plug job run accounting incomplete: %+v", plugFinal)
+	}
+}
+
+// TestFairSchedulingWeights checks proportional interleaving: weight 3 vs
+// weight 1 gives the heavy tenant three of every four picks, spread out
+// (never a burst of four).
+func TestFairSchedulingWeights(t *testing.T) {
+	order := make(chan int, 64)
+	gate := make(chan struct{})
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "heavy", Key: "kh", Weight: 3},
+		{Name: "light", Key: "kl", Weight: 1},
+	}}
+	ts, _ := keyedService(t, cfg, 1, 64, instantBuilder(order, gate))
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "kh", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	_, _, _ = submitKeyed(t, ts.URL, "kh", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: plugSup})
+	for i := 0; i < 9; i++ {
+		if code, _, _ := submitKeyed(t, ts.URL, "kh", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 100 + i}); code != http.StatusAccepted {
+			t.Fatalf("heavy job %d: %d", i, code)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if code, _, _ := submitKeyed(t, ts.URL, "kl", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 200 + i}); code != http.StatusAccepted {
+			t.Fatalf("light job %d: %d", i, code)
+		}
+	}
+	close(gate)
+
+	picks := waitOrder(t, order, 12)
+	// Smooth WRR at 3:1 yields h,h,l,h per round while both have work.
+	lightAt := []int{}
+	for i, ms := range picks {
+		if ms >= 200 {
+			lightAt = append(lightAt, i)
+		}
+	}
+	if len(lightAt) != 3 {
+		t.Fatalf("light picks %v in %v", lightAt, picks)
+	}
+	// One light pick per full round of four, never two adjacent rounds
+	// skipped: positions 2, 6, 10 exactly.
+	want := []int{2, 6, 10}
+	for i := range want {
+		if lightAt[i] != want[i] {
+			t.Fatalf("light picks at %v, want %v (order %v)", lightAt, want, picks)
+		}
+	}
+}
+
+// TestJobsListFilters covers the GET /v1/jobs query surface: bounded
+// newest-first pages, ?state= and ?tenant= filters, and rejection of
+// malformed parameters.
+func TestJobsListFilters(t *testing.T) {
+	order := make(chan int, 64)
+	gate := make(chan struct{})
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "alice", Key: "ka"},
+		{Name: "bob", Key: "kb"},
+	}}
+	ts, _ := keyedService(t, cfg, 1, 64, instantBuilder(order, gate))
+	close(gate)
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "ka", paperExample)
+	resp.Body.Close()
+
+	var last string
+	for i := 0; i < 4; i++ {
+		_, _, st := submitKeyed(t, ts.URL, "ka", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 100 + i})
+		last = st.ID
+	}
+	_, _, bobJob := submitKeyed(t, ts.URL, "kb", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 300})
+	waitStateKeyed(t, ts.URL, "kb", bobJob.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	waitStateKeyed(t, ts.URL, "ka", last, func(s serve.JobStatus) bool { return s.State.Terminal() })
+
+	list := func(query string) ([]serve.JobStatus, int) {
+		resp := doKeyed(t, http.MethodGet, ts.URL+"/v1/jobs"+query, "ka", "")
+		defer resp.Body.Close()
+		var out []serve.JobStatus
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out, resp.StatusCode
+	}
+
+	all, code := list("")
+	if code != http.StatusOK || len(all) != 5 {
+		t.Fatalf("unfiltered list: status %d, %d jobs", code, len(all))
+	}
+	seq := func(id string) int {
+		n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+		if err != nil {
+			t.Fatalf("job id %q", id)
+		}
+		return n
+	}
+	for i := 1; i < len(all); i++ { // newest first
+		if seq(all[i-1].ID) < seq(all[i].ID) {
+			t.Fatalf("list not newest-first: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+
+	page, _ := list("?limit=2")
+	if len(page) != 2 {
+		t.Fatalf("limit=2 returned %d jobs", len(page))
+	}
+	if page[0].ID != bobJob.ID {
+		t.Fatalf("newest job %s, want %s", page[0].ID, bobJob.ID)
+	}
+
+	bobs, _ := list("?tenant=bob")
+	if len(bobs) != 1 || bobs[0].Tenant != "bob" {
+		t.Fatalf("tenant filter: %+v", bobs)
+	}
+	none, _ := list("?tenant=nobody")
+	if len(none) != 0 {
+		t.Fatalf("unknown tenant matched %d jobs", len(none))
+	}
+	done, _ := list("?state=done")
+	if len(done) != 5 {
+		t.Fatalf("state=done: %d jobs", len(done))
+	}
+	queued, _ := list("?state=queued")
+	if len(queued) != 0 {
+		t.Fatalf("state=queued: %d jobs", len(queued))
+	}
+
+	if _, code := list("?state=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bogus state: %d", code)
+	}
+	if _, code := list("?limit=0"); code != http.StatusBadRequest {
+		t.Fatalf("limit=0: %d", code)
+	}
+	if _, code := list("?limit=x"); code != http.StatusBadRequest {
+		t.Fatalf("limit=x: %d", code)
+	}
+}

@@ -66,7 +66,7 @@ func TestAllErrorResponsesAreJSON(t *testing.T) {
 		{http.MethodDelete, "/v1/datasets/mini", "", http.StatusMethodNotAllowed},
 		{http.MethodGet, "/v1/jobs/job-999", "", http.StatusNotFound},
 		{http.MethodPost, "/v1/jobs", "{not json", http.StatusBadRequest},
-		{http.MethodPost, "/v1/jobs", `{"miner":"nope","dataset":"x"}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"miner":"nope","dataset":"x"}`, http.StatusNotFound},
 	} {
 		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
 		if err != nil {
