@@ -81,6 +81,16 @@ bench-serve-compare:
 	$(GO) run ./cmd/benchjson -serve -datasets $(BENCH_SERVE_DATASETS) -o /tmp/bench_serve_new.json
 	$(GO) run ./cmd/benchjson -compare -metric allocs,bytes -match '^ServeWarm/' -threshold $(BENCH_THRESHOLD) BENCH_serve.json /tmp/bench_serve_new.json
 
+# Anytime-tier quality harness: top-k recall/regret of best-first, leap
+# and sample against the exhausted exact miner under node and wall-clock
+# budgets, written as BENCH_quality.json. Fails unless best-first at the
+# 10% budget keeps >= 0.9 mean recall (both budget dimensions locally; CI
+# gates the deterministic node dimension and archives the file).
+BENCH_QUALITY_DATASETS ?= BC,LC,CT,PC
+BENCH_QUALITY_GATE ?= both
+bench-quality:
+	$(GO) run ./cmd/benchjson -quality -quality-gate $(BENCH_QUALITY_GATE) -datasets $(BENCH_QUALITY_DATASETS) -o BENCH_quality.json
+
 # Cluster smoke: coordinator + two worker daemons as real processes over
 # one shared store dir, FARMER and CHARM mined distributed and diffed
 # byte-for-byte against a standalone daemon, one worker SIGKILLed mid-job.

@@ -9,8 +9,19 @@
 //
 // -serve instead measures the farmerd request path end to end over
 // httptest (submit + stream NDJSON): a cold service that mines every
-// request versus a warm one replaying its result cache. CI archives the
-// output as BENCH_serve.json.
+// request versus a warm one replaying its result cache, plus a budgeted
+// anytime top-k query (max_millis) that mines up to its deadline on every
+// request. CI archives the output as BENCH_serve.json.
+//
+// -quality runs the anytime-tier quality harness instead of timing
+// benchmarks: every (strategy, budget fraction) cell over the bench
+// datasets scored against the exhausted exact top-k miner, under node
+// budgets (deterministic) and wall-clock budgets (the serving-facing
+// number). The run fails unless best-first at the 10% budget keeps at
+// least 0.9 mean recall in the dimensions selected by -quality-gate
+// (both by default; CI gates only the machine-independent node dimension
+// and treats wall clock as reporting). CI runs this via
+// `make bench-quality` and archives BENCH_quality.json.
 package main
 
 import (
@@ -35,6 +46,8 @@ import (
 	farmer "repro"
 	"repro/internal/bitset"
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/difftest"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/synth"
@@ -357,7 +370,14 @@ func (q *queryClient) do() (int, error) {
 // one-round-trip query endpoint: ServeCold runs against a service with
 // caching disabled (every request mines), ServeWarm against one whose
 // cache was primed with the same request (every request replays the
-// pre-encoded body zero-copy). Both go through real HTTP.
+// pre-encoded body zero-copy). ServeBudget drives the anytime tier: a
+// deadline-bounded top-k query mined on every request — ns/op sits near
+// the max_millis budget plus request overhead where the deadline binds,
+// and near the exhaust time where the search finishes first. It runs
+// cache-off like ServeCold: partial answers never enter the cache anyway
+// (the serve suite asserts that), but a small dataset can complete inside
+// the budget, and a cached clean run would turn the row into a replay
+// measurement. All three go through real HTTP.
 func runServe(datasets []string) ([]Row, error) {
 	var rows []Row
 	for _, name := range datasets {
@@ -370,14 +390,19 @@ func runServe(datasets []string) ([]Row, error) {
 			return nil, fmt.Errorf("generate %s: %w", name, err)
 		}
 		minsup := midMinsup(d)
-		job := serve.JobSpec{Miner: "farmer", Dataset: name, MinSup: minsup}
+		exactJob := serve.JobSpec{Miner: "farmer", Dataset: name, MinSup: minsup}
+		// A low support floor keeps the top-k search space large enough
+		// that the 25ms deadline binds on every bench dataset.
+		budgetJob := serve.JobSpec{Miner: "topk", Dataset: name, MinSup: 2, K: 20, Measure: "chi2", MaxMillis: 25}
 
 		for _, mode := range []struct {
 			rowName    string
 			cacheBytes int64
+			job        serve.JobSpec
 		}{
-			{"ServeCold", 0},
-			{"ServeWarm", serve.DefaultCacheBytes},
+			{"ServeCold", 0, exactJob},
+			{"ServeWarm", serve.DefaultCacheBytes, exactJob},
+			{"ServeBudget", 0, budgetJob},
 		} {
 			reg := serve.NewRegistry()
 			if err := reg.Put(name, d); err != nil {
@@ -389,7 +414,7 @@ func runServe(datasets []string) ([]Row, error) {
 				ts.Close()
 				mgr.Shutdown(context.Background())
 			}
-			qc, err := newQueryClient(ts.URL, job)
+			qc, err := newQueryClient(ts.URL, mode.job)
 			if err != nil {
 				shutdown()
 				return nil, fmt.Errorf("%s/%s: %w", mode.rowName, name, err)
@@ -415,15 +440,109 @@ func runServe(datasets []string) ([]Row, error) {
 			rows = append(rows, Row{
 				Name:        mode.rowName,
 				Dataset:     name,
-				MinSup:      minsup,
+				MinSup:      mode.job.MinSup,
 				Iterations:  res.N,
 				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 				AllocsPerOp: res.AllocsPerOp(),
 				BytesPerOp:  res.AllocedBytesPerOp(),
 			})
 			fmt.Fprintf(os.Stderr, "%-12s %-4s minsup=%-3d %12.0f ns/op %8d allocs/op %10d B/op\n",
-				mode.rowName, name, minsup,
+				mode.rowName, name, mode.job.MinSup,
 				rows[len(rows)-1].NsPerOp, rows[len(rows)-1].AllocsPerOp, rows[len(rows)-1].BytesPerOp)
+		}
+	}
+	return rows, nil
+}
+
+// qualityFracs are the budget fractions the quality sweep grades;
+// qualityGateFrac is the serving target the run gates: at a tenth of the
+// exact miner's budget, best-first must keep qualityGateRecall of the
+// true top-k on average across the bench datasets.
+var qualityFracs = []float64{0.05, 0.10, 0.25, 1.0}
+
+const (
+	qualityGateFrac   = 0.10
+	qualityGateRecall = 0.9
+)
+
+// qualityCases pins each bench dataset's query shape to a point where the
+// 10% budget is non-degenerate: the exact search is tens of thousands of
+// nodes (so a 10% slice holds a real search, not the root layer) and the
+// consequent/k pick a ranking the budgeted search can meaningfully chase.
+// LC mines class 1 — its class 0 has too few rows to support any search —
+// and PC keeps 30 groups, because its exact top-20 ends inside a tied
+// plateau whose members sit structurally late in bound order.
+var qualityCases = map[string]struct {
+	consequent, k, minsup int
+}{
+	"BC": {0, 20, 2},
+	"LC": {1, 10, 3},
+	"CT": {0, 20, 4},
+	"PC": {0, 30, 2},
+}
+
+// runQuality grades the anytime top-k tier over the bench datasets with
+// the difftest quality harness: every (strategy, budget fraction) cell
+// scored against the exhausted exact miner, once under node budgets
+// (deterministic, machine-independent) and once under wall-clock budgets
+// (what a max_millis caller experiences). Both dimensions mine from a
+// prepared snapshot, as the serving tier does. gate selects which budget
+// dimensions fail the run when best-first at the gate fraction falls
+// below the recall floor: CI smoke-gates "nodes" (bit-stable on any
+// machine), while the committed report is generated under "both".
+func runQuality(datasets []string, gate string) ([]difftest.QualityRow, error) {
+	var rows []difftest.QualityRow
+	for _, name := range datasets {
+		spec, ok := synth.BenchSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("no bench spec %q", name)
+		}
+		d, err := spec.GenerateDiscrete(10)
+		if err != nil {
+			return nil, fmt.Errorf("generate %s: %w", name, err)
+		}
+		snap, err := farmer.Prepare(d)
+		if err != nil {
+			return nil, fmt.Errorf("prepare %s: %w", name, err)
+		}
+		c, ok := qualityCases[name]
+		if !ok {
+			c.consequent, c.k, c.minsup = 0, 20, midMinsup(d)
+		}
+		q := difftest.QualitySpec{
+			Name: name, D: d, Consequent: c.consequent, K: c.k, MinSup: c.minsup,
+			Measure:    core.MeasureChi2,
+			Strategies: []core.Strategy{core.StrategyBestFirst, core.StrategyLeap, core.StrategySample},
+			Fracs:      qualityFracs,
+			Prepared:   snap,
+			Reps:       3,
+			SampleSeed: 7,
+		}
+		for _, wallClock := range []bool{false, true} {
+			q.WallClock = wallClock
+			got, err := difftest.RunQuality(q)
+			if err != nil {
+				return nil, fmt.Errorf("quality %s: %w", name, err)
+			}
+			for _, r := range got {
+				fmt.Fprintf(os.Stderr, "%-10s %-4s %-6s frac=%.2f recall=%.3f regret=%.3f nodes=%d/%d\n",
+					r.Strategy, r.Dataset, r.BudgetKind, r.BudgetFrac, r.Recall, r.Regret, r.NodesExpanded, r.ExactNodes)
+			}
+			rows = append(rows, got...)
+		}
+	}
+	for _, kind := range []string{"nodes", "millis"} {
+		mean := difftest.MeanRecall(rows, func(r difftest.QualityRow) bool {
+			return r.Strategy == "best_first" && r.BudgetKind == kind && r.BudgetFrac == qualityGateFrac
+		})
+		fmt.Fprintf(os.Stderr, "best_first mean recall at the %.0f%% %s budget: %.3f\n",
+			100*qualityGateFrac, kind, mean)
+		if gate != "both" && gate != kind {
+			continue
+		}
+		if mean < qualityGateRecall {
+			return nil, fmt.Errorf("best_first mean recall %.3f at the %.0f%% %s budget, want >= %.2f",
+				mean, 100*qualityGateFrac, kind, qualityGateRecall)
 		}
 	}
 	return rows, nil
@@ -634,7 +753,9 @@ func compare(oldPath, newPath string, frac float64, metric string, match *regexp
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file")
 	datasets := flag.String("datasets", "BC,LC,CT,PC,ALL", "comma-separated bench dataset names")
-	doServe := flag.Bool("serve", false, "measure the farmerd request path (cold vs warm cache) instead of the core miners")
+	doServe := flag.Bool("serve", false, "measure the farmerd request path (cold vs warm cache, plus a budgeted anytime query) instead of the core miners")
+	doQuality := flag.Bool("quality", false, "run the anytime-tier quality harness (top-k recall/regret vs budget) instead of timing benchmarks")
+	qualityGate := flag.String("quality-gate", "both", "with -quality, which budget dimensions fail the run below the recall floor: both, nodes (deterministic, what CI gates) or millis")
 	doCluster := flag.Bool("cluster", false, "also measure distributed mining (single-node vs 2 local cluster workers)")
 	doCompare := flag.Bool("compare", false, "compare two measurement files: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.30, "with -compare, fail when a gated metric grew by more than this fraction")
@@ -668,6 +789,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.0f%% threshold\n", 100**threshold)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *doQuality {
+		switch *qualityGate {
+		case "both", "nodes", "millis":
+		default:
+			fmt.Fprintln(os.Stderr, "benchjson: -quality-gate must be both, nodes or millis")
+			os.Exit(2)
+		}
+		rows, err := runQuality(strings.Split(*datasets, ","), *qualityGate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d measurements)\n", *out, len(rows))
 		return
 	}
 

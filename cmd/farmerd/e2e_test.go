@@ -180,7 +180,12 @@ func readStream(t *testing.T, baseURL, id string) []string {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return lines
+	// Strip (and require) the end-frame trailer so callers compare result
+	// records only.
+	if len(lines) == 0 || !strings.HasPrefix(lines[len(lines)-1], `{"end":true`) {
+		t.Fatalf("stream missing end frame, got %d lines", len(lines))
+	}
+	return lines[:len(lines)-1]
 }
 
 func names(d *farmer.Dataset, items []farmer.Item) []string {

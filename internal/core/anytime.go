@@ -1,0 +1,1101 @@
+package core
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Strategy selects how TopK explores the row-enumeration lattice.
+type Strategy int
+
+const (
+	// StrategyExact is the depth-first branch-and-bound miner: exhaustive,
+	// arena-unwound, and Counters-identical run to run. It is the zero
+	// value, so existing callers keep the exact semantics untouched.
+	StrategyExact Strategy = iota
+	// StrategyBestFirst expands frontier nodes in descending order of
+	// their convex upper bound, so the top-k heap is valid best-so-far at
+	// every instant and the certified optimality gap (best outstanding
+	// bound minus the k-th score) shrinks monotonically. Exhausted, it
+	// returns exactly the exact miner's answer.
+	StrategyBestFirst
+	// StrategyLeap is the sLeap-style relaxed pruner: a subtree is cut as
+	// soon as its bound cannot improve the current k-th score by more than
+	// the factor Delta, trading a certified (1+Delta)-bounded gap for a
+	// much smaller search.
+	StrategyLeap
+	// StrategySample abandons systematic search for seeded, bound-weighted
+	// random walks down the row lattice, admitting every closed group the
+	// walks touch. It needs a node or wall-clock budget and certifies no
+	// gap.
+	StrategySample
+)
+
+// String returns the strategy's canonical name, as accepted by
+// ParseStrategy and the service's "quality" knob.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBestFirst:
+		return "best_first"
+	case StrategyLeap:
+		return "leap"
+	case StrategySample:
+		return "sample"
+	default:
+		return "exact"
+	}
+}
+
+// ParseStrategy maps a canonical strategy name back to its Strategy; the
+// empty string parses as StrategyExact.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "exact", "":
+		return StrategyExact, nil
+	case "best_first":
+		return StrategyBestFirst, nil
+	case "leap":
+		return StrategyLeap, nil
+	case "sample":
+		return StrategySample, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q (want exact, best_first, leap or sample)", name)
+}
+
+// anytimeTask is one unexpanded node of the frontier search. Unlike the
+// depth-first walk — whose conditional tables live on the arena and die on
+// unwind — a frontier task outlives its parent's expansion arbitrarily, so
+// everything it references must survive off the arena. Tasks are lazy: a
+// child enqueued by expand carries only its parent's cleaned conditional
+// table (ptuples, heap-retained and shared by all siblings) and the branch
+// row to descend to; its own table is derived at pop time as suffix views
+// into the shared storage. A task pruned at pop — the common fate once the
+// admission threshold rises — therefore costs nothing beyond its struct.
+// Root tasks are built eagerly: their row lists are views into the
+// transposed table's global lists, which are immutable for the run.
+type anytimeTask struct {
+	// bound is the convex vertex bound computed from the node's identified
+	// counts at enqueue time: a sound upper bound on every score in the
+	// subtree (the Lemma 3.9 parallelogram only shrinks downward), and the
+	// best-first priority.
+	bound float64
+	// seq is the enqueue sequence number: the heap's tie-break, so a
+	// sequential run pops equal-bound tasks in a deterministic order.
+	seq uint64
+
+	// tuples is the node's materialized conditional table (roots only);
+	// nil marks a lazy task, whose table is derived from ptuples at pop.
+	tuples []tuple
+	// ptuples is the parent's cleaned conditional table, shared by every
+	// sibling. A chain of absorption-free descents shares storage all the
+	// way back to the transposed table's global lists.
+	ptuples []tuple
+	// row is the explicitly chosen row this task descends to — the lazy
+	// materialization key, the back-scan anchor (chosen rows only grow
+	// down a path), and the last element of the node's path.
+	row int32
+	// basePath is the parent's full path (chosen + absorbed rows), shared
+	// by every sibling; the node's own path is basePath plus row.
+	basePath []int32
+	supp     int // identified positive rows (chosen + absorbed on the path)
+	supn     int // identified negative rows
+	epCount  int // positive enumeration candidates remaining
+}
+
+// searchRow is an inlined binary search for the first index with
+// rows[i] >= r — sort.Search without the closure dispatch, which shows up
+// at profile scale when every pop runs one search per parent tuple.
+func searchRow(rows []int32, r int32) int {
+	lo, hi := 0, len(rows)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if rows[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// materializeChild derives the conditional table of the child reached by
+// descending from a parent table to row r: every parent tuple whose rows
+// contain r keeps the suffix after r, as views into the parent's storage —
+// no row copying, the parent table is immutable and heap-retained by the
+// task that references it.
+func materializeChild(parent []tuple, r int32) []tuple {
+	out := make([]tuple, 0, len(parent))
+	for i := range parent {
+		rows := parent[i].Rows
+		k := searchRow(rows, r)
+		if k < len(rows) && rows[k] == r {
+			out = append(out, tuple{Item: parent[i].Item, Rows: rows[k+1:]})
+		}
+	}
+	return out
+}
+
+// taskHeap is a max-heap on bound. Shallow nodes tie at near-maximal
+// bounds in droves (the vertex bound is loosest there), so ties prefer the
+// task with more identified rows — deeper in the lattice, closer to real
+// scores, and with a tighter effective bound — before falling back to
+// enqueue order, which keeps sequential runs deterministic.
+type taskHeap []*anytimeTask
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	if di, dj := h[i].supp+h[i].supn, h[j].supp+h[j].supn; di != dj {
+		return di > dj
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(*anytimeTask)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return x
+}
+
+// canonWorse is the canonical total order on candidate groups: a ranks
+// strictly below b when its score is lower, then when its support is
+// lower, then when its antecedent is lexicographically larger. Admission
+// under this order — never under score alone — is what makes the anytime
+// answer independent of expansion order and worker count: the kept set is
+// exactly the k maximal elements of the enumerated candidates.
+func canonWorse(a, b *scoredEntry) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	if a.supPos != b.supPos {
+		return a.supPos < b.supPos
+	}
+	return lessItems(b.items, a.items)
+}
+
+// canonHeap is a min-heap under canonWorse: the root is the evictable
+// worst of the kept k.
+type canonHeap []scoredEntry
+
+func (h canonHeap) Len() int           { return len(h) }
+func (h canonHeap) Less(i, j int) bool { return canonWorse(&h[i], &h[j]) }
+func (h canonHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *canonHeap) Push(x any)        { *h = append(*h, x.(scoredEntry)) }
+func (h *canonHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// anytimeSearch is the shared state of one anytime run: the frontier, the
+// canonical top-k heap, and the stop/gap bookkeeping. Workers hold mu for
+// every heap access and for admission; node expansion itself (the scan)
+// runs outside the lock on per-worker scratch.
+type anytimeSearch struct {
+	opt     TopKOptions
+	k       int
+	minsup  int
+	n       int
+	numPos  int
+	delta   float64
+	measure Measure
+	// boundTab and valueTab memoize the measure over its whole domain —
+	// the identified counts (supp, supn) range over [0, numPos] × [0,
+	// n-numPos], a few thousand cells even at paper scale — so the
+	// per-child bound evaluation in the expansion hot loop is one indexed
+	// load instead of a convex-corner evaluation. Values are bit-identical
+	// to calling the measure directly (the same routine fills the table).
+	boundTab []float64
+	valueTab []float64
+	negWidth int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	frontier taskHeap
+	best     canonHeap
+	seq      uint64
+	active   int
+	inFlight []float64 // per-worker bound of the task being expanded
+	stopped  bool
+	stopErr  error // context cancellation, propagated; budget stops stay nil
+	// unfinished records the bounds of tasks whose expansion was cut off
+	// by the budget: their subtrees are unexplored, so they stay part of
+	// the gap certificate.
+	unfinished []float64
+	// maxPruned is the largest bound among delta-pruned subtrees — the
+	// leap strategy's contribution to the gap certificate.
+	maxPruned float64
+	anyPruned bool
+	// dedup, for the sampler only, maps an admitted group's antecedent key
+	// to struct{}: random walks rediscover the same closed group freely,
+	// and without back-scan pruning the heap-not-full phase would admit it
+	// twice.
+	dedup map[string]struct{}
+
+	sharedNodes atomic.Int64
+}
+
+// fillTables computes the memoized bound and value of every reachable
+// (supp, supn) pair.
+func (s *anytimeSearch) fillTables() {
+	nneg := s.n - s.numPos
+	s.negWidth = nneg + 1
+	s.boundTab = make([]float64, (s.numPos+1)*s.negWidth)
+	s.valueTab = make([]float64, (s.numPos+1)*s.negWidth)
+	for supp := 0; supp <= s.numPos; supp++ {
+		for supn := 0; supn <= nneg; supn++ {
+			i := supp*s.negWidth + supn
+			s.boundTab[i] = s.measure.bound(supp+supn, supp, s.n, s.numPos)
+			s.valueTab[i] = s.measure.value(supp+supn, supp, s.n, s.numPos)
+		}
+	}
+}
+
+func (s *anytimeSearch) boundAt(supp, supn int) float64 {
+	return s.boundTab[supp*s.negWidth+supn]
+}
+
+func (s *anytimeSearch) valueAt(supp, supn int) float64 {
+	return s.valueTab[supp*s.negWidth+supn]
+}
+
+// pruneBoundLocked decides whether a subtree with the given bound is cut
+// against the current k-th score. The comparison is strict — a bound equal
+// to the k-th score survives — so every candidate tied at the final
+// threshold is enumerated and the canonical admission order alone decides
+// the kept set, independent of expansion schedule. With delta > 0 the
+// threshold is inflated to kth*(1+delta) (sLeap), and the cut's bound is
+// recorded for the gap certificate. Callers hold mu.
+func (s *anytimeSearch) pruneBoundLocked(bound float64, ex *engine.Exec) bool {
+	if len(s.best) < s.k {
+		return false
+	}
+	kth := s.best[0].score
+	if bound < kth {
+		ex.Stats.PrunedGainBound++
+		return true
+	}
+	if s.delta > 0 && bound < kth*(1+s.delta) {
+		ex.Stats.PrunedGainBound++
+		s.anyPruned = true
+		if bound > s.maxPruned {
+			s.maxPruned = bound
+		}
+		return true
+	}
+	return false
+}
+
+// admitLocked offers one scored candidate to the top-k heap under the
+// canonical order. rows is the node's closed row set (cloned on
+// admission). Callers hold mu.
+func (s *anytimeSearch) admitLocked(ex *engine.Exec, m *miner, items []dataset.Item, score float64, supp, supn int) {
+	cand := scoredEntry{score: score}
+	cand.supPos = supp
+	cand.tot = supp + supn
+	cand.items = items
+	if len(s.best) == s.k && !canonWorse(&s.best[0], &cand) {
+		return
+	}
+	if s.dedup != nil {
+		key := itemsKey(items)
+		if _, seen := s.dedup[key]; seen {
+			return
+		}
+		s.dedup[key] = struct{}{}
+	}
+	cand.rows = m.sc.InX.Clone()
+	heap.Push(&s.best, cand)
+	if len(s.best) > s.k {
+		heap.Pop(&s.best)
+	}
+	ex.Stats.GroupsEmitted++
+}
+
+// itemsKey renders a sorted antecedent as a map key for the sampler's
+// admission dedup.
+func itemsKey(items []dataset.Item) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16))
+	}
+	return string(b)
+}
+
+// enqueueLocked pushes a task unless its bound is already prunable.
+// Callers hold mu.
+func (s *anytimeSearch) enqueueLocked(t *anytimeTask, ex *engine.Exec) {
+	if s.pruneBoundLocked(t.bound, ex) {
+		return
+	}
+	s.seq++
+	t.seq = s.seq
+	heap.Push(&s.frontier, t)
+	s.cond.Signal()
+}
+
+// expand runs steps 1–6 of the conditional-table node for task t on worker
+// m: lazy-task materialization, back scan, support bounds, scan/absorption,
+// admission of the node's own group, and enqueueing of its children as lazy
+// frontier tasks. It is the unit of budget accounting: one EnterNode per
+// call, so a budget stop truncates the search within one expansion.
+//
+// The highest-bound surviving child is returned instead of enqueued: the
+// worker expands it immediately (a greedy dive). Bounds only shrink down a
+// path, so the dive reaches the deep, high-scoring groups of a promising
+// subtree within one frontier pop — filling the top-k heap with real
+// scores long before breadth-first frontier order would, which raises the
+// admission threshold and prunes the shallow frontier wholesale. The dive
+// changes only expansion order, never the certificate: siblings all reach
+// the frontier, and a dive cut short by the budget is covered by the
+// popped ancestor's recorded bound.
+func (s *anytimeSearch) expand(m *miner, t *anytimeTask) (*anytimeTask, error) {
+	if err := m.ex.EnterNode(); err != nil {
+		return nil, err
+	}
+	tuples := t.tuples
+	if tuples == nil {
+		tuples = materializeChild(t.ptuples, t.row)
+	}
+	if len(tuples) == 0 {
+		return nil, nil
+	}
+	for _, r := range t.basePath {
+		m.sc.InX.Set(int(r))
+	}
+	m.sc.InX.Set(int(t.row))
+	defer func() {
+		for _, r := range t.basePath {
+			m.sc.InX.Clear(int(r))
+		}
+		m.sc.InX.Clear(int(t.row))
+	}()
+	if m.backScanHit(tuples, int(t.row)) {
+		m.ex.Stats.PrunedBackScan++
+		return nil, nil
+	}
+	if t.supp+t.epCount < s.minsup {
+		m.ex.Stats.PrunedLooseBound++
+		return nil, nil
+	}
+
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
+
+	sc := scanNode(m, tuples, t.supp, t.supn)
+	supp, supn := sc.supp, sc.supn
+	if sc.suppIn+sc.maxPos < s.minsup {
+		m.ex.Stats.PrunedTightBound++
+		return nil, nil
+	}
+	bound := s.boundAt(supp, supn)
+
+	s.mu.Lock()
+	if s.pruneBoundLocked(bound, m.ex) {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	s.mu.Unlock()
+
+	for _, r := range sc.yRows {
+		m.sc.InX.Set(int(r))
+	}
+	defer func() {
+		for _, r := range sc.yRows {
+			m.sc.InX.Clear(int(r))
+		}
+	}()
+
+	if supp >= s.minsup {
+		score := s.valueAt(supp, supn)
+		items := make([]dataset.Item, len(tuples))
+		for i, tp := range tuples {
+			items[i] = tp.Item
+		}
+		slices.Sort(items)
+		s.mu.Lock()
+		s.admitLocked(m.ex, m, items, score, supp, supn)
+		s.mu.Unlock()
+	}
+
+	if len(sc.eRows) == 0 {
+		return nil, nil
+	}
+
+	// Children: the same enumeration the exact walk performs, enqueued
+	// lazily. No per-child table is built here — each surviving child
+	// carries a reference to this node's cleaned table plus its branch
+	// row, and derives its own table only if it is actually popped. The
+	// pre-enqueue bound check against a snapshot of the k-th score drops
+	// children that can never be admitted (the threshold only rises),
+	// exactly as pruneBoundLocked would at enqueue; delta-relaxed cuts
+	// are not taken early, since they must be recorded under the lock for
+	// the gap certificate.
+	eRows := sc.eRows
+	nch := len(eRows)
+	posBoundary := searchRow(eRows, int32(s.numPos))
+
+	s.mu.Lock()
+	kth := math.Inf(-1)
+	if len(s.best) == s.k {
+		kth = s.best[0].score
+	}
+	s.mu.Unlock()
+
+	taskSlab := make([]anytimeTask, 0, nch)
+	for p, r := range eRows {
+		ca, cb := supp, supn
+		childEp := 0
+		if int(r) < s.numPos {
+			ca++
+			childEp = posBoundary - p - 1
+		} else {
+			cb++
+		}
+		if ca+childEp < s.minsup {
+			m.ex.Stats.PrunedLooseBound++
+			continue
+		}
+		b := s.boundAt(ca, cb)
+		if b < kth {
+			m.ex.Stats.PrunedGainBound++
+			continue
+		}
+		taskSlab = append(taskSlab, anytimeTask{
+			bound:   b,
+			row:     r,
+			supp:    ca,
+			supn:    cb,
+			epCount: childEp,
+		})
+	}
+	if len(taskSlab) == 0 {
+		return nil, nil
+	}
+
+	// The children's shared parent table must outlive this expansion's
+	// arena mark. When absorption shrank the lists, the cleaned table is
+	// copied off the arena once, for all siblings together; otherwise the
+	// node's own table — already heap-held (or a view into the transposed
+	// table's global lists) — is shared as is, copying nothing.
+	childBase := tuples
+	if len(sc.yRows) > 0 {
+		total := 0
+		for i := range sc.cleaned {
+			total += len(sc.cleaned[i])
+		}
+		backing := make([]int32, total)
+		childBase = make([]tuple, len(sc.cleaned))
+		w := 0
+		for i := range sc.cleaned {
+			n := copy(backing[w:], sc.cleaned[i])
+			childBase[i] = tuple{Item: tuples[i].Item, Rows: backing[w : w+n : w+n]}
+			w += n
+		}
+	}
+
+	basePath := make([]int32, 0, len(t.basePath)+1+len(sc.yRows))
+	basePath = append(basePath, t.basePath...)
+	basePath = append(basePath, t.row)
+	basePath = append(basePath, sc.yRows...)
+	for i := range taskSlab {
+		taskSlab[i].ptuples = childBase
+		taskSlab[i].basePath = basePath
+	}
+	// The highest-bound child continues the dive; its siblings join the
+	// frontier in one locked batch.
+	dive := 0
+	for i := 1; i < len(taskSlab); i++ {
+		if taskSlab[i].bound > taskSlab[dive].bound {
+			dive = i
+		}
+	}
+	s.mu.Lock()
+	for i := range taskSlab {
+		if i != dive {
+			s.enqueueLocked(&taskSlab[i], m.ex)
+		}
+	}
+	s.mu.Unlock()
+	return &taskSlab[dive], nil
+}
+
+// nodeScan is the outcome of scanNode: steps 3–5 of the conditional-table
+// expansion (occurrence counts, U/Y classification, absorption, cleaned
+// candidate lists), shared by the best-first expansion and the sampler's
+// walk steps. Everything it references lives on the worker's arena inside
+// the caller's mark.
+type nodeScan struct {
+	eRows, yRows []int32
+	cleaned      [][]int32
+	supp, supn   int // identified counts after Y absorption
+	suppIn       int // pre-absorption positive count, for the Us1 bound
+	maxPos       int // per-tuple positive-candidate maximum
+}
+
+func scanNode(m *miner, tuples []tuple, supp, supn int) nodeScan {
+	ep := m.sc.NextEpoch()
+	cnt, stamp := m.sc.Cnt, m.sc.Stamp
+	ntup := int32(len(tuples))
+	maxPosInTuple := 0
+	distinct := 0
+	for _, tp := range tuples {
+		if len(tp.Rows) == 0 {
+			continue
+		}
+		if pos := searchRow(tp.Rows, int32(m.numPos)); pos > maxPosInTuple {
+			maxPosInTuple = pos
+		}
+		for _, r := range tp.Rows {
+			if stamp[r] != ep {
+				stamp[r] = ep
+				cnt[r] = 0
+				distinct++
+			}
+			cnt[r]++
+		}
+	}
+	union := m.sc.A.I32.Alloc(distinct)
+	ne, ny := 0, 0
+	yPos, yNeg := 0, 0
+	for _, tp := range tuples {
+		for _, r := range tp.Rows {
+			if stamp[r] != ep || cnt[r] < 0 {
+				continue
+			}
+			if cnt[r] == ntup {
+				ny++
+				union[distinct-ny] = r
+				if int(r) < m.numPos {
+					yPos++
+				} else {
+					yNeg++
+				}
+			} else {
+				union[ne] = r
+				ne++
+			}
+			cnt[r] = -1
+		}
+	}
+	eRows, yRows := union[:ne], union[ne:]
+	slices.Sort(eRows)
+
+	cleaned := m.sc.A.Rows.Alloc(len(tuples))
+	if len(yRows) == 0 {
+		for i := range tuples {
+			cleaned[i] = tuples[i].Rows
+		}
+	} else {
+		slices.Sort(yRows)
+		total := 0
+		for i := range tuples {
+			total += len(tuples[i].Rows) - len(yRows) // Y is in every tuple
+		}
+		backing := m.sc.A.I32.Alloc(total)
+		w := 0
+		for i := range tuples {
+			start := w
+			yi := 0
+			for _, r := range tuples[i].Rows {
+				for yi < len(yRows) && yRows[yi] < r {
+					yi++
+				}
+				if yi < len(yRows) && yRows[yi] == r {
+					continue
+				}
+				backing[w] = r
+				w++
+			}
+			cleaned[i] = backing[start:w:w]
+		}
+	}
+	return nodeScan{
+		eRows:   eRows,
+		yRows:   yRows,
+		cleaned: cleaned,
+		supp:    supp + yPos,
+		supn:    supn + yNeg,
+		suppIn:  supp,
+		maxPos:  maxPosInTuple,
+	}
+}
+
+// worker drains the frontier until it is empty (with no expansion in
+// flight) or the search stops — budget exhaustion, cancellation, or an
+// expansion error. The pop-time bound recheck matters: the k-th score may
+// have risen since a task was enqueued. Each pop starts a greedy dive:
+// the worker keeps expanding the best child inline until the chain dies
+// out or its bound falls below the admission threshold, so one pop
+// reaches leaf depth instead of one level.
+func (s *anytimeSearch) worker(w int, m *miner) {
+	s.mu.Lock()
+	for {
+		if s.stopped {
+			break
+		}
+		if len(s.frontier) == 0 {
+			if s.active == 0 {
+				s.stopped = true
+				s.cond.Broadcast()
+				break
+			}
+			s.cond.Wait()
+			continue
+		}
+		t := heap.Pop(&s.frontier).(*anytimeTask)
+		if s.pruneBoundLocked(t.bound, m.ex) {
+			continue
+		}
+		s.active++
+		s.inFlight[w] = t.bound
+		s.mu.Unlock()
+
+		var err error
+		for {
+			var next *anytimeTask
+			next, err = s.expand(m, t)
+			if err != nil || next == nil {
+				break
+			}
+			s.mu.Lock()
+			if s.stopped {
+				// Keep the unexpanded chain visible to the gap
+				// certificate: back to the frontier it goes.
+				s.enqueueLocked(next, m.ex)
+				s.mu.Unlock()
+				break
+			}
+			if s.pruneBoundLocked(next.bound, m.ex) {
+				s.mu.Unlock()
+				break
+			}
+			s.inFlight[w] = next.bound
+			s.mu.Unlock()
+			t = next
+		}
+
+		s.mu.Lock()
+		s.active--
+		s.inFlight[w] = math.Inf(-1)
+		if err != nil {
+			s.unfinished = append(s.unfinished, t.bound)
+			if !s.stopped {
+				s.stopped = true
+				if !errors.Is(err, engine.ErrBudgetExceeded) {
+					s.stopErr = err
+				}
+				s.cond.Broadcast()
+			}
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// outstandingLocked returns the largest upper bound over everything the
+// stopped search did not finish: queued frontier tasks, expansions cut off
+// mid-node, and delta-pruned subtrees. Callers hold mu (or own the search
+// exclusively).
+func (s *anytimeSearch) outstandingLocked() (float64, bool) {
+	maxOut := math.Inf(-1)
+	any := false
+	for _, t := range s.frontier {
+		any = true
+		if t.bound > maxOut {
+			maxOut = t.bound
+		}
+	}
+	for _, b := range s.unfinished {
+		any = true
+		if b > maxOut {
+			maxOut = b
+		}
+	}
+	if s.anyPruned {
+		any = true
+		if s.maxPruned > maxOut {
+			maxOut = s.maxPruned
+		}
+	}
+	return maxOut, any
+}
+
+// topKAnytime is the budgeted/approximate TopK engine behind the
+// non-exact strategies.
+func topKAnytime(ctx context.Context, d *dataset.Dataset, consequent int, opt TopKOptions, strat Strategy) (*TopKResult, error) {
+	if opt.Delta < 0 {
+		return nil, fmt.Errorf("core: delta must be >= 0, got %g", opt.Delta)
+	}
+	if strat == StrategySample && opt.MaxMillis <= 0 && opt.MaxNodes <= 0 {
+		return nil, fmt.Errorf("core: the sample strategy needs a max_millis or max_nodes budget")
+	}
+	var deadline time.Time
+	if opt.MaxMillis > 0 {
+		// The deadline covers the whole run, setup included: max_millis is
+		// a promise to the caller, not to the search phase.
+		deadline = time.Now().Add(time.Duration(opt.MaxMillis) * time.Millisecond)
+	}
+
+	ex := engine.NewExec(ctx)
+	setupDone := engine.Phase(&ex.Stats.Timings.Setup)
+	ordered, ord, tt, err := resolveView(d, consequent, opt.Prepared, ex)
+	if err != nil {
+		return nil, err
+	}
+	if tt == nil {
+		tt = dataset.Transpose(ordered)
+	}
+	setupDone()
+
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if strat == StrategySample {
+		workers = 1 // the walk sequence is the reproducibility contract
+	}
+
+	s := &anytimeSearch{
+		opt:       opt,
+		k:         opt.K,
+		minsup:    opt.MinSup,
+		n:         len(ordered.Rows),
+		numPos:    ord.NumPositive,
+		measure:   opt.Measure,
+		inFlight:  make([]float64, workers),
+		maxPruned: math.Inf(-1),
+	}
+	s.fillTables()
+	if strat == StrategyLeap {
+		s.delta = opt.Delta
+	}
+	if strat == StrategySample {
+		s.dedup = make(map[string]struct{})
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range s.inFlight {
+		s.inFlight[i] = math.Inf(-1)
+	}
+
+	miners := make([]*miner, workers)
+	for w := 0; w < workers; w++ {
+		exw := engine.NewExec(ctx)
+		var shared *atomic.Int64
+		if workers > 1 && opt.MaxNodes > 0 {
+			shared = &s.sharedNodes
+		}
+		exw.SetBudget(deadline, opt.MaxNodes, shared)
+		miners[w] = newMiner(ordered, ord.NumPositive, Options{MinSup: opt.MinSup}, exw, tt)
+	}
+
+	searchDone := engine.Phase(&ex.Stats.Timings.Search)
+	if s.n > 0 && s.numPos > 0 {
+		if strat == StrategySample {
+			s.sample(miners[0], opt.Seed)
+		} else {
+			s.seedRoots(miners[0], ordered, tt)
+			if workers == 1 {
+				s.worker(0, miners[0])
+			} else {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						s.worker(w, miners[w])
+					}(w)
+				}
+				wg.Wait()
+			}
+		}
+	}
+	searchDone()
+
+	var nodes int64
+	for _, m := range miners {
+		ex.Stats.Counters.Add(m.ex.Stats.Counters)
+		ex.Stats.ArenaBytes += m.sc.Bytes()
+		nodes += m.ex.Stats.NodesVisited
+	}
+
+	res := &TopKResult{NodesExpanded: nodes}
+	res.Groups = materializeTopK(s.best, ord, s.n, s.numPos)
+
+	if strat == StrategySample {
+		// A sampler's answer carries no certificate: it is partial unless
+		// it provably enumerated nothing… which it cannot prove.
+		res.Partial = true
+	} else {
+		maxOut, any := s.outstandingLocked()
+		kth := 0.0
+		full := len(s.best) == s.k
+		if full {
+			kth = s.best[0].score
+		}
+		res.HasGap = true
+		if any && (maxOut > kth || !full) {
+			res.Partial = true
+			if gap := maxOut - kth; gap > 0 {
+				res.Gap = gap
+			}
+		}
+	}
+	res.stats = ex.Stats
+	return res, s.stopErr
+}
+
+// seedRoots enqueues one task per root row {ri}, in ORD order. Root tuple
+// rows are views into the transposed table's global lists (immutable for
+// the run), so roots cost no copies.
+func (s *anytimeSearch) seedRoots(m *miner, ordered *dataset.Dataset, tt *dataset.Transposed) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ri := 0; ri < s.n; ri++ {
+		row := &ordered.Rows[ri]
+		tuples := make([]tuple, len(row.Items))
+		for i, it := range row.Items {
+			list := tt.Lists[it]
+			k := sort.Search(len(list), func(j int) bool { return list[j] > int32(ri) })
+			tuples[i] = tuple{Item: it, Rows: list[k:]}
+		}
+		supp, supn := 0, 0
+		if ri < s.numPos {
+			supp = 1
+		} else {
+			supn = 1
+		}
+		epCount := s.numPos - ri - 1
+		if epCount < 0 {
+			epCount = 0
+		}
+		s.seq++
+		heap.Push(&s.frontier, &anytimeTask{
+			bound:   s.boundAt(supp, supn),
+			seq:     s.seq,
+			tuples:  tuples,
+			row:     int32(ri),
+			supp:    supp,
+			supn:    supn,
+			epCount: epCount,
+		})
+	}
+}
+
+// materializeTopK converts the kept heap into the public ranking: best
+// first under the canonical order, row ids mapped back to the caller's
+// original order.
+func materializeTopK(best canonHeap, ord *dataset.Ordering, n, numPos int) []ScoredGroup {
+	out := make([]ScoredGroup, len(best))
+	for i := range best {
+		e := &best[i]
+		g := ScoredGroup{Score: e.score}
+		g.Antecedent = e.items
+		g.SupPos = e.supPos
+		g.SupNeg = e.tot - e.supPos
+		g.Confidence = float64(e.supPos) / float64(e.tot)
+		g.Chi = stats.Chi2(e.tot, e.supPos, n, numPos)
+		g.Rows = ord.MapRowsToOriginal(e.rows.Ints())
+		sort.Ints(g.Rows)
+		out[i] = g
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		if out[a].SupPos != out[b].SupPos {
+			return out[a].SupPos > out[b].SupPos
+		}
+		return lessItems(out[a].Antecedent, out[b].Antecedent)
+	})
+	return out
+}
+
+// sample runs seeded random walks down the row lattice until the budget
+// stops it: at each step the walk descends to a child chosen with
+// probability proportional to the child's convex bound, admitting every
+// closed group with enough support along the way. No back scan runs — the
+// same group may be reached by many walks — so admission dedups instead.
+func (s *anytimeSearch) sample(m *miner, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		if err := s.sampleWalk(m, rng); err != nil {
+			if !errors.Is(err, engine.ErrBudgetExceeded) {
+				s.stopErr = err
+			}
+			s.stopped = true
+			return
+		}
+	}
+}
+
+// sampleWalk performs one root-to-leaf walk. The whole walk unwinds one
+// arena mark; InX tracks the walk's row set for closed-row-set cloning at
+// admission.
+func (s *anytimeSearch) sampleWalk(m *miner, rng *rand.Rand) error {
+	ri := rng.Intn(s.n)
+	mark := m.sc.A.Mark()
+	defer m.sc.A.Release(mark)
+
+	var setRows []int32
+	defer func() {
+		for _, r := range setRows {
+			m.sc.InX.Clear(int(r))
+		}
+	}()
+
+	tuples := m.rootTuples(ri)
+	supp, supn := 0, 0
+	if ri < s.numPos {
+		supp = 1
+	} else {
+		supn = 1
+	}
+	epCount := s.numPos - ri - 1
+	if epCount < 0 {
+		epCount = 0
+	}
+	m.sc.InX.Set(ri)
+	setRows = append(setRows, int32(ri))
+
+	for {
+		if err := m.ex.EnterNode(); err != nil {
+			return err
+		}
+		if len(tuples) == 0 {
+			return nil
+		}
+		if supp+epCount < s.minsup {
+			return nil
+		}
+		sc := scanNode(m, tuples, supp, supn)
+		supp, supn = sc.supp, sc.supn
+		for _, r := range sc.yRows {
+			m.sc.InX.Set(int(r))
+			setRows = append(setRows, r)
+		}
+		if supp >= s.minsup {
+			score := s.valueAt(supp, supn)
+			items := make([]dataset.Item, len(tuples))
+			for i, tp := range tuples {
+				items[i] = tp.Item
+			}
+			slices.Sort(items)
+			s.mu.Lock()
+			s.admitLocked(m.ex, m, items, score, supp, supn)
+			s.mu.Unlock()
+		}
+		if len(sc.eRows) == 0 {
+			return nil
+		}
+
+		// Pick the next row among feasible candidates, weighted by the
+		// child bound.
+		posBoundary := sort.Search(len(sc.eRows), func(i int) bool { return sc.eRows[i] >= int32(s.numPos) })
+		totalW := 0.0
+		feasible := 0
+		bounds := make([]float64, len(sc.eRows))
+		for p, r := range sc.eRows {
+			ca, cb := supp, supn
+			childEp := 0
+			if int(r) < s.numPos {
+				ca++
+				childEp = posBoundary - p - 1
+			} else {
+				cb++
+			}
+			if ca+childEp < s.minsup {
+				bounds[p] = -1
+				continue
+			}
+			b := s.boundAt(ca, cb)
+			bounds[p] = b
+			totalW += b
+			feasible++
+		}
+		if feasible == 0 {
+			return nil
+		}
+		pick := -1
+		if totalW <= 0 {
+			// All bounds zero: fall back to a uniform feasible pick.
+			nth := rng.Intn(feasible)
+			for p := range bounds {
+				if bounds[p] < 0 {
+					continue
+				}
+				if nth == 0 {
+					pick = p
+					break
+				}
+				nth--
+			}
+		} else {
+			x := rng.Float64() * totalW
+			for p := range bounds {
+				if bounds[p] < 0 {
+					continue
+				}
+				x -= bounds[p]
+				pick = p
+				if x <= 0 {
+					break
+				}
+			}
+		}
+		r := sc.eRows[pick]
+
+		// Build the chosen child's conditional table on the arena.
+		nt := 0
+		for ti := range sc.cleaned {
+			rows := sc.cleaned[ti]
+			kk := sort.Search(len(rows), func(j int) bool { return rows[j] >= r })
+			if kk < len(rows) && rows[kk] == r {
+				nt++
+			}
+		}
+		child := m.sc.A.Tup.Alloc(nt)
+		w := 0
+		for ti := range sc.cleaned {
+			rows := sc.cleaned[ti]
+			kk := sort.Search(len(rows), func(j int) bool { return rows[j] >= r })
+			if kk < len(rows) && rows[kk] == r {
+				child[w] = tuple{Item: tuples[ti].Item, Rows: rows[kk+1:]}
+				w++
+			}
+		}
+		if int(r) < s.numPos {
+			supp++
+			epCount = posBoundary - pick - 1
+		} else {
+			supn++
+			epCount = 0
+		}
+		m.sc.InX.Set(int(r))
+		setRows = append(setRows, r)
+		tuples = child
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Exhausted best-first search is exactly the exact miner: same groups,
+// same order, no partial flag, zero gap.
+func TestAnytimeExhaustedMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(424344))
+	for iter := 0; iter < 150; iter++ {
+		d := randomDataset(rng)
+		consequent := rng.Intn(2)
+		k := 1 + rng.Intn(4)
+		minsup := 1 + rng.Intn(2)
+		measure := []Measure{MeasureChi2, MeasureEntropyGain, MeasureGiniGain}[rng.Intn(3)]
+
+		exact, err := TopK(context.Background(), d, consequent, TopKOptions{K: k, Measure: measure, MinSup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		any, err := TopK(context.Background(), d, consequent, TopKOptions{
+			K: k, Measure: measure, MinSup: minsup, Strategy: StrategyBestFirst,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if any.Partial {
+			t.Fatalf("iter %d: exhausted best-first flagged partial", iter)
+		}
+		if !any.HasGap || any.Gap != 0 {
+			t.Fatalf("iter %d: exhausted best-first gap %v (has=%v), want certified 0", iter, any.Gap, any.HasGap)
+		}
+		if len(any.Groups) != len(exact.Groups) {
+			t.Fatalf("iter %d: %d groups vs exact %d", iter, len(any.Groups), len(exact.Groups))
+		}
+		for i := range any.Groups {
+			// Per-rank scores must agree exactly. Representatives may
+			// differ where scores tie: the exact walk keeps the first
+			// arrival, the anytime heap the canonically best — both are
+			// valid top-k answers (difftest's CheckTopK documents the
+			// same latitude).
+			if any.Groups[i].Score != exact.Groups[i].Score {
+				t.Fatalf("iter %d rank %d: score %v vs exact %v", iter, i, any.Groups[i].Score, exact.Groups[i].Score)
+			}
+			pos, neg := dataset.SupportCounts(d, any.Groups[i].Antecedent, consequent)
+			if pos != any.Groups[i].SupPos || neg != any.Groups[i].SupNeg {
+				t.Fatalf("iter %d rank %d: group %v stats %d/%d, recomputed %d/%d",
+					iter, i, any.Groups[i].Antecedent, any.Groups[i].SupPos, any.Groups[i].SupNeg, pos, neg)
+			}
+		}
+	}
+}
+
+// The kept set — including which representative wins a score tie — is
+// identical across worker counts: admission under the canonical total
+// order plus strict bound pruning makes the answer order-independent.
+func TestAnytimeWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(515253))
+	for iter := 0; iter < 100; iter++ {
+		d := randomDataset(rng)
+		consequent := rng.Intn(2)
+		k := 1 + rng.Intn(4)
+		measure := []Measure{MeasureChi2, MeasureEntropyGain, MeasureGiniGain}[rng.Intn(3)]
+		var ref *TopKResult
+		for _, workers := range []int{1, 2, 4} {
+			res, err := TopK(context.Background(), d, consequent, TopKOptions{
+				K: k, Measure: measure, MinSup: 1, Strategy: StrategyBestFirst, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res.Groups, ref.Groups) {
+				t.Fatalf("iter %d: workers=%d groups differ from workers=1:\n%+v\nvs\n%+v",
+					iter, workers, res.Groups, ref.Groups)
+			}
+		}
+	}
+}
+
+// A node budget stops the search within one expansion per worker, returns
+// no error, and still reports internally-consistent groups.
+func TestAnytimeNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(626364))
+	lists := make([][]dataset.Item, 40)
+	classes := make([]int, 40)
+	for i := range lists {
+		classes[i] = i % 2
+		for it := 0; it < 20; it++ {
+			if rng.Float64() < 0.5 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, 20, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := TopK(context.Background(), d, 0, TopKOptions{
+		K: 5, MinSup: 2, MaxNodes: 50,
+	})
+	if err != nil {
+		t.Fatalf("budget stop must not be an error, got %v", err)
+	}
+	if res.NodesExpanded > 51 {
+		t.Fatalf("expanded %d nodes with a budget of 50 (one-overshoot allowed)", res.NodesExpanded)
+	}
+	if !res.Partial {
+		t.Fatalf("50-node budget on this dataset should leave the search partial")
+	}
+	if !res.HasGap {
+		t.Fatal("best-first budget stop must certify a gap")
+	}
+	for _, g := range res.Groups {
+		pos, neg := dataset.SupportCounts(d, g.Antecedent, 0)
+		if pos != g.SupPos || neg != g.SupNeg {
+			t.Fatalf("group %v stats %d/%d, recomputed %d/%d", g.Antecedent, g.SupPos, g.SupNeg, pos, neg)
+		}
+	}
+
+	// Parallel workers draw on one shared budget: overshoot is at most one
+	// node per worker.
+	res4, err := TopK(context.Background(), d, 0, TopKOptions{
+		K: 5, MinSup: 2, MaxNodes: 50, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.NodesExpanded > 54 {
+		t.Fatalf("4 workers expanded %d nodes with a budget of 50", res4.NodesExpanded)
+	}
+}
+
+// The gap certificate is sound: no group outside the kept set scores more
+// than kth + Gap, for budget-stopped best-first and for relaxed leap runs.
+func TestAnytimeGapCertificate(t *testing.T) {
+	rng := rand.New(rand.NewSource(737475))
+	for iter := 0; iter < 120; iter++ {
+		d := randomDataset(rng)
+		consequent := rng.Intn(2)
+		k := 1 + rng.Intn(3)
+		measure := []Measure{MeasureChi2, MeasureEntropyGain, MeasureGiniGain}[rng.Intn(3)]
+
+		oracle := topKOracleScores(d, consequent, k, measure, 1)
+
+		for name, opt := range map[string]TopKOptions{
+			"budget": {K: k, Measure: measure, MinSup: 1, Strategy: StrategyBestFirst, MaxNodes: int64(1 + rng.Intn(8))},
+			"leap":   {K: k, Measure: measure, MinSup: 1, Strategy: StrategyLeap, Delta: 0.5 * rng.Float64()},
+		} {
+			res, err := TopK(context.Background(), d, consequent, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.HasGap {
+				t.Fatalf("iter %d %s: no gap certificate", iter, name)
+			}
+			if len(oracle) == 0 {
+				continue
+			}
+			kth := 0.0
+			if len(res.Groups) == k {
+				kth = res.Groups[len(res.Groups)-1].Score
+			}
+			// Certificate: the true k-th best cannot exceed kth + gap.
+			// Only meaningful when a true k-th best exists — with fewer
+			// than k groups in the dataset the claim is vacuous (and the
+			// non-partial exactness check below covers the result).
+			if len(oracle) == k && oracle[len(oracle)-1] > kth+res.Gap+1e-9 {
+				t.Fatalf("iter %d %s: oracle kth %v exceeds certified kth+gap = %v+%v (partial=%v)",
+					iter, name, oracle[len(oracle)-1], kth, res.Gap, res.Partial)
+			}
+			// And a non-partial answer must be exactly right.
+			if !res.Partial {
+				want := oracle
+				if len(res.Groups) != len(want) {
+					t.Fatalf("iter %d %s: complete run kept %d, oracle %d", iter, name, len(res.Groups), len(want))
+				}
+				for i := range res.Groups {
+					if diff := res.Groups[i].Score - want[i]; diff > 1e-9 || diff < -1e-9 {
+						t.Fatalf("iter %d %s rank %d: %v vs oracle %v", iter, name, i, res.Groups[i].Score, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// A wall-clock budget returns promptly — within the budget plus scheduling
+// slack — and without an error.
+func TestAnytimeDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(848586))
+	lists := make([][]dataset.Item, 60)
+	classes := make([]int, 60)
+	for i := range lists {
+		classes[i] = i % 2
+		for it := 0; it < 30; it++ {
+			if rng.Float64() < 0.6 {
+				lists[i] = append(lists[i], dataset.Item(it))
+			}
+		}
+	}
+	d, err := dataset.FromItemLists(lists, classes, 30, []string{"C", "N"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := TopK(context.Background(), d, 0, TopKOptions{K: 10, MinSup: 2, MaxMillis: 30})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline stop must not be an error, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("30ms budget took %v", elapsed)
+	}
+	if res.NodesExpanded == 0 {
+		t.Fatal("no nodes expanded before the deadline")
+	}
+}
+
+// The sampler needs a budget, replays identically under one seed, and
+// reports internally-consistent groups without a certificate.
+func TestAnytimeSampler(t *testing.T) {
+	d := dataset.PaperExample()
+	if _, err := TopK(context.Background(), d, 0, TopKOptions{K: 3, MinSup: 1, Strategy: StrategySample}); err == nil {
+		t.Fatal("unbudgeted sampler accepted")
+	}
+	opt := TopKOptions{K: 3, MinSup: 1, Strategy: StrategySample, MaxNodes: 500, Seed: 7}
+	a, err := TopK(context.Background(), d, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopK(context.Background(), d, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Groups, b.Groups) {
+		t.Fatalf("same seed, different samples:\n%+v\nvs\n%+v", a.Groups, b.Groups)
+	}
+	if !a.Partial || a.HasGap {
+		t.Fatalf("sampler must be partial without a certificate, got partial=%v hasGap=%v", a.Partial, a.HasGap)
+	}
+	for _, g := range a.Groups {
+		pos, neg := dataset.SupportCounts(d, g.Antecedent, 0)
+		if pos != g.SupPos || neg != g.SupNeg {
+			t.Fatalf("group %v stats %d/%d, recomputed %d/%d", g.Antecedent, g.SupPos, g.SupNeg, pos, neg)
+		}
+	}
+	// On the tiny paper example 500 nodes of walking finds the true best
+	// group.
+	exact, err := TopK(context.Background(), d, 0, TopKOptions{K: 3, MinSup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) == 0 || a.Groups[0].Score != exact.Groups[0].Score {
+		t.Fatalf("sampler missed the best group: %v vs %v", a.Groups, exact.Groups)
+	}
+}
+
+// Cancellation (as opposed to a budget stop) still surfaces ctx.Err().
+func TestAnytimeCancellation(t *testing.T) {
+	d := dataset.PaperExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := TopK(ctx, d, 0, TopKOptions{K: 3, MinSup: 1, Strategy: StrategyBestFirst})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res == nil {
+		t.Fatal("cancelled run must still return its best-so-far result")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{StrategyExact, StrategyBestFirst, StrategyLeap, StrategySample} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("round-trip %v: got %v, %v", s, got, err)
+		}
+	}
+	if got, err := ParseStrategy(""); err != nil || got != StrategyExact {
+		t.Fatalf("empty strategy: %v, %v", got, err)
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	if _, err := TopK(context.Background(), dataset.PaperExample(), 0, TopKOptions{K: 1, MinSup: 1, Strategy: StrategyLeap, Delta: -1}); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}

@@ -82,7 +82,9 @@ type ScoredGroup struct {
 }
 
 // TopKOptions configures TopK: the number of groups to keep, the objective
-// measure, and the minimum support.
+// measure, and the minimum support. The zero value of the anytime fields
+// (Strategy, MaxMillis, MaxNodes, Delta, Seed, Workers) selects the exact
+// depth-first miner with unchanged, Counters-identical behavior.
 type TopKOptions struct {
 	// K is the number of best groups to return. Must be ≥ 1.
 	K int
@@ -94,12 +96,53 @@ type TopKOptions struct {
 	// dataset (see Options.Prepared): the run reuses the snapshot's ORD
 	// ordering and transposed table instead of rebuilding them.
 	Prepared *dataset.Snapshot
+
+	// Strategy selects the search mode. StrategyExact (the zero value)
+	// is the exhaustive depth-first miner; setting a budget below while
+	// leaving the strategy exact upgrades it to StrategyBestFirst, since a
+	// budget only makes sense with a best-so-far ordering.
+	Strategy Strategy
+	// MaxMillis bounds the run's wall clock (setup included); 0 means
+	// unbudgeted. A budget-stopped run returns the best groups found with
+	// Partial set and a certified Gap — no error.
+	MaxMillis int64
+	// MaxNodes bounds the number of node expansions; 0 means unbudgeted.
+	MaxNodes int64
+	// Delta is StrategyLeap's relaxation: subtrees whose bound cannot
+	// improve the current k-th score by more than a factor (1+Delta) are
+	// pruned. Ignored by the other strategies.
+	Delta float64
+	// Seed seeds StrategySample's random walks; equal seeds replay equal
+	// walk sequences.
+	Seed int64
+	// Workers is the number of concurrent frontier expanders for the
+	// anytime strategies (negative = GOMAXPROCS, 0/1 = sequential). The
+	// exact strategy ignores it. The exhausted best-first answer is
+	// identical for every worker count.
+	Workers int
 }
 
 // TopKResult carries the ranked groups (best first) and the run's unified
-// statistics.
+// statistics, plus — for the anytime strategies — the quality certificate.
 type TopKResult struct {
 	Groups []ScoredGroup
+
+	// Partial marks an answer not certified to equal the exact top-k: the
+	// budget stopped the search with work outstanding, a leap run pruned a
+	// subtree that could have mattered, or the sampler ran (it never
+	// certifies). An unset Partial on an anytime run is a proof of
+	// exactness.
+	Partial bool
+	// Gap, when HasGap, bounds how far the answer can be from optimal:
+	// no unexplored group can score more than (k-th kept score + Gap).
+	// Zero for complete runs.
+	Gap float64
+	// HasGap reports whether Gap is meaningful (best-first and leap runs;
+	// the sampler certifies nothing).
+	HasGap bool
+	// NodesExpanded counts the enumeration nodes the search entered — the
+	// budget currency, reported for budget-utilization accounting.
+	NodesExpanded int64
 
 	stats engine.Stats
 }
@@ -141,6 +184,16 @@ func TopK(ctx context.Context, d *dataset.Dataset, consequent int, opt TopKOptio
 	}
 	if minsup < 1 {
 		return nil, fmt.Errorf("core: minsup must be >= 1, got %d", minsup)
+	}
+	strat := opt.Strategy
+	if strat == StrategyExact && (opt.MaxMillis > 0 || opt.MaxNodes > 0) {
+		// A budget without a strategy means "the best answer you can find
+		// in time": best-first is the only ordering that makes the
+		// best-so-far heap valid at the stopping instant.
+		strat = StrategyBestFirst
+	}
+	if strat != StrategyExact {
+		return topKAnytime(ctx, d, consequent, opt, strat)
 	}
 	ex := engine.NewExec(ctx)
 	setupDone := engine.Phase(&ex.Stats.Timings.Setup)

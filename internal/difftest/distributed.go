@@ -175,6 +175,7 @@ func (h *DistHarness) localRun(name string, spec serve.JobSpec) ([]byte, engine.
 		return nil, engine.Stats{}, false, err
 	}
 	var buf bytes.Buffer
+	emitted := 0
 	emit := func(v any) error {
 		raw, err := json.Marshal(v)
 		if err != nil {
@@ -182,12 +183,21 @@ func (h *DistHarness) localRun(name string, spec serve.JobSpec) ([]byte, engine.
 		}
 		buf.Write(raw)
 		buf.WriteByte('\n')
+		emitted++
 		return nil
 	}
 	res, err := runner(context.Background(), emit)
 	if err != nil {
 		return nil, engine.Stats{}, false, err
 	}
+	// A served stream closes with the end-frame trailer; render the one a
+	// clean completion would carry so the byte comparison stays exact.
+	frame, err := json.Marshal(serve.EndFrame{End: true, State: serve.StateDone, Emitted: emitted})
+	if err != nil {
+		return nil, engine.Stats{}, false, err
+	}
+	buf.Write(frame)
+	buf.WriteByte('\n')
 	if res == nil {
 		return buf.Bytes(), engine.Stats{}, false, nil
 	}

@@ -12,9 +12,13 @@
 //	    reference.ClosedSets;
 //	(c) carpenter ≡ reference.ClosedSets (with row sets).
 //
-// plus the MineLB and top-k oracles, the streaming contract of
-// core.MineStream (batch-identical delivery and cancelled-prefix,
-// streaming.go) and four metamorphic invariants (metamorphic.go).
+// plus the MineLB and top-k oracles, the anytime tier's determinism
+// contract (quality.go), the streaming contract of core.MineStream
+// (batch-identical delivery and cancelled-prefix, streaming.go) and four
+// metamorphic invariants (metamorphic.go). quality.go also houses the
+// quality harness grading the approximate top-k strategies against the
+// exact miner (recall and score-regret as a function of budget — the
+// BENCH_quality.json report).
 package difftest
 
 import (
@@ -364,6 +368,7 @@ func CheckAll(c Case) error {
 		{"carpenter-equivalence", func() error { return CheckCarpenterEquivalence(c) }},
 		{"minelb-oracle", func() error { return CheckMineLB(c) }},
 		{"topk-oracle", func() error { return CheckTopK(c, 3) }},
+		{"anytime-determinism", func() error { return CheckAnytimeDeterminism(c, 3) }},
 		{"row-permutation", func() error { return CheckRowPermutationInvariance(c) }},
 		{"ord-reordering", func() error { return CheckORDReorderInvariance(c) }},
 		{"replication-scaling", func() error { return CheckReplicationScaling(c, 2) }},

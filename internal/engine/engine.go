@@ -29,10 +29,20 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
 )
+
+// ErrBudgetExceeded is returned by EnterNode once a run's node or deadline
+// budget (SetBudget) is exhausted. It is distinct from context
+// cancellation on purpose: a budget stop is the anytime contract working
+// as intended — the caller keeps the best-so-far result as a successful,
+// partial answer — while ctx.Err() means the caller no longer wants any
+// answer at all.
+var ErrBudgetExceeded = errors.New("engine: node or deadline budget exhausted")
 
 // Counters is the deterministic portion of Stats: pure event counts that
 // depend only on the dataset, the options, and the task decomposition —
@@ -142,6 +152,15 @@ type Exec struct {
 	ctx  context.Context
 	done <-chan struct{}
 	err  error
+
+	// Budget state (SetBudget). budgeted gates the whole check so an
+	// unbudgeted run pays one predictable branch per node and nothing else
+	// — the exact miners' counters and timings are unaffected.
+	budgeted    bool
+	deadline    time.Time
+	maxNodes    int64
+	sharedNodes *atomic.Int64
+	budgetErr   error
 }
 
 // NewExec returns an Exec bound to ctx. A nil ctx behaves like
@@ -155,13 +174,56 @@ func NewExec(ctx context.Context) *Exec {
 	return e
 }
 
-// EnterNode counts one enumeration node and polls cancellation. Miners
-// call it first thing on every node expansion — that is the granularity of
-// the cancellation contract: once the context is cancelled, at most one
-// further node is entered.
+// SetBudget arms the budget check EnterNode performs alongside its
+// cancellation poll: the run stops (ErrBudgetExceeded) once the deadline
+// passes or once more than maxNodes nodes have been entered. A zero
+// deadline or a non-positive maxNodes leaves that dimension unlimited.
+// shared, when non-nil, is the node counter drawn against instead of this
+// Exec's own NodesVisited — how parallel anytime workers split one node
+// budget: each worker's Exec points at the same counter.
+func (e *Exec) SetBudget(deadline time.Time, maxNodes int64, shared *atomic.Int64) {
+	e.deadline = deadline
+	e.maxNodes = maxNodes
+	e.sharedNodes = shared
+	e.budgeted = !deadline.IsZero() || maxNodes > 0
+}
+
+// EnterNode counts one enumeration node, draws on the node/deadline budget
+// when one is set, and polls cancellation. Miners call it first thing on
+// every node expansion — that is the granularity of both contracts: once
+// the context is cancelled or the budget exhausted, at most one further
+// node is entered.
 func (e *Exec) EnterNode() error {
 	e.Stats.NodesVisited++
+	if e.budgeted {
+		if err := e.pollBudget(); err != nil {
+			return err
+		}
+	}
 	return e.Err()
+}
+
+// pollBudget checks the armed budget dimensions, latching the first
+// exhaustion so every subsequent call keeps failing.
+func (e *Exec) pollBudget() error {
+	if e.budgetErr != nil {
+		return e.budgetErr
+	}
+	if e.maxNodes > 0 {
+		n := e.Stats.NodesVisited
+		if e.sharedNodes != nil {
+			n = e.sharedNodes.Add(1)
+		}
+		if n > e.maxNodes {
+			e.budgetErr = ErrBudgetExceeded
+			return e.budgetErr
+		}
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.budgetErr = ErrBudgetExceeded
+		return e.budgetErr
+	}
+	return nil
 }
 
 // Err polls cancellation without counting a node. It returns nil until the

@@ -1,0 +1,331 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// lastFrame splits an NDJSON body into its record lines and the decoded
+// end frame, requiring the trailer to be present and last.
+func lastFrame(t *testing.T, body []byte) ([]string, serve.EndFrame) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, `{"end":true`) {
+		t.Fatalf("body does not end with an end frame, last line %q", last)
+	}
+	var frame serve.EndFrame
+	if err := json.Unmarshal([]byte(last), &frame); err != nil {
+		t.Fatalf("bad end frame %q: %v", last, err)
+	}
+	records := lines[:len(lines)-1]
+	if len(records) == 1 && records[0] == "" {
+		records = nil
+	}
+	return records, frame
+}
+
+// Invalid anytime option combinations are rejected at submission time with
+// 400, never queued.
+func TestAnytimeSpecValidation(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+
+	for _, tc := range []struct {
+		name string
+		spec serve.QuerySpec
+	}{
+		{"budget on non-topk", serve.QuerySpec{Miner: "charm", Dataset: "paper", MinSup: 2, MaxMillis: 5}},
+		{"quality on non-topk", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: 2, Quality: "best_first"}},
+		{"negative max_millis", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, MaxMillis: -1}},
+		{"negative max_nodes", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, MaxNodes: -1}},
+		{"negative delta", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, Quality: "leap", Delta: -0.5, MaxNodes: 10}},
+		{"delta without leap", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, Delta: 0.5, MaxNodes: 10}},
+		{"sample without budget", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, Quality: "sample"}},
+		{"unknown quality", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 2, Quality: "psychic"}},
+	} {
+		resp, body := query(t, ts.URL, tc.spec, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %s), want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
+// The acceptance check for budget adherence: a tight max_millis query over
+// a dataset whose exhaustive mine takes on the order of a second returns
+// within the budget plus one node expansion's slack, flagged partial with
+// stop_reason "budget", a certified gap and a node count — and is never
+// cached, so re-asking mines again.
+func TestBudgetedQueryDeadlineAdherenceAndNoCache(t *testing.T) {
+	ts, _ := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/slow", slowExample())
+	spec := serve.QuerySpec{Miner: "topk", Dataset: "slow", K: 10, MinSup: 1, MaxMillis: 150}
+
+	start := time.Now()
+	resp, body := query(t, ts.URL, spec, nil)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted query: status %d (%s)", resp.StatusCode, body)
+	}
+	// 150ms budget, generous scheduling slack: an unbudgeted run of this
+	// dataset takes far longer than 3s at minsup=1.
+	if elapsed > 3*time.Second {
+		t.Fatalf("budgeted query took %v, budget was 150ms", elapsed)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("budgeted query X-Cache = %q, want MISS", got)
+	}
+	records, frame := lastFrame(t, body)
+	if !frame.Partial || frame.State != serve.StateDone {
+		t.Fatalf("end frame %+v: want partial done", frame)
+	}
+	if frame.StopReason != "budget" {
+		t.Fatalf("stop_reason %q, want budget", frame.StopReason)
+	}
+	if frame.NodesExpanded <= 0 {
+		t.Fatalf("nodes_expanded %d, want > 0", frame.NodesExpanded)
+	}
+	if frame.Gap == nil || *frame.Gap < 0 {
+		t.Fatalf("gap %v, want certified >= 0", frame.Gap)
+	}
+	if frame.Emitted != len(records) {
+		t.Fatalf("end frame says %d emitted, stream carries %d records", frame.Emitted, len(records))
+	}
+	if len(records) == 0 {
+		t.Fatal("budgeted run returned no groups at all")
+	}
+
+	// Partial answers are never cached: the identical re-ask is a fresh
+	// mine (MISS), because re-mining may find a better answer.
+	resp2, body2 := query(t, ts.URL, spec, nil)
+	if got := resp2.Header.Get("X-Cache"); got != "MISS" {
+		t.Fatalf("repeat budgeted query X-Cache = %q, want MISS", got)
+	}
+	if _, frame2 := lastFrame(t, body2); !frame2.Partial {
+		t.Fatalf("repeat budgeted run not partial: %+v", frame2)
+	}
+}
+
+// A budgeted run whose search exhausts inside the budget is a clean
+// complete answer: not partial, gap omitted — and cacheable, so the repeat
+// replays.
+func TestBudgetedQueryCompleteRunIsCached(t *testing.T) {
+	ts, _ := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/paper", paperExample)
+	spec := serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 3, MinSup: 1, MaxMillis: 60_000}
+
+	resp, body := query(t, ts.URL, spec, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d", resp.StatusCode)
+	}
+	records, frame := lastFrame(t, body)
+	if frame.Partial || frame.Gap != nil || frame.StopReason != "" {
+		t.Fatalf("complete budgeted run's end frame %+v: want clean done", frame)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d records, want 3", len(records))
+	}
+
+	warm, warmBody := query(t, ts.URL, spec, nil)
+	if got := warm.Header.Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat complete budgeted query X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(warmBody, body) {
+		t.Fatalf("cached replay differs from live stream:\n got %q\nwant %q", warmBody, body)
+	}
+}
+
+// Node budgets are deterministic: the same max_nodes query through the
+// jobs API reports the anytime verdict on its status too.
+func TestNodeBudgetJobStatusCarriesVerdict(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	put(t, ts.URL+"/v1/datasets/slow", slowExample())
+
+	st := submit(t, ts.URL, serve.QuerySpec{Miner: "topk", Dataset: "slow", K: 10, MinSup: 1, MaxNodes: 50})
+	final := waitState(t, ts.URL, st.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if final.State != serve.StateDone {
+		t.Fatalf("state %q (error %q), want done", final.State, final.Error)
+	}
+	if !final.Partial || final.StopReason != "budget" {
+		t.Fatalf("status partial=%v stop_reason=%q, want partial budget stop", final.Partial, final.StopReason)
+	}
+	if final.NodesExpanded <= 0 {
+		t.Fatalf("status nodes_expanded %d, want > 0", final.NodesExpanded)
+	}
+	if final.Gap == nil || *final.Gap < 0 {
+		t.Fatalf("status gap %v, want certified >= 0", final.Gap)
+	}
+}
+
+// A TimeoutMS deadline on an exact (unbudgeted) job ends it cancelled with
+// stop_reason "deadline", and its stream closes with a partial end frame —
+// distinct from an explicit DELETE, which reports "cancel".
+func TestDeadlineVersusCancelStopReason(t *testing.T) {
+	ts, _ := service(t, 2, 8)
+	put(t, ts.URL+"/v1/datasets/slow", slowExample())
+
+	// Deadline: the server-side timeout fires mid-run.
+	st := submit(t, ts.URL, serve.QuerySpec{Miner: "farmer", Dataset: "slow", MinSup: 1, TimeoutMS: 100})
+	final := waitState(t, ts.URL, st.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if final.State != serve.StateCancelled {
+		t.Fatalf("deadline job state %q, want cancelled", final.State)
+	}
+	if !final.Partial || final.StopReason != "deadline" {
+		t.Fatalf("deadline job partial=%v stop_reason=%q, want partial deadline", final.Partial, final.StopReason)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	_, frame := lastFrame(t, body)
+	if !frame.Partial || frame.State != serve.StateCancelled || frame.StopReason != "deadline" {
+		t.Fatalf("deadline end frame %+v, want partial cancelled deadline", frame)
+	}
+
+	// Explicit cancel: DELETE mid-run reports "cancel".
+	st2 := submit(t, ts.URL, serve.QuerySpec{Miner: "farmer", Dataset: "slow", MinSup: 1})
+	waitState(t, ts.URL, st2.ID, func(s serve.JobStatus) bool {
+		return s.State == serve.StateRunning && s.Emitted > 0
+	})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st2.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	final2 := waitState(t, ts.URL, st2.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if final2.StopReason != "cancel" || !final2.Partial {
+		t.Fatalf("cancelled job partial=%v stop_reason=%q, want partial cancel", final2.Partial, final2.StopReason)
+	}
+}
+
+// After a partial run, the scrape carries the partial-jobs counter and the
+// budget-utilization histogram, and stays valid exposition text.
+func TestAnytimeMetricsSeries(t *testing.T) {
+	ts, _ := service(t, 1, 4)
+	put(t, ts.URL+"/v1/datasets/slow", slowExample())
+
+	resp, _ := query(t, ts.URL, serve.QuerySpec{Miner: "topk", Dataset: "slow", K: 5, MinSup: 1, MaxMillis: 100}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted query: status %d", resp.StatusCode)
+	}
+
+	// The counters land just after the stream closes; poll the scrape
+	// briefly instead of racing the worker's bookkeeping.
+	var body []byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mresp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = readAll(mresp)
+		if mresp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: %d", mresp.StatusCode)
+		}
+		if bytes.Contains(body, []byte("farmerd_jobs_partial_total 1")) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := serve.CheckPromText(bytes.NewReader(body)); err != nil {
+		t.Fatalf("malformed exposition: %v", err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "farmerd_jobs_partial_total 1") {
+		t.Errorf("scrape missing farmerd_jobs_partial_total 1")
+	}
+	for _, want := range []string{
+		`farmerd_budget_utilization_ratio_bucket{le="+Inf"} 1`,
+		"farmerd_budget_utilization_ratio_count 1",
+		"farmerd_budget_utilization_ratio_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+}
+
+// Budgeted jobs bypass cost admission — the budget caps their cost — so a
+// tenant over its MaxCost for the exact mine can still run the same query
+// interactively.
+func TestBudgetedJobsBypassCostAdmission(t *testing.T) {
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{
+		{Name: "carol", Key: "kc", MaxCost: 10},
+	}}
+	ts, _ := keyedService(t, cfg, 1, 8, nil)
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "kc", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	// Exact topk at minsup=1 predicts 2^5 = 32 nodes, over carol's budget
+	// of 10: refused.
+	code, eb, _ := submitKeyed(t, ts.URL, "kc", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 3, MinSup: 1})
+	if code != http.StatusForbidden || eb.Code != "admission_rejected" {
+		t.Fatalf("exact over-budget topk: status %d code %q, want 403 admission_rejected", code, eb.Code)
+	}
+
+	// The same query with a budget rides the interactive lane past
+	// admission and completes.
+	code, _, st := submitKeyed(t, ts.URL, "kc", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 3, MinSup: 1, MaxMillis: 5_000})
+	if code != http.StatusAccepted {
+		t.Fatalf("budgeted topk: status %d, want 202", code)
+	}
+	final := waitStateKeyed(t, ts.URL, "kc", st.ID, func(s serve.JobStatus) bool { return s.State.Terminal() })
+	if final.State != serve.StateDone {
+		t.Fatalf("budgeted topk state %q (error %q), want done", final.State, final.Error)
+	}
+}
+
+// The interactive lane has strict priority: with one worker plugged and a
+// backlog of batch jobs queued first, a later budgeted job is the next
+// pick once the worker frees.
+func TestInteractiveLaneSchedulesBeforeBatch(t *testing.T) {
+	order := make(chan int, 16)
+	gate := make(chan struct{})
+	cfg := serve.KeysFile{Tenants: []serve.TenantConfig{{Name: "ann", Key: "ka"}}}
+	ts, _ := keyedService(t, cfg, 1, 16, instantBuilder(order, gate))
+
+	resp := doKeyed(t, http.MethodPut, ts.URL+"/v1/datasets/paper", "ka", paperExample)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT dataset: %d", resp.StatusCode)
+	}
+
+	// Plug the single worker, then queue three batch jobs and one budgeted
+	// job, in that order.
+	_, _, plug := submitKeyed(t, ts.URL, "ka", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: plugSup})
+	waitStateKeyed(t, ts.URL, "ka", plug.ID, func(s serve.JobStatus) bool { return s.State == serve.StateRunning })
+	for _, ms := range []int{1, 2, 3} {
+		if code, _, _ := submitKeyed(t, ts.URL, "ka", serve.QuerySpec{Miner: "farmer", Dataset: "paper", MinSup: ms}); code != http.StatusAccepted {
+			t.Fatalf("batch job minsup=%d: status %d", ms, code)
+		}
+	}
+	if code, _, _ := submitKeyed(t, ts.URL, "ka", serve.QuerySpec{Miner: "topk", Dataset: "paper", K: 1, MinSup: 42, MaxNodes: 10}); code != http.StatusAccepted {
+		t.Fatalf("budgeted job: status %d", code)
+	}
+
+	close(gate)
+	picks := waitOrder(t, order, 4)
+	if picks[0] != 42 {
+		t.Fatalf("pick order %v: budgeted job (42) must run before the batch backlog", picks)
+	}
+}
+
+// readAll drains and closes a response body.
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

@@ -22,7 +22,7 @@ type reqKey [32]byte
 // fields into before hashing, so steady-state warm traffic computes its
 // request hash without a single heap allocation.
 var keyBufPool = sync.Pool{New: func() any {
-	b := make([]byte, 0, 192)
+	b := make([]byte, 0, 256)
 	return &b
 }}
 
@@ -60,6 +60,14 @@ func requestKey(spec JobSpec, gen uint64) reqKey {
 	b = strconv.AppendInt(b, int64(spec.Workers), 10)
 	b = append(b, "\ntimeout="...)
 	b = strconv.AppendInt(b, spec.TimeoutMS, 10)
+	b = append(b, "\nmaxms="...)
+	b = strconv.AppendInt(b, spec.MaxMillis, 10)
+	b = append(b, "\nmaxnodes="...)
+	b = strconv.AppendInt(b, spec.MaxNodes, 10)
+	b = append(b, "\nquality="...)
+	b = append(b, spec.Quality...)
+	b = append(b, "\ndelta="...)
+	b = strconv.AppendFloat(b, spec.Delta, 'g', -1, 64)
 	b = append(b, '\n')
 	sum := sha256.Sum256(b)
 	*bp = b
@@ -87,6 +95,11 @@ func canonicalSpec(spec JobSpec) JobSpec {
 		}
 		if spec.Measure == "" {
 			spec.Measure = "chi2"
+		}
+		// "exact" is the parse default of the empty string; fold the two
+		// spellings into one key so they coalesce.
+		if spec.Quality == "exact" {
+			spec.Quality = ""
 		}
 	}
 	return spec

@@ -74,6 +74,19 @@ type Job struct {
 	createdAt time.Time
 	startedAt time.Time
 	endedAt   time.Time
+	// The anytime verdict: partial marks a result that may be missing
+	// groups (budget stop, deadline, cancellation); gap is the certified
+	// optimality gap when hasGap; nodes is the anytime search's expansion
+	// count; stopReason says what ended the run early ("budget",
+	// "deadline" or "cancel"). All set before the terminal transition.
+	partial    bool
+	gap        float64
+	hasGap     bool
+	nodes      int64
+	stopReason string
+	// endFrame memoizes the rendered NDJSON end frame (without the
+	// trailing newline) once the job is terminal.
+	endFrame []byte
 }
 
 func newJob(id string, spec JobSpec, run RunnerFunc) *Job {
@@ -182,6 +195,74 @@ func (j *Job) finish(state State, stats engine.Stats, hasStats bool, errMsg stri
 	j.wakeLocked()
 }
 
+// setOutcome records the anytime verdict before the terminal transition:
+// the partial flag, the certified gap (when hasGap), the anytime node
+// count, and what stopped the run early.
+func (j *Job) setOutcome(partial bool, gap float64, hasGap bool, nodes int64, stopReason string) {
+	j.mu.Lock()
+	j.partial = partial
+	j.gap = gap
+	j.hasGap = hasGap
+	j.nodes = nodes
+	j.stopReason = stopReason
+	j.mu.Unlock()
+}
+
+// EndFrame is the NDJSON trailer every streamed job ends with: one final
+// object (distinguished from result records by its "end":true member)
+// carrying the terminal state, the record count, and — for budgeted or
+// interrupted runs — the partial flag, the certified optimality gap, the
+// anytime node count and the stop reason. Clients read it to tell a
+// complete answer from a truncated one without a second request.
+type EndFrame struct {
+	End     bool  `json:"end"`
+	State   State `json:"state"`
+	Emitted int   `json:"emitted"`
+	// Partial marks a result that may be missing groups: a budget stop, a
+	// deadline, or a cancellation mid-run.
+	Partial bool `json:"partial,omitempty"`
+	// Gap is present when the anytime search certified an optimality gap:
+	// no unreported group's score exceeds the k-th kept score by more
+	// than this.
+	Gap *float64 `json:"gap,omitempty"`
+	// NodesExpanded counts the anytime search's node expansions.
+	NodesExpanded int64  `json:"nodes_expanded,omitempty"`
+	StopReason    string `json:"stop_reason,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// endBytes renders (and memoizes) the job's end frame. It returns nil
+// until the job is terminal; the returned buffer excludes the trailing
+// newline and is immutable.
+func (j *Job) endBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil
+	}
+	if j.endFrame == nil {
+		f := EndFrame{
+			End:           true,
+			State:         j.state,
+			Emitted:       j.emitted,
+			Partial:       j.partial,
+			NodesExpanded: j.nodes,
+			StopReason:    j.stopReason,
+			Error:         j.errMsg,
+		}
+		if j.hasGap && j.partial {
+			gap := j.gap
+			f.Gap = &gap
+		}
+		raw, err := json.Marshal(f)
+		if err != nil { // impossible: fixed field types
+			raw = []byte(`{"end":true}`)
+		}
+		j.endFrame = raw
+	}
+	return j.endFrame
+}
+
 // next returns the result records from index from onward, whether the job
 // is finished, and — when it is not — a channel that is closed on the
 // next append or state change. The channel is captured under the same
@@ -217,6 +298,13 @@ type JobStatus struct {
 	// Cached reports that the job replayed a cached result of an identical
 	// earlier request instead of mining. Its stats are the original run's.
 	Cached bool `json:"cached,omitempty"`
+	// Partial, Gap, NodesExpanded and StopReason mirror the NDJSON end
+	// frame: set for budgeted anytime runs that hit their budget and for
+	// runs interrupted by a deadline or cancellation.
+	Partial       bool     `json:"partial,omitempty"`
+	Gap           *float64 `json:"gap,omitempty"`
+	NodesExpanded int64    `json:"nodes_expanded,omitempty"`
+	StopReason    string   `json:"stop_reason,omitempty"`
 	// Stats is present once the job is terminal; for cancelled jobs it
 	// holds the partial statistics up to the cancellation point.
 	Stats      *engine.Stats `json:"stats,omitempty"`
@@ -258,6 +346,13 @@ func (j *Job) Status() JobStatus {
 	if j.hasStats {
 		stats := j.stats
 		st.Stats = &stats
+	}
+	st.Partial = j.partial
+	st.NodesExpanded = j.nodes
+	st.StopReason = j.stopReason
+	if j.hasGap && j.partial {
+		gap := j.gap
+		st.Gap = &gap
 	}
 	if !j.startedAt.IsZero() {
 		st.StartedAt = j.startedAt.Format(time.RFC3339Nano)

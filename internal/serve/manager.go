@@ -35,11 +35,19 @@ const DefaultCacheBytes int64 = 64 << 20
 type tenantQueue struct {
 	t    *Tenant
 	jobs []*Job
+	// fast is the tenant's interactive lane: budgeted anytime jobs, whose
+	// cost is capped by their own budget. The scheduler drains fast lanes
+	// with strict priority over the batch lanes — a bounded interactive
+	// query never waits behind an unbounded batch mine — still WRR-fair
+	// between tenants within the lane.
+	fast []*Job
 	// current is the smooth-WRR credit: every scheduling round adds the
 	// tenant's weight to each non-empty queue, picks the largest, and
 	// subtracts the round's total weight from the winner — interleaving
-	// proportionally instead of bursting.
-	current int
+	// proportionally instead of bursting. currentFast is the same credit
+	// for the interactive lane (the lanes run separate WRR rounds).
+	current     int
+	currentFast int
 }
 
 // Manager owns the per-tenant job queues and the bounded worker pool that
@@ -208,8 +216,11 @@ func (m *Manager) SubmitAs(t *Tenant, spec JobSpec) (*Job, error) {
 
 	// Cost admission: predicted enumeration cost against the tenant
 	// budget, before compiling a runner or touching the queue. Only
-	// genuinely new work reaches this point.
-	if t != nil {
+	// genuinely new work reaches this point. Budgeted anytime jobs skip
+	// the check: their max_millis/max_nodes budget caps their cost more
+	// tightly than any prediction, so the interactive lane stays open
+	// even to tenants whose batch budget is exhausted.
+	if t != nil && !spec.Budgeted() {
 		if budget := t.Config().MaxCost; budget > 0 {
 			if cost := m.reg.CostModelFor(spec.Dataset, d); cost != nil {
 				if est := cost.Estimate(spec); est > budget {
@@ -261,7 +272,11 @@ func (m *Manager) SubmitAs(t *Tenant, spec JobSpec) (*Job, error) {
 	m.jobs[job.ID] = job
 	m.inflight[key] = job
 	q := m.queueForLocked(t)
-	q.jobs = append(q.jobs, job)
+	if spec.Budgeted() {
+		q.fast = append(q.fast, job)
+	} else {
+		q.jobs = append(q.jobs, job)
+	}
 	m.queued++
 	if t != nil {
 		t.inflight++
@@ -401,6 +416,7 @@ func (m *Manager) Cancel(id string) error {
 	case job.state == StateQueued:
 		job.state = StateCancelled
 		job.errMsg = context.Canceled.Error()
+		job.stopReason = "cancel"
 		job.endedAt = time.Now()
 		close(job.done)
 		job.wakeLocked()
@@ -453,6 +469,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		case StateQueued:
 			j.state = StateCancelled
 			j.errMsg = context.Canceled.Error()
+			j.stopReason = "cancel"
 			j.endedAt = time.Now()
 			close(j.done)
 			j.wakeLocked()
@@ -490,36 +507,61 @@ func (m *Manager) dequeue() *Job {
 	}
 }
 
-// pickLocked runs one smooth-WRR round over the non-empty queues: add
-// each contender's weight to its credit, pick the largest credit (queue
-// order breaks ties deterministically), charge the winner the round's
-// total. With equal weights this interleaves tenants one-for-one; with
-// weight 3 vs 1 the heavy tenant gets three picks spread across every
-// four, never a burst. Callers hold m.mu.
+// pickLocked picks the next job: the interactive lane (budgeted anytime
+// jobs) drains with strict priority over the batch lane, each lane WRR-
+// fair between its tenants. Strict priority cannot starve batch work —
+// every interactive job bounds its own runtime, so the fast lane drains.
+// Callers hold m.mu.
 func (m *Manager) pickLocked() *Job {
+	if job := m.pickLaneLocked(true); job != nil {
+		return job
+	}
+	return m.pickLaneLocked(false)
+}
+
+// pickLaneLocked runs one smooth-WRR round over the non-empty queues of
+// one lane: add each contender's weight to its credit, pick the largest
+// credit (queue order breaks ties deterministically), charge the winner
+// the round's total. With equal weights this interleaves tenants
+// one-for-one; with weight 3 vs 1 the heavy tenant gets three picks
+// spread across every four, never a burst. Callers hold m.mu.
+func (m *Manager) pickLaneLocked(fast bool) *Job {
+	lane := func(q *tenantQueue) *[]*Job {
+		if fast {
+			return &q.fast
+		}
+		return &q.jobs
+	}
+	credit := func(q *tenantQueue) *int {
+		if fast {
+			return &q.currentFast
+		}
+		return &q.current
+	}
 	total := 0
 	var best *tenantQueue
 	for _, q := range m.queues {
-		if len(q.jobs) == 0 {
+		if len(*lane(q)) == 0 {
 			continue
 		}
 		w := 1
 		if q.t != nil {
 			w = q.t.weight()
 		}
-		q.current += w
+		*credit(q) += w
 		total += w
-		if best == nil || q.current > best.current {
+		if best == nil || *credit(q) > *credit(best) {
 			best = q
 		}
 	}
 	if best == nil {
 		return nil
 	}
-	best.current -= total
-	job := best.jobs[0]
-	copy(best.jobs, best.jobs[1:])
-	best.jobs = best.jobs[:len(best.jobs)-1]
+	*credit(best) -= total
+	jobs := *lane(best)
+	job := jobs[0]
+	copy(jobs, jobs[1:])
+	*lane(best) = jobs[:len(jobs)-1]
 	return job
 }
 
@@ -567,27 +609,54 @@ func (m *Manager) run(job *Job) {
 	if hasStats {
 		stats = res.Stats()
 	}
+	// The anytime verdict, when the runner produced one (topk jobs): a
+	// budget stop comes back as a successful partial result, not an error.
+	partial, gap, hasGap := false, 0.0, false
+	var nodes int64
+	if ao, ok := res.(anytimeOutcome); ok {
+		partial, gap, hasGap, nodes = ao.Partial, ao.Gap, ao.HasGap, ao.NodesExpanded
+	}
 	var state State
 	switch {
 	case err == nil:
 		state = StateDone
+		reason := ""
+		if partial {
+			reason = "budget"
+		}
+		job.setOutcome(partial, gap, hasGap, nodes, reason)
 		job.finish(StateDone, stats, hasStats, "")
-		// Only complete, successful runs are replayable: the records are
-		// final, so they are flattened once into the contiguous NDJSON
-		// body that the cache stores and the job itself serves through the
-		// zero-copy path — every later replay shares this one buffer.
-		job.mu.Lock()
-		records := job.results
-		job.mu.Unlock()
-		body := encodeBody(records)
-		etag := etagFor(job.key)
-		job.setReplay(body, etag)
-		m.cache.put(job.key, cachedResult{body: body, count: len(records), stats: stats, hasStats: hasStats, etag: etag})
+		if !partial {
+			// Only complete, successful runs are replayable and cacheable:
+			// the records are final, so they are flattened once — together
+			// with the end frame — into the contiguous NDJSON body that the
+			// cache stores and the job itself serves through the zero-copy
+			// path; every later replay shares this one buffer. A partial
+			// (budget-stopped) answer is never cached: re-asking must re-mine
+			// for a chance at a better answer.
+			job.mu.Lock()
+			records := job.results
+			job.mu.Unlock()
+			body := append(encodeBody(records), job.endBytes()...)
+			body = append(body, '\n')
+			etag := etagFor(job.key)
+			job.setReplay(body, etag)
+			m.cache.put(job.key, cachedResult{body: body, count: len(records), stats: stats, hasStats: hasStats, etag: etag})
+		}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// An interrupted run emitted a prefix of its answer: flag it
+		// partial and say which of the deadline or an explicit cancel cut
+		// it short.
 		state = StateCancelled
+		reason := "cancel"
+		if errors.Is(err, context.DeadlineExceeded) {
+			reason = "deadline"
+		}
+		job.setOutcome(true, gap, hasGap, nodes, reason)
 		job.finish(StateCancelled, stats, hasStats, err.Error())
 	default:
 		state = StateFailed
+		job.setOutcome(partial, gap, hasGap, nodes, "")
 		job.finish(StateFailed, stats, hasStats, err.Error())
 	}
 
@@ -603,6 +672,12 @@ func (m *Manager) run(job *Job) {
 	}
 	m.metricsRef().ObserveRun(runDur)
 	m.metricsRef().JobFinished(state)
+	if partial || state == StateCancelled {
+		m.metricsRef().JobPartial()
+	}
+	if job.Spec.MaxMillis > 0 {
+		m.metricsRef().ObserveBudgetUtilization(float64(runDur) / float64(time.Duration(job.Spec.MaxMillis)*time.Millisecond))
+	}
 	m.auditLog().Log(AuditEvent{Event: "job_finished", Tenant: tenantName(job.tenant), Job: job.ID, Detail: string(state)})
 
 	m.mu.Lock()

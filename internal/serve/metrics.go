@@ -28,6 +28,13 @@ type Metrics struct {
 	jobsDone      atomic.Int64
 	jobsFailed    atomic.Int64
 	jobsCancelled atomic.Int64
+	jobsPartial   atomic.Int64
+
+	// budgetUtil observes, for each max_millis-budgeted job, the fraction
+	// of its budget the run consumed: a population near 1.0 means budgets
+	// bind (anytime stops doing the cutting), near 0 means the exact
+	// answer fits well inside the budget.
+	budgetUtil ratioHistogram
 
 	authFailures      atomic.Int64
 	rateLimited       atomic.Int64
@@ -147,6 +154,24 @@ func (m *Metrics) JobFinished(state State) {
 	}
 }
 
+// JobPartial counts one job that ended with a partial result: a budget
+// stop, a deadline, or a cancellation mid-run. Nil-safe.
+func (m *Metrics) JobPartial() {
+	if m == nil {
+		return
+	}
+	m.jobsPartial.Add(1)
+}
+
+// ObserveBudgetUtilization records the fraction of its max_millis budget
+// a budgeted job consumed. Nil-safe.
+func (m *Metrics) ObserveBudgetUtilization(frac float64) {
+	if m == nil {
+		return
+	}
+	m.budgetUtil.observe(frac)
+}
+
 // AuthFailure / RateLimited / QuotaRejected / AdmissionRejected /
 // QueueRejected count refused requests by refusal layer. All nil-safe.
 func (m *Metrics) AuthFailure() {
@@ -230,6 +255,42 @@ func (h *histogram) observe(d time.Duration) {
 	h.sumNS.Add(int64(d))
 }
 
+// ratioHistogram is a fixed-bucket histogram over dimensionless fractions
+// (budget utilization): same cumulative-at-scrape design as histogram,
+// different bounds.
+type ratioHistogram struct {
+	counts [len(ratioBounds) + 1]atomic.Int64 // +1 = +Inf
+	sumMu  sync.Mutex
+	sum    float64
+}
+
+// ratioBounds resolve where in its budget a run landed; >1 (the +Inf
+// bucket beyond 1.25) means the stop overshot the budget.
+var ratioBounds = [...]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25}
+
+var ratioLabels = func() [len(ratioBounds) + 1]string {
+	var out [len(ratioBounds) + 1]string
+	for i, b := range ratioBounds {
+		out[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
+	out[len(ratioBounds)] = "+Inf"
+	return out
+}()
+
+func (h *ratioHistogram) observe(frac float64) {
+	idx := len(ratioBounds)
+	for i, b := range ratioBounds {
+		if frac <= b {
+			idx = i
+			break
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumMu.Lock()
+	h.sum += frac
+	h.sumMu.Unlock()
+}
+
 // promWriter accumulates exposition text; all writes go through it so the
 // final handler response is one buffer.
 type promWriter struct {
@@ -279,6 +340,21 @@ func (p *promWriter) writeHistogram(name, extraLabels string, h *histogram) {
 	p.counter(name+"_count", extraLabels, cum)
 }
 
+// writeRatioHistogram renders a ratioHistogram in the conventional
+// _bucket/_sum/_count triplet with cumulative buckets.
+func (p *promWriter) writeRatioHistogram(name string, h *ratioHistogram) {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		p.counter(name+"_bucket", `le="`+ratioLabels[i]+`"`, cum)
+	}
+	h.sumMu.Lock()
+	sum := h.sum
+	h.sumMu.Unlock()
+	p.sample(name+"_sum", "", sum)
+	p.counter(name+"_count", "", cum)
+}
+
 // render writes the registry's own series (requests, latency, job
 // lifecycle, refusals) followed by the registered collectors.
 func (m *Metrics) render(w io.Writer) error {
@@ -320,6 +396,14 @@ func (m *Metrics) render(w io.Writer) error {
 	p.counter("farmerd_jobs_finished_total", `state="done"`, m.jobsDone.Load())
 	p.counter("farmerd_jobs_finished_total", `state="failed"`, m.jobsFailed.Load())
 	p.counter("farmerd_jobs_finished_total", `state="cancelled"`, m.jobsCancelled.Load())
+
+	p.line("# HELP farmerd_jobs_partial_total Jobs that ended with a partial result (budget stop, deadline or cancellation).")
+	p.line("# TYPE farmerd_jobs_partial_total counter")
+	p.counter("farmerd_jobs_partial_total", "", m.jobsPartial.Load())
+
+	p.line("# HELP farmerd_budget_utilization_ratio Fraction of its max_millis budget each budgeted job consumed.")
+	p.line("# TYPE farmerd_budget_utilization_ratio histogram")
+	p.writeRatioHistogram("farmerd_budget_utilization_ratio", &m.budgetUtil)
 
 	p.line("# HELP farmerd_rejected_total Requests refused before reaching a worker, by layer.")
 	p.line("# TYPE farmerd_rejected_total counter")

@@ -57,7 +57,7 @@ func TestQueryWarmReplayBytesAndHeaders(t *testing.T) {
 		MinSup:             spec.MinSup,
 		ComputeLowerBounds: spec.LowerBounds,
 	})
-	wantBody := strings.Join(want, "\n") + "\n"
+	wantBody := strings.Join(want, "\n") + "\n" + endFrameLine(len(want)) + "\n"
 
 	cold, coldBody := query(t, ts.URL, spec, nil)
 	if cold.StatusCode != http.StatusOK {

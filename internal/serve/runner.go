@@ -28,6 +28,15 @@ type ClosedRecord struct {
 	Support int      `json:"support"`
 }
 
+// anytimeOutcome decorates a finished TopKResult so the job manager can
+// read the anytime verdict (partial flag, certified gap, nodes expanded)
+// without widening the frozen RunnerFunc result signature: the embedded
+// result still satisfies farmer.MinerResult, and run() type-asserts for
+// the extra fields.
+type anytimeOutcome struct {
+	*farmer.TopKResult
+}
+
 func itemNames(d *farmer.Dataset, items []farmer.Item) []string {
 	names := make([]string, len(items))
 	for i, it := range items {
@@ -115,6 +124,11 @@ func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (Runner
 	if minsup < 1 {
 		minsup = 1
 	}
+	if spec.Miner != "topk" {
+		if spec.MaxMillis != 0 || spec.MaxNodes != 0 || spec.Quality != "" || spec.Delta != 0 {
+			return nil, fmt.Errorf("anytime options (max_millis, max_nodes, quality, delta) need the topk miner, got %q", spec.Miner)
+		}
+	}
 
 	switch spec.Miner {
 	case "farmer":
@@ -162,11 +176,31 @@ func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (Runner
 		if k < 1 {
 			k = 1
 		}
-		opt := farmer.TopKOptions{K: k, Measure: measure, MinSup: minsup, Prepared: snap}
+		strat, err := farmer.ParseStrategy(spec.Quality)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case spec.MaxMillis < 0:
+			return nil, fmt.Errorf("max_millis must be >= 0, got %d", spec.MaxMillis)
+		case spec.MaxNodes < 0:
+			return nil, fmt.Errorf("max_nodes must be >= 0, got %d", spec.MaxNodes)
+		case spec.Delta < 0:
+			return nil, fmt.Errorf("delta must be >= 0, got %v", spec.Delta)
+		case spec.Delta > 0 && strat != farmer.StrategyLeap:
+			return nil, fmt.Errorf("delta needs quality \"leap\", got %q", strat)
+		case strat == farmer.StrategySample && !spec.Budgeted():
+			return nil, fmt.Errorf("quality \"sample\" needs a max_millis or max_nodes budget")
+		}
+		opt := farmer.TopKOptions{
+			K: k, Measure: measure, MinSup: minsup, Prepared: snap,
+			Strategy: strat, MaxMillis: spec.MaxMillis, MaxNodes: spec.MaxNodes,
+			Delta: spec.Delta, Workers: spec.Workers,
+		}
 		return func(ctx context.Context, emit func(v any) error) (farmer.MinerResult, error) {
 			// Best-first search only knows the final ranking at the end, so
-			// TopK is batch-only; on cancellation the best groups so far are
-			// still emitted.
+			// TopK is batch-only; on cancellation or budget exhaustion the
+			// best groups so far are still emitted.
 			res, err := farmer.RunTopK(ctx, d, consequent, opt)
 			if res == nil {
 				return nil, err
@@ -179,7 +213,7 @@ func buildRunner(d *farmer.Dataset, snap *farmer.Snapshot, spec JobSpec) (Runner
 					return res, emitErr
 				}
 			}
-			return res, err
+			return anytimeOutcome{res}, err
 		}, nil
 
 	case "charm":

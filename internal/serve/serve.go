@@ -486,8 +486,11 @@ func serveReplay(w http.ResponseWriter, r *http.Request, body []byte, etag strin
 }
 
 // streamFollow replays the records already emitted and follows the live
-// job until it finishes or the client goes away. Headers must be written
-// before the call.
+// job until it finishes or the client goes away, closing the stream with
+// the job's end frame — the trailer that tells the client whether the
+// answer is complete or partial. Headers must be written before the call.
+// The bytes written here for a clean completion are identical to the
+// pre-encoded replay body, so warm replays and live streams compare equal.
 func streamFollow(w http.ResponseWriter, r *http.Request, job *Job) {
 	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
@@ -509,6 +512,12 @@ func streamFollow(w http.ResponseWriter, r *http.Request, job *Job) {
 			flusher.Flush()
 		}
 		if terminal {
+			if frame := job.endBytes(); frame != nil {
+				if _, err := w.Write(frame); err != nil {
+					return
+				}
+				_, _ = w.Write([]byte{'\n'})
+			}
 			return
 		}
 		select {

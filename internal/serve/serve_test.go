@@ -169,7 +169,18 @@ func streamLines(t *testing.T, baseURL, id string) []string {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return lines
+	// Every finished stream closes with the end-frame trailer; validate and
+	// strip it so callers compare result records only.
+	if len(lines) == 0 || !strings.HasPrefix(lines[len(lines)-1], `{"end":true`) {
+		t.Fatalf("stream missing end frame, got %d lines", len(lines))
+	}
+	return lines[:len(lines)-1]
+}
+
+// endFrameLine renders the end frame a cleanly completed, non-partial run
+// closes its stream with — what the cached replay body embeds verbatim.
+func endFrameLine(emitted int) string {
+	return fmt.Sprintf(`{"end":true,"state":"done","emitted":%d}`, emitted)
 }
 
 func loadExample(t *testing.T) *farmer.Dataset {

@@ -34,11 +34,37 @@ type QuerySpec struct {
 	Measure string `json:"measure,omitempty"`
 
 	// Workers selects the FARMER parallel scheduler (negative =
-	// GOMAXPROCS); 0 runs sequentially with live streaming.
+	// GOMAXPROCS); 0 runs sequentially with live streaming. For budgeted
+	// "topk" jobs it sizes the anytime worker pool the same way.
 	Workers int `json:"workers,omitempty"`
 
-	// TimeoutMS bounds the job's run time; 0 means no deadline.
+	// TimeoutMS bounds the job's run time; 0 means no deadline. Unlike
+	// MaxMillis this is a hard abort: the job ends cancelled with
+	// stop_reason "deadline" and whatever partial statistics it gathered.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MaxMillis and MaxNodes are the anytime budgets of the "topk" miner:
+	// the search stops within one node expansion of the wall-clock or
+	// node budget and returns its best-so-far answer as a successful
+	// partial result (NDJSON end frame: partial, gap, nodes_expanded).
+	// Budgeted jobs run on the interactive lane and bypass cost
+	// admission — the budget itself caps their cost — and their results
+	// are never cached. Zero means unlimited.
+	MaxMillis int64 `json:"max_millis,omitempty"`
+	MaxNodes  int64 `json:"max_nodes,omitempty"`
+	// Quality selects the "topk" search strategy: "" or "exact" (default;
+	// a budget upgrades it to best-first), "best_first", "leap", or
+	// "sample". Delta is the leap relaxation factor (quality "leap"
+	// prunes subtrees that cannot improve the k-th score by more than a
+	// 1+delta factor, certifying the relaxation in the reported gap).
+	Quality string  `json:"quality,omitempty"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// Budgeted reports whether the spec carries an anytime budget — what
+// routes a job to the interactive lane and past cost admission.
+func (s *QuerySpec) Budgeted() bool {
+	return s.MaxMillis > 0 || s.MaxNodes > 0
 }
 
 // JobSpec is the historical name of QuerySpec, kept as an alias so library

@@ -40,12 +40,46 @@ var (
 )
 
 type (
-	// TopKOptions configures RunTopK (K, Measure, MinSup).
+	// TopKOptions configures RunTopK (K, Measure, MinSup), plus the
+	// anytime knobs: Strategy, MaxMillis/MaxNodes budgets, Delta for the
+	// leap pruner, Seed for the sampler, and Workers for parallel
+	// best-first search.
 	TopKOptions = core.TopKOptions
 	// TopKResult is RunTopK's outcome: the ranked groups, best first, plus
-	// search statistics.
+	// search statistics. Budgeted runs mark Partial and certify Gap.
 	TopKResult = core.TopKResult
+	// Strategy selects RunTopK's search strategy: exact depth-first
+	// (default), anytime best-first, relaxed leap pruning, or random-walk
+	// sampling.
+	Strategy = core.Strategy
 )
+
+// The top-k search strategies.
+const (
+	// StrategyExact is the exhaustive depth-first branch-and-bound walk —
+	// the zero value, so existing callers are unaffected.
+	StrategyExact = core.StrategyExact
+	// StrategyBestFirst expands nodes in descending bound order, keeping
+	// a valid top-k at every instant; budget stops certify an optimality
+	// gap. Exhausted, it matches StrategyExact.
+	StrategyBestFirst = core.StrategyBestFirst
+	// StrategyLeap prunes subtrees whose bound cannot improve the k-th
+	// score by more than a (1+Delta) factor, certifying the relaxation as
+	// the gap.
+	StrategyLeap = core.StrategyLeap
+	// StrategySample random-walks the row lattice under a node budget; no
+	// certificate, deterministic per Seed.
+	StrategySample = core.StrategySample
+)
+
+// ErrBudgetExceeded is the engine's budget-stop marker. RunTopK handles it
+// internally (a budget stop is a successful partial answer, not an error);
+// it is exported for callers that drive miners through the engine directly.
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// ParseStrategy maps a canonical strategy name ("exact", "best_first",
+// "leap", "sample") to its Strategy; the empty string parses as exact.
+func ParseStrategy(name string) (Strategy, error) { return core.ParseStrategy(name) }
 
 // ParseMeasure maps a canonical measure name ("chi2", "entropy", "gini")
 // to its Measure; the empty string parses as chi2.
@@ -89,9 +123,16 @@ func RunFARMER(ctx context.Context, d *Dataset, consequent int, opt MineOptions)
 }
 
 // RunTopK returns the opt.K rule groups maximizing opt.Measure (subject to
-// opt.MinSup) by best-first branch-and-bound — the canonical form of
-// MineTopK. On cancellation it returns the best groups found so far
-// together with ctx.Err().
+// opt.MinSup) by branch-and-bound — the canonical form of MineTopK. On
+// cancellation it returns the best groups found so far together with
+// ctx.Err().
+//
+// Setting opt.MaxMillis or opt.MaxNodes turns the search into an anytime
+// run: it stops within one node expansion of the budget and returns the
+// best-so-far answer with Partial set and a certified optimality Gap — no
+// error, since a budget stop is the anytime contract working as intended.
+// opt.Strategy picks the search order explicitly; a budget with the
+// default exact strategy upgrades to StrategyBestFirst automatically.
 func RunTopK(ctx context.Context, d *Dataset, consequent int, opt TopKOptions) (*TopKResult, error) {
 	return core.TopK(ctx, d, consequent, opt)
 }
